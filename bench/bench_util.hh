@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Shared harness for the per-figure/table bench binaries. Every bench
+ * prints the same rows/series the paper reports (percent speedup in
+ * useful IPC over the no-VP Table-1 baseline), with geometric means per
+ * SPEC category as in the paper's figures.
+ *
+ * Environment knobs:
+ *   MTVP_INSTS=<n>   useful instructions per run   (default 12000)
+ *   MTVP_SET=full    run every workload            (default: benches
+ *                    that sweep many configurations use a fixed
+ *                    representative subset; single-sweep benches always
+ *                    run the full set)
+ *   MTVP_SEED=<n>    workload data-set seed        (default 1)
+ */
+
+#ifndef VPSIM_BENCH_BENCH_UTIL_HH
+#define VPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+#include "workloads/workload.hh"
+
+namespace vpbench
+{
+
+using namespace vpsim;
+
+inline uint64_t
+envU64(const char *name, uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 0) : def;
+}
+
+inline uint64_t
+instCount()
+{
+    return envU64("MTVP_INSTS", 12000);
+}
+
+inline bool
+fullSet()
+{
+    const char *v = std::getenv("MTVP_SET");
+    return v != nullptr && std::strcmp(v, "full") == 0;
+}
+
+/** All registered workload names of one category. */
+inline std::vector<std::string>
+categoryNames(BenchCategory cat)
+{
+    std::vector<std::string> names;
+    for (const Workload *w : workloadsByCategory(cat))
+        names.push_back(w->name());
+    return names;
+}
+
+/** Representative subset used by multi-configuration sweeps. */
+inline std::vector<std::string>
+quickInt()
+{
+    return {"gzip.g", "vpr.r", "mcf", "crafty", "parser", "vortex",
+            "twolf"};
+}
+
+inline std::vector<std::string>
+quickFp()
+{
+    return {"wupwise", "swim", "art.1", "equake", "mgrid", "ammp"};
+}
+
+inline std::vector<std::string>
+intSet(bool sweepBench)
+{
+    if (!sweepBench || fullSet())
+        return categoryNames(BenchCategory::Int);
+    return quickInt();
+}
+
+inline std::vector<std::string>
+fpSet(bool sweepBench)
+{
+    if (!sweepBench || fullSet())
+        return categoryNames(BenchCategory::Fp);
+    return quickFp();
+}
+
+/** The Table-1 baseline (no value prediction). */
+inline SimConfig
+baseConfig()
+{
+    SimConfig cfg;
+    cfg.vpMode = VpMode::None;
+    cfg.maxInsts = instCount();
+    cfg.seed = envU64("MTVP_SEED", 1);
+    return cfg;
+}
+
+/** Memoizing runner: baselines are shared across series. */
+class Runner
+{
+  public:
+    SimResult
+    run(const SimConfig &cfg, const std::string &workload)
+    {
+        std::string key = workload + "|" + cfg.toString() + "|" +
+                          std::to_string(cfg.maxInsts) + "|" +
+                          std::to_string(cfg.seed) + "|" +
+                          std::to_string(cfg.prefetchEnabled);
+        auto it = _cache.find(key);
+        if (it != _cache.end())
+            return it->second;
+        SimResult r = runWorkload(cfg, workload);
+        _cache.emplace(std::move(key), r);
+        return r;
+    }
+
+  private:
+    std::map<std::string, SimResult> _cache;
+};
+
+inline void
+printTitle(const std::string &title)
+{
+    std::printf("==== %s ====\n", title.c_str());
+    std::printf("(useful-IPC %% speedup over the no-VP baseline; "
+                "%llu useful insts/run)\n",
+                static_cast<unsigned long long>(instCount()));
+}
+
+inline void
+printHeader(const std::vector<std::string> &cols)
+{
+    std::printf("%-10s", "workload");
+    for (const auto &c : cols)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &values)
+{
+    std::printf("%-10s", name.c_str());
+    for (double v : values)
+        std::printf(" %12.1f", v);
+    std::printf("\n");
+}
+
+/**
+ * Run one speedup table: for every workload, the baseline plus each
+ * configuration in @p configs; prints per-workload speedups and the
+ * per-category geometric mean row.
+ */
+inline void
+speedupTable(Runner &runner, const std::string &category,
+             const std::vector<std::string> &workloads,
+             const SimConfig &base,
+             const std::vector<std::pair<std::string, SimConfig>> &configs)
+{
+    printHeader([&] {
+        std::vector<std::string> cols;
+        for (const auto &[name, cfg] : configs)
+            cols.push_back(name);
+        return cols;
+    }());
+
+    std::vector<std::vector<double>> perConfig(configs.size());
+    for (const auto &wl : workloads) {
+        SimResult b = runner.run(base, wl);
+        std::vector<double> row;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            SimResult r = runner.run(configs[i].second, wl);
+            double s = percentSpeedup(b, r);
+            row.push_back(s);
+            perConfig[i].push_back(s);
+        }
+        printRow(wl, row);
+    }
+    std::vector<double> geo;
+    for (auto &v : perConfig)
+        geo.push_back(geomeanSpeedup(v));
+    printRow("gmean-" + category, geo);
+    std::printf("\n");
+}
+
+} // namespace vpbench
+
+#endif // VPSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 1 — Change in useful IPC with oracle value prediction.
+ *
+ * Conditions (paper Section 5.1): oracle predictor, ILP-pred load
+ * selector, 1-cycle spawn, unbounded store buffer; series are STVP and
+ * MTVP with 2/4/8 total hardware contexts, each as percent speedup over
+ * the no-value-prediction Table-1 baseline, for SPECint and SPECfp.
+ */
+
+#include "bench_util.hh"
+
+using namespace vpbench;
+
+int
+main()
+{
+    setVerbose(false);
+    printTitle("Figure 1: oracle value prediction potential "
+               "(STVP vs MTVP x {2,4,8}, ILP-pred)");
+
+    SimConfig base = baseConfig();
+
+    auto oracle = [&](VpMode mode, int ctxs) {
+        SimConfig c = base;
+        c.vpMode = mode;
+        c.numContexts = ctxs;
+        c.predictor = PredictorKind::Oracle;
+        c.selector = SelectorKind::IlpPred;
+        c.spawnLatency = 1;
+        c.storeBufferSize = 0; // Unbounded (Section 5.1 idealization).
+        return c;
+    };
+
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"stvp", oracle(VpMode::Stvp, 1)},
+        {"mtvp2", oracle(VpMode::Mtvp, 2)},
+        {"mtvp4", oracle(VpMode::Mtvp, 4)},
+        {"mtvp8", oracle(VpMode::Mtvp, 8)},
+    };
+
+    Runner runner;
+    speedupTable(runner, "int", intSet(false), base, configs);
+    speedupTable(runner, "fp", fpSet(false), base, configs);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 2 — Sensitivity to the thread-spawn (rename-map flash-copy)
+ * latency: average speedups at 1-, 8- and 16-cycle spawn penalties for
+ * STVP and MTVP x {2,4,8} with the oracle predictor (Section 5.2).
+ * The paper reports category averages; we print those (per-workload
+ * rows available via MTVP_SET=full).
+ */
+
+#include "bench_util.hh"
+
+using namespace vpbench;
+
+int
+main()
+{
+    setVerbose(false);
+    printTitle("Figure 2: spawn-latency sensitivity (oracle, ILP-pred)");
+
+    SimConfig base = baseConfig();
+    Runner runner;
+
+    auto cfgFor = [&](VpMode mode, int ctxs, int latency) {
+        SimConfig c = base;
+        c.vpMode = mode;
+        c.numContexts = ctxs;
+        c.predictor = PredictorKind::Oracle;
+        c.selector = SelectorKind::IlpPred;
+        c.spawnLatency = latency;
+        c.storeBufferSize = 0;
+        return c;
+    };
+
+    for (int latency : {1, 8, 16}) {
+        std::printf("-- spawn latency %d cycles --\n", latency);
+        std::vector<std::pair<std::string, SimConfig>> configs = {
+            {"stvp", cfgFor(VpMode::Stvp, 1, latency)},
+            {"mtvp2", cfgFor(VpMode::Mtvp, 2, latency)},
+            {"mtvp4", cfgFor(VpMode::Mtvp, 4, latency)},
+            {"mtvp8", cfgFor(VpMode::Mtvp, 8, latency)},
+        };
+        speedupTable(runner, "int", intSet(true), base, configs);
+        speedupTable(runner, "fp", fpSet(true), base, configs);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 3 — Change in useful IPC with the realistic Wang-Franklin
+ * hybrid predictor: 4K-entry VHT (5 learned values + hardwired 0/1 +
+ * stride), 32K-entry ValPHT, confidence +1/-8 with threshold 12 and max
+ * 32, 8-cycle spawn latency, 128-entry store buffers (Section 5.4).
+ */
+
+#include "bench_util.hh"
+
+using namespace vpbench;
+
+int
+main()
+{
+    setVerbose(false);
+    printTitle("Figure 3: realistic Wang-Franklin predictor "
+               "(8-cycle spawn, 128-entry store buffer)");
+
+    SimConfig base = baseConfig();
+    Runner runner;
+
+    auto wf = [&](VpMode mode, int ctxs) {
+        SimConfig c = base;
+        c.vpMode = mode;
+        c.numContexts = ctxs;
+        c.predictor = PredictorKind::WangFranklin;
+        c.selector = SelectorKind::IlpPred;
+        c.spawnLatency = 8;
+        c.storeBufferSize = 128;
+        return c;
+    };
+
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"stvp", wf(VpMode::Stvp, 1)},
+        {"mtvp2", wf(VpMode::Mtvp, 2)},
+        {"mtvp4", wf(VpMode::Mtvp, 4)},
+        {"mtvp8", wf(VpMode::Mtvp, 8)},
+    };
+
+    speedupTable(runner, "int", intSet(false), base, configs);
+    speedupTable(runner, "fp", fpSet(false), base, configs);
+    return 0;
+}

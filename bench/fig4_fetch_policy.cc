@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4 — Fetch-policy comparison (Section 5.5): single fetch path
+ * (the parent stops fetching after spawning; the paper's default) versus
+ * the no-stall policy where the parent keeps fetching its own copy of
+ * the post-load path under ICOUNT arbitration. The paper found no-stall
+ * "highly counterproductive".
+ */
+
+#include "bench_util.hh"
+
+using namespace vpbench;
+
+int
+main()
+{
+    setVerbose(false);
+    printTitle("Figure 4: fetch policy after an MTVP spawn "
+               "(Wang-Franklin, mtvp8)");
+
+    SimConfig base = baseConfig();
+    Runner runner;
+
+    auto wf = [&](VpMode mode, FetchPolicy policy) {
+        SimConfig c = base;
+        c.vpMode = mode;
+        c.numContexts = mode == VpMode::Stvp ? 1 : 8;
+        c.predictor = PredictorKind::WangFranklin;
+        c.selector = SelectorKind::IlpPred;
+        c.fetchPolicy = policy;
+        c.spawnLatency = 8;
+        c.storeBufferSize = 128;
+        return c;
+    };
+
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"stvp", wf(VpMode::Stvp, FetchPolicy::SingleFetchPath)},
+        {"mtvp-sfp", wf(VpMode::Mtvp, FetchPolicy::SingleFetchPath)},
+        {"mtvp-nostall", wf(VpMode::Mtvp, FetchPolicy::NoStall)},
+    };
+
+    speedupTable(runner, "int", intSet(false), base, configs);
+    speedupTable(runner, "fp", fpSet(false), base, configs);
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the
+ * value predictors, the branch predictor, the cache tag model, and the
+ * functional emulator. These bound the simulator's own performance
+ * rather than reproducing a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/branch_predictor.hh"
+#include "emu/emulator.hh"
+#include "emu/memory.hh"
+#include "isa/assembler.hh"
+#include "mem/cache.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "vpred/dfcm.hh"
+#include "vpred/stride.hh"
+#include "vpred/wang_franklin.hh"
+
+namespace
+{
+
+using namespace vpsim;
+
+template <typename Predictor>
+void
+predictTrainLoop(benchmark::State &state)
+{
+    SimConfig cfg;
+    Predictor pred(cfg);
+    Rng rng(42);
+    uint64_t value = 0;
+    for (auto _ : state) {
+        Addr pc = 0x1000 + (rng.next() & 0xff) * 4;
+        value += 64;
+        ValuePrediction p = pred.predict(pc, value);
+        benchmark::DoNotOptimize(p);
+        pred.train(pc, value);
+    }
+}
+
+void
+BM_WangFranklin(benchmark::State &state)
+{
+    predictTrainLoop<WangFranklinPredictor>(state);
+}
+
+void
+BM_Dfcm(benchmark::State &state)
+{
+    predictTrainLoop<DfcmPredictor>(state);
+}
+
+void
+BM_Stride(benchmark::State &state)
+{
+    predictTrainLoop<StridePredictor>(state);
+}
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    StatGroup stats;
+    BranchPredictor bp(stats, 16384, 65536, 65536, 1);
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr pc = 0x2000 + (rng.next() & 0x3ff) * 4;
+        bool taken = (pc >> 4) & 1;
+        bool p = bp.predict(pc, 0);
+        benchmark::DoNotOptimize(p);
+        bp.update(pc, 0, taken);
+    }
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    StatGroup stats;
+    Cache cache(stats, "bm", 64 * 1024, 2, 64);
+    Rng rng(11);
+    for (auto _ : state) {
+        Addr addr = (rng.next() & 0xfffff) & ~Addr{7};
+        CacheAccess a = cache.access(addr, false);
+        benchmark::DoNotOptimize(a);
+    }
+}
+
+void
+BM_Emulator(benchmark::State &state)
+{
+    MainMemory mem;
+    Program prog = assemble(R"(
+        li   r1, 1048576
+        addi r2, r0, 0
+    loop:
+        ld   r3, 0(r1)
+        add  r2, r2, r3
+        addi r1, r1, 8
+        andi r4, r2, 1023
+        bne  r4, r0, loop
+        b    loop
+    )");
+    mem.loadProgram(prog);
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = prog.base;
+    for (auto _ : state) {
+        EmuStep s = emu.step(st, nullptr);
+        benchmark::DoNotOptimize(s);
+    }
+}
+
+BENCHMARK(BM_WangFranklin);
+BENCHMARK(BM_Dfcm);
+BENCHMARK(BM_Stride);
+BENCHMARK(BM_BranchPredictor);
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_Emulator);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Domain example 1 — the paper's motivating scenario: a pointer-chasing
+ * workload (the mcf mimic) whose serial chain of 1000-cycle misses
+ * defeats out-of-order execution, single-threaded value prediction, and
+ * the stride prefetcher alike, but falls to threaded value prediction.
+ *
+ * Walks through the baseline, STVP, and MTVP-with-increasing-contexts
+ * machines and explains each result.
+ */
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+SimResult
+report(const char *label, const SimConfig &cfg, const SimResult *base)
+{
+    SimResult r = runWorkload(cfg, "mcf");
+    std::printf("%-28s %9llu cycles  IPC %6.4f", label,
+                static_cast<unsigned long long>(r.cycles), r.usefulIpc);
+    if (base != nullptr)
+        std::printf("  (%+.1f%%)", percentSpeedup(*base, r));
+    std::printf("\n");
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("mcf-style network-simplex pointer chase, 20k useful "
+                "instructions\n");
+    std::printf("memory latency: 1000 cycles; the chase's next-node "
+                "loads mostly miss to memory\n\n");
+
+    SimConfig base;
+    base.maxInsts = 20000;
+    SimResult b = report("baseline (no VP)", base, nullptr);
+
+    std::printf("\n-- single-threaded value prediction: the predicted "
+                "load unblocks its dependents,\n   but nothing past the "
+                "load can commit, so the window still fills --\n");
+    SimConfig stvp = base;
+    stvp.vpMode = VpMode::Stvp;
+    stvp.predictor = PredictorKind::Oracle;
+    stvp.selector = SelectorKind::IlpPred;
+    report("stvp (oracle)", stvp, &b);
+
+    std::printf("\n-- threaded value prediction: the speculative stream "
+                "commits in its own context,\n   so each context parks "
+                "on one miss and the chain overlaps --\n");
+    for (int ctxs : {2, 4, 8}) {
+        SimConfig mtvp = base;
+        mtvp.vpMode = VpMode::Mtvp;
+        mtvp.numContexts = ctxs;
+        mtvp.predictor = PredictorKind::Oracle;
+        mtvp.selector = SelectorKind::IlpPred;
+        mtvp.spawnLatency = 1;
+        mtvp.storeBufferSize = 0;
+        char label[64];
+        std::snprintf(label, sizeof(label), "mtvp, %d contexts (oracle)",
+                      ctxs);
+        SimResult r = report(label, mtvp, &b);
+        std::printf("    spawns=%.0f promotes=%.0f kills=%.0f\n",
+                    r.stat("mtvp.spawns"), r.stat("mtvp.promotes"),
+                    r.stat("mtvp.kills"));
+    }
+
+    std::printf("\n-- with the realistic Wang-Franklin predictor --\n");
+    SimConfig wf = base;
+    wf.vpMode = VpMode::Mtvp;
+    wf.numContexts = 8;
+    wf.predictor = PredictorKind::WangFranklin;
+    wf.selector = SelectorKind::IlpPred;
+    wf.spawnLatency = 8;
+    wf.storeBufferSize = 128;
+    report("mtvp8 (wang-franklin)", wf, &b);
+    return 0;
+}

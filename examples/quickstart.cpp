@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: run one workload on a baseline core and on an MTVP core,
+ * and print the useful-IPC speedup — the paper's headline measurement.
+ *
+ * Usage: quickstart [workload] [insts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/simulation.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vpsim;
+
+    std::string name = argc > 1 ? argv[1] : "mcf";
+    uint64_t insts = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 30000;
+
+    if (findWorkload(name) == nullptr) {
+        std::cerr << "unknown workload '" << name << "'. Available:\n";
+        for (const Workload *w : allWorkloads())
+            std::cerr << "  " << w->name() << " - " << w->description()
+                      << "\n";
+        return 1;
+    }
+
+    // Baseline: Table-1 machine, no value prediction.
+    SimConfig base;
+    base.vpMode = VpMode::None;
+    base.maxInsts = insts;
+
+    // MTVP: 4 hardware contexts, Wang-Franklin predictor, ILP-pred
+    // selector, single fetch path (the paper's realistic default).
+    SimConfig mtvp = base;
+    mtvp.vpMode = VpMode::Mtvp;
+    mtvp.numContexts = 4;
+    mtvp.predictor = PredictorKind::WangFranklin;
+    mtvp.selector = SelectorKind::IlpPred;
+
+    std::cout << "workload: " << name << " (" << insts
+              << " useful instructions)\n";
+
+    SimResult b = runWorkload(base, name);
+    std::cout << "  baseline : " << b.cycles << " cycles, IPC "
+              << b.usefulIpc << "\n";
+
+    SimResult m = runWorkload(mtvp, name);
+    std::cout << "  mtvp4/wf : " << m.cycles << " cycles, IPC "
+              << m.usefulIpc << "\n";
+    std::cout << "  spawns=" << m.stat("mtvp.spawns")
+              << " promotes=" << m.stat("mtvp.promotes")
+              << " kills=" << m.stat("mtvp.kills")
+              << " vpCorrect=" << m.stat("vp.correct")
+              << " vpIncorrect=" << m.stat("vp.incorrect") << "\n";
+    std::cout << "  speedup  : " << percentSpeedup(b, m) << "%\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "bpred/branch_predictor.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+// History lengths of the two skewed banks (EV8-style unequal lengths).
+constexpr int g0HistLen = 13;
+constexpr int g1HistLen = 21;
+constexpr int metaHistLen = 13;
+
+uint64_t
+histBits(uint64_t hist, int len)
+{
+    return hist & ((uint64_t{1} << len) - 1);
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(StatGroup &stats, uint32_t bimodalEntries,
+                                 uint32_t gshareEntries,
+                                 uint32_t metaEntries, int maxContexts)
+    : _bim(bimodalEntries, 2),
+      _g0(gshareEntries, 2),
+      _g1(gshareEntries, 2),
+      _meta(metaEntries, 2),
+      _history(static_cast<size_t>(maxContexts), 0),
+      _lookups(stats, "bpred.lookups", "conditional branches predicted"),
+      _mispredicts(stats, "bpred.mispredicts", "direction mispredictions")
+{
+    vpsim_assert(bimodalEntries > 0 && gshareEntries > 0 &&
+                 metaEntries > 0);
+}
+
+uint32_t
+BranchPredictor::bimIndex(Addr pc) const
+{
+    return static_cast<uint32_t>(pc >> 2) %
+           static_cast<uint32_t>(_bim.size());
+}
+
+uint32_t
+BranchPredictor::g0Index(Addr pc, uint64_t hist) const
+{
+    uint64_t h = histBits(hist, g0HistLen);
+    return static_cast<uint32_t>((pc >> 2) ^ h) %
+           static_cast<uint32_t>(_g0.size());
+}
+
+uint32_t
+BranchPredictor::g1Index(Addr pc, uint64_t hist) const
+{
+    uint64_t h = histBits(hist, g1HistLen);
+    // Skew: different pc shift and a multiplicative scramble.
+    return static_cast<uint32_t>(((pc >> 3) * 0x9e3779b1u) ^ (h * 3)) %
+           static_cast<uint32_t>(_g1.size());
+}
+
+uint32_t
+BranchPredictor::metaIndex(Addr pc, uint64_t hist) const
+{
+    uint64_t h = histBits(hist, metaHistLen);
+    return static_cast<uint32_t>((pc >> 2) ^ (h << 1)) %
+           static_cast<uint32_t>(_meta.size());
+}
+
+bool
+BranchPredictor::predict(Addr pc, CtxId ctx) const
+{
+    ++_lookups;
+    uint64_t hist = _history[static_cast<size_t>(ctx)];
+    bool bimP = counterTaken(_bim[bimIndex(pc)]);
+    bool g0P = counterTaken(_g0[g0Index(pc, hist)]);
+    bool g1P = counterTaken(_g1[g1Index(pc, hist)]);
+    bool majority = (bimP + g0P + g1P) >= 2;
+    bool useMajority = counterTaken(_meta[metaIndex(pc, hist)]);
+    return useMajority ? majority : bimP;
+}
+
+void
+BranchPredictor::bump(uint8_t &c, bool up)
+{
+    if (up) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+void
+BranchPredictor::update(Addr pc, CtxId ctx, bool taken)
+{
+    uint64_t &hist = _history[static_cast<size_t>(ctx)];
+    uint8_t &bim = _bim[bimIndex(pc)];
+    uint8_t &g0 = _g0[g0Index(pc, hist)];
+    uint8_t &g1 = _g1[g1Index(pc, hist)];
+    uint8_t &meta = _meta[metaIndex(pc, hist)];
+
+    bool bimP = counterTaken(bim);
+    bool g0P = counterTaken(g0);
+    bool g1P = counterTaken(g1);
+    bool majority = (bimP + g0P + g1P) >= 2;
+    bool useMajority = counterTaken(meta);
+    bool predicted = useMajority ? majority : bimP;
+
+    if (predicted != taken)
+        ++_mispredicts;
+
+    // Meta trains toward whichever component was right when they differ.
+    if (majority != bimP)
+        bump(meta, majority == taken);
+
+    // Partial update: on a correct prediction only strengthen the banks
+    // that agreed; on a misprediction retrain everything.
+    if (predicted == taken) {
+        if (bimP == taken)
+            bump(bim, taken);
+        if (g0P == taken)
+            bump(g0, taken);
+        if (g1P == taken)
+            bump(g1, taken);
+    } else {
+        bump(bim, taken);
+        bump(g0, taken);
+        bump(g1, taken);
+    }
+
+    hist = (hist << 1) | (taken ? 1 : 0);
+}
+
+void
+BranchPredictor::copyHistory(CtxId from, CtxId to)
+{
+    _history[static_cast<size_t>(to)] = _history[static_cast<size_t>(from)];
+}
+
+} // namespace vpsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Direction predictor: 2bcgskew as in Table 1 — a 16K-entry bimodal
+ * table, two 64K-entry skewed gshare banks, and a 64K-entry meta table
+ * choosing between the bimodal prediction and the three-bank majority
+ * vote. Prediction tables are shared across SMT contexts; each context
+ * keeps its own global-history register.
+ */
+
+#ifndef VPSIM_BPRED_BRANCH_PREDICTOR_HH
+#define VPSIM_BPRED_BRANCH_PREDICTOR_HH
+
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** 2bcgskew conditional-branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(StatGroup &stats, uint32_t bimodalEntries,
+                    uint32_t gshareEntries, uint32_t metaEntries,
+                    int maxContexts);
+
+    /** Predict the direction of the branch at @p pc on context @p ctx. */
+    bool predict(Addr pc, CtxId ctx) const;
+
+    /** Train with the resolved outcome and advance @p ctx's history. */
+    void update(Addr pc, CtxId ctx, bool taken);
+
+    /** Copy context @p from's history register to @p to (thread spawn). */
+    void copyHistory(CtxId from, CtxId to);
+
+    uint64_t lookups() const { return _lookups.count(); }
+    uint64_t mispredicts() const { return _mispredicts.count(); }
+
+  private:
+    uint32_t bimIndex(Addr pc) const;
+    uint32_t g0Index(Addr pc, uint64_t hist) const;
+    uint32_t g1Index(Addr pc, uint64_t hist) const;
+    uint32_t metaIndex(Addr pc, uint64_t hist) const;
+
+    static bool counterTaken(uint8_t c) { return c >= 2; }
+    static void bump(uint8_t &c, bool up);
+
+    std::vector<uint8_t> _bim;
+    std::vector<uint8_t> _g0;
+    std::vector<uint8_t> _g1;
+    std::vector<uint8_t> _meta;
+    std::vector<uint64_t> _history; // per context
+
+    mutable Scalar _lookups;
+    Scalar _mispredicts;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_BPRED_BRANCH_PREDICTOR_HH

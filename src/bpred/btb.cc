@@ -1,0 +1,63 @@
+#include "bpred/btb.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+Btb::Btb(StatGroup &stats, uint32_t entries)
+    : _entries(entries),
+      _lookups(stats, "btb.lookups", "BTB lookups"),
+      _hits(stats, "btb.hits", "BTB hits")
+{
+    vpsim_assert(entries > 0);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc) const
+{
+    ++_lookups;
+    const Entry &e = _entries[(pc >> 2) % _entries.size()];
+    if (e.valid && e.pc == pc) {
+        ++_hits;
+        return e.target;
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry &e = _entries[(pc >> 2) % _entries.size()];
+    e.pc = pc;
+    e.target = target;
+    e.valid = true;
+}
+
+ReturnAddressStack::ReturnAddressStack(int depth)
+    : _stack(static_cast<size_t>(depth), 0)
+{
+    vpsim_assert(depth > 0);
+}
+
+void
+ReturnAddressStack::push(Addr returnPc)
+{
+    _stack[static_cast<size_t>(_top)] = returnPc;
+    _top = (_top + 1) % static_cast<int>(_stack.size());
+    if (_size < static_cast<int>(_stack.size()))
+        ++_size;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (_size == 0)
+        return 0;
+    _top = (_top - 1 + static_cast<int>(_stack.size())) %
+           static_cast<int>(_stack.size());
+    --_size;
+    return _stack[static_cast<size_t>(_top)];
+}
+
+} // namespace vpsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Branch target buffer and per-context return-address stacks. The BTB
+ * supplies targets for taken control flow at fetch; the RAS predicts
+ * returns (jalr through r31).
+ */
+
+#ifndef VPSIM_BPRED_BTB_HH
+#define VPSIM_BPRED_BTB_HH
+
+#include <optional>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** Direct-mapped tagged BTB. */
+class Btb
+{
+  public:
+    Btb(StatGroup &stats, uint32_t entries);
+
+    /** Predicted target for the control instruction at @p pc, if known. */
+    std::optional<Addr> lookup(Addr pc) const;
+
+    /** Record the resolved target. */
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> _entries;
+    mutable Scalar _lookups;
+    mutable Scalar _hits;
+};
+
+/** Fixed-depth return-address stack (wraps on overflow). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(int depth);
+
+    void push(Addr returnPc);
+    /** Pop the predicted return target (0 if empty). */
+    Addr pop();
+    bool empty() const { return _size == 0; }
+
+    ReturnAddressStack(const ReturnAddressStack &) = default;
+    ReturnAddressStack &operator=(const ReturnAddressStack &) = default;
+
+  private:
+    std::vector<Addr> _stack;
+    int _top = 0;
+    int _size = 0;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_BPRED_BTB_HH

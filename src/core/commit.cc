@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Commit stage plus the MTVP controller: in-order per-context commit
+ * (speculative contexts commit into their store segments), value
+ * prediction confirmation, selective reissue on STVP mispredictions,
+ * thread promotion/kill on MTVP resolutions, and the store-buffer drain
+ * engine.
+ */
+
+#include <algorithm>
+
+#include "core/cpu.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** Store-buffer drain bandwidth (entries per cycle). */
+constexpr int drainRate = 8;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+Cpu::commitStage()
+{
+    int n = _cfg.numContexts;
+    _commitRotor = (_commitRotor + 1) % n;
+    int budget = _cfg.commitWidth;
+    for (int i = 0; i < n && budget > 0; ++i) {
+        ThreadContext &tc = _ctxs[static_cast<size_t>((_commitRotor + i) %
+                                                      n)];
+        while (budget > 0 && tc.active && commitOne(tc))
+            --budget;
+    }
+}
+
+bool
+Cpu::commitOne(ThreadContext &tc)
+{
+    if (tc.rob.empty())
+        return false;
+    DynInstPtr head = tc.rob.front();
+    if (!head->completedBy(_now))
+        return false;
+
+    // A load with an open prediction / spawn / measurement entry may not
+    // commit until the entry resolves.
+    int pendingIdx = -1;
+    if (head->isLoad()) {
+        for (size_t i = 0; i < _pending.size(); ++i) {
+            if (_pending[i].load == head) {
+                pendingIdx = static_cast<int>(i);
+                break;
+            }
+        }
+        if (pendingIdx >= 0 &&
+            !_pending[static_cast<size_t>(pendingIdx)].resolved) {
+            return false;
+        }
+    }
+
+    if (head->isStore()) {
+        int cap = _cfg.storeBufferSize;
+        if (cap > 0 && tc.storeBufferOccupancy() >= cap) {
+            ++_statSbStalls;
+            return false;
+        }
+        head->targetSegment->addResidentStore(head->emu.effAddr);
+        head->targetSegment->removePendingCommit();
+        auto &infl = _inflightStores[static_cast<size_t>(tc.id)];
+        vpsim_assert(!infl.empty() && infl.front() == head,
+                     "inflight-store list out of sync");
+        infl.pop_front();
+    }
+
+    if (head->isLoad())
+        _vpred->train(head->emu.pc, head->emu.memValue);
+
+    if (head->prevDest != invalidPhysReg)
+        poolFor(head->emu.inst.rd).release(head->prevDest);
+
+    // A committed instruction can never be reissued; drop any still-open
+    // prediction dependence so its issue-queue entry is reclaimed (a
+    // speculative child can commit past its parent's open predictions).
+    head->vpDependMask = 0;
+
+    tc.rob.pop_front();
+    --_robOccupancy;
+    ++tc.committedInsts;
+    if (tc.activeSpawnSeq != 0 && head->seq > tc.activeSpawnSeq)
+        ++tc.committedPostSpawn;
+    ++_statCommitsTotal;
+    _lastCommitCycle = _now;
+
+    if (head->emu.inst.isHalt()) {
+        tc.haltedCommitted = true;
+        if (tc.id == _root)
+            _finished = true;
+    }
+
+    if (pendingIdx >= 0) {
+        PendingLoad pl = std::move(_pending[static_cast<size_t>(
+            pendingIdx)]);
+        _pending.erase(_pending.begin() + pendingIdx);
+        vpsim_assert(pl.resolved && pl.winner != invalidCtx);
+        promoteChild(pl, pl.winner);
+    }
+
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Prediction resolution
+// ---------------------------------------------------------------------
+
+void
+Cpu::resolvePendingLoads()
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < _pending.size(); ++i) {
+            PendingLoad &pl = _pending[i];
+            vpsim_assert(!pl.load->squashed,
+                         "squashed load left in pending list");
+            if (pl.resolved)
+                continue;
+            if (!pl.load->issued || _now < pl.load->readyCycle)
+                continue;
+            // Move the entry out first: resolveOne can kill subtrees,
+            // which erases other _pending entries and would invalidate
+            // a reference into the vector.
+            PendingLoad moved = std::move(pl);
+            _pending.erase(_pending.begin() + static_cast<long>(i));
+            resolveOne(moved);
+            if (moved.resolved) {
+                // A winner is waiting for the load to commit.
+                _pending.push_back(std::move(moved));
+            }
+            changed = true;
+            break;
+        }
+    }
+}
+
+void
+Cpu::resolveOne(PendingLoad &pl)
+{
+    DynInstPtr load = pl.load;
+    RegVal actual = load->emu.memValue;
+    ThreadContext &tc = ctx(load->ctx);
+
+    switch (pl.choice) {
+      case VpChoice::None:
+        closeIlpWindow(load->ilpWindow, VpChoice::None);
+        load->ilpWindow = -1;
+        return;
+
+      case VpChoice::Stvp: {
+        bool correct = load->vpValue == actual;
+        if (correct) {
+            ++_statVpCorrect;
+        } else {
+            ++_statVpIncorrect;
+            reissueDependents(load->vpTag, load->readyCycle);
+            // Any thread spawned downstream of this load received a
+            // flash-copied map containing the bad value: kill it (the
+            // parent resumes past its spawn load with the true values).
+            killChildrenSpawnedAfter(tc, load->seq);
+        }
+        freeVpTag(load->vpTag);
+        load->vpTag = -1;
+        // From here on the load behaves like an ordinary one: later
+        // reissues (from other mispredictions) retime its destination.
+        load->vpPredicted = false;
+        vpsim_assert(tc.openStvp > 0);
+        --tc.openStvp;
+        closeIlpWindow(load->ilpWindow, VpChoice::Stvp);
+        load->ilpWindow = -1;
+        return;
+      }
+
+      case VpChoice::Mtvp:
+        break;
+    }
+
+    // MTVP resolution: promote the child whose value matched (if any),
+    // kill everything else.
+    int winnerIdx = -1;
+    for (size_t c = 0; c < pl.children.size(); ++c) {
+        if (pl.spawnOnly || pl.children[c].value == actual) {
+            winnerIdx = static_cast<int>(c);
+            break;
+        }
+    }
+
+    for (size_t c = 0; c < pl.children.size(); ++c) {
+        if (static_cast<int>(c) != winnerIdx)
+            killSubtree(pl.children[c].ctx);
+    }
+
+    if (winnerIdx >= 0) {
+        ChildRec &w = pl.children[static_cast<size_t>(winnerIdx)];
+        if (pl.spawnOnly && w.destPreg != invalidPhysReg) {
+            // The real value arrives now; un-block the child's consumers.
+            poolFor(w.destLogical).setReadyAt(w.destPreg,
+                                              load->readyCycle);
+        }
+        if (!pl.spawnOnly)
+            ++_statVpCorrect;
+        pl.winner = w.ctx;
+        pl.resolved = true;
+        closeIlpWindow(load->ilpWindow, VpChoice::Mtvp);
+        load->ilpWindow = -1;
+        return;
+    }
+
+    // Every speculated value was wrong: the parent carries on with the
+    // true value and resumes fetching past the load.
+    ++_statVpIncorrect;
+    pl.children.clear();
+    tc.activeSpawnSeq = 0;
+    tc.committedPostSpawn = 0;
+    load->spawnedThread = false;
+    if (_cfg.fetchPolicy == FetchPolicy::SingleFetchPath) {
+        vpsim_assert(tc.fetchQueue.empty());
+        tc.fetchStopped = false;
+        tc.fetchPc = load->emu.nextPc;
+    }
+    closeIlpWindow(load->ilpWindow, VpChoice::Mtvp);
+    load->ilpWindow = -1;
+}
+
+// ---------------------------------------------------------------------
+// Thread promotion and kill
+// ---------------------------------------------------------------------
+
+void
+Cpu::detachChildFromParent(ThreadContext &child)
+{
+    if (child.parent == invalidCtx)
+        return;
+    ThreadContext &p = ctx(child.parent);
+    auto it = std::find(p.children.begin(), p.children.end(), child.id);
+    if (it != p.children.end())
+        p.children.erase(it);
+}
+
+void
+Cpu::promoteChild(PendingLoad &pl, CtxId winner)
+{
+    ThreadContext &parent = ctx(pl.load->ctx);
+    ThreadContext &child = ctx(winner);
+    vpsim_assert(parent.active && child.active);
+
+    // Discard the parent's losing post-spawn future (no-stall mode) —
+    // instructions and stores younger than the spawn point.
+    squashYoungerThan(parent, pl.load->seq);
+
+    // The parent's post-spawn segment is the losing alternative; it must
+    // never reach memory.
+    vpsim_assert(parent.segment->residentStores() == 0,
+                 "post-spawn stores committed before resolution");
+    vpsim_assert(!parent.ownedSegments.empty() &&
+                 parent.ownedSegments.back() == parent.segment);
+    parent.ownedSegments.pop_back();
+
+    // The winner inherits the thread's past: the parent's position in
+    // the tree, its useful-work count, and its undrained segments.
+    uint64_t contribution = parent.committedInsts -
+                            parent.committedPostSpawn;
+    child.parent = parent.parent;
+    if (parent.parent != invalidCtx) {
+        ThreadContext &gp = ctx(parent.parent);
+        std::replace(gp.children.begin(), gp.children.end(), parent.id,
+                     winner);
+    }
+    // Reparent any *other* children the parent still has (none under the
+    // one-outstanding-spawn rule, but keep the tree consistent).
+    for (CtxId other : parent.children) {
+        if (other != winner) {
+            ctx(other).parent = winner;
+            child.children.push_back(other);
+        }
+    }
+    child.ownedSegments.insert(
+        child.ownedSegments.begin(),
+        std::make_move_iterator(parent.ownedSegments.begin()),
+        std::make_move_iterator(parent.ownedSegments.end()));
+    parent.ownedSegments.clear();
+
+    bool wasRoot = _root == parent.id;
+    if (wasRoot) {
+        _usefulBase += contribution;
+        _root = winner;
+    } else {
+        child.committedInsts += contribution;
+    }
+
+    // The winner takes over the parent's identity: any outer pending
+    // spawn that listed the parent as a speculative child now owns the
+    // winner instead (chains of spawns resolve out of order).
+    for (PendingLoad &other : _pending) {
+        for (ChildRec &cr : other.children) {
+            if (cr.ctx == parent.id)
+                cr.ctx = winner;
+        }
+        if (other.winner == parent.id)
+            other.winner = winner;
+    }
+
+    deactivateContext(parent);
+
+    if (_root == winner) {
+        enqueueDrainable(child);
+        if (child.haltedCommitted)
+            _finished = true;
+    }
+    ++_statPromotes;
+}
+
+void
+Cpu::killChildrenSpawnedAfter(ThreadContext &tc, InstSeqNum seq)
+{
+    if (tc.activeSpawnSeq == 0 || tc.activeSpawnSeq <= seq)
+        return;
+    for (size_t i = 0; i < _pending.size(); ++i) {
+        PendingLoad &pl = _pending[i];
+        if (pl.load->ctx != tc.id || pl.load->seq != tc.activeSpawnSeq ||
+            !pl.load->spawnedThread) {
+            continue;
+        }
+        PendingLoad moved = std::move(pl);
+        _pending.erase(_pending.begin() + static_cast<long>(i));
+        for (const ChildRec &cr : moved.children) {
+            if (ctx(cr.ctx).active)
+                killSubtree(cr.ctx);
+        }
+        if (moved.load->ilpWindow >= 0) {
+            cancelIlpWindow(moved.load->ilpWindow);
+            moved.load->ilpWindow = -1;
+        }
+        moved.load->spawnedThread = false;
+        tc.activeSpawnSeq = 0;
+        tc.committedPostSpawn = 0;
+        if (_cfg.fetchPolicy == FetchPolicy::SingleFetchPath) {
+            tc.fetchStopped = false;
+            tc.fetchQueue.clear();
+            tc.fetchPc = moved.load->emu.nextPc;
+        }
+        return;
+    }
+}
+
+void
+Cpu::enqueueDrainable(ThreadContext &tc)
+{
+    for (auto &seg : tc.ownedSegments) {
+        if (seg->frozen() && !seg->drainQueued()) {
+            seg->markDrainQueued();
+            _drainQueue.push_back(seg);
+        }
+    }
+}
+
+void
+Cpu::squashYoungerThan(ThreadContext &tc, InstSeqNum seq)
+{
+    auto &infl = _inflightStores[static_cast<size_t>(tc.id)];
+    while (!tc.rob.empty() && tc.rob.back()->seq > seq) {
+        DynInstPtr di = tc.rob.back();
+
+        // Cancel anything hanging off this instruction.
+        if (di->spawnedThread || di->vpPredicted || di->ilpWindow >= 0) {
+            for (size_t i = 0; i < _pending.size(); ++i) {
+                if (_pending[i].load != di)
+                    continue;
+                PendingLoad pl = std::move(_pending[i]);
+                _pending.erase(_pending.begin() + static_cast<long>(i));
+                for (const ChildRec &cr : pl.children) {
+                    // Children may already be dead when the squash came
+                    // from killSubtree (they are killed before the ROB
+                    // walk reaches the spawning load).
+                    if (ctx(cr.ctx).active)
+                        killSubtree(cr.ctx);
+                }
+                break;
+            }
+            if (di->vpPredicted && di->vpTag >= 0) {
+                freeVpTag(di->vpTag);
+                di->vpTag = -1;
+                vpsim_assert(tc.openStvp > 0);
+                --tc.openStvp;
+            }
+            if (di->spawnedThread && tc.activeSpawnSeq == di->seq) {
+                tc.activeSpawnSeq = 0;
+                tc.committedPostSpawn = 0;
+            }
+            if (di->ilpWindow >= 0) {
+                // Cancel without training the selector.
+                cancelIlpWindow(di->ilpWindow);
+                di->ilpWindow = -1;
+            }
+        }
+
+        if (di->isStore()) {
+            di->targetSegment->removePendingCommit();
+            auto it = std::find(infl.rbegin(), infl.rend(), di);
+            vpsim_assert(it != infl.rend());
+            infl.erase(std::next(it).base());
+        }
+
+        if (di->physDest != invalidPhysReg) {
+            tc.map[static_cast<size_t>(di->emu.inst.rd)] = di->prevDest;
+            poolFor(di->emu.inst.rd).release(di->physDest);
+        }
+
+        if (!di->everIssued) {
+            vpsim_assert(tc.preIssueCount > 0);
+            --tc.preIssueCount;
+        }
+        di->squashed = true;
+        tc.rob.pop_back();
+        --_robOccupancy;
+    }
+    _iq.purgeSquashed();
+    _fq.purgeSquashed();
+    _mq.purgeSquashed();
+}
+
+void
+Cpu::releaseContextRegs(ThreadContext &tc)
+{
+    for (int r = 0; r < numLogicalRegs; ++r) {
+        PhysReg p = tc.map[static_cast<size_t>(r)];
+        if (p != invalidPhysReg)
+            poolFor(r).release(p);
+    }
+}
+
+void
+Cpu::deactivateContext(ThreadContext &tc)
+{
+    vpsim_assert(tc.rob.empty(), "deactivating a context with a live ROB");
+    vpsim_assert(_inflightStores[static_cast<size_t>(tc.id)].empty());
+    releaseContextRegs(tc);
+    CtxId id = tc.id;
+    tc.reset();
+    tc.id = id;
+}
+
+void
+Cpu::killSubtree(CtxId id)
+{
+    ThreadContext &tc = ctx(id);
+    vpsim_assert(tc.active, "killing an inactive context %d", id);
+    vpsim_assert(id != _root, "attempt to kill the architectural thread");
+
+    // Children first (their pending entries hang off this ROB, but their
+    // state is independent).
+    std::vector<CtxId> kids = tc.children;
+    for (CtxId c : kids)
+        killSubtree(c);
+
+    if (tc.waitingBranch)
+        tc.waitingBranch.reset();
+
+    squashYoungerThan(tc, 0);
+    vpsim_assert(tc.rob.empty());
+    detachChildFromParent(tc);
+    deactivateContext(tc);
+    ++_statKills;
+}
+
+// ---------------------------------------------------------------------
+// Store-buffer drain engine
+// ---------------------------------------------------------------------
+
+void
+Cpu::drainStoreBuffers()
+{
+    int budget = drainRate;
+    while (budget > 0) {
+        StoreSegment *target = nullptr;
+        if (!_drainQueue.empty()) {
+            auto &front = _drainQueue.front();
+            if (front->flushable()) {
+                front->flushTo(_mem);
+                _drainQueue.pop_front();
+                continue; // Retirement is free; keep going.
+            }
+            if (front->residentStores() == 0)
+                break; // Waiting on in-flight commits.
+            target = front.get();
+        } else {
+            ThreadContext &root = ctx(_root);
+            if (root.segment && root.segment->residentStores() > 0)
+                target = root.segment.get();
+        }
+        if (target == nullptr)
+            break;
+        _hier.storeDrain(target->drainResidentStore(), _now);
+        --budget;
+    }
+}
+
+} // namespace vpsim

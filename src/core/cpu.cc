@@ -1,0 +1,424 @@
+#include "core/cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+int
+poolCapacity(const SimConfig &cfg, int archRegsPerCtx)
+{
+    return archRegsPerCtx * cfg.numContexts + cfg.effRenameRegs();
+}
+
+} // namespace
+
+Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
+    : _cfg(cfg),
+      _mem(mem),
+      _stats("cpu"),
+      _emu(mem),
+      _hier(_stats, _cfg),
+      _bpred(_stats, cfg.bpredBimodalEntries, cfg.bpredGshareEntries,
+             cfg.bpredMetaEntries, cfg.numContexts),
+      _btb(_stats, cfg.btbEntries),
+      _vpred(makeValuePredictor(_cfg, _stats)),
+      _selector(makeLoadSelector(_cfg)),
+      _intRegs(poolCapacity(_cfg, numIntRegs)),
+      _fpRegs(poolCapacity(_cfg, numFpRegs)),
+      _intTaint(static_cast<size_t>(_intRegs.capacity()), 0),
+      _fpTaint(static_cast<size_t>(_fpRegs.capacity()), 0),
+      _iq(_stats, "iq", _cfg.effIqSize()),
+      _fq(_stats, "fq", _cfg.effFqSize()),
+      _mq(_stats, "mq", _cfg.effMqSize()),
+      _ctxs(static_cast<size_t>(_cfg.numContexts)),
+      _spawnSeq(static_cast<size_t>(_cfg.numContexts), 0),
+      _inflightStores(static_cast<size_t>(_cfg.numContexts)),
+      _statCommitsTotal(_stats, "commits.total",
+                        "instructions committed in any context"),
+      _statDispatched(_stats, "dispatch.total", "instructions dispatched"),
+      _statIssued(_stats, "issue.total", "instruction issue events"),
+      _statFetched(_stats, "fetch.insts", "instructions fetched"),
+      _statWrongPathFetched(_stats, "fetch.wrongPath",
+                            "wrong-path instructions flushed"),
+      _statVpFollowed(_stats, "vp.followed",
+                      "value predictions acted upon"),
+      _statVpStvp(_stats, "vp.stvp", "single-threaded value predictions"),
+      _statVpMtvp(_stats, "vp.mtvp", "threaded value predictions"),
+      _statVpCorrect(_stats, "vp.correct", "correct followed predictions"),
+      _statVpIncorrect(_stats, "vp.incorrect",
+                       "incorrect followed predictions"),
+      _statVpReissued(_stats, "vp.reissues",
+                      "instructions selectively reissued"),
+      _statVpPrimaryWrongHadCorrect(
+          _stats, "vp.primaryWrongHadCorrect",
+          "followed predictions whose primary value was wrong but the "
+          "correct value was in-table over threshold"),
+      _statSpawns(_stats, "mtvp.spawns", "threads spawned"),
+      _statSpawnExtraValues(_stats, "mtvp.extraValueSpawns",
+                            "extra children from multi-value prediction"),
+      _statSpawnFailNoCtx(_stats, "mtvp.spawnFailNoCtx",
+                          "MTVP chosen but no free context"),
+      _statPromotes(_stats, "mtvp.promotes", "speculative threads promoted"),
+      _statKills(_stats, "mtvp.kills", "speculative threads killed"),
+      _statSbStalls(_stats, "sb.commitStalls",
+                    "store commits stalled on a full store buffer"),
+      _statBranchRedirects(_stats, "fetch.redirects",
+                           "fetch redirects from control mispredictions"),
+      _statSelNone(_stats, "sel.none", "selector chose no prediction"),
+      _statSelStvp(_stats, "sel.stvp", "selector chose STVP"),
+      _statSelMtvp(_stats, "sel.mtvp", "selector chose MTVP"),
+      _statSelMtvpBlocked(_stats, "sel.mtvpBlocked",
+                          "MTVP unavailable at selection time")
+{
+    _cfg.validate();
+
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "cycles", "simulated cycles",
+        [this] { return static_cast<double>(_now); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "commits.useful",
+        "architecturally useful committed instructions",
+        [this] { return static_cast<double>(usefulInsts()); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "ipc.useful", "useful instructions per cycle",
+        [this] { return usefulIpc(); }));
+
+    for (int i = 0; i < _cfg.numContexts; ++i) {
+        _ctxs[static_cast<size_t>(i)].reset();
+        _ctxs[static_cast<size_t>(i)].id = i;
+        _ras.emplace_back(_cfg.rasEntries);
+    }
+
+    _vpTagLoad.resize(numVpTags);
+    for (int t = numVpTags - 1; t >= 0; --t)
+        _vpTagFree.push_back(t);
+
+    // Activate context 0 as the architectural thread.
+    ThreadContext &tc = _ctxs[0];
+    tc.active = true;
+    tc.arch.pc = entryPc;
+    tc.fetchPc = entryPc;
+    for (int r = 0; r < numLogicalRegs; ++r) {
+        PhysReg p = poolFor(r).alloc();
+        poolFor(r).setReadyAt(p, 0);
+        tc.map[static_cast<size_t>(r)] = p;
+    }
+    tc.segment = std::make_shared<StoreSegment>(0, nullptr);
+    tc.ownedSegments.push_back(tc.segment);
+    _root = 0;
+}
+
+Cpu::~Cpu() = default;
+
+ThreadContext &
+Cpu::ctx(CtxId id)
+{
+    vpsim_assert(id >= 0 && id < _cfg.numContexts);
+    return _ctxs[static_cast<size_t>(id)];
+}
+
+const ThreadContext &
+Cpu::ctx(CtxId id) const
+{
+    vpsim_assert(id >= 0 && id < _cfg.numContexts);
+    return _ctxs[static_cast<size_t>(id)];
+}
+
+PhysRegFile &
+Cpu::poolFor(int logicalReg)
+{
+    return isFpReg(logicalReg) ? _fpRegs : _intRegs;
+}
+
+const PhysRegFile &
+Cpu::poolFor(int logicalReg) const
+{
+    return isFpReg(logicalReg) ? _fpRegs : _intRegs;
+}
+
+uint64_t &
+Cpu::taintOf(int logicalReg, PhysReg reg)
+{
+    auto &pool = isFpReg(logicalReg) ? _fpTaint : _intTaint;
+    return pool[static_cast<size_t>(reg)];
+}
+
+uint64_t
+Cpu::taintOf(int logicalReg, PhysReg reg) const
+{
+    const auto &pool = isFpReg(logicalReg) ? _fpTaint : _intTaint;
+    return pool[static_cast<size_t>(reg)];
+}
+
+int
+Cpu::allocVpTag(const DynInstPtr &load)
+{
+    if (_vpTagFree.empty())
+        return -1;
+    int tag = _vpTagFree.back();
+    _vpTagFree.pop_back();
+    _vpTagLoad[static_cast<size_t>(tag)] = load;
+    return tag;
+}
+
+void
+Cpu::freeVpTag(int tag)
+{
+    vpsim_assert(tag >= 0 && tag < numVpTags);
+    vpsim_assert(_vpTagLoad[static_cast<size_t>(tag)] != nullptr,
+                 "double free of VP tag %d", tag);
+    clearVpBitEverywhere(tag);
+    _vpTagLoad[static_cast<size_t>(tag)].reset();
+    _vpTagFree.push_back(tag);
+}
+
+void
+Cpu::clearVpBitEverywhere(int tag)
+{
+    uint64_t clear = ~(uint64_t{1} << tag);
+    for (ThreadContext &tc : _ctxs) {
+        if (!tc.active)
+            continue;
+        for (DynInstPtr &inst : tc.rob)
+            inst->vpDependMask &= clear;
+    }
+    for (uint64_t &t : _intTaint)
+        t &= clear;
+    for (uint64_t &t : _fpTaint)
+        t &= clear;
+}
+
+void
+Cpu::reissueDependents(int tag, Cycle correctedReady)
+{
+    DynInstPtr load = _vpTagLoad[static_cast<size_t>(tag)];
+    vpsim_assert(load != nullptr);
+    ThreadContext &tc = ctx(load->ctx);
+    uint64_t bit = uint64_t{1} << tag;
+
+    // The corrected value exists at the load's completion; make the
+    // load's destination honest again.
+    if (load->physDest != invalidPhysReg)
+        poolFor(load->emu.inst.rd).setReadyAt(load->physDest,
+                                              correctedReady);
+
+    for (DynInstPtr &inst : tc.rob) {
+        if (inst->seq <= load->seq || !(inst->vpDependMask & bit))
+            continue;
+        if (!inst->everIssued)
+            continue; // Never issued; it will simply pick up the fix.
+        if (inst->issued) {
+            inst->issued = false;
+            inst->readyCycle = neverCycle;
+            // A dependent whose own value prediction is still open keeps
+            // its predicted-early destination timing; everyone else's
+            // result ceases to exist until re-execution.
+            if (inst->physDest != invalidPhysReg && !inst->vpPredicted) {
+                poolFor(inst->emu.inst.rd).setReadyAt(inst->physDest,
+                                                      neverCycle);
+            }
+            ++_statVpReissued;
+        }
+    }
+}
+
+namespace
+{
+
+/** Minimum ILP-pred window length: short-confirming predictions are
+ *  still measured across the spawn's pipelined aftermath. */
+constexpr Cycle minIlpWindow = 64;
+
+} // namespace
+
+int
+Cpu::openIlpWindow(Addr pc, VpChoice choice)
+{
+    if (_cfg.selector != SelectorKind::IlpPred)
+        return -1;
+    int idx = -1;
+    for (size_t i = 0; i < _windows.size(); ++i) {
+        if (_windows[i].state == IlpWindow::State::Free) {
+            idx = static_cast<int>(i);
+            break;
+        }
+    }
+    if (idx < 0) {
+        _windows.emplace_back();
+        idx = static_cast<int>(_windows.size()) - 1;
+    }
+    IlpWindow &w = _windows[static_cast<size_t>(idx)];
+    w.state = IlpWindow::State::Open;
+    w.pc = pc;
+    w.choice = choice;
+    w.startCycle = _now;
+    w.startIssued = _issuedTotal;
+    return idx;
+}
+
+void
+Cpu::closeIlpWindow(int idx, VpChoice used)
+{
+    if (idx < 0)
+        return;
+    IlpWindow &w = _windows[static_cast<size_t>(idx)];
+    vpsim_assert(w.state == IlpWindow::State::Open,
+                 "closing a non-open ILP window");
+    w.choice = used;
+    w.closeAt = std::max(_now, w.startCycle + minIlpWindow);
+    w.state = IlpWindow::State::Closing;
+}
+
+void
+Cpu::cancelIlpWindow(int idx)
+{
+    if (idx < 0)
+        return;
+    _windows[static_cast<size_t>(idx)].state = IlpWindow::State::Free;
+}
+
+void
+Cpu::recordMatureWindows()
+{
+    for (IlpWindow &w : _windows) {
+        if (w.state != IlpWindow::State::Closing || _now < w.closeAt)
+            continue;
+        uint64_t cycles = std::max<uint64_t>(1, _now - w.startCycle);
+        uint64_t issued = _issuedTotal - w.startIssued;
+        _selector->recordOutcome(w.pc, w.choice, issued, cycles);
+        w.state = IlpWindow::State::Free;
+    }
+}
+
+int
+Cpu::activeContexts() const
+{
+    int n = 0;
+    for (const ThreadContext &tc : _ctxs)
+        n += tc.active ? 1 : 0;
+    return n;
+}
+
+uint64_t
+Cpu::usefulInsts() const
+{
+    return _usefulBase + ctx(_root).committedInsts;
+}
+
+double
+Cpu::usefulIpc() const
+{
+    return _now == 0 ? 0.0
+                     : static_cast<double>(usefulInsts()) /
+                           static_cast<double>(_now);
+}
+
+bool
+Cpu::done() const
+{
+    if (_finished)
+        return true;
+    if (_cfg.maxInsts != 0 && usefulInsts() >= _cfg.maxInsts)
+        return true;
+    if (_cfg.maxCycles != 0 && _now >= _cfg.maxCycles)
+        return true;
+    return false;
+}
+
+void
+Cpu::checkWatchdog()
+{
+    if (_now - _lastCommitCycle > 1000000) {
+        for (const ThreadContext &tc : _ctxs) {
+            if (!tc.active)
+                continue;
+            warn("ctx %d: rob=%zu fq=%zu fetchPc=%llx stopped=%d "
+                 "halted=%d awaitInd=%d waitBr=%d stallUntil=%llu "
+                 "spawnSeq=%llu parent=%d kids=%zu committed=%llu",
+                 tc.id, tc.rob.size(), tc.fetchQueue.size(),
+                 static_cast<unsigned long long>(tc.fetchPc),
+                 tc.fetchStopped, tc.fetchHalted, tc.fetchAwaitIndirect,
+                 tc.waitingBranch != nullptr,
+                 static_cast<unsigned long long>(tc.fetchStallUntil),
+                 static_cast<unsigned long long>(tc.activeSpawnSeq),
+                 tc.parent, tc.children.size(),
+                 static_cast<unsigned long long>(tc.committedInsts));
+        }
+        for (const ThreadContext &tc : _ctxs) {
+            if (!tc.active || tc.rob.empty())
+                continue;
+            const DynInst &h = *tc.rob.front();
+            warn("ctx %d head: seq=%llu pc=%llx op=%s issued=%d "
+                 "everIssued=%d ready=%llu mask=%llx vpPred=%d tag=%d "
+                 "spawned=%d",
+                 tc.id, static_cast<unsigned long long>(h.seq),
+                 static_cast<unsigned long long>(h.emu.pc),
+                 opcodeName(h.emu.inst.op), h.issued, h.everIssued,
+                 static_cast<unsigned long long>(h.readyCycle),
+                 static_cast<unsigned long long>(h.vpDependMask),
+                 h.vpPredicted, h.vpTag, h.spawnedThread);
+            for (int i = 0; i < h.numSrcs; ++i) {
+                if (h.physSrc[i] == invalidPhysReg)
+                    continue;
+                warn("  src%d %s preg=%d ready=%llu taint=%llx", i,
+                     regName(h.srcLogical[i]).c_str(), h.physSrc[i],
+                     static_cast<unsigned long long>(
+                         poolFor(h.srcLogical[i]).readyAt(h.physSrc[i])),
+                     static_cast<unsigned long long>(
+                         taintOf(h.srcLogical[i], h.physSrc[i])));
+            }
+        }
+        warn("pending=%zu drainQueue=%zu intFree=%d/%d fpFree=%d/%d "
+             "iq=%d fq=%d mq=%d vpTags=%zu",
+             _pending.size(), _drainQueue.size(), _intRegs.freeCount(),
+             _intRegs.capacity(), _fpRegs.freeCount(),
+             _fpRegs.capacity(), _iq.size(), _fq.size(), _mq.size(),
+             _vpTagFree.size());
+        panic("no commit in 1M cycles at cycle %llu (root=%d, rob=%d, "
+              "useful=%llu)",
+              static_cast<unsigned long long>(_now), _root, _robOccupancy,
+              static_cast<unsigned long long>(usefulInsts()));
+    }
+}
+
+void
+Cpu::tick()
+{
+    recordMatureWindows();
+    resolvePendingLoads();
+    commitStage();
+    drainStoreBuffers();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    ++_now;
+    checkWatchdog();
+}
+
+void
+Cpu::run()
+{
+    while (!done())
+        tick();
+
+    // Flush the architectural (root-chain) store state so main memory
+    // reflects every usefully committed store.
+    while (!_drainQueue.empty()) {
+        auto seg = _drainQueue.front();
+        _drainQueue.pop_front();
+        while (seg->residentStores() > 0)
+            _hier.storeDrain(seg->drainResidentStore(), _now);
+        seg->flushTo(_mem);
+    }
+    for (auto &seg : ctx(_root).ownedSegments) {
+        while (seg->residentStores() > 0)
+            _hier.storeDrain(seg->drainResidentStore(), _now);
+        seg->flushTo(_mem);
+    }
+}
+
+} // namespace vpsim

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The SMT out-of-order core with threaded value prediction.
+ *
+ * Pipeline model (execution-driven, emulate-at-dispatch):
+ *  - fetch:    ICOUNT thread choice, up to 16 instructions from 2 cache
+ *              lines per cycle, branch direction/target prediction;
+ *              fetched instructions mature after the front-end depth.
+ *  - dispatch: in-order per context; the instruction is functionally
+ *              executed here (the timing model decides when its effects
+ *              would exist), renamed onto the shared physical register
+ *              files, and inserted into ROB + issue queue. Value
+ *              prediction, load selection, and MTVP spawning happen here.
+ *  - issue:    oldest-first from the shared IQ/FQ/MQ within the 8-wide
+ *              (6 int / 2 FP / 4 mem) issue bandwidth; loads access the
+ *              store-segment chain, LSQ, and cache hierarchy.
+ *  - commit:   in-order per context; speculative (spawned) contexts
+ *              commit into their store segments — the decoupling that
+ *              gives MTVP its window (paper Section 3.2).
+ *
+ * Branch mispredictions charge a fetch redirect at branch resolution
+ * plus front-end refill; wrong-path instructions consume fetch slots but
+ * are not executed (see DESIGN.md for this substitution).
+ */
+
+#ifndef VPSIM_CORE_CPU_HH
+#define VPSIM_CORE_CPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+#include "core/issue_queue.hh"
+#include "core/phys_regfile.hh"
+#include "core/thread_context.hh"
+#include "emu/emulator.hh"
+#include "emu/memory.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "vpred/load_selector.hh"
+#include "vpred/value_predictor.hh"
+
+namespace vpsim
+{
+
+/** The simulated CPU. One instance per simulation run. */
+class Cpu
+{
+  public:
+    /** Construct with context 0 active at @p entryPc. */
+    Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc);
+    ~Cpu();
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /** Simulate until HALT commits usefully, maxInsts, or maxCycles. */
+    void run();
+
+    /** Single-step one cycle (exposed for tests). */
+    void tick();
+
+    bool done() const;
+
+    Cycle cycles() const { return _now; }
+    /** Architecturally-useful committed instructions. */
+    uint64_t usefulInsts() const;
+    double usefulIpc() const;
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    // ----- Introspection for invariant tests -----
+    int freeIntRegs() const { return _intRegs.freeCount(); }
+    int freeFpRegs() const { return _fpRegs.freeCount(); }
+    int activeContexts() const;
+    int robOccupancy() const { return _robOccupancy; }
+    bool haltedUsefully() const { return _finished; }
+    int pendingLoads() const { return static_cast<int>(_pending.size()); }
+    int freeVpTags() const { return static_cast<int>(_vpTagFree.size()); }
+    int drainQueueDepth() const
+    {
+        return static_cast<int>(_drainQueue.size());
+    }
+
+  private:
+    friend class CpuTestPeer;
+
+    static constexpr int numVpTags = 64;
+
+    /** One spawned speculative thread hanging off a load. */
+    struct ChildRec
+    {
+        CtxId ctx = invalidCtx;
+        RegVal value = 0;       ///< The value this child speculates on.
+        PhysReg destPreg = invalidPhysReg;
+        int destLogical = -1;
+    };
+
+    /** Outstanding value-predicted / spawned / measured load. */
+    struct PendingLoad
+    {
+        DynInstPtr load;
+        VpChoice choice = VpChoice::None;
+        std::vector<ChildRec> children;
+        bool spawnOnly = false;
+        /** Resolution chose this child; promote when the load commits. */
+        CtxId winner = invalidCtx;
+        bool resolved = false;
+    };
+
+    /** ILP-pred measurement window. Windows have a minimum duration so
+     *  the post-confirmation benefit of a spawn (the child's run-ahead)
+     *  is part of what the selector measures. */
+    struct IlpWindow
+    {
+        enum class State { Free, Open, Closing };
+        State state = State::Free;
+        Addr pc = 0;
+        VpChoice choice = VpChoice::None;
+        Cycle startCycle = 0;
+        Cycle closeAt = 0;
+        uint64_t startIssued = 0;
+    };
+
+    // ----- Cycle stages (definitions spread over core/*.cc) -----
+    void commitStage();                        // commit.cc
+    void resolvePendingLoads();                // commit.cc
+    void drainStoreBuffers();                  // commit.cc
+    void issueStage();                         // execute.cc
+    void dispatchStage();                      // dispatch.cc
+    void fetchStage();                         // fetch.cc
+
+    // ----- Fetch helpers (fetch.cc) -----
+    bool fetchEligible(const ThreadContext &tc) const;
+    int icountKey(const ThreadContext &tc) const;
+    /** Fetch one line-run for @p tc; returns instructions fetched. */
+    int fetchLineRun(ThreadContext &tc, int maxInsts);
+
+    // ----- Dispatch helpers (dispatch.cc) -----
+    bool dispatchOne(ThreadContext &tc);
+    bool resourcesAvailable(const ThreadContext &tc,
+                            const DecodedInst &inst) const;
+    IssueQueue &queueFor(const DecodedInst &inst);
+    void renameSources(DynInst &di, ThreadContext &tc);
+    void renameDest(DynInst &di, ThreadContext &tc);
+    void handleControl(const DynInstPtr &di, ThreadContext &tc,
+                       const FetchedInst &fi);
+    void handleLoadVp(const DynInstPtr &di, ThreadContext &tc);
+    void spawnThreads(const DynInstPtr &load, ThreadContext &parent,
+                      const std::vector<RegVal> &values, bool spawnOnly);
+    CtxId allocContext();
+
+    // ----- Execute helpers (execute.cc) -----
+    bool tryIssue(const DynInstPtr &di);
+    bool sourcesReady(const DynInst &di) const;
+    Cycle loadTiming(const DynInstPtr &di, bool &fromStoreBuffer);
+    const DynInst *olderInflightStore(const DynInst &load) const;
+
+    // ----- Commit / MTVP helpers (commit.cc) -----
+    bool commitOne(ThreadContext &tc);
+    void resolveOne(PendingLoad &pl);
+    void promoteChild(PendingLoad &pl, CtxId winner);
+    void killSubtree(CtxId id);
+    void killChildrenSpawnedAfter(ThreadContext &tc, InstSeqNum seq);
+    void squashYoungerThan(ThreadContext &tc, InstSeqNum seq);
+    void releaseContextRegs(ThreadContext &tc);
+    void deactivateContext(ThreadContext &tc);
+    void enqueueDrainable(ThreadContext &tc);
+    void detachChildFromParent(ThreadContext &child);
+
+    // ----- Shared helpers (cpu.cc) -----
+    PhysRegFile &poolFor(int logicalReg);
+    const PhysRegFile &poolFor(int logicalReg) const;
+    uint64_t &taintOf(int logicalReg, PhysReg reg);
+    uint64_t taintOf(int logicalReg, PhysReg reg) const;
+    int allocVpTag(const DynInstPtr &load);
+    void freeVpTag(int tag);
+    void clearVpBitEverywhere(int tag);
+    void reissueDependents(int tag, Cycle correctedReady);
+    int openIlpWindow(Addr pc, VpChoice choice);
+    void closeIlpWindow(int idx, VpChoice used);
+    void cancelIlpWindow(int idx);
+    void recordMatureWindows();
+    ThreadContext &ctx(CtxId id);
+    const ThreadContext &ctx(CtxId id) const;
+    CtxId rootCtx() const { return _root; }
+    void checkWatchdog();
+
+    // ----- Construction-time wiring -----
+    const SimConfig _cfg;
+    MainMemory &_mem;
+    StatGroup _stats;
+    std::vector<std::unique_ptr<Formula>> _formulas;
+    Emulator _emu;
+    Hierarchy _hier;
+    BranchPredictor _bpred;
+    Btb _btb;
+    std::vector<ReturnAddressStack> _ras;
+    std::unique_ptr<ValuePredictor> _vpred;
+    std::unique_ptr<LoadSelector> _selector;
+
+    PhysRegFile _intRegs;
+    PhysRegFile _fpRegs;
+    std::vector<uint64_t> _intTaint;
+    std::vector<uint64_t> _fpTaint;
+
+    IssueQueue _iq;
+    IssueQueue _fq;
+    IssueQueue _mq;
+
+    std::vector<ThreadContext> _ctxs;
+    std::vector<InstSeqNum> _spawnSeq; ///< Per ctx: seq of spawning load.
+
+    // ----- Run state -----
+    Cycle _now = 0;
+    InstSeqNum _nextSeq = 1;
+    int _robOccupancy = 0;
+    CtxId _root = 0;
+    uint64_t _usefulBase = 0;
+    uint64_t _issuedTotal = 0;
+    bool _finished = false;
+    Cycle _lastCommitCycle = 0;
+    int _commitRotor = 0;
+
+    std::vector<PendingLoad> _pending;
+    std::vector<IlpWindow> _windows;
+    std::vector<DynInstPtr> _vpTagLoad;
+    std::vector<int> _vpTagFree;
+    std::deque<std::shared_ptr<StoreSegment>> _drainQueue;
+    /** Per ctx: uncommitted stores in dispatch order (LSQ view). */
+    std::vector<std::deque<DynInstPtr>> _inflightStores;
+
+    // ----- Statistics -----
+    Scalar _statCommitsTotal;
+    Scalar _statDispatched;
+    Scalar _statIssued;
+    Scalar _statFetched;
+    Scalar _statWrongPathFetched;
+    Scalar _statVpFollowed;
+    Scalar _statVpStvp;
+    Scalar _statVpMtvp;
+    Scalar _statVpCorrect;
+    Scalar _statVpIncorrect;
+    Scalar _statVpReissued;
+    Scalar _statVpPrimaryWrongHadCorrect;
+    Scalar _statSpawns;
+    Scalar _statSpawnExtraValues;
+    Scalar _statSpawnFailNoCtx;
+    Scalar _statPromotes;
+    Scalar _statKills;
+    Scalar _statSbStalls;
+    Scalar _statBranchRedirects;
+    Scalar _statSelNone;
+    Scalar _statSelStvp;
+    Scalar _statSelMtvp;
+    Scalar _statSelMtvpBlocked;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_CPU_HH

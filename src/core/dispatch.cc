@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Dispatch stage: in-order per context. Instructions are functionally
+ * executed here, renamed onto the shared physical register files, and
+ * inserted into the ROB and issue queues. This is also where value
+ * prediction decisions are made and MTVP threads are spawned (the load
+ * has just been renamed; the spawned context receives a flash-copied
+ * rename map with the destination bound to the predicted value —
+ * Section 3.2 of the paper).
+ */
+
+#include "core/cpu.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+void
+Cpu::dispatchStage()
+{
+    // Resume contexts whose redirecting control instruction resolved.
+    for (ThreadContext &tc : _ctxs) {
+        if (!tc.active || tc.waitingBranch == nullptr)
+            continue;
+        if (tc.waitingBranch->completedBy(_now)) {
+            tc.fetchPc = tc.waitingBranch->emu.nextPc;
+            tc.waitingBranch.reset();
+        }
+    }
+
+    int budget = _cfg.dispatchWidth;
+    int n = _cfg.numContexts;
+    for (int i = 0; i < n && budget > 0; ++i) {
+        ThreadContext &tc = _ctxs[static_cast<size_t>((_commitRotor + i) %
+                                                      n)];
+        if (!tc.active)
+            continue;
+        while (budget > 0 && dispatchOne(tc))
+            --budget;
+    }
+}
+
+bool
+Cpu::resourcesAvailable(const ThreadContext &tc, const DecodedInst &inst)
+    const
+{
+    // SMTSIM-style per-thread active list: each context owns a full
+    // ROB's worth of window (the decoupling MTVP exploits).
+    if (static_cast<int>(tc.rob.size()) >= _cfg.effRobSize())
+        return false;
+    if (inst.writesReg() && !poolFor(inst.rd).canAlloc(1))
+        return false;
+    switch (inst.opClass()) {
+      case OpClass::Load:
+      case OpClass::Store:
+        return _mq.hasSpace();
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+        return _fq.hasSpace();
+      default:
+        // NOP/HALT skip the queues but cost a ROB slot only.
+        if (inst.op == Opcode::NOP || inst.op == Opcode::HALT)
+            return true;
+        return _iq.hasSpace();
+    }
+}
+
+IssueQueue &
+Cpu::queueFor(const DecodedInst &inst)
+{
+    switch (inst.opClass()) {
+      case OpClass::Load:
+      case OpClass::Store:
+        return _mq;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+        return _fq;
+      default:
+        return _iq;
+    }
+}
+
+void
+Cpu::renameSources(DynInst &di, ThreadContext &tc)
+{
+    const DecodedInst &in = di.emu.inst;
+    int srcs[3] = {in.rs1, in.rs2, in.rs3};
+    di.numSrcs = 0;
+    for (int logical : srcs) {
+        if (logical < 0)
+            continue;
+        if (logical == 0) {
+            di.srcLogical[di.numSrcs] = 0;
+            di.physSrc[di.numSrcs++] = invalidPhysReg; // r0: always ready.
+            continue;
+        }
+        PhysReg p = tc.map[static_cast<size_t>(logical)];
+        vpsim_assert(p != invalidPhysReg, "unmapped source %s",
+                     regName(logical).c_str());
+        di.srcLogical[di.numSrcs] = logical;
+        di.physSrc[di.numSrcs++] = p;
+        di.vpDependMask |= taintOf(logical, p);
+    }
+}
+
+void
+Cpu::renameDest(DynInst &di, ThreadContext &tc)
+{
+    const DecodedInst &in = di.emu.inst;
+    if (!in.writesReg())
+        return;
+    PhysRegFile &pool = poolFor(in.rd);
+    PhysReg p = pool.alloc();
+    di.prevDest = tc.map[static_cast<size_t>(in.rd)];
+    di.physDest = p;
+    tc.map[static_cast<size_t>(in.rd)] = p;
+    taintOf(in.rd, p) = di.vpDependMask;
+}
+
+bool
+Cpu::dispatchOne(ThreadContext &tc)
+{
+    if (!tc.active || tc.waitingBranch != nullptr)
+        return false;
+    if (tc.fetchQueue.empty())
+        return false;
+    if (_now < tc.spawnReadyAt)
+        return false;
+    const FetchedInst fi = tc.fetchQueue.front();
+    if (fi.availAt > _now)
+        return false;
+    if (!resourcesAvailable(tc, fi.inst))
+        return false;
+
+    tc.fetchQueue.pop_front();
+
+    auto di = std::make_shared<DynInst>();
+    di->seq = _nextSeq++;
+    di->ctx = tc.id;
+    di->dispatchCycle = _now;
+    di->predictedTaken = fi.predictedTaken;
+    di->predictedTarget = fi.predictedTarget;
+
+    di->emu = _emu.step(tc.arch, tc.segment.get());
+    vpsim_assert(di->emu.pc == fi.pc,
+                 "fetch/dispatch desync: fetched %llx, executing %llx",
+                 static_cast<unsigned long long>(fi.pc),
+                 static_cast<unsigned long long>(di->emu.pc));
+
+    renameSources(*di, tc);
+
+    if (di->isStore()) {
+        di->targetSegment = tc.segment;
+        tc.segment->addPendingCommit();
+        _inflightStores[static_cast<size_t>(tc.id)].push_back(di);
+    }
+
+    renameDest(*di, tc);
+
+    tc.rob.push_back(di);
+    ++_robOccupancy;
+    ++_statDispatched;
+
+    const DecodedInst &in = di->emu.inst;
+    if (in.op == Opcode::NOP || in.op == Opcode::HALT) {
+        di->issued = true;
+        di->everIssued = true;
+        di->readyCycle = _now;
+    } else {
+        queueFor(in).insert(di);
+        ++tc.preIssueCount;
+    }
+
+    if (in.isControl())
+        handleControl(di, tc, fi);
+
+    if (in.isLoad())
+        handleLoadVp(di, tc);
+
+    return true;
+}
+
+void
+Cpu::handleControl(const DynInstPtr &di, ThreadContext &tc,
+                   const FetchedInst &fi)
+{
+    const DecodedInst &in = di->emu.inst;
+    if (in.isBranch())
+        _bpred.update(di->emu.pc, tc.id, di->emu.taken);
+    if (di->emu.taken)
+        _btb.update(di->emu.pc, di->emu.nextPc);
+
+    bool correct = fi.targetKnown && fi.predictedTarget == di->emu.nextPc;
+    if (correct)
+        return;
+
+    // Redirect: flush the wrong-path fetch stream; fetch resumes (with
+    // front-end refill) when this instruction resolves.
+    di->mispredicted = true;
+    ++_statBranchRedirects;
+    _statWrongPathFetched += tc.fetchQueue.size();
+    tc.fetchQueue.clear();
+    tc.waitingBranch = di;
+    tc.fetchAwaitIndirect = false;
+    tc.fetchHalted = false;
+    tc.fetchStallUntil = 0;
+}
+
+CtxId
+Cpu::allocContext()
+{
+    for (ThreadContext &tc : _ctxs) {
+        if (!tc.active) {
+            CtxId id = tc.id;
+            tc.reset();
+            tc.id = id;
+            tc.active = true;
+            return id;
+        }
+    }
+    return invalidCtx;
+}
+
+void
+Cpu::handleLoadVp(const DynInstPtr &di, ThreadContext &tc)
+{
+    if (_cfg.vpMode == VpMode::None)
+        return;
+    const DecodedInst &in = di->emu.inst;
+    if (!in.writesReg())
+        return;
+
+    Addr pc = di->emu.pc;
+    RegVal actual = di->emu.memValue;
+    bool ctxFree = false;
+    for (const ThreadContext &c : _ctxs)
+        ctxFree = ctxFree || !c.active;
+    bool mayMtvp = (_cfg.vpMode == VpMode::Mtvp ||
+                    _cfg.vpMode == VpMode::SpawnOnly) &&
+                   tc.activeSpawnSeq == 0 && !tc.fetchHalted &&
+                   poolFor(in.rd).canAlloc(1);
+    MemLevel probed = _hier.probeLevel(di->emu.effAddr);
+
+    if (_cfg.vpMode == VpMode::SpawnOnly) {
+        if (!mayMtvp)
+            return;
+        if (!ctxFree) {
+            ++_statSpawnFailNoCtx;
+            return;
+        }
+        VpChoice choice = _selector->select(pc, true, false, probed);
+        di->ilpWindow = openIlpWindow(pc, choice);
+        if (choice != VpChoice::Mtvp) {
+            if (di->ilpWindow >= 0) {
+                PendingLoad pl;
+                pl.load = di;
+                pl.choice = VpChoice::None;
+                _pending.push_back(std::move(pl));
+            }
+            return;
+        }
+        PendingLoad pl;
+        pl.load = di;
+        pl.choice = VpChoice::Mtvp;
+        pl.spawnOnly = true;
+        _pending.push_back(std::move(pl));
+        spawnThreads(di, tc, {actual}, true);
+        return;
+    }
+
+    ValuePrediction pred = _vpred->predict(pc, actual);
+    if (!pred.valid || !pred.confident)
+        return;
+
+    bool stvpAllowed = !_vpTagFree.empty();
+    bool mtvpAllowed = _cfg.vpMode == VpMode::Mtvp && mayMtvp && ctxFree;
+    if (_cfg.vpMode == VpMode::Mtvp && mayMtvp && !ctxFree)
+        ++_statSpawnFailNoCtx;
+
+    VpChoice choice =
+        _selector->select(pc, mtvpAllowed, stvpAllowed, probed);
+    vpsim_assert(choice != VpChoice::Mtvp || mtvpAllowed);
+    vpsim_assert(choice != VpChoice::Stvp || stvpAllowed);
+    if (!mtvpAllowed)
+        ++_statSelMtvpBlocked;
+    switch (choice) {
+      case VpChoice::None: ++_statSelNone; break;
+      case VpChoice::Stvp: ++_statSelStvp; break;
+      case VpChoice::Mtvp: ++_statSelMtvp; break;
+    }
+
+    di->ilpWindow = openIlpWindow(pc, choice);
+
+    if (choice == VpChoice::None) {
+        if (di->ilpWindow >= 0) {
+            PendingLoad pl;
+            pl.load = di;
+            pl.choice = VpChoice::None;
+            _pending.push_back(std::move(pl));
+        }
+        return;
+    }
+
+    ++_statVpFollowed;
+    RegVal primary = pred.value;
+
+    // Figure 5 bookkeeping: primary wrong, but the correct value was in
+    // the predictor and over threshold.
+    if (primary != actual) {
+        auto over = _vpred->predictMulti(pc, 8, _cfg.confidenceThreshold,
+                                         actual);
+        for (RegVal v : over) {
+            if (v == actual) {
+                ++_statVpPrimaryWrongHadCorrect;
+                break;
+            }
+        }
+    }
+
+    if (choice == VpChoice::Stvp) {
+        int tag = allocVpTag(di);
+        vpsim_assert(tag >= 0);
+        ++_statVpStvp;
+        di->vpPredicted = true;
+        di->vpTag = tag;
+        di->vpValue = primary;
+        ++tc.openStvp;
+        _vpred->notePredictionUsed(pc, primary);
+        // Dependents may consume the predicted value next cycle.
+        poolFor(in.rd).setReadyAt(di->physDest, _now + 1);
+        taintOf(in.rd, di->physDest) |= uint64_t{1} << tag;
+
+        PendingLoad pl;
+        pl.load = di;
+        pl.choice = VpChoice::Stvp;
+        _pending.push_back(std::move(pl));
+        return;
+    }
+
+    // MTVP: gather the value set (multi-value spawning, Section 5.6).
+    std::vector<RegVal> values;
+    if (_cfg.maxValuesPerSpawn > 1) {
+        values = _vpred->predictMulti(pc, _cfg.maxValuesPerSpawn,
+                                      _cfg.multiValueThreshold, actual);
+    }
+    if (values.empty())
+        values.push_back(primary);
+    ++_statVpMtvp;
+    _vpred->notePredictionUsed(pc, values.front());
+
+    PendingLoad pl;
+    pl.load = di;
+    pl.choice = VpChoice::Mtvp;
+    _pending.push_back(std::move(pl));
+    spawnThreads(di, tc, values, false);
+}
+
+void
+Cpu::spawnThreads(const DynInstPtr &load, ThreadContext &parent,
+                  const std::vector<RegVal> &values, bool spawnOnly)
+{
+    vpsim_assert(!values.empty());
+    vpsim_assert(!_pending.empty() && _pending.back().load == load,
+                 "spawnThreads expects its pending entry on top");
+    PendingLoad &pl = _pending.back();
+
+    int rd = load->emu.inst.rd;
+
+    // Freeze the parent's segment: everything older than the spawn point
+    // is shared with the children; everything younger goes to fresh
+    // segments on each side.
+    auto frozen = parent.segment;
+    frozen->freeze();
+    if (parent.id == _root && !frozen->drainQueued()) {
+        frozen->markDrainQueued();
+        _drainQueue.push_back(frozen);
+    }
+    parent.segment = std::make_shared<StoreSegment>(parent.id, frozen);
+    parent.ownedSegments.push_back(parent.segment);
+
+    bool first = true;
+    for (RegVal value : values) {
+        // Each child needs a context and a destination register.
+        if (rd > 0 && !poolFor(rd).canAlloc(1))
+            break;
+        CtxId cid = allocContext();
+        if (cid == invalidCtx)
+            break;
+        ThreadContext &child = ctx(cid);
+
+        child.arch = parent.arch;
+        if (!spawnOnly && rd > 0)
+            child.arch.writeReg(rd, value);
+
+        for (int r = 0; r < numLogicalRegs; ++r) {
+            PhysReg p = parent.map[static_cast<size_t>(r)];
+            poolFor(r).addRef(p);
+            child.map[static_cast<size_t>(r)] = p;
+        }
+        PhysReg destPreg = invalidPhysReg;
+        if (rd > 0) {
+            PhysRegFile &pool = poolFor(rd);
+            destPreg = pool.alloc();
+            pool.release(child.map[static_cast<size_t>(rd)]);
+            child.map[static_cast<size_t>(rd)] = destPreg;
+            taintOf(rd, destPreg) = 0;
+            pool.setReadyAt(destPreg, spawnOnly
+                                          ? neverCycle
+                                          : _now + static_cast<Cycle>(
+                                                       _cfg.spawnLatency));
+        }
+
+        child.segment = std::make_shared<StoreSegment>(cid, frozen);
+        child.ownedSegments.push_back(child.segment);
+
+        if (first) {
+            // Single fetch path: the child inherits the already-fetched
+            // post-load stream; rename and below simply deliver to the
+            // new context (Section 3.3).
+            child.fetchQueue = std::move(parent.fetchQueue);
+            parent.fetchQueue.clear();
+            child.fetchPc = parent.fetchPc;
+            child.fetchHalted = parent.fetchHalted;
+            child.fetchAwaitIndirect = parent.fetchAwaitIndirect;
+            child.fetchStallUntil = parent.fetchStallUntil;
+        } else {
+            child.fetchPc = load->emu.nextPc;
+            ++_statSpawnExtraValues;
+        }
+        child.spawnReadyAt = _now + static_cast<Cycle>(_cfg.spawnLatency);
+        child.parent = parent.id;
+        parent.children.push_back(cid);
+        _spawnSeq[static_cast<size_t>(cid)] = load->seq;
+        _bpred.copyHistory(parent.id, cid);
+        _ras[static_cast<size_t>(cid)] = _ras[static_cast<size_t>(
+            parent.id)];
+
+        pl.children.push_back({cid, value, destPreg, rd});
+        ++_statSpawns;
+        first = false;
+    }
+
+    vpsim_assert(!pl.children.empty(),
+                 "spawn requested with no context available");
+
+    load->spawnedThread = true;
+    parent.activeSpawnSeq = load->seq;
+    parent.fetchHalted = false;
+    parent.fetchAwaitIndirect = false;
+    parent.fetchStallUntil = 0;
+    if (_cfg.fetchPolicy == FetchPolicy::SingleFetchPath) {
+        parent.fetchStopped = true;
+    } else {
+        // No-stall: the parent refetches the post-load path itself and
+        // competes for fetch via ICOUNT (Section 5.5).
+        parent.fetchPc = load->emu.nextPc;
+    }
+}
+
+} // namespace vpsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The in-flight (dynamic) instruction record shared by the ROB, the
+ * issue queues, and the MTVP machinery.
+ */
+
+#ifndef VPSIM_CORE_DYN_INST_HH
+#define VPSIM_CORE_DYN_INST_HH
+
+#include <memory>
+
+#include "emu/emulator.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+class StoreSegment;
+
+/** One renamed, in-flight instruction. */
+struct DynInst
+{
+    InstSeqNum seq = 0;
+    CtxId ctx = invalidCtx;
+    EmuStep emu;
+
+    // ----- Rename -----
+    PhysReg physDest = invalidPhysReg;
+    /** Previous mapping of the destination (released at commit). */
+    PhysReg prevDest = invalidPhysReg;
+    PhysReg physSrc[3] = {invalidPhysReg, invalidPhysReg, invalidPhysReg};
+    /** Logical register of each source (selects the int vs FP pool). */
+    int srcLogical[3] = {-1, -1, -1};
+    int numSrcs = 0;
+
+    // ----- Status -----
+    bool issued = false;
+    bool everIssued = false;  ///< Has issued at least once (reissue aware).
+    bool squashed = false;    ///< Context killed / wrong path; ignore.
+    Cycle dispatchCycle = 0;
+    Cycle readyCycle = neverCycle; ///< When the result exists.
+
+    /** Result produced by @p now. */
+    bool completedBy(Cycle now) const { return issued && readyCycle <= now; }
+
+    // ----- Value prediction -----
+    /** Bitmask of outstanding value-predicted loads this inst depends
+     *  on (transitively); used for selective reissue. */
+    uint64_t vpDependMask = 0;
+    bool vpPredicted = false;  ///< This load consumed a value prediction.
+    int vpTag = -1;            ///< Tag slot while the prediction is open.
+    RegVal vpValue = 0;        ///< The predicted value.
+    bool spawnedThread = false;///< An MTVP spawn hangs off this load.
+    int ilpWindow = -1;        ///< Open ILP-pred measurement window.
+
+    // ----- Branch bookkeeping -----
+    bool predictedTaken = false;
+    Addr predictedTarget = 0;
+    bool mispredicted = false;
+
+    // ----- Store bookkeeping -----
+    /** Segment this store's bytes went to (capacity accounting). */
+    std::shared_ptr<StoreSegment> targetSegment;
+
+    bool isLoad() const { return emu.inst.isLoad(); }
+    bool isStore() const { return emu.inst.isStore(); }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_DYN_INST_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Issue/execute stage: oldest-first selection from the shared issue
+ * queues within the Table-1 bandwidth (8 total: 6 integer, 2 FP, 4
+ * load/store). Loads are timed against the LSQ (in-flight stores), the
+ * speculative store buffers, and the cache hierarchy.
+ */
+
+#include <algorithm>
+
+#include "core/cpu.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+bool
+rangesOverlap(Addr a, int aBytes, Addr b, int bBytes)
+{
+    return a < b + static_cast<Addr>(bBytes) &&
+           b < a + static_cast<Addr>(aBytes);
+}
+
+} // namespace
+
+bool
+Cpu::sourcesReady(const DynInst &di) const
+{
+    for (int i = 0; i < di.numSrcs; ++i) {
+        PhysReg p = di.physSrc[i];
+        if (p == invalidPhysReg)
+            continue;
+        if (!poolFor(di.srcLogical[i]).readyBy(p, _now))
+            return false;
+    }
+    return true;
+}
+
+const DynInst *
+Cpu::olderInflightStore(const DynInst &load) const
+{
+    InstSeqNum bound = load.seq;
+    CtxId cur = load.ctx;
+    while (cur != invalidCtx) {
+        const auto &stores = _inflightStores[static_cast<size_t>(cur)];
+        for (auto it = stores.rbegin(); it != stores.rend(); ++it) {
+            const DynInst &st = **it;
+            if (st.squashed || st.seq >= bound)
+                continue;
+            if (rangesOverlap(st.emu.effAddr, st.emu.memBytes,
+                              load.emu.effAddr, load.emu.memBytes)) {
+                return &st;
+            }
+        }
+        bound = _spawnSeq[static_cast<size_t>(cur)];
+        cur = ctx(cur).parent;
+    }
+    return nullptr;
+}
+
+Cycle
+Cpu::loadTiming(const DynInstPtr &di, bool &fromStoreBuffer)
+{
+    fromStoreBuffer = false;
+    const DynInst *older = olderInflightStore(*di);
+    if (older != nullptr) {
+        if (!older->issued)
+            return neverCycle; // Store data not staged yet; retry later.
+        fromStoreBuffer = true;
+        return std::max(_now + 1, older->readyCycle + 1);
+    }
+    if (di->emu.fullyForwarded) {
+        // Satisfied by committed stores in the store-segment chain: a
+        // store-buffer search, costed like an L1 hit (Section 5.3).
+        fromStoreBuffer = true;
+        return _now + static_cast<Cycle>(_cfg.dcacheLatency);
+    }
+    DataAccessResult r = _hier.load(di->emu.effAddr, di->emu.pc, _now);
+    return r.ready;
+}
+
+bool
+Cpu::tryIssue(const DynInstPtr &di)
+{
+    if (!sourcesReady(*di))
+        return false;
+
+    Cycle ready;
+    if (di->isLoad()) {
+        bool fromSb = false;
+        ready = loadTiming(di, fromSb);
+        if (ready == neverCycle)
+            return false;
+    } else if (di->isStore()) {
+        ready = _now + 1; // Address/data staged; memory effect at drain.
+    } else {
+        ready = _now + static_cast<Cycle>(di->emu.inst.execLatency());
+    }
+
+    di->issued = true;
+    di->readyCycle = ready;
+    if (!di->everIssued) {
+        di->everIssued = true;
+        ThreadContext &tc = ctx(di->ctx);
+        vpsim_assert(tc.preIssueCount > 0);
+        --tc.preIssueCount;
+    }
+    ++_issuedTotal;
+    ++_statIssued;
+
+    // Publish the destination's readiness — except for a value-predicted
+    // load, whose destination stays ready at the *predicted* time; a
+    // misprediction resets it during selective reissue.
+    if (di->physDest != invalidPhysReg && !di->vpPredicted)
+        poolFor(di->emu.inst.rd).setReadyAt(di->physDest, ready);
+
+    return true;
+}
+
+void
+Cpu::issueStage()
+{
+    std::vector<DynInstPtr> candidates;
+    // Selection scans the oldest waiting entries; the cap only matters
+    // for the idealized 8K-queue machine (documented approximation).
+    const int scanCap = 256;
+    auto collect = [&](IssueQueue &q) {
+        q.forEachWaiting(
+            [&](const DynInstPtr &p) { candidates.push_back(p); },
+            scanCap);
+    };
+    collect(_mq);
+    collect(_iq);
+    collect(_fq);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+
+    int total = _cfg.issueWidth;
+    int intBudget = _cfg.intIssue;
+    int fpBudget = _cfg.fpIssue;
+    int memBudget = _cfg.memIssue;
+
+    for (const DynInstPtr &di : candidates) {
+        if (total == 0)
+            break;
+        int *classBudget;
+        switch (di->emu.inst.opClass()) {
+          case OpClass::Load:
+          case OpClass::Store:
+            classBudget = &memBudget;
+            break;
+          case OpClass::FpAdd:
+          case OpClass::FpMul:
+            classBudget = &fpBudget;
+            break;
+          default:
+            classBudget = &intBudget;
+            break;
+        }
+        if (*classBudget == 0)
+            continue;
+        if (!tryIssue(di))
+            continue;
+        --total;
+        --*classBudget;
+    }
+}
+
+} // namespace vpsim

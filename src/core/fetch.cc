@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fetch stage: ICOUNT thread selection, up to fetchWidth instructions
+ * from fetchLines cache lines per cycle, branch direction and target
+ * prediction. Fetch follows the *predicted* path; the divergence from
+ * the true path is discovered when the mispredicted control instruction
+ * dispatches, and the redirect penalty is charged at its resolution.
+ */
+
+#include <algorithm>
+
+#include "core/cpu.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** Fetch queue depth per context (front-end buffering). */
+constexpr size_t fetchQueueCap = 48;
+
+} // namespace
+
+bool
+Cpu::fetchEligible(const ThreadContext &tc) const
+{
+    return tc.active && !tc.fetchStopped && !tc.fetchHalted &&
+           !tc.fetchAwaitIndirect && tc.waitingBranch == nullptr &&
+           _now >= tc.fetchStallUntil &&
+           tc.fetchQueue.size() < fetchQueueCap;
+}
+
+int
+Cpu::icountKey(const ThreadContext &tc) const
+{
+    return static_cast<int>(tc.fetchQueue.size()) + tc.preIssueCount;
+}
+
+/**
+ * Fetch one run of sequential instructions (at most one cache line, at
+ * most @p maxInsts) for @p tc; stops at taken control flow.
+ */
+int
+Cpu::fetchLineRun(ThreadContext &tc, int maxInsts)
+{
+    Addr lineMask = ~static_cast<Addr>(_cfg.lineSize - 1);
+    Addr line = tc.fetchPc & lineMask;
+
+    Cycle ready = _hier.instFetch(tc.fetchPc, _now);
+    if (ready > _now + static_cast<Cycle>(_cfg.icacheLatency)) {
+        // I-cache miss: this context stalls until the fill completes.
+        tc.fetchStallUntil = ready;
+        return 0;
+    }
+
+    int fetched = 0;
+    while (fetched < maxInsts &&
+           tc.fetchQueue.size() < fetchQueueCap &&
+           (tc.fetchPc & lineMask) == line) {
+        FetchedInst fi;
+        fi.pc = tc.fetchPc;
+        fi.inst = decode(_mem.read32(tc.fetchPc));
+        fi.availAt = _now + static_cast<Cycle>(_cfg.frontEndDepth);
+
+        bool endRun = false;
+        const DecodedInst &in = fi.inst;
+        if (in.isBranch()) {
+            fi.predictedTaken = _bpred.predict(fi.pc, tc.id);
+            fi.predictedTarget =
+                fi.predictedTaken
+                    ? fi.pc + instBytes +
+                          static_cast<Addr>(in.imm *
+                                            int64_t{instBytes})
+                    : fi.pc + instBytes;
+            tc.fetchPc = fi.predictedTarget;
+            endRun = fi.predictedTaken;
+        } else if (in.op == Opcode::JAL) {
+            fi.predictedTaken = true;
+            fi.predictedTarget = fi.pc + instBytes +
+                                 static_cast<Addr>(in.imm *
+                                                   int64_t{instBytes});
+            if (in.rd == 31)
+                _ras[static_cast<size_t>(tc.id)].push(fi.pc + instBytes);
+            tc.fetchPc = fi.predictedTarget;
+            endRun = true;
+        } else if (in.op == Opcode::JALR) {
+            fi.predictedTaken = true;
+            auto &ras = _ras[static_cast<size_t>(tc.id)];
+            if (in.rs1 == 31 && in.rd < 0 && !ras.empty()) {
+                fi.predictedTarget = ras.pop();
+            } else if (auto target = _btb.lookup(fi.pc)) {
+                fi.predictedTarget = *target;
+                if (in.rd == 31)
+                    ras.push(fi.pc + instBytes);
+            } else {
+                // Unknown indirect target: fetch must wait for resolve.
+                fi.targetKnown = false;
+                tc.fetchAwaitIndirect = true;
+            }
+            if (fi.targetKnown)
+                tc.fetchPc = fi.predictedTarget;
+            endRun = true;
+        } else if (in.isHalt()) {
+            tc.fetchHalted = true;
+            tc.fetchPc += instBytes;
+            endRun = true;
+        } else {
+            fi.predictedTarget = fi.pc + instBytes;
+            tc.fetchPc += instBytes;
+        }
+
+        tc.fetchQueue.push_back(fi);
+        ++fetched;
+        ++_statFetched;
+        if (endRun)
+            break;
+    }
+    return fetched;
+}
+
+void
+Cpu::fetchStage()
+{
+    // Pick up to fetchThreads contexts by ICOUNT (fewest in-flight
+    // pre-issue instructions first).
+    std::vector<CtxId> eligible;
+    for (const ThreadContext &tc : _ctxs) {
+        if (fetchEligible(tc))
+            eligible.push_back(tc.id);
+    }
+    if (eligible.empty())
+        return;
+    std::stable_sort(eligible.begin(), eligible.end(),
+                     [this](CtxId a, CtxId b) {
+                         return icountKey(ctx(a)) < icountKey(ctx(b));
+                     });
+    if (static_cast<int>(eligible.size()) > _cfg.fetchThreads)
+        eligible.resize(static_cast<size_t>(_cfg.fetchThreads));
+
+    int instBudget = _cfg.fetchWidth;
+    int lineBudget = _cfg.fetchLines;
+    size_t turn = 0;
+    while (instBudget > 0 && lineBudget > 0 && !eligible.empty()) {
+        CtxId id = eligible[turn % eligible.size()];
+        ThreadContext &tc = ctx(id);
+        --lineBudget;
+        if (fetchEligible(tc))
+            instBudget -= fetchLineRun(tc, instBudget);
+        ++turn;
+        if (turn >= eligible.size() * 2u)
+            break; // Each chosen context had its chance at a line.
+    }
+}
+
+} // namespace vpsim

@@ -1,0 +1,40 @@
+#include "core/issue_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+IssueQueue::IssueQueue(StatGroup &stats, const std::string &name,
+                       int capacity)
+    : _capacity(capacity),
+      _inserted(stats, name + ".inserted", "instructions dispatched into "
+                                           "the queue")
+{
+    vpsim_assert(capacity > 0);
+}
+
+void
+IssueQueue::insert(const DynInstPtr &inst)
+{
+    vpsim_assert(hasSpace(), "issue queue overflow");
+    _entries.push_back(inst);
+    ++_inserted;
+    if (size() > _peak)
+        _peak = size();
+}
+
+void
+IssueQueue::purgeSquashed()
+{
+    for (auto it = _entries.begin(); it != _entries.end();) {
+        if ((*it)->squashed ||
+            ((*it)->issued && (*it)->vpDependMask == 0)) {
+            it = _entries.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace vpsim

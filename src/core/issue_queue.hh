@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A shared (cross-context) issue queue. Entries wait for their source
+ * registers; with selective-reissue value prediction an instruction that
+ * depends on an unconfirmed prediction *stays in the queue after issuing*
+ * so it can re-execute if the prediction fails — the paper's explanation
+ * of why traditional value prediction pressures the queues (Sections 2
+ * and 5.4).
+ */
+
+#ifndef VPSIM_CORE_ISSUE_QUEUE_HH
+#define VPSIM_CORE_ISSUE_QUEUE_HH
+
+#include <list>
+#include <string>
+
+#include "core/dyn_inst.hh"
+#include "sim/stats.hh"
+
+namespace vpsim
+{
+
+/** One of IQ / FQ / MQ. */
+class IssueQueue
+{
+  public:
+    IssueQueue(StatGroup &stats, const std::string &name, int capacity);
+
+    int capacity() const { return _capacity; }
+    int size() const { return static_cast<int>(_entries.size()); }
+    bool hasSpace() const { return size() < _capacity; }
+
+    /** Insert at dispatch (caller checked hasSpace()). */
+    void insert(const DynInstPtr &inst);
+
+    /**
+     * Entries eligible to (re)issue this cycle, oldest first. An entry is
+     * eligible when not yet issued (or reset for reissue) and not
+     * squashed; source-readiness is the caller's check.
+     *
+     * @param maxVisit bound on waiting entries visited per call (keeps
+     *        the 8K-entry idealized wide-window machine tractable; the
+     *        oldest entries are always visited first).
+     */
+    template <typename Fn>
+    void
+    forEachWaiting(Fn &&fn, int maxVisit = 1 << 30)
+    {
+        int visited = 0;
+        for (auto it = _entries.begin();
+             it != _entries.end() && visited < maxVisit;) {
+            DynInst &inst = **it;
+            if (inst.squashed) {
+                it = _entries.erase(it);
+                continue;
+            }
+            if (inst.issued && inst.vpDependMask == 0) {
+                // Confirmed and issued: the entry can finally leave.
+                it = _entries.erase(it);
+                continue;
+            }
+            if (!inst.issued) {
+                fn(*it);
+                ++visited;
+            }
+            ++it;
+        }
+    }
+
+    /** Drop entries whose instructions were squashed (lazy cleanup). */
+    void purgeSquashed();
+
+    /** Max occupancy ever seen (for the stats report). */
+    int peakSize() const { return _peak; }
+
+  private:
+    std::list<DynInstPtr> _entries; // Dispatch (age) order.
+    int _capacity;
+    int _peak = 0;
+    Scalar _inserted;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_ISSUE_QUEUE_HH

@@ -1,0 +1,77 @@
+#include "core/phys_regfile.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+PhysRegFile::PhysRegFile(int capacity)
+    : _readyAt(static_cast<size_t>(capacity), neverCycle),
+      _refCount(static_cast<size_t>(capacity), 0)
+{
+    vpsim_assert(capacity > 0);
+    _freeList.reserve(static_cast<size_t>(capacity));
+    for (int i = capacity - 1; i >= 0; --i)
+        _freeList.push_back(i);
+}
+
+PhysReg
+PhysRegFile::alloc()
+{
+    vpsim_assert(!_freeList.empty(), "physical register file exhausted");
+    PhysReg reg = _freeList.back();
+    _freeList.pop_back();
+    _refCount[static_cast<size_t>(reg)] = 1;
+    _readyAt[static_cast<size_t>(reg)] = neverCycle;
+    return reg;
+}
+
+void
+PhysRegFile::addRef(PhysReg reg)
+{
+    vpsim_assert(reg >= 0 && reg < capacity());
+    vpsim_assert(_refCount[static_cast<size_t>(reg)] > 0,
+                 "addRef on free register %d", reg);
+    ++_refCount[static_cast<size_t>(reg)];
+}
+
+void
+PhysRegFile::release(PhysReg reg)
+{
+    vpsim_assert(reg >= 0 && reg < capacity());
+    int &count = _refCount[static_cast<size_t>(reg)];
+    vpsim_assert(count > 0, "release of free register %d", reg);
+    if (--count == 0)
+        _freeList.push_back(reg);
+}
+
+int
+PhysRegFile::refCount(PhysReg reg) const
+{
+    vpsim_assert(reg >= 0 && reg < capacity());
+    return _refCount[static_cast<size_t>(reg)];
+}
+
+void
+PhysRegFile::setReadyAt(PhysReg reg, Cycle cycle)
+{
+    vpsim_assert(reg >= 0 && reg < capacity());
+    _readyAt[static_cast<size_t>(reg)] = cycle;
+}
+
+Cycle
+PhysRegFile::readyAt(PhysReg reg) const
+{
+    if (reg == invalidPhysReg)
+        return 0;
+    vpsim_assert(reg >= 0 && reg < capacity());
+    return _readyAt[static_cast<size_t>(reg)];
+}
+
+bool
+PhysRegFile::readyBy(PhysReg reg, Cycle now) const
+{
+    return readyAt(reg) <= now;
+}
+
+} // namespace vpsim

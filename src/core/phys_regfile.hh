@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical register file timing model. Values live in the functional
+ * emulator; this class models *when* each physical register's value
+ * exists and *who still needs it*. Use counters implement the paper's
+ * Cherry-style pending counts: spawning a thread flash-copies the rename
+ * map and increments the count of every mapped register so the parent
+ * cannot recycle registers the child may still read (Section 3.2).
+ */
+
+#ifndef VPSIM_CORE_PHYS_REGFILE_HH
+#define VPSIM_CORE_PHYS_REGFILE_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** One pool of physical registers (the core keeps an int and an FP pool). */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(int capacity);
+
+    /** Registers currently on the free list. */
+    int freeCount() const { return static_cast<int>(_freeList.size()); }
+    int capacity() const { return static_cast<int>(_readyAt.size()); }
+
+    bool canAlloc(int n = 1) const { return freeCount() >= n; }
+
+    /** Allocate a register (use count 1, not ready). */
+    PhysReg alloc();
+
+    /** Increment the use count (rename-map copy on spawn). */
+    void addRef(PhysReg reg);
+
+    /** Decrement the use count; frees the register when it hits zero. */
+    void release(PhysReg reg);
+
+    int refCount(PhysReg reg) const;
+
+    void setReadyAt(PhysReg reg, Cycle cycle);
+    Cycle readyAt(PhysReg reg) const;
+    bool readyBy(PhysReg reg, Cycle now) const;
+
+  private:
+    std::vector<Cycle> _readyAt;
+    std::vector<int> _refCount;
+    std::vector<PhysReg> _freeList;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_PHYS_REGFILE_HH

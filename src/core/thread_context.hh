@@ -1,0 +1,118 @@
+/**
+ * @file
+ * One SMT hardware context: architectural state, rename map, store
+ * segment, ROB, front-end state, and the thread-tree links the MTVP
+ * controller maintains (Section 3.2: "enough state per context to
+ * maintain the tree of spawned threads").
+ */
+
+#ifndef VPSIM_CORE_THREAD_CONTEXT_HH
+#define VPSIM_CORE_THREAD_CONTEXT_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "emu/context_state.hh"
+#include "emu/store_buffer.hh"
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** One statically-decoded instruction sitting in the fetch queue. */
+struct FetchedInst
+{
+    Addr pc = 0;
+    DecodedInst inst;
+    Cycle availAt = 0;        ///< Earliest dispatch cycle (front-end depth).
+    bool predictedTaken = false;
+    Addr predictedTarget = 0;
+    bool targetKnown = true;  ///< False for an indirect jump w/o BTB hit.
+};
+
+/** Hardware thread context. */
+struct ThreadContext
+{
+    CtxId id = invalidCtx;
+    bool active = false;
+
+    // ----- Architectural / speculative state -----
+    ArchState arch;
+    std::array<PhysReg, numLogicalRegs> map{};
+    std::shared_ptr<StoreSegment> segment;
+    /** Segments created during this activation (capacity accounting). */
+    std::vector<std::shared_ptr<StoreSegment>> ownedSegments;
+
+    // ----- Backend -----
+    std::deque<DynInstPtr> rob;
+
+    // ----- Front end -----
+    Addr fetchPc = 0;
+    std::deque<FetchedInst> fetchQueue;
+    Cycle fetchStallUntil = 0;      ///< I-cache fill in progress.
+    bool fetchStopped = false;      ///< SFP parent stall.
+    bool fetchHalted = false;       ///< HALT fetched; nothing follows.
+    bool fetchAwaitIndirect = false;///< Unknown jalr target in flight.
+    DynInstPtr waitingBranch;       ///< Redirect pending on this branch.
+    Cycle spawnReadyAt = 0;         ///< First dispatch cycle after spawn.
+    int preIssueCount = 0;          ///< For the ICOUNT fetch policy.
+
+    // ----- Thread tree -----
+    CtxId parent = invalidCtx;
+    std::vector<CtxId> children;
+
+    // ----- Value prediction / MTVP accounting -----
+    int openStvp = 0;               ///< Unconfirmed STVP loads in flight.
+    InstSeqNum activeSpawnSeq = 0;  ///< Seq of the outstanding spawn load.
+
+    // ----- Progress accounting -----
+    uint64_t committedInsts = 0;    ///< Since activation.
+    uint64_t committedPostSpawn = 0;///< Commits younger than the spawn.
+    bool haltedCommitted = false;
+
+    /** Reset everything for (re)activation. */
+    void
+    reset()
+    {
+        active = false;
+        arch = ArchState{};
+        map.fill(invalidPhysReg);
+        segment.reset();
+        ownedSegments.clear();
+        rob.clear();
+        fetchPc = 0;
+        fetchQueue.clear();
+        fetchStallUntil = 0;
+        fetchStopped = false;
+        fetchHalted = false;
+        fetchAwaitIndirect = false;
+        waitingBranch.reset();
+        spawnReadyAt = 0;
+        preIssueCount = 0;
+        parent = invalidCtx;
+        children.clear();
+        openStvp = 0;
+        activeSpawnSeq = 0;
+        committedInsts = 0;
+        committedPostSpawn = 0;
+        haltedCommitted = false;
+    }
+
+    /** Committed-but-undrained stores across this activation's segments. */
+    int
+    storeBufferOccupancy() const
+    {
+        int total = 0;
+        for (const auto &seg : ownedSegments)
+            total += seg->residentStores();
+        return total;
+    }
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_THREAD_CONTEXT_HH

@@ -1,0 +1,26 @@
+#include "emu/context_state.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+RegVal
+ArchState::readReg(int reg) const
+{
+    vpsim_assert(reg >= 0 && reg < numLogicalRegs, "reg=%d", reg);
+    if (reg == 0)
+        return 0;
+    return _regs[static_cast<size_t>(reg)];
+}
+
+void
+ArchState::writeReg(int reg, RegVal value)
+{
+    vpsim_assert(reg >= 0 && reg < numLogicalRegs, "reg=%d", reg);
+    if (reg == 0)
+        return;
+    _regs[static_cast<size_t>(reg)] = value;
+}
+
+} // namespace vpsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Architectural (ISA-visible) state of one hardware context: PC plus the
+ * integer and FP register files. Spawning a value-speculative thread
+ * flash-copies this state (the timing cost of the copy is modeled
+ * separately by the core's spawn latency).
+ */
+
+#ifndef VPSIM_EMU_CONTEXT_STATE_HH
+#define VPSIM_EMU_CONTEXT_STATE_HH
+
+#include <array>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** ISA-visible register + PC state. Copyable by design (thread spawn). */
+class ArchState
+{
+  public:
+    Addr pc = 0;
+
+    /** Read logical register 0..63 (r0 reads as zero). */
+    RegVal readReg(int reg) const;
+
+    /** Write logical register (writes to r0 are discarded). */
+    void writeReg(int reg, RegVal value);
+
+    double readFpReg(int reg) const { return bitsToFp(readReg(reg)); }
+    void writeFpReg(int reg, double v) { writeReg(reg, fpToBits(v)); }
+
+    bool operator==(const ArchState &other) const = default;
+
+  private:
+    std::array<RegVal, numLogicalRegs> _regs{};
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_EMU_CONTEXT_STATE_HH

@@ -1,0 +1,243 @@
+#include "emu/emulator.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "emu/memory.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+int64_t
+asSigned(RegVal v)
+{
+    return static_cast<int64_t>(v);
+}
+
+RegVal
+safeDiv(RegVal a, RegVal b)
+{
+    int64_t sa = asSigned(a);
+    int64_t sb = asSigned(b);
+    if (sb == 0)
+        return 0;
+    if (sa == std::numeric_limits<int64_t>::min() && sb == -1)
+        return a; // Overflow wraps to the dividend, matching hardware.
+    return static_cast<RegVal>(sa / sb);
+}
+
+RegVal
+safeRem(RegVal a, RegVal b)
+{
+    int64_t sa = asSigned(a);
+    int64_t sb = asSigned(b);
+    if (sb == 0)
+        return a;
+    if (sa == std::numeric_limits<int64_t>::min() && sb == -1)
+        return 0;
+    return static_cast<RegVal>(sa % sb);
+}
+
+int64_t
+fpToInt(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 9.2233720368547758e18)
+        return std::numeric_limits<int64_t>::max();
+    if (d <= -9.2233720368547758e18)
+        return std::numeric_limits<int64_t>::min();
+    return static_cast<int64_t>(d);
+}
+
+} // namespace
+
+EmuStep
+Emulator::step(ArchState &state, StoreSegment *segment)
+{
+    EmuStep s;
+    s.pc = state.pc;
+    s.rawWord = _mem.read32(state.pc);
+    s.inst = decode(s.rawWord);
+    s.nextPc = state.pc + instBytes;
+
+    const DecodedInst &inst = s.inst;
+    auto rs1 = [&] { return state.readReg(inst.rs1); };
+    auto rs2 = [&] { return state.readReg(inst.rs2); };
+    auto frs1 = [&] { return state.readFpReg(inst.rs1); };
+    auto frs2 = [&] { return state.readFpReg(inst.rs2); };
+
+    auto writeDest = [&](RegVal value) {
+        if (inst.rd > 0) {
+            state.writeReg(inst.rd, value);
+            s.wroteReg = true;
+            s.result = value;
+        }
+    };
+    auto writeFpDest = [&](double value) { writeDest(fpToBits(value)); };
+    auto branch = [&](bool take) {
+        s.taken = take;
+        if (take) {
+            s.nextPc = s.pc + instBytes +
+                       static_cast<Addr>(inst.imm * int64_t{instBytes});
+        }
+    };
+
+    switch (inst.op) {
+      case Opcode::ADD: writeDest(rs1() + rs2()); break;
+      case Opcode::SUB: writeDest(rs1() - rs2()); break;
+      case Opcode::MUL: writeDest(rs1() * rs2()); break;
+      case Opcode::DIVQ: writeDest(safeDiv(rs1(), rs2())); break;
+      case Opcode::REM: writeDest(safeRem(rs1(), rs2())); break;
+      case Opcode::AND: writeDest(rs1() & rs2()); break;
+      case Opcode::OR: writeDest(rs1() | rs2()); break;
+      case Opcode::XOR: writeDest(rs1() ^ rs2()); break;
+      case Opcode::SLL: writeDest(rs1() << (rs2() & 63)); break;
+      case Opcode::SRL: writeDest(rs1() >> (rs2() & 63)); break;
+      case Opcode::SRA:
+        writeDest(static_cast<RegVal>(asSigned(rs1()) >>
+                                      (rs2() & 63)));
+        break;
+      case Opcode::SLT:
+        writeDest(asSigned(rs1()) < asSigned(rs2()) ? 1 : 0);
+        break;
+      case Opcode::SLTU: writeDest(rs1() < rs2() ? 1 : 0); break;
+
+      case Opcode::ADDI:
+        writeDest(rs1() + static_cast<RegVal>(inst.imm));
+        break;
+      case Opcode::ANDI:
+        writeDest(rs1() & static_cast<RegVal>(inst.imm));
+        break;
+      case Opcode::ORI:
+        writeDest(rs1() | static_cast<RegVal>(inst.imm));
+        break;
+      case Opcode::XORI:
+        writeDest(rs1() ^ static_cast<RegVal>(inst.imm));
+        break;
+      case Opcode::SLLI: writeDest(rs1() << (inst.imm & 63)); break;
+      case Opcode::SRLI: writeDest(rs1() >> (inst.imm & 63)); break;
+      case Opcode::SRAI:
+        writeDest(static_cast<RegVal>(asSigned(rs1()) >> (inst.imm & 63)));
+        break;
+      case Opcode::SLTI:
+        writeDest(asSigned(rs1()) < inst.imm ? 1 : 0);
+        break;
+      case Opcode::LUI:
+        writeDest(static_cast<RegVal>(inst.imm) << 16);
+        break;
+
+      case Opcode::LD:
+      case Opcode::LW:
+      case Opcode::LBU:
+      case Opcode::FLD: {
+        s.effAddr = rs1() + static_cast<RegVal>(inst.imm);
+        s.memBytes = inst.memBytes();
+        ChainReadResult r =
+            readThroughChain(segment, _mem, s.effAddr, s.memBytes);
+        s.fullyForwarded = r.fullyForwarded;
+        RegVal v = r.value;
+        if (inst.op == Opcode::LW)
+            v = static_cast<RegVal>(
+                static_cast<int64_t>(static_cast<int32_t>(v)));
+        s.memValue = v;
+        writeDest(v);
+        break;
+      }
+
+      case Opcode::SD:
+      case Opcode::SW:
+      case Opcode::SB:
+      case Opcode::FSD: {
+        s.effAddr = rs1() + static_cast<RegVal>(inst.imm);
+        s.memBytes = inst.memBytes();
+        s.memValue = state.readReg(inst.rs2);
+        if (segment != nullptr)
+            segment->writeBytes(s.effAddr, s.memBytes, s.memValue);
+        else
+            _mem.write(s.effAddr, s.memBytes, s.memValue);
+        break;
+      }
+
+      case Opcode::BEQ: branch(rs1() == rs2()); break;
+      case Opcode::BNE: branch(rs1() != rs2()); break;
+      case Opcode::BLT: branch(asSigned(rs1()) < asSigned(rs2())); break;
+      case Opcode::BGE: branch(asSigned(rs1()) >= asSigned(rs2())); break;
+      case Opcode::BLTU: branch(rs1() < rs2()); break;
+      case Opcode::BGEU: branch(rs1() >= rs2()); break;
+
+      case Opcode::JAL:
+        writeDest(s.pc + instBytes);
+        s.taken = true;
+        s.nextPc = s.pc + instBytes +
+                   static_cast<Addr>(inst.imm * int64_t{instBytes});
+        break;
+      case Opcode::JALR: {
+        Addr target = (rs1() + static_cast<RegVal>(inst.imm)) &
+                      ~static_cast<Addr>(instBytes - 1);
+        writeDest(s.pc + instBytes);
+        s.taken = true;
+        s.nextPc = target;
+        break;
+      }
+
+      case Opcode::FADD: writeFpDest(frs1() + frs2()); break;
+      case Opcode::FSUB: writeFpDest(frs1() - frs2()); break;
+      case Opcode::FMUL: writeFpDest(frs1() * frs2()); break;
+      case Opcode::FDIV: {
+        double d = frs2();
+        writeFpDest(d == 0.0 ? 0.0 : frs1() / d);
+        break;
+      }
+      case Opcode::FSQRT: {
+        double d = frs1();
+        writeFpDest(d < 0.0 ? 0.0 : std::sqrt(d));
+        break;
+      }
+      case Opcode::FMIN: writeFpDest(std::fmin(frs1(), frs2())); break;
+      case Opcode::FMAX: writeFpDest(std::fmax(frs1(), frs2())); break;
+      case Opcode::FMA:
+        writeFpDest(state.readFpReg(inst.rd) + frs1() * frs2());
+        break;
+      case Opcode::FCVTDL:
+        writeFpDest(static_cast<double>(asSigned(rs1())));
+        break;
+      case Opcode::FCVTLD:
+        writeDest(static_cast<RegVal>(fpToInt(frs1())));
+        break;
+      case Opcode::FEQ: writeDest(frs1() == frs2() ? 1 : 0); break;
+      case Opcode::FLT: writeDest(frs1() < frs2() ? 1 : 0); break;
+      case Opcode::FLE: writeDest(frs1() <= frs2() ? 1 : 0); break;
+      case Opcode::FMOV: writeFpDest(frs1()); break;
+      case Opcode::FMVDX: writeDest(rs1()); break;
+      case Opcode::FMVXD: writeDest(state.readReg(inst.rs1)); break;
+
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        s.halted = true;
+        break;
+      case Opcode::NUM_OPCODES:
+        panic("executed NUM_OPCODES sentinel");
+    }
+
+    state.pc = s.nextPc;
+    return s;
+}
+
+uint64_t
+Emulator::run(ArchState &state, uint64_t maxInsts)
+{
+    for (uint64_t n = 0; n < maxInsts; ++n) {
+        EmuStep s = step(state, nullptr);
+        if (s.halted)
+            return n + 1;
+    }
+    return maxInsts;
+}
+
+} // namespace vpsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional emulator for the vpsim ISA. The timing core calls step()
+ * when an instruction is renamed/dispatched; the emulator computes the
+ * instruction's full architectural effect (register writes, memory
+ * access through the context's store-segment chain, next PC) and the
+ * timing model decides *when* those effects would have been visible.
+ */
+
+#ifndef VPSIM_EMU_EMULATOR_HH
+#define VPSIM_EMU_EMULATOR_HH
+
+#include "emu/context_state.hh"
+#include "emu/store_buffer.hh"
+#include "isa/isa.hh"
+
+namespace vpsim
+{
+
+class MainMemory;
+
+/** Everything the timing model needs to know about one executed inst. */
+struct EmuStep
+{
+    Addr pc = 0;
+    Addr nextPc = 0;
+    uint32_t rawWord = 0;
+    DecodedInst inst;
+
+    // Control flow.
+    bool taken = false; ///< Branch taken / jump (always true for jumps).
+
+    // Memory.
+    Addr effAddr = 0;
+    int memBytes = 0;
+    RegVal memValue = 0;    ///< Value loaded (after forwarding) or stored.
+    bool fullyForwarded = false; ///< Load satisfied by store segments.
+
+    // Register result.
+    bool wroteReg = false;
+    RegVal result = 0;
+
+    bool halted = false;
+};
+
+/** Stateless instruction interpreter over a MainMemory. */
+class Emulator
+{
+  public:
+    explicit Emulator(MainMemory &mem) : _mem(mem) {}
+
+    /**
+     * Execute the instruction at @p state.pc.
+     *
+     * @param state    architectural state to read and update
+     * @param segment  the context's current store segment; stores write
+     *                 here, loads read through its chain (may be null
+     *                 for a purely architectural run that writes memory
+     *                 directly)
+     */
+    EmuStep step(ArchState &state, StoreSegment *segment);
+
+    /**
+     * Run until HALT or @p maxInsts, writing stores straight to memory.
+     * Used by workload self-tests and the reference executor in the
+     * architectural-equivalence tests. Returns instructions executed.
+     */
+    uint64_t run(ArchState &state, uint64_t maxInsts);
+
+  private:
+    MainMemory &_mem;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_EMU_EMULATOR_HH

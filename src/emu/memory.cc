@@ -1,0 +1,106 @@
+#include "emu/memory.hh"
+
+#include <cstring>
+
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+const MainMemory::Page *
+MainMemory::findPage(Addr pageAddr) const
+{
+    auto it = _pages.find(pageAddr);
+    return it == _pages.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page &
+MainMemory::touchPage(Addr pageAddr)
+{
+    auto &slot = _pages[pageAddr];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+uint64_t
+MainMemory::read(Addr addr, int bytes) const
+{
+    vpsim_assert(bytes >= 1 && bytes <= 8);
+    uint64_t value = 0;
+    // Fast path: access within one page.
+    Addr pageAddr = addr & ~(pageBytes - 1);
+    Addr offset = addr - pageAddr;
+    if (offset + static_cast<Addr>(bytes) <= pageBytes) {
+        const Page *page = findPage(pageAddr);
+        if (page == nullptr)
+            return 0;
+        std::memcpy(&value, page->data() + offset,
+                    static_cast<size_t>(bytes));
+        return value;
+    }
+    // Slow path: page-crossing access, byte at a time.
+    for (int i = 0; i < bytes; ++i) {
+        Addr a = addr + static_cast<Addr>(i);
+        const Page *page = findPage(a & ~(pageBytes - 1));
+        uint8_t b = page ? (*page)[a & (pageBytes - 1)] : 0;
+        value |= static_cast<uint64_t>(b) << (8 * i);
+    }
+    return value;
+}
+
+void
+MainMemory::write(Addr addr, int bytes, uint64_t value)
+{
+    vpsim_assert(bytes >= 1 && bytes <= 8);
+    Addr pageAddr = addr & ~(pageBytes - 1);
+    Addr offset = addr - pageAddr;
+    if (offset + static_cast<Addr>(bytes) <= pageBytes) {
+        Page &page = touchPage(pageAddr);
+        std::memcpy(page.data() + offset, &value,
+                    static_cast<size_t>(bytes));
+        return;
+    }
+    for (int i = 0; i < bytes; ++i) {
+        Addr a = addr + static_cast<Addr>(i);
+        Page &page = touchPage(a & ~(pageBytes - 1));
+        page[a & (pageBytes - 1)] =
+            static_cast<uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+MainMemory::loadProgram(const Program &prog)
+{
+    Addr addr = prog.base;
+    for (uint32_t word : prog.words) {
+        write32(addr, word);
+        addr += instBytes;
+    }
+}
+
+bool
+MainMemory::contentEquals(const MainMemory &other) const
+{
+    static const Page zeroPage = [] {
+        Page p;
+        p.fill(0);
+        return p;
+    }();
+
+    auto coveredBy = [](const MainMemory &a, const MainMemory &b) {
+        for (const auto &[addr, page] : a._pages) {
+            const Page *otherPage = b.findPage(addr);
+            const Page &rhs = otherPage ? *otherPage : zeroPage;
+            if (std::memcmp(page->data(), rhs.data(), pageBytes) != 0)
+                return false;
+        }
+        return true;
+    };
+    return coveredBy(*this, other) && coveredBy(other, *this);
+}
+
+} // namespace vpsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sparse simulated main memory. Pages materialize on first write; reads
+ * of unmapped addresses return zero. All accesses are safe at any
+ * address — value-misspeculated threads genuinely execute down wrong
+ * paths and may compute wild addresses, which must not harm the host.
+ */
+
+#ifndef VPSIM_EMU_MEMORY_HH
+#define VPSIM_EMU_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+struct Program;
+
+/** Byte-addressable sparse 64-bit memory. */
+class MainMemory
+{
+  public:
+    static constexpr Addr pageBytes = 4096;
+
+    /** Read @p bytes (1..8) little-endian; unmapped bytes read as 0. */
+    uint64_t read(Addr addr, int bytes) const;
+
+    /** Write the low @p bytes (1..8) of @p value little-endian. */
+    void write(Addr addr, int bytes, uint64_t value);
+
+    uint64_t read64(Addr a) const { return read(a, 8); }
+    uint32_t read32(Addr a) const
+    {
+        return static_cast<uint32_t>(read(a, 4));
+    }
+    uint8_t read8(Addr a) const { return static_cast<uint8_t>(read(a, 1)); }
+    void write64(Addr a, uint64_t v) { write(a, 8, v); }
+    void write32(Addr a, uint32_t v) { write(a, 4, v); }
+    void write8(Addr a, uint8_t v) { write(a, 1, v); }
+
+    /** Store a double's bit pattern. */
+    void writeFp(Addr a, double d) { write64(a, fpToBits(d)); }
+    double readFp(Addr a) const { return bitsToFp(read64(a)); }
+
+    /** Copy an assembled program image into memory at its base. */
+    void loadProgram(const Program &prog);
+
+    /** Number of materialized pages (footprint metric for tests). */
+    size_t mappedPages() const { return _pages.size(); }
+
+    /** Equality over mapped content (zero-filled pages compare equal to
+     *  unmapped ones); used by architectural-equivalence tests. */
+    bool contentEquals(const MainMemory &other) const;
+
+  private:
+    using Page = std::array<uint8_t, pageBytes>;
+
+    const Page *findPage(Addr pageAddr) const;
+    Page &touchPage(Addr pageAddr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_EMU_MEMORY_HH

@@ -1,0 +1,82 @@
+#include "emu/store_buffer.hh"
+
+#include "emu/memory.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+void
+StoreSegment::writeBytes(Addr addr, int bytes, uint64_t value)
+{
+    vpsim_assert(!_frozen, "write to frozen store segment");
+    for (int i = 0; i < bytes; ++i) {
+        _bytes[addr + static_cast<Addr>(i)] =
+            static_cast<uint8_t>(value >> (8 * i));
+    }
+}
+
+bool
+StoreSegment::readByte(Addr addr, uint8_t &out) const
+{
+    auto it = _bytes.find(addr);
+    if (it == _bytes.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+Addr
+StoreSegment::drainResidentStore()
+{
+    vpsim_assert(!_residentAddrs.empty(), "store segment drain underflow");
+    Addr addr = _residentAddrs.front();
+    _residentAddrs.pop_front();
+    return addr;
+}
+
+void
+StoreSegment::removePendingCommit()
+{
+    vpsim_assert(_pendingCommits > 0, "pending-commit underflow");
+    --_pendingCommits;
+}
+
+void
+StoreSegment::flushTo(MainMemory &mem)
+{
+    for (const auto &[addr, byte] : _bytes)
+        mem.write8(addr, byte);
+    _bytes.clear();
+}
+
+ChainReadResult
+readThroughChain(const StoreSegment *leaf, const MainMemory &mem,
+                 Addr addr, int bytes)
+{
+    vpsim_assert(bytes >= 1 && bytes <= 8);
+    ChainReadResult result;
+    int forwarded = 0;
+    for (int i = 0; i < bytes; ++i) {
+        Addr a = addr + static_cast<Addr>(i);
+        uint8_t byte = 0;
+        bool hit = false;
+        for (const StoreSegment *seg = leaf; seg != nullptr;
+             seg = seg->parent().get()) {
+            if (seg->readByte(a, byte)) {
+                hit = true;
+                break;
+            }
+        }
+        if (!hit)
+            byte = mem.read8(a);
+        else
+            ++forwarded;
+        result.value |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    result.anyForwarded = forwarded > 0;
+    result.fullyForwarded = forwarded == bytes;
+    return result;
+}
+
+} // namespace vpsim

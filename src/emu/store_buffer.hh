@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Speculative store buffering for threaded value prediction.
+ *
+ * Memory state of a speculative thread lives in a chain of StoreSegment
+ * overlay nodes. A segment holds the bytes written by one thread during
+ * one spawn epoch. On spawn the parent's segment is frozen and both the
+ * parent (no-stall mode) and the child continue in fresh segments whose
+ * parent pointer is the frozen one — so a child sees every store that was
+ * architecturally older than the spawn point and nothing younger from an
+ * alternative future. Loads resolve byte-wise through the chain and fall
+ * through to main memory (the paper's "searched by every load" store
+ * buffer with thread-order hit semantics, Section 3.2/3.3).
+ *
+ * On value-prediction confirmation the surviving chain's oldest segments
+ * drain to main memory; on misprediction the losing thread's segments are
+ * simply dropped.
+ */
+
+#ifndef VPSIM_EMU_STORE_BUFFER_HH
+#define VPSIM_EMU_STORE_BUFFER_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+class MainMemory;
+
+/** One spawn-epoch's worth of a thread's speculative stores. */
+class StoreSegment
+{
+  public:
+    StoreSegment(CtxId owner, std::shared_ptr<StoreSegment> parent)
+        : _owner(owner), _parent(std::move(parent))
+    {}
+
+    CtxId owner() const { return _owner; }
+    const std::shared_ptr<StoreSegment> &parent() const { return _parent; }
+
+    /** Detach from the parent (after the parent drained to memory). */
+    void unlinkParent() { _parent.reset(); }
+
+    /** Record a store's bytes (newest value wins within the segment). */
+    void writeBytes(Addr addr, int bytes, uint64_t value);
+
+    /** Try to read one byte from this segment only. */
+    bool readByte(Addr addr, uint8_t &out) const;
+
+    /** Number of distinct bytes held (footprint metric). */
+    size_t byteCount() const { return _bytes.size(); }
+
+    /**
+     * Committed-but-undrained store instructions resident here. The core
+     * adds an entry at store commit and the drain engine retires entries
+     * in order; capacity checks compare the owner's total against the
+     * configured store-buffer size.
+     */
+    int residentStores() const
+    {
+        return static_cast<int>(_residentAddrs.size());
+    }
+    void addResidentStore(Addr addr) { _residentAddrs.push_back(addr); }
+    /** Retire the oldest resident store; returns its address. */
+    Addr drainResidentStore();
+
+    /**
+     * Stores dispatched toward this segment but not yet committed. The
+     * segment may not flush to memory while any remain (they still need
+     * resident-entry accounting).
+     */
+    int pendingCommits() const { return _pendingCommits; }
+    void addPendingCommit() { ++_pendingCommits; }
+    void removePendingCommit();
+
+    /** True once the owning thread will never append to this segment. */
+    bool frozen() const { return _frozen; }
+    void freeze() { _frozen = true; }
+
+    /** Already placed on the core's drain queue. */
+    bool drainQueued() const { return _drainQueued; }
+    void markDrainQueued() { _drainQueued = true; }
+
+    /** Ready to leave the store buffer entirely. */
+    bool
+    flushable() const
+    {
+        return _frozen && _residentAddrs.empty() && _pendingCommits == 0;
+    }
+
+    /** Write all held bytes to main memory (segment becomes empty). */
+    void flushTo(MainMemory &mem);
+
+  private:
+    CtxId _owner;
+    std::shared_ptr<StoreSegment> _parent;
+    std::unordered_map<Addr, uint8_t> _bytes;
+    std::deque<Addr> _residentAddrs;
+    int _pendingCommits = 0;
+    bool _frozen = false;
+    bool _drainQueued = false;
+};
+
+/** Outcome classification for a chain read (drives load timing). */
+struct ChainReadResult
+{
+    uint64_t value = 0;
+    /** Every requested byte came from some store segment. */
+    bool fullyForwarded = false;
+    /** At least one byte came from a store segment. */
+    bool anyForwarded = false;
+};
+
+/**
+ * Read @p bytes at @p addr through the segment chain rooted at @p leaf,
+ * falling back to @p mem for bytes no segment holds.
+ */
+ChainReadResult readThroughChain(const StoreSegment *leaf,
+                                 const MainMemory &mem, Addr addr,
+                                 int bytes);
+
+} // namespace vpsim
+
+#endif // VPSIM_EMU_STORE_BUFFER_HH

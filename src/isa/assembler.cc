@@ -1,0 +1,580 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "isa/isa.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+namespace
+{
+
+/** One parsed source statement (after label extraction). */
+struct Statement
+{
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    int line = 0;
+};
+
+class AsmError
+{
+  public:
+    AsmError(int line, std::string msg)
+        : text(csprintf("line %d: %s", line, msg.c_str()))
+    {}
+    std::string text;
+};
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+validLabelName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_' &&
+        s[0] != '.')
+        return false;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.')
+            return false;
+    }
+    return true;
+}
+
+/** Parse "r5"/"f12"/"zero" to a logical register number, or -1. */
+int
+parseReg(const std::string &tok)
+{
+    if (tok == "zero")
+        return 0;
+    if (tok.size() < 2)
+        return -1;
+    char kind = tok[0];
+    if (kind != 'r' && kind != 'f')
+        return -1;
+    int num = 0;
+    for (size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return -1;
+        num = num * 10 + (tok[i] - '0');
+        if (num > 31)
+            return -1;
+    }
+    return kind == 'f' ? num + numIntRegs : num;
+}
+
+bool
+parseImmediate(const std::string &tok, int64_t &out)
+{
+    if (tok.empty())
+        return false;
+    size_t pos = 0;
+    try {
+        out = std::stoll(tok, &pos, 0);
+        return pos == tok.size();
+    } catch (const std::out_of_range &) {
+        // Values in [2^63, 2^64) are accepted as raw bit patterns.
+        try {
+            out = static_cast<int64_t>(std::stoull(tok, &pos, 0));
+            return pos == tok.size();
+        } catch (const std::exception &) {
+            return false;
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+/** Split "8(r1)" into offset and base register. */
+bool
+parseMemOperand(const std::string &tok, int64_t &offset, int &base)
+{
+    size_t open = tok.find('(');
+    size_t close = tok.find(')');
+    if (open == std::string::npos || close != tok.size() - 1 ||
+        close <= open + 1) {
+        return false;
+    }
+    std::string offStr = trim(tok.substr(0, open));
+    if (offStr.empty())
+        offStr = "0";
+    if (!parseImmediate(offStr, offset))
+        return false;
+    base = parseReg(trim(tok.substr(open + 1, close - open - 1)));
+    return base >= 0 && base < numIntRegs;
+}
+
+/** Number of instruction words a "li rd, imm" pseudo expands to. */
+int
+liLength(int64_t imm)
+{
+    if (imm >= -32768 && imm <= 32767)
+        return 1;
+    uint64_t v = static_cast<uint64_t>(imm);
+    int top = 3;
+    while (top > 0 && ((v >> (16 * top)) & 0xffffu) == 0)
+        --top;
+    return 1 + 2 * top;
+}
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, Addr base) : _base(base)
+    {
+        parseSource(source);
+    }
+
+    Program
+    run()
+    {
+        layout();
+        emit();
+        Program prog;
+        prog.base = _base;
+        prog.words = std::move(_words);
+        prog.symbols = std::move(_symbols);
+        return prog;
+    }
+
+  private:
+    /** Words occupied by one statement (pass 1). */
+    int
+    statementLength(const Statement &st)
+    {
+        if (st.mnemonic == ".word")
+            return 1;
+        if (st.mnemonic == ".dword")
+            return 2;
+        if (st.mnemonic == "li") {
+            requireOperands(st, 2);
+            int64_t imm;
+            if (!parseImmediate(st.operands[1], imm))
+                throw AsmError(st.line, "li needs a literal immediate");
+            return liLength(imm);
+        }
+        return 1;
+    }
+
+    void
+    parseSource(const std::string &source)
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int lineNo = 0;
+        while (std::getline(in, raw)) {
+            ++lineNo;
+            size_t cut = raw.find_first_of("#;");
+            if (cut != std::string::npos)
+                raw = raw.substr(0, cut);
+            std::string line = trim(raw);
+
+            // Peel leading labels.
+            for (;;) {
+                size_t colon = line.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string label = trim(line.substr(0, colon));
+                if (!validLabelName(label))
+                    throw AsmError(lineNo, "bad label '" + label + "'");
+                _pendingLabels.emplace_back(label, _statements.size(),
+                                            lineNo);
+                line = trim(line.substr(colon + 1));
+            }
+            if (line.empty())
+                continue;
+
+            Statement st;
+            st.line = lineNo;
+            size_t sp = line.find_first_of(" \t");
+            if (sp == std::string::npos) {
+                st.mnemonic = line;
+            } else {
+                st.mnemonic = line.substr(0, sp);
+                std::string rest = line.substr(sp + 1);
+                size_t start = 0;
+                while (start <= rest.size()) {
+                    size_t comma = rest.find(',', start);
+                    std::string piece =
+                        comma == std::string::npos
+                            ? rest.substr(start)
+                            : rest.substr(start, comma - start);
+                    piece = trim(piece);
+                    if (piece.empty()) {
+                        throw AsmError(lineNo, "empty operand");
+                    }
+                    st.operands.push_back(piece);
+                    if (comma == std::string::npos)
+                        break;
+                    start = comma + 1;
+                }
+            }
+            _statements.push_back(std::move(st));
+        }
+    }
+
+    void
+    layout()
+    {
+        std::vector<Addr> addrs;
+        Addr pc = _base;
+        size_t labelIdx = 0;
+        for (size_t i = 0; i < _statements.size(); ++i) {
+            while (labelIdx < _pendingLabels.size() &&
+                   std::get<1>(_pendingLabels[labelIdx]) == i) {
+                defineLabel(labelIdx, pc);
+                ++labelIdx;
+            }
+            addrs.push_back(pc);
+            pc += static_cast<Addr>(statementLength(_statements[i])) *
+                  instBytes;
+        }
+        while (labelIdx < _pendingLabels.size()) {
+            defineLabel(labelIdx, pc);
+            ++labelIdx;
+        }
+        _addrs = std::move(addrs);
+    }
+
+    void
+    defineLabel(size_t idx, Addr pc)
+    {
+        const auto &[name, stIdx, line] = _pendingLabels[idx];
+        (void)stIdx;
+        if (_symbols.count(name))
+            throw AsmError(line, "duplicate label '" + name + "'");
+        _symbols[name] = pc;
+    }
+
+    void
+    requireOperands(const Statement &st, size_t n)
+    {
+        if (st.operands.size() != n) {
+            throw AsmError(st.line,
+                           csprintf("'%s' expects %zu operands, got %zu",
+                                    st.mnemonic.c_str(), n,
+                                    st.operands.size()));
+        }
+    }
+
+    int
+    reg(const Statement &st, size_t idx, bool wantFp)
+    {
+        int r = parseReg(st.operands[idx]);
+        if (r < 0) {
+            throw AsmError(st.line,
+                           "bad register '" + st.operands[idx] + "'");
+        }
+        if (wantFp != isFpReg(r)) {
+            throw AsmError(st.line, csprintf("operand %zu of '%s' must be "
+                                             "an %s register",
+                                             idx + 1, st.mnemonic.c_str(),
+                                             wantFp ? "fp" : "int"));
+        }
+        return r;
+    }
+
+    int64_t
+    imm(const Statement &st, size_t idx)
+    {
+        int64_t v;
+        if (!parseImmediate(st.operands[idx], v)) {
+            throw AsmError(st.line,
+                           "bad immediate '" + st.operands[idx] + "'");
+        }
+        return v;
+    }
+
+    /** Branch/jump target operand: label or literal address. */
+    int64_t
+    targetOffset(const Statement &st, size_t idx, Addr pc, int bits)
+    {
+        Addr target;
+        const std::string &tok = st.operands[idx];
+        auto it = _symbols.find(tok);
+        if (it != _symbols.end()) {
+            target = it->second;
+        } else {
+            int64_t lit;
+            if (!parseImmediate(tok, lit))
+                throw AsmError(st.line, "undefined label '" + tok + "'");
+            target = static_cast<Addr>(lit);
+        }
+        int64_t delta = static_cast<int64_t>(target) -
+                        static_cast<int64_t>(pc + instBytes);
+        if (delta % static_cast<int64_t>(instBytes) != 0)
+            throw AsmError(st.line, "misaligned branch target");
+        int64_t words = delta / static_cast<int64_t>(instBytes);
+        int64_t lim = int64_t{1} << (bits - 1);
+        if (words < -lim || words >= lim)
+            throw AsmError(st.line, "branch target out of range");
+        return words;
+    }
+
+    void
+    emitInst(const DecodedInst &inst)
+    {
+        _words.push_back(encode(inst));
+    }
+
+    void
+    emitLi(int rd, int64_t value)
+    {
+        if (value >= -32768 && value <= 32767) {
+            emitInst({Opcode::ADDI, rd, 0, -1, -1, value});
+            return;
+        }
+        uint64_t v = static_cast<uint64_t>(value);
+        int top = 3;
+        while (top > 0 && ((v >> (16 * top)) & 0xffffu) == 0)
+            --top;
+        emitInst({Opcode::ORI, rd, 0, -1, -1,
+                  static_cast<int64_t>((v >> (16 * top)) & 0xffffu)});
+        for (int chunk = top - 1; chunk >= 0; --chunk) {
+            emitInst({Opcode::SLLI, rd, rd, -1, -1, 16});
+            emitInst({Opcode::ORI, rd, rd, -1, -1,
+                      static_cast<int64_t>((v >> (16 * chunk)) & 0xffffu)});
+        }
+    }
+
+    void
+    emitStatement(const Statement &st, Addr pc)
+    {
+        const std::string &m = st.mnemonic;
+
+        // Directives and pseudo-instructions first.
+        if (m == ".word") {
+            requireOperands(st, 1);
+            _words.push_back(static_cast<uint32_t>(imm(st, 0)));
+            return;
+        }
+        if (m == ".dword") {
+            requireOperands(st, 1);
+            uint64_t v = static_cast<uint64_t>(imm(st, 0));
+            _words.push_back(static_cast<uint32_t>(v));
+            _words.push_back(static_cast<uint32_t>(v >> 32));
+            return;
+        }
+        if (m == "li") {
+            requireOperands(st, 2);
+            emitLi(reg(st, 0, false), imm(st, 1));
+            return;
+        }
+        if (m == "mv") {
+            requireOperands(st, 2);
+            emitInst({Opcode::ADDI, reg(st, 0, false), reg(st, 1, false),
+                      -1, -1, 0});
+            return;
+        }
+        if (m == "subi") {
+            requireOperands(st, 3);
+            emitInst({Opcode::ADDI, reg(st, 0, false), reg(st, 1, false),
+                      -1, -1, -imm(st, 2)});
+            return;
+        }
+        if (m == "b") {
+            requireOperands(st, 1);
+            emitInst({Opcode::BEQ, -1, 0, 0, -1,
+                      targetOffset(st, 0, pc, 16)});
+            return;
+        }
+        if (m == "ret") {
+            requireOperands(st, 0);
+            emitInst({Opcode::JALR, 0, 31, -1, -1, 0});
+            return;
+        }
+
+        Opcode op = opcodeFromName(m);
+        if (op == Opcode::NUM_OPCODES)
+            throw AsmError(st.line, "unknown mnemonic '" + m + "'");
+
+        DecodedInst inst;
+        inst.op = op;
+        switch (op) {
+          // R-type integer.
+          case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+          case Opcode::DIVQ: case Opcode::REM: case Opcode::AND:
+          case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+          case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+          case Opcode::SLTU:
+            requireOperands(st, 3);
+            inst.rd = reg(st, 0, false);
+            inst.rs1 = reg(st, 1, false);
+            inst.rs2 = reg(st, 2, false);
+            break;
+          // I-type integer.
+          case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+          case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+          case Opcode::SRAI: case Opcode::SLTI:
+            requireOperands(st, 3);
+            inst.rd = reg(st, 0, false);
+            inst.rs1 = reg(st, 1, false);
+            inst.imm = imm(st, 2);
+            break;
+          case Opcode::LUI:
+            requireOperands(st, 2);
+            inst.rd = reg(st, 0, false);
+            inst.imm = imm(st, 1);
+            break;
+          // Loads.
+          case Opcode::LD: case Opcode::LW: case Opcode::LBU:
+          case Opcode::FLD: {
+            requireOperands(st, 2);
+            inst.rd = reg(st, 0, op == Opcode::FLD);
+            int base;
+            if (!parseMemOperand(st.operands[1], inst.imm, base)) {
+                throw AsmError(st.line, "bad memory operand '" +
+                                        st.operands[1] + "'");
+            }
+            inst.rs1 = base;
+            break;
+          }
+          // Stores.
+          case Opcode::SD: case Opcode::SW: case Opcode::SB:
+          case Opcode::FSD: {
+            requireOperands(st, 2);
+            inst.rs2 = reg(st, 0, op == Opcode::FSD);
+            int base;
+            if (!parseMemOperand(st.operands[1], inst.imm, base)) {
+                throw AsmError(st.line, "bad memory operand '" +
+                                        st.operands[1] + "'");
+            }
+            inst.rs1 = base;
+            break;
+          }
+          // Branches.
+          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+          case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+            requireOperands(st, 3);
+            inst.rs1 = reg(st, 0, false);
+            inst.rs2 = reg(st, 1, false);
+            inst.imm = targetOffset(st, 2, pc, 16);
+            break;
+          case Opcode::JAL:
+            requireOperands(st, 2);
+            inst.rd = reg(st, 0, false);
+            inst.imm = targetOffset(st, 1, pc, 21);
+            break;
+          case Opcode::JALR:
+            requireOperands(st, 3);
+            inst.rd = reg(st, 0, false);
+            inst.rs1 = reg(st, 1, false);
+            inst.imm = imm(st, 2);
+            break;
+          // FP three-operand.
+          case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+          case Opcode::FDIV: case Opcode::FMIN: case Opcode::FMAX:
+          case Opcode::FMA:
+            requireOperands(st, 3);
+            inst.rd = reg(st, 0, true);
+            inst.rs1 = reg(st, 1, true);
+            inst.rs2 = reg(st, 2, true);
+            if (op == Opcode::FMA)
+                inst.rs3 = inst.rd;
+            break;
+          // FP two-operand.
+          case Opcode::FSQRT: case Opcode::FMOV:
+            requireOperands(st, 2);
+            inst.rd = reg(st, 0, true);
+            inst.rs1 = reg(st, 1, true);
+            break;
+          case Opcode::FCVTDL: case Opcode::FMVDX:
+            requireOperands(st, 2);
+            inst.rd = reg(st, 0, true);
+            inst.rs1 = reg(st, 1, false);
+            break;
+          case Opcode::FCVTLD: case Opcode::FMVXD:
+            requireOperands(st, 2);
+            inst.rd = reg(st, 0, false);
+            inst.rs1 = reg(st, 1, true);
+            break;
+          case Opcode::FEQ: case Opcode::FLT: case Opcode::FLE:
+            requireOperands(st, 3);
+            inst.rd = reg(st, 0, false);
+            inst.rs1 = reg(st, 1, true);
+            inst.rs2 = reg(st, 2, true);
+            break;
+          case Opcode::NOP: case Opcode::HALT:
+            requireOperands(st, 0);
+            break;
+          case Opcode::NUM_OPCODES:
+            throw AsmError(st.line, "unknown mnemonic");
+        }
+
+        // Writing r0 is a no-op; normalize like decode() does.
+        if (inst.rd == 0)
+            inst.rd = -1;
+        emitInst(inst);
+    }
+
+    void
+    emit()
+    {
+        for (size_t i = 0; i < _statements.size(); ++i) {
+            size_t before = _words.size();
+            emitStatement(_statements[i], _addrs[i]);
+            size_t expect =
+                static_cast<size_t>(statementLength(_statements[i]));
+            if (_words.size() - before != expect) {
+                throw AsmError(_statements[i].line,
+                               "internal: pass1/pass2 size mismatch");
+            }
+        }
+    }
+
+    Addr _base;
+    std::vector<Statement> _statements;
+    std::vector<std::tuple<std::string, size_t, int>> _pendingLabels;
+    std::vector<Addr> _addrs;
+    std::vector<uint32_t> _words;
+    std::map<std::string, Addr> _symbols;
+};
+
+} // namespace
+
+std::optional<Program>
+assembleOrError(const std::string &source, Addr base, std::string &error)
+{
+    try {
+        Assembler as(source, base);
+        return as.run();
+    } catch (const AsmError &e) {
+        error = e.text;
+        return std::nullopt;
+    }
+}
+
+Program
+assemble(const std::string &source, Addr base)
+{
+    std::string error;
+    auto prog = assembleOrError(source, base, error);
+    if (!prog)
+        fatal("assembly failed: %s", error.c_str());
+    return *prog;
+}
+
+} // namespace vpsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A two-pass assembler for the vpsim ISA. Workload kernels are written
+ * as embedded assembly strings; the assembler resolves labels, expands
+ * pseudo-instructions (li/mv/b/ret/subi), and produces a binary Program
+ * image ready to load into simulated memory.
+ */
+
+#ifndef VPSIM_ISA_ASSEMBLER_HH
+#define VPSIM_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** An assembled binary image plus its symbol table. */
+struct Program
+{
+    /** Load address of words[0]. */
+    Addr base = 0;
+    /** Binary instruction/data words in ascending address order. */
+    std::vector<uint32_t> words;
+    /** Label name -> absolute address. */
+    std::map<std::string, Addr> symbols;
+
+    /** Address one past the final word. */
+    Addr end() const { return base + words.size() * instBytes; }
+
+    /** Address of a label; fatal() if undefined. */
+    Addr symbol(const std::string &name) const;
+};
+
+/**
+ * Assemble @p source at load address @p base.
+ *
+ * Accepted syntax (one statement per line, '#' or ';' comments):
+ *   label:
+ *       addi r1, r0, 100
+ *       ld   r2, 8(r1)          loads:  rd, offset(base)
+ *       sd   r2, 8(r1)          stores: data, offset(base)
+ *       beq  r1, r2, label
+ *       jal  r31, label
+ *       fadd f1, f2, f3
+ *       li   r5, 0x1234567890   pseudo: expands to a constant build
+ *       mv   r1, r2             pseudo: addi r1, r2, 0
+ *       b    label              pseudo: beq r0, r0, label
+ *       subi r1, r2, 4          pseudo: addi r1, r2, -4
+ *       .word 0x12345678        32-bit literal data
+ *       .dword 0x123456789abc   64-bit literal data (two words, LE)
+ *
+ * @return the program, or std::nullopt with @p error set.
+ */
+std::optional<Program> assembleOrError(const std::string &source,
+                                       Addr base, std::string &error);
+
+/** Assemble; fatal() with the error message on failure. */
+Program assemble(const std::string &source, Addr base = 0x1000);
+
+} // namespace vpsim
+
+#endif // VPSIM_ISA_ASSEMBLER_HH

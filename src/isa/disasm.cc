@@ -1,0 +1,67 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+std::string
+disassemble(const DecodedInst &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+
+    auto r = [](int reg) { return regName(reg); };
+
+    if (inst.isLoad()) {
+        os << ' ' << r(inst.rd) << ", " << inst.imm << '(' << r(inst.rs1)
+           << ')';
+    } else if (inst.isStore()) {
+        os << ' ' << r(inst.rs2) << ", " << inst.imm << '(' << r(inst.rs1)
+           << ')';
+    } else if (inst.isBranch()) {
+        os << ' ' << r(inst.rs1) << ", " << r(inst.rs2) << ", "
+           << (inst.imm >= 0 ? "+" : "") << inst.imm;
+    } else if (inst.op == Opcode::JAL) {
+        os << ' ' << r(inst.rd) << ", " << (inst.imm >= 0 ? "+" : "")
+           << inst.imm;
+    } else if (inst.op == Opcode::JALR) {
+        os << ' ' << r(inst.rd) << ", " << r(inst.rs1) << ", " << inst.imm;
+    } else if (inst.op == Opcode::NOP || inst.op == Opcode::HALT) {
+        // Mnemonic only.
+    } else {
+        bool first = true;
+        auto emit = [&](const std::string &s) {
+            os << (first ? " " : ", ") << s;
+            first = false;
+        };
+        if (inst.rd >= 0)
+            emit(r(inst.rd));
+        else
+            emit("r0");
+        if (inst.rs1 >= 0)
+            emit(r(inst.rs1));
+        if (inst.rs2 >= 0 && inst.op != Opcode::FMA)
+            emit(r(inst.rs2));
+        if (inst.op == Opcode::FMA)
+            emit(r(inst.rs2));
+        bool hasImm = inst.op == Opcode::ADDI || inst.op == Opcode::ANDI ||
+                      inst.op == Opcode::ORI || inst.op == Opcode::XORI ||
+                      inst.op == Opcode::SLLI || inst.op == Opcode::SRLI ||
+                      inst.op == Opcode::SRAI || inst.op == Opcode::SLTI ||
+                      inst.op == Opcode::LUI;
+        if (hasImm)
+            emit(std::to_string(inst.imm));
+    }
+    return os.str();
+}
+
+std::string
+disassemble(uint32_t word)
+{
+    return disassemble(decode(word));
+}
+
+} // namespace vpsim

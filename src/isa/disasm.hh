@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions back to assembler syntax
+ * (used by trace/debug output and round-trip tests).
+ */
+
+#ifndef VPSIM_ISA_DISASM_HH
+#define VPSIM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace vpsim
+{
+
+/** Render @p inst in the assembler's input syntax. Branch targets are
+ *  shown as relative word offsets (labels are gone after assembly). */
+std::string disassemble(const DecodedInst &inst);
+
+/** Decode and render a raw instruction word. */
+std::string disassemble(uint32_t word);
+
+} // namespace vpsim
+
+#endif // VPSIM_ISA_DISASM_HH

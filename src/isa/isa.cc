@@ -1,0 +1,455 @@
+#include "isa/isa.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** Instruction formats drive encode/decode field placement. */
+enum class Format : uint8_t
+{
+    R,      ///< rd, rs1, rs2
+    RFp,    ///< FP rd, rs1, rs2 (register numbers offset by 32)
+    R2Fp,   ///< FP rd, rs1 (unary FP)
+    I,      ///< rd, rs1, imm16
+    IU,     ///< rd, imm16 (LUI)
+    LdInt,  ///< int rd, imm16(rs1)
+    LdFp,   ///< fp rd, imm16(rs1)
+    StInt,  ///< int data (rd field), imm16(rs1)
+    StFp,   ///< fp data (rd field), imm16(rs1)
+    Br,     ///< rs1 (rd field), rs2 (rs1 field), imm16
+    Jal,    ///< rd, imm21
+    Jalr,   ///< rd, rs1, imm16
+    FpCvtToFp,   ///< fp rd, int rs1
+    FpCvtToInt,  ///< int rd, fp rs1
+    FpCmp,  ///< int rd, fp rs1, fp rs2
+    Fma,    ///< fp rd (also source rs3), fp rs1, fp rs2
+    None,   ///< no operands (NOP, HALT)
+};
+
+struct OpInfo
+{
+    const char *name;
+    Format format;
+    OpClass opClass;
+    int latency;
+};
+
+constexpr int numOpcodes = static_cast<int>(Opcode::NUM_OPCODES);
+
+const std::array<OpInfo, numOpcodes> opTable = {{
+    {"add",    Format::R,    OpClass::IntAlu, 1},
+    {"sub",    Format::R,    OpClass::IntAlu, 1},
+    {"mul",    Format::R,    OpClass::IntMul, 3},
+    {"divq",   Format::R,    OpClass::IntMul, 12},
+    {"rem",    Format::R,    OpClass::IntMul, 12},
+    {"and",    Format::R,    OpClass::IntAlu, 1},
+    {"or",     Format::R,    OpClass::IntAlu, 1},
+    {"xor",    Format::R,    OpClass::IntAlu, 1},
+    {"sll",    Format::R,    OpClass::IntAlu, 1},
+    {"srl",    Format::R,    OpClass::IntAlu, 1},
+    {"sra",    Format::R,    OpClass::IntAlu, 1},
+    {"slt",    Format::R,    OpClass::IntAlu, 1},
+    {"sltu",   Format::R,    OpClass::IntAlu, 1},
+    {"addi",   Format::I,    OpClass::IntAlu, 1},
+    {"andi",   Format::I,    OpClass::IntAlu, 1},
+    {"ori",    Format::I,    OpClass::IntAlu, 1},
+    {"xori",   Format::I,    OpClass::IntAlu, 1},
+    {"slli",   Format::I,    OpClass::IntAlu, 1},
+    {"srli",   Format::I,    OpClass::IntAlu, 1},
+    {"srai",   Format::I,    OpClass::IntAlu, 1},
+    {"slti",   Format::I,    OpClass::IntAlu, 1},
+    {"lui",    Format::IU,   OpClass::IntAlu, 1},
+    {"ld",     Format::LdInt, OpClass::Load,  1},
+    {"lw",     Format::LdInt, OpClass::Load,  1},
+    {"lbu",    Format::LdInt, OpClass::Load,  1},
+    {"sd",     Format::StInt, OpClass::Store, 1},
+    {"sw",     Format::StInt, OpClass::Store, 1},
+    {"sb",     Format::StInt, OpClass::Store, 1},
+    {"fld",    Format::LdFp,  OpClass::Load,  1},
+    {"fsd",    Format::StFp,  OpClass::Store, 1},
+    {"beq",    Format::Br,   OpClass::IntAlu, 1},
+    {"bne",    Format::Br,   OpClass::IntAlu, 1},
+    {"blt",    Format::Br,   OpClass::IntAlu, 1},
+    {"bge",    Format::Br,   OpClass::IntAlu, 1},
+    {"bltu",   Format::Br,   OpClass::IntAlu, 1},
+    {"bgeu",   Format::Br,   OpClass::IntAlu, 1},
+    {"jal",    Format::Jal,  OpClass::IntAlu, 1},
+    {"jalr",   Format::Jalr, OpClass::IntAlu, 1},
+    {"fadd",   Format::RFp,  OpClass::FpAdd,  4},
+    {"fsub",   Format::RFp,  OpClass::FpAdd,  4},
+    {"fmul",   Format::RFp,  OpClass::FpMul,  4},
+    {"fdiv",   Format::RFp,  OpClass::FpMul,  16},
+    {"fsqrt",  Format::R2Fp, OpClass::FpMul,  20},
+    {"fmin",   Format::RFp,  OpClass::FpAdd,  2},
+    {"fmax",   Format::RFp,  OpClass::FpAdd,  2},
+    {"fma",    Format::Fma,  OpClass::FpMul,  5},
+    {"fcvtdl", Format::FpCvtToFp,  OpClass::FpAdd, 2},
+    {"fcvtld", Format::FpCvtToInt, OpClass::FpAdd, 2},
+    {"feq",    Format::FpCmp, OpClass::FpAdd, 2},
+    {"flt",    Format::FpCmp, OpClass::FpAdd, 2},
+    {"fle",    Format::FpCmp, OpClass::FpAdd, 2},
+    {"fmov",   Format::R2Fp,  OpClass::FpAdd, 2},
+    {"fmvdx",  Format::FpCvtToFp,  OpClass::FpAdd, 2},
+    {"fmvxd",  Format::FpCvtToInt, OpClass::FpAdd, 2},
+    {"nop",    Format::None, OpClass::IntAlu, 1},
+    {"halt",   Format::None, OpClass::IntAlu, 1},
+}};
+
+const OpInfo &
+info(Opcode op)
+{
+    int idx = static_cast<int>(op);
+    vpsim_assert(idx >= 0 && idx < numOpcodes);
+    return opTable[static_cast<size_t>(idx)];
+}
+
+Format
+formatOf(Opcode op)
+{
+    return info(op).format;
+}
+
+uint32_t
+field(int value, int shift, int bits)
+{
+    uint32_t mask = (1u << bits) - 1;
+    return (static_cast<uint32_t>(value) & mask) << shift;
+}
+
+int
+extract(uint32_t word, int shift, int bits)
+{
+    return static_cast<int>((word >> shift) & ((1u << bits) - 1));
+}
+
+int64_t
+signExtend(uint32_t value, int bits)
+{
+    uint64_t v = value & ((1ull << bits) - 1);
+    uint64_t sign = 1ull << (bits - 1);
+    return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+int
+fpField(int logical)
+{
+    if (logical < 0)
+        return 0; // Normalized "no destination" encodes as f0.
+    vpsim_assert(isFpReg(logical), "fp operand expected, got %d", logical);
+    return logical - numIntRegs;
+}
+
+int
+intField(int logical)
+{
+    if (logical < 0)
+        return 0; // Normalized "no destination" encodes as r0.
+    vpsim_assert(logical < numIntRegs, "int operand expected, got %d",
+                 logical);
+    return logical;
+}
+
+} // namespace
+
+bool
+DecodedInst::isLoad() const
+{
+    return info(op).opClass == OpClass::Load;
+}
+
+bool
+DecodedInst::isStore() const
+{
+    return info(op).opClass == OpClass::Store;
+}
+
+bool
+DecodedInst::isBranch() const
+{
+    return formatOf(op) == Format::Br;
+}
+
+bool
+DecodedInst::isJump() const
+{
+    return op == Opcode::JAL || op == Opcode::JALR;
+}
+
+bool
+DecodedInst::isFp() const
+{
+    OpClass c = info(op).opClass;
+    return c == OpClass::FpAdd || c == OpClass::FpMul;
+}
+
+OpClass
+DecodedInst::opClass() const
+{
+    return info(op).opClass;
+}
+
+int
+DecodedInst::execLatency() const
+{
+    return info(op).latency;
+}
+
+int
+DecodedInst::memBytes() const
+{
+    switch (op) {
+      case Opcode::LD:
+      case Opcode::SD:
+      case Opcode::FLD:
+      case Opcode::FSD:
+        return 8;
+      case Opcode::LW:
+      case Opcode::SW:
+        return 4;
+      case Opcode::LBU:
+      case Opcode::SB:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+uint32_t
+encode(const DecodedInst &inst)
+{
+    uint32_t word = field(static_cast<int>(inst.op), 26, 6);
+    uint32_t imm16 = static_cast<uint32_t>(inst.imm) & 0xffffu;
+
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        word |= field(intField(inst.rs2), 11, 5);
+        break;
+      case Format::RFp:
+        word |= field(fpField(inst.rd), 21, 5);
+        word |= field(fpField(inst.rs1), 16, 5);
+        word |= field(fpField(inst.rs2), 11, 5);
+        break;
+      case Format::R2Fp:
+        word |= field(fpField(inst.rd), 21, 5);
+        word |= field(fpField(inst.rs1), 16, 5);
+        break;
+      case Format::I:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        word |= imm16;
+        break;
+      case Format::IU:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= imm16;
+        break;
+      case Format::LdInt:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        word |= imm16;
+        break;
+      case Format::LdFp:
+        word |= field(fpField(inst.rd), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        word |= imm16;
+        break;
+      case Format::StInt:
+        word |= field(intField(inst.rs2), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        word |= imm16;
+        break;
+      case Format::StFp:
+        word |= field(fpField(inst.rs2), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        word |= imm16;
+        break;
+      case Format::Br:
+        word |= field(intField(inst.rs1), 21, 5);
+        word |= field(intField(inst.rs2), 16, 5);
+        word |= imm16;
+        break;
+      case Format::Jal:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= static_cast<uint32_t>(inst.imm) & 0x1fffffu;
+        break;
+      case Format::Jalr:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        word |= imm16;
+        break;
+      case Format::FpCvtToFp:
+        word |= field(fpField(inst.rd), 21, 5);
+        word |= field(intField(inst.rs1), 16, 5);
+        break;
+      case Format::FpCvtToInt:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= field(fpField(inst.rs1), 16, 5);
+        break;
+      case Format::FpCmp:
+        word |= field(intField(inst.rd), 21, 5);
+        word |= field(fpField(inst.rs1), 16, 5);
+        word |= field(fpField(inst.rs2), 11, 5);
+        break;
+      case Format::Fma:
+        word |= field(fpField(inst.rd), 21, 5);
+        word |= field(fpField(inst.rs1), 16, 5);
+        word |= field(fpField(inst.rs2), 11, 5);
+        break;
+      case Format::None:
+        break;
+    }
+    return word;
+}
+
+DecodedInst
+decode(uint32_t word)
+{
+    DecodedInst inst;
+    int opNum = extract(word, 26, 6);
+    if (opNum >= numOpcodes) {
+        inst.op = Opcode::NOP;
+        return inst;
+    }
+    inst.op = static_cast<Opcode>(opNum);
+
+    int fA = extract(word, 21, 5);
+    int fB = extract(word, 16, 5);
+    int fC = extract(word, 11, 5);
+    int64_t imm16 = signExtend(word & 0xffffu, 16);
+
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        inst.rd = fA;
+        inst.rs1 = fB;
+        inst.rs2 = fC;
+        break;
+      case Format::RFp:
+        inst.rd = fA + numIntRegs;
+        inst.rs1 = fB + numIntRegs;
+        inst.rs2 = fC + numIntRegs;
+        break;
+      case Format::R2Fp:
+        inst.rd = fA + numIntRegs;
+        inst.rs1 = fB + numIntRegs;
+        break;
+      case Format::I:
+        inst.rd = fA;
+        inst.rs1 = fB;
+        // Logical immediates and shift amounts are zero-extended;
+        // arithmetic immediates are sign-extended.
+        switch (inst.op) {
+          case Opcode::ANDI:
+          case Opcode::ORI:
+          case Opcode::XORI:
+          case Opcode::SLLI:
+          case Opcode::SRLI:
+          case Opcode::SRAI:
+            inst.imm = static_cast<int64_t>(word & 0xffffu);
+            break;
+          default:
+            inst.imm = imm16;
+            break;
+        }
+        break;
+      case Format::IU:
+        inst.rd = fA;
+        inst.imm = imm16;
+        break;
+      case Format::LdInt:
+        inst.rd = fA;
+        inst.rs1 = fB;
+        inst.imm = imm16;
+        break;
+      case Format::LdFp:
+        inst.rd = fA + numIntRegs;
+        inst.rs1 = fB;
+        inst.imm = imm16;
+        break;
+      case Format::StInt:
+        inst.rs2 = fA;
+        inst.rs1 = fB;
+        inst.imm = imm16;
+        break;
+      case Format::StFp:
+        inst.rs2 = fA + numIntRegs;
+        inst.rs1 = fB;
+        inst.imm = imm16;
+        break;
+      case Format::Br:
+        inst.rs1 = fA;
+        inst.rs2 = fB;
+        inst.imm = imm16;
+        break;
+      case Format::Jal:
+        inst.rd = fA;
+        inst.imm = signExtend(word & 0x1fffffu, 21);
+        break;
+      case Format::Jalr:
+        inst.rd = fA;
+        inst.rs1 = fB;
+        inst.imm = imm16;
+        break;
+      case Format::FpCvtToFp:
+        inst.rd = fA + numIntRegs;
+        inst.rs1 = fB;
+        break;
+      case Format::FpCvtToInt:
+        inst.rd = fA;
+        inst.rs1 = fB + numIntRegs;
+        break;
+      case Format::FpCmp:
+        inst.rd = fA;
+        inst.rs1 = fB + numIntRegs;
+        inst.rs2 = fC + numIntRegs;
+        break;
+      case Format::Fma:
+        inst.rd = fA + numIntRegs;
+        inst.rs1 = fB + numIntRegs;
+        inst.rs2 = fC + numIntRegs;
+        inst.rs3 = inst.rd;
+        break;
+      case Format::None:
+        break;
+    }
+
+    // Writes to r0 are architectural no-ops; normalize so the pipeline
+    // never allocates a rename mapping for them.
+    if (inst.rd == 0)
+        inst.rd = -1;
+    return inst;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return info(op).name;
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    for (int i = 0; i < numOpcodes; ++i) {
+        if (name == opTable[static_cast<size_t>(i)].name)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NUM_OPCODES;
+}
+
+std::string
+regName(int r)
+{
+    if (r < 0)
+        return "-";
+    if (isFpReg(r))
+        return csprintf("f%d", r - numIntRegs);
+    return csprintf("r%d", r);
+}
+
+} // namespace vpsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The vpsim RISC ISA: a 64-bit load/store architecture with 32 integer
+ * and 32 floating-point registers and a fixed 32-bit instruction word.
+ *
+ * The ISA exists so workloads can be genuinely *executed* (value
+ * prediction needs real load values, and value-misspeculated threads must
+ * really run down wrong paths). It is deliberately small; the paper's
+ * mechanisms are ISA-agnostic.
+ *
+ * Encoding (32 bits):
+ *   [31:26] opcode   [25:21] rd   [20:16] rs1   [15:11] rs2
+ *   [15:0]  imm16 (I-format; overlaps rs2)
+ *   [20:0]  imm21 (J-format; overlaps rs1/rs2/imm16)
+ * Branch/jump immediates are signed word offsets relative to pc + 4.
+ */
+
+#ifndef VPSIM_ISA_ISA_HH
+#define VPSIM_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** Number of architectural integer (and, separately, FP) registers. */
+inline constexpr int numIntRegs = 32;
+inline constexpr int numFpRegs = 32;
+/** Total logical register namespace (int 0..31, fp 32..63). */
+inline constexpr int numLogicalRegs = numIntRegs + numFpRegs;
+/** Bytes per instruction word. */
+inline constexpr Addr instBytes = 4;
+
+/** All opcodes. Order is part of the binary encoding; append only. */
+enum class Opcode : uint8_t
+{
+    // Integer register-register.
+    ADD, SUB, MUL, DIVQ, REM, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // Integer register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI,
+    // Memory.
+    LD, LW, LBU, SD, SW, SB, FLD, FSD,
+    // Control.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR,
+    // Floating point.
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMIN, FMAX, FMA,
+    FCVTDL, FCVTLD, FEQ, FLT, FLE, FMOV, FMVDX, FMVXD,
+    // Misc.
+    NOP, HALT,
+
+    NUM_OPCODES,
+};
+
+/** Functional-unit class an instruction issues to. */
+enum class OpClass : uint8_t
+{
+    IntAlu,   ///< 1-cycle integer ops and branches.
+    IntMul,   ///< Integer multiply / divide.
+    FpAdd,    ///< FP add/compare/convert.
+    FpMul,    ///< FP multiply / divide / sqrt / fma.
+    Load,     ///< Memory read.
+    Store,    ///< Memory write.
+};
+
+/** Static (decode-time) properties of one instruction. */
+struct DecodedInst
+{
+    Opcode op = Opcode::NOP;
+    /** Destination logical register (int space 0..31, fp 32..63); -1 none. */
+    int rd = -1;
+    /** Source logical registers; -1 means unused. */
+    int rs1 = -1;
+    int rs2 = -1;
+    /** Third source for FMA / stores-data is rs2; FMA accumulates rd. */
+    int rs3 = -1;
+    /** Sign-extended immediate. */
+    int64_t imm = 0;
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const;       ///< Conditional branches only.
+    bool isJump() const;         ///< JAL / JALR.
+    bool isControl() const { return isBranch() || isJump(); }
+    bool isFp() const;           ///< Issues to an FP unit.
+    bool isHalt() const { return op == Opcode::HALT; }
+    /** True if the instruction produces a register result (r0 excluded). */
+    bool writesReg() const { return rd > 0; }
+
+    /** Functional-unit class. */
+    OpClass opClass() const;
+    /** Execution latency in cycles (memory excludes cache time). */
+    int execLatency() const;
+    /** Bytes accessed by a memory op (0 for non-memory). */
+    int memBytes() const;
+};
+
+/** Encode a decoded instruction to its 32-bit binary form. */
+uint32_t encode(const DecodedInst &inst);
+
+/** Decode a 32-bit binary word. Unknown opcodes decode as NOP. */
+DecodedInst decode(uint32_t word);
+
+/** Mnemonic for an opcode ("add", "fld", ...). */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic; returns NUM_OPCODES when unknown. */
+Opcode opcodeFromName(const std::string &name);
+
+/** True if @p r is in the FP half of the logical register space. */
+inline bool
+isFpReg(int r)
+{
+    return r >= numIntRegs && r < numLogicalRegs;
+}
+
+/** Render a logical register as "r5" / "f12". */
+std::string regName(int r);
+
+} // namespace vpsim
+
+#endif // VPSIM_ISA_ISA_HH

@@ -1,0 +1,140 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+Cache::Cache(StatGroup &stats, const std::string &name, uint32_t size,
+             uint32_t assoc, uint32_t lineSize)
+    : _lineMask(lineSize - 1),
+      _numSets(size / (assoc * lineSize)),
+      _assoc(assoc),
+      _lineShift(std::countr_zero(lineSize)),
+      _lines(static_cast<size_t>(_numSets) * assoc),
+      _hits(stats, name + ".hits", "demand hits"),
+      _misses(stats, name + ".misses", "demand misses"),
+      _writebacks(stats, name + ".writebacks", "dirty evictions")
+{
+    vpsim_assert(std::has_single_bit(lineSize));
+    vpsim_assert(_numSets > 0 && std::has_single_bit(_numSets),
+                 "cache %s: sets=%u", name.c_str(), _numSets);
+}
+
+uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<uint32_t>(addr >> _lineShift) & (_numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> _lineShift;
+}
+
+CacheAccess
+Cache::access(Addr addr, bool isWrite)
+{
+    CacheAccess result;
+    Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _assoc];
+    Addr tag = tagOf(addr);
+    ++_useClock;
+
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = _useClock;
+            set[w].dirty = set[w].dirty || isWrite;
+            result.hit = true;
+            ++_hits;
+            return result;
+        }
+    }
+
+    ++_misses;
+    // Victim selection: invalid first, else true LRU.
+    Line *victim = &set[0];
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimLine = victim->tag << _lineShift;
+        ++_writebacks;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = isWrite;
+    victim->lastUse = _useClock;
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _assoc];
+    Addr tag = tagOf(addr);
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheAccess
+Cache::insert(Addr addr)
+{
+    CacheAccess result;
+    Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _assoc];
+    Addr tag = tagOf(addr);
+    ++_useClock;
+
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            result.hit = true;
+            return result; // Already present; do not count as demand hit.
+        }
+    }
+    Line *victim = &set[0];
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimLine = victim->tag << _lineShift;
+        ++_writebacks;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->lastUse = _useClock;
+    return result;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _assoc];
+    Addr tag = tagOf(addr);
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            return set[w].dirty;
+        }
+    }
+    return false;
+}
+
+} // namespace vpsim

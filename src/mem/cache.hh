@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A set-associative, write-back/write-allocate cache tag model with true
+ * LRU replacement. The model tracks tags and dirtiness only (data lives
+ * in the functional memory); timing comes from the owning Hierarchy.
+ */
+
+#ifndef VPSIM_MEM_CACHE_HH
+#define VPSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** Result of a cache access. */
+struct CacheAccess
+{
+    bool hit = false;
+    /** A dirty line was evicted (victimLine holds its address). */
+    bool writeback = false;
+    Addr victimLine = 0;
+};
+
+/** Tag array of one cache level. */
+class Cache
+{
+  public:
+    /**
+     * @param name     stat prefix, e.g. "l2"
+     * @param size     capacity in bytes
+     * @param assoc    ways per set
+     * @param lineSize line size in bytes (power of two)
+     */
+    Cache(StatGroup &stats, const std::string &name, uint32_t size,
+          uint32_t assoc, uint32_t lineSize);
+
+    /**
+     * Look up @p addr; on hit refresh LRU (and set dirty for writes).
+     * On miss the line is inserted, possibly evicting a victim.
+     */
+    CacheAccess access(Addr addr, bool isWrite);
+
+    /** Tag check with no state change. */
+    bool probe(Addr addr) const;
+
+    /** Insert a line without charging a demand access (prefetch fill). */
+    CacheAccess insert(Addr addr);
+
+    /** Invalidate a line if present; returns true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    Addr lineAddr(Addr addr) const { return addr & ~_lineMask; }
+    uint32_t lineSize() const { return _lineMask + 1; }
+    uint32_t numSets() const { return _numSets; }
+    uint32_t assoc() const { return _assoc; }
+
+    uint64_t hits() const { return _hits.count(); }
+    uint64_t misses() const { return _misses.count(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    Addr _lineMask;
+    uint32_t _numSets;
+    uint32_t _assoc;
+    int _lineShift;
+    std::vector<Line> _lines; // _numSets * _assoc, set-major
+    uint64_t _useClock = 0;
+
+    Scalar _hits;
+    Scalar _misses;
+    Scalar _writebacks;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_MEM_CACHE_HH

@@ -1,0 +1,177 @@
+#include "mem/hierarchy.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+Hierarchy::Hierarchy(StatGroup &stats, const SimConfig &cfg)
+    : _cfg(cfg),
+      _l1i(stats, "l1i", cfg.icacheSize, cfg.icacheAssoc, cfg.lineSize),
+      _l1d(stats, "l1d", cfg.dcacheSize, cfg.dcacheAssoc, cfg.lineSize),
+      _l2(stats, "l2", cfg.l2Size, cfg.l2Assoc, cfg.lineSize),
+      _l3(stats, "l3", cfg.l3Size, cfg.l3Assoc, cfg.lineSize),
+      _loads(stats, "mem.loads", "demand loads"),
+      _loadsL1(stats, "mem.loadsL1", "loads serviced by L1"),
+      _loadsL2(stats, "mem.loadsL2", "loads serviced by L2"),
+      _loadsL3(stats, "mem.loadsL3", "loads serviced by L3"),
+      _loadsMem(stats, "mem.loadsMem", "loads serviced by main memory"),
+      _loadsStream(stats, "mem.loadsStream",
+                   "loads serviced by stream buffers"),
+      _mshrMerges(stats, "mem.mshrMerges",
+                  "loads merged into an in-flight fill")
+{
+    _prefetcher = std::make_unique<StridePrefetcher>(
+        stats, cfg.prefetchEntries, cfg.streamBuffers,
+        cfg.streamBufferDepth, cfg.lineSize,
+        [this](Addr line, Cycle now) {
+            return fillFromL2(line, now, false);
+        });
+}
+
+Cycle
+Hierarchy::fillFromL2(Addr addr, Cycle now, bool countDemand)
+{
+    CacheAccess a2 = _l2.access(addr, false);
+    if (a2.hit) {
+        if (countDemand)
+            ++_loadsL2;
+        return now + static_cast<Cycle>(_cfg.l2Latency);
+    }
+    if (a2.writeback)
+        _l3.access(a2.victimLine, true);
+
+    CacheAccess a3 = _l3.access(addr, false);
+    if (a3.hit) {
+        if (countDemand)
+            ++_loadsL3;
+        return now + static_cast<Cycle>(_cfg.l3Latency);
+    }
+    if (countDemand)
+        ++_loadsMem;
+    return now + static_cast<Cycle>(_cfg.memLatency);
+}
+
+DataAccessResult
+Hierarchy::load(Addr addr, Addr pc, Cycle now)
+{
+    ++_loads;
+    Addr line = _l1d.lineAddr(addr);
+
+    auto it = _dataInFlight.find(line);
+    if (it != _dataInFlight.end()) {
+        if (it->second > now) {
+            ++_mshrMerges;
+            _l1d.access(addr, false); // Refresh LRU; line is resident.
+            return {it->second, MemLevel::L1};
+        }
+        _dataInFlight.erase(it);
+    }
+
+    CacheAccess a = _l1d.access(addr, false);
+    if (a.hit) {
+        ++_loadsL1;
+        return {now + static_cast<Cycle>(_cfg.dcacheLatency), MemLevel::L1};
+    }
+    if (a.writeback)
+        _l2.access(a.victimLine, true);
+
+    if (_cfg.prefetchEnabled) {
+        if (auto ready = _prefetcher->lookup(line, now)) {
+            ++_loadsStream;
+            Cycle r = std::max(*ready,
+                               now + static_cast<Cycle>(_cfg.dcacheLatency));
+            if (r > now)
+                _dataInFlight[line] = r;
+            return {r, MemLevel::Stream};
+        }
+        _prefetcher->onL1Miss(pc, addr, now);
+    }
+
+    MemLevel level = MemLevel::L2;
+    Cycle preL2 = _l2.hits();
+    Cycle preL3 = _l3.hits();
+    Cycle r = fillFromL2(addr, now, true);
+    if (_l2.hits() > preL2)
+        level = MemLevel::L2;
+    else if (_l3.hits() > preL3)
+        level = MemLevel::L3;
+    else
+        level = MemLevel::Memory;
+    _dataInFlight[line] = r;
+    return {r, level};
+}
+
+void
+Hierarchy::storeDrain(Addr addr, Cycle)
+{
+    CacheAccess a = _l1d.access(addr, true);
+    if (a.hit)
+        return;
+    if (a.writeback)
+        _l2.access(a.victimLine, true);
+    // Write-allocate: pull the line through the lower levels (tag
+    // housekeeping only; the store buffer absorbed the latency).
+    CacheAccess a2 = _l2.access(addr, false);
+    if (a2.writeback)
+        _l3.access(a2.victimLine, true);
+    if (!a2.hit)
+        _l3.access(addr, false);
+}
+
+Cycle
+Hierarchy::instFetch(Addr addr, Cycle now)
+{
+    Addr line = _l1i.lineAddr(addr);
+
+    // Sequential (next-line) instruction prefetch: code streams are
+    // almost always sequential, so fetching a line starts fills for the
+    // two that follow.
+    if (_cfg.prefetchEnabled) {
+        for (int d = 1; d <= 2; ++d) {
+            Addr nl = line + static_cast<Addr>(d) * _cfg.lineSize;
+            if (!_l1i.probe(nl) && _instInFlight.find(nl) ==
+                                       _instInFlight.end()) {
+                _instInFlight[nl] = fillFromL2(nl, now, false);
+                _l1i.insert(nl);
+            }
+        }
+    }
+
+    auto it = _instInFlight.find(line);
+    if (it != _instInFlight.end()) {
+        if (it->second > now) {
+            _l1i.access(addr, false);
+            return it->second;
+        }
+        _instInFlight.erase(it);
+    }
+
+    CacheAccess a = _l1i.access(addr, false);
+    if (a.hit)
+        return now + static_cast<Cycle>(_cfg.icacheLatency);
+
+    Cycle r = fillFromL2(addr, now, false);
+    _instInFlight[line] = r;
+    return r;
+}
+
+MemLevel
+Hierarchy::probeLevel(Addr addr) const
+{
+    // A line with an outstanding fill reports "near" (L2): its data is
+    // already on the way, so it is not a threading candidate.
+    auto it = _dataInFlight.find(addr & ~static_cast<Addr>(_cfg.lineSize -
+                                                           1));
+    if (it != _dataInFlight.end())
+        return MemLevel::L2;
+    if (_l1d.probe(addr))
+        return MemLevel::L1;
+    if (_l2.probe(addr))
+        return MemLevel::L2;
+    if (_l3.probe(addr))
+        return MemLevel::L3;
+    return MemLevel::Memory;
+}
+
+} // namespace vpsim

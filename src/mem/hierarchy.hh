@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The four-level memory hierarchy of Table 1: 64KB L1I and L1D (2 cycles),
+ * 512KB L2 (20 cycles), 4MB L3 (50 cycles), 1000-cycle main memory, plus
+ * the stride prefetcher. Latencies are total-from-access for the level
+ * that services the request. In-flight line fills are merged (MSHR-style):
+ * a second access to a line already being filled completes when the fill
+ * does, without re-charging the miss.
+ */
+
+#ifndef VPSIM_MEM_HIERARCHY_HH
+#define VPSIM_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "mem/cache.hh"
+#include "mem/prefetcher.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** Cache level that serviced a data access. */
+enum class MemLevel : int
+{
+    StoreBuffer = 0, ///< Fully forwarded (assigned by the core, not here).
+    L1 = 1,
+    L2 = 2,
+    L3 = 3,
+    Memory = 4,
+    Stream = 5,      ///< Stream-buffer hit.
+};
+
+/** Timing outcome of a data-side access. */
+struct DataAccessResult
+{
+    Cycle ready = 0;   ///< Cycle the data is available to consumers.
+    MemLevel level = MemLevel::L1;
+};
+
+/** The full data + instruction memory system timing model. */
+class Hierarchy
+{
+  public:
+    Hierarchy(StatGroup &stats, const SimConfig &cfg);
+
+    /** Timing of a demand load issued at @p now from PC @p pc. */
+    DataAccessResult load(Addr addr, Addr pc, Cycle now);
+
+    /** Drain one committed store into the hierarchy (tag update only;
+     *  store buffers absorb the latency). */
+    void storeDrain(Addr addr, Cycle now);
+
+    /** Cycle at which an instruction-fetch line is available. */
+    Cycle instFetch(Addr addr, Cycle now);
+
+    /**
+     * Oracle probe (no state change): the level a load of @p addr would
+     * be serviced from right now. Used by the CacheOracle load selector.
+     */
+    MemLevel probeLevel(Addr addr) const;
+
+    uint64_t streamHits() const { return _prefetcher->streamHits(); }
+
+  private:
+    /** Charge a fill that starts below L1 (L2 -> L3 -> memory). */
+    Cycle fillFromL2(Addr addr, Cycle now, bool countDemand);
+
+    /** Look up / register an in-flight fill; returns merged ready time. */
+    Cycle mergeInFlight(std::unordered_map<Addr, Cycle> &inflight,
+                        Addr line, Cycle ready, Cycle now);
+
+    const SimConfig &_cfg;
+    Cache _l1i;
+    Cache _l1d;
+    Cache _l2;
+    Cache _l3;
+    std::unique_ptr<StridePrefetcher> _prefetcher;
+
+    std::unordered_map<Addr, Cycle> _dataInFlight;
+    std::unordered_map<Addr, Cycle> _instInFlight;
+
+    Scalar _loads;
+    Scalar _loadsL1;
+    Scalar _loadsL2;
+    Scalar _loadsL3;
+    Scalar _loadsMem;
+    Scalar _loadsStream;
+    Scalar _mshrMerges;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_MEM_HIERARCHY_HH

@@ -1,0 +1,134 @@
+#include "mem/prefetcher.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+StridePrefetcher::StridePrefetcher(
+    StatGroup &stats, uint32_t tableEntries, int numStreams,
+    int streamDepth, uint32_t lineSize,
+    std::function<Cycle(Addr, Cycle)> fillLatency)
+    : _table(tableEntries),
+      _streams(static_cast<size_t>(numStreams)),
+      _streamDepth(streamDepth),
+      _lineMask(~static_cast<Addr>(lineSize - 1)),
+      _fillLatency(std::move(fillLatency)),
+      _trains(stats, "pf.trains", "stride table training events"),
+      _streamAllocs(stats, "pf.streamAllocs", "stream buffers allocated"),
+      _issued(stats, "pf.issued", "prefetch requests issued"),
+      _streamHits(stats, "pf.streamHits", "loads served by stream buffers")
+{
+    vpsim_assert(tableEntries > 0 && numStreams > 0 && streamDepth > 0);
+}
+
+void
+StridePrefetcher::issueInto(StreamBuffer &sb, Cycle now)
+{
+    while (static_cast<int>(sb.lines.size()) < _streamDepth) {
+        Addr line = sb.nextAddr & _lineMask;
+        sb.nextAddr += static_cast<Addr>(sb.stride);
+        // Avoid duplicate prefetches of a line we already hold.
+        if (anyStreamHolds(line))
+            continue;
+        Cycle ready = _fillLatency(line, now);
+        sb.lines.push_back({line, ready});
+        ++_issued;
+    }
+}
+
+bool
+StridePrefetcher::anyStreamHolds(Addr line) const
+{
+    for (const StreamBuffer &sb : _streams) {
+        if (!sb.valid)
+            continue;
+        for (const PrefetchedLine &pl : sb.lines) {
+            if (pl.line == line)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+StridePrefetcher::onL1Miss(Addr pc, Addr addr, Cycle now)
+{
+    size_t idx = (pc >> 2) % _table.size();
+    TableEntry &e = _table[idx];
+    ++_trains;
+
+    if (!e.valid || e.pcTag != pc) {
+        e = TableEntry{pc, addr, 0, 0, true};
+        return;
+    }
+
+    int64_t delta = static_cast<int64_t>(addr) -
+                    static_cast<int64_t>(e.lastAddr);
+    if (delta == e.stride && delta != 0) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        e.stride = delta;
+        e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+    }
+    e.lastAddr = addr;
+
+    if (e.confidence < 2 || e.stride == 0)
+        return;
+
+    // Already streaming nearby? Refresh rather than re-allocate.
+    Addr expectNext = addr + static_cast<Addr>(e.stride);
+    for (StreamBuffer &sb : _streams) {
+        if (sb.valid && sb.stride == e.stride) {
+            int64_t gap = static_cast<int64_t>(sb.nextAddr) -
+                          static_cast<int64_t>(expectNext);
+            int64_t window = e.stride * (_streamDepth + 1);
+            if (std::abs(gap) <= std::abs(window)) {
+                sb.lastUse = ++_useClock;
+                issueInto(sb, now);
+                return;
+            }
+        }
+    }
+
+    // Allocate the LRU stream buffer to this stream.
+    StreamBuffer *victim = &_streams[0];
+    for (StreamBuffer &sb : _streams) {
+        if (!sb.valid) {
+            victim = &sb;
+            break;
+        }
+        if (sb.lastUse < victim->lastUse)
+            victim = &sb;
+    }
+    victim->valid = true;
+    victim->stride = e.stride;
+    victim->nextAddr = expectNext;
+    victim->lastUse = ++_useClock;
+    victim->lines.clear();
+    ++_streamAllocs;
+    issueInto(*victim, now);
+}
+
+std::optional<Cycle>
+StridePrefetcher::lookup(Addr lineAddr, Cycle now)
+{
+    for (StreamBuffer &sb : _streams) {
+        if (!sb.valid)
+            continue;
+        for (auto it = sb.lines.begin(); it != sb.lines.end(); ++it) {
+            if (it->line == lineAddr) {
+                Cycle ready = it->ready;
+                sb.lines.erase(it);
+                sb.lastUse = ++_useClock;
+                ++_streamHits;
+                issueInto(sb, now);
+                return ready;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace vpsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The paper's Table-1 prefetcher: a PC-indexed 256-entry stride table
+ * feeding 8 stream buffers. Training happens when an issued load misses
+ * the L1 data cache — in *issue* order, so out-of-order issue (aggravated
+ * by value speculation) can mistrain it, the interaction Section 5.1 of
+ * the paper highlights.
+ */
+
+#ifndef VPSIM_MEM_PREFETCHER_HH
+#define VPSIM_MEM_PREFETCHER_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** PC-indexed stride detector plus stream buffers. */
+class StridePrefetcher
+{
+  public:
+    /**
+     * @param fillLatency callback that charges a prefetch fill through
+     *        the L2/L3/memory path and returns the fill-complete cycle.
+     */
+    StridePrefetcher(StatGroup &stats, uint32_t tableEntries,
+                     int numStreams, int streamDepth, uint32_t lineSize,
+                     std::function<Cycle(Addr line, Cycle now)> fillLatency);
+
+    /**
+     * Train on an L1 demand miss and possibly allocate a stream.
+     * Call in issue order (that is the paper's training point).
+     */
+    void onL1Miss(Addr pc, Addr addr, Cycle now);
+
+    /**
+     * Check the stream buffers for @p lineAddr. On a hit the entry is
+     * consumed, the stream advances (a new prefetch is issued), and the
+     * fill-ready cycle of the consumed entry is returned.
+     */
+    std::optional<Cycle> lookup(Addr lineAddr, Cycle now);
+
+    uint64_t streamHits() const { return _streamHits.count(); }
+    uint64_t prefetchesIssued() const { return _issued.count(); }
+
+  private:
+    struct TableEntry
+    {
+        Addr pcTag = 0;
+        Addr lastAddr = 0;
+        int64_t stride = 0;
+        int confidence = 0; // 0..3
+        bool valid = false;
+    };
+
+    struct PrefetchedLine
+    {
+        Addr line = 0;
+        Cycle ready = 0;
+    };
+
+    struct StreamBuffer
+    {
+        bool valid = false;
+        Addr nextAddr = 0;     ///< Next byte address the stream will fetch.
+        int64_t stride = 0;    ///< Byte stride.
+        uint64_t lastUse = 0;
+        std::deque<PrefetchedLine> lines;
+    };
+
+    void issueInto(StreamBuffer &sb, Cycle now);
+    bool anyStreamHolds(Addr line) const;
+
+    std::vector<TableEntry> _table;
+    std::vector<StreamBuffer> _streams;
+    int _streamDepth;
+    Addr _lineMask;
+    uint64_t _useClock = 0;
+    std::function<Cycle(Addr, Cycle)> _fillLatency;
+
+    Scalar _trains;
+    Scalar _streamAllocs;
+    Scalar _issued;
+    Scalar _streamHits;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_MEM_PREFETCHER_HH

@@ -1,0 +1,224 @@
+#include "sim/config.hh"
+
+#include <sstream>
+#include <tuple>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+VpMode
+parseVpMode(const std::string &v)
+{
+    if (v == "none") return VpMode::None;
+    if (v == "stvp") return VpMode::Stvp;
+    if (v == "mtvp") return VpMode::Mtvp;
+    if (v == "spawnonly") return VpMode::SpawnOnly;
+    fatal("unknown vpMode '%s'", v.c_str());
+}
+
+PredictorKind
+parsePredictor(const std::string &v)
+{
+    if (v == "oracle") return PredictorKind::Oracle;
+    if (v == "wf") return PredictorKind::WangFranklin;
+    if (v == "dfcm") return PredictorKind::Dfcm;
+    if (v == "stride") return PredictorKind::Stride;
+    if (v == "lastvalue") return PredictorKind::LastValue;
+    fatal("unknown predictor '%s'", v.c_str());
+}
+
+SelectorKind
+parseSelector(const std::string &v)
+{
+    if (v == "ilp") return SelectorKind::IlpPred;
+    if (v == "cacheoracle") return SelectorKind::CacheOracle;
+    if (v == "always") return SelectorKind::Always;
+    fatal("unknown selector '%s'", v.c_str());
+}
+
+FetchPolicy
+parseFetchPolicy(const std::string &v)
+{
+    if (v == "sfp") return FetchPolicy::SingleFetchPath;
+    if (v == "nostall") return FetchPolicy::NoStall;
+    fatal("unknown fetchPolicy '%s'", v.c_str());
+}
+
+uint64_t
+parseU64(const std::string &key, const std::string &v)
+{
+    try {
+        size_t pos = 0;
+        uint64_t r = std::stoull(v, &pos, 0);
+        if (pos != v.size())
+            fatal("bad numeric value '%s' for %s", v.c_str(), key.c_str());
+        return r;
+    } catch (const std::exception &) {
+        fatal("bad numeric value '%s' for %s", v.c_str(), key.c_str());
+    }
+}
+
+} // namespace
+
+void
+SimConfig::set(const std::string &key, const std::string &value)
+{
+    auto num = [&] { return parseU64(key, value); };
+
+    if (key == "vpMode") vpMode = parseVpMode(value);
+    else if (key == "predictor") predictor = parsePredictor(value);
+    else if (key == "selector") selector = parseSelector(value);
+    else if (key == "fetchPolicy") fetchPolicy = parseFetchPolicy(value);
+    else if (key == "numContexts") numContexts = static_cast<int>(num());
+    else if (key == "spawnLatency") spawnLatency = static_cast<int>(num());
+    else if (key == "storeBufferSize")
+        storeBufferSize = static_cast<int>(num());
+    else if (key == "maxValuesPerSpawn")
+        maxValuesPerSpawn = static_cast<int>(num());
+    else if (key == "confidenceThreshold")
+        confidenceThreshold = static_cast<int>(num());
+    else if (key == "multiValueThreshold")
+        multiValueThreshold = static_cast<int>(num());
+    else if (key == "wideWindow") wideWindow = num() != 0;
+    else if (key == "prefetchEnabled") prefetchEnabled = num() != 0;
+    else if (key == "maxInsts") maxInsts = num();
+    else if (key == "maxCycles") maxCycles = num();
+    else if (key == "seed") seed = num();
+    else if (key == "memLatency") memLatency = static_cast<int>(num());
+    else if (key == "robSize") robSize = static_cast<int>(num());
+    else if (key == "renameRegs") renameRegs = static_cast<int>(num());
+    else if (key == "iqSize") iqSize = static_cast<int>(num());
+    else if (key == "fqSize") fqSize = static_cast<int>(num());
+    else if (key == "mqSize") mqSize = static_cast<int>(num());
+    else if (key == "fetchWidth") fetchWidth = static_cast<int>(num());
+    else if (key == "issueWidth") issueWidth = static_cast<int>(num());
+    else if (key == "frontEndDepth") frontEndDepth = static_cast<int>(num());
+    else if (key == "l3Size") l3Size = static_cast<uint32_t>(num());
+    else if (key == "dcacheSize") dcacheSize = static_cast<uint32_t>(num());
+    else
+        fatal("unknown config key '%s'", key.c_str());
+}
+
+std::string
+SimConfig::toString() const
+{
+    std::ostringstream os;
+    os << "pipelineDepth=" << pipelineDepth
+       << " fetch=" << fetchWidth << "/" << fetchLines << "lines"
+       << " issue=" << issueWidth
+       << " rob=" << effRobSize()
+       << " renameRegs=" << effRenameRegs()
+       << " iq/fq/mq=" << effIqSize() << "/" << effFqSize() << "/"
+       << effMqSize() << "\n"
+       << "caches: I=" << icacheSize / 1024 << "KB/" << icacheAssoc
+       << "w/" << icacheLatency << "c"
+       << " D=" << dcacheSize / 1024 << "KB/" << dcacheAssoc
+       << "w/" << dcacheLatency << "c"
+       << " L2=" << l2Size / 1024 << "KB/" << l2Assoc << "w/" << l2Latency
+       << "c"
+       << " L3=" << l3Size / 1024 << "KB/" << l3Assoc << "w/" << l3Latency
+       << "c"
+       << " mem=" << memLatency << "c\n"
+       << "vp: mode=" << vpsim::toString(vpMode)
+       << " predictor=" << vpsim::toString(predictor)
+       << " selector=" << vpsim::toString(selector)
+       << " fetchPolicy=" << vpsim::toString(fetchPolicy)
+       << " contexts=" << numContexts
+       << " spawnLatency=" << spawnLatency
+       << " storeBuffer=" << storeBufferSize
+       << " multiValue=" << maxValuesPerSpawn;
+    return os.str();
+}
+
+void
+SimConfig::validate() const
+{
+    if (numContexts < 1 || numContexts > 64)
+        fatal("numContexts must be in [1,64], got %d", numContexts);
+    if (vpMode == VpMode::Mtvp && numContexts < 2)
+        fatal("MTVP requires at least 2 contexts");
+    if (vpMode == VpMode::SpawnOnly && numContexts < 2)
+        fatal("spawn-only mode requires at least 2 contexts");
+    if (maxValuesPerSpawn < 1)
+        fatal("maxValuesPerSpawn must be >= 1");
+    if (maxValuesPerSpawn > 1 && vpMode != VpMode::Mtvp)
+        fatal("multiple-value prediction requires vpMode=mtvp");
+    if (spawnLatency < 0)
+        fatal("spawnLatency must be >= 0");
+    if (storeBufferSize < 0)
+        fatal("storeBufferSize must be >= 0 (0 means unbounded)");
+    if (!isPow2(lineSize))
+        fatal("lineSize must be a power of two");
+    auto checkCache = [&](uint32_t size, uint32_t assoc, const char *what) {
+        if (size % (assoc * lineSize) != 0 ||
+            !isPow2(size / (assoc * lineSize))) {
+            fatal("%s geometry invalid: size=%u assoc=%u line=%u", what,
+                  size, assoc, lineSize);
+        }
+    };
+    checkCache(icacheSize, icacheAssoc, "icache");
+    checkCache(dcacheSize, dcacheAssoc, "dcache");
+    checkCache(l2Size, l2Assoc, "l2");
+    checkCache(l3Size, l3Assoc, "l3");
+    if (fetchWidth < 1 || dispatchWidth < 1 || issueWidth < 1)
+        fatal("pipeline widths must be >= 1");
+}
+
+const char *
+toString(VpMode m)
+{
+    switch (m) {
+      case VpMode::None: return "none";
+      case VpMode::Stvp: return "stvp";
+      case VpMode::Mtvp: return "mtvp";
+      case VpMode::SpawnOnly: return "spawnonly";
+    }
+    return "?";
+}
+
+const char *
+toString(PredictorKind k)
+{
+    switch (k) {
+      case PredictorKind::Oracle: return "oracle";
+      case PredictorKind::WangFranklin: return "wf";
+      case PredictorKind::Dfcm: return "dfcm";
+      case PredictorKind::Stride: return "stride";
+      case PredictorKind::LastValue: return "lastvalue";
+    }
+    return "?";
+}
+
+const char *
+toString(SelectorKind k)
+{
+    switch (k) {
+      case SelectorKind::IlpPred: return "ilp";
+      case SelectorKind::CacheOracle: return "cacheoracle";
+      case SelectorKind::Always: return "always";
+    }
+    return "?";
+}
+
+const char *
+toString(FetchPolicy p)
+{
+    switch (p) {
+      case FetchPolicy::SingleFetchPath: return "sfp";
+      case FetchPolicy::NoStall: return "nostall";
+    }
+    return "?";
+}
+
+} // namespace vpsim

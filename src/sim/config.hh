@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Simulator configuration. The defaults reproduce Table 1 of Tuck &
+ * Tullsen, "Multithreaded Value Prediction" (HPCA-11, 2005). Every
+ * experiment knob in the paper's Section 5 (spawn latency, store-buffer
+ * size, fetch policy, predictor choice, load selector, thread count,
+ * multi-value spawning, idealized wide window) is a field here.
+ */
+
+#ifndef VPSIM_SIM_CONFIG_HH
+#define VPSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vpsim
+{
+
+/** How value speculation is exploited by the core. */
+enum class VpMode
+{
+    None,      ///< No value prediction at all (baseline).
+    Stvp,      ///< Single-threaded VP with selective reissue.
+    Mtvp,      ///< Threaded VP: spawn a context on a predicted load.
+    SpawnOnly, ///< Spawn a thread past the load w/o predicting its value.
+};
+
+/** Which value predictor produces predictions. */
+enum class PredictorKind
+{
+    Oracle,       ///< Always correct (limit study, Section 5.1).
+    WangFranklin, ///< Hybrid VHT/ValPHT predictor (Section 5.4).
+    Dfcm,         ///< Order-3 DFCM with improved index (Section 5.4).
+    Stride,       ///< Last-value + stride (component baseline).
+    LastValue,    ///< Last value only (component baseline).
+};
+
+/** Which loads are selected for (threaded) value prediction. */
+enum class SelectorKind
+{
+    IlpPred,      ///< Forward-progress-rate selector (the paper's default).
+    CacheOracle,  ///< Oracle cache level: L3 miss => MTVP, L1 miss => STVP.
+    Always,       ///< Predict every confident load.
+};
+
+/** Fetch behaviour of the spawning thread after an MTVP spawn. */
+enum class FetchPolicy
+{
+    SingleFetchPath, ///< Parent stops fetching until the load resolves.
+    NoStall,         ///< Parent keeps fetching; ICOUNT arbitration (5.5).
+};
+
+/** Simulator configuration; defaults are the paper's Table 1. */
+struct SimConfig
+{
+    // ----- Pipeline (Table 1) -----
+    int pipelineDepth = 30;     ///< Total stages (sets redirect penalty).
+    int frontEndDepth = 14;     ///< Fetch-to-rename stages modeled as delay.
+    int fetchWidth = 16;        ///< Instructions fetched per cycle.
+    int fetchLines = 2;         ///< Max cache lines feeding one fetch.
+    int fetchThreads = 2;       ///< Threads fetched per cycle (ICOUNT.2).
+    int dispatchWidth = 8;      ///< Rename/dispatch bandwidth.
+    int issueWidth = 8;         ///< Total issue bandwidth per cycle.
+    int intIssue = 6;           ///< Integer issue slots per cycle.
+    int fpIssue = 2;            ///< FP issue slots per cycle.
+    int memIssue = 4;           ///< Load/store issue slots per cycle.
+    int commitWidth = 8;        ///< Per-context commit bandwidth.
+    int robSize = 256;          ///< Shared ROB entries.
+    int renameRegs = 224;       ///< Rename registers beyond architectural.
+    int iqSize = 64;            ///< Integer queue entries (shared).
+    int fqSize = 64;            ///< FP queue entries (shared).
+    int mqSize = 64;            ///< Memory queue entries (shared).
+
+    // ----- Branch prediction (Table 1) -----
+    uint32_t bpredMetaEntries = 64 * 1024;
+    uint32_t bpredGshareEntries = 64 * 1024;
+    uint32_t bpredBimodalEntries = 16 * 1024;
+    uint32_t btbEntries = 4096;
+    int rasEntries = 32;
+
+    // ----- Memory hierarchy (Table 1) -----
+    uint32_t lineSize = 64;
+    uint32_t icacheSize = 64 * 1024;
+    uint32_t icacheAssoc = 2;
+    int icacheLatency = 2;
+    uint32_t dcacheSize = 64 * 1024;
+    uint32_t dcacheAssoc = 2;
+    int dcacheLatency = 2;
+    uint32_t l2Size = 512 * 1024;
+    uint32_t l2Assoc = 8;
+    int l2Latency = 20;
+    uint32_t l3Size = 4 * 1024 * 1024;
+    uint32_t l3Assoc = 16;
+    int l3Latency = 50;
+    int memLatency = 1000;
+
+    // ----- Stride prefetcher (Table 1) -----
+    bool prefetchEnabled = true;
+    uint32_t prefetchEntries = 256;
+    int streamBuffers = 8;
+    int streamBufferDepth = 4;
+
+    // ----- Value prediction / MTVP (Section 3-5 knobs) -----
+    VpMode vpMode = VpMode::None;
+    PredictorKind predictor = PredictorKind::WangFranklin;
+    SelectorKind selector = SelectorKind::IlpPred;
+    FetchPolicy fetchPolicy = FetchPolicy::SingleFetchPath;
+    int numContexts = 1;        ///< Hardware thread contexts (1/2/4/8).
+    int spawnLatency = 8;       ///< Cycles to flash-copy a rename map.
+    int storeBufferSize = 128;  ///< Entries per context; 0 = unbounded.
+    int maxValuesPerSpawn = 1;  ///< >1 enables multiple-value MTVP (5.6).
+    int confidenceThreshold = 12;
+    int confidenceMax = 32;
+    int confidenceUp = 1;
+    int confidenceDown = 8;
+    /** Liberal confidence threshold used by the 5.6 multi-value study. */
+    int multiValueThreshold = 4;
+
+    // ----- Idealized machines (Section 5.7) -----
+    bool wideWindow = false;    ///< 8K ROB, 8K queues, unlimited regs.
+
+    // ----- Run control -----
+    uint64_t maxInsts = 100000; ///< Useful instructions to simulate.
+    uint64_t maxCycles = 0;     ///< 0 = no cycle cap.
+    uint64_t seed = 1;          ///< Workload data-set seed.
+
+    /** Apply one "key=value" override; fatal() on unknown key/value. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Human-readable multi-line summary. */
+    std::string toString() const;
+
+    /** Effective ROB/queue/register sizes after wideWindow expansion. */
+    int effRobSize() const { return wideWindow ? 8192 : robSize; }
+    int effIqSize() const { return wideWindow ? 8192 : iqSize; }
+    int effFqSize() const { return wideWindow ? 8192 : fqSize; }
+    int effMqSize() const { return wideWindow ? 8192 : mqSize; }
+    int effRenameRegs() const { return wideWindow ? 1 << 20 : renameRegs; }
+
+    /** Validate cross-field consistency; fatal() on bad combinations. */
+    void validate() const;
+};
+
+/** Enum <-> string helpers (used by config parsing and bench output). */
+const char *toString(VpMode m);
+const char *toString(PredictorKind k);
+const char *toString(SelectorKind k);
+const char *toString(FetchPolicy p);
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_CONFIG_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom: panic() for internal
+ * simulator bugs (aborts), fatal() for user/configuration errors (exits),
+ * warn()/inform() for status messages.
+ */
+
+#ifndef VPSIM_SIM_LOGGING_HH
+#define VPSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace vpsim
+{
+
+/**
+ * Report an internal simulator bug and abort. Use when a condition that
+ * should be impossible regardless of user input has occurred.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error (bad configuration, malformed
+ * assembly, ...) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious-but-survivable conditions to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Implementation hook for vpsim_assert; formats and panics. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Internal assertion that is always compiled in (unlike assert()).
+ * Prefer this in invariant-heavy simulator datapaths. Optional trailing
+ * printf-style message: vpsim_assert(x > 0, "x=%d", x).
+ */
+#define vpsim_assert(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::vpsim::panicAssert(#cond, __FILE__, __LINE__,              \
+                                 "" __VA_ARGS__);                        \
+        }                                                                \
+    } while (0)
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_LOGGING_HH

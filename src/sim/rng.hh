@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload data-set
+ * construction. A fixed, seedable generator (xoshiro256**) guarantees that
+ * a given (workload, seed) pair produces bit-identical programs and data
+ * on every platform, which the determinism property tests rely on.
+ */
+
+#ifndef VPSIM_SIM_RNG_HH
+#define VPSIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace vpsim
+{
+
+/** Small, fast, deterministic RNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, bound) with rejection to avoid modulo bias. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Bernoulli trial with probability p. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_RNG_HH

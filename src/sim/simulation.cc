@@ -1,0 +1,76 @@
+#include "sim/simulation.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "core/cpu.hh"
+#include "emu/memory.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace vpsim
+{
+
+double
+SimResult::stat(const std::string &name) const
+{
+    auto it = stats.find(name);
+    if (it == stats.end())
+        fatal("run of '%s' has no stat '%s'", workload.c_str(),
+              name.c_str());
+    return it->second;
+}
+
+SimResult
+runWorkload(const SimConfig &cfg, const std::string &workload)
+{
+    const Workload *w = findWorkload(workload);
+    if (w == nullptr)
+        fatal("unknown workload '%s'", workload.c_str());
+    return runWorkload(cfg, *w);
+}
+
+SimResult
+runWorkload(const SimConfig &cfg, const Workload &workload)
+{
+    cfg.validate();
+    MainMemory mem;
+    Addr entry = workload.build(mem, cfg.seed);
+    Cpu cpu(cfg, mem, entry);
+    cpu.run();
+
+    SimResult r;
+    r.workload = workload.name();
+    r.cycles = cpu.cycles();
+    r.usefulInsts = cpu.usefulInsts();
+    r.usefulIpc = cpu.usefulIpc();
+    r.halted = cpu.haltedUsefully();
+    for (const StatBase *s : cpu.stats().stats())
+        r.stats[s->name()] = s->value();
+    return r;
+}
+
+double
+percentSpeedup(const SimResult &base, const SimResult &test)
+{
+    vpsim_assert(base.usefulIpc > 0.0);
+    return 100.0 * (test.usefulIpc / base.usefulIpc - 1.0);
+}
+
+double
+geomeanSpeedup(const std::vector<double> &percentSpeedups)
+{
+    if (percentSpeedups.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double p : percentSpeedups) {
+        double ratio = 1.0 + p / 100.0;
+        vpsim_assert(ratio > 0.0);
+        logSum += std::log(ratio);
+    }
+    double mean = std::exp(logSum /
+                           static_cast<double>(percentSpeedups.size()));
+    return 100.0 * (mean - 1.0);
+}
+
+} // namespace vpsim

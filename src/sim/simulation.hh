@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Top-level simulation driver: builds a workload into fresh memory,
+ * runs a Cpu over it, and returns the headline numbers plus named stats.
+ * This is the entry point examples, tests, and benches use.
+ */
+
+#ifndef VPSIM_SIM_SIMULATION_HH
+#define VPSIM_SIM_SIMULATION_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+class Workload;
+
+/** Headline results of one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    Cycle cycles = 0;
+    uint64_t usefulInsts = 0;
+    double usefulIpc = 0.0;
+    bool halted = false; ///< The program's HALT committed usefully.
+    /** Every named statistic from the run (see Cpu's StatGroup). */
+    std::map<std::string, double> stats;
+
+    double stat(const std::string &name) const;
+};
+
+/** Run @p workload under @p cfg; fatal() if the name is unknown. */
+SimResult runWorkload(const SimConfig &cfg, const std::string &workload);
+
+/** Run an already-resolved workload. */
+SimResult runWorkload(const SimConfig &cfg, const Workload &workload);
+
+/**
+ * Percent speedup of useful IPC: 100 * (test/base - 1).
+ */
+double percentSpeedup(const SimResult &base, const SimResult &test);
+
+/** Geometric-mean percent speedup over paired runs. */
+double geomeanSpeedup(const std::vector<double> &percentSpeedups);
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_SIMULATION_HH

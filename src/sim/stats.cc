@@ -1,0 +1,131 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    parent.registerStat(this);
+}
+
+void
+StatBase::print(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << _name << ' '
+       << std::right << std::setw(16) << value()
+       << "  # " << _desc << '\n';
+}
+
+Distribution::Distribution(StatGroup &parent, std::string name,
+                           std::string desc, double min, double max,
+                           int buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      _lo(min), _hi(max),
+      _bucketSize((max - min) / buckets),
+      _counts(static_cast<size_t>(buckets) + 2, 0)
+{
+    vpsim_assert(buckets > 0 && max > min);
+}
+
+void
+Distribution::sample(double x)
+{
+    if (_n == 0) {
+        _min = _max = x;
+    } else {
+        if (x < _min) _min = x;
+        if (x > _max) _max = x;
+    }
+    ++_n;
+    _sum += x;
+
+    size_t idx;
+    if (x < _lo) {
+        idx = 0;
+    } else if (x >= _hi) {
+        idx = _counts.size() - 1;
+    } else {
+        idx = 1 + static_cast<size_t>((x - _lo) / _bucketSize);
+        if (idx > _counts.size() - 2)
+            idx = _counts.size() - 2;
+    }
+    ++_counts[idx];
+}
+
+void
+Distribution::reset()
+{
+    _n = 0;
+    _sum = 0.0;
+    _min = _max = 0.0;
+    std::fill(_counts.begin(), _counts.end(), 0);
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    StatBase::print(os);
+    os << "  " << name() << "::samples " << _n
+       << " min " << _min << " max " << _max << '\n';
+}
+
+Formula::Formula(StatGroup &parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)), _fn(std::move(fn))
+{
+}
+
+StatGroup::StatGroup(std::string name) : _name(std::move(name))
+{
+}
+
+void
+StatGroup::registerStat(StatBase *stat)
+{
+    vpsim_assert(stat != nullptr);
+    if (find(stat->name()) != nullptr)
+        panic("duplicate stat name '%s'", stat->name().c_str());
+    _stats.push_back(stat);
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const StatBase *s : _stats) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    const StatBase *s = find(name);
+    if (s == nullptr)
+        fatal("unknown stat '%s'", name.c_str());
+    return s->value();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    if (!_name.empty())
+        os << "---------- " << _name << " ----------\n";
+    for (const StatBase *s : _stats)
+        s->print(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : _stats)
+        s->reset();
+}
+
+} // namespace vpsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package. Statistics register
+ * themselves with a StatGroup at construction; groups can be dumped,
+ * reset, and queried by name (the test suite and bench harnesses read
+ * stats by name rather than poking simulator internals).
+ */
+
+#ifndef VPSIM_SIM_STATS_HH
+#define VPSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vpsim
+{
+
+class StatGroup;
+
+/** Base class for all statistics: a name, a description, and a value. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Current value as a double (formulas evaluate lazily). */
+    virtual double value() const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+    /** Print one line in "name value # desc" format. */
+    virtual void print(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple 64-bit event counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { ++_count; return *this; }
+    Scalar &operator+=(uint64_t n) { _count += n; return *this; }
+
+    uint64_t count() const { return _count; }
+    double value() const override { return static_cast<double>(_count); }
+    void reset() override { _count = 0; }
+
+  private:
+    uint64_t _count = 0;
+};
+
+/** Running average of samples (mean of sample(x) calls). */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double x) { _sum += x; ++_n; }
+
+    uint64_t samples() const { return _n; }
+    double value() const override { return _n ? _sum / _n : 0.0; }
+    void reset() override { _sum = 0.0; _n = 0; }
+
+  private:
+    double _sum = 0.0;
+    uint64_t _n = 0;
+};
+
+/**
+ * A bucketed histogram over [min, max) plus underflow/overflow, with
+ * mean tracking. value() is the mean; buckets print on dump.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup &parent, std::string name, std::string desc,
+                 double min, double max, int buckets);
+
+    void sample(double x);
+
+    uint64_t samples() const { return _n; }
+    double value() const override { return _n ? _sum / _n : 0.0; }
+    double minSample() const { return _min; }
+    double maxSample() const { return _max; }
+    const std::vector<uint64_t> &buckets() const { return _counts; }
+    void reset() override;
+    void print(std::ostream &os) const override;
+
+  private:
+    double _lo;
+    double _hi;
+    double _bucketSize;
+    std::vector<uint64_t> _counts; // [under, b0..bN-1, over]
+    uint64_t _n = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** A derived statistic computed on demand from other stats. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup &parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const override { return _fn(); }
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+/**
+ * Owner of a set of statistics. Subsystems embed a StatGroup (or accept a
+ * parent group) and declare their stats as members.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "");
+
+    /** Called by StatBase's constructor. */
+    void registerStat(StatBase *stat);
+
+    /** Find a stat by exact name; nullptr if absent. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Value of a named stat; fatal() if it does not exist. */
+    double get(const std::string &name) const;
+
+    /** Dump all stats in registration order. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+    const std::vector<StatBase *> &stats() const { return _stats; }
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> _stats;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_STATS_HH

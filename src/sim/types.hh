@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every vpsim subsystem.
+ */
+
+#ifndef VPSIM_SIM_TYPES_HH
+#define VPSIM_SIM_TYPES_HH
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace vpsim
+{
+
+/** Simulated clock cycle. Cycle 0 is the first simulated cycle. */
+using Cycle = uint64_t;
+
+/** Simulated virtual address (byte granularity). */
+using Addr = uint64_t;
+
+/** A 64-bit architectural register value (integer or raw FP bits). */
+using RegVal = uint64_t;
+
+/** Identifier of a hardware thread context on the SMT core. */
+using CtxId = int;
+
+/** Identifier of a physical register. */
+using PhysReg = int32_t;
+
+/** Monotonic per-run dynamic instruction sequence number. */
+using InstSeqNum = uint64_t;
+
+/** Sentinel for "no context". */
+inline constexpr CtxId invalidCtx = -1;
+
+/** Sentinel for "no physical register". */
+inline constexpr PhysReg invalidPhysReg = -1;
+
+/** Sentinel cycle meaning "never" / "not scheduled". */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Bit-cast helpers for moving doubles through RegVal without UB. */
+inline RegVal fpToBits(double d) { return std::bit_cast<RegVal>(d); }
+inline double bitsToFp(RegVal v) { return std::bit_cast<double>(v); }
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_TYPES_HH

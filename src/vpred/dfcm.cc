@@ -1,0 +1,98 @@
+#include "vpred/dfcm.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** Fold a 64-bit delta into 16 bits, keeping low-order structure. */
+uint64_t
+fold(int64_t delta)
+{
+    auto v = static_cast<uint64_t>(delta);
+    return (v ^ (v >> 16) ^ (v >> 32) ^ (v >> 48)) & 0xffffu;
+}
+
+} // namespace
+
+DfcmPredictor::DfcmPredictor(const SimConfig &cfg, uint32_t l1Entries,
+                             uint32_t l2Entries)
+    : _l1(l1Entries),
+      _l2(l2Entries),
+      _conf(cfg.confidenceUp, cfg.confidenceDown, cfg.confidenceMax),
+      _threshold(cfg.confidenceThreshold)
+{
+}
+
+DfcmPredictor::L1Entry &
+DfcmPredictor::l1Entry(Addr pc)
+{
+    return _l1[(pc >> 2) % _l1.size()];
+}
+
+size_t
+DfcmPredictor::l2Index(Addr pc,
+                       const std::array<int64_t, order> &deltas) const
+{
+    // Improved index: per-position multipliers and shifts keep distinct
+    // histories apart even when the deltas are small.
+    uint64_t h = (pc >> 2) * 0x9e3779b97f4a7c15ull;
+    h ^= fold(deltas[0]) * 0x0101000193ull;
+    h ^= (fold(deltas[1]) * 0x01000193ull) << 5;
+    h ^= (fold(deltas[2]) * 0x193ull) << 11;
+    return static_cast<size_t>(h % _l2.size());
+}
+
+ValuePrediction
+DfcmPredictor::predict(Addr pc, RegVal)
+{
+    L1Entry &e = l1Entry(pc);
+    if (!e.valid || e.tag != pc)
+        return {};
+    const L2Entry &l2 = _l2[l2Index(pc, e.deltas)];
+    RegVal value = e.specLastValue + static_cast<RegVal>(l2.delta);
+    return {true, value, l2.confidence, l2.confidence >= _threshold};
+}
+
+void
+DfcmPredictor::notePredictionUsed(Addr pc, RegVal predicted)
+{
+    L1Entry &e = l1Entry(pc);
+    if (e.valid && e.tag == pc)
+        e.specLastValue = predicted;
+}
+
+void
+DfcmPredictor::train(Addr pc, RegVal actual)
+{
+    L1Entry &e = l1Entry(pc);
+    if (!e.valid || e.tag != pc) {
+        e = L1Entry{};
+        e.tag = pc;
+        e.valid = true;
+        e.lastValue = actual;
+        e.specLastValue = actual;
+        return;
+    }
+
+    int64_t trueDelta = static_cast<int64_t>(actual - e.lastValue);
+    L2Entry &l2 = _l2[l2Index(pc, e.deltas)];
+    if (l2.delta == trueDelta) {
+        _conf.correct(l2.confidence);
+    } else {
+        _conf.incorrect(l2.confidence);
+        if (l2.confidence == 0)
+            l2.delta = trueDelta;
+    }
+
+    // Shift the delta history (most recent first).
+    for (int i = order - 1; i > 0; --i)
+        e.deltas[static_cast<size_t>(i)] =
+            e.deltas[static_cast<size_t>(i - 1)];
+    e.deltas[0] = trueDelta;
+    e.lastValue = actual;
+    e.specLastValue = actual;
+}
+
+} // namespace vpsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Order-3 differential finite context method (DFCM) value predictor with
+ * an improved index function in the spirit of Burtscher (CAN 2002): the
+ * three history deltas are folded and combined with distinct shifts and
+ * multipliers so that short strides do not collide. A level-1 table
+ * keyed by PC holds the last value and delta history; a level-2 table
+ * keyed by the hashed history holds the predicted next delta plus a
+ * confidence counter. More aggressive than the Wang-Franklin hybrid —
+ * more correct *and* more incorrect predictions (Section 5.4).
+ */
+
+#ifndef VPSIM_VPRED_DFCM_HH
+#define VPSIM_VPRED_DFCM_HH
+
+#include <array>
+#include <vector>
+
+#include "vpred/value_predictor.hh"
+
+namespace vpsim
+{
+
+class DfcmPredictor : public ValuePredictor
+{
+  public:
+    static constexpr int order = 3;
+
+    DfcmPredictor(const SimConfig &cfg, uint32_t l1Entries = 4096,
+                  uint32_t l2Entries = 32768);
+
+    ValuePrediction predict(Addr pc, RegVal actual) override;
+    void notePredictionUsed(Addr pc, RegVal predicted) override;
+    void train(Addr pc, RegVal actual) override;
+
+  private:
+    struct L1Entry
+    {
+        Addr tag = 0;
+        RegVal lastValue = 0;
+        RegVal specLastValue = 0;
+        std::array<int64_t, order> deltas{}; ///< deltas[0] most recent.
+        bool valid = false;
+    };
+
+    struct L2Entry
+    {
+        int64_t delta = 0;
+        uint8_t confidence = 0;
+    };
+
+    L1Entry &l1Entry(Addr pc);
+    size_t l2Index(Addr pc, const std::array<int64_t, order> &deltas) const;
+
+    std::vector<L1Entry> _l1;
+    std::vector<L2Entry> _l2;
+    ConfidenceCounter _conf;
+    int _threshold;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_DFCM_HH

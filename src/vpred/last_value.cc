@@ -1,0 +1,44 @@
+#include "vpred/last_value.hh"
+
+namespace vpsim
+{
+
+LastValuePredictor::LastValuePredictor(const SimConfig &cfg,
+                                       uint32_t entries)
+    : _table(entries),
+      _conf(cfg.confidenceUp, cfg.confidenceDown, cfg.confidenceMax),
+      _threshold(cfg.confidenceThreshold)
+{
+}
+
+LastValuePredictor::Entry &
+LastValuePredictor::entryFor(Addr pc)
+{
+    return _table[(pc >> 2) % _table.size()];
+}
+
+ValuePrediction
+LastValuePredictor::predict(Addr pc, RegVal)
+{
+    Entry &e = entryFor(pc);
+    if (!e.valid || e.tag != pc)
+        return {};
+    return {true, e.lastValue, e.confidence, e.confidence >= _threshold};
+}
+
+void
+LastValuePredictor::train(Addr pc, RegVal actual)
+{
+    Entry &e = entryFor(pc);
+    if (!e.valid || e.tag != pc) {
+        e = Entry{pc, actual, 0, true};
+        return;
+    }
+    if (e.lastValue == actual)
+        _conf.correct(e.confidence);
+    else
+        _conf.incorrect(e.confidence);
+    e.lastValue = actual;
+}
+
+} // namespace vpsim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Last-value predictor: predicts each static load repeats its previous
+ * value. The simplest point in the design space; used as a component
+ * baseline in tests and benches.
+ */
+
+#ifndef VPSIM_VPRED_LAST_VALUE_HH
+#define VPSIM_VPRED_LAST_VALUE_HH
+
+#include <vector>
+
+#include "vpred/value_predictor.hh"
+
+namespace vpsim
+{
+
+class LastValuePredictor : public ValuePredictor
+{
+  public:
+    LastValuePredictor(const SimConfig &cfg, uint32_t entries = 4096);
+
+    ValuePrediction predict(Addr pc, RegVal actual) override;
+    void train(Addr pc, RegVal actual) override;
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        RegVal lastValue = 0;
+        uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    Entry &entryFor(Addr pc);
+
+    std::vector<Entry> _table;
+    ConfidenceCounter _conf;
+    int _threshold;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_LAST_VALUE_HH

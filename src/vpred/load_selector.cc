@@ -1,0 +1,147 @@
+#include "vpred/load_selector.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+IlpPredSelector::IlpPredSelector(uint32_t entries, int explorePeriod)
+    : _table(entries), _explorePeriod(explorePeriod)
+{
+    vpsim_assert(entries > 0 && explorePeriod > 1);
+}
+
+IlpPredSelector::Entry &
+IlpPredSelector::entryFor(Addr pc)
+{
+    Entry &e = _table[(pc >> 2) % _table.size()];
+    if (!e.valid || e.tag != pc) {
+        e = Entry{};
+        e.tag = pc;
+        e.valid = true;
+    }
+    return e;
+}
+
+uint64_t
+IlpPredSelector::rateOf(const ModeStats &m)
+{
+    if (m.cycles == 0)
+        return 0;
+    // Forward-progress rate in 16.16 fixed point. (The paper divides by
+    // shifting with the largest power of two in the cycle count; that
+    // introduces up-to-2x jumps at power boundaries which would swamp
+    // the comparison margin below, so the rate itself is computed
+    // exactly and the paper's imprecision is modeled as the explicit
+    // hysteresis margin in select().)
+    return (m.insts << 16) / m.cycles;
+}
+
+uint64_t
+IlpPredSelector::rate(Addr pc, VpChoice choice)
+{
+    return rateOf(entryFor(pc).modes[static_cast<int>(choice)]);
+}
+
+VpChoice
+IlpPredSelector::select(Addr pc, bool mtvpAllowed, bool stvpAllowed,
+                        MemLevel)
+{
+    Entry &e = entryFor(pc);
+    uint32_t phase = e.encounters % samplePeriod;
+    ++e.encounters;
+
+    auto allowed = [&](VpChoice c) {
+        return c == VpChoice::None ||
+               (c == VpChoice::Stvp && stvpAllowed) ||
+               (c == VpChoice::Mtvp && mtvpAllowed);
+    };
+    if (!stvpAllowed && !mtvpAllowed)
+        return VpChoice::None;
+
+    // Exploration bursts: each mode is sampled for several *consecutive*
+    // encounters so compounding effects (chained spawns building up a
+    // deep speculative pipeline) show up in the measured progress rate.
+    if (phase < burstLen) {
+        if (allowed(VpChoice::Mtvp))
+            return VpChoice::Mtvp;
+    } else if (phase < 2 * burstLen) {
+        if (allowed(VpChoice::Stvp))
+            return VpChoice::Stvp;
+    } else if (phase < 3 * burstLen) {
+        return VpChoice::None;
+    }
+
+    // Exploitation: the paper's rule — a prediction flavor is allowed
+    // only when its measured forward-progress rate beats making no
+    // prediction. The coarse shift-divide of the paper's rates gave
+    // them built-in hysteresis; we reproduce it as a relative margin so
+    // measurement noise doesn't flip marginal loads into prediction.
+    // MTVP is preferred over STVP when both qualify.
+    uint64_t noneRate = rateOf(e.modes[0]);
+    uint64_t bar = noneRate + noneRate / 16;
+    for (VpChoice c : {VpChoice::Mtvp, VpChoice::Stvp}) {
+        if (!allowed(c))
+            continue;
+        const ModeStats &m = e.modes[static_cast<int>(c)];
+        if (m.cycles == 0)
+            return c; // Not yet measured: optimistic try.
+        if (rateOf(m) > bar)
+            return c;
+    }
+    return VpChoice::None;
+}
+
+void
+IlpPredSelector::recordOutcome(Addr pc, VpChoice used, uint64_t issued,
+                               uint64_t cycles)
+{
+    Entry &e = entryFor(pc);
+    ModeStats &m = e.modes[static_cast<int>(used)];
+    m.insts += issued;
+    m.cycles += cycles;
+    // Age the entry so behaviour changes can be tracked.
+    if (m.cycles > (uint64_t{1} << 24)) {
+        m.insts >>= 1;
+        m.cycles >>= 1;
+    }
+}
+
+VpChoice
+CacheOracleSelector::select(Addr, bool mtvpAllowed, bool stvpAllowed,
+                            MemLevel probed)
+{
+    if (probed == MemLevel::Memory && mtvpAllowed)
+        return VpChoice::Mtvp;
+    if (probed != MemLevel::L1 && stvpAllowed)
+        return VpChoice::Stvp;
+    return VpChoice::None;
+}
+
+VpChoice
+AlwaysSelector::select(Addr, bool mtvpAllowed, bool stvpAllowed, MemLevel)
+{
+    if (mtvpAllowed)
+        return VpChoice::Mtvp;
+    if (stvpAllowed)
+        return VpChoice::Stvp;
+    return VpChoice::None;
+}
+
+std::unique_ptr<LoadSelector>
+makeLoadSelector(const SimConfig &cfg)
+{
+    switch (cfg.selector) {
+      case SelectorKind::IlpPred:
+        return std::make_unique<IlpPredSelector>();
+      case SelectorKind::CacheOracle:
+        return std::make_unique<CacheOracleSelector>();
+      case SelectorKind::Always:
+        return std::make_unique<AlwaysSelector>();
+    }
+    panic("unknown selector kind");
+}
+
+} // namespace vpsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Load selection ("criticality") predictors — Section 5.1 of the paper.
+ * Given a confident value prediction for a load, the selector decides
+ * whether to use it single-threaded (STVP), spawn a thread (MTVP), or
+ * leave it alone.
+ *
+ * ILP-pred tracks, per load PC and per choice, the forward progress
+ * (issued instructions) and elapsed cycles between making the prediction
+ * and confirming it; a choice is allowed only when its progress *rate*
+ * beats making no prediction. The division is approximated exactly as in
+ * the paper: the instruction count is shifted right by the largest power
+ * of two in the cycle count.
+ */
+
+#ifndef VPSIM_VPRED_LOAD_SELECTOR_HH
+#define VPSIM_VPRED_LOAD_SELECTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** What to do with a confident value prediction for one dynamic load. */
+enum class VpChoice
+{
+    None,
+    Stvp,
+    Mtvp,
+};
+
+/** Abstract load selector. */
+class LoadSelector
+{
+  public:
+    virtual ~LoadSelector() = default;
+
+    /**
+     * Decide the speculation flavor for the load at @p pc.
+     *
+     * @param mtvpAllowed a hardware context is free and mode permits it
+     * @param stvpAllowed configuration permits single-threaded VP
+     * @param probed      oracle cache level (for CacheOracle selectors)
+     */
+    virtual VpChoice select(Addr pc, bool mtvpAllowed, bool stvpAllowed,
+                            MemLevel probed) = 0;
+
+    /**
+     * Close the measurement window for one decision: @p issued
+     * instructions issued over @p cycles between prediction and
+     * confirmation (or dispatch and completion for VpChoice::None).
+     */
+    virtual void recordOutcome(Addr pc, VpChoice used, uint64_t issued,
+                               uint64_t cycles)
+    {
+        (void)pc;
+        (void)used;
+        (void)issued;
+        (void)cycles;
+    }
+};
+
+/** The paper's ILP-pred adaptive selector. */
+class IlpPredSelector : public LoadSelector
+{
+  public:
+    /** Consecutive encounters per exploration burst. */
+    static constexpr uint32_t burstLen = 8;
+    /** Encounters between exploration rounds. */
+    static constexpr uint32_t samplePeriod = 512;
+
+    explicit IlpPredSelector(uint32_t entries = 4096,
+                             int explorePeriod = 16);
+
+    VpChoice select(Addr pc, bool mtvpAllowed, bool stvpAllowed,
+                    MemLevel probed) override;
+    void recordOutcome(Addr pc, VpChoice used, uint64_t issued,
+                       uint64_t cycles) override;
+
+    /** Progress rate of @p choice at @p pc (for tests/introspection). */
+    uint64_t rate(Addr pc, VpChoice choice);
+
+  private:
+    struct ModeStats
+    {
+        uint64_t insts = 0;
+        uint64_t cycles = 0;
+    };
+
+    struct Entry
+    {
+        Addr tag = 0;
+        ModeStats modes[3];
+        uint32_t encounters = 0;
+        bool valid = false;
+    };
+
+    Entry &entryFor(Addr pc);
+    static uint64_t rateOf(const ModeStats &m);
+
+    std::vector<Entry> _table;
+    int _explorePeriod;
+};
+
+/** Oracle cache-level selector: L3 miss => MTVP, other miss => STVP. */
+class CacheOracleSelector : public LoadSelector
+{
+  public:
+    VpChoice select(Addr pc, bool mtvpAllowed, bool stvpAllowed,
+                    MemLevel probed) override;
+};
+
+/** Speculate on every confident prediction (no criticality filter). */
+class AlwaysSelector : public LoadSelector
+{
+  public:
+    VpChoice select(Addr pc, bool mtvpAllowed, bool stvpAllowed,
+                    MemLevel probed) override;
+};
+
+/** Build the selector chosen by @p cfg.selector. */
+std::unique_ptr<LoadSelector> makeLoadSelector(const SimConfig &cfg);
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_LOAD_SELECTOR_HH

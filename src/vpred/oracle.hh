@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Oracle value predictor (Section 5.1 limit study): always predicts the
+ * value the load will actually return, with full confidence. Which loads
+ * get predicted remains the load selector's decision.
+ */
+
+#ifndef VPSIM_VPRED_ORACLE_HH
+#define VPSIM_VPRED_ORACLE_HH
+
+#include "vpred/value_predictor.hh"
+
+namespace vpsim
+{
+
+class OracleValuePredictor : public ValuePredictor
+{
+  public:
+    explicit OracleValuePredictor(const SimConfig &cfg)
+        : _confidence(cfg.confidenceMax)
+    {}
+
+    ValuePrediction
+    predict(Addr, RegVal actual) override
+    {
+        return {true, actual, _confidence, true};
+    }
+
+    std::vector<RegVal>
+    predictMulti(Addr, int maxValues, int, RegVal actual) override
+    {
+        if (maxValues < 1)
+            return {};
+        return {actual};
+    }
+
+    void train(Addr, RegVal) override {}
+
+  private:
+    int _confidence;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_ORACLE_HH

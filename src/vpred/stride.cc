@@ -1,0 +1,55 @@
+#include "vpred/stride.hh"
+
+namespace vpsim
+{
+
+StridePredictor::StridePredictor(const SimConfig &cfg, uint32_t entries)
+    : _table(entries),
+      _conf(cfg.confidenceUp, cfg.confidenceDown, cfg.confidenceMax),
+      _threshold(cfg.confidenceThreshold)
+{
+}
+
+StridePredictor::Entry &
+StridePredictor::entryFor(Addr pc)
+{
+    return _table[(pc >> 2) % _table.size()];
+}
+
+ValuePrediction
+StridePredictor::predict(Addr pc, RegVal)
+{
+    Entry &e = entryFor(pc);
+    if (!e.valid || e.tag != pc)
+        return {};
+    RegVal value = e.specLastValue + static_cast<RegVal>(e.stride);
+    return {true, value, e.confidence, e.confidence >= _threshold};
+}
+
+void
+StridePredictor::notePredictionUsed(Addr pc, RegVal predicted)
+{
+    Entry &e = entryFor(pc);
+    if (e.valid && e.tag == pc)
+        e.specLastValue = predicted;
+}
+
+void
+StridePredictor::train(Addr pc, RegVal actual)
+{
+    Entry &e = entryFor(pc);
+    if (!e.valid || e.tag != pc) {
+        e = Entry{pc, actual, actual, 0, 0, true};
+        return;
+    }
+    RegVal predicted = e.lastValue + static_cast<RegVal>(e.stride);
+    if (predicted == actual)
+        _conf.correct(e.confidence);
+    else
+        _conf.incorrect(e.confidence);
+    e.stride = static_cast<int64_t>(actual - e.lastValue);
+    e.lastValue = actual;
+    e.specLastValue = actual;
+}
+
+} // namespace vpsim

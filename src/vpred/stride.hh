@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Stride value predictor: predicts lastValue + stride per static load,
+ * with a speculative last-value that advances when predictions are
+ * consumed so chains of in-flight predictions stay coherent.
+ */
+
+#ifndef VPSIM_VPRED_STRIDE_HH
+#define VPSIM_VPRED_STRIDE_HH
+
+#include <vector>
+
+#include "vpred/value_predictor.hh"
+
+namespace vpsim
+{
+
+class StridePredictor : public ValuePredictor
+{
+  public:
+    StridePredictor(const SimConfig &cfg, uint32_t entries = 4096);
+
+    ValuePrediction predict(Addr pc, RegVal actual) override;
+    void notePredictionUsed(Addr pc, RegVal predicted) override;
+    void train(Addr pc, RegVal actual) override;
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        RegVal lastValue = 0;
+        RegVal specLastValue = 0;
+        int64_t stride = 0;
+        uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    Entry &entryFor(Addr pc);
+
+    std::vector<Entry> _table;
+    ConfidenceCounter _conf;
+    int _threshold;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_STRIDE_HH

@@ -1,0 +1,48 @@
+#include "vpred/value_predictor.hh"
+
+#include "sim/logging.hh"
+#include "vpred/dfcm.hh"
+#include "vpred/last_value.hh"
+#include "vpred/oracle.hh"
+#include "vpred/stride.hh"
+#include "vpred/wang_franklin.hh"
+
+namespace vpsim
+{
+
+std::vector<RegVal>
+ValuePredictor::predictMulti(Addr pc, int maxValues, int threshold,
+                             RegVal actual)
+{
+    if (maxValues < 1)
+        return {};
+    ValuePrediction p = predict(pc, actual);
+    if (p.valid && p.confidence >= threshold)
+        return {p.value};
+    return {};
+}
+
+void
+ValuePredictor::notePredictionUsed(Addr, RegVal)
+{
+}
+
+std::unique_ptr<ValuePredictor>
+makeValuePredictor(const SimConfig &cfg, StatGroup &)
+{
+    switch (cfg.predictor) {
+      case PredictorKind::Oracle:
+        return std::make_unique<OracleValuePredictor>(cfg);
+      case PredictorKind::WangFranklin:
+        return std::make_unique<WangFranklinPredictor>(cfg);
+      case PredictorKind::Dfcm:
+        return std::make_unique<DfcmPredictor>(cfg);
+      case PredictorKind::Stride:
+        return std::make_unique<StridePredictor>(cfg);
+      case PredictorKind::LastValue:
+        return std::make_unique<LastValuePredictor>(cfg);
+    }
+    panic("unknown predictor kind");
+}
+
+} // namespace vpsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Load-value predictor interface. Only loads are predicted (Section 3.1
+ * of the paper: with a 1000-cycle memory, loads are the profitable
+ * targets and restricting the predictor to them raises its accuracy).
+ *
+ * Predictors are trained at commit with the true loaded value; the
+ * stride components additionally advance speculatively when a prediction
+ * is consumed (notePredictionUsed), matching Section 5.4.
+ */
+
+#ifndef VPSIM_VPRED_VALUE_PREDICTOR_HH
+#define VPSIM_VPRED_VALUE_PREDICTOR_HH
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** One value prediction with its confidence. */
+struct ValuePrediction
+{
+    bool valid = false;     ///< The predictor has *some* prediction.
+    RegVal value = 0;
+    int confidence = 0;     ///< Saturating-counter value.
+    bool confident = false; ///< confidence >= configured threshold.
+};
+
+/** Abstract load-value predictor. */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /**
+     * Predict the value of the load at @p pc.
+     *
+     * @param actual the value the load will truly return. Only the
+     *        oracle predictor reads it; realistic predictors must not.
+     */
+    virtual ValuePrediction predict(Addr pc, RegVal actual) = 0;
+
+    /**
+     * All candidate values whose confidence is at least @p threshold,
+     * strongest first, deduplicated, at most @p maxValues. Used by
+     * multiple-value MTVP (Section 5.6). The default implementation
+     * returns the single predict() value when confident.
+     */
+    virtual std::vector<RegVal> predictMulti(Addr pc, int maxValues,
+                                             int threshold, RegVal actual);
+
+    /** A confident prediction was consumed; advance speculative state. */
+    virtual void notePredictionUsed(Addr pc, RegVal predicted);
+
+    /** Commit-time training with the true value. */
+    virtual void train(Addr pc, RegVal actual) = 0;
+};
+
+/** Saturating confidence-counter helper shared by the predictors. */
+class ConfidenceCounter
+{
+  public:
+    ConfidenceCounter() = default;
+    ConfidenceCounter(int up, int down, int max)
+        : _up(up), _down(down), _max(max)
+    {}
+
+    void correct(uint8_t &c) const
+    {
+        c = static_cast<uint8_t>(std::min<int>(_max, c + _up));
+    }
+    void incorrect(uint8_t &c) const
+    {
+        c = static_cast<uint8_t>(std::max<int>(0, c - _down));
+    }
+
+  private:
+    int _up = 1;
+    int _down = 8;
+    int _max = 32;
+};
+
+/** Build the predictor selected by @p cfg.predictor. */
+std::unique_ptr<ValuePredictor> makeValuePredictor(const SimConfig &cfg,
+                                                   StatGroup &stats);
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_VALUE_PREDICTOR_HH

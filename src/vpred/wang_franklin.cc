@@ -1,0 +1,198 @@
+#include "vpred/wang_franklin.hh"
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+constexpr uint32_t patternMask = 0xfff; // Four 3-bit outcome codes.
+
+} // namespace
+
+WangFranklinPredictor::WangFranklinPredictor(const SimConfig &cfg,
+                                             uint32_t vhtEntries,
+                                             uint32_t valPhtEntries)
+    : _vht(vhtEntries),
+      _valPht(valPhtEntries),
+      _conf(cfg.confidenceUp, cfg.confidenceDown, cfg.confidenceMax),
+      _threshold(cfg.confidenceThreshold)
+{
+    vpsim_assert(vhtEntries > 0 && valPhtEntries > 0);
+}
+
+WangFranklinPredictor::VhtEntry &
+WangFranklinPredictor::vhtEntry(Addr pc)
+{
+    return _vht[(pc >> 2) % _vht.size()];
+}
+
+WangFranklinPredictor::ValPhtEntry &
+WangFranklinPredictor::valPhtEntry(Addr pc, uint32_t pattern)
+{
+    uint64_t h = ((pc >> 2) * 0x9e3779b97f4a7c15ull) ^
+                 (static_cast<uint64_t>(pattern) * 0x85ebca6bull);
+    return _valPht[h % _valPht.size()];
+}
+
+bool
+WangFranklinPredictor::candidate(const VhtEntry &e, int src,
+                                 RegVal &out) const
+{
+    if (src < numLearned) {
+        if (!e.present[static_cast<size_t>(src)])
+            return false;
+        out = e.values[static_cast<size_t>(src)];
+        return true;
+    }
+    switch (src) {
+      case srcZero:
+        out = 0;
+        return true;
+      case srcOne:
+        out = 1;
+        return true;
+      case srcStride:
+        out = e.specLastValue + static_cast<RegVal>(e.stride);
+        return true;
+      default:
+        panic("bad candidate source %d", src);
+    }
+}
+
+ValuePrediction
+WangFranklinPredictor::predict(Addr pc, RegVal)
+{
+    VhtEntry &e = vhtEntry(pc);
+    if (!e.valid || e.tag != pc)
+        return {};
+    ValPhtEntry &ph = valPhtEntry(pc, e.pattern);
+
+    ValuePrediction best;
+    for (int src = 0; src < numSources; ++src) {
+        RegVal value;
+        if (!candidate(e, src, value))
+            continue;
+        int conf = ph.conf[static_cast<size_t>(src)];
+        if (!best.valid || conf > best.confidence) {
+            best.valid = true;
+            best.value = value;
+            best.confidence = conf;
+        }
+    }
+    best.confident = best.valid && best.confidence >= _threshold;
+    return best;
+}
+
+std::vector<RegVal>
+WangFranklinPredictor::predictMulti(Addr pc, int maxValues, int threshold,
+                                    RegVal)
+{
+    std::vector<RegVal> result;
+    VhtEntry &e = vhtEntry(pc);
+    if (!e.valid || e.tag != pc)
+        return result;
+    ValPhtEntry &ph = valPhtEntry(pc, e.pattern);
+
+    // Collect (confidence, value) over threshold, strongest first.
+    std::vector<std::pair<int, RegVal>> cands;
+    for (int src = 0; src < numSources; ++src) {
+        RegVal value;
+        if (!candidate(e, src, value))
+            continue;
+        int conf = ph.conf[static_cast<size_t>(src)];
+        if (conf >= threshold)
+            cands.emplace_back(conf, value);
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    for (const auto &[conf, value] : cands) {
+        if (std::find(result.begin(), result.end(), value) != result.end())
+            continue;
+        result.push_back(value);
+        if (static_cast<int>(result.size()) >= maxValues)
+            break;
+    }
+    return result;
+}
+
+void
+WangFranklinPredictor::notePredictionUsed(Addr pc, RegVal predicted)
+{
+    VhtEntry &e = vhtEntry(pc);
+    if (e.valid && e.tag == pc)
+        e.specLastValue = predicted;
+}
+
+void
+WangFranklinPredictor::train(Addr pc, RegVal actual)
+{
+    VhtEntry &e = vhtEntry(pc);
+    if (!e.valid || e.tag != pc) {
+        e = VhtEntry{};
+        e.tag = pc;
+        e.valid = true;
+        e.lastValue = actual;
+        e.specLastValue = actual;
+        e.values[0] = actual;
+        e.present[0] = true;
+        return;
+    }
+
+    ValPhtEntry &ph = valPhtEntry(pc, e.pattern);
+    int matchedSource = -1;
+    for (int src = 0; src < numSources; ++src) {
+        RegVal value;
+        if (!candidate(e, src, value))
+            continue;
+        uint8_t &conf = ph.conf[static_cast<size_t>(src)];
+        if (value == actual) {
+            _conf.correct(conf);
+            if (matchedSource < 0)
+                matchedSource = src;
+        } else {
+            _conf.incorrect(conf);
+        }
+    }
+
+    // Maintain the learned-value set (LRU within the entry).
+    int hitSlot = -1;
+    int victim = 0;
+    for (int i = 0; i < numLearned; ++i) {
+        auto idx = static_cast<size_t>(i);
+        if (e.present[idx] && e.values[idx] == actual)
+            hitSlot = i;
+        if (e.age[idx] < 250)
+            ++e.age[idx];
+        if (!e.present[idx]) {
+            victim = i;
+        } else if (e.present[static_cast<size_t>(victim)] &&
+                   e.age[idx] > e.age[static_cast<size_t>(victim)]) {
+            victim = i;
+        }
+    }
+    int patternCode;
+    if (hitSlot >= 0) {
+        e.age[static_cast<size_t>(hitSlot)] = 0;
+        patternCode = matchedSource >= 0 ? matchedSource : hitSlot;
+    } else if (matchedSource >= 0) {
+        patternCode = matchedSource;
+    } else {
+        e.values[static_cast<size_t>(victim)] = actual;
+        e.present[static_cast<size_t>(victim)] = true;
+        e.age[static_cast<size_t>(victim)] = 0;
+        patternCode = victim;
+    }
+
+    e.stride = static_cast<int64_t>(actual - e.lastValue);
+    e.lastValue = actual;
+    e.specLastValue = actual;
+    e.pattern = ((e.pattern << 3) |
+                 static_cast<uint32_t>(patternCode & 7)) & patternMask;
+}
+
+} // namespace vpsim

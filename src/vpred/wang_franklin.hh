@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hybrid value predictor in the style of Wang & Franklin (MICRO-30),
+ * configured as the paper's Section 5.4 instance: a 4K-entry value
+ * history table (VHT) holding five learned values, a hardwired zero and
+ * one, and a stride component; and a 32K-entry value pattern history
+ * table (ValPHT) holding per-candidate confidence counters indexed by
+ * the PC and the recent pattern of which candidate produced the value.
+ * Confidence moves +1 on a correct candidate and -8 on an incorrect one,
+ * saturating at 32 with a use threshold of 12 (all configurable).
+ *
+ * The predictor naturally supports multiple-value prediction: every
+ * candidate over threshold can be returned (Section 5.6).
+ */
+
+#ifndef VPSIM_VPRED_WANG_FRANKLIN_HH
+#define VPSIM_VPRED_WANG_FRANKLIN_HH
+
+#include <array>
+#include <vector>
+
+#include "vpred/value_predictor.hh"
+
+namespace vpsim
+{
+
+class WangFranklinPredictor : public ValuePredictor
+{
+  public:
+    /** Number of candidate sources per entry. */
+    static constexpr int numSources = 8;
+    /** Candidate indices. */
+    static constexpr int srcLearned0 = 0; ///< ..4 are the learned values.
+    static constexpr int srcZero = 5;
+    static constexpr int srcOne = 6;
+    static constexpr int srcStride = 7;
+    /** Learned values per VHT entry. */
+    static constexpr int numLearned = 5;
+
+    WangFranklinPredictor(const SimConfig &cfg, uint32_t vhtEntries = 4096,
+                          uint32_t valPhtEntries = 32768);
+
+    ValuePrediction predict(Addr pc, RegVal actual) override;
+    std::vector<RegVal> predictMulti(Addr pc, int maxValues, int threshold,
+                                     RegVal actual) override;
+    void notePredictionUsed(Addr pc, RegVal predicted) override;
+    void train(Addr pc, RegVal actual) override;
+
+  private:
+    struct VhtEntry
+    {
+        Addr tag = 0;
+        std::array<RegVal, numLearned> values{};
+        std::array<uint8_t, numLearned> age{}; ///< For LRU replacement.
+        std::array<bool, numLearned> present{};
+        RegVal lastValue = 0;
+        RegVal specLastValue = 0;
+        int64_t stride = 0;
+        uint32_t pattern = 0; ///< 3-bit codes of recent matching sources.
+        bool valid = false;
+    };
+
+    struct ValPhtEntry
+    {
+        std::array<uint8_t, numSources> conf{};
+    };
+
+    VhtEntry &vhtEntry(Addr pc);
+    ValPhtEntry &valPhtEntry(Addr pc, uint32_t pattern);
+
+    /** Candidate value of source @p src; false if the source is empty. */
+    bool candidate(const VhtEntry &e, int src, RegVal &out) const;
+
+    std::vector<VhtEntry> _vht;
+    std::vector<ValPhtEntry> _valPht;
+    ConfidenceCounter _conf;
+    int _threshold;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_WANG_FRANKLIN_HH

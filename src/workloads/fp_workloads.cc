@@ -1,0 +1,852 @@
+/**
+ * @file
+ * SPECfp2000 mimic kernels. Floating-point data is initialized with the
+ * value-locality structure real FP programs exhibit (plateaus of equal
+ * values, many zeros, small sets of distinct coefficients) — the paper's
+ * Section 1/5 point is precisely that FP codes have abundant value
+ * locality that single-threaded VP fails to exploit but MTVP can.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+constexpr Addr dataBase = 0x100000;
+
+void
+reg(std::vector<const Workload *> &keep, std::string name,
+    std::string desc, std::string source, AsmWorkload::DataInit init)
+{
+    auto *w = new AsmWorkload(std::move(name), BenchCategory::Fp,
+                              std::move(desc), std::move(source),
+                              std::move(init));
+    keep.push_back(w);
+    registerWorkload(w);
+}
+
+/** Fill doubles with plateaus: runs of @p runLen equal values drawn
+ *  from @p distinct choices (plus zeros) — high value locality. */
+void
+fillPlateaus(MainMemory &mem, Addr base, size_t count, Rng &rng,
+             size_t runLen, int distinct, double zeroFrac = 0.25)
+{
+    size_t i = 0;
+    while (i < count) {
+        double v;
+        if (rng.nextBool(zeroFrac)) {
+            v = 0.0;
+        } else {
+            v = 0.5 + static_cast<double>(rng.nextBounded(
+                          static_cast<uint64_t>(distinct))) *
+                          0.25;
+        }
+        for (size_t j = 0; j < runLen && i < count; ++j, ++i)
+            mem.writeFp(base + i * 8, v);
+    }
+}
+
+// -------------------------------------------------------------------
+// wupwise: dense matrix-vector product, matrix streamed from memory.
+// -------------------------------------------------------------------
+
+std::string
+wupwiseSource()
+{
+    const Addr matrix = dataBase;              // 8 MB of doubles
+    const Addr vec = dataBase + 0x900000;      // 8 KB vector
+    return csprintf(R"(
+        li   r1, %llu          # matrix
+        li   r2, %llu          # x vector (L1 resident)
+        li   r3, %llu          # permuted row list (BLAS tiling order)
+        li   r9, 9000          # row visits
+        fcvtdl f1, r0          # accumulators
+        fcvtdl f4, r0
+    rowv:
+        ld   r5, 0(r3)         # row id (permuted over 1024 rows)
+        slli r5, r5, 13        # * 8192 bytes per row
+        add  r6, r1, r5
+        andi r7, r9, 255
+        slli r7, r7, 3
+        add  r8, r2, r7        # x element for this visit
+        fld  f2, 0(r6)         # two matrix elements of the row
+        fld  f3, 8(r6)
+        fld  f5, 0(r8)
+        fma  f1, f2, f5
+        fma  f4, f3, f5
+        addi r3, r3, 8
+        subi r9, r9, 1
+        bne  r9, r0, rowv
+        halt
+    )",
+                    static_cast<unsigned long long>(matrix),
+                    static_cast<unsigned long long>(vec),
+                    static_cast<unsigned long long>(dataBase +
+                                                    0x920000ull));
+}
+
+void
+wupwiseData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x777570);
+    fillPlateaus(mem, dataBase, 1 << 20, rng, 384, 6);
+    for (size_t i = 0; i < 1024; ++i)
+        mem.writeFp(dataBase + 0x900000 + i * 8, 1.0);
+    // Permuted row-visit order (blocked/tiled BLAS walk).
+    std::vector<uint64_t> order;
+    for (uint64_t r = 0; r < 1024; ++r)
+        order.push_back(r);
+    for (size_t i = order.size() - 1; i > 0; --i)
+        std::swap(order[i], order[rng.nextBounded(i + 1)]);
+    for (size_t rep = 0; rep < 9; ++rep) {
+        for (size_t i = 0; i < order.size(); ++i) {
+            mem.write64(dataBase + 0x920000 +
+                            (rep * order.size() + i) * 8,
+                        order[i]);
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// swim: shallow-water 2D stencil over three large grids.
+// -------------------------------------------------------------------
+
+std::string
+swimSource()
+{
+    const Addr u = dataBase;                  // 4 MB each
+    const Addr v = dataBase + 0x400000;
+    const Addr w = dataBase + 0x800000;
+    return csprintf(R"(
+        li   r1, %llu          # u
+        li   r2, %llu          # v
+        li   r3, %llu          # unew
+        li   r4, 40000         # points
+        addi r5, r0, 2
+        fcvtdl f5, r5          # 2.0
+        addi r5, r0, 8
+        fcvtdl f6, r5
+        fdiv f5, f5, f6        # c1 = 0.25
+    point:
+        # nine-point / two-field stencil: ~10 concurrent streams, more
+        # than the 8 stream buffers (as in the real shallow-water loops)
+        fld  f1, 0(r1)
+        fld  f2, 8(r1)
+        fld  f3, 8192(r1)      # next row (1024-wide)
+        fld  f4, 16384(r1)     # row after
+        fld  f7, 0(r2)
+        fld  f8, 8(r2)
+        fld  f9, 8192(r2)
+        fld  f10, 16384(r2)
+        fld  f11, 24(r3)       # previous unew (in-place flavour)
+        fadd f1, f1, f2
+        fadd f3, f3, f4
+        fadd f7, f7, f8
+        fadd f9, f9, f10
+        fadd f1, f1, f3
+        fadd f7, f7, f9
+        fmul f1, f1, f5
+        fmul f7, f7, f5
+        fadd f1, f1, f7
+        fadd f1, f1, f11
+        fsd  f1, 0(r3)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 8
+        subi r4, r4, 1
+        bne  r4, r0, point
+        halt
+    )",
+                    static_cast<unsigned long long>(u),
+                    static_cast<unsigned long long>(v),
+                    static_cast<unsigned long long>(w));
+}
+
+void
+swimData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x7377696d);
+    fillPlateaus(mem, dataBase, 1 << 19, rng, 512, 5);
+    fillPlateaus(mem, dataBase + 0x400000, 1 << 19, rng, 512, 5);
+}
+
+// -------------------------------------------------------------------
+// mgrid: multigrid-style multi-stride stencil.
+// -------------------------------------------------------------------
+
+std::string
+mgridSource()
+{
+    const Addr u = dataBase;              // 8 MB
+    const Addr out = dataBase + 0x900000;
+    return csprintf(R"(
+        li   r1, %llu
+        li   r2, %llu
+        li   r3, 30000         # points
+        addi r4, r0, 8
+        fcvtdl f7, r4
+    point:
+        # 27-point-flavoured stencil: three rows in three planes plus
+        # the output stream — ten concurrent streams.
+        fld  f1, 0(r1)
+        fld  f2, 8(r1)
+        fld  f3, 512(r1)       # next row (64-wide)
+        fld  f4, 520(r1)
+        fld  f5, 1024(r1)      # row after
+        fld  f6, 32760(r1)     # next plane
+        fld  f8, 32768(r1)
+        fld  f9, 16384(r1)     # mid plane
+        fld  f10, 16392(r1)
+        fadd f1, f1, f2
+        fadd f3, f3, f4
+        fadd f5, f5, f6
+        fadd f8, f8, f9
+        fadd f1, f1, f3
+        fadd f5, f5, f8
+        fadd f1, f1, f5
+        fadd f1, f1, f10
+        fdiv f1, f1, f7
+        fsd  f1, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        subi r3, r3, 1
+        bne  r3, r0, point
+        halt
+    )",
+                    static_cast<unsigned long long>(u),
+                    static_cast<unsigned long long>(out));
+}
+
+void
+mgridData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x6d67);
+    fillPlateaus(mem, dataBase, 1 << 20, rng, 640, 4);
+}
+
+// -------------------------------------------------------------------
+// applu: SSOR-style sweep with a recurrence flavor.
+// -------------------------------------------------------------------
+
+std::string
+appluSource()
+{
+    const Addr u = dataBase;               // 8 MB
+    const Addr rhs = dataBase + 0x900000;  // 8 MB
+    return csprintf(R"(
+        li   r1, %llu          # u
+        li   r2, %llu          # rhs
+        li   r3, 45000         # points
+        addi r4, r0, 2
+        fcvtdl f6, r4          # 2.0
+        addi r4, r0, 3
+        fcvtdl f7, r4
+        fdiv f6, f6, f7        # omega ~ 0.667
+    sweep:
+        fld  f1, 0(r1)
+        fld  f2, 8(r1)
+        fld  f3, 1024(r1)      # next line (128-wide)
+        fld  f8, 2048(r1)      # line after
+        fld  f9, 16384(r1)     # next plane
+        fld  f10, 17408(r1)
+        fld  f4, 0(r2)         # right-hand side
+        fld  f11, 8(r2)
+        fadd f2, f2, f3
+        fadd f8, f8, f9
+        fadd f10, f10, f11
+        fadd f2, f2, f8
+        fadd f2, f2, f10
+        fmul f2, f2, f6
+        fsub f5, f4, f2
+        fadd f1, f1, f5
+        fsd  f1, 0(r1)         # in-place update
+        addi r1, r1, 8
+        addi r2, r2, 8
+        subi r3, r3, 1
+        bne  r3, r0, sweep
+        halt
+    )",
+                    static_cast<unsigned long long>(u),
+                    static_cast<unsigned long long>(rhs));
+}
+
+void
+appluData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x61706c75);
+    fillPlateaus(mem, dataBase, 1 << 20, rng, 448, 5);
+    fillPlateaus(mem, dataBase + 0x900000, 1 << 20, rng, 448, 5);
+}
+
+// -------------------------------------------------------------------
+// apsi: meso-scale weather stencil variant (divides, two fields).
+// -------------------------------------------------------------------
+
+std::string
+apsiSource()
+{
+    const Addr t = dataBase;              // temperature, 6 MB
+    const Addr q = dataBase + 0x700000;   // moisture, 6 MB
+    return csprintf(R"(
+        li   r1, %llu
+        li   r2, %llu
+        li   r3, 40000
+        addi r4, r0, 1
+        fcvtdl f7, r4          # 1.0
+    cell:
+        fld  f1, 0(r1)
+        fld  f2, 8(r1)
+        fld  f3, 0(r2)
+        fadd f4, f1, f2
+        fadd f5, f3, f7
+        fdiv f4, f4, f5        # moist convection ratio
+        fsd  f4, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        subi r3, r3, 1
+        bne  r3, r0, cell
+        halt
+    )",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(q));
+}
+
+void
+apsiData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x61707369);
+    fillPlateaus(mem, dataBase, 768 * 1024, rng, 512, 4);
+    fillPlateaus(mem, dataBase + 0x700000, 768 * 1024, rng, 512, 4);
+}
+
+// -------------------------------------------------------------------
+// art: neural-net recognition — a huge weight matrix with very few
+// distinct values, streamed repeatedly. The paper's FP showcase.
+// -------------------------------------------------------------------
+
+std::string
+artSource(int blocks)
+{
+    const Addr weights = dataBase; // 8 MB: 32K chained 256B blocks
+    return csprintf(R"(
+        li   r10, %d           # weight blocks to visit
+        li   r6, %llu          # first block
+        fcvtdl f1, r0
+        fcvtdl f2, r0
+        fcvtdl f3, r0
+        fcvtdl f4, r0
+    block:
+        ld   r5, 0(r6)         # next-block link: serial L3 miss whose
+                               # value is mostly stride (VP-friendly)
+        li   r7, 7             # quads of weights per block
+        addi r8, r6, 8
+    quad:
+        fld  f5, 0(r8)         # weights: tiny distinct-value set
+        fld  f6, 8(r8)
+        fld  f7, 16(r8)
+        fld  f8, 24(r8)
+        fma  f1, f5, f5        # four independent accumulators
+        fma  f2, f6, f6
+        fma  f3, f7, f7
+        fma  f4, f8, f8
+        addi r8, r8, 32
+        subi r7, r7, 1
+        bne  r7, r0, quad
+        mv   r6, r5
+        subi r10, r10, 1
+        bne  r10, r0, block
+        halt
+    )",
+                    blocks, static_cast<unsigned long long>(weights));
+}
+
+void
+artData(MainMemory &mem, uint64_t seed, int distinct)
+{
+    Rng rng(seed ^ 0x617274);
+    // Weights drawn from a handful of values, long runs: near-perfect
+    // value locality even on cold L3 misses.
+    fillPlateaus(mem, dataBase, 1 << 20, rng, 256, distinct, 0.4);
+    // Chain the 256-byte blocks: the winner-take-all scan's next-block
+    // dependence is serial; most links advance by one block (so the
+    // link's *value* is stride-predictable), some jump.
+    const uint64_t numBlocks = 32768;
+    for (uint64_t b = 0; b < numBlocks; ++b) {
+        uint64_t next;
+        if (rng.nextBool(0.96))
+            next = (b + 1) % numBlocks;
+        else
+            next = rng.nextBounded(numBlocks);
+        mem.write64(dataBase + b * 256, dataBase + next * 256);
+    }
+}
+
+// -------------------------------------------------------------------
+// equake: sparse matrix-vector product (CSR with indirect loads).
+// -------------------------------------------------------------------
+
+std::string
+equakeSource()
+{
+    const Addr vals = dataBase;              // 4 MB values
+    const Addr cols = dataBase + 0x400000;   // 4 MB column indices
+    const Addr x = dataBase + 0x800000;      // 4 MB vector
+    return csprintf(R"(
+        li   r1, %llu          # values
+        li   r2, %llu          # column indices
+        li   r3, %llu          # x vector
+        li   r4, 40000         # nonzeros
+        fcvtdl f1, r0          # y accumulator
+    nz:
+        fld  f2, 0(r1)         # matrix value (plateaus)
+        ld   r5, 0(r2)         # column index (semi-random)
+        slli r5, r5, 3
+        add  r5, r3, r5
+        fld  f3, 0(r5)         # x[col] — indirect, cache-hostile
+        fma  f1, f2, f3
+        addi r1, r1, 8
+        addi r2, r2, 8
+        subi r4, r4, 1
+        bne  r4, r0, nz
+        halt
+    )",
+                    static_cast<unsigned long long>(vals),
+                    static_cast<unsigned long long>(cols),
+                    static_cast<unsigned long long>(x));
+}
+
+void
+equakeData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x6571);
+    fillPlateaus(mem, dataBase, 1 << 19, rng, 320, 5);
+    const size_t vecEntries = 1 << 19;
+    size_t col = 0;
+    for (size_t i = 0; i < (1u << 19); ++i) {
+        // Banded sparsity: mostly near-diagonal, occasional far column.
+        if (rng.nextBool(0.85))
+            col = (col + 1 + rng.nextBounded(3)) % vecEntries;
+        else
+            col = rng.nextBounded(vecEntries);
+        mem.write64(dataBase + 0x400000 + i * 8, col);
+    }
+    fillPlateaus(mem, dataBase + 0x800000, vecEntries, rng, 256, 6);
+}
+
+// -------------------------------------------------------------------
+// facerec: template correlation against a large image.
+// -------------------------------------------------------------------
+
+std::string
+facerecSource()
+{
+    const Addr image = dataBase;             // 4 MB image
+    const Addr tile = dataBase + 0x480000;   // 8 KB template
+    return csprintf(R"(
+        li   r1, %llu          # image
+        li   r2, %llu          # template
+        li   r3, 500           # probe positions
+        li   r7, 88172645463325252
+        li   r15, 409600
+        fcvtdl f1, r0
+    probe:
+        # pseudo-random image offset
+        slli r8, r7, 13
+        xor  r7, r7, r8
+        srli r8, r7, 7
+        xor  r7, r7, r8
+        srli r9, r7, 9
+        rem  r9, r9, r15
+        slli r9, r9, 3
+        add  r9, r1, r9        # image window
+        mv   r10, r2
+        li   r11, 64           # window length
+    corr:
+        fld  f2, 0(r9)
+        fld  f3, 0(r10)
+        fma  f1, f2, f3
+        addi r9, r9, 8
+        addi r10, r10, 8
+        subi r11, r11, 1
+        bne  r11, r0, corr
+        subi r3, r3, 1
+        bne  r3, r0, probe
+        halt
+    )",
+                    static_cast<unsigned long long>(image),
+                    static_cast<unsigned long long>(tile));
+}
+
+void
+facerecData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x66616365);
+    fillPlateaus(mem, dataBase, 1 << 19, rng, 128, 8);
+    fillPlateaus(mem, dataBase + 0x480000, 1024, rng, 16, 4);
+}
+
+// -------------------------------------------------------------------
+// fma3d: finite-element struct-of-fields element sweep.
+// -------------------------------------------------------------------
+
+std::string
+fma3dSource()
+{
+    const Addr elems = dataBase;              // 128K elements x 64 B
+    const Addr conn = dataBase + 0x900000;    // connectivity indices
+    return csprintf(R"(
+        li   r1, %llu          # element pool
+        li   r4, %llu          # connectivity list (mesh order)
+        li   r2, 14000         # elements
+        addi r3, r0, 2
+        fcvtdl f7, r3          # dt-ish constant
+    elem:
+        ld   r5, 0(r4)         # element id via connectivity
+        slli r5, r5, 6
+        add  r6, r1, r5
+        fld  f1, 0(r6)         # stress
+        fld  f2, 8(r6)         # strain
+        fld  f3, 16(r6)        # velocity
+        fld  f4, 24(r6)        # mass (near-constant)
+        fmul f5, f2, f7
+        fadd f1, f1, f5
+        fdiv f6, f1, f4
+        fadd f3, f3, f6
+        fsd  f1, 0(r6)
+        fsd  f3, 16(r6)
+        addi r4, r4, 8
+        subi r2, r2, 1
+        bne  r2, r0, elem
+        halt
+    )",
+                    static_cast<unsigned long long>(elems),
+                    static_cast<unsigned long long>(conn));
+}
+
+void
+fma3dData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x666d61);
+    const size_t elems = 128 * 1024;
+    for (size_t i = 0; i < elems; ++i) {
+        Addr a = dataBase + i * 64;
+        mem.writeFp(a, 0.0);
+        mem.writeFp(a + 8,
+                    0.25 * static_cast<double>(rng.nextBounded(4)));
+        mem.writeFp(a + 16, 0.0);
+        mem.writeFp(a + 24, 2.0); // constant mass
+    }
+    // Mesh-renumbered connectivity: mostly local steps, occasional jump.
+    size_t cur = 0;
+    for (size_t i = 0; i < 16 * 1024; ++i) {
+        if (rng.nextBool(0.75))
+            cur = (cur + 1 + rng.nextBounded(6)) % elems;
+        else
+            cur = rng.nextBounded(elems);
+        mem.write64(dataBase + 0x900000 + i * 8, cur);
+    }
+}
+
+// -------------------------------------------------------------------
+// galgel: blocked dense linear algebra, mostly cache-resident.
+// -------------------------------------------------------------------
+
+std::string
+galgelSource()
+{
+    const Addr a = dataBase;               // 128 KB block
+    const Addr b = dataBase + 0x40000;     // 128 KB block
+    return csprintf(R"(
+        li   r9, 18            # block sweeps
+    sweepg:
+        li   r1, %llu
+        li   r2, %llu
+        li   r3, 2048          # elements per sweep
+        fcvtdl f1, r0
+    cellg:
+        fld  f2, 0(r1)
+        fld  f3, 0(r2)
+        fmul f4, f2, f3
+        fadd f1, f1, f4
+        fld  f5, 8(r1)
+        fma  f1, f5, f3
+        fsd  f1, 0(r2)
+        addi r1, r1, 16
+        addi r2, r2, 8
+        subi r3, r3, 1
+        bne  r3, r0, cellg
+        subi r9, r9, 1
+        bne  r9, r0, sweepg
+        halt
+    )",
+                    static_cast<unsigned long long>(a),
+                    static_cast<unsigned long long>(b));
+}
+
+void
+galgelData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x67616c);
+    fillPlateaus(mem, dataBase, 16 * 1024, rng, 64, 6);
+    fillPlateaus(mem, dataBase + 0x40000, 16 * 1024, rng, 64, 6);
+}
+
+// -------------------------------------------------------------------
+// lucas: FFT-style butterflies with power-of-two strides.
+// -------------------------------------------------------------------
+
+std::string
+lucasSource()
+{
+    const Addr x = dataBase;              // 4 MB signal
+    const Addr tw = dataBase + 0x480000;  // 2 KB twiddles
+    return csprintf(R"(
+        li   r1, %llu          # signal
+        li   r2, %llu          # twiddles
+        li   r3, 25000         # butterflies
+        addi r4, r0, 0         # index
+        li   r15, 262143       # half mask
+    fly:
+        and  r5, r4, r15
+        slli r6, r5, 3
+        add  r6, r1, r6
+        fld  f1, 0(r6)         # x[i]
+        fld  f2, 16384(r6)     # x[i + 2048]
+        andi r7, r4, 255
+        slli r7, r7, 3
+        add  r7, r2, r7
+        fld  f3, 0(r7)         # twiddle (256 distinct, L1 resident)
+        fmul f4, f2, f3
+        fadd f5, f1, f4
+        fsub f6, f1, f4
+        fsd  f5, 0(r6)
+        fsd  f6, 16384(r6)
+        addi r4, r4, 7         # stride through the signal
+        subi r3, r3, 1
+        bne  r3, r0, fly
+        halt
+    )",
+                    static_cast<unsigned long long>(x),
+                    static_cast<unsigned long long>(tw));
+}
+
+void
+lucasData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x6c75);
+    fillPlateaus(mem, dataBase, 1 << 19, rng, 384, 5);
+    for (size_t i = 0; i < 256; ++i)
+        mem.writeFp(dataBase + 0x480000 + i * 8,
+                    0.125 * static_cast<double>(1 + rng.nextBounded(8)));
+}
+
+// -------------------------------------------------------------------
+// mesa: span rasterization — interpolation, small footprint.
+// -------------------------------------------------------------------
+
+std::string
+mesaSource()
+{
+    const Addr fb = dataBase; // 512 KB framebuffer
+    return csprintf(R"(
+        li   r1, %llu          # framebuffer
+        li   r2, 600           # spans
+        addi r3, r0, 3
+        fcvtdl f2, r3
+        addi r3, r0, 100
+        fcvtdl f3, r3
+        fdiv f2, f2, f3        # dz = 0.03
+    span:
+        fcvtdl f1, r2          # z start
+        li   r4, 64            # pixels per span
+        mv   r5, r1
+    pixel:
+        fadd f1, f1, f2        # interpolate depth
+        fld  f4, 0(r5)         # old depth
+        flt  r6, f1, f4
+        beq  r6, r0, skip
+        fsd  f1, 0(r5)         # depth-test passed: write
+    skip:
+        addi r5, r5, 8
+        subi r4, r4, 1
+        bne  r4, r0, pixel
+        subi r2, r2, 1
+        bne  r2, r0, span
+        halt
+    )",
+                    static_cast<unsigned long long>(fb));
+}
+
+void
+mesaData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x6d657361);
+    // Far depth plane with per-pixel jitter (keeps builds seed-unique).
+    for (size_t i = 0; i < 64 * 1024; ++i)
+        mem.writeFp(dataBase + i * 8, 1e9 + rng.nextDouble());
+}
+
+// -------------------------------------------------------------------
+// sixtrack: particle tracking — tiny footprint, sqrt/divide bound.
+// -------------------------------------------------------------------
+
+std::string
+sixtrackSource()
+{
+    const Addr particles = dataBase; // 2K particles x 32 B = 64 KB
+    return csprintf(R"(
+        li   r9, 12            # turns
+    turn:
+        li   r1, %llu
+        li   r2, 800           # particles per turn
+    part:
+        fld  f1, 0(r1)         # x
+        fld  f2, 8(r1)         # px
+        fmul f3, f1, f1
+        fmul f4, f2, f2
+        fadd f3, f3, f4
+        fsqrt f5, f3           # amplitude
+        fadd f6, f5, f3
+        fdiv f7, f1, f6        # kick
+        fadd f2, f2, f7
+        fsd  f2, 8(r1)
+        addi r1, r1, 32
+        subi r2, r2, 1
+        bne  r2, r0, part
+        subi r9, r9, 1
+        bne  r9, r0, turn
+        halt
+    )",
+                    static_cast<unsigned long long>(particles));
+}
+
+void
+sixtrackData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x736978);
+    for (size_t i = 0; i < 2048; ++i) {
+        Addr a = dataBase + i * 32;
+        mem.writeFp(a, 1.0 + rng.nextDouble());
+        mem.writeFp(a + 8, rng.nextDouble() * 0.1);
+    }
+}
+
+// -------------------------------------------------------------------
+// ammp: molecular-dynamics neighbour-list force loop.
+// -------------------------------------------------------------------
+
+std::string
+ammpSource()
+{
+    const Addr atoms = dataBase;              // 128K atoms x 64 B = 8 MB
+    const Addr nbr = dataBase + 0x900000;     // neighbour index list
+    return csprintf(R"(
+        li   r1, %llu          # atoms
+        li   r2, %llu          # neighbour list
+        li   r3, 22000         # pairs
+        fcvtdl f9, r0          # energy
+        addi r4, r0, 1
+        fcvtdl f8, r4          # 1.0
+    pair:
+        ld   r5, 0(r2)         # atom A index
+        ld   r6, 8(r2)         # atom B index
+        slli r5, r5, 6
+        slli r6, r6, 6
+        add  r5, r1, r5
+        add  r6, r1, r6
+        fld  f1, 0(r5)         # xA
+        fld  f2, 0(r6)         # xB
+        fld  f3, 8(r5)         # charge A (few distinct values)
+        fld  f4, 8(r6)         # charge B
+        fsub f5, f1, f2
+        fmul f5, f5, f5        # r^2
+        fadd f5, f5, f8
+        fmul f6, f3, f4
+        fdiv f7, f6, f5        # coulomb term
+        fadd f9, f9, f7
+        addi r2, r2, 16
+        subi r3, r3, 1
+        bne  r3, r0, pair
+        halt
+    )",
+                    static_cast<unsigned long long>(atoms),
+                    static_cast<unsigned long long>(nbr));
+}
+
+void
+ammpData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x616d6d70);
+    const size_t atoms = 128 * 1024;
+    for (size_t i = 0; i < atoms; ++i) {
+        Addr a = dataBase + i * 64;
+        mem.writeFp(a, static_cast<double>(i % 256) * 0.5);
+        // Charges from a 5-value set: classic MD value locality.
+        mem.writeFp(a + 8,
+                    -0.5 + 0.25 * static_cast<double>(rng.nextBounded(5)));
+    }
+    // Neighbour list: mostly spatially-local pairs, sequential-ish walk.
+    size_t cur = 0;
+    for (size_t p = 0; p < 32 * 1024; ++p) {
+        Addr a = dataBase + 0x900000 + p * 16;
+        if (rng.nextBool(0.8))
+            cur = (cur + 1 + rng.nextBounded(4)) % atoms;
+        else
+            cur = rng.nextBounded(atoms);
+        size_t other = (cur + 1 + rng.nextBounded(16)) % atoms;
+        mem.write64(a, cur);
+        mem.write64(a + 8, other);
+    }
+}
+
+} // namespace
+
+void
+registerFpWorkloadsImpl()
+{
+    static std::vector<const Workload *> keep;
+
+    reg(keep, "ammp", "MD neighbour-list force loop over 8MB",
+        ammpSource(), ammpData);
+    reg(keep, "applu", "SSOR sweep with in-place updates",
+        appluSource(), appluData);
+    reg(keep, "apsi", "weather stencil with divides", apsiSource(),
+        apsiData);
+    reg(keep, "art.1", "neural-net weight blocks, input 1",
+        artSource(2400),
+        [](MainMemory &m, uint64_t s) { artData(m, s, 3); });
+    reg(keep, "art.4", "neural-net weight blocks, input 4",
+        artSource(2000),
+        [](MainMemory &m, uint64_t s) { artData(m, s, 2); });
+    reg(keep, "equake", "CSR sparse matrix-vector product",
+        equakeSource(), equakeData);
+    reg(keep, "facerec", "template correlation over a 4MB image",
+        facerecSource(), facerecData);
+    reg(keep, "fma3d", "finite-element struct sweep", fma3dSource(),
+        fma3dData);
+    reg(keep, "galgel", "blocked dense kernels, cache resident",
+        galgelSource(), galgelData);
+    reg(keep, "lucas", "FFT butterflies, power-of-two strides",
+        lucasSource(), lucasData);
+    reg(keep, "mesa", "span rasterizer with depth test", mesaSource(),
+        mesaData);
+    reg(keep, "mgrid", "multigrid multi-stride stencil", mgridSource(),
+        mgridData);
+    reg(keep, "sixtrack", "particle tracking, sqrt/div bound",
+        sixtrackSource(), sixtrackData);
+    reg(keep, "swim", "shallow-water stencil over 12MB", swimSource(),
+        swimData);
+    reg(keep, "wupwise", "dense mat-vec streaming an 8MB matrix",
+        wupwiseSource(), wupwiseData);
+}
+
+} // namespace vpsim

@@ -1,0 +1,839 @@
+/**
+ * @file
+ * SPECint2000 mimic kernels (see DESIGN.md substitution table). Each
+ * kernel reproduces the original benchmark's memory-boundedness and
+ * load-value locality, the two properties threaded value prediction is
+ * sensitive to. Variants (gzip.g/gzip.r, gcc.1/2/e/i, bzip.g/bzip.p)
+ * differ in data-set construction, mirroring the paper's use of several
+ * reference inputs per benchmark.
+ */
+
+#include "workloads/workload.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+constexpr Addr dataBase = 0x100000;
+
+void
+reg(std::vector<const Workload *> &keep, std::string name,
+    std::string desc, std::string source, AsmWorkload::DataInit init)
+{
+    auto *w = new AsmWorkload(std::move(name), BenchCategory::Int,
+                              std::move(desc), std::move(source),
+                              std::move(init));
+    keep.push_back(w);
+    registerWorkload(w);
+}
+
+// -------------------------------------------------------------------
+// gzip: LZ77-style hash-chain matcher over a byte buffer.
+// -------------------------------------------------------------------
+
+std::string
+gzipSource()
+{
+    const Addr text = dataBase;              // 1 MB byte buffer
+    const Addr head = dataBase + 0x200000;   // 64K-entry chain heads
+    return csprintf(R"(
+        li   r1, %llu          # text base
+        li   r2, %llu          # head table
+        li   r3, 14000         # positions to process
+        addi r4, r0, 0         # i
+    loop:
+        add  r5, r1, r4
+        lbu  r6, 0(r5)
+        lbu  r7, 1(r5)
+        slli r8, r6, 8
+        or   r8, r8, r7        # 16-bit hash
+        slli r9, r8, 3
+        add  r9, r2, r9
+        ld   r10, 0(r9)        # previous occurrence (chain head)
+        sd   r4, 0(r9)
+        add  r11, r1, r10
+        addi r12, r0, 8        # match up to 8 bytes
+        mv   r15, r5
+    match:
+        lbu  r13, 0(r15)
+        lbu  r14, 0(r11)
+        bne  r13, r14, nomatch
+        addi r15, r15, 1
+        addi r11, r11, 1
+        subi r12, r12, 1
+        bne  r12, r0, match
+    nomatch:
+        addi r4, r4, 1
+        subi r3, r3, 1
+        bne  r3, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(text),
+                    static_cast<unsigned long long>(head));
+}
+
+void
+gzipData(MainMemory &mem, uint64_t seed, bool graphic)
+{
+    Rng rng(seed ^ 0x677a6970);
+    const Addr text = dataBase;
+    const size_t bytes = 1 << 20;
+    if (graphic) {
+        // Long runs of identical bytes (raster-image-like): highly
+        // compressible, short hash chains, very regular values.
+        size_t i = 0;
+        while (i < bytes) {
+            uint8_t value = static_cast<uint8_t>(rng.nextBounded(16));
+            size_t run = 8 + rng.nextBounded(56);
+            for (size_t j = 0; j < run && i < bytes; ++j, ++i)
+                mem.write8(text + i, value);
+        }
+    } else {
+        // "Source"-like: words from a small alphabet with repeats.
+        for (size_t i = 0; i < bytes; ++i)
+            mem.write8(text + i,
+                       static_cast<uint8_t>(97 + rng.nextBounded(26)));
+    }
+}
+
+// -------------------------------------------------------------------
+// vpr: maze-router-style walk over a large 2D cost grid.
+// -------------------------------------------------------------------
+
+std::string
+vprSource()
+{
+    const Addr grid = dataBase; // 1024x1024 int64 costs = 8 MB (> L3)
+    return csprintf(R"(
+        li   r1, %llu          # grid base
+        li   r2, 16000         # steps
+        li   r3, 524797        # walk position (index)
+        addi r4, r0, 0         # accumulated cost
+        li   r14, 1048575      # index mask (2^20 - 1)
+    loop:
+        slli r5, r3, 3
+        add  r5, r1, r5
+        ld   r6, 0(r5)         # cost at position (small ints)
+        ld   r7, 8(r5)         # east neighbour
+        ld   r8, 8192(r5)      # south neighbour (1024 entries away)
+        add  r4, r4, r6
+        blt  r7, r8, east
+        addi r3, r3, 1024      # move south
+        b    next
+    east:
+        addi r3, r3, 1
+    next:
+        # pseudo-random rip-up: occasionally jump far away
+        andi r9, r4, 63
+        bne  r9, r0, stay
+        mul  r10, r3, r3
+        srli r10, r10, 5
+        add  r3, r3, r10
+    stay:
+        and  r3, r3, r14
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(grid));
+}
+
+void
+vprData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x767072);
+    const size_t entries = 1 << 20;
+    for (size_t i = 0; i < entries; ++i) {
+        // Costs are tiny, heavily skewed integers: strong value
+        // locality on cold misses.
+        mem.write64(dataBase + i * 8,
+                    rng.nextBool(0.95) ? 1 : 1 + rng.nextBounded(4));
+    }
+}
+
+// -------------------------------------------------------------------
+// gcc: IR-walk interpreter with a branchy opcode dispatch.
+// -------------------------------------------------------------------
+
+std::string
+gccSource()
+{
+    const Addr nodes = dataBase; // 64K nodes x 24 bytes
+    return csprintf(R"(
+        li   r1, %llu          # node array
+        li   r2, 30000         # nodes to interpret
+        addi r3, r0, 0         # node index
+        addi r4, r0, 1         # accumulator
+        li   r15, 65535        # node count mask
+    loop:
+        mul  r5, r3, r4        # data-dependent next-node scramble
+        and  r5, r3, r15
+        slli r6, r5, 3
+        add  r7, r6, r5
+        slli r7, r7, 1         # idx * 24 ... approx: idx*16 + idx*8
+        slli r8, r5, 4
+        slli r9, r5, 3
+        add  r8, r8, r9        # idx * 24
+        add  r8, r1, r8
+        ld   r10, 0(r8)        # opcode (0..7, skewed)
+        ld   r11, 8(r8)        # operand 1
+        ld   r12, 16(r8)       # operand 2
+        addi r13, r0, 0
+        bne  r10, r13, not0
+        add  r4, r4, r11
+        b    next
+    not0:
+        addi r13, r0, 1
+        bne  r10, r13, not1
+        sub  r4, r4, r12
+        b    next
+    not1:
+        addi r13, r0, 2
+        bne  r10, r13, not2
+        xor  r4, r4, r11
+        b    next
+    not2:
+        addi r13, r0, 3
+        bne  r10, r13, not3
+        and  r4, r4, r12
+        b    next
+    not3:
+        addi r13, r0, 4
+        bne  r10, r13, not4
+        mul  r4, r4, r11
+        b    next
+    not4:
+        or   r4, r4, r12
+    next:
+        addi r3, r3, 1
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(nodes));
+}
+
+void
+gccData(MainMemory &mem, uint64_t seed, int variant)
+{
+    Rng rng(seed ^ (0x676363u + static_cast<uint64_t>(variant)));
+    const size_t nodes = 1 << 16;
+    for (size_t i = 0; i < nodes; ++i) {
+        Addr a = dataBase + i * 24;
+        // Variants skew the opcode mix (branch behaviour changes).
+        uint64_t op;
+        switch (variant) {
+          case 0: op = rng.nextBounded(6); break;
+          case 1: op = rng.nextBounded(3); break;             // biased
+          case 2: op = rng.nextBool(0.7) ? 0 : rng.nextBounded(6); break;
+          default: op = rng.nextBool(0.5) ? 4 : rng.nextBounded(6); break;
+        }
+        mem.write64(a, op);
+        mem.write64(a + 8, rng.nextBounded(1 << 12));
+        mem.write64(a + 16, rng.nextBounded(1 << 12));
+    }
+}
+
+// -------------------------------------------------------------------
+// mcf: network-simplex-style pointer chase over a >L3 node pool with
+// mostly-stride successor pointers and near-constant flag fields. The
+// canonical MTVP winner: long-miss loads with predictable values.
+// -------------------------------------------------------------------
+
+std::string
+mcfSource()
+{
+    const Addr nodes = dataBase; // 256K nodes x 64 B = 16 MB
+    return csprintf(R"(
+        li   r1, %llu          # current node pointer
+        li   r2, 30000         # chase steps
+        addi r3, r0, 0         # flagged count
+        addi r4, r0, 0         # cost sum
+    loop:
+        ld   r5, 0(r1)         # next pointer (80%% stride: VP-friendly)
+        ld   r6, 8(r1)         # flag (mostly 0)
+        ld   r7, 16(r1)        # cost (small)
+        add  r4, r4, r7
+        beq  r6, r0, notflag
+        addi r3, r3, 1
+    notflag:
+        mv   r1, r5
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(nodes));
+}
+
+void
+mcfData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x6d6366);
+    const size_t count = 1 << 18; // 256K nodes, 64 B apart.
+    for (size_t i = 0; i < count; ++i) {
+        Addr a = dataBase + i * 64;
+        Addr next;
+        if (rng.nextBool(0.97)) {
+            next = dataBase + ((i + 1) % count) * 64; // stride successor
+        } else {
+            next = dataBase + rng.nextBounded(count) * 64;
+        }
+        mem.write64(a, next);
+        mem.write64(a + 8, rng.nextBool(0.05) ? 1 : 0); // flag
+        mem.write64(a + 16, rng.nextBool(0.94) ? 2 : 3);  // cost
+    }
+}
+
+// -------------------------------------------------------------------
+// crafty: bitboard manipulation — cache-resident, ALU/branch heavy.
+// -------------------------------------------------------------------
+
+std::string
+craftySource()
+{
+    const Addr tables = dataBase; // 64 x 8 B attack masks
+    return csprintf(R"(
+        li   r1, %llu          # attack tables
+        li   r14, %llu         # 16K-entry history table (128 KB)
+        li   r2, 20000         # positions evaluated
+        li   r3, 0x123456789abcdef
+        li   r13, 16383        # history mask
+        addi r4, r0, 0         # score
+    loop:
+        andi r5, r3, 63        # square
+        slli r6, r5, 3
+        add  r6, r1, r6
+        ld   r7, 0(r6)         # attack mask
+        and  r8, r7, r3        # attacked pieces
+        # popcount via shift-and-add loop (branchy)
+        addi r9, r0, 0
+        addi r10, r0, 16
+    pop:
+        andi r11, r8, 1
+        add  r9, r9, r11
+        srli r8, r8, 1
+        subi r10, r10, 1
+        bne  r10, r0, pop
+        add  r4, r4, r9
+        # history-heuristic bump (L2-resident table)
+        and  r11, r3, r13
+        slli r11, r11, 3
+        add  r11, r14, r11
+        ld   r12, 0(r11)
+        addi r12, r12, 1
+        sd   r12, 0(r11)
+        # evolve the board hash
+        slli r12, r3, 13
+        xor  r3, r3, r12
+        srli r12, r3, 7
+        xor  r3, r3, r12
+        slli r12, r3, 17
+        xor  r3, r3, r12
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(tables),
+                    static_cast<unsigned long long>(dataBase + 0x1000));
+}
+
+void
+craftyData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x637261);
+    for (int i = 0; i < 64; ++i)
+        mem.write64(dataBase + static_cast<Addr>(i) * 8, rng.next());
+    // History table: initialized with small skewed counts.
+    for (int i = 0; i < 16384; ++i) {
+        mem.write64(dataBase + 0x1000 + static_cast<Addr>(i) * 8,
+                    rng.nextBounded(3));
+    }
+}
+
+// -------------------------------------------------------------------
+// parser: dictionary hash-bucket chains over a medium pool.
+// -------------------------------------------------------------------
+
+std::string
+parserSource()
+{
+    const Addr buckets = dataBase;            // 512K buckets x 8 B = 4 MB
+    const Addr pool = dataBase + 0x800000;    // node pool
+    (void)pool;
+    return csprintf(R"(
+        li   r1, %llu          # bucket array
+        li   r2, 16000         # words to look up
+        li   r3, 88172645463325252
+        addi r4, r0, 0         # hits
+        li   r15, 524287       # bucket mask
+    loop:
+        # xorshift word hash
+        slli r5, r3, 13
+        xor  r3, r3, r5
+        srli r5, r3, 7
+        xor  r3, r3, r5
+        and  r6, r3, r15
+        slli r6, r6, 3
+        add  r6, r1, r6
+        ld   r7, 0(r6)         # chain head (often 0: value locality)
+        beq  r7, r0, miss
+    chase:
+        ld   r8, 0(r7)         # node key
+        ld   r9, 8(r7)         # node next
+        beq  r8, r3, found
+        mv   r7, r9
+        bne  r7, r0, chase
+        b    miss
+    found:
+        addi r4, r4, 1
+    miss:
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(buckets));
+}
+
+void
+parserData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x706172);
+    const Addr buckets = dataBase;
+    const Addr pool = dataBase + 0x800000;
+    const size_t numBuckets = 512 * 1024;
+    const size_t numNodes = 128 * 1024; // 16-byte nodes, 2 MB pool
+    // ~25% of buckets occupied; chains of length 1-3.
+    size_t node = 0;
+    for (size_t b = 0; b < numBuckets && node < numNodes; ++b) {
+        if (!rng.nextBool(0.25))
+            continue;
+        size_t len = 1 + rng.nextBounded(3);
+        Addr headAddr = buckets + b * 8;
+        Addr prev = 0;
+        for (size_t k = 0; k < len && node < numNodes; ++k, ++node) {
+            Addr n = pool + node * 16;
+            mem.write64(n, rng.next());  // key
+            mem.write64(n + 8, prev);    // next
+            prev = n;
+        }
+        mem.write64(headAddr, prev);
+    }
+}
+
+// -------------------------------------------------------------------
+// eon: ray/grid stepping — small footprint, mixed int + FP compute.
+// -------------------------------------------------------------------
+
+std::string
+eonSource()
+{
+    const Addr cells = dataBase; // 32K cells x 8 B = 256 KB
+    return csprintf(R"(
+        li   r1, %llu          # cell occupancy
+        li   r2, 9000          # rays
+        li   r3, 6364136223846793005
+        li   r15, 32767
+        addi r4, r0, 0
+        fcvtdl f1, r0          # accumulated brightness = 0
+        addi r5, r0, 3
+        fcvtdl f2, r5          # 3.0
+        addi r5, r0, 4
+        fcvtdl f3, r5          # 4.0
+        fdiv f2, f2, f3        # step attenuation 0.75
+    loop:
+        # advance ray position hash
+        li   r6, 1442695040888963407
+        mul  r3, r3, r6
+        srli r7, r3, 33
+        and  r7, r7, r15
+        slli r7, r7, 3
+        add  r7, r1, r7
+        ld   r8, 0(r7)         # cell density (small int)
+        fcvtdl f4, r8
+        fmul f4, f4, f2
+        fadd f1, f1, f4
+        fsqrt f5, f4
+        fadd f1, f1, f5
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(cells));
+}
+
+void
+eonData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x656f6e);
+    for (size_t i = 0; i < 32768; ++i)
+        mem.write64(dataBase + i * 8, rng.nextBounded(5));
+}
+
+// -------------------------------------------------------------------
+// perlbmk: string hashing + table lookups + byte copies.
+// -------------------------------------------------------------------
+
+std::string
+perlSource()
+{
+    const Addr strings = dataBase;           // 2 MB string pool
+    const Addr table = dataBase + 0x400000;  // 128K-entry symbol table
+    const Addr out = dataBase + 0x600000;    // copy target
+    return csprintf(R"(
+        li   r1, %llu          # string pool
+        li   r2, %llu          # symbol table
+        li   r3, %llu          # output buffer
+        li   r4, 7000          # strings to process
+        addi r5, r0, 0         # pool offset
+        li   r15, 131071       # table mask
+    loop:
+        add  r6, r1, r5
+        addi r7, r0, 0         # hash
+        addi r8, r0, 16        # string length
+        mv   r9, r6
+    hash:
+        lbu  r10, 0(r9)
+        slli r11, r7, 5
+        add  r7, r11, r7
+        add  r7, r7, r10
+        addi r9, r9, 1
+        subi r8, r8, 1
+        bne  r8, r0, hash
+        and  r12, r7, r15
+        slli r12, r12, 3
+        add  r12, r2, r12
+        ld   r13, 0(r12)       # symbol count (mostly small)
+        addi r13, r13, 1
+        sd   r13, 0(r12)
+        # copy the string to the output buffer
+        addi r8, r0, 16
+        mv   r9, r6
+        add  r14, r3, r5
+    copy:
+        lbu  r10, 0(r9)
+        sb   r10, 0(r14)
+        addi r9, r9, 1
+        addi r14, r14, 1
+        subi r8, r8, 1
+        bne  r8, r0, copy
+        addi r5, r5, 16
+        subi r4, r4, 1
+        bne  r4, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(strings),
+                    static_cast<unsigned long long>(table),
+                    static_cast<unsigned long long>(out));
+}
+
+void
+perlData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x7065726c);
+    for (size_t i = 0; i < (2u << 20); ++i)
+        mem.write8(dataBase + i,
+                   static_cast<uint8_t>(32 + rng.nextBounded(96)));
+}
+
+// -------------------------------------------------------------------
+// gap: big-integer addition with carry propagation (streaming limbs).
+// -------------------------------------------------------------------
+
+std::string
+gapSource()
+{
+    const Addr numA = dataBase;
+    const Addr numB = dataBase + 0x100000;
+    const Addr numC = dataBase + 0x200000;
+    return csprintf(R"(
+        li   r10, 10           # passes
+    pass:
+        li   r1, %llu
+        li   r2, %llu
+        li   r3, %llu
+        li   r4, 4096          # limbs per pass (32 KB per array)
+        addi r5, r0, 0         # carry
+    limb:
+        ld   r6, 0(r1)
+        ld   r7, 0(r2)
+        add  r8, r6, r7
+        sltu r9, r8, r6        # carry-out of a+b
+        add  r8, r8, r5
+        sltu r11, r8, r5       # carry-out of +carry
+        or   r5, r9, r11
+        sd   r8, 0(r3)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 8
+        subi r4, r4, 1
+        bne  r4, r0, limb
+        subi r10, r10, 1
+        bne  r10, r0, pass
+        halt
+    )",
+                    static_cast<unsigned long long>(numA),
+                    static_cast<unsigned long long>(numB),
+                    static_cast<unsigned long long>(numC));
+}
+
+void
+gapData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x676170);
+    for (size_t i = 0; i < 4096; ++i) {
+        mem.write64(dataBase + i * 8, rng.next());
+        mem.write64(dataBase + 0x100000 + i * 8, rng.next());
+    }
+}
+
+// -------------------------------------------------------------------
+// vortex: object-database record traversal — large heap, repetitive
+// field values (another strong MTVP candidate).
+// -------------------------------------------------------------------
+
+std::string
+vortexSource()
+{
+    const Addr heap = dataBase; // 96K records x 128 B = 12 MB
+    return csprintf(R"(
+        li   r1, %llu          # record heap
+        li   r2, 18000         # transactions
+        li   r3, 2862933555777941757
+        addi r4, r0, 0         # checksum
+        li   r15, 98303        # record count - 1 (mask via rem)
+    loop:
+        # next record id (linear congruential walk)
+        li   r5, 3037000493
+        mul  r3, r3, r5
+        addi r3, r3, 1
+        srli r6, r3, 17
+        rem  r6, r6, r15
+        slli r7, r6, 7         # * 128
+        add  r7, r1, r7
+        ld   r8, 0(r7)         # type tag (few distinct values)
+        ld   r9, 8(r7)         # status (near-constant)
+        ld   r10, 16(r7)       # payload
+        ld   r11, 24(r7)       # access counter
+        add  r4, r4, r10
+        add  r4, r4, r8
+        add  r4, r4, r9
+        addi r11, r11, 1
+        sd   r11, 24(r7)
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(heap));
+}
+
+void
+vortexData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x766f72);
+    const size_t records = 96 * 1024;
+    for (size_t i = 0; i < records; ++i) {
+        Addr a = dataBase + i * 128;
+        mem.write64(a, rng.nextBool(0.9) ? 1 : rng.nextBounded(4)); // type tag
+        mem.write64(a + 8, 1);                     // status: constant
+        mem.write64(a + 16, rng.nextBool(0.85) ? 7 : rng.nextBounded(256)); // payload
+        mem.write64(a + 24, 0);                    // access counter
+    }
+}
+
+// -------------------------------------------------------------------
+// bzip2: move-to-front coding with a byte histogram.
+// -------------------------------------------------------------------
+
+std::string
+bzipSource()
+{
+    const Addr text = dataBase;              // 1 MB input
+    const Addr mtf = dataBase + 0x200000;    // 256-entry MTF list
+    const Addr hist = dataBase + 0x201000;   // 256-entry histogram
+    return csprintf(R"(
+        li   r1, %llu          # text
+        li   r2, %llu          # mtf list
+        li   r3, %llu          # histogram
+        li   r4, 9000          # bytes to code
+        addi r5, r0, 0         # offset
+    loop:
+        add  r6, r1, r5
+        lbu  r7, 0(r6)         # input byte
+        # find rank of byte in MTF list
+        addi r8, r0, 0         # rank
+    scan:
+        add  r9, r2, r8
+        lbu  r10, 0(r9)
+        beq  r10, r7, foundit
+        addi r8, r8, 1
+        b    scan
+    foundit:
+        # shift list entries [0, rank) up by one, put byte at front
+        mv   r11, r8
+    shift:
+        beq  r11, r0, placed
+        subi r12, r11, 1
+        add  r13, r2, r12
+        lbu  r14, 0(r13)
+        add  r13, r2, r11
+        sb   r14, 0(r13)
+        mv   r11, r12
+        b    shift
+    placed:
+        sb   r7, 0(r2)
+        # histogram of emitted ranks
+        slli r9, r8, 3
+        add  r9, r3, r9
+        ld   r10, 0(r9)
+        addi r10, r10, 1
+        sd   r10, 0(r9)
+        addi r5, r5, 1
+        subi r4, r4, 1
+        bne  r4, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(text),
+                    static_cast<unsigned long long>(mtf),
+                    static_cast<unsigned long long>(hist));
+}
+
+void
+bzipData(MainMemory &mem, uint64_t seed, bool graphic)
+{
+    Rng rng(seed ^ 0x627a32);
+    const size_t bytes = 1 << 20;
+    for (size_t i = 0; i < bytes; ++i) {
+        uint8_t b;
+        if (graphic) {
+            // Heavily skewed distribution: short MTF scans.
+            b = static_cast<uint8_t>(rng.nextBool(0.8)
+                                         ? rng.nextBounded(4)
+                                         : rng.nextBounded(32));
+        } else {
+            b = static_cast<uint8_t>(rng.nextBounded(64));
+        }
+        mem.write8(dataBase + i, b);
+    }
+    // MTF list initialized to the identity permutation.
+    for (int v = 0; v < 256; ++v)
+        mem.write8(dataBase + 0x200000 + static_cast<Addr>(v),
+                   static_cast<uint8_t>(v));
+}
+
+// -------------------------------------------------------------------
+// twolf: simulated-annealing cell swaps over a large placement array.
+// -------------------------------------------------------------------
+
+std::string
+twolfSource()
+{
+    const Addr cells = dataBase; // 96K cells x 64 B = 6 MB
+    return csprintf(R"(
+        li   r1, %llu          # cell array
+        li   r2, 14000         # proposed moves
+        li   r3, 88172645463325252
+        addi r4, r0, 0         # accepted moves
+        li   r15, 98303
+    loop:
+        # two pseudo-random cells
+        slli r5, r3, 13
+        xor  r3, r3, r5
+        srli r5, r3, 7
+        xor  r3, r3, r5
+        srli r6, r3, 3
+        rem  r6, r6, r15
+        srli r7, r3, 21
+        rem  r7, r7, r15
+        slli r6, r6, 6
+        slli r7, r7, 6
+        add  r6, r1, r6
+        add  r7, r1, r7
+        ld   r8, 0(r6)         # cell A x-coordinate
+        ld   r9, 0(r7)         # cell B x-coordinate
+        ld   r10, 8(r6)        # cell A wire count (small int)
+        ld   r11, 8(r7)
+        sub  r12, r8, r9
+        mul  r13, r12, r10
+        mul  r14, r12, r11
+        sub  r13, r14, r13     # cost delta
+        blt  r13, r0, reject
+        sd   r9, 0(r6)         # accept: swap positions
+        sd   r8, 0(r7)
+        addi r4, r4, 1
+    reject:
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )",
+                    static_cast<unsigned long long>(cells));
+}
+
+void
+twolfData(MainMemory &mem, uint64_t seed)
+{
+    Rng rng(seed ^ 0x74776f);
+    const size_t cells = 96 * 1024;
+    for (size_t i = 0; i < cells; ++i) {
+        Addr a = dataBase + i * 64;
+        mem.write64(a, rng.nextBounded(4096));     // x coordinate
+        mem.write64(a + 8, rng.nextBool(0.93) ? 2 : 3); // wire count
+    }
+}
+
+} // namespace
+
+void
+registerIntWorkloadsImpl()
+{
+    static std::vector<const Workload *> keep;
+
+    reg(keep, "gzip.g", "LZ77 hash-chain matcher, graphic input",
+        gzipSource(),
+        [](MainMemory &m, uint64_t s) { gzipData(m, s, true); });
+    reg(keep, "gzip.r", "LZ77 hash-chain matcher, source input",
+        gzipSource(),
+        [](MainMemory &m, uint64_t s) { gzipData(m, s, false); });
+    reg(keep, "vpr.r", "maze-router walk over an 8MB cost grid",
+        vprSource(), vprData);
+    reg(keep, "gcc.1", "branchy IR interpreter, mix 1", gccSource(),
+        [](MainMemory &m, uint64_t s) { gccData(m, s, 0); });
+    reg(keep, "gcc.2", "branchy IR interpreter, mix 2", gccSource(),
+        [](MainMemory &m, uint64_t s) { gccData(m, s, 1); });
+    reg(keep, "gcc.e", "branchy IR interpreter, expr-heavy mix",
+        gccSource(),
+        [](MainMemory &m, uint64_t s) { gccData(m, s, 2); });
+    reg(keep, "gcc.i", "branchy IR interpreter, integrate mix",
+        gccSource(),
+        [](MainMemory &m, uint64_t s) { gccData(m, s, 3); });
+    reg(keep, "mcf", "16MB pointer chase, stride-heavy successors",
+        mcfSource(), mcfData);
+    reg(keep, "crafty", "bitboard popcount/attack evaluation",
+        craftySource(), craftyData);
+    reg(keep, "parser", "dictionary hash-bucket chains", parserSource(),
+        parserData);
+    reg(keep, "perlbmk", "string hashing + symbol table + copies",
+        perlSource(), perlData);
+    reg(keep, "eon.r", "ray/grid stepping, small footprint",
+        eonSource(), eonData);
+    reg(keep, "gap", "big-integer addition with carries", gapSource(),
+        gapData);
+    reg(keep, "vortex", "object DB record traversal over 12MB",
+        vortexSource(), vortexData);
+    reg(keep, "bzip.g", "move-to-front coder, skewed bytes",
+        bzipSource(),
+        [](MainMemory &m, uint64_t s) { bzipData(m, s, true); });
+    reg(keep, "bzip.p", "move-to-front coder, program-like bytes",
+        bzipSource(),
+        [](MainMemory &m, uint64_t s) { bzipData(m, s, false); });
+    reg(keep, "twolf", "annealing swaps over a 6MB placement",
+        twolfSource(), twolfData);
+}
+
+} // namespace vpsim

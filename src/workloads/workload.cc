@@ -1,0 +1,88 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+std::vector<const Workload *> &
+registry()
+{
+    static std::vector<const Workload *> workloads;
+    return workloads;
+}
+
+} // namespace
+
+// Defined in int_workloads.cc / fp_workloads.cc.
+void registerIntWorkloadsImpl();
+void registerFpWorkloadsImpl();
+
+void
+registerWorkload(const Workload *w)
+{
+    vpsim_assert(w != nullptr);
+    registry().push_back(w);
+}
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static bool initialized = false;
+    if (!initialized) {
+        initialized = true;
+        registerIntWorkloadsImpl();
+        registerFpWorkloadsImpl();
+    }
+    return registry();
+}
+
+std::vector<const Workload *>
+workloadsByCategory(BenchCategory cat)
+{
+    std::vector<const Workload *> out;
+    for (const Workload *w : allWorkloads()) {
+        if (w->category() == cat)
+            out.push_back(w);
+    }
+    return out;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload *w : allWorkloads()) {
+        if (w->name() == name)
+            return w;
+    }
+    return nullptr;
+}
+
+AsmWorkload::AsmWorkload(std::string name, BenchCategory cat,
+                         std::string desc, std::string source,
+                         DataInit init)
+    : _name(std::move(name)),
+      _cat(cat),
+      _desc(std::move(desc)),
+      _source(std::move(source)),
+      _init(std::move(init))
+{
+}
+
+Addr
+AsmWorkload::build(MainMemory &mem, uint64_t seed) const
+{
+    Program prog = assemble(_source, workloadCodeBase);
+    mem.loadProgram(prog);
+    if (_init)
+        _init(mem, seed);
+    return prog.base;
+}
+
+} // namespace vpsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Workload interface and registry.
+ *
+ * The paper evaluates SPEC CPU2000 with SimPoint regions; SPEC is
+ * proprietary, so each benchmark is substituted by a synthetic kernel
+ * (written in vpsim assembly with a generated data set) engineered to
+ * mimic the original's two properties that matter to threaded value
+ * prediction: how often its loads miss to memory, and how predictable
+ * the missing loads' *values* are. See DESIGN.md's substitution table.
+ */
+
+#ifndef VPSIM_WORKLOADS_WORKLOAD_HH
+#define VPSIM_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "emu/memory.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** SPEC-style benchmark category. */
+enum class BenchCategory
+{
+    Int,
+    Fp,
+};
+
+/** A runnable benchmark: program text plus data-set construction. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Registry key, e.g. "mcf" or "gzip.g". */
+    virtual std::string name() const = 0;
+    virtual BenchCategory category() const = 0;
+    /** One-line note on what the kernel mimics. */
+    virtual std::string description() const = 0;
+
+    /**
+     * Assemble the program and generate the data set into @p mem.
+     * @return the entry PC.
+     */
+    virtual Addr build(MainMemory &mem, uint64_t seed) const = 0;
+};
+
+/** All registered workloads, INT first, stable order. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Workloads of one category, registry order. */
+std::vector<const Workload *> workloadsByCategory(BenchCategory cat);
+
+/** Find by name; nullptr when unknown. */
+const Workload *findWorkload(const std::string &name);
+
+/**
+ * Concrete helper: a workload defined by an assembly string (assembled
+ * at 0x1000) and a data-initialization callback.
+ */
+class AsmWorkload : public Workload
+{
+  public:
+    using DataInit = std::function<void(MainMemory &, uint64_t seed)>;
+
+    AsmWorkload(std::string name, BenchCategory cat, std::string desc,
+                std::string source, DataInit init);
+
+    std::string name() const override { return _name; }
+    BenchCategory category() const override { return _cat; }
+    std::string description() const override { return _desc; }
+    Addr build(MainMemory &mem, uint64_t seed) const override;
+
+  private:
+    std::string _name;
+    BenchCategory _cat;
+    std::string _desc;
+    std::string _source;
+    DataInit _init;
+};
+
+/** Registration hook used by the int/fp workload translation units. */
+void registerWorkload(const Workload *w);
+
+/** Base address where workload programs are assembled. */
+inline constexpr Addr workloadCodeBase = 0x1000;
+
+} // namespace vpsim
+
+#endif // VPSIM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,250 @@
+/** Assembler tests: labels, pseudo-instructions, directives, error
+ *  reporting, and functional round trips through the emulator. */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "emu/memory.hh"
+#include "isa/assembler.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+/** Assemble + run to halt; returns the final architectural state. */
+ArchState
+runProgram(const std::string &src, MainMemory &mem,
+           uint64_t maxInsts = 100000)
+{
+    Program p = assemble(src);
+    mem.loadProgram(p);
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = p.base;
+    emu.run(st, maxInsts);
+    return st;
+}
+
+std::optional<Program>
+tryAssemble(const std::string &src, std::string &err)
+{
+    return assembleOrError(src, 0x1000, err);
+}
+
+} // namespace
+
+TEST(Assembler, BasicArithmetic)
+{
+    MainMemory mem;
+    ArchState st = runProgram(R"(
+        addi r1, r0, 10
+        addi r2, r0, 32
+        add  r3, r1, r2
+        mul  r4, r1, r2
+        halt
+    )", mem);
+    EXPECT_EQ(st.readReg(3), 42u);
+    EXPECT_EQ(st.readReg(4), 320u);
+}
+
+TEST(Assembler, LabelsAndLoops)
+{
+    MainMemory mem;
+    ArchState st = runProgram(R"(
+        addi r1, r0, 0
+        addi r2, r0, 10
+    loop:
+        addi r1, r1, 3
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )", mem);
+    EXPECT_EQ(st.readReg(1), 30u);
+}
+
+TEST(Assembler, LiExpansionValues)
+{
+    MainMemory mem;
+    ArchState st = runProgram(R"(
+        li r1, 0
+        li r2, 42
+        li r3, -42
+        li r4, 32767
+        li r5, -32768
+        li r6, 65536
+        li r7, 0x123456789abcdef0
+        li r8, -1
+        li r9, 0x8000000000000000
+        halt
+    )", mem);
+    EXPECT_EQ(st.readReg(1), 0u);
+    EXPECT_EQ(st.readReg(2), 42u);
+    EXPECT_EQ(st.readReg(3), static_cast<RegVal>(-42));
+    EXPECT_EQ(st.readReg(4), 32767u);
+    EXPECT_EQ(st.readReg(5), static_cast<RegVal>(-32768));
+    EXPECT_EQ(st.readReg(6), 65536u);
+    EXPECT_EQ(st.readReg(7), 0x123456789abcdef0ull);
+    EXPECT_EQ(st.readReg(8), ~RegVal{0});
+    EXPECT_EQ(st.readReg(9), 0x8000000000000000ull);
+}
+
+TEST(Assembler, PseudoOps)
+{
+    MainMemory mem;
+    ArchState st = runProgram(R"(
+        addi r1, r0, 7
+        mv   r2, r1
+        subi r3, r1, 2
+        b    over
+        addi r2, r0, 0     # skipped
+    over:
+        halt
+    )", mem);
+    EXPECT_EQ(st.readReg(2), 7u);
+    EXPECT_EQ(st.readReg(3), 5u);
+}
+
+TEST(Assembler, CallAndRet)
+{
+    MainMemory mem;
+    ArchState st = runProgram(R"(
+        addi r1, r0, 1
+        jal  r31, func
+        addi r1, r1, 100
+        halt
+    func:
+        addi r1, r1, 10
+        ret
+    )", mem);
+    EXPECT_EQ(st.readReg(1), 111u);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    std::string err;
+    auto p = tryAssemble(R"(
+        b start
+    val: .dword 0x1122334455667788
+    w:   .word 0xdeadbeef
+    start:
+        halt
+    )", err);
+    ASSERT_TRUE(p.has_value()) << err;
+    MainMemory mem;
+    mem.loadProgram(*p);
+    EXPECT_EQ(mem.read64(p->symbol("val")), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read32(p->symbol("w")), 0xdeadbeefu);
+}
+
+TEST(Assembler, SymbolTable)
+{
+    std::string err;
+    auto p = tryAssemble("a:\nnop\nb:\nnop\nc: halt\n", err);
+    ASSERT_TRUE(p.has_value()) << err;
+    EXPECT_EQ(p->symbol("a"), 0x1000u);
+    EXPECT_EQ(p->symbol("b"), 0x1004u);
+    EXPECT_EQ(p->symbol("c"), 0x1008u);
+    EXPECT_EQ(p->end(), 0x100cu + 0); // three words total
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    std::string err;
+    auto p = tryAssemble(R"(
+        # full-line comment
+        nop            ; trailing comment
+        ; another
+        halt           # done
+    )", err);
+    ASSERT_TRUE(p.has_value()) << err;
+    EXPECT_EQ(p->words.size(), 2u);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("frobnicate r1, r2\n", err).has_value());
+    EXPECT_NE(err.find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(Assembler, ErrorBadRegister)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("add r1, r2, r99\n", err).has_value());
+    EXPECT_FALSE(tryAssemble("add r1, r2, x3\n", err).has_value());
+}
+
+TEST(Assembler, ErrorWrongRegisterClass)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("fadd f1, f2, r3\n", err).has_value());
+    EXPECT_FALSE(tryAssemble("add r1, f2, r3\n", err).has_value());
+}
+
+TEST(Assembler, ErrorUndefinedLabel)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("beq r1, r2, nowhere\n", err).has_value());
+    EXPECT_NE(err.find("nowhere"), std::string::npos);
+}
+
+TEST(Assembler, ErrorDuplicateLabel)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("x:\nnop\nx:\nhalt\n", err).has_value());
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(Assembler, ErrorOperandCount)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("add r1, r2\n", err).has_value());
+    EXPECT_FALSE(tryAssemble("halt r1\n", err).has_value());
+}
+
+TEST(Assembler, ErrorBadMemOperand)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("ld r1, r2\n", err).has_value());
+    EXPECT_FALSE(tryAssemble("ld r1, 8(f2)\n", err).has_value());
+}
+
+TEST(Assembler, ErrorLineNumbers)
+{
+    std::string err;
+    EXPECT_FALSE(tryAssemble("nop\nnop\nbogus\n", err).has_value());
+    EXPECT_NE(err.find("line 3"), std::string::npos);
+}
+
+TEST(Assembler, BranchRangeLimit)
+{
+    // A branch straddling more than +/-32K words must be rejected.
+    std::string src = "start: nop\n";
+    for (int i = 0; i < 40000; ++i)
+        src += "nop\n";
+    src += "b start\nhalt\n";
+    std::string err;
+    EXPECT_FALSE(tryAssemble(src, err).has_value());
+    EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST(Assembler, StoreLoadRoundTrip)
+{
+    MainMemory mem;
+    ArchState st = runProgram(R"(
+        li   r1, 0x200000
+        li   r2, 0x0102030405060708
+        sd   r2, 0(r1)
+        ld   r3, 0(r1)
+        lw   r4, 0(r1)
+        lbu  r5, 7(r1)
+        sb   r5, 64(r1)
+        lbu  r6, 64(r1)
+        halt
+    )", mem);
+    EXPECT_EQ(st.readReg(3), 0x0102030405060708ull);
+    EXPECT_EQ(st.readReg(4), 0x05060708u);
+    EXPECT_EQ(st.readReg(5), 0x01u);
+    EXPECT_EQ(st.readReg(6), 0x01u);
+}

@@ -1,0 +1,173 @@
+/** Branch-prediction tests: 2bcgskew learning behaviour, per-context
+ *  history, BTB, and the return-address stack. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+class BpredTest : public ::testing::Test
+{
+  protected:
+    BpredTest() : bp(stats, 16384, 65536, 65536, 4) {}
+
+    StatGroup stats;
+    BranchPredictor bp;
+};
+
+} // namespace
+
+TEST_F(BpredTest, LearnsAlwaysTaken)
+{
+    Addr pc = 0x4000;
+    for (int i = 0; i < 8; ++i)
+        bp.update(pc, 0, true);
+    EXPECT_TRUE(bp.predict(pc, 0));
+}
+
+TEST_F(BpredTest, LearnsAlwaysNotTaken)
+{
+    Addr pc = 0x4100;
+    for (int i = 0; i < 8; ++i)
+        bp.update(pc, 0, false);
+    EXPECT_FALSE(bp.predict(pc, 0));
+}
+
+TEST_F(BpredTest, LearnsAlternatingPatternViaHistory)
+{
+    // Bimodal alone cannot predict T,N,T,N...; the gshare banks can.
+    Addr pc = 0x4200;
+    bool taken = false;
+    for (int i = 0; i < 200; ++i) {
+        bp.update(pc, 0, taken);
+        taken = !taken;
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (bp.predict(pc, 0) == taken)
+            ++correct;
+        bp.update(pc, 0, taken);
+        taken = !taken;
+    }
+    EXPECT_GT(correct, 90);
+}
+
+TEST_F(BpredTest, LearnsLoopExitPattern)
+{
+    // Taken 7 times then not taken once (8-iteration loop).
+    Addr pc = 0x4300;
+    auto outcome = [](int i) { return i % 8 != 7; };
+    for (int i = 0; i < 400; ++i)
+        bp.update(pc, 0, outcome(i));
+    int correct = 0;
+    for (int i = 400; i < 600; ++i) {
+        if (bp.predict(pc, 0) == outcome(i))
+            ++correct;
+        bp.update(pc, 0, outcome(i));
+    }
+    EXPECT_GT(correct, 180);
+}
+
+TEST_F(BpredTest, MispredictCounter)
+{
+    Addr pc = 0x4400;
+    for (int i = 0; i < 20; ++i)
+        bp.update(pc, 0, true);
+    uint64_t before = bp.mispredicts();
+    bp.update(pc, 0, false); // Surprise.
+    EXPECT_EQ(bp.mispredicts(), before + 1);
+}
+
+TEST_F(BpredTest, ContextsHaveIndependentHistory)
+{
+    Addr pc = 0x4500;
+    // Context 0 sees alternating outcomes; context 1 sees all-taken.
+    bool taken = false;
+    for (int i = 0; i < 300; ++i) {
+        bp.update(pc, 0, taken);
+        taken = !taken;
+        bp.update(pc, 1, true);
+    }
+    EXPECT_TRUE(bp.predict(pc, 1));
+}
+
+TEST_F(BpredTest, CopyHistoryAlignsPredictions)
+{
+    Addr pc = 0x4600;
+    bool taken = false;
+    for (int i = 0; i < 200; ++i) {
+        bp.update(pc, 0, taken);
+        taken = !taken;
+    }
+    // A freshly spawned context with copied history predicts like the
+    // parent at the same point in the pattern.
+    bp.copyHistory(0, 2);
+    EXPECT_EQ(bp.predict(pc, 2), bp.predict(pc, 0));
+}
+
+TEST(Btb, StoreAndLookup)
+{
+    StatGroup stats;
+    Btb btb(stats, 4096);
+    EXPECT_FALSE(btb.lookup(0x5000).has_value());
+    btb.update(0x5000, 0x9000);
+    auto t = btb.lookup(0x5000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x9000u);
+}
+
+TEST(Btb, TagsRejectAliases)
+{
+    StatGroup stats;
+    Btb btb(stats, 16);
+    btb.update(0x5000, 0x9000);
+    // Same index (16 entries * 4 bytes apart), different PC.
+    EXPECT_FALSE(btb.lookup(0x5000 + 16 * 4).has_value());
+}
+
+TEST(Btb, UpdateOverwrites)
+{
+    StatGroup stats;
+    Btb btb(stats, 4096);
+    btb.update(0x5000, 0x9000);
+    btb.update(0x5000, 0xa000);
+    EXPECT_EQ(*btb.lookup(0x5000), 0xa000u);
+}
+
+TEST(Ras, PushPopOrder)
+{
+    ReturnAddressStack ras(8);
+    EXPECT_TRUE(ras.empty());
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u); // Empty pops return 0.
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10);
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, CopySemantics)
+{
+    ReturnAddressStack a(8);
+    a.push(0x111);
+    ReturnAddressStack b = a;
+    a.pop();
+    EXPECT_EQ(b.pop(), 0x111u); // Copies are independent.
+}

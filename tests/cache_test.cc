@@ -1,0 +1,148 @@
+/** Cache tag-model tests: hits, misses, LRU replacement, write-back
+ *  victims, probes, prefetch inserts, and invalidation. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CacheTest() : cache(stats, "t", 4096, 2, 64) {}
+    // 4KB, 2-way, 64B lines => 32 sets.
+
+    /** An address that maps to @p set with tag index @p tag. */
+    Addr
+    addrFor(uint32_t set, uint32_t tag)
+    {
+        return (static_cast<Addr>(tag) * cache.numSets() + set) * 64;
+    }
+
+    StatGroup stats;
+    Cache cache;
+};
+
+} // namespace
+
+TEST_F(CacheTest, ColdMissThenHit)
+{
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1038, false).hit); // Same line.
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(CacheTest, LruReplacement)
+{
+    Addr a = addrFor(3, 1);
+    Addr b = addrFor(3, 2);
+    Addr c = addrFor(3, 3);
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false);       // a is now MRU.
+    cache.access(c, false);       // Evicts b (LRU).
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST_F(CacheTest, DirtyVictimReportsWriteback)
+{
+    Addr a = addrFor(5, 1);
+    Addr b = addrFor(5, 2);
+    Addr c = addrFor(5, 3);
+    cache.access(a, true); // Dirty.
+    cache.access(b, false);
+    CacheAccess r = cache.access(c, false); // Evicts dirty a.
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimLine, a);
+}
+
+TEST_F(CacheTest, CleanVictimNoWriteback)
+{
+    Addr a = addrFor(6, 1);
+    Addr b = addrFor(6, 2);
+    Addr c = addrFor(6, 3);
+    cache.access(a, false);
+    cache.access(b, false);
+    EXPECT_FALSE(cache.access(c, false).writeback);
+}
+
+TEST_F(CacheTest, WriteHitSetsDirty)
+{
+    Addr a = addrFor(7, 1);
+    cache.access(a, false);
+    cache.access(a, true); // Now dirty via a hit.
+    cache.access(addrFor(7, 2), false);
+    CacheAccess r = cache.access(addrFor(7, 3), false);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimLine, a);
+}
+
+TEST_F(CacheTest, ProbeHasNoSideEffects)
+{
+    Addr a = addrFor(9, 1);
+    EXPECT_FALSE(cache.probe(a));
+    EXPECT_EQ(cache.misses(), 0u);
+    cache.access(a, false);
+    uint64_t h = cache.hits();
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_EQ(cache.hits(), h); // Probe does not count.
+}
+
+TEST_F(CacheTest, InsertIsNotADemandAccess)
+{
+    Addr a = addrFor(10, 1);
+    cache.insert(a);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_TRUE(cache.probe(a));
+    // Inserting a present line is a no-op.
+    CacheAccess r = cache.insert(a);
+    EXPECT_TRUE(r.hit);
+}
+
+TEST_F(CacheTest, Invalidate)
+{
+    Addr a = addrFor(11, 1);
+    cache.access(a, true);
+    EXPECT_TRUE(cache.invalidate(a)); // Was dirty.
+    EXPECT_FALSE(cache.probe(a));
+    EXPECT_FALSE(cache.invalidate(a)); // Already gone.
+}
+
+TEST_F(CacheTest, SetsAreIndependent)
+{
+    // Fill set 0 well past its associativity; set 1 must be untouched.
+    Addr inSet1 = addrFor(1, 1);
+    cache.access(inSet1, false);
+    for (uint32_t t = 1; t <= 8; ++t)
+        cache.access(addrFor(0, t), false);
+    EXPECT_TRUE(cache.probe(inSet1));
+}
+
+TEST(CacheGeometry, LineAddrMasksOffset)
+{
+    StatGroup stats;
+    Cache cache(stats, "g", 64 * 1024, 2, 64);
+    EXPECT_EQ(cache.lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(cache.lineSize(), 64u);
+    EXPECT_EQ(cache.numSets(), 512u);
+}
+
+TEST(CacheGeometry, Table1Shapes)
+{
+    StatGroup stats;
+    Cache l1(stats, "l1", 64 * 1024, 2, 64);
+    EXPECT_EQ(l1.numSets(), 512u);
+    Cache l2(stats, "l2", 512 * 1024, 8, 64);
+    EXPECT_EQ(l2.numSets(), 1024u);
+    Cache l3(stats, "l3", 4 * 1024 * 1024, 16, 64);
+    EXPECT_EQ(l3.numSets(), 4096u);
+}

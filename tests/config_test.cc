@@ -1,0 +1,138 @@
+/** Configuration tests: Table-1 defaults, key=value overrides,
+ *  validation, and the wide-window expansion. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace vpsim;
+
+TEST(Config, Table1Defaults)
+{
+    SimConfig c;
+    EXPECT_EQ(c.pipelineDepth, 30);
+    EXPECT_EQ(c.fetchWidth, 16);
+    EXPECT_EQ(c.fetchLines, 2);
+    EXPECT_EQ(c.issueWidth, 8);
+    EXPECT_EQ(c.intIssue, 6);
+    EXPECT_EQ(c.fpIssue, 2);
+    EXPECT_EQ(c.memIssue, 4);
+    EXPECT_EQ(c.robSize, 256);
+    EXPECT_EQ(c.renameRegs, 224);
+    EXPECT_EQ(c.iqSize, 64);
+    EXPECT_EQ(c.fqSize, 64);
+    EXPECT_EQ(c.mqSize, 64);
+    EXPECT_EQ(c.bpredMetaEntries, 64u * 1024);
+    EXPECT_EQ(c.bpredBimodalEntries, 16u * 1024);
+    EXPECT_EQ(c.prefetchEntries, 256u);
+    EXPECT_EQ(c.streamBuffers, 8);
+    EXPECT_EQ(c.icacheSize, 64u * 1024);
+    EXPECT_EQ(c.icacheLatency, 2);
+    EXPECT_EQ(c.dcacheSize, 64u * 1024);
+    EXPECT_EQ(c.l2Size, 512u * 1024);
+    EXPECT_EQ(c.l2Latency, 20);
+    EXPECT_EQ(c.l3Size, 4u * 1024 * 1024);
+    EXPECT_EQ(c.l3Latency, 50);
+    EXPECT_EQ(c.memLatency, 1000);
+    // Paper Section 5.4 confidence parameters.
+    EXPECT_EQ(c.confidenceThreshold, 12);
+    EXPECT_EQ(c.confidenceMax, 32);
+    EXPECT_EQ(c.confidenceUp, 1);
+    EXPECT_EQ(c.confidenceDown, 8);
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+}
+
+TEST(Config, SetOverrides)
+{
+    SimConfig c;
+    c.set("vpMode", "mtvp");
+    c.set("predictor", "oracle");
+    c.set("selector", "cacheoracle");
+    c.set("fetchPolicy", "nostall");
+    c.set("numContexts", "8");
+    c.set("spawnLatency", "16");
+    c.set("storeBufferSize", "0");
+    c.set("maxValuesPerSpawn", "4");
+    c.set("maxInsts", "12345");
+    c.set("seed", "0x42");
+    EXPECT_EQ(c.vpMode, VpMode::Mtvp);
+    EXPECT_EQ(c.predictor, PredictorKind::Oracle);
+    EXPECT_EQ(c.selector, SelectorKind::CacheOracle);
+    EXPECT_EQ(c.fetchPolicy, FetchPolicy::NoStall);
+    EXPECT_EQ(c.numContexts, 8);
+    EXPECT_EQ(c.spawnLatency, 16);
+    EXPECT_EQ(c.storeBufferSize, 0);
+    EXPECT_EQ(c.maxValuesPerSpawn, 4);
+    EXPECT_EQ(c.maxInsts, 12345u);
+    EXPECT_EQ(c.seed, 0x42u);
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+}
+
+TEST(Config, SetRejectsUnknownKey)
+{
+    SimConfig c;
+    EXPECT_EXIT(c.set("nonsense", "1"), ::testing::ExitedWithCode(1),
+                "unknown config key");
+}
+
+TEST(Config, SetRejectsBadValues)
+{
+    SimConfig c;
+    EXPECT_EXIT(c.set("vpMode", "bogus"), ::testing::ExitedWithCode(1),
+                "unknown vpMode");
+    EXPECT_EXIT(c.set("numContexts", "eight"),
+                ::testing::ExitedWithCode(1), "bad numeric");
+}
+
+TEST(Config, ValidateCatchesBadCombos)
+{
+    SimConfig c;
+    c.vpMode = VpMode::Mtvp;
+    c.numContexts = 1;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "at least 2 contexts");
+
+    SimConfig c2;
+    c2.maxValuesPerSpawn = 3; // Without mtvp.
+    EXPECT_EXIT(c2.validate(), ::testing::ExitedWithCode(1),
+                "requires vpMode=mtvp");
+
+    SimConfig c3;
+    c3.dcacheSize = 60 * 1024; // Not a power-of-two set count.
+    EXPECT_EXIT(c3.validate(), ::testing::ExitedWithCode(1),
+                "geometry");
+}
+
+TEST(Config, WideWindowExpansion)
+{
+    SimConfig c;
+    EXPECT_EQ(c.effRobSize(), 256);
+    EXPECT_EQ(c.effIqSize(), 64);
+    c.wideWindow = true;
+    EXPECT_EQ(c.effRobSize(), 8192);
+    EXPECT_EQ(c.effIqSize(), 8192);
+    EXPECT_EQ(c.effFqSize(), 8192);
+    EXPECT_EQ(c.effMqSize(), 8192);
+    EXPECT_GE(c.effRenameRegs(), 1 << 20);
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+}
+
+TEST(Config, EnumToString)
+{
+    EXPECT_STREQ(toString(VpMode::Mtvp), "mtvp");
+    EXPECT_STREQ(toString(VpMode::SpawnOnly), "spawnonly");
+    EXPECT_STREQ(toString(PredictorKind::WangFranklin), "wf");
+    EXPECT_STREQ(toString(SelectorKind::IlpPred), "ilp");
+    EXPECT_STREQ(toString(FetchPolicy::SingleFetchPath), "sfp");
+}
+
+TEST(Config, ToStringMentionsKeyKnobs)
+{
+    SimConfig c;
+    c.vpMode = VpMode::Mtvp;
+    c.numContexts = 4;
+    std::string s = c.toString();
+    EXPECT_NE(s.find("mtvp"), std::string::npos);
+    EXPECT_NE(s.find("contexts=4"), std::string::npos);
+    EXPECT_NE(s.find("mem=1000"), std::string::npos);
+}

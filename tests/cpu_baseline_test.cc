@@ -1,0 +1,242 @@
+/** Baseline (no value prediction) pipeline tests: completion, timing
+ *  sanity, branch-misprediction penalties, memory latencies, ICOUNT
+ *  fetch and structural limits. */
+
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hh"
+
+using namespace vptest;
+
+TEST(CpuBaseline, TinyProgramHalts)
+{
+    CpuRun r = runAsm("addi r1, r0, 5\nhalt\n", haltConfig());
+    EXPECT_TRUE(r.cpu->haltedUsefully());
+    EXPECT_EQ(r.useful(), 2u);
+    EXPECT_GT(r.cycles(), 0u);
+}
+
+TEST(CpuBaseline, IpcBoundedByWidth)
+{
+    // A hot loop of independent ALU ops (I-cache resident after the
+    // first iteration).
+    std::string src = "addi r9, r0, 1000\nloop:\n";
+    for (int i = 0; i < 8; ++i)
+        src += csprintf("addi r%d, r0, %d\n", 1 + i, i);
+    src += "subi r9, r9, 1\nbne r9, r0, loop\nhalt\n";
+    CpuRun r = runAsm(src, haltConfig());
+    double ipc = static_cast<double>(r.useful()) / r.cycles();
+    EXPECT_LE(ipc, 8.0); // Cannot exceed issue width.
+    EXPECT_GT(ipc, 2.0); // Independent ALU ops should flow well.
+}
+
+TEST(CpuBaseline, SerialDependenceLimitsIpc)
+{
+    // A fully serial multiply chain: one result per 3-cycle latency.
+    std::string src = "addi r1, r0, 3\naddi r2, r0, 1\n";
+    for (int i = 0; i < 500; ++i)
+        src += "mul r2, r2, r1\n";
+    src += "halt\n";
+    CpuRun r = runAsm(src, haltConfig());
+    double ipc = static_cast<double>(r.useful()) / r.cycles();
+    EXPECT_LT(ipc, 0.6);
+}
+
+TEST(CpuBaseline, ColdLoadCostsMemoryLatency)
+{
+    SimConfig cfg = haltConfig();
+    CpuRun r = runAsm(R"(
+        li r1, 0x400000
+        ld r2, 0(r1)
+        add r3, r2, r2
+        halt
+    )", cfg);
+    EXPECT_GT(r.cycles(), static_cast<Cycle>(cfg.memLatency));
+    EXPECT_EQ(r.stat("mem.loadsMem"), 1.0);
+}
+
+TEST(CpuBaseline, CacheHitsAreCheap)
+{
+    // Second pass over a small array should be L1 hits.
+    std::string src = R"(
+        li r1, 0x400000
+        addi r2, r0, 64
+    p1:
+        ld r3, 0(r1)
+        addi r1, r1, 8
+        subi r2, r2, 1
+        bne r2, r0, p1
+        li r1, 0x400000
+        addi r2, r0, 64
+    p2:
+        ld r3, 0(r1)
+        addi r1, r1, 8
+        subi r2, r2, 1
+        bne r2, r0, p2
+        halt
+    )";
+    CpuRun r = runAsm(src, haltConfig());
+    EXPECT_GT(r.stat("mem.loadsL1"), 60.0);
+}
+
+TEST(CpuBaseline, MispredictedBranchesCostRedirects)
+{
+    // A data-dependent unpredictable branch pattern.
+    std::string src = R"(
+        li   r1, 88172645463325252
+        addi r2, r0, 400
+        addi r4, r0, 0
+    loop:
+        slli r3, r1, 13
+        xor  r1, r1, r3
+        srli r3, r1, 7
+        xor  r1, r1, r3
+        andi r3, r1, 1
+        beq  r3, r0, even
+        addi r4, r4, 1
+    even:
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    CpuRun r = runAsm(src, haltConfig());
+    EXPECT_GT(r.stat("fetch.redirects"), 50.0);
+    EXPECT_GT(r.stat("bpred.mispredicts"), 50.0);
+    // Redirect penalty: each mispredict costs at least the front end.
+    EXPECT_GT(r.cycles(), r.stat("fetch.redirects") * 10);
+}
+
+TEST(CpuBaseline, PredictableBranchesAreCheap)
+{
+    std::string src = R"(
+        addi r2, r0, 2000
+        addi r4, r0, 0
+    loop:
+        addi r4, r4, 1
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    CpuRun r = runAsm(src, haltConfig());
+    double mispredictRate =
+        r.stat("bpred.mispredicts") / r.stat("bpred.lookups");
+    EXPECT_LT(mispredictRate, 0.05);
+}
+
+TEST(CpuBaseline, CallsReturnViaRas)
+{
+    std::string src = R"(
+        addi r2, r0, 200
+        addi r4, r0, 0
+    loop:
+        jal  r31, fn
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    fn:
+        addi r4, r4, 1
+        ret
+    )";
+    CpuRun r = runAsm(src, haltConfig());
+    EXPECT_TRUE(r.cpu->haltedUsefully());
+    // Returns predicted by the RAS: few redirects.
+    EXPECT_LT(r.stat("fetch.redirects"), 20.0);
+}
+
+TEST(CpuBaseline, StoresDrainToMemory)
+{
+    CpuRun r = runAsm(R"(
+        li  r1, 0x500000
+        li  r2, 0xabcdef
+        sd  r2, 0(r1)
+        sd  r2, 8(r1)
+        halt
+    )", haltConfig());
+    EXPECT_EQ(r.mem->read64(0x500000), 0xabcdefu);
+    EXPECT_EQ(r.mem->read64(0x500008), 0xabcdefu);
+}
+
+TEST(CpuBaseline, StoreToLoadForwarding)
+{
+    CpuRun r = runAsm(R"(
+        li  r1, 0x500000
+        li  r2, 77
+        sd  r2, 0(r1)
+        ld  r3, 0(r1)       # forwarded, no memory round trip
+        sd  r3, 64(r1)
+        halt
+    )", haltConfig());
+    EXPECT_EQ(r.mem->read64(0x500040), 77u);
+}
+
+TEST(CpuBaseline, MaxInstsStopsEarly)
+{
+    SimConfig cfg = haltConfig();
+    cfg.maxInsts = 100;
+    std::string src = "addi r1, r0, 1\n";
+    for (int i = 0; i < 1000; ++i)
+        src += "addi r1, r1, 1\n";
+    src += "halt\n";
+    CpuRun r = runAsm(src, cfg);
+    EXPECT_FALSE(r.cpu->haltedUsefully());
+    EXPECT_GE(r.useful(), 100u);
+    EXPECT_LT(r.useful(), 300u);
+}
+
+TEST(CpuBaseline, MaxCyclesStopsRunawayLoops)
+{
+    SimConfig cfg = haltConfig();
+    cfg.maxCycles = 5000;
+    CpuRun r = runAsm("spin: b spin\nhalt\n", cfg);
+    EXPECT_FALSE(r.cpu->haltedUsefully());
+    EXPECT_GE(r.cycles(), 5000u);
+}
+
+TEST(CpuBaseline, DeterministicCycles)
+{
+    SimConfig cfg = haltConfig();
+    CpuRun a = runAsm(chaseKernel(300), cfg, chaseData());
+    CpuRun b = runAsm(chaseKernel(300), cfg, chaseData());
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.useful(), b.useful());
+    EXPECT_EQ(a.stat("issue.total"), b.stat("issue.total"));
+}
+
+TEST(CpuBaseline, FpPipelineWorks)
+{
+    CpuRun r = runAsm(R"(
+        addi r1, r0, 16
+        fcvtdl f1, r1
+        fsqrt f2, f1
+        fcvtld r2, f2
+        li   r3, 0x500000
+        sd   r2, 0(r3)
+        halt
+    )", haltConfig());
+    EXPECT_EQ(r.mem->read64(0x500000), 4u);
+}
+
+TEST(CpuBaseline, WideWindowBeatsBaselineOnMlp)
+{
+    // Independent cold misses: the 8K-window machine overlaps far more
+    // of them than the 256-entry ROB.
+    std::string src = R"(
+        li   r1, 0x800000
+        addi r2, r0, 120
+    loop:
+        ld   r3, 0(r1)
+        add  r4, r4, r3
+        li   r5, 16384
+        add  r1, r1, r5
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    SimConfig base = haltConfig();
+    base.prefetchEnabled = false;
+    SimConfig wide = base;
+    wide.wideWindow = true;
+    CpuRun rb = runAsm(src, base);
+    CpuRun rw = runAsm(src, wide);
+    EXPECT_LT(rw.cycles(), rb.cycles());
+}

@@ -1,0 +1,277 @@
+/** Threaded value prediction tests: spawning, promotion, kills, store
+ *  segment isolation, the single-fetch-path and no-stall policies,
+ *  spawn latency, store-buffer capacity, multi-value spawning, and
+ *  spawn-only mode. */
+
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hh"
+
+using namespace vptest;
+
+TEST(CpuMtvp, SpawnsAndPromotesOnCorrectPredictions)
+{
+    CpuRun r = runAsm(chaseKernel(400), mtvpConfig(4), chaseData(1.0));
+    EXPECT_GT(r.stat("mtvp.spawns"), 50.0);
+    EXPECT_EQ(r.stat("mtvp.spawns"), r.stat("mtvp.promotes"));
+    EXPECT_EQ(r.stat("mtvp.kills"), 0.0);
+    EXPECT_TRUE(r.cpu->haltedUsefully());
+}
+
+TEST(CpuMtvp, SpeedsUpSerialChase)
+{
+    SimConfig base = haltConfig();
+    CpuRun rb = runAsm(chaseKernel(400), base, chaseData(0.5));
+    CpuRun rm = runAsm(chaseKernel(400), mtvpConfig(8), chaseData(0.5));
+    EXPECT_LT(rm.cycles(), rb.cycles());
+}
+
+TEST(CpuMtvp, MoreContextsHelpSerialChases)
+{
+    CpuRun r2 = runAsm(chaseKernel(500), mtvpConfig(2), chaseData(0.5));
+    CpuRun r8 = runAsm(chaseKernel(500), mtvpConfig(8), chaseData(0.5));
+    EXPECT_LE(r8.cycles(), r2.cycles());
+}
+
+TEST(CpuMtvp, MispredictedSpawnsAreKilledAndStateStaysCorrect)
+{
+    // Loads with plateau values that switch every 50 elements: the
+    // last-value predictor is confident on each plateau and spawns on a
+    // wrong value at every switch.
+    std::string src = R"(
+        li   r1, 0x400000
+        li   r9, 0x600000
+        addi r2, r0, 400
+        addi r8, r0, 0
+        addi r4, r0, 0
+    loop:
+        slli r5, r8, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)
+        add  r4, r4, r7
+        sd   r4, 0(r9)
+        addi r9, r9, 8
+        addi r8, r8, 1
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    auto init = [](MainMemory &mem) {
+        for (int i = 0; i < 400; ++i)
+            mem.write64(0x400000 + i * 8, (i / 50) % 2 == 0 ? 5 : 17);
+    };
+    SimConfig cfg = mtvpConfig(4, PredictorKind::LastValue,
+                               SelectorKind::Always);
+    auto ref = referenceMemory(src, init);
+    CpuRun r = runAsm(src, cfg, init);
+    EXPECT_GT(r.stat("mtvp.spawns"), 0.0);
+    EXPECT_GT(r.stat("mtvp.kills"), 0.0);
+    EXPECT_TRUE(r.mem->contentEquals(*ref))
+        << "killed threads leaked state to memory";
+}
+
+TEST(CpuMtvp, KilledChildStoresNeverReachMemory)
+{
+    // The predicted load feeds an address computation; a misprediction
+    // sends the child storing to a decoy region which must stay zero.
+    std::string src = R"(
+        li   r1, 0x400000
+        li   r9, 0x600000
+        addi r2, r0, 60
+        addi r4, r0, 0
+    loop:
+        andi r5, r2, 1
+        slli r5, r5, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)       # alternates 0x0 / 0x10000: LV mispredicts
+        add  r8, r9, r7
+        sd   r2, 0(r8)       # store target depends on the prediction
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    auto init = [](MainMemory &m) {
+        m.write64(0x400000, 0);
+        m.write64(0x400008, 0x10000);
+    };
+    SimConfig cfg = mtvpConfig(4, PredictorKind::LastValue,
+                               SelectorKind::Always);
+    auto ref = referenceMemory(src, init);
+    CpuRun r = runAsm(src, cfg, init);
+    EXPECT_TRUE(r.mem->contentEquals(*ref));
+}
+
+TEST(CpuMtvp, SfpParentStopsFetching)
+{
+    // In SFP mode the parent's fetch halts at the spawn; with only two
+    // contexts the chain depth is one and spawns resolve one at a time.
+    SimConfig cfg = mtvpConfig(2);
+    cfg.fetchPolicy = FetchPolicy::SingleFetchPath;
+    CpuRun r = runAsm(chaseKernel(300), cfg, chaseData(1.0));
+    EXPECT_GT(r.stat("mtvp.spawns"), 0.0);
+    EXPECT_TRUE(r.cpu->haltedUsefully());
+}
+
+TEST(CpuMtvp, NoStallPolicyRunsAndStaysCorrect)
+{
+    SimConfig cfg = mtvpConfig(4, PredictorKind::LastValue,
+                               SelectorKind::Always);
+    cfg.fetchPolicy = FetchPolicy::NoStall;
+    auto ref = referenceMemory(chaseKernel(350), chaseData(0.6));
+    CpuRun r = runAsm(chaseKernel(350), cfg, chaseData(0.6));
+    EXPECT_TRUE(r.cpu->haltedUsefully());
+    EXPECT_TRUE(r.mem->contentEquals(*ref));
+    EXPECT_GT(r.stat("mtvp.spawns"), 0.0);
+}
+
+TEST(CpuMtvp, SpawnLatencySlowsSpawnHeavyCode)
+{
+    SimConfig fast = mtvpConfig(8);
+    fast.spawnLatency = 1;
+    SimConfig slow = mtvpConfig(8);
+    slow.spawnLatency = 16;
+    CpuRun rf = runAsm(chaseKernel(400), fast, chaseData(1.0));
+    CpuRun rs = runAsm(chaseKernel(400), slow, chaseData(1.0));
+    EXPECT_LE(rf.cycles(), rs.cycles());
+}
+
+TEST(CpuMtvp, TinyStoreBufferStallsCommits)
+{
+    SimConfig tiny = mtvpConfig(4);
+    tiny.storeBufferSize = 1;
+    CpuRun r = runAsm(chaseKernel(300), tiny, chaseData(1.0));
+    EXPECT_GT(r.stat("sb.commitStalls"), 0.0);
+    EXPECT_TRUE(r.cpu->haltedUsefully());
+    // And it still computes the right answer.
+    auto ref = referenceMemory(chaseKernel(300), chaseData(1.0));
+    EXPECT_TRUE(r.mem->contentEquals(*ref));
+}
+
+TEST(CpuMtvp, LargerStoreBufferNoSlower)
+{
+    SimConfig small = mtvpConfig(8);
+    small.storeBufferSize = 8;
+    SimConfig large = mtvpConfig(8);
+    large.storeBufferSize = 512;
+    CpuRun rs = runAsm(chaseKernel(400), small, chaseData(1.0));
+    CpuRun rl = runAsm(chaseKernel(400), large, chaseData(1.0));
+    EXPECT_LE(rl.cycles(), rs.cycles());
+}
+
+TEST(CpuMtvp, MultiValueSpawnsExtraChildren)
+{
+    // An alternating-value load trains two Wang-Franklin candidates;
+    // multi-value MTVP spawns children for both and one always wins.
+    std::string src = R"(
+        li   r1, 0x400000
+        li   r9, 0x600000
+        addi r2, r0, 400
+        addi r4, r0, 0
+    loop:
+        andi r5, r2, 1
+        slli r5, r5, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)
+        add  r4, r4, r7
+        sd   r4, 0(r9)
+        addi r9, r9, 8
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    auto init = [](MainMemory &m) {
+        m.write64(0x400000, 5);
+        m.write64(0x400008, 11);
+    };
+    SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                               SelectorKind::Always);
+    cfg.maxValuesPerSpawn = 4;
+    // Fully liberal: every in-table candidate gets a thread, so the
+    // hardwired zero/one candidates spawn extra (usually losing)
+    // children alongside the primary.
+    cfg.multiValueThreshold = 0;
+    CpuRun r = runAsm(src, cfg, init);
+    EXPECT_GT(r.stat("mtvp.extraValueSpawns"), 0.0);
+    auto ref = referenceMemory(src, init);
+    EXPECT_TRUE(r.mem->contentEquals(*ref));
+}
+
+TEST(CpuMtvp, SpawnOnlyModeDecouplesWithoutPrediction)
+{
+    SimConfig cfg = haltConfig();
+    cfg.vpMode = VpMode::SpawnOnly;
+    cfg.numContexts = 8;
+    cfg.selector = SelectorKind::Always;
+    cfg.spawnLatency = 8;
+    CpuRun r = runAsm(chaseKernel(300), cfg, chaseData(0.5));
+    EXPECT_GT(r.stat("mtvp.spawns"), 0.0);
+    EXPECT_EQ(r.stat("vp.followed"), 0.0); // No value predictions.
+    EXPECT_TRUE(r.cpu->haltedUsefully());
+    auto ref = referenceMemory(chaseKernel(300), chaseData(0.5));
+    EXPECT_TRUE(r.mem->contentEquals(*ref));
+}
+
+TEST(CpuMtvp, UsefulInstsCountTheSurvivingChainOnly)
+{
+    // Useful commits must equal the program's actual instruction count
+    // regardless of how much speculative work was discarded.
+    auto countRef = [&](const std::string &src, const DataInit &init) {
+        auto mem = std::make_unique<MainMemory>();
+        Program p = assemble(src);
+        mem->loadProgram(p);
+        init(*mem);
+        Emulator emu(*mem);
+        ArchState st;
+        st.pc = p.base;
+        return emu.run(st, 50'000'000);
+    };
+    uint64_t ref = countRef(chaseKernel(250), chaseData(0.5));
+    SimConfig cfg = mtvpConfig(4, PredictorKind::LastValue,
+                               SelectorKind::Always);
+    CpuRun r = runAsm(chaseKernel(250), cfg, chaseData(0.5));
+    EXPECT_EQ(r.useful(), ref);
+    EXPECT_GE(r.stat("commits.total"), static_cast<double>(ref));
+}
+
+TEST(CpuMtvp, DeterministicAcrossRuns)
+{
+    SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                               SelectorKind::IlpPred);
+    CpuRun a = runAsm(chaseKernel(300), cfg, chaseData(0.7));
+    CpuRun b = runAsm(chaseKernel(300), cfg, chaseData(0.7));
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.stat("mtvp.spawns"), b.stat("mtvp.spawns"));
+    EXPECT_EQ(a.stat("mtvp.kills"), b.stat("mtvp.kills"));
+}
+
+TEST(CpuMtvp, Figure5StatTracksRecoverablePredictions)
+{
+    // Alternating values: the primary prediction is often wrong while
+    // the other candidate (the correct one) is over threshold.
+    std::string src = R"(
+        li   r1, 0x400000
+        addi r2, r0, 500
+        addi r4, r0, 0
+    loop:
+        andi r5, r2, 1
+        slli r5, r5, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)
+        add  r4, r4, r7
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    auto init = [](MainMemory &m) {
+        m.write64(0x400000, 21);
+        m.write64(0x400008, 22);
+    };
+    SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                               SelectorKind::Always);
+    CpuRun r = runAsm(src, cfg, init);
+    // The recoverable fraction is bounded by the mispredictions and can
+    // never go negative (structural sanity of the Figure 5 statistic).
+    EXPECT_GE(r.stat("vp.primaryWrongHadCorrect"), 0.0);
+    EXPECT_LE(r.stat("vp.primaryWrongHadCorrect"),
+              r.stat("vp.incorrect") + r.stat("vp.correct"));
+}

@@ -1,0 +1,167 @@
+/** Single-threaded value prediction tests: prediction consumption,
+ *  confirmation, selective reissue on mispredictions, tag management,
+ *  and the performance effect on a serial miss chain. */
+
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hh"
+
+using namespace vptest;
+
+namespace
+{
+
+SimConfig
+stvpConfig(PredictorKind pred = PredictorKind::Oracle)
+{
+    SimConfig cfg = haltConfig();
+    cfg.vpMode = VpMode::Stvp;
+    cfg.predictor = pred;
+    cfg.selector = SelectorKind::Always;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CpuStvp, OraclePredictionsAreFollowedAndCorrect)
+{
+    CpuRun r = runAsm(chaseKernel(400), stvpConfig(), chaseData());
+    EXPECT_GT(r.stat("vp.stvp"), 100.0);
+    EXPECT_EQ(r.stat("vp.incorrect"), 0.0);
+    EXPECT_EQ(r.stat("vp.reissues"), 0.0);
+    EXPECT_EQ(r.stat("vp.correct"), r.stat("vp.stvp"));
+}
+
+TEST(CpuStvp, OracleSpeedsUpSerialChase)
+{
+    SimConfig base = haltConfig();
+    CpuRun rb = runAsm(chaseKernel(400), base, chaseData(0.5));
+    CpuRun rs = runAsm(chaseKernel(400), stvpConfig(), chaseData(0.5));
+    EXPECT_LT(rs.cycles(), rb.cycles());
+    EXPECT_TRUE(rs.cpu->haltedUsefully());
+}
+
+TEST(CpuStvp, ArchitecturalStateUnchangedByStvp)
+{
+    auto ref = referenceMemory(chaseKernel(400), chaseData(0.6));
+    CpuRun r = runAsm(chaseKernel(400), stvpConfig(), chaseData(0.6));
+    EXPECT_TRUE(r.mem->contentEquals(*ref));
+}
+
+TEST(CpuStvp, RealisticPredictorMispredictsAndReissues)
+{
+    // A last-value predictor on a load whose value holds steady for 50
+    // iterations then switches: the predictor becomes confident on each
+    // plateau and mispredicts at every switch; dependents must reissue
+    // and results stay correct.
+    std::string src = R"(
+        li   r1, 0x400000
+        li   r9, 0x600000
+        addi r2, r0, 400
+        addi r8, r0, 0       # index
+        addi r4, r0, 0
+    loop:
+        slli r5, r8, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)       # plateau values with occasional switches
+        add  r4, r4, r7      # dependent chain
+        mul  r4, r4, r7
+        addi r8, r8, 1
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        sd   r4, 0(r9)
+        halt
+    )";
+    auto init = [](MainMemory &mem) {
+        for (int i = 0; i < 400; ++i)
+            mem.write64(0x400000 + i * 8, (i / 50) % 2 == 0 ? 3 : 1000);
+    };
+    SimConfig cfg = stvpConfig(PredictorKind::LastValue);
+    CpuRun r = runAsm(src, cfg, init);
+    // Functional correctness despite mispredictions.
+    auto ref = referenceMemory(src, init);
+    EXPECT_TRUE(r.mem->contentEquals(*ref));
+    EXPECT_GT(r.stat("vp.incorrect"), 0.0);
+    EXPECT_GT(r.stat("vp.reissues"), 0.0);
+}
+
+TEST(CpuStvp, PredictionsTrainAtCommit)
+{
+    // A constant-value load becomes confident after about threshold
+    // trainings, then predictions follow.
+    std::string src = R"(
+        li   r1, 0x400000
+        addi r2, r0, 200
+        addi r4, r0, 0
+    loop:
+        ld   r3, 0(r1)
+        add  r4, r4, r3
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    SimConfig cfg = stvpConfig(PredictorKind::LastValue);
+    CpuRun r = runAsm(src, cfg,
+                      [](MainMemory &m) { m.write64(0x400000, 9); });
+    EXPECT_GT(r.stat("vp.stvp"), 100.0);
+    EXPECT_EQ(r.stat("vp.incorrect"), 0.0);
+}
+
+TEST(CpuStvp, ChainedPredictionsViaSpeculativeStride)
+{
+    // Back-to-back stride predictions on an in-flight PC: multiple
+    // predictions outstanding at once (tags in use).
+    CpuRun r = runAsm(chaseKernel(600), stvpConfig(), chaseData(1.0));
+    EXPECT_GT(r.stat("vp.stvp"), 300.0);
+    EXPECT_EQ(r.stat("vp.incorrect"), 0.0);
+    EXPECT_EQ(r.cpu->freeVpTags(), 64);
+}
+
+TEST(CpuStvp, NoSpawnsInStvpMode)
+{
+    CpuRun r = runAsm(chaseKernel(200), stvpConfig(), chaseData());
+    EXPECT_EQ(r.stat("mtvp.spawns"), 0.0);
+    EXPECT_EQ(r.cpu->activeContexts(), 1);
+}
+
+TEST(CpuStvp, IlpSelectorThrottlesUselessPredictions)
+{
+    // Cache-resident loads gain little from prediction; ILP-pred should
+    // follow fewer predictions than Always.
+    std::string src = R"(
+        li   r1, 0x400000
+        addi r2, r0, 2000
+        addi r4, r0, 0
+    loop:
+        andi r5, r2, 255
+        slli r5, r5, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)
+        add  r4, r4, r7
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    auto init = [](MainMemory &m) {
+        for (int i = 0; i < 256; ++i)
+            m.write64(0x400000 + i * 8, 1);
+    };
+    SimConfig always = stvpConfig(PredictorKind::LastValue);
+    SimConfig ilp = always;
+    ilp.selector = SelectorKind::IlpPred;
+    CpuRun ra = runAsm(src, always, init);
+    CpuRun ri = runAsm(src, ilp, init);
+    EXPECT_LT(ri.stat("vp.stvp"), ra.stat("vp.stvp"));
+}
+
+TEST(CpuStvp, FinalChecksumMatchesReference)
+{
+    for (double p : {1.0, 0.9, 0.5}) {
+        auto ref = referenceMemory(chaseKernel(350), chaseData(p));
+        CpuRun r = runAsm(chaseKernel(350),
+                          stvpConfig(PredictorKind::WangFranklin),
+                          chaseData(p));
+        EXPECT_EQ(r.mem->read64(0x700000), ref->read64(0x700000))
+            << "stride probability " << p;
+    }
+}

@@ -1,0 +1,154 @@
+/** Shared helpers for the CPU-level tests: assemble a program, run it
+ *  on a Cpu under a given configuration, and expose the final memory,
+ *  stats, and resource state for assertions. */
+
+#ifndef VPSIM_TESTS_CPU_TEST_UTIL_HH
+#define VPSIM_TESTS_CPU_TEST_UTIL_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/cpu.hh"
+#include "emu/emulator.hh"
+#include "emu/memory.hh"
+#include "isa/assembler.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace vptest
+{
+
+using namespace vpsim;
+
+struct CpuRun
+{
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<Cpu> cpu;
+
+    Cycle cycles() const { return cpu->cycles(); }
+    uint64_t useful() const { return cpu->usefulInsts(); }
+    double stat(const std::string &name) const
+    {
+        return cpu->stats().get(name);
+    }
+};
+
+using DataInit = std::function<void(MainMemory &)>;
+
+/** Assemble @p src, apply @p init, and run to HALT (or maxInsts). */
+inline CpuRun
+runAsm(const std::string &src, const SimConfig &cfg,
+       const DataInit &init = {})
+{
+    CpuRun run;
+    run.mem = std::make_unique<MainMemory>();
+    Program p = assemble(src);
+    run.mem->loadProgram(p);
+    if (init)
+        init(*run.mem);
+    run.cpu = std::make_unique<Cpu>(cfg, *run.mem, p.base);
+    run.cpu->run();
+    return run;
+}
+
+/** Functional reference: emulate @p src to HALT, returning memory. */
+inline std::unique_ptr<MainMemory>
+referenceMemory(const std::string &src, const DataInit &init = {})
+{
+    auto mem = std::make_unique<MainMemory>();
+    Program p = assemble(src);
+    mem->loadProgram(p);
+    if (init)
+        init(*mem);
+    Emulator emu(*mem);
+    ArchState st;
+    st.pc = p.base;
+    emu.run(st, 50'000'000);
+    return mem;
+}
+
+/** Baseline Table-1 config that runs to HALT. */
+inline SimConfig
+haltConfig()
+{
+    SimConfig cfg;
+    cfg.maxInsts = 0;          // No instruction cap...
+    cfg.maxCycles = 30'000'000; // ...but a generous cycle safety net.
+    return cfg;
+}
+
+/** MTVP config helper. */
+inline SimConfig
+mtvpConfig(int ctxs, PredictorKind pred = PredictorKind::Oracle,
+           SelectorKind sel = SelectorKind::Always)
+{
+    SimConfig cfg = haltConfig();
+    cfg.vpMode = VpMode::Mtvp;
+    cfg.numContexts = ctxs;
+    cfg.predictor = pred;
+    cfg.selector = sel;
+    cfg.spawnLatency = 1;
+    cfg.storeBufferSize = 128;
+    return cfg;
+}
+
+/**
+ * A store-heavy pointer-chase kernel with a predictable tail: stresses
+ * spawning, store segments, promotion, and kills in a few thousand
+ * instructions. Writes a checksum pattern to OUT.
+ */
+inline std::string
+chaseKernel(int iters)
+{
+    return csprintf(R"(
+        li   r1, 0x200000      # node pointer
+        li   r9, 0x600000      # output array
+        li   r2, %d            # iterations
+        addi r4, r0, 0         # checksum
+    loop:
+        ld   r5, 0(r1)         # next (mostly stride: predictable)
+        ld   r6, 8(r1)         # flag (mostly 0: predictable)
+        add  r4, r4, r6
+        sd   r4, 0(r9)         # running checksum store
+        sd   r5, 8(r9)
+        addi r9, r9, 16
+        mv   r1, r5
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        li   r9, 0x700000
+        sd   r4, 0(r9)         # final checksum
+        halt
+    )", iters);
+}
+
+/** Data set for chaseKernel: 4K nodes, mostly stride-linked. */
+inline DataInit
+chaseData(double strideProb = 0.9)
+{
+    return [strideProb](MainMemory &mem) {
+        uint64_t x = 12345;
+        auto rnd = [&x] {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            return x;
+        };
+        const uint64_t count = 4096;
+        for (uint64_t i = 0; i < count; ++i) {
+            Addr a = 0x200000 + i * 64;
+            uint64_t next;
+            if ((rnd() % 100) < static_cast<uint64_t>(strideProb * 100))
+                next = 0x200000 + ((i + 1) % count) * 64;
+            else
+                next = 0x200000 + (rnd() % count) * 64;
+            mem.write64(a, next);
+            mem.write64(a + 8, rnd() % 100 < 90 ? 0 : 1);
+        }
+    };
+}
+
+} // namespace vptest
+
+#endif // VPSIM_TESTS_CPU_TEST_UTIL_HH

@@ -1,0 +1,348 @@
+/** Functional emulator tests: instruction semantics, memory access
+ *  through store segments, control flow, FP behaviour, and edge cases
+ *  (division by zero, overflow, wild addresses). */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "emu/emulator.hh"
+#include "emu/memory.hh"
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+class EmulatorTest : public ::testing::Test
+{
+  protected:
+    ArchState
+    run(const std::string &src)
+    {
+        Program p = assemble(src);
+        mem.loadProgram(p);
+        Emulator emu(mem);
+        ArchState st;
+        st.pc = p.base;
+        emu.run(st, 100000);
+        return st;
+    }
+
+    MainMemory mem;
+};
+
+struct AluCase
+{
+    const char *body;
+    int64_t a;
+    int64_t b;
+    uint64_t expect;
+};
+
+class AluParamTest : public ::testing::TestWithParam<AluCase>
+{
+};
+
+} // namespace
+
+TEST_P(AluParamTest, Semantics)
+{
+    const AluCase &c = GetParam();
+    MainMemory mem;
+    std::string src = csprintf(R"(
+        li r1, %lld
+        li r2, %lld
+        %s
+        halt
+    )", static_cast<long long>(c.a), static_cast<long long>(c.b), c.body);
+    Program p = assemble(src);
+    mem.loadProgram(p);
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = p.base;
+    emu.run(st, 1000);
+    EXPECT_EQ(st.readReg(3), c.expect) << c.body;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntAlu, AluParamTest,
+    ::testing::Values(
+        AluCase{"add r3, r1, r2", 5, 7, 12},
+        AluCase{"add r3, r1, r2", -1, 1, 0},
+        AluCase{"sub r3, r1, r2", 5, 7, static_cast<uint64_t>(-2)},
+        AluCase{"mul r3, r1, r2", -3, 4, static_cast<uint64_t>(-12)},
+        AluCase{"divq r3, r1, r2", 42, 5, 8},
+        AluCase{"divq r3, r1, r2", -42, 5, static_cast<uint64_t>(-8)},
+        AluCase{"divq r3, r1, r2", 42, 0, 0}, // div by zero -> 0
+        AluCase{"rem r3, r1, r2", 42, 5, 2},
+        AluCase{"rem r3, r1, r2", 42, 0, 42}, // rem by zero -> dividend
+        AluCase{"and r3, r1, r2", 0xff, 0x0f, 0x0f},
+        AluCase{"or r3, r1, r2", 0xf0, 0x0f, 0xff},
+        AluCase{"xor r3, r1, r2", 0xff, 0x0f, 0xf0},
+        AluCase{"sll r3, r1, r2", 1, 40, uint64_t{1} << 40},
+        AluCase{"sll r3, r1, r2", 1, 64, 1}, // shift amount masked
+        AluCase{"srl r3, r1, r2", -1, 60, 0xf},
+        AluCase{"sra r3, r1, r2", -16, 2, static_cast<uint64_t>(-4)},
+        AluCase{"slt r3, r1, r2", -1, 0, 1},
+        AluCase{"slt r3, r1, r2", 0, -1, 0},
+        AluCase{"sltu r3, r1, r2", -1, 0, 0}, // unsigned: -1 is huge
+        AluCase{"slti r3, r1, 0", -5, 0, 1},
+        AluCase{"addi r3, r1, -3", 10, 0, 7},
+        AluCase{"xori r3, r1, 0xffff", 0, 0, 0xffff},
+        AluCase{"srai r3, r1, 4", -256, 0, static_cast<uint64_t>(-16)}));
+
+TEST_F(EmulatorTest, DivOverflowWraps)
+{
+    ArchState st = run(R"(
+        li r1, 0x8000000000000000
+        li r2, -1
+        divq r3, r1, r2
+        rem  r4, r1, r2
+        halt
+    )");
+    EXPECT_EQ(st.readReg(3), 0x8000000000000000ull);
+    EXPECT_EQ(st.readReg(4), 0u);
+}
+
+TEST_F(EmulatorTest, LuiBuildsUpperBits)
+{
+    ArchState st = run("lui r1, 0x1234\nhalt\n");
+    EXPECT_EQ(st.readReg(1), 0x12340000ull);
+}
+
+TEST_F(EmulatorTest, BranchesTakenAndNot)
+{
+    ArchState st = run(R"(
+        addi r1, r0, 5
+        addi r2, r0, 5
+        addi r3, r0, 0
+        bne  r1, r2, skip1
+        addi r3, r3, 1       # executed (not taken)
+    skip1:
+        beq  r1, r2, skip2
+        addi r3, r3, 100     # skipped (taken)
+    skip2:
+        blt  r1, r2, skip3
+        addi r3, r3, 2       # executed
+    skip3:
+        bge  r1, r2, done
+        addi r3, r3, 100     # skipped
+    done:
+        halt
+    )");
+    EXPECT_EQ(st.readReg(3), 3u);
+}
+
+TEST_F(EmulatorTest, UnsignedBranches)
+{
+    ArchState st = run(R"(
+        li   r1, -1          # unsigned max
+        addi r2, r0, 1
+        addi r3, r0, 0
+        bltu r2, r1, a
+        addi r3, r3, 100
+    a:
+        bgeu r1, r2, b
+        addi r3, r3, 100
+    b:
+        addi r3, r3, 1
+        halt
+    )");
+    EXPECT_EQ(st.readReg(3), 1u);
+}
+
+TEST_F(EmulatorTest, JalLinksAndJumps)
+{
+    Program p = assemble(R"(
+        jal r5, target
+        halt
+    target:
+        halt
+    )");
+    mem.loadProgram(p);
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = p.base;
+    EmuStep s = emu.step(st, nullptr);
+    EXPECT_TRUE(s.taken);
+    EXPECT_EQ(st.pc, p.symbol("target"));
+    EXPECT_EQ(st.readReg(5), p.base + instBytes);
+}
+
+TEST_F(EmulatorTest, JalrMasksTargetAlignment)
+{
+    ArchState st;
+    st.pc = 0x1000;
+    Program p = assemble("jalr r5, r1, 3\nhalt\n");
+    mem.loadProgram(p);
+    Emulator emu(mem);
+    st.writeReg(1, 0x2000);
+    EmuStep s = emu.step(st, nullptr);
+    EXPECT_EQ(s.nextPc, 0x2000u); // 0x2003 masked to word alignment
+}
+
+TEST_F(EmulatorTest, FpArithmetic)
+{
+    ArchState st = run(R"(
+        addi r1, r0, 9
+        fcvtdl f1, r1
+        fsqrt f2, f1        # 3.0
+        addi r2, r0, 2
+        fcvtdl f3, r2
+        fadd f4, f2, f3     # 5.0
+        fmul f5, f4, f3     # 10.0
+        fdiv f6, f5, f3     # 5.0
+        fsub f7, f6, f3     # 3.0
+        fcvtld r3, f7
+        fmin f8, f2, f3
+        fmax f9, f2, f3
+        fcvtld r4, f8
+        fcvtld r5, f9
+        feq  r6, f7, f2
+        flt  r7, f3, f2
+        fle  r8, f2, f2
+        halt
+    )");
+    EXPECT_EQ(st.readReg(3), 3u);
+    EXPECT_EQ(st.readReg(4), 2u);
+    EXPECT_EQ(st.readReg(5), 3u);
+    EXPECT_EQ(st.readReg(6), 1u);
+    EXPECT_EQ(st.readReg(7), 1u);
+    EXPECT_EQ(st.readReg(8), 1u);
+}
+
+TEST_F(EmulatorTest, FmaAccumulates)
+{
+    ArchState st = run(R"(
+        addi r1, r0, 10
+        fcvtdl f1, r1       # acc = 10
+        addi r2, r0, 3
+        fcvtdl f2, r2
+        addi r3, r0, 4
+        fcvtdl f3, r3
+        fma  f1, f2, f3     # 10 + 12 = 22
+        fcvtld r4, f1
+        halt
+    )");
+    EXPECT_EQ(st.readReg(4), 22u);
+}
+
+TEST_F(EmulatorTest, FpMoveBitPatterns)
+{
+    ArchState st = run(R"(
+        li    r1, 0x4045000000000000   # 42.0
+        fmvdx f1, r1
+        fmov  f2, f1
+        fmvxd r2, f2
+        fcvtld r3, f2
+        halt
+    )");
+    EXPECT_EQ(st.readReg(2), 0x4045000000000000ull);
+    EXPECT_EQ(st.readReg(3), 42u);
+}
+
+TEST_F(EmulatorTest, FpGuards)
+{
+    ArchState st = run(R"(
+        addi r1, r0, 1
+        fcvtdl f1, r1
+        fcvtdl f2, r0       # 0.0
+        fdiv f3, f1, f2     # div by zero -> 0
+        subi r2, r0, 4
+        fcvtdl f4, r2
+        fsqrt f5, f4        # sqrt(-4) -> 0
+        fcvtld r3, f3
+        fcvtld r4, f5
+        halt
+    )");
+    EXPECT_EQ(st.readReg(3), 0u);
+    EXPECT_EQ(st.readReg(4), 0u);
+}
+
+TEST_F(EmulatorTest, LoadsReadThroughSegmentChain)
+{
+    Program p = assemble(R"(
+        li r1, 0x300000
+        ld r2, 0(r1)
+        halt
+    )");
+    mem.loadProgram(p);
+    mem.write64(0x300000, 111);
+
+    auto parent = std::make_shared<StoreSegment>(0, nullptr);
+    parent->writeBytes(0x300000, 8, 222);
+    parent->freeze();
+    auto child = std::make_shared<StoreSegment>(1, parent);
+
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = p.base;
+    emu.step(st, child.get()); // li (first word of expansion)
+    // Finish the li expansion then execute the load.
+    while (st.pc != p.base + 3 * instBytes)
+        emu.step(st, child.get());
+    EmuStep s = emu.step(st, child.get());
+    EXPECT_TRUE(s.inst.isLoad());
+    EXPECT_EQ(s.memValue, 222u); // Segment overrides memory.
+    EXPECT_TRUE(s.fullyForwarded);
+}
+
+TEST_F(EmulatorTest, StoresGoToSegmentNotMemory)
+{
+    Program p = assemble(R"(
+        li r1, 0x300000
+        li r2, 77
+        sd r2, 0(r1)
+        halt
+    )");
+    mem.loadProgram(p);
+    auto seg = std::make_shared<StoreSegment>(0, nullptr);
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = p.base;
+    for (int i = 0; i < 32; ++i) {
+        if (emu.step(st, seg.get()).halted)
+            break;
+    }
+    EXPECT_EQ(mem.read64(0x300000), 0u); // Memory untouched...
+    seg->flushTo(mem);
+    EXPECT_EQ(mem.read64(0x300000), 77u); // ...until the flush.
+}
+
+TEST_F(EmulatorTest, WildAddressesAreSafe)
+{
+    // A value-misspeculated thread may compute absurd addresses; loads
+    // must return zero and stores must not crash.
+    ArchState st = run(R"(
+        li r1, 0x7fffffffffff00
+        ld r2, 0(r1)
+        li r3, 55
+        halt
+    )");
+    EXPECT_EQ(st.readReg(2), 0u);
+    EXPECT_EQ(st.readReg(3), 55u);
+}
+
+TEST_F(EmulatorTest, RunStopsAtHaltAndCountsInsts)
+{
+    Program p = assemble("nop\nnop\nnop\nhalt\n");
+    mem.loadProgram(p);
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = p.base;
+    EXPECT_EQ(emu.run(st, 1000), 4u);
+}
+
+TEST_F(EmulatorTest, R0AlwaysZero)
+{
+    ArchState st = run(R"(
+        addi r0, r0, 99
+        add  r1, r0, r0
+        halt
+    )");
+    EXPECT_EQ(st.readReg(0), 0u);
+    EXPECT_EQ(st.readReg(1), 0u);
+}

@@ -1,0 +1,186 @@
+/** The repository's central property test: speculation never leaks.
+ *  For a matrix of kernels x machine configurations, the final
+ *  architectural memory state must be bit-identical to a pure
+ *  functional execution, and the useful instruction count must equal
+ *  the program's true dynamic length. */
+
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hh"
+#include "workloads/workload.hh"
+
+using namespace vptest;
+
+namespace
+{
+
+struct EquivCase
+{
+    const char *name;
+    VpMode mode;
+    int contexts;
+    PredictorKind predictor;
+    SelectorKind selector;
+    FetchPolicy policy;
+    int maxValues;
+    bool wideWindow;
+    int storeBuffer;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivCase>
+{
+};
+
+SimConfig
+configFor(const EquivCase &c)
+{
+    SimConfig cfg = haltConfig();
+    cfg.vpMode = c.mode;
+    cfg.numContexts = c.contexts;
+    cfg.predictor = c.predictor;
+    cfg.selector = c.selector;
+    cfg.fetchPolicy = c.policy;
+    cfg.maxValuesPerSpawn = c.maxValues;
+    cfg.multiValueThreshold = 4;
+    cfg.wideWindow = c.wideWindow;
+    cfg.storeBufferSize = c.storeBuffer;
+    cfg.spawnLatency = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST_P(EquivalenceTest, ChaseKernelMemoryIdentical)
+{
+    const EquivCase &c = GetParam();
+    for (double strideProb : {1.0, 0.6}) {
+        auto ref = referenceMemory(chaseKernel(300),
+                                   chaseData(strideProb));
+        CpuRun r = runAsm(chaseKernel(300), configFor(c),
+                          chaseData(strideProb));
+        ASSERT_TRUE(r.cpu->haltedUsefully())
+            << c.name << " did not finish";
+        EXPECT_TRUE(r.mem->contentEquals(*ref))
+            << c.name << " diverged at strideProb=" << strideProb;
+    }
+}
+
+TEST_P(EquivalenceTest, StoreHeavyKernelMemoryIdentical)
+{
+    // Dense stores with value-dependent addresses: exercises segment
+    // chains, drains and flushes hard.
+    std::string src = R"(
+        li   r1, 0x400000
+        li   r9, 0x600000
+        addi r2, r0, 250
+        addi r4, r0, 1
+    loop:
+        andi r5, r2, 3
+        slli r5, r5, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)
+        add  r4, r4, r7
+        mul  r8, r4, r7
+        andi r8, r8, 2047
+        add  r8, r9, r8
+        sd   r4, 0(r8)
+        sb   r2, 64(r8)
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    auto init = [](MainMemory &m) {
+        m.write64(0x400000, 1);
+        m.write64(0x400008, 1);
+        m.write64(0x400010, 5);
+        m.write64(0x400018, 1);
+    };
+    const EquivCase &c = GetParam();
+    auto ref = referenceMemory(src, init);
+    CpuRun r = runAsm(src, configFor(c), init);
+    ASSERT_TRUE(r.cpu->haltedUsefully()) << c.name;
+    EXPECT_TRUE(r.mem->contentEquals(*ref)) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, EquivalenceTest,
+    ::testing::Values(
+        EquivCase{"baseline", VpMode::None, 1, PredictorKind::Oracle,
+                  SelectorKind::Always, FetchPolicy::SingleFetchPath, 1,
+                  false, 128},
+        EquivCase{"wide_window", VpMode::None, 1, PredictorKind::Oracle,
+                  SelectorKind::Always, FetchPolicy::SingleFetchPath, 1,
+                  true, 128},
+        EquivCase{"stvp_oracle", VpMode::Stvp, 1, PredictorKind::Oracle,
+                  SelectorKind::Always, FetchPolicy::SingleFetchPath, 1,
+                  false, 128},
+        EquivCase{"stvp_lastvalue", VpMode::Stvp, 1,
+                  PredictorKind::LastValue, SelectorKind::Always,
+                  FetchPolicy::SingleFetchPath, 1, false, 128},
+        EquivCase{"stvp_wf_ilp", VpMode::Stvp, 1,
+                  PredictorKind::WangFranklin, SelectorKind::IlpPred,
+                  FetchPolicy::SingleFetchPath, 1, false, 128},
+        EquivCase{"mtvp2_oracle", VpMode::Mtvp, 2, PredictorKind::Oracle,
+                  SelectorKind::Always, FetchPolicy::SingleFetchPath, 1,
+                  false, 128},
+        EquivCase{"mtvp8_oracle", VpMode::Mtvp, 8, PredictorKind::Oracle,
+                  SelectorKind::Always, FetchPolicy::SingleFetchPath, 1,
+                  false, 128},
+        EquivCase{"mtvp8_lastvalue", VpMode::Mtvp, 8,
+                  PredictorKind::LastValue, SelectorKind::Always,
+                  FetchPolicy::SingleFetchPath, 1, false, 128},
+        EquivCase{"mtvp8_wf_ilp", VpMode::Mtvp, 8,
+                  PredictorKind::WangFranklin, SelectorKind::IlpPred,
+                  FetchPolicy::SingleFetchPath, 1, false, 128},
+        EquivCase{"mtvp8_dfcm", VpMode::Mtvp, 8, PredictorKind::Dfcm,
+                  SelectorKind::Always, FetchPolicy::SingleFetchPath, 1,
+                  false, 128},
+        EquivCase{"mtvp4_nostall", VpMode::Mtvp, 4,
+                  PredictorKind::LastValue, SelectorKind::Always,
+                  FetchPolicy::NoStall, 1, false, 128},
+        EquivCase{"mtvp8_multivalue", VpMode::Mtvp, 8,
+                  PredictorKind::WangFranklin, SelectorKind::Always,
+                  FetchPolicy::SingleFetchPath, 4, false, 128},
+        EquivCase{"mtvp8_tiny_sb", VpMode::Mtvp, 8,
+                  PredictorKind::Oracle, SelectorKind::Always,
+                  FetchPolicy::SingleFetchPath, 1, false, 8},
+        EquivCase{"spawn_only", VpMode::SpawnOnly, 8,
+                  PredictorKind::Oracle, SelectorKind::Always,
+                  FetchPolicy::SingleFetchPath, 1, false, 128},
+        EquivCase{"mtvp8_cacheoracle", VpMode::Mtvp, 8,
+                  PredictorKind::WangFranklin, SelectorKind::CacheOracle,
+                  FetchPolicy::SingleFetchPath, 1, false, 128}),
+    [](const ::testing::TestParamInfo<EquivCase> &info) {
+        return std::string(info.param.name);
+    });
+
+TEST(EquivalenceWorkload, CraftyAllModesMatchReference)
+{
+    // One real (cache-resident, fast) workload through the full matrix.
+    const Workload *w = findWorkload("crafty");
+    ASSERT_NE(w, nullptr);
+
+    MainMemory refMem;
+    Addr entry = w->build(refMem, 3);
+    Emulator emu(refMem);
+    ArchState st;
+    st.pc = entry;
+    uint64_t len = emu.run(st, 50'000'000);
+    ASSERT_LT(len, 50'000'000u);
+
+    for (VpMode mode : {VpMode::None, VpMode::Stvp, VpMode::Mtvp}) {
+        SimConfig cfg = haltConfig();
+        cfg.seed = 3;
+        cfg.vpMode = mode;
+        cfg.numContexts = mode == VpMode::Mtvp ? 4 : 1;
+        cfg.predictor = PredictorKind::WangFranklin;
+        cfg.selector = SelectorKind::Always;
+        MainMemory mem;
+        w->build(mem, 3);
+        Cpu cpu(cfg, mem, entry);
+        cpu.run();
+        EXPECT_TRUE(cpu.haltedUsefully()) << toString(mode);
+        EXPECT_EQ(cpu.usefulInsts(), len) << toString(mode);
+        EXPECT_TRUE(mem.contentEquals(refMem)) << toString(mode);
+    }
+}

@@ -1,0 +1,128 @@
+/** Memory-hierarchy timing tests: per-level latencies, MSHR-style
+ *  in-flight merging, stream-buffer integration, store drains, and the
+ *  oracle probe used by the cache-level load selector. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest() : hier(stats, cfg) {}
+
+    StatGroup stats;
+    SimConfig cfg;
+    Hierarchy hier{stats, cfg};
+};
+
+} // namespace
+
+TEST_F(HierarchyTest, ColdLoadGoesToMemory)
+{
+    DataAccessResult r = hier.load(0x100000, 0x1000, 10);
+    EXPECT_EQ(r.level, MemLevel::Memory);
+    EXPECT_EQ(r.ready, 10u + static_cast<Cycle>(cfg.memLatency));
+}
+
+TEST_F(HierarchyTest, SecondAccessHitsL1)
+{
+    hier.load(0x100000, 0x1000, 0);
+    Cycle after = static_cast<Cycle>(cfg.memLatency) + 10;
+    DataAccessResult r = hier.load(0x100008, 0x1004, after);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_EQ(r.ready, after + static_cast<Cycle>(cfg.dcacheLatency));
+}
+
+TEST_F(HierarchyTest, InFlightMerge)
+{
+    DataAccessResult first = hier.load(0x200000, 0x1000, 0);
+    // A second load to the same line while the fill is outstanding
+    // completes when the fill does — no second 1000-cycle charge.
+    DataAccessResult second = hier.load(0x200010, 0x1004, 5);
+    EXPECT_EQ(second.ready, first.ready);
+    EXPECT_EQ(stats.get("mem.mshrMerges"), 1.0);
+}
+
+TEST_F(HierarchyTest, StreamBufferServicesStridedLoads)
+{
+    cfg.prefetchEnabled = true;
+    // March a stride; later lines must be served by stream buffers.
+    Cycle now = 0;
+    bool sawStream = false;
+    for (int i = 0; i < 32; ++i) {
+        DataAccessResult r =
+            hier.load(0x300000 + static_cast<Addr>(i) * 64, 0x2000, now);
+        sawStream = sawStream || r.level == MemLevel::Stream;
+        now = r.ready + 1;
+    }
+    EXPECT_TRUE(sawStream);
+    EXPECT_GT(hier.streamHits(), 0u);
+}
+
+TEST_F(HierarchyTest, ProbeLevelTracksContents)
+{
+    EXPECT_EQ(hier.probeLevel(0x400000), MemLevel::Memory);
+    hier.load(0x400000, 0x1000, 0);
+    // While in flight the probe reports L2 ("data on its way").
+    EXPECT_EQ(hier.probeLevel(0x400000), MemLevel::L2);
+}
+
+TEST_F(HierarchyTest, StoreDrainWarmsTheCache)
+{
+    hier.storeDrain(0x500000, 0);
+    DataAccessResult r = hier.load(0x500000, 0x1000, 5);
+    EXPECT_EQ(r.level, MemLevel::L1);
+}
+
+TEST_F(HierarchyTest, InstFetchHitsAfterMiss)
+{
+    Cycle miss = hier.instFetch(0x1000, 0);
+    EXPECT_GT(miss, static_cast<Cycle>(cfg.icacheLatency));
+    Cycle hit = hier.instFetch(0x1004, miss + 1);
+    EXPECT_EQ(hit, miss + 1 + static_cast<Cycle>(cfg.icacheLatency));
+}
+
+TEST_F(HierarchyTest, InstFetchMergesInFlight)
+{
+    Cycle a = hier.instFetch(0x2000, 0);
+    Cycle b = hier.instFetch(0x2008, 3); // Same line, still filling.
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(HierarchyTest, L1EvictionFallsBackToL2)
+{
+    // Touch enough distinct lines mapping to one L1 set to evict the
+    // first; it must then hit in L2 (20 cycles), not memory.
+    Addr setStride = static_cast<Addr>(cfg.dcacheSize) / cfg.dcacheAssoc;
+    Cycle now = 0;
+    for (int i = 0; i < 4; ++i) {
+        DataAccessResult r = hier.load(0x600000 + i * setStride, 0x1000,
+                                       now);
+        now = r.ready + 1;
+    }
+    DataAccessResult r = hier.load(0x600000, 0x1000, now);
+    EXPECT_EQ(r.level, MemLevel::L2);
+    EXPECT_EQ(r.ready, now + static_cast<Cycle>(cfg.l2Latency));
+}
+
+TEST_F(HierarchyTest, DisabledPrefetcherNeverStreams)
+{
+    SimConfig noPf;
+    noPf.prefetchEnabled = false;
+    StatGroup s2;
+    Hierarchy h2(s2, noPf);
+    Cycle now = 0;
+    for (int i = 0; i < 32; ++i) {
+        DataAccessResult r =
+            h2.load(0x700000 + static_cast<Addr>(i) * 64, 0x2000, now);
+        EXPECT_NE(r.level, MemLevel::Stream);
+        now = r.ready + 1;
+    }
+    EXPECT_EQ(h2.streamHits(), 0u);
+}

@@ -1,0 +1,132 @@
+/** Integration tests: real workload kernels through the full simulator
+ *  across machine modes — liveness, stat sanity, and cross-mode
+ *  consistency at small instruction budgets. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "workloads/workload.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+struct IntegCase
+{
+    const char *workload;
+    VpMode mode;
+};
+
+class IntegrationTest : public ::testing::TestWithParam<IntegCase>
+{
+};
+
+SimConfig
+configFor(VpMode mode)
+{
+    SimConfig cfg;
+    cfg.maxInsts = 3000;
+    cfg.vpMode = mode;
+    if (mode == VpMode::Mtvp || mode == VpMode::SpawnOnly)
+        cfg.numContexts = 4;
+    cfg.predictor = PredictorKind::WangFranklin;
+    cfg.selector = SelectorKind::IlpPred;
+    cfg.spawnLatency = 8;
+    cfg.storeBufferSize = 128;
+    return cfg;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<IntegCase> &info)
+{
+    std::string n = std::string(info.param.workload) + "_" +
+                    toString(info.param.mode);
+    for (char &c : n) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return n;
+}
+
+} // namespace
+
+TEST_P(IntegrationTest, RunsAndReportsSaneStats)
+{
+    const IntegCase &c = GetParam();
+    SimResult r = runWorkload(configFor(c.mode), c.workload);
+
+    // Progress: the instruction budget was met.
+    EXPECT_GE(r.usefulInsts, 3000u) << c.workload;
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.usefulIpc, 0.0);
+    EXPECT_LE(r.usefulIpc, 8.0);
+
+    // Structural sanity.
+    EXPECT_GE(r.stat("commits.total"),
+              static_cast<double>(r.usefulInsts));
+    EXPECT_GE(r.stat("dispatch.total"), r.stat("commits.total"));
+    EXPECT_GE(r.stat("fetch.insts"), r.stat("dispatch.total"));
+    EXPECT_DOUBLE_EQ(r.stat("vp.followed"),
+                     r.stat("vp.stvp") + r.stat("vp.mtvp"));
+    if (c.mode == VpMode::None) {
+        EXPECT_EQ(r.stat("vp.followed"), 0.0);
+        EXPECT_EQ(r.stat("mtvp.spawns"), 0.0);
+    }
+    if (c.mode != VpMode::Mtvp && c.mode != VpMode::SpawnOnly)
+        EXPECT_EQ(r.stat("mtvp.spawns"), 0.0);
+}
+
+TEST_P(IntegrationTest, DeterministicAcrossRuns)
+{
+    const IntegCase &c = GetParam();
+    SimConfig cfg = configFor(c.mode);
+    SimResult a = runWorkload(cfg, c.workload);
+    SimResult b = runWorkload(cfg, c.workload);
+    EXPECT_EQ(a.cycles, b.cycles) << c.workload;
+    EXPECT_EQ(a.usefulInsts, b.usefulInsts);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, IntegrationTest,
+    ::testing::Values(IntegCase{"gzip.g", VpMode::None},
+                      IntegCase{"gzip.g", VpMode::Mtvp},
+                      IntegCase{"vpr.r", VpMode::None},
+                      IntegCase{"vpr.r", VpMode::Stvp},
+                      IntegCase{"vpr.r", VpMode::Mtvp},
+                      IntegCase{"mcf", VpMode::Mtvp},
+                      IntegCase{"crafty", VpMode::Mtvp},
+                      IntegCase{"parser", VpMode::Stvp},
+                      IntegCase{"vortex", VpMode::Mtvp},
+                      IntegCase{"twolf", VpMode::SpawnOnly},
+                      IntegCase{"art.1", VpMode::Mtvp},
+                      IntegCase{"swim", VpMode::Mtvp},
+                      IntegCase{"equake", VpMode::Stvp},
+                      IntegCase{"wupwise", VpMode::Mtvp},
+                      IntegCase{"mesa", VpMode::Mtvp},
+                      IntegCase{"sixtrack", VpMode::None}),
+    paramName);
+
+TEST(IntegrationSeeds, SeedChangesTimingButNotLiveness)
+{
+    SimConfig a = configFor(VpMode::Mtvp);
+    SimConfig b = a;
+    b.seed = 99;
+    SimResult ra = runWorkload(a, "mcf");
+    SimResult rb = runWorkload(b, "mcf");
+    EXPECT_GE(ra.usefulInsts, 3000u);
+    EXPECT_GE(rb.usefulInsts, 3000u);
+    EXPECT_NE(ra.cycles, rb.cycles); // Different data sets.
+}
+
+TEST(IntegrationScaling, LongerRunsMakeProgressProportionally)
+{
+    SimConfig cfg = configFor(VpMode::None);
+    cfg.maxInsts = 2000;
+    SimResult small = runWorkload(cfg, "gzip.g");
+    cfg.maxInsts = 8000;
+    SimResult big = runWorkload(cfg, "gzip.g");
+    EXPECT_GT(big.cycles, small.cycles);
+    EXPECT_GE(big.usefulInsts, 4 * 2000u - 100);
+}

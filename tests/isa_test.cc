@@ -1,0 +1,203 @@
+/** ISA definition tests: encode/decode round trips, operand formats,
+ *  instruction classification, and the opcode name table. */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+DecodedInst
+mk(Opcode op, int rd, int rs1, int rs2, int64_t imm = 0)
+{
+    DecodedInst d;
+    d.op = op;
+    d.rd = rd;
+    d.rs1 = rs1;
+    d.rs2 = rs2;
+    d.imm = imm;
+    if (op == Opcode::FMA)
+        d.rs3 = rd;
+    return d;
+}
+
+void
+expectRoundTrip(const DecodedInst &in)
+{
+    DecodedInst out = decode(encode(in));
+    EXPECT_EQ(out.op, in.op) << opcodeName(in.op);
+    EXPECT_EQ(out.rd, in.rd) << opcodeName(in.op);
+    EXPECT_EQ(out.rs1, in.rs1) << opcodeName(in.op);
+    EXPECT_EQ(out.rs2, in.rs2) << opcodeName(in.op);
+    EXPECT_EQ(out.rs3, in.rs3) << opcodeName(in.op);
+    EXPECT_EQ(out.imm, in.imm) << opcodeName(in.op);
+}
+
+} // namespace
+
+TEST(Isa, IntAluRoundTrip)
+{
+    for (Opcode op : {Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::DIVQ,
+                      Opcode::REM, Opcode::AND, Opcode::OR, Opcode::XOR,
+                      Opcode::SLL, Opcode::SRL, Opcode::SRA, Opcode::SLT,
+                      Opcode::SLTU}) {
+        expectRoundTrip(mk(op, 3, 7, 31));
+        expectRoundTrip(mk(op, 31, 1, 2));
+    }
+}
+
+TEST(Isa, ImmediateRoundTrip)
+{
+    expectRoundTrip(mk(Opcode::ADDI, 5, 6, -1, -32768));
+    expectRoundTrip(mk(Opcode::ADDI, 5, 6, -1, 32767));
+    expectRoundTrip(mk(Opcode::SLTI, 1, 2, -1, -5));
+    // Logical/shift immediates are zero-extended.
+    expectRoundTrip(mk(Opcode::ORI, 5, 6, -1, 0xffff));
+    expectRoundTrip(mk(Opcode::ANDI, 5, 6, -1, 0x8000));
+    expectRoundTrip(mk(Opcode::SLLI, 5, 6, -1, 63));
+    expectRoundTrip(mk(Opcode::LUI, 7, -1, -1, -1));
+}
+
+TEST(Isa, MemoryRoundTrip)
+{
+    expectRoundTrip(mk(Opcode::LD, 4, 9, -1, 1024));
+    expectRoundTrip(mk(Opcode::LW, 4, 9, -1, -8));
+    expectRoundTrip(mk(Opcode::LBU, 4, 9, -1, 3));
+    // Stores carry data in rs2, base in rs1, no destination.
+    DecodedInst sd = mk(Opcode::SD, -1, 9, 4, -16);
+    expectRoundTrip(sd);
+    DecodedInst fld = mk(Opcode::FLD, 32 + 5, 9, -1, 8);
+    expectRoundTrip(fld);
+    DecodedInst fsd = mk(Opcode::FSD, -1, 9, 32 + 5, 8);
+    expectRoundTrip(fsd);
+}
+
+TEST(Isa, ControlRoundTrip)
+{
+    for (Opcode op : {Opcode::BEQ, Opcode::BNE, Opcode::BLT, Opcode::BGE,
+                      Opcode::BLTU, Opcode::BGEU}) {
+        expectRoundTrip(mk(op, -1, 5, 6, -100));
+        expectRoundTrip(mk(op, -1, 5, 6, 32767));
+    }
+    expectRoundTrip(mk(Opcode::JAL, 31, -1, -1, -1000));
+    expectRoundTrip(mk(Opcode::JAL, 31, -1, -1, (1 << 20) - 1));
+    expectRoundTrip(mk(Opcode::JALR, 31, 4, -1, 16));
+}
+
+TEST(Isa, FpRoundTrip)
+{
+    int f = numIntRegs;
+    for (Opcode op : {Opcode::FADD, Opcode::FSUB, Opcode::FMUL,
+                      Opcode::FDIV, Opcode::FMIN, Opcode::FMAX}) {
+        expectRoundTrip(mk(op, f + 1, f + 2, f + 3));
+    }
+    DecodedInst fma = mk(Opcode::FMA, f + 1, f + 2, f + 3);
+    expectRoundTrip(fma);
+    EXPECT_EQ(decode(encode(fma)).rs3, f + 1);
+
+    DecodedInst sq;
+    sq.op = Opcode::FSQRT;
+    sq.rd = f + 4;
+    sq.rs1 = f + 9;
+    expectRoundTrip(sq);
+
+    DecodedInst cvt;
+    cvt.op = Opcode::FCVTDL;
+    cvt.rd = f + 2;
+    cvt.rs1 = 7;
+    expectRoundTrip(cvt);
+
+    DecodedInst cmp = mk(Opcode::FLT, 3, f + 1, f + 2);
+    expectRoundTrip(cmp);
+}
+
+TEST(Isa, WritesToR0Normalize)
+{
+    DecodedInst d = mk(Opcode::ADD, 0, 1, 2);
+    DecodedInst out = decode(encode(d));
+    EXPECT_EQ(out.rd, -1);
+    EXPECT_FALSE(out.writesReg());
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(mk(Opcode::LD, 1, 2, -1).isLoad());
+    EXPECT_TRUE(mk(Opcode::SD, -1, 2, 3).isStore());
+    EXPECT_TRUE(mk(Opcode::SD, -1, 2, 3).isMem());
+    EXPECT_TRUE(mk(Opcode::BEQ, -1, 1, 2).isBranch());
+    EXPECT_TRUE(mk(Opcode::JAL, 31, -1, -1).isJump());
+    EXPECT_FALSE(mk(Opcode::JAL, 31, -1, -1).isBranch());
+    EXPECT_TRUE(mk(Opcode::JAL, 31, -1, -1).isControl());
+    EXPECT_TRUE(mk(Opcode::FADD, 33, 34, 35).isFp());
+    EXPECT_FALSE(mk(Opcode::ADD, 1, 2, 3).isFp());
+    DecodedInst halt;
+    halt.op = Opcode::HALT;
+    EXPECT_TRUE(halt.isHalt());
+}
+
+TEST(Isa, OpClassesAndLatencies)
+{
+    EXPECT_EQ(mk(Opcode::ADD, 1, 2, 3).opClass(), OpClass::IntAlu);
+    EXPECT_EQ(mk(Opcode::MUL, 1, 2, 3).opClass(), OpClass::IntMul);
+    EXPECT_EQ(mk(Opcode::LD, 1, 2, -1).opClass(), OpClass::Load);
+    EXPECT_EQ(mk(Opcode::SD, -1, 2, 3).opClass(), OpClass::Store);
+    EXPECT_EQ(mk(Opcode::FADD, 33, 34, 35).opClass(), OpClass::FpAdd);
+    EXPECT_EQ(mk(Opcode::FMUL, 33, 34, 35).opClass(), OpClass::FpMul);
+
+    EXPECT_EQ(mk(Opcode::ADD, 1, 2, 3).execLatency(), 1);
+    EXPECT_GT(mk(Opcode::DIVQ, 1, 2, 3).execLatency(), 1);
+    EXPECT_GT(mk(Opcode::FDIV, 33, 34, 35).execLatency(),
+              mk(Opcode::FADD, 33, 34, 35).execLatency());
+}
+
+TEST(Isa, MemBytes)
+{
+    EXPECT_EQ(mk(Opcode::LD, 1, 2, -1).memBytes(), 8);
+    EXPECT_EQ(mk(Opcode::LW, 1, 2, -1).memBytes(), 4);
+    EXPECT_EQ(mk(Opcode::LBU, 1, 2, -1).memBytes(), 1);
+    EXPECT_EQ(mk(Opcode::SD, -1, 2, 3).memBytes(), 8);
+    EXPECT_EQ(mk(Opcode::SB, -1, 2, 3).memBytes(), 1);
+    EXPECT_EQ(mk(Opcode::FLD, 33, 2, -1).memBytes(), 8);
+    EXPECT_EQ(mk(Opcode::ADD, 1, 2, 3).memBytes(), 0);
+}
+
+TEST(Isa, NameTableBijective)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NUM_OPCODES); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+    }
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NUM_OPCODES);
+}
+
+TEST(Isa, RegNames)
+{
+    EXPECT_EQ(regName(0), "r0");
+    EXPECT_EQ(regName(31), "r31");
+    EXPECT_EQ(regName(32), "f0");
+    EXPECT_EQ(regName(63), "f31");
+    EXPECT_EQ(regName(-1), "-");
+    EXPECT_TRUE(isFpReg(40));
+    EXPECT_FALSE(isFpReg(5));
+}
+
+TEST(Isa, UnknownOpcodeDecodesAsNop)
+{
+    uint32_t word = 63u << 26;
+    EXPECT_EQ(decode(word).op, Opcode::NOP);
+}
+
+TEST(Isa, DisassembleSmoke)
+{
+    EXPECT_EQ(disassemble(mk(Opcode::LD, 4, 9, -1, 16)), "ld r4, 16(r9)");
+    EXPECT_EQ(disassemble(mk(Opcode::SD, -1, 9, 4, -8)), "sd r4, -8(r9)");
+    EXPECT_EQ(disassemble(mk(Opcode::BEQ, -1, 1, 2, 5)),
+              "beq r1, r2, +5");
+    std::string s = disassemble(mk(Opcode::FADD, 33, 34, 35));
+    EXPECT_NE(s.find("fadd"), std::string::npos);
+    EXPECT_NE(s.find("f1"), std::string::npos);
+}

@@ -1,0 +1,87 @@
+/** Sparse main-memory tests: sizes, endianness, page crossing,
+ *  unmapped reads, program loading, and content comparison. */
+
+#include <gtest/gtest.h>
+
+#include "emu/memory.hh"
+#include "isa/assembler.hh"
+
+using namespace vpsim;
+
+TEST(Memory, UnmappedReadsZero)
+{
+    MainMemory mem;
+    EXPECT_EQ(mem.read64(0xdeadbeef000), 0u);
+    EXPECT_EQ(mem.read8(0), 0u);
+    EXPECT_EQ(mem.mappedPages(), 0u);
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    MainMemory mem;
+    mem.write64(0x1000, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(0x1000), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read32(0x1000), 0x55667788u);
+    EXPECT_EQ(mem.read32(0x1004), 0x11223344u);
+    EXPECT_EQ(mem.read8(0x1000), 0x88u);
+    EXPECT_EQ(mem.read8(0x1007), 0x11u);
+}
+
+TEST(Memory, PartialWidths)
+{
+    MainMemory mem;
+    mem.write8(0x2000, 0xab);
+    mem.write32(0x2004, 0xcafebabe);
+    EXPECT_EQ(mem.read64(0x2000), 0xcafebabe000000abull);
+    mem.write(0x3000, 3, 0x00c0ffee);
+    EXPECT_EQ(mem.read(0x3000, 3), 0xc0ffeeu);
+    EXPECT_EQ(mem.read8(0x3003), 0u);
+}
+
+TEST(Memory, UnalignedAndPageCrossing)
+{
+    MainMemory mem;
+    Addr boundary = MainMemory::pageBytes;
+    mem.write64(boundary - 4, 0x0102030405060708ull);
+    EXPECT_EQ(mem.read64(boundary - 4), 0x0102030405060708ull);
+    EXPECT_EQ(mem.read32(boundary), 0x01020304u);
+    EXPECT_EQ(mem.mappedPages(), 2u);
+}
+
+TEST(Memory, FpHelpers)
+{
+    MainMemory mem;
+    mem.writeFp(0x4000, 3.14159);
+    EXPECT_DOUBLE_EQ(mem.readFp(0x4000), 3.14159);
+    mem.writeFp(0x4008, -0.0);
+    EXPECT_EQ(mem.read64(0x4008), 0x8000000000000000ull);
+}
+
+TEST(Memory, LoadProgramPlacesWords)
+{
+    MainMemory mem;
+    Program p = assemble("nop\nhalt\n", 0x1000);
+    mem.loadProgram(p);
+    EXPECT_EQ(mem.read32(0x1000), p.words[0]);
+    EXPECT_EQ(mem.read32(0x1004), p.words[1]);
+}
+
+TEST(Memory, ContentEqualsIgnoresZeroPages)
+{
+    MainMemory a;
+    MainMemory b;
+    EXPECT_TRUE(a.contentEquals(b));
+
+    a.write64(0x1000, 5);
+    EXPECT_FALSE(a.contentEquals(b));
+    b.write64(0x1000, 5);
+    EXPECT_TRUE(a.contentEquals(b));
+
+    // A page of explicit zeros equals an unmapped page.
+    a.write64(0x900000, 0);
+    EXPECT_TRUE(a.contentEquals(b));
+    EXPECT_GT(a.mappedPages(), b.mappedPages());
+
+    b.write8(0xfff123, 9);
+    EXPECT_FALSE(a.contentEquals(b));
+}

@@ -1,0 +1,120 @@
+/** Physical-register-file tests: allocation, use counting (the paper's
+ *  Cherry-style pending counters for map copies), readiness tracking,
+ *  and conservation. */
+
+#include <gtest/gtest.h>
+
+#include "core/phys_regfile.hh"
+#include "sim/rng.hh"
+
+using namespace vpsim;
+
+TEST(PhysRegFile, AllocAndRelease)
+{
+    PhysRegFile prf(8);
+    EXPECT_EQ(prf.freeCount(), 8);
+    PhysReg r = prf.alloc();
+    EXPECT_EQ(prf.freeCount(), 7);
+    EXPECT_EQ(prf.refCount(r), 1);
+    prf.release(r);
+    EXPECT_EQ(prf.freeCount(), 8);
+}
+
+TEST(PhysRegFile, UseCountingDelaysFree)
+{
+    PhysRegFile prf(4);
+    PhysReg r = prf.alloc();
+    prf.addRef(r); // A spawned context's map copy.
+    prf.addRef(r); // Another child.
+    EXPECT_EQ(prf.refCount(r), 3);
+    prf.release(r);
+    prf.release(r);
+    EXPECT_EQ(prf.freeCount(), 3); // Still held.
+    prf.release(r);
+    EXPECT_EQ(prf.freeCount(), 4);
+}
+
+TEST(PhysRegFile, Readiness)
+{
+    PhysRegFile prf(4);
+    PhysReg r = prf.alloc();
+    EXPECT_FALSE(prf.readyBy(r, 1000000));
+    prf.setReadyAt(r, 50);
+    EXPECT_FALSE(prf.readyBy(r, 49));
+    EXPECT_TRUE(prf.readyBy(r, 50));
+    EXPECT_EQ(prf.readyAt(r), 50u);
+    // The invalid register (r0's mapping) is always ready.
+    EXPECT_TRUE(prf.readyBy(invalidPhysReg, 0));
+}
+
+TEST(PhysRegFile, ReallocResetsState)
+{
+    PhysRegFile prf(1);
+    PhysReg r = prf.alloc();
+    prf.setReadyAt(r, 5);
+    prf.release(r);
+    PhysReg r2 = prf.alloc();
+    EXPECT_EQ(r2, r);
+    EXPECT_FALSE(prf.readyBy(r2, 1000)); // Not ready again.
+    EXPECT_EQ(prf.refCount(r2), 1);
+}
+
+TEST(PhysRegFile, ExhaustionPanics)
+{
+    PhysRegFile prf(1);
+    EXPECT_TRUE(prf.canAlloc(1));
+    EXPECT_FALSE(prf.canAlloc(2));
+    prf.alloc();
+    EXPECT_FALSE(prf.canAlloc(1));
+    EXPECT_DEATH(prf.alloc(), "exhausted");
+}
+
+TEST(PhysRegFile, DoubleReleasePanics)
+{
+    PhysRegFile prf(2);
+    PhysReg r = prf.alloc();
+    prf.release(r);
+    EXPECT_DEATH(prf.release(r), "release of free register");
+}
+
+TEST(PhysRegFile, AddRefOnFreePanics)
+{
+    PhysRegFile prf(2);
+    PhysReg r = prf.alloc();
+    prf.release(r);
+    EXPECT_DEATH(prf.addRef(r), "addRef on free register");
+}
+
+TEST(PhysRegFile, RandomizedConservation)
+{
+    // Property: across any interleaving of alloc/addRef/release, the
+    // free list is conserved (every register released exactly as many
+    // times as it was referenced).
+    PhysRegFile prf(32);
+    Rng rng(99);
+    std::vector<std::pair<PhysReg, int>> live; // reg -> refs
+    for (int step = 0; step < 20000; ++step) {
+        int action = static_cast<int>(rng.nextBounded(3));
+        if (action == 0 && prf.canAlloc(1)) {
+            live.emplace_back(prf.alloc(), 1);
+        } else if (!live.empty()) {
+            size_t idx = static_cast<size_t>(
+                rng.nextBounded(live.size()));
+            if (action == 1) {
+                prf.addRef(live[idx].first);
+                ++live[idx].second;
+            } else {
+                prf.release(live[idx].first);
+                if (--live[idx].second == 0) {
+                    live[idx] = live.back();
+                    live.pop_back();
+                }
+            }
+        }
+    }
+    for (auto &[reg, refs] : live) {
+        for (int i = 0; i < refs; ++i)
+            prf.release(reg);
+    }
+    EXPECT_EQ(prf.freeCount(), 32);
+}

@@ -1,0 +1,120 @@
+/** Stride-prefetcher tests: training, stream allocation, stream hits,
+ *  advancement, and LRU stream replacement. */
+
+#include <gtest/gtest.h>
+
+#include "mem/prefetcher.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+class PrefetcherTest : public ::testing::Test
+{
+  protected:
+    PrefetcherTest()
+        : pf(stats, 256, 8, 4, 64,
+             [this](Addr, Cycle now) {
+                 ++fillsIssued;
+                 return now + fillLatency;
+             })
+    {
+    }
+
+    StatGroup stats;
+    int fillsIssued = 0;
+    Cycle fillLatency = 100;
+    StridePrefetcher pf;
+};
+
+} // namespace
+
+TEST_F(PrefetcherTest, NoStreamWithoutConfidence)
+{
+    // Two misses establish a stride; confidence needs a third.
+    pf.onL1Miss(0x1000, 0x100000, 0);
+    pf.onL1Miss(0x1000, 0x100040, 1);
+    EXPECT_EQ(pf.prefetchesIssued(), 0u);
+}
+
+TEST_F(PrefetcherTest, StreamAllocatesAfterConfirmedStride)
+{
+    for (int i = 0; i < 4; ++i)
+        pf.onL1Miss(0x1000, 0x100000 + i * 64u, static_cast<Cycle>(i));
+    EXPECT_GT(pf.prefetchesIssued(), 0u);
+    // The stream holds the next lines of the stride.
+    auto hit = pf.lookup(0x100000 + 4 * 64u, 10);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_GT(*hit, 0u);
+}
+
+TEST_F(PrefetcherTest, LookupConsumesAndAdvances)
+{
+    for (int i = 0; i < 4; ++i)
+        pf.onL1Miss(0x1000, 0x100000 + i * 64u, static_cast<Cycle>(i));
+    uint64_t issuedBefore = pf.prefetchesIssued();
+    ASSERT_TRUE(pf.lookup(0x100000 + 4 * 64u, 20).has_value());
+    // Consuming an entry tops the stream buffer back up.
+    EXPECT_GT(pf.prefetchesIssued(), issuedBefore);
+    // The same line is no longer present.
+    EXPECT_FALSE(pf.lookup(0x100000 + 4 * 64u, 21).has_value());
+    EXPECT_EQ(pf.streamHits(), 1u);
+}
+
+TEST_F(PrefetcherTest, NonUnitStrides)
+{
+    // Stride of 3 lines.
+    for (int i = 0; i < 4; ++i)
+        pf.onL1Miss(0x2000, 0x200000 + i * 192u, static_cast<Cycle>(i));
+    EXPECT_TRUE(pf.lookup(0x200000 + 4 * 192u, 30).has_value());
+}
+
+TEST_F(PrefetcherTest, RandomAddressesNeverStream)
+{
+    Addr addrs[] = {0x100000, 0x523140, 0x0ff80, 0x881c0, 0x33000};
+    for (int rep = 0; rep < 4; ++rep) {
+        for (Addr a : addrs)
+            pf.onL1Miss(0x3000, a + static_cast<Addr>(rep) * 8, 0);
+    }
+    EXPECT_EQ(pf.prefetchesIssued(), 0u);
+}
+
+TEST_F(PrefetcherTest, PerPcTraining)
+{
+    // Interleaved accesses from two (non-aliasing) PCs, each with its
+    // own stride.
+    for (int i = 0; i < 5; ++i) {
+        pf.onL1Miss(0x1004, 0x100000 + i * 64u, 0);
+        pf.onL1Miss(0x2008, 0x400000 + i * 128u, 0);
+    }
+    EXPECT_TRUE(pf.lookup(0x100000 + 5 * 64u, 40).has_value());
+    EXPECT_TRUE(pf.lookup(0x400000 + 5 * 128u, 40).has_value());
+}
+
+TEST_F(PrefetcherTest, StreamsReplacedLru)
+{
+    // Allocate 9 streams on a machine with 8 stream buffers; the first
+    // (least recently used) must be replaced.
+    for (int s = 0; s < 9; ++s) {
+        Addr base = 0x100000 + static_cast<Addr>(s) * 0x100000;
+        Addr pc = 0x1000 + static_cast<Addr>(s) * 8;
+        for (int i = 0; i < 4; ++i)
+            pf.onL1Miss(pc, base + i * 64u, static_cast<Cycle>(s * 10 + i));
+    }
+    // Stream 0's next line is gone (its buffer was the LRU victim).
+    EXPECT_FALSE(pf.lookup(0x100000 + 4 * 64u, 100).has_value());
+    // Stream 8's is present.
+    EXPECT_TRUE(
+        pf.lookup(0x100000 + 8 * 0x100000 + 4 * 64u, 100).has_value());
+}
+
+TEST_F(PrefetcherTest, FillLatencyPropagates)
+{
+    fillLatency = 1000;
+    for (int i = 0; i < 4; ++i)
+        pf.onL1Miss(0x1000, 0x100000 + i * 64u, 50);
+    auto ready = pf.lookup(0x100000 + 4 * 64u, 60);
+    ASSERT_TRUE(ready.has_value());
+    EXPECT_EQ(*ready, 1050u);
+}

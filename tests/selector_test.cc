@@ -1,0 +1,163 @@
+/** Load-selector tests: ILP-pred's rate bookkeeping, the
+ *  greater-than-none rule, burst exploration, and the cache-level
+ *  oracle / always selectors. */
+
+#include <gtest/gtest.h>
+
+#include "vpred/load_selector.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+/** Exhaust the exploration bursts so exploitation decisions dominate. */
+void
+burnBursts(IlpPredSelector &sel, Addr pc)
+{
+    for (uint32_t i = 0; i < 3 * IlpPredSelector::burstLen; ++i)
+        sel.select(pc, true, true, MemLevel::Memory);
+}
+
+} // namespace
+
+TEST(IlpPred, RateAccumulates)
+{
+    IlpPredSelector sel;
+    Addr pc = 0x1000;
+    sel.recordOutcome(pc, VpChoice::None, 100, 1000);
+    sel.recordOutcome(pc, VpChoice::Mtvp, 500, 1000);
+    EXPECT_GT(sel.rate(pc, VpChoice::Mtvp), sel.rate(pc, VpChoice::None));
+}
+
+TEST(IlpPred, ShiftDivisionApproximatesRatio)
+{
+    IlpPredSelector sel;
+    Addr pc = 0x1000;
+    // Same instruction count over twice the cycles => about half rate.
+    sel.recordOutcome(pc, VpChoice::None, 4096, 1024);
+    sel.recordOutcome(pc, VpChoice::Stvp, 4096, 2048);
+    uint64_t none = sel.rate(pc, VpChoice::None);
+    uint64_t stvp = sel.rate(pc, VpChoice::Stvp);
+    EXPECT_GT(none, stvp);
+    EXPECT_NEAR(static_cast<double>(none) / stvp, 2.0, 0.6);
+}
+
+TEST(IlpPred, PrefersMeasuredWinner)
+{
+    IlpPredSelector sel;
+    Addr pc = 0x2000;
+    burnBursts(sel, pc);
+    sel.recordOutcome(pc, VpChoice::None, 100, 4096);
+    sel.recordOutcome(pc, VpChoice::Stvp, 200, 4096);
+    sel.recordOutcome(pc, VpChoice::Mtvp, 800, 4096);
+    EXPECT_EQ(sel.select(pc, true, true, MemLevel::Memory),
+              VpChoice::Mtvp);
+}
+
+TEST(IlpPred, PredictionMustBeatNone)
+{
+    IlpPredSelector sel;
+    Addr pc = 0x3000;
+    burnBursts(sel, pc);
+    sel.recordOutcome(pc, VpChoice::None, 800, 4096);
+    sel.recordOutcome(pc, VpChoice::Stvp, 200, 4096);
+    sel.recordOutcome(pc, VpChoice::Mtvp, 100, 4096);
+    EXPECT_EQ(sel.select(pc, true, true, MemLevel::Memory),
+              VpChoice::None);
+}
+
+TEST(IlpPred, RespectsAvailability)
+{
+    IlpPredSelector sel;
+    Addr pc = 0x4000;
+    burnBursts(sel, pc);
+    sel.recordOutcome(pc, VpChoice::None, 10, 4096);
+    sel.recordOutcome(pc, VpChoice::Stvp, 400, 4096);
+    sel.recordOutcome(pc, VpChoice::Mtvp, 800, 4096);
+    // MTVP is measured-best but no context is free: fall back to STVP.
+    EXPECT_EQ(sel.select(pc, false, true, MemLevel::Memory),
+              VpChoice::Stvp);
+    EXPECT_EQ(sel.select(pc, false, false, MemLevel::Memory),
+              VpChoice::None);
+}
+
+TEST(IlpPred, ExplorationBurstsSampleEachMode)
+{
+    IlpPredSelector sel;
+    Addr pc = 0x5000;
+    int mtvp = 0;
+    int stvp = 0;
+    int none = 0;
+    for (uint32_t i = 0; i < 3 * IlpPredSelector::burstLen; ++i) {
+        switch (sel.select(pc, true, true, MemLevel::Memory)) {
+          case VpChoice::Mtvp: ++mtvp; break;
+          case VpChoice::Stvp: ++stvp; break;
+          case VpChoice::None: ++none; break;
+        }
+    }
+    EXPECT_EQ(mtvp, static_cast<int>(IlpPredSelector::burstLen));
+    EXPECT_EQ(stvp, static_cast<int>(IlpPredSelector::burstLen));
+    EXPECT_EQ(none, static_cast<int>(IlpPredSelector::burstLen));
+}
+
+TEST(IlpPred, DistinctPcsIndependent)
+{
+    IlpPredSelector sel;
+    burnBursts(sel, 0x6000);
+    burnBursts(sel, 0x7000);
+    sel.recordOutcome(0x6000, VpChoice::None, 10, 4096);
+    sel.recordOutcome(0x6000, VpChoice::Mtvp, 999, 4096);
+    sel.recordOutcome(0x6000, VpChoice::Stvp, 11, 4096);
+    sel.recordOutcome(0x7000, VpChoice::None, 999, 4096);
+    sel.recordOutcome(0x7000, VpChoice::Mtvp, 10, 4096);
+    sel.recordOutcome(0x7000, VpChoice::Stvp, 11, 4096);
+    EXPECT_EQ(sel.select(0x6000, true, true, MemLevel::L1),
+              VpChoice::Mtvp);
+    EXPECT_EQ(sel.select(0x7000, true, true, MemLevel::L1),
+              VpChoice::None);
+}
+
+TEST(IlpPred, AgingHalvesCounters)
+{
+    IlpPredSelector sel;
+    Addr pc = 0x8000;
+    // Push cycles past the aging limit; rates must stay finite and the
+    // entry usable.
+    for (int i = 0; i < 40; ++i)
+        sel.recordOutcome(pc, VpChoice::None, 1 << 20, 1 << 20);
+    EXPECT_GT(sel.rate(pc, VpChoice::None), 0u);
+}
+
+TEST(CacheOracle, MapsLevelsToChoices)
+{
+    CacheOracleSelector sel;
+    EXPECT_EQ(sel.select(0, true, true, MemLevel::Memory), VpChoice::Mtvp);
+    EXPECT_EQ(sel.select(0, false, true, MemLevel::Memory),
+              VpChoice::Stvp);
+    EXPECT_EQ(sel.select(0, true, true, MemLevel::L3), VpChoice::Stvp);
+    EXPECT_EQ(sel.select(0, true, true, MemLevel::L2), VpChoice::Stvp);
+    EXPECT_EQ(sel.select(0, true, true, MemLevel::L1), VpChoice::None);
+    EXPECT_EQ(sel.select(0, false, false, MemLevel::Memory),
+              VpChoice::None);
+}
+
+TEST(Always, TakesWhatItCanGet)
+{
+    AlwaysSelector sel;
+    EXPECT_EQ(sel.select(0, true, true, MemLevel::L1), VpChoice::Mtvp);
+    EXPECT_EQ(sel.select(0, false, true, MemLevel::L1), VpChoice::Stvp);
+    EXPECT_EQ(sel.select(0, false, false, MemLevel::L1), VpChoice::None);
+}
+
+TEST(Factory, BuildsEverySelector)
+{
+    for (SelectorKind k : {SelectorKind::IlpPred, SelectorKind::CacheOracle,
+                           SelectorKind::Always}) {
+        SimConfig cfg;
+        cfg.selector = k;
+        auto sel = makeLoadSelector(cfg);
+        ASSERT_NE(sel, nullptr);
+        sel->select(0x1000, true, true, MemLevel::L1);
+    }
+}

@@ -1,0 +1,33 @@
+/** Smoke test: every registered workload runs to maxInsts on the
+ *  baseline machine and makes forward progress. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "workloads/workload.hh"
+
+using namespace vpsim;
+
+TEST(Smoke, BaselineRunsMcf)
+{
+    SimConfig cfg;
+    cfg.maxInsts = 5000;
+    SimResult r = runWorkload(cfg, "mcf");
+    EXPECT_GE(r.usefulInsts, 5000u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.usefulIpc, 0.0);
+}
+
+TEST(Smoke, MtvpRunsMcf)
+{
+    SimConfig cfg;
+    cfg.maxInsts = 5000;
+    cfg.vpMode = VpMode::Mtvp;
+    cfg.numContexts = 4;
+    cfg.predictor = PredictorKind::Oracle;
+    cfg.selector = SelectorKind::Always;
+    cfg.spawnLatency = 1;
+    SimResult r = runWorkload(cfg, "mcf");
+    EXPECT_GE(r.usefulInsts, 5000u);
+    EXPECT_GT(r.stat("mtvp.spawns"), 0.0);
+}

@@ -1,0 +1,119 @@
+/** Statistics-package tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace vpsim;
+
+TEST(Stats, ScalarCounts)
+{
+    StatGroup g;
+    Scalar s(g, "events", "test events");
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.count(), 6u);
+    EXPECT_DOUBLE_EQ(s.value(), 6.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, AverageOfSamples)
+{
+    StatGroup g;
+    Average a(g, "avg", "test average");
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.value(), 4.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Stats, DistributionBucketsAndBounds)
+{
+    StatGroup g;
+    Distribution d(g, "dist", "test dist", 0.0, 10.0, 5);
+    d.sample(-1.0); // underflow
+    d.sample(0.5);  // bucket 0
+    d.sample(9.9);  // bucket 4
+    d.sample(15.0); // overflow
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.minSample(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxSample(), 15.0);
+    const auto &b = d.buckets();
+    EXPECT_EQ(b.front(), 1u); // underflow bin
+    EXPECT_EQ(b.back(), 1u);  // overflow bin
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(b[5], 1u);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup g;
+    Scalar s(g, "numerator", "n");
+    Formula f(g, "ratio", "n/2", [&s] { return s.value() / 2.0; });
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+    s += 10;
+    EXPECT_DOUBLE_EQ(f.value(), 5.0);
+}
+
+TEST(Stats, GroupFindAndGet)
+{
+    StatGroup g("grp");
+    Scalar s(g, "a.b", "thing");
+    s += 3;
+    EXPECT_NE(g.find("a.b"), nullptr);
+    EXPECT_EQ(g.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(g.get("a.b"), 3.0);
+}
+
+TEST(Stats, GetUnknownFatals)
+{
+    StatGroup g;
+    EXPECT_EXIT(g.get("nope"), ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Stats, DuplicateNamePanics)
+{
+    StatGroup g;
+    Scalar a(g, "dup", "first");
+    EXPECT_DEATH(Scalar(g, "dup", "second"), "duplicate");
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatGroup g("cpu");
+    Scalar s(g, "commits", "committed instructions");
+    s += 42;
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("commits"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("committed instructions"), std::string::npos);
+}
+
+TEST(Stats, ResetAll)
+{
+    StatGroup g;
+    Scalar s(g, "x", "x");
+    Average a(g, "y", "y");
+    s += 7;
+    a.sample(3.0);
+    g.resetAll();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(Stats, RegistrationOrderPreserved)
+{
+    StatGroup g;
+    Scalar s1(g, "first", "");
+    Scalar s2(g, "second", "");
+    ASSERT_EQ(g.stats().size(), 2u);
+    EXPECT_EQ(g.stats()[0]->name(), "first");
+    EXPECT_EQ(g.stats()[1]->name(), "second");
+}

@@ -1,0 +1,145 @@
+/** Store-segment tests: overlay semantics, ancestor-chain search order,
+ *  freezing, flushing, and resident/pending accounting — the mechanics
+ *  behind the paper's per-context speculative store buffers. */
+
+#include <gtest/gtest.h>
+
+#include "emu/memory.hh"
+#include "emu/store_buffer.hh"
+
+using namespace vpsim;
+
+TEST(StoreSegment, WriteAndReadBack)
+{
+    MainMemory mem;
+    StoreSegment seg(0, nullptr);
+    seg.writeBytes(0x100, 8, 0x1122334455667788ull);
+    ChainReadResult r = readThroughChain(&seg, mem, 0x100, 8);
+    EXPECT_EQ(r.value, 0x1122334455667788ull);
+    EXPECT_TRUE(r.fullyForwarded);
+    EXPECT_TRUE(r.anyForwarded);
+}
+
+TEST(StoreSegment, FallsThroughToMemory)
+{
+    MainMemory mem;
+    mem.write64(0x200, 42);
+    StoreSegment seg(0, nullptr);
+    ChainReadResult r = readThroughChain(&seg, mem, 0x200, 8);
+    EXPECT_EQ(r.value, 42u);
+    EXPECT_FALSE(r.anyForwarded);
+}
+
+TEST(StoreSegment, PartialForwardMergesBytes)
+{
+    MainMemory mem;
+    mem.write64(0x300, 0xffffffffffffffffull);
+    StoreSegment seg(0, nullptr);
+    seg.writeBytes(0x300, 4, 0xaabbccdd); // low four bytes only
+    ChainReadResult r = readThroughChain(&seg, mem, 0x300, 8);
+    EXPECT_EQ(r.value, 0xffffffffaabbccddull);
+    EXPECT_TRUE(r.anyForwarded);
+    EXPECT_FALSE(r.fullyForwarded);
+}
+
+TEST(StoreSegment, NewestWriteWinsWithinSegment)
+{
+    MainMemory mem;
+    StoreSegment seg(0, nullptr);
+    seg.writeBytes(0x400, 8, 1);
+    seg.writeBytes(0x400, 8, 2);
+    EXPECT_EQ(readThroughChain(&seg, mem, 0x400, 8).value, 2u);
+}
+
+TEST(StoreSegment, ChainSearchIsThreadOrdered)
+{
+    // The paper's rule: a search hits if the store belongs to the
+    // searching thread or an *older* thread — younger segments are
+    // checked first and shadow their ancestors.
+    MainMemory mem;
+    mem.write64(0x500, 1);
+    auto oldest = std::make_shared<StoreSegment>(0, nullptr);
+    oldest->writeBytes(0x500, 8, 2);
+    oldest->freeze();
+    auto middle = std::make_shared<StoreSegment>(1, oldest);
+    auto leaf = std::make_shared<StoreSegment>(2, middle);
+
+    EXPECT_EQ(readThroughChain(leaf.get(), mem, 0x500, 8).value, 2u);
+    middle->writeBytes(0x500, 8, 3);
+    EXPECT_EQ(readThroughChain(leaf.get(), mem, 0x500, 8).value, 3u);
+    leaf->writeBytes(0x500, 8, 4);
+    EXPECT_EQ(readThroughChain(leaf.get(), mem, 0x500, 8).value, 4u);
+    // The middle segment still sees its own value, not the leaf's.
+    EXPECT_EQ(readThroughChain(middle.get(), mem, 0x500, 8).value, 3u);
+}
+
+TEST(StoreSegment, SiblingsDoNotSeeEachOther)
+{
+    MainMemory mem;
+    auto frozen = std::make_shared<StoreSegment>(0, nullptr);
+    frozen->freeze();
+    auto childA = std::make_shared<StoreSegment>(1, frozen);
+    auto childB = std::make_shared<StoreSegment>(2, frozen);
+    childA->writeBytes(0x600, 8, 111);
+    EXPECT_EQ(readThroughChain(childB.get(), mem, 0x600, 8).value, 0u);
+    EXPECT_EQ(readThroughChain(childA.get(), mem, 0x600, 8).value, 111u);
+}
+
+TEST(StoreSegment, FlushWritesToMemoryAndClears)
+{
+    MainMemory mem;
+    StoreSegment seg(0, nullptr);
+    seg.writeBytes(0x700, 8, 99);
+    seg.writeBytes(0x708, 4, 0xabcd);
+    seg.flushTo(mem);
+    EXPECT_EQ(mem.read64(0x700), 99u);
+    EXPECT_EQ(mem.read32(0x708), 0xabcdu);
+    EXPECT_EQ(seg.byteCount(), 0u);
+}
+
+TEST(StoreSegment, ResidentAccounting)
+{
+    StoreSegment seg(0, nullptr);
+    EXPECT_EQ(seg.residentStores(), 0);
+    seg.addResidentStore(0x10);
+    seg.addResidentStore(0x20);
+    EXPECT_EQ(seg.residentStores(), 2);
+    EXPECT_EQ(seg.drainResidentStore(), 0x10u); // FIFO
+    EXPECT_EQ(seg.drainResidentStore(), 0x20u);
+    EXPECT_EQ(seg.residentStores(), 0);
+}
+
+TEST(StoreSegment, FlushableConditions)
+{
+    StoreSegment seg(0, nullptr);
+    EXPECT_FALSE(seg.flushable()); // Not frozen.
+    seg.freeze();
+    EXPECT_TRUE(seg.flushable());
+    seg.addPendingCommit();
+    EXPECT_FALSE(seg.flushable());
+    seg.removePendingCommit();
+    seg.addResidentStore(0x10);
+    EXPECT_FALSE(seg.flushable());
+    seg.drainResidentStore();
+    EXPECT_TRUE(seg.flushable());
+}
+
+TEST(StoreSegment, FrozenRejectsWritesInDebug)
+{
+    auto seg = std::make_shared<StoreSegment>(0, nullptr);
+    seg->freeze();
+    EXPECT_DEATH(seg->writeBytes(0x1, 1, 1), "frozen");
+}
+
+TEST(StoreSegment, UnlinkParent)
+{
+    MainMemory mem;
+    auto parent = std::make_shared<StoreSegment>(0, nullptr);
+    parent->writeBytes(0x800, 8, 5);
+    auto child = std::make_shared<StoreSegment>(1, parent);
+    EXPECT_EQ(readThroughChain(child.get(), mem, 0x800, 8).value, 5u);
+    parent->flushTo(mem);
+    child->unlinkParent();
+    EXPECT_EQ(child->parent(), nullptr);
+    EXPECT_EQ(readThroughChain(child.get(), mem, 0x800, 8).value, 5u);
+}

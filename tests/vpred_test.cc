@@ -1,0 +1,409 @@
+/** Value-predictor tests: learning behaviour, confidence dynamics
+ *  (+1/-8, threshold 12, saturation at 32 — the paper's parameters),
+ *  the Wang-Franklin candidate sources, multi-value queries, and the
+ *  speculative stride advance. Includes parameterized accuracy sweeps
+ *  over synthetic value sequences. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "vpred/dfcm.hh"
+#include "vpred/last_value.hh"
+#include "vpred/oracle.hh"
+#include "vpred/stride.hh"
+#include "vpred/value_predictor.hh"
+#include "vpred/wang_franklin.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+SimConfig
+defaultCfg()
+{
+    SimConfig cfg;
+    return cfg;
+}
+
+/** Train on a sequence, then measure confident-prediction accuracy. */
+struct SweepResult
+{
+    int confident = 0;
+    int correct = 0;
+};
+
+SweepResult
+sweep(ValuePredictor &p, Addr pc, const std::function<RegVal(int)> &seq,
+      int warm, int measure)
+{
+    for (int i = 0; i < warm; ++i)
+        p.train(pc, seq(i));
+    SweepResult r;
+    for (int i = warm; i < warm + measure; ++i) {
+        RegVal actual = seq(i);
+        ValuePrediction pred = p.predict(pc, actual);
+        if (pred.confident) {
+            ++r.confident;
+            if (pred.value == actual)
+                ++r.correct;
+        }
+        p.train(pc, actual);
+    }
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------
+
+TEST(Oracle, AlwaysCorrectAndConfident)
+{
+    SimConfig cfg = defaultCfg();
+    OracleValuePredictor p(cfg);
+    for (RegVal v : {RegVal{0}, RegVal{42}, ~RegVal{0}}) {
+        ValuePrediction pred = p.predict(0x1000, v);
+        EXPECT_TRUE(pred.valid);
+        EXPECT_TRUE(pred.confident);
+        EXPECT_EQ(pred.value, v);
+    }
+    auto multi = p.predictMulti(0x1000, 4, 0, 7);
+    ASSERT_EQ(multi.size(), 1u);
+    EXPECT_EQ(multi[0], 7u);
+}
+
+// ---------------------------------------------------------------------
+// Last value
+// ---------------------------------------------------------------------
+
+TEST(LastValue, LearnsConstant)
+{
+    SimConfig cfg = defaultCfg();
+    LastValuePredictor p(cfg);
+    auto r = sweep(p, 0x1000, [](int) { return RegVal{99}; }, 20, 50);
+    EXPECT_EQ(r.confident, 50);
+    EXPECT_EQ(r.correct, 50);
+}
+
+TEST(LastValue, ConfidenceNeedsThresholdCorrects)
+{
+    SimConfig cfg = defaultCfg();
+    LastValuePredictor p(cfg);
+    // First train allocates; confidence rises +1 per correct train.
+    p.train(0x1000, 5);
+    for (int i = 0; i < cfg.confidenceThreshold - 1; ++i) {
+        EXPECT_FALSE(p.predict(0x1000, 5).confident) << i;
+        p.train(0x1000, 5);
+    }
+    p.train(0x1000, 5);
+    EXPECT_TRUE(p.predict(0x1000, 5).confident);
+}
+
+TEST(LastValue, MispredictDropsConfidenceByEight)
+{
+    SimConfig cfg = defaultCfg();
+    LastValuePredictor p(cfg);
+    for (int i = 0; i < 40; ++i)
+        p.train(0x1000, 5); // Saturate at 32.
+    EXPECT_EQ(p.predict(0x1000, 5).confidence, cfg.confidenceMax);
+    p.train(0x1000, 6); // Wrong once: -8.
+    EXPECT_EQ(p.predict(0x1000, 6).confidence,
+              cfg.confidenceMax - cfg.confidenceDown);
+}
+
+TEST(LastValue, NeverPredictsRandom)
+{
+    SimConfig cfg = defaultCfg();
+    LastValuePredictor p(cfg);
+    uint64_t x = 123;
+    auto next = [&x](int) {
+        x = x * 6364136223846793005ull + 1;
+        return x;
+    };
+    auto r = sweep(p, 0x1000, next, 100, 200);
+    EXPECT_EQ(r.confident, 0);
+}
+
+// ---------------------------------------------------------------------
+// Stride
+// ---------------------------------------------------------------------
+
+TEST(Stride, LearnsArithmeticSequence)
+{
+    SimConfig cfg = defaultCfg();
+    StridePredictor p(cfg);
+    auto r = sweep(p, 0x1000,
+                   [](int i) { return RegVal{1000} + RegVal(i) * 64; },
+                   20, 50);
+    EXPECT_EQ(r.confident, 50);
+    EXPECT_EQ(r.correct, 50);
+}
+
+TEST(Stride, NegativeStride)
+{
+    SimConfig cfg = defaultCfg();
+    StridePredictor p(cfg);
+    auto r = sweep(p, 0x1000,
+                   [](int i) {
+                       return static_cast<RegVal>(int64_t{100000} -
+                                                  i * 8);
+                   },
+                   20, 50);
+    EXPECT_EQ(r.correct, 50);
+}
+
+TEST(Stride, SpeculativeAdvanceChainsPredictions)
+{
+    SimConfig cfg = defaultCfg();
+    StridePredictor p(cfg);
+    for (int i = 0; i < 20; ++i)
+        p.train(0x1000, RegVal(i) * 64);
+    // Three back-to-back predictions before any commit training:
+    // each must advance by one stride (the paper's queue-stage
+    // speculative update).
+    RegVal v1 = p.predict(0x1000, 0).value;
+    p.notePredictionUsed(0x1000, v1);
+    RegVal v2 = p.predict(0x1000, 0).value;
+    p.notePredictionUsed(0x1000, v2);
+    RegVal v3 = p.predict(0x1000, 0).value;
+    EXPECT_EQ(v2, v1 + 64);
+    EXPECT_EQ(v3, v2 + 64);
+    // Commit training resets the speculative state.
+    p.train(0x1000, v1);
+    EXPECT_EQ(p.predict(0x1000, 0).value, v1 + 64);
+}
+
+// ---------------------------------------------------------------------
+// DFCM (order 3)
+// ---------------------------------------------------------------------
+
+TEST(Dfcm, LearnsRepeatingDeltaPatternStrideCannot)
+{
+    // Deltas cycle 1,2,3 — a plain stride predictor fails, order-3
+    // DFCM keys each delta off the previous three.
+    auto seq = [](int i) {
+        RegVal v = 0;
+        for (int k = 0; k < i; ++k)
+            v += 1 + (k % 3);
+        return v;
+    };
+    SimConfig cfg = defaultCfg();
+    DfcmPredictor dfcm(cfg);
+    auto rd = sweep(dfcm, 0x1000, seq, 120, 90);
+    EXPECT_GT(rd.confident, 60);
+    EXPECT_EQ(rd.correct, rd.confident);
+
+    StridePredictor stride(cfg);
+    auto rs = sweep(stride, 0x1000, seq, 120, 90);
+    EXPECT_EQ(rs.confident, 0);
+}
+
+TEST(Dfcm, ConstantSequence)
+{
+    SimConfig cfg = defaultCfg();
+    DfcmPredictor p(cfg);
+    auto r = sweep(p, 0x1000, [](int) { return RegVal{7}; }, 20, 50);
+    EXPECT_EQ(r.correct, 50);
+}
+
+TEST(Dfcm, MoreAggressiveThanWangFranklin)
+{
+    // Section 5.4: DFCM makes more predictions (more correct *and* more
+    // incorrect) on sequences that are only partly regular.
+    auto seq = [](int i) {
+        // Stride of 8 with a perturbation every 11th element.
+        RegVal v = RegVal(i) * 8;
+        return i % 11 == 10 ? v + 3 : v;
+    };
+    SimConfig cfg = defaultCfg();
+    DfcmPredictor dfcm(cfg);
+    WangFranklinPredictor wf(cfg);
+    auto rd = sweep(dfcm, 0x1000, seq, 300, 300);
+    auto rw = sweep(wf, 0x1000, seq, 300, 300);
+    EXPECT_GT(rd.confident, rw.confident);
+}
+
+// ---------------------------------------------------------------------
+// Wang-Franklin hybrid
+// ---------------------------------------------------------------------
+
+TEST(WangFranklin, LearnsConstant)
+{
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    auto r = sweep(p, 0x1000, [](int) { return RegVal{1234}; }, 20, 50);
+    EXPECT_EQ(r.correct, 50);
+    EXPECT_EQ(r.confident, 50);
+}
+
+TEST(WangFranklin, HardwiredZeroAndOne)
+{
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    // Zero is a hardwired candidate: an all-zero load trains quickly.
+    auto r0 = sweep(p, 0x2000, [](int) { return RegVal{0}; }, 16, 30);
+    EXPECT_EQ(r0.correct, 30);
+    auto r1 = sweep(p, 0x3000, [](int) { return RegVal{1}; }, 16, 30);
+    EXPECT_EQ(r1.correct, 30);
+}
+
+TEST(WangFranklin, StrideCandidate)
+{
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    auto r = sweep(p, 0x1000,
+                   [](int i) { return RegVal{500} + RegVal(i) * 16; },
+                   30, 50);
+    EXPECT_EQ(r.correct, 50);
+}
+
+TEST(WangFranklin, LearnedValueSetWithPattern)
+{
+    // Values alternate A,B,A,B: the pattern history selects the right
+    // learned value each time.
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    auto seq = [](int i) { return i % 2 == 0 ? RegVal{111} : RegVal{222}; };
+    auto r = sweep(p, 0x1000, seq, 200, 100);
+    EXPECT_GT(r.correct, 90);
+}
+
+TEST(WangFranklin, MultiValueReturnsCandidateSet)
+{
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    // Alternating values give both candidates a slot in the learned set.
+    for (int i = 0; i < 400; ++i)
+        p.train(0x1000, i % 2 == 0 ? 111 : 222);
+    // With a liberal (zero) threshold every in-table candidate appears,
+    // deduplicated.
+    auto multi = p.predictMulti(0x1000, 8, 0, 0);
+    ASSERT_GE(multi.size(), 2u);
+    bool has111 = false;
+    bool has222 = false;
+    for (RegVal v : multi) {
+        has111 = has111 || v == 111;
+        has222 = has222 || v == 222;
+    }
+    EXPECT_TRUE(has111);
+    EXPECT_TRUE(has222);
+    for (size_t i = 0; i + 1 < multi.size(); ++i) {
+        for (size_t j = i + 1; j < multi.size(); ++j)
+            EXPECT_NE(multi[i], multi[j]);
+    }
+    // A stricter threshold returns a subset of the liberal answer.
+    auto strict = p.predictMulti(0x1000, 8, 12, 0);
+    for (RegVal v : strict) {
+        EXPECT_NE(std::find(multi.begin(), multi.end(), v), multi.end());
+    }
+    EXPECT_LE(strict.size(), multi.size());
+}
+
+TEST(WangFranklin, MultiValueRespectsMaxAndThreshold)
+{
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    for (int i = 0; i < 400; ++i)
+        p.train(0x1000, i % 2 == 0 ? 111 : 222);
+    EXPECT_LE(p.predictMulti(0x1000, 1, 4, 0).size(), 1u);
+    // An absurd threshold returns nothing.
+    EXPECT_TRUE(p.predictMulti(0x1000, 8, 1000, 0).empty());
+}
+
+TEST(WangFranklin, UntrainedPcHasNoPrediction)
+{
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    EXPECT_FALSE(p.predict(0x7777000, 5).valid);
+    EXPECT_TRUE(p.predictMulti(0x7777000, 8, 0, 5).empty());
+}
+
+TEST(WangFranklin, DistinctPcsAreIndependent)
+{
+    SimConfig cfg = defaultCfg();
+    WangFranklinPredictor p(cfg);
+    for (int i = 0; i < 40; ++i) {
+        p.train(0x1000, 5);
+        p.train(0x2000, 9);
+    }
+    EXPECT_EQ(p.predict(0x1000, 0).value, 5u);
+    EXPECT_EQ(p.predict(0x2000, 0).value, 9u);
+}
+
+// ---------------------------------------------------------------------
+// Factory + parameterized accuracy matrix
+// ---------------------------------------------------------------------
+
+TEST(Factory, BuildsEveryKind)
+{
+    StatGroup stats;
+    for (PredictorKind k :
+         {PredictorKind::Oracle, PredictorKind::WangFranklin,
+          PredictorKind::Dfcm, PredictorKind::Stride,
+          PredictorKind::LastValue}) {
+        SimConfig cfg;
+        cfg.predictor = k;
+        auto p = makeValuePredictor(cfg, stats);
+        ASSERT_NE(p, nullptr);
+        ValuePrediction pred = p->predict(0x1000, 7);
+        (void)pred;
+        p->train(0x1000, 7);
+    }
+}
+
+struct AccuracyCase
+{
+    const char *name;
+    PredictorKind kind;
+    int seqKind; // 0 constant, 1 stride, 2 repeat-pattern
+    int minCorrectPct;
+};
+
+class AccuracyTest : public ::testing::TestWithParam<AccuracyCase>
+{
+};
+
+TEST_P(AccuracyTest, ConfidentPredictionsAreAccurate)
+{
+    const AccuracyCase &c = GetParam();
+    SimConfig cfg;
+    cfg.predictor = c.kind;
+    StatGroup stats;
+    auto p = makeValuePredictor(cfg, stats);
+    auto seq = [&](int i) -> RegVal {
+        switch (c.seqKind) {
+          case 0: return 77;
+          case 1: return RegVal(i) * 24;
+          default: return RegVal{100} + RegVal(i % 4);
+        }
+    };
+    auto r = sweep(*p, 0x1000, seq, 300, 200);
+    ASSERT_GT(r.confident, 0) << c.name;
+    EXPECT_GE(100 * r.correct, c.minCorrectPct * r.confident) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AccuracyTest,
+    ::testing::Values(
+        AccuracyCase{"lv-const", PredictorKind::LastValue, 0, 99},
+        AccuracyCase{"stride-const", PredictorKind::Stride, 0, 99},
+        AccuracyCase{"stride-stride", PredictorKind::Stride, 1, 99},
+        AccuracyCase{"dfcm-const", PredictorKind::Dfcm, 0, 99},
+        AccuracyCase{"dfcm-stride", PredictorKind::Dfcm, 1, 99},
+        AccuracyCase{"dfcm-pattern", PredictorKind::Dfcm, 2, 90},
+        AccuracyCase{"wf-const", PredictorKind::WangFranklin, 0, 99},
+        AccuracyCase{"wf-stride", PredictorKind::WangFranklin, 1, 99},
+        AccuracyCase{"wf-pattern", PredictorKind::WangFranklin, 2, 85},
+        AccuracyCase{"oracle-any", PredictorKind::Oracle, 2, 100}),
+    [](const ::testing::TestParamInfo<AccuracyCase> &info) {
+        std::string n = info.param.name;
+        for (char &ch : n) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return n;
+    });

@@ -1,0 +1,127 @@
+/** Workload tests (parameterized over every registered workload):
+ *  assembly, functional execution to HALT, footprint expectations, and
+ *  deterministic data-set construction. */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "emu/memory.hh"
+#include "workloads/workload.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+class WorkloadTest : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<const Workload *> &info)
+{
+    std::string n = info.param->name();
+    for (char &c : n) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(WorkloadRegistry, PaperBenchmarkRoster)
+{
+    // 17 SPECint entries and 15 SPECfp entries, matching Figure 1's
+    // x-axes (per-input variants included).
+    EXPECT_EQ(workloadsByCategory(BenchCategory::Int).size(), 17u);
+    EXPECT_EQ(workloadsByCategory(BenchCategory::Fp).size(), 15u);
+    EXPECT_EQ(allWorkloads().size(), 32u);
+}
+
+TEST(WorkloadRegistry, NamesAreUniqueAndFindable)
+{
+    for (const Workload *w : allWorkloads()) {
+        EXPECT_EQ(findWorkload(w->name()), w);
+        EXPECT_FALSE(w->description().empty());
+    }
+    EXPECT_EQ(findWorkload("not-a-benchmark"), nullptr);
+}
+
+TEST_P(WorkloadTest, RunsToHalt)
+{
+    const Workload *w = GetParam();
+    MainMemory mem;
+    Addr entry = w->build(mem, 1);
+    Emulator emu(mem);
+    ArchState st;
+    st.pc = entry;
+    uint64_t executed = emu.run(st, 5'000'000);
+    EXPECT_LT(executed, 5'000'000u)
+        << w->name() << " did not halt within the instruction bound";
+    EXPECT_GT(executed, 10'000u)
+        << w->name() << " is too short to exercise the pipeline";
+}
+
+TEST_P(WorkloadTest, BuildIsDeterministic)
+{
+    const Workload *w = GetParam();
+    MainMemory a;
+    MainMemory b;
+    Addr ea = w->build(a, 7);
+    Addr eb = w->build(b, 7);
+    EXPECT_EQ(ea, eb);
+    EXPECT_TRUE(a.contentEquals(b)) << w->name();
+}
+
+TEST_P(WorkloadTest, SeedChangesData)
+{
+    const Workload *w = GetParam();
+    MainMemory a;
+    MainMemory b;
+    w->build(a, 1);
+    w->build(b, 2);
+    // Code is identical but generated data must differ.
+    EXPECT_FALSE(a.contentEquals(b)) << w->name();
+}
+
+TEST_P(WorkloadTest, TouchesDeclaredFootprint)
+{
+    const Workload *w = GetParam();
+    MainMemory mem;
+    w->build(mem, 1);
+    // Every kernel's generated data set occupies at least ~64KB; the
+    // memory-bound ones build multi-MB footprints.
+    EXPECT_GT(mem.mappedPages() * MainMemory::pageBytes, 64u * 1024)
+        << w->name();
+}
+
+TEST(WorkloadFootprints, MemoryBoundKernelsExceedL3)
+{
+    for (const char *name : {"mcf", "vpr.r", "vortex", "twolf", "art.1",
+                             "wupwise", "mgrid"}) {
+        const Workload *w = findWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        MainMemory mem;
+        w->build(mem, 1);
+        EXPECT_GT(mem.mappedPages() * MainMemory::pageBytes,
+                  4u * 1024 * 1024)
+            << name << " must exceed the 4MB L3";
+    }
+}
+
+TEST(WorkloadFootprints, ComputeBoundKernelsFitInCaches)
+{
+    for (const char *name : {"crafty", "sixtrack", "mesa", "eon.r"}) {
+        const Workload *w = findWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        MainMemory mem;
+        w->build(mem, 1);
+        EXPECT_LT(mem.mappedPages() * MainMemory::pageBytes,
+                  4u * 1024 * 1024)
+            << name << " should be cache-resident";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest,
+                         ::testing::ValuesIn(allWorkloads()), paramName);
