@@ -32,6 +32,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/rng.cc" "src/CMakeFiles/vpsim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/rng.cc.o.d"
   "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/vpsim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/simulation.cc.o.d"
   "/root/repo/src/sim/stats.cc" "src/CMakeFiles/vpsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/vpsim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/trace.cc.o.d"
   "/root/repo/src/vpred/dfcm.cc" "src/CMakeFiles/vpsim.dir/vpred/dfcm.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/dfcm.cc.o.d"
   "/root/repo/src/vpred/last_value.cc" "src/CMakeFiles/vpsim.dir/vpred/last_value.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/last_value.cc.o.d"
   "/root/repo/src/vpred/load_selector.cc" "src/CMakeFiles/vpsim.dir/vpred/load_selector.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/load_selector.cc.o.d"

@@ -223,6 +223,6 @@ src/CMakeFiles/vpsim.dir/core/fetch.cc.o: /root/repo/src/core/fetch.cc \
  /root/repo/src/core/thread_context.hh /root/repo/src/emu/memory.hh \
  /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/cache.hh \
  /root/repo/src/mem/prefetcher.hh /root/repo/src/sim/config.hh \
- /root/repo/src/vpred/load_selector.hh \
+ /root/repo/src/sim/trace.hh /root/repo/src/vpred/load_selector.hh \
  /root/repo/src/vpred/value_predictor.hh /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg

@@ -204,4 +204,12 @@ src/CMakeFiles/vpsim.dir/emu/store_buffer.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/types.hh \
  /usr/include/c++/12/limits /root/repo/src/emu/memory.hh \
  /usr/include/c++/12/array /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /root/repo/src/sim/trace.hh \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/stats.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h

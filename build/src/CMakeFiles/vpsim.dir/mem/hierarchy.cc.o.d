@@ -213,4 +213,4 @@ src/CMakeFiles/vpsim.dir/mem/hierarchy.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
  /root/repo/src/sim/config.hh /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /root/repo/src/sim/trace.hh

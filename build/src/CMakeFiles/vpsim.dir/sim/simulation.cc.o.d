@@ -224,7 +224,12 @@ src/CMakeFiles/vpsim.dir/sim/simulation.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/cpu.hh \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/cpu.hh \
  /root/repo/src/bpred/branch_predictor.hh /root/repo/src/sim/stats.hh \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -244,7 +249,8 @@ src/CMakeFiles/vpsim.dir/sim/simulation.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/phys_regfile.hh \
  /root/repo/src/core/thread_context.hh /root/repo/src/emu/memory.hh \
  /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/cache.hh \
- /root/repo/src/mem/prefetcher.hh /root/repo/src/vpred/load_selector.hh \
+ /root/repo/src/mem/prefetcher.hh /root/repo/src/sim/trace.hh \
+ /root/repo/src/vpred/load_selector.hh \
  /root/repo/src/vpred/value_predictor.hh /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

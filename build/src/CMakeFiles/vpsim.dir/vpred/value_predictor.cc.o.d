@@ -214,6 +214,6 @@ src/CMakeFiles/vpsim.dir/vpred/value_predictor.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/sim/types.hh /usr/include/c++/12/limits \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/vpred/dfcm.hh /root/repo/src/vpred/last_value.hh \
- /root/repo/src/vpred/oracle.hh /root/repo/src/vpred/stride.hh \
- /root/repo/src/vpred/wang_franklin.hh
+ /root/repo/src/sim/trace.hh /root/repo/src/vpred/dfcm.hh \
+ /root/repo/src/vpred/last_value.hh /root/repo/src/vpred/oracle.hh \
+ /root/repo/src/vpred/stride.hh /root/repo/src/vpred/wang_franklin.hh

@@ -306,7 +306,7 @@ tests/CMakeFiles/test_equivalence.dir/equivalence_test.cc.o: \
  /root/repo/src/core/thread_context.hh /root/repo/src/emu/memory.hh \
  /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/cache.hh \
  /root/repo/src/mem/prefetcher.hh /root/repo/src/sim/config.hh \
- /root/repo/src/vpred/load_selector.hh \
+ /root/repo/src/sim/trace.hh /root/repo/src/vpred/load_selector.hh \
  /root/repo/src/vpred/value_predictor.hh /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

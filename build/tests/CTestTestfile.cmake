@@ -17,6 +17,7 @@ include("/root/repo/build/tests/test_bpred[1]_include.cmake")
 include("/root/repo/build/tests/test_vpred[1]_include.cmake")
 include("/root/repo/build/tests/test_selector[1]_include.cmake")
 include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
 include("/root/repo/build/tests/test_config[1]_include.cmake")
 include("/root/repo/build/tests/test_phys_regfile[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")

@@ -8,10 +8,20 @@
  *   vpsim_cli mcf vpMode=mtvp numContexts=8 predictor=wf \
  *             selector=ilp maxInsts=50000
  *
+ * Tracing & telemetry keys (see src/sim/trace.hh):
+ *   traceFlags=MTVP,Commit    enable DPRINTF debug flags (glob ok: VP*)
+ *   traceStart=N traceEnd=M   restrict tracing to cycles [N, M)
+ *   traceFile=<file>          redirect trace output (default stderr)
+ *   pipeView=<file>           gem5-O3PipeView pipeline trace (Konata)
+ *   statsJson=<file>          dump the full stats report as JSON
+ *   samplePeriod=N sampleStats=<glob> sampleFile=<f.json|f.csv>
+ *                             periodic stat time series
+ *
  * Any SimConfig key accepted by SimConfig::set() works as key=value.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -77,6 +87,22 @@ main(int argc, char **argv)
     cpu.run();
 
     cpu.stats().dump(std::cout);
+
+    if (!cfg.statsJson.empty()) {
+        std::ofstream os(cfg.statsJson);
+        if (!os)
+            fatal("cannot open stats JSON file '%s'",
+                  cfg.statsJson.c_str());
+        cpu.stats().dumpJson(os);
+        std::printf("\nstats JSON written to %s\n",
+                    cfg.statsJson.c_str());
+    }
+    if (!cfg.sampleFile.empty() && cpu.sampler() != nullptr) {
+        cpu.sampler()->dumpToFile(cfg.sampleFile);
+        std::printf("stat samples written to %s\n",
+                    cfg.sampleFile.c_str());
+    }
+
     std::printf("\n%-20s %llu\n", "cycles:",
                 static_cast<unsigned long long>(cpu.cycles()));
     std::printf("%-20s %llu\n", "useful insts:",

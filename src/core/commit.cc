@@ -49,6 +49,7 @@ Cpu::commitOne(ThreadContext &tc)
     DynInstPtr head = tc.rob.front();
     if (!head->completedBy(_now))
         return false;
+    trace::setContext(tc.id);
 
     // A load with an open prediction / spawn / measurement entry may not
     // commit until the entry resolves.
@@ -70,8 +71,19 @@ Cpu::commitOne(ThreadContext &tc)
         int cap = _cfg.storeBufferSize;
         if (cap > 0 && tc.storeBufferOccupancy() >= cap) {
             ++_statSbStalls;
+            DPRINTF(StoreBuffer,
+                    "commit stalled: store buffer full (%d/%d) at "
+                    "seq=%llu",
+                    tc.storeBufferOccupancy(), cap,
+                    static_cast<unsigned long long>(head->seq));
             return false;
         }
+        DPRINTF(StoreBuffer,
+                "store seq=%llu addr=%llx commits into segment "
+                "(occupancy %d)",
+                static_cast<unsigned long long>(head->seq),
+                static_cast<unsigned long long>(head->emu.effAddr),
+                tc.storeBufferOccupancy() + 1);
         head->targetSegment->addResidentStore(head->emu.effAddr);
         head->targetSegment->removePendingCommit();
         auto &infl = _inflightStores[static_cast<size_t>(tc.id)];
@@ -98,6 +110,11 @@ Cpu::commitOne(ThreadContext &tc)
         ++tc.committedPostSpawn;
     ++_statCommitsTotal;
     _lastCommitCycle = _now;
+    DPRINTF(Commit, "commit seq=%llu pc=%llx",
+            static_cast<unsigned long long>(head->seq),
+            static_cast<unsigned long long>(head->emu.pc));
+    if (_tracer)
+        traceInst(*head, _now);
 
     if (head->emu.inst.isHalt()) {
         tc.haltedCommitted = true;
@@ -165,6 +182,15 @@ Cpu::resolveOne(PendingLoad &pl)
 
       case VpChoice::Stvp: {
         bool correct = load->vpValue == actual;
+        trace::setContext(load->ctx);
+        DPRINTF(VPred,
+                "stvp resolve seq=%llu pc=%llx predicted=%llx "
+                "actual=%llx (%s)",
+                static_cast<unsigned long long>(load->seq),
+                static_cast<unsigned long long>(load->emu.pc),
+                static_cast<unsigned long long>(load->vpValue),
+                static_cast<unsigned long long>(actual),
+                correct ? "correct" : "incorrect");
         if (correct) {
             ++_statVpCorrect;
         } else {
@@ -206,8 +232,16 @@ Cpu::resolveOne(PendingLoad &pl)
             killSubtree(pl.children[c].ctx);
     }
 
+    trace::setContext(load->ctx);
     if (winnerIdx >= 0) {
         ChildRec &w = pl.children[static_cast<size_t>(winnerIdx)];
+        DPRINTF(MTVP,
+                "resolve load seq=%llu pc=%llx actual=%llx: child "
+                "ctx=%d wins%s",
+                static_cast<unsigned long long>(load->seq),
+                static_cast<unsigned long long>(load->emu.pc),
+                static_cast<unsigned long long>(actual), w.ctx,
+                pl.spawnOnly ? " (spawn-only)" : "");
         if (pl.spawnOnly && w.destPreg != invalidPhysReg) {
             // The real value arrives now; un-block the child's consumers.
             poolFor(w.destLogical).setReadyAt(w.destPreg,
@@ -224,6 +258,13 @@ Cpu::resolveOne(PendingLoad &pl)
 
     // Every speculated value was wrong: the parent carries on with the
     // true value and resumes fetching past the load.
+    DPRINTF(MTVP,
+            "resolve load seq=%llu pc=%llx actual=%llx: all %zu "
+            "speculated values wrong, parent resumes",
+            static_cast<unsigned long long>(load->seq),
+            static_cast<unsigned long long>(load->emu.pc),
+            static_cast<unsigned long long>(actual),
+            pl.children.size());
     ++_statVpIncorrect;
     pl.children.clear();
     tc.activeSpawnSeq = 0;
@@ -260,9 +301,17 @@ Cpu::promoteChild(PendingLoad &pl, CtxId winner)
     ThreadContext &child = ctx(winner);
     vpsim_assert(parent.active && child.active);
 
+    trace::setContext(parent.id);
+    DPRINTF(MTVP,
+            "promote child ctx=%d over parent ctx=%d at load seq=%llu "
+            "(child committed %llu insts)",
+            winner, parent.id,
+            static_cast<unsigned long long>(pl.load->seq),
+            static_cast<unsigned long long>(child.committedInsts));
+
     // Discard the parent's losing post-spawn future (no-stall mode) —
     // instructions and stores younger than the spawn point.
-    squashYoungerThan(parent, pl.load->seq);
+    squashYoungerThan(parent, pl.load->seq, SquashReason::Promote);
 
     // The parent's post-spawn segment is the losing alternative; it must
     // never reach memory.
@@ -371,7 +420,8 @@ Cpu::enqueueDrainable(ThreadContext &tc)
 }
 
 void
-Cpu::squashYoungerThan(ThreadContext &tc, InstSeqNum seq)
+Cpu::squashYoungerThan(ThreadContext &tc, InstSeqNum seq,
+                       SquashReason why)
 {
     auto &infl = _inflightStores[static_cast<size_t>(tc.id)];
     while (!tc.rob.empty() && tc.rob.back()->seq > seq) {
@@ -427,6 +477,9 @@ Cpu::squashYoungerThan(ThreadContext &tc, InstSeqNum seq)
             --tc.preIssueCount;
         }
         di->squashed = true;
+        di->squashReason = why;
+        if (_tracer)
+            traceInst(*di, 0);
         tc.rob.pop_back();
         --_robOccupancy;
     }
@@ -472,7 +525,10 @@ Cpu::killSubtree(CtxId id)
     if (tc.waitingBranch)
         tc.waitingBranch.reset();
 
-    squashYoungerThan(tc, 0);
+    trace::setContext(id);
+    DPRINTF(MTVP, "kill ctx=%d (%zu rob entries squashed)", id,
+            tc.rob.size());
+    squashYoungerThan(tc, 0, SquashReason::ThreadKill);
     vpsim_assert(tc.rob.empty());
     detachChildFromParent(tc);
     deactivateContext(tc);
@@ -506,7 +562,10 @@ Cpu::drainStoreBuffers()
         }
         if (target == nullptr)
             break;
-        _hier.storeDrain(target->drainResidentStore(), _now);
+        Addr addr = target->drainResidentStore();
+        DPRINTF(StoreBuffer, "drain store addr=%llx to memory hierarchy",
+                static_cast<unsigned long long>(addr));
+        _hier.storeDrain(addr, _now);
         --budget;
     }
 }

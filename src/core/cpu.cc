@@ -1,5 +1,6 @@
 #include "core/cpu.hh"
 
+#include "isa/disasm.hh"
 #include "sim/logging.hh"
 
 namespace vpsim
@@ -76,6 +77,17 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
 {
     _cfg.validate();
 
+    // Apply this run's tracing configuration (trace state is global;
+    // the most recently constructed core owns it).
+    trace::setFlags(_cfg.traceFlags);
+    trace::setWindow(_cfg.traceStart, _cfg.traceEnd);
+    trace::setOutputFile(_cfg.traceFile);
+    trace::setCycle(0);
+    trace::setContext(invalidCtx);
+    setLogCycleSource(&_now);
+    if (!_cfg.pipeView.empty())
+        _tracer = std::make_unique<trace::InstTracer>(_cfg.pipeView);
+
     _formulas.push_back(std::make_unique<Formula>(
         _stats, "cycles", "simulated cycles",
         [this] { return static_cast<double>(_now); }));
@@ -110,9 +122,19 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
     tc.segment = std::make_shared<StoreSegment>(0, nullptr);
     tc.ownedSegments.push_back(tc.segment);
     _root = 0;
+
+    // The sampler snapshots by pointer, so every stat (including the
+    // formulas above) must be registered before it is built.
+    if (_cfg.samplePeriod > 0) {
+        _sampler = std::make_unique<trace::StatSampler>(
+            _stats, _cfg.sampleStats, _cfg.samplePeriod);
+    }
 }
 
-Cpu::~Cpu() = default;
+Cpu::~Cpu()
+{
+    setLogCycleSource(nullptr);
+}
 
 ThreadContext &
 Cpu::ctx(CtxId id)
@@ -212,6 +234,9 @@ Cpu::reissueDependents(int tag, Cycle correctedReady)
         if (!inst->everIssued)
             continue; // Never issued; it will simply pick up the fix.
         if (inst->issued) {
+            DPRINTF(VPred, "reissue seq=%llu pc=%llx (tag %d wrong)",
+                    static_cast<unsigned long long>(inst->seq),
+                    static_cast<unsigned long long>(inst->emu.pc), tag);
             inst->issued = false;
             inst->readyCycle = neverCycle;
             // A dependent whose own value prediction is still open keeps
@@ -292,6 +317,36 @@ Cpu::recordMatureWindows()
         _selector->recordOutcome(w.pc, w.choice, issued, cycles);
         w.state = IlpWindow::State::Free;
     }
+}
+
+void
+Cpu::traceInst(const DynInst &di, Cycle retire)
+{
+    if (!_tracer)
+        return;
+    trace::InstTraceRecord r;
+    r.seq = di.seq;
+    r.pc = di.emu.pc;
+    r.fetch = di.fetchCycle;
+    // The front end is modeled as a flat delay; fold decode and rename
+    // into the dispatch timestamp.
+    r.decode = di.dispatchCycle;
+    r.dispatch = di.dispatchCycle;
+    r.issue = di.everIssued ? di.issueCycle : 0;
+    r.complete = di.everIssued && di.readyCycle != neverCycle
+                     ? di.readyCycle
+                     : 0;
+    r.retire = retire;
+    r.disasm = disassemble(di.emu.inst);
+    if (di.vpTraceKind == 1)
+        r.disasm += " #stvp";
+    else if (di.vpTraceKind == 2)
+        r.disasm += " #mtvp";
+    if (di.squashReason != SquashReason::None) {
+        r.disasm += " #squash:";
+        r.disasm += squashReasonName(di.squashReason);
+    }
+    _tracer->record(r);
 }
 
 int
@@ -388,6 +443,7 @@ Cpu::checkWatchdog()
 void
 Cpu::tick()
 {
+    trace::setCycle(_now);
     recordMatureWindows();
     resolvePendingLoads();
     commitStage();
@@ -395,6 +451,8 @@ Cpu::tick()
     issueStage();
     dispatchStage();
     fetchStage();
+    if (_sampler)
+        _sampler->maybeSample(_now);
     ++_now;
     checkWatchdog();
 }

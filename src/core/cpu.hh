@@ -39,6 +39,7 @@
 #include "mem/hierarchy.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "vpred/load_selector.hh"
 #include "vpred/value_predictor.hh"
 
@@ -71,6 +72,11 @@ class Cpu
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
+
+    /** Periodic stat sampler (nullptr unless cfg.samplePeriod > 0). */
+    trace::StatSampler *sampler() { return _sampler.get(); }
+    /** Pipeline tracer (nullptr unless cfg.pipeView is set). */
+    trace::InstTracer *pipeTracer() { return _tracer.get(); }
 
     // ----- Introspection for invariant tests -----
     int freeIntRegs() const { return _intRegs.freeCount(); }
@@ -165,7 +171,8 @@ class Cpu
     void promoteChild(PendingLoad &pl, CtxId winner);
     void killSubtree(CtxId id);
     void killChildrenSpawnedAfter(ThreadContext &tc, InstSeqNum seq);
-    void squashYoungerThan(ThreadContext &tc, InstSeqNum seq);
+    void squashYoungerThan(ThreadContext &tc, InstSeqNum seq,
+                           SquashReason why);
     void releaseContextRegs(ThreadContext &tc);
     void deactivateContext(ThreadContext &tc);
     void enqueueDrainable(ThreadContext &tc);
@@ -188,6 +195,8 @@ class Cpu
     const ThreadContext &ctx(CtxId id) const;
     CtxId rootCtx() const { return _root; }
     void checkWatchdog();
+    /** Emit an O3PipeView record (retire == 0 marks a squash). */
+    void traceInst(const DynInst &di, Cycle retire);
 
     // ----- Construction-time wiring -----
     const SimConfig _cfg;
@@ -201,6 +210,8 @@ class Cpu
     std::vector<ReturnAddressStack> _ras;
     std::unique_ptr<ValuePredictor> _vpred;
     std::unique_ptr<LoadSelector> _selector;
+    std::unique_ptr<trace::InstTracer> _tracer;
+    std::unique_ptr<trace::StatSampler> _sampler;
 
     PhysRegFile _intRegs;
     PhysRegFile _fpRegs;

@@ -10,6 +10,7 @@
  */
 
 #include "core/cpu.hh"
+#include "isa/disasm.hh"
 #include "sim/logging.hh"
 
 namespace vpsim
@@ -133,11 +134,13 @@ Cpu::dispatchOne(ThreadContext &tc)
         return false;
 
     tc.fetchQueue.pop_front();
+    trace::setContext(tc.id);
 
     auto di = std::make_shared<DynInst>();
     di->seq = _nextSeq++;
     di->ctx = tc.id;
     di->dispatchCycle = _now;
+    di->fetchCycle = fi.fetchedAt;
     di->predictedTaken = fi.predictedTaken;
     di->predictedTarget = fi.predictedTarget;
 
@@ -160,6 +163,10 @@ Cpu::dispatchOne(ThreadContext &tc)
     tc.rob.push_back(di);
     ++_robOccupancy;
     ++_statDispatched;
+    DPRINTF(Dispatch, "seq=%llu pc=%llx %s",
+            static_cast<unsigned long long>(di->seq),
+            static_cast<unsigned long long>(di->emu.pc),
+            disassemble(di->emu.inst).c_str());
 
     const DecodedInst &in = di->emu.inst;
     if (in.op == Opcode::NOP || in.op == Opcode::HALT) {
@@ -197,6 +204,14 @@ Cpu::handleControl(const DynInstPtr &di, ThreadContext &tc,
     // Redirect: flush the wrong-path fetch stream; fetch resumes (with
     // front-end refill) when this instruction resolves.
     di->mispredicted = true;
+    DPRINTF(Fetch,
+            "redirect at seq=%llu pc=%llx: predicted %llx, actual %llx "
+            "(%zu wrong-path insts flushed)",
+            static_cast<unsigned long long>(di->seq),
+            static_cast<unsigned long long>(di->emu.pc),
+            static_cast<unsigned long long>(fi.predictedTarget),
+            static_cast<unsigned long long>(di->emu.nextPc),
+            tc.fetchQueue.size());
     ++_statBranchRedirects;
     _statWrongPathFetched += tc.fetchQueue.size();
     tc.fetchQueue.clear();
@@ -281,6 +296,15 @@ Cpu::handleLoadVp(const DynInstPtr &di, ThreadContext &tc)
         _selector->select(pc, mtvpAllowed, stvpAllowed, probed);
     vpsim_assert(choice != VpChoice::Mtvp || mtvpAllowed);
     vpsim_assert(choice != VpChoice::Stvp || stvpAllowed);
+    DPRINTF(VPred,
+            "load seq=%llu pc=%llx predicted value=%llx conf=%d "
+            "choice=%s",
+            static_cast<unsigned long long>(di->seq),
+            static_cast<unsigned long long>(pc),
+            static_cast<unsigned long long>(pred.value), pred.confidence,
+            choice == VpChoice::Mtvp   ? "mtvp"
+            : choice == VpChoice::Stvp ? "stvp"
+                                       : "none");
     if (!mtvpAllowed)
         ++_statSelMtvpBlocked;
     switch (choice) {
@@ -322,6 +346,7 @@ Cpu::handleLoadVp(const DynInstPtr &di, ThreadContext &tc)
         vpsim_assert(tag >= 0);
         ++_statVpStvp;
         di->vpPredicted = true;
+        di->vpTraceKind = 1;
         di->vpTag = tag;
         di->vpValue = primary;
         ++tc.openStvp;
@@ -429,6 +454,13 @@ Cpu::spawnThreads(const DynInstPtr &load, ThreadContext &parent,
         }
         child.spawnReadyAt = _now + static_cast<Cycle>(_cfg.spawnLatency);
         child.parent = parent.id;
+        DPRINTF(MTVP,
+                "spawn child ctx=%d value=%llx off load seq=%llu "
+                "pc=%llx (ready at %llu)",
+                cid, static_cast<unsigned long long>(value),
+                static_cast<unsigned long long>(load->seq),
+                static_cast<unsigned long long>(load->emu.pc),
+                static_cast<unsigned long long>(child.spawnReadyAt));
         parent.children.push_back(cid);
         _spawnSeq[static_cast<size_t>(cid)] = load->seq;
         _bpred.copyHistory(parent.id, cid);
@@ -444,6 +476,7 @@ Cpu::spawnThreads(const DynInstPtr &load, ThreadContext &parent,
                  "spawn requested with no context available");
 
     load->spawnedThread = true;
+    load->vpTraceKind = 2;
     parent.activeSpawnSeq = load->seq;
     parent.fetchHalted = false;
     parent.fetchAwaitIndirect = false;

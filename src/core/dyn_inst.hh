@@ -17,6 +17,25 @@ namespace vpsim
 
 class StoreSegment;
 
+/** Why an in-flight instruction was squashed (pipeline-trace label). */
+enum class SquashReason : uint8_t
+{
+    None,        ///< Not squashed.
+    Promote,     ///< Parent's losing post-spawn path discarded.
+    ThreadKill,  ///< Whole speculative context killed.
+};
+
+inline const char *
+squashReasonName(SquashReason r)
+{
+    switch (r) {
+      case SquashReason::None: return "none";
+      case SquashReason::Promote: return "promote";
+      case SquashReason::ThreadKill: return "kill";
+    }
+    return "?";
+}
+
 /** One renamed, in-flight instruction. */
 struct DynInst
 {
@@ -39,6 +58,14 @@ struct DynInst
     bool squashed = false;    ///< Context killed / wrong path; ignore.
     Cycle dispatchCycle = 0;
     Cycle readyCycle = neverCycle; ///< When the result exists.
+
+    // ----- Pipeline-trace bookkeeping (sim/trace.hh InstTracer) -----
+    Cycle fetchCycle = 0;     ///< When fetch put it in the fetch queue.
+    Cycle issueCycle = 0;     ///< Most recent issue (reissues re-stamp).
+    SquashReason squashReason = SquashReason::None;
+    /** VP flavour applied at dispatch: 0 none, 1 STVP, 2 MTVP spawn.
+     *  Survives resolution (unlike vpPredicted/spawnedThread). */
+    uint8_t vpTraceKind = 0;
 
     /** Result produced by @p now. */
     bool completedBy(Cycle now) const { return issued && readyCycle <= now; }

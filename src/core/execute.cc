@@ -89,8 +89,8 @@ Cpu::tryIssue(const DynInstPtr &di)
         return false;
 
     Cycle ready;
+    bool fromSb = false;
     if (di->isLoad()) {
-        bool fromSb = false;
         ready = loadTiming(di, fromSb);
         if (ready == neverCycle)
             return false;
@@ -102,6 +102,14 @@ Cpu::tryIssue(const DynInstPtr &di)
 
     di->issued = true;
     di->readyCycle = ready;
+    di->issueCycle = _now;
+    trace::setContext(di->ctx);
+    DPRINTF(Issue, "issue seq=%llu pc=%llx ready=%llu%s%s",
+            static_cast<unsigned long long>(di->seq),
+            static_cast<unsigned long long>(di->emu.pc),
+            static_cast<unsigned long long>(ready),
+            fromSb ? " (store buffer)" : "",
+            di->everIssued ? " (reissue)" : "");
     if (!di->everIssued) {
         di->everIssued = true;
         ThreadContext &tc = ctx(di->ctx);

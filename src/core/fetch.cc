@@ -45,12 +45,16 @@ Cpu::icountKey(const ThreadContext &tc) const
 int
 Cpu::fetchLineRun(ThreadContext &tc, int maxInsts)
 {
+    trace::setContext(tc.id);
     Addr lineMask = ~static_cast<Addr>(_cfg.lineSize - 1);
     Addr line = tc.fetchPc & lineMask;
 
     Cycle ready = _hier.instFetch(tc.fetchPc, _now);
     if (ready > _now + static_cast<Cycle>(_cfg.icacheLatency)) {
         // I-cache miss: this context stalls until the fill completes.
+        DPRINTF(Fetch, "icache miss pc=%llx, stalled until %llu",
+                static_cast<unsigned long long>(tc.fetchPc),
+                static_cast<unsigned long long>(ready));
         tc.fetchStallUntil = ready;
         return 0;
     }
@@ -62,6 +66,7 @@ Cpu::fetchLineRun(ThreadContext &tc, int maxInsts)
         FetchedInst fi;
         fi.pc = tc.fetchPc;
         fi.inst = decode(_mem.read32(tc.fetchPc));
+        fi.fetchedAt = _now;
         fi.availAt = _now + static_cast<Cycle>(_cfg.frontEndDepth);
 
         bool endRun = false;
@@ -116,6 +121,11 @@ Cpu::fetchLineRun(ThreadContext &tc, int maxInsts)
         ++_statFetched;
         if (endRun)
             break;
+    }
+    if (fetched > 0) {
+        DPRINTF(Fetch, "fetched %d insts from line %llx, next pc=%llx",
+                fetched, static_cast<unsigned long long>(line),
+                static_cast<unsigned long long>(tc.fetchPc));
     }
     return fetched;
 }

@@ -28,6 +28,7 @@ struct FetchedInst
 {
     Addr pc = 0;
     DecodedInst inst;
+    Cycle fetchedAt = 0;      ///< Cycle fetch produced this instruction.
     Cycle availAt = 0;        ///< Earliest dispatch cycle (front-end depth).
     bool predictedTaken = false;
     Addr predictedTarget = 0;

@@ -2,6 +2,7 @@
 
 #include "emu/memory.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace vpsim
 {
@@ -45,6 +46,8 @@ StoreSegment::removePendingCommit()
 void
 StoreSegment::flushTo(MainMemory &mem)
 {
+    DPRINTF(StoreBuffer, "flush segment (%zu bytes) to memory",
+            _bytes.size());
     for (const auto &[addr, byte] : _bytes)
         mem.write8(addr, byte);
     _bytes.clear();

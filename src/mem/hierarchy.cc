@@ -1,9 +1,29 @@
 #include "mem/hierarchy.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace vpsim
 {
+
+namespace
+{
+
+const char *
+memLevelName(MemLevel l)
+{
+    switch (l) {
+      case MemLevel::StoreBuffer: return "store-buffer";
+      case MemLevel::L1:          return "L1";
+      case MemLevel::L2:          return "L2";
+      case MemLevel::L3:          return "L3";
+      case MemLevel::Memory:      return "memory";
+      case MemLevel::Stream:      return "stream-buffer";
+    }
+    return "?";
+}
+
+} // namespace
 
 Hierarchy::Hierarchy(StatGroup &stats, const SimConfig &cfg)
     : _cfg(cfg),
@@ -99,6 +119,9 @@ Hierarchy::load(Addr addr, Addr pc, Cycle now)
     else
         level = MemLevel::Memory;
     _dataInFlight[line] = r;
+    DPRINTF(Cache, "load addr=%llx miss L1, serviced by %s, ready=%llu",
+            static_cast<unsigned long long>(addr), memLevelName(level),
+            static_cast<unsigned long long>(r));
     return {r, level};
 }
 
@@ -153,6 +176,9 @@ Hierarchy::instFetch(Addr addr, Cycle now)
 
     Cycle r = fillFromL2(addr, now, false);
     _instInFlight[line] = r;
+    DPRINTF(Cache, "ifetch addr=%llx miss L1I, fill ready=%llu",
+            static_cast<unsigned long long>(addr),
+            static_cast<unsigned long long>(r));
     return r;
 }
 

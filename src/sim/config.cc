@@ -106,6 +106,15 @@ SimConfig::set(const std::string &key, const std::string &value)
     else if (key == "frontEndDepth") frontEndDepth = static_cast<int>(num());
     else if (key == "l3Size") l3Size = static_cast<uint32_t>(num());
     else if (key == "dcacheSize") dcacheSize = static_cast<uint32_t>(num());
+    else if (key == "traceFlags") traceFlags = value;
+    else if (key == "traceStart") traceStart = num();
+    else if (key == "traceEnd") traceEnd = num();
+    else if (key == "traceFile") traceFile = value;
+    else if (key == "pipeView") pipeView = value;
+    else if (key == "statsJson") statsJson = value;
+    else if (key == "samplePeriod") samplePeriod = num();
+    else if (key == "sampleStats") sampleStats = value;
+    else if (key == "sampleFile") sampleFile = value;
     else
         fatal("unknown config key '%s'", key.c_str());
 }
@@ -173,6 +182,12 @@ SimConfig::validate() const
     checkCache(l3Size, l3Assoc, "l3");
     if (fetchWidth < 1 || dispatchWidth < 1 || issueWidth < 1)
         fatal("pipeline widths must be >= 1");
+    if (traceEnd != 0 && traceEnd <= traceStart)
+        fatal("traceEnd (%llu) must be after traceStart (%llu)",
+              static_cast<unsigned long long>(traceEnd),
+              static_cast<unsigned long long>(traceStart));
+    if (!sampleFile.empty() && samplePeriod == 0)
+        fatal("sampleFile requires samplePeriod > 0");
 }
 
 const char *

@@ -124,6 +124,19 @@ struct SimConfig
     uint64_t maxCycles = 0;     ///< 0 = no cycle cap.
     uint64_t seed = 1;          ///< Workload data-set seed.
 
+    // ----- Tracing & telemetry (src/sim/trace.hh) -----
+    /** Comma-separated debug-flag names/globs ("MTVP,Commit", "St*");
+     *  empty disables DPRINTF tracing entirely. */
+    std::string traceFlags;
+    uint64_t traceStart = 0;    ///< First traced cycle.
+    uint64_t traceEnd = 0;      ///< One past the last traced cycle (0 = none).
+    std::string traceFile;      ///< DPRINTF sink file ("" = stderr).
+    std::string pipeView;       ///< O3PipeView/Konata pipeline trace file.
+    std::string statsJson;      ///< End-of-run JSON stats dump file.
+    uint64_t samplePeriod = 0;  ///< Snapshot stats every N cycles (0 = off).
+    std::string sampleStats;    ///< Stat names/globs to sample ("" = all).
+    std::string sampleFile;     ///< Time series file (.json = JSON, else CSV).
+
     /** Apply one "key=value" override; fatal() on unknown key/value. */
     void set(const std::string &key, const std::string &value);
 

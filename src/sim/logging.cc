@@ -12,6 +12,19 @@ namespace
 
 bool verboseEnabled = true;
 
+/** The one message sink; nullptr means stderr. */
+std::FILE *logSink = nullptr;
+std::string logSinkPath;
+
+/** Live simulation cycle; messages are cycle-prefixed while non-null. */
+const uint64_t *cycleSource = nullptr;
+
+std::FILE *
+sink()
+{
+    return logSink != nullptr ? logSink : stderr;
+}
+
 std::string
 vformat(const char *fmt, va_list ap)
 {
@@ -29,10 +42,25 @@ vformat(const char *fmt, va_list ap)
 }
 
 void
-emit(const char *prefix, const char *fmt, va_list ap)
+writeLine(std::FILE *out, const char *prefix, const std::string &msg)
+{
+    if (cycleSource != nullptr) {
+        std::fprintf(out, "[%llu] %s: %s\n",
+                     static_cast<unsigned long long>(*cycleSource), prefix,
+                     msg.c_str());
+    } else {
+        std::fprintf(out, "%s: %s\n", prefix, msg.c_str());
+    }
+}
+
+/** Every warn/inform/panic/fatal message funnels through here. */
+void
+emit(const char *prefix, const char *fmt, va_list ap, bool mirrorStderr)
 {
     std::string msg = vformat(fmt, ap);
-    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    writeLine(sink(), prefix, msg);
+    if (mirrorStderr && logSink != nullptr)
+        writeLine(stderr, prefix, msg);
 }
 
 } // namespace
@@ -42,7 +70,7 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("panic", fmt, ap);
+    emit("panic", fmt, ap, true);
     va_end(ap);
     std::abort();
 }
@@ -52,7 +80,7 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("fatal", fmt, ap);
+    emit("fatal", fmt, ap, true);
     va_end(ap);
     std::exit(1);
 }
@@ -62,7 +90,7 @@ warn(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("warn", fmt, ap);
+    emit("warn", fmt, ap, false);
     va_end(ap);
 }
 
@@ -73,7 +101,7 @@ inform(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    emit("info", fmt, ap);
+    emit("info", fmt, ap, false);
     va_end(ap);
 }
 
@@ -81,6 +109,31 @@ void
 setVerbose(bool verbose)
 {
     verboseEnabled = verbose;
+}
+
+void
+setLogFile(const std::string &path)
+{
+    if (path == logSinkPath)
+        return;
+    if (logSink != nullptr) {
+        std::fclose(logSink);
+        logSink = nullptr;
+    }
+    logSinkPath = path;
+    if (path.empty())
+        return;
+    logSink = std::fopen(path.c_str(), "w");
+    if (logSink == nullptr) {
+        logSinkPath.clear();
+        fatal("cannot open log file '%s'", path.c_str());
+    }
+}
+
+void
+setLogCycleSource(const uint64_t *cycle)
+{
+    cycleSource = cycle;
 }
 
 std::string
@@ -93,6 +146,12 @@ csprintf(const char *fmt, ...)
     return s;
 }
 
+std::string
+vcsprintf(const char *fmt, va_list ap)
+{
+    return vformat(fmt, ap);
+}
+
 void
 panicAssert(const char *cond, const char *file, int line,
             const char *fmt, ...)
@@ -101,8 +160,12 @@ panicAssert(const char *cond, const char *file, int line,
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d%s%s\n",
-                 cond, file, line, msg.empty() ? "" : ": ", msg.c_str());
+    std::string full = csprintf("assertion '%s' failed at %s:%d%s%s", cond,
+                                file, line, msg.empty() ? "" : ": ",
+                                msg.c_str());
+    writeLine(sink(), "panic", full);
+    if (logSink != nullptr)
+        writeLine(stderr, "panic", full);
     std::abort();
 }
 

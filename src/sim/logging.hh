@@ -9,6 +9,7 @@
 #define VPSIM_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace vpsim
@@ -37,9 +38,27 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
 
+/**
+ * Redirect the warn()/inform() sink to @p path (every message goes
+ * through this one sink); empty restores stderr. panic()/fatal() always
+ * reach stderr as well, so crashes stay visible.
+ */
+void setLogFile(const std::string &path);
+
+/**
+ * Register the live simulation's cycle counter; while set, every logged
+ * message is prefixed with the current cycle so interleaved bench output
+ * is attributable. Pass nullptr when the simulation ends. The Cpu does
+ * both automatically.
+ */
+void setLogCycleSource(const uint64_t *cycle);
+
 /** printf-style formatting into a std::string. */
 std::string csprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** va_list flavour of csprintf (shared by the tracing layer). */
+std::string vcsprintf(const char *fmt, va_list ap);
 
 /** Implementation hook for vpsim_assert; formats and panics. */
 [[noreturn]] void panicAssert(const char *cond, const char *file, int line,

@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include <cmath>
+#include <fstream>
 #include <vector>
 
 #include "core/cpu.hh"
@@ -47,6 +48,18 @@ runWorkload(const SimConfig &cfg, const Workload &workload)
     r.halted = cpu.haltedUsefully();
     for (const StatBase *s : cpu.stats().stats())
         r.stats[s->name()] = s->value();
+
+    // Telemetry outputs that need the live Cpu (stats objects, sampler).
+    if (!cfg.statsJson.empty()) {
+        std::ofstream os(cfg.statsJson);
+        if (!os)
+            fatal("cannot open stats JSON file '%s'",
+                  cfg.statsJson.c_str());
+        cpu.stats().dumpJson(os);
+    }
+    if (!cfg.sampleFile.empty() && cpu.sampler() != nullptr)
+        cpu.sampler()->dumpToFile(cfg.sampleFile);
+
     return r;
 }
 

@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "sim/logging.hh"
@@ -19,6 +21,16 @@ StatBase::print(std::ostream &os) const
     os << std::left << std::setw(44) << _name << ' '
        << std::right << std::setw(16) << value()
        << "  # " << _desc << '\n';
+}
+
+void
+StatBase::printJson(std::ostream &os) const
+{
+    os << "{\"value\": ";
+    jsonNumber(os, value());
+    os << ", \"desc\": ";
+    jsonQuote(os, _desc);
+    os << '}';
 }
 
 Distribution::Distribution(StatGroup &parent, std::string name,
@@ -74,6 +86,32 @@ Distribution::print(std::ostream &os) const
        << " min " << _min << " max " << _max << '\n';
 }
 
+void
+Distribution::printJson(std::ostream &os) const
+{
+    os << "{\"value\": ";
+    jsonNumber(os, value());
+    os << ", \"desc\": ";
+    jsonQuote(os, desc());
+    os << ", \"samples\": " << _n << ", \"min\": ";
+    jsonNumber(os, _min);
+    os << ", \"max\": ";
+    jsonNumber(os, _max);
+    os << ", \"lo\": ";
+    jsonNumber(os, _lo);
+    os << ", \"hi\": ";
+    jsonNumber(os, _hi);
+    os << ", \"bucketSize\": ";
+    jsonNumber(os, _bucketSize);
+    os << ", \"buckets\": [";
+    for (size_t i = 0; i < _counts.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << _counts[i];
+    }
+    os << "]}";
+}
+
 Formula::Formula(StatGroup &parent, std::string name, std::string desc,
                  std::function<double()> fn)
     : StatBase(parent, std::move(name), std::move(desc)), _fn(std::move(fn))
@@ -88,7 +126,8 @@ void
 StatGroup::registerStat(StatBase *stat)
 {
     vpsim_assert(stat != nullptr);
-    if (find(stat->name()) != nullptr)
+    auto [it, inserted] = _index.emplace(stat->name(), _stats.size());
+    if (!inserted)
         panic("duplicate stat name '%s'", stat->name().c_str());
     _stats.push_back(stat);
 }
@@ -96,11 +135,8 @@ StatGroup::registerStat(StatBase *stat)
 const StatBase *
 StatGroup::find(const std::string &name) const
 {
-    for (const StatBase *s : _stats) {
-        if (s->name() == name)
-            return s;
-    }
-    return nullptr;
+    auto it = _index.find(name);
+    return it == _index.end() ? nullptr : _stats[it->second];
 }
 
 double
@@ -122,10 +158,67 @@ StatGroup::dump(std::ostream &os) const
 }
 
 void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\n  \"group\": ";
+    jsonQuote(os, _name);
+    os << ",\n  \"stats\": {";
+    bool first = true;
+    for (const StatBase *s : _stats) {
+        os << (first ? "\n" : ",\n") << "    ";
+        jsonQuote(os, s->name());
+        os << ": ";
+        s->printJson(os);
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+void
 StatGroup::resetAll()
 {
     for (StatBase *s : _stats)
         s->reset();
+}
+
+void
+jsonQuote(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    os << buf;
 }
 
 } // namespace vpsim

@@ -13,6 +13,7 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace vpsim
@@ -41,6 +42,10 @@ class StatBase
 
     /** Print one line in "name value # desc" format. */
     virtual void print(std::ostream &os) const;
+
+    /** Emit this stat's JSON object ({"value": ..., "desc": ...});
+     *  Distribution adds its buckets. */
+    virtual void printJson(std::ostream &os) const;
 
   private:
     std::string _name;
@@ -97,9 +102,13 @@ class Distribution : public StatBase
     double value() const override { return _n ? _sum / _n : 0.0; }
     double minSample() const { return _min; }
     double maxSample() const { return _max; }
+    double bucketLow() const { return _lo; }
+    double bucketHigh() const { return _hi; }
+    double bucketSize() const { return _bucketSize; }
     const std::vector<uint64_t> &buckets() const { return _counts; }
     void reset() override;
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     double _lo;
@@ -147,6 +156,10 @@ class StatGroup
     /** Dump all stats in registration order. */
     void dump(std::ostream &os) const;
 
+    /** Dump every stat as one JSON document (Distribution buckets
+     *  included); values match what dump() reports. */
+    void dumpJson(std::ostream &os) const;
+
     /** Reset every registered stat. */
     void resetAll();
 
@@ -156,7 +169,16 @@ class StatGroup
   private:
     std::string _name;
     std::vector<StatBase *> _stats;
+    /** name -> index into _stats, so by-name reads are O(1). */
+    std::unordered_map<std::string, size_t> _index;
 };
+
+/** Write @p s as a quoted, escaped JSON string. */
+void jsonQuote(std::ostream &os, const std::string &s);
+
+/** Write @p v as a JSON number (integers without a fraction, full
+ *  precision otherwise, non-finite values as null). */
+void jsonNumber(std::ostream &os, double v);
 
 } // namespace vpsim
 

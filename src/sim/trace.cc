@@ -1,0 +1,358 @@
+#include "sim/trace.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+namespace trace
+{
+
+namespace detail
+{
+uint32_t activeMask = 0;
+CtxId curCtx = invalidCtx;
+} // namespace detail
+
+namespace
+{
+
+const char *const flagNames[numFlags] = {
+    "Fetch", "Dispatch", "Issue",  "Commit",
+    "VPred", "MTVP",     "Cache",  "StoreBuffer",
+};
+
+uint32_t requestedMask_ = 0;
+Cycle winStart_ = 0;
+Cycle winEnd_ = 0; // 0 = no end
+Cycle cycle_ = 0;
+std::FILE *out_ = nullptr; // nullptr = stderr
+std::string outPath_;
+
+std::FILE *
+sink()
+{
+    return out_ != nullptr ? out_ : stderr;
+}
+
+void
+applyWindow()
+{
+    bool inWindow = cycle_ >= winStart_ && (winEnd_ == 0 ||
+                                            cycle_ < winEnd_);
+    detail::activeMask = inWindow ? requestedMask_ : 0;
+}
+
+} // namespace
+
+const char *
+flagName(Flag f)
+{
+    vpsim_assert(f < Flag::NumFlags);
+    return flagNames[static_cast<unsigned>(f)];
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &name)
+{
+    // Iterative glob with single-star backtracking; case-insensitive.
+    size_t p = 0, n = 0;
+    size_t starP = std::string::npos, starN = 0;
+    auto lower = [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    };
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || lower(pattern[p]) == lower(name[n]))) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            starP = p++;
+            starN = n;
+        } else if (starP != std::string::npos) {
+            p = starP + 1;
+            n = ++starN;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+void
+setFlags(const std::string &spec)
+{
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim surrounding spaces.
+        size_t b = tok.find_first_not_of(" \t");
+        size_t e = tok.find_last_not_of(" \t");
+        tok = b == std::string::npos ? "" : tok.substr(b, e - b + 1);
+        if (tok.empty())
+            continue;
+        uint32_t matched = 0;
+        for (unsigned f = 0; f < numFlags; ++f) {
+            if (globMatch(tok, flagNames[f]))
+                matched |= 1u << f;
+        }
+        if (matched == 0)
+            fatal("unknown trace flag '%s'", tok.c_str());
+        mask |= matched;
+    }
+    requestedMask_ = mask;
+    applyWindow();
+}
+
+uint32_t
+requestedMask()
+{
+    return requestedMask_;
+}
+
+void
+setWindow(Cycle start, Cycle end)
+{
+    winStart_ = start;
+    winEnd_ = end;
+    applyWindow();
+}
+
+void
+setCycle(Cycle now)
+{
+    cycle_ = now;
+    applyWindow();
+}
+
+Cycle
+currentCycle()
+{
+    return cycle_;
+}
+
+void
+setOutputFile(const std::string &path)
+{
+    if (path == outPath_ && (out_ != nullptr || path.empty()))
+        return;
+    if (out_ != nullptr) {
+        std::fclose(out_);
+        out_ = nullptr;
+    }
+    outPath_ = path;
+    if (path.empty())
+        return;
+    out_ = std::fopen(path.c_str(), "w");
+    if (out_ == nullptr)
+        fatal("cannot open trace file '%s'", path.c_str());
+}
+
+void
+reset()
+{
+    requestedMask_ = 0;
+    winStart_ = 0;
+    winEnd_ = 0;
+    cycle_ = 0;
+    detail::curCtx = invalidCtx;
+    setOutputFile("");
+    applyWindow();
+}
+
+void
+print(Flag f, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vcsprintf(fmt, ap);
+    va_end(ap);
+    if (detail::curCtx != invalidCtx) {
+        std::fprintf(sink(), "%llu: t%d: %s: %s\n",
+                     static_cast<unsigned long long>(cycle_),
+                     detail::curCtx, flagName(f), msg.c_str());
+    } else {
+        std::fprintf(sink(), "%llu: %s: %s\n",
+                     static_cast<unsigned long long>(cycle_), flagName(f),
+                     msg.c_str());
+    }
+}
+
+// ---------------------------------------------------------------------
+// InstTracer
+// ---------------------------------------------------------------------
+
+InstTracer::InstTracer(const std::string &path)
+    : _out(std::fopen(path.c_str(), "w"))
+{
+    if (_out == nullptr)
+        fatal("cannot open pipeline trace file '%s'", path.c_str());
+}
+
+InstTracer::~InstTracer()
+{
+    if (_out != nullptr)
+        std::fclose(_out);
+}
+
+std::string
+InstTracer::format(const InstTraceRecord &r)
+{
+    // The gem5 O3PipeView line set (Konata-compatible). Timestamps are
+    // cycles; a retire of 0 marks a squashed instruction.
+    return csprintf("O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s\n"
+                    "O3PipeView:decode:%llu\n"
+                    "O3PipeView:rename:%llu\n"
+                    "O3PipeView:dispatch:%llu\n"
+                    "O3PipeView:issue:%llu\n"
+                    "O3PipeView:complete:%llu\n"
+                    "O3PipeView:retire:%llu:store:0\n",
+                    static_cast<unsigned long long>(r.fetch),
+                    static_cast<unsigned long long>(r.pc),
+                    static_cast<unsigned long long>(r.seq),
+                    r.disasm.c_str(),
+                    static_cast<unsigned long long>(r.decode),
+                    static_cast<unsigned long long>(r.decode),
+                    static_cast<unsigned long long>(r.dispatch),
+                    static_cast<unsigned long long>(r.issue),
+                    static_cast<unsigned long long>(r.complete),
+                    static_cast<unsigned long long>(r.retire));
+}
+
+void
+InstTracer::record(const InstTraceRecord &r)
+{
+    std::string s = format(r);
+    std::fwrite(s.data(), 1, s.size(), _out);
+    ++_recorded;
+}
+
+// ---------------------------------------------------------------------
+// StatSampler
+// ---------------------------------------------------------------------
+
+StatSampler::StatSampler(const StatGroup &group, const std::string &spec,
+                         Cycle period)
+    : _period(period), _next(period)
+{
+    if (period == 0)
+        fatal("StatSampler period must be > 0");
+    std::vector<std::string> pats;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        size_t b = tok.find_first_not_of(" \t");
+        size_t e = tok.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            pats.push_back(tok.substr(b, e - b + 1));
+    }
+    if (pats.empty())
+        pats.push_back("*");
+    std::vector<bool> used(pats.size(), false);
+    for (const StatBase *s : group.stats()) {
+        for (size_t i = 0; i < pats.size(); ++i) {
+            if (globMatch(pats[i], s->name())) {
+                used[i] = true;
+                _tracked.push_back(s);
+                _names.push_back(s->name());
+                break;
+            }
+        }
+    }
+    for (size_t i = 0; i < pats.size(); ++i) {
+        if (!used[i])
+            fatal("sampleStats pattern '%s' matches no stat",
+                  pats[i].c_str());
+    }
+}
+
+void
+StatSampler::takeSample(Cycle now)
+{
+    _cycles.push_back(now);
+    for (const StatBase *s : _tracked)
+        _values.push_back(s->value());
+    // One sample per crossing, even if ticks ever skip cycles.
+    while (_next <= now)
+        _next += _period;
+}
+
+double
+StatSampler::valueAt(size_t sample, size_t stat) const
+{
+    vpsim_assert(sample < _cycles.size() && stat < _tracked.size());
+    return _values[sample * _tracked.size() + stat];
+}
+
+void
+StatSampler::dumpCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const std::string &n : _names)
+        os << ',' << n;
+    os << '\n';
+    for (size_t r = 0; r < _cycles.size(); ++r) {
+        os << _cycles[r];
+        for (size_t c = 0; c < _tracked.size(); ++c) {
+            os << ',';
+            jsonNumber(os, _values[r * _tracked.size() + c]);
+        }
+        os << '\n';
+    }
+}
+
+void
+StatSampler::dumpJson(std::ostream &os) const
+{
+    os << "{\n  \"period\": " << _period << ",\n  \"stats\": [";
+    for (size_t i = 0; i < _names.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        jsonQuote(os, _names[i]);
+    }
+    os << "],\n  \"samples\": [";
+    for (size_t r = 0; r < _cycles.size(); ++r) {
+        os << (r == 0 ? "\n" : ",\n") << "    {\"cycle\": " << _cycles[r]
+           << ", \"values\": [";
+        for (size_t c = 0; c < _tracked.size(); ++c) {
+            if (c > 0)
+                os << ", ";
+            jsonNumber(os, _values[r * _tracked.size() + c]);
+        }
+        os << "]}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+StatSampler::dumpToFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot open sample file '%s'", path.c_str());
+    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0)
+        dumpJson(f);
+    else
+        dumpCsv(f);
+}
+
+} // namespace trace
+
+} // namespace vpsim

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tracing and telemetry in the gem5 idiom.
+ *
+ * Three cooperating facilities:
+ *
+ *  - A **debug-flag registry** behind the DPRINTF(Flag, fmt, ...) macro:
+ *    per-subsystem flags (Fetch, Dispatch, Issue, Commit, VPred, MTVP,
+ *    Cache, StoreBuffer) selectable by name or glob ("MTVP,Commit",
+ *    "St*", "*") with an optional cycle window. When a flag is off the
+ *    macro costs one mask test; format arguments are not evaluated.
+ *    Messages are prefixed with the current cycle and thread context.
+ *
+ *  - An **InstTracer** that emits gem5-O3PipeView-compatible pipeline
+ *    traces (per-instruction fetch/decode/dispatch/issue/complete/retire
+ *    timestamps) viewable in Konata.
+ *
+ *  - A **StatSampler** that snapshots selected statistics every N cycles
+ *    into an in-memory time series dumpable as JSON or CSV, so IPC and
+ *    miss-rate trajectories around MTVP spawns become plottable.
+ *
+ * Flag, window, and output state is process-global (one simulated core
+ * is traced at a time); the Cpu applies its SimConfig's trace settings
+ * at construction.
+ */
+
+#ifndef VPSIM_SIM_TRACE_HH
+#define VPSIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+namespace trace
+{
+
+/** One debug flag per traceable subsystem. */
+enum class Flag : unsigned
+{
+    Fetch,
+    Dispatch,
+    Issue,
+    Commit,
+    VPred,
+    MTVP,
+    Cache,
+    StoreBuffer,
+    NumFlags,
+};
+
+inline constexpr unsigned numFlags =
+    static_cast<unsigned>(Flag::NumFlags);
+
+namespace detail
+{
+/** Flags effectively on right now (requested mask gated by the cycle
+ *  window). Read inline on every DPRINTF site; written on setCycle. */
+extern uint32_t activeMask;
+/** Thread context printed in message prefixes (invalidCtx = none). */
+extern CtxId curCtx;
+} // namespace detail
+
+/** Near-zero-cost gate: one load + mask test when tracing is off. */
+inline bool
+enabled(Flag f)
+{
+    return (detail::activeMask >> static_cast<unsigned>(f)) & 1u;
+}
+
+inline bool anyEnabled() { return detail::activeMask != 0; }
+
+/** Set the context prefixed to subsequent messages (one int store). */
+inline void setContext(CtxId id) { detail::curCtx = id; }
+
+/** Canonical name of @p f ("Fetch", "MTVP", ...). */
+const char *flagName(Flag f);
+
+/**
+ * Select flags from a comma-separated list of names or globs
+ * ("MTVP,Commit", "St*", "*"). Matching is case-insensitive; '*' and
+ * '?' wildcard. Empty spec turns everything off. fatal() on a token
+ * that matches no flag.
+ */
+void setFlags(const std::string &spec);
+
+/** Mask of flags requested by setFlags (before window gating). */
+uint32_t requestedMask();
+
+/** Restrict tracing to cycles [start, end); end == 0 means no end. */
+void setWindow(Cycle start, Cycle end);
+
+/** Advance the tracer's clock (the Cpu calls this once per tick);
+ *  applies the cycle window to the active mask. */
+void setCycle(Cycle now);
+
+Cycle currentCycle();
+
+/** Redirect DPRINTF output to @p path; empty restores stderr. */
+void setOutputFile(const std::string &path);
+
+/** Everything off, window cleared, output to stderr, cycle 0. */
+void reset();
+
+/** Case-insensitive glob match ('*' and '?'). */
+bool globMatch(const std::string &pattern, const std::string &name);
+
+/** Emit one trace line: "<cycle>: t<ctx>: <Flag>: <message>". */
+void print(Flag f, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+// ---------------------------------------------------------------------
+// Per-instruction pipeline tracing (gem5 O3PipeView / Konata format)
+// ---------------------------------------------------------------------
+
+/** Stage timestamps of one retired (or squashed) instruction. */
+struct InstTraceRecord
+{
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    Cycle fetch = 0;
+    Cycle decode = 0;   ///< Front-end exit (decode == rename here).
+    Cycle dispatch = 0;
+    Cycle issue = 0;    ///< 0 when the instruction never issued.
+    Cycle complete = 0; ///< 0 when no result was ever produced.
+    Cycle retire = 0;   ///< 0 marks a squashed instruction.
+    std::string disasm; ///< Disassembly plus #stvp/#mtvp/#squash notes.
+};
+
+/**
+ * Streams O3PipeView records to a file. One record (seven lines) per
+ * instruction, emitted at retire or squash time. The output loads
+ * directly in Konata and in gem5's util/o3-pipeview.py.
+ */
+class InstTracer
+{
+  public:
+    /** Open @p path for writing; fatal() if it cannot be created. */
+    explicit InstTracer(const std::string &path);
+    ~InstTracer();
+
+    InstTracer(const InstTracer &) = delete;
+    InstTracer &operator=(const InstTracer &) = delete;
+
+    void record(const InstTraceRecord &r);
+
+    uint64_t recorded() const { return _recorded; }
+
+    /** The exact text record() writes (exposed for golden tests). */
+    static std::string format(const InstTraceRecord &r);
+
+  private:
+    std::FILE *_out = nullptr;
+    uint64_t _recorded = 0;
+};
+
+// ---------------------------------------------------------------------
+// Periodic statistics sampling
+// ---------------------------------------------------------------------
+
+/**
+ * Snapshots selected stats from a StatGroup every @p period cycles into
+ * an in-memory time series. Values are the stats' running (cumulative)
+ * values at the sample cycle; rates are a post-processing subtraction.
+ */
+class StatSampler
+{
+  public:
+    /**
+     * Track the stats of @p group whose names match @p spec (comma
+     * separated names/globs; empty means every stat). fatal() on a
+     * token that matches nothing or a non-positive period.
+     */
+    StatSampler(const StatGroup &group, const std::string &spec,
+                Cycle period);
+
+    /** Cheap per-tick hook; samples when @p now crosses the next edge. */
+    void
+    maybeSample(Cycle now)
+    {
+        if (now >= _next)
+            takeSample(now);
+    }
+
+    Cycle period() const { return _period; }
+    const std::vector<std::string> &names() const { return _names; }
+    size_t sampleCount() const { return _cycles.size(); }
+    /** Value of tracked stat @p stat at sample @p sample. */
+    double valueAt(size_t sample, size_t stat) const;
+
+    void dumpCsv(std::ostream &os) const;
+    void dumpJson(std::ostream &os) const;
+    /** Write to @p path; ".json" suffix selects JSON, else CSV. */
+    void dumpToFile(const std::string &path) const;
+
+  private:
+    void takeSample(Cycle now);
+
+    std::vector<const StatBase *> _tracked;
+    std::vector<std::string> _names;
+    Cycle _period = 0;
+    Cycle _next = 0;
+    std::vector<Cycle> _cycles;
+    std::vector<double> _values; ///< Row-major, _tracked.size() per row.
+};
+
+} // namespace trace
+
+} // namespace vpsim
+
+/**
+ * Runtime-gated debug print. Arguments are evaluated only when the flag
+ * is on, so call sites may disassemble / format freely.
+ */
+#define DPRINTF(flag, ...)                                               \
+    do {                                                                 \
+        if (::vpsim::trace::enabled(::vpsim::trace::Flag::flag))         \
+            ::vpsim::trace::print(::vpsim::trace::Flag::flag,            \
+                                  __VA_ARGS__);                          \
+    } while (0)
+
+#endif // VPSIM_SIM_TRACE_HH

@@ -1,6 +1,7 @@
 #include "vpred/value_predictor.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "vpred/dfcm.hh"
 #include "vpred/last_value.hh"
 #include "vpred/oracle.hh"
@@ -17,8 +18,16 @@ ValuePredictor::predictMulti(Addr pc, int maxValues, int threshold,
     if (maxValues < 1)
         return {};
     ValuePrediction p = predict(pc, actual);
-    if (p.valid && p.confidence >= threshold)
+    if (p.valid && p.confidence >= threshold) {
+        DPRINTF(VPred, "predictMulti pc=%llx -> value=%llx conf=%d",
+                static_cast<unsigned long long>(pc),
+                static_cast<unsigned long long>(p.value), p.confidence);
         return {p.value};
+    }
+    DPRINTF(VPred, "predictMulti pc=%llx -> no confident value "
+            "(valid=%d conf=%d < %d)",
+            static_cast<unsigned long long>(pc), p.valid ? 1 : 0,
+            p.confidence, threshold);
     return {};
 }
 

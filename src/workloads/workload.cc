@@ -14,8 +14,10 @@ namespace
 std::vector<const Workload *> &
 registry()
 {
-    static std::vector<const Workload *> workloads;
-    return workloads;
+    // Intentionally immortal: registered workloads must stay reachable
+    // through static destruction so leak checkers see them as roots.
+    static auto *workloads = new std::vector<const Workload *>;
+    return *workloads;
 }
 
 } // namespace

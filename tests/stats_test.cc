@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <map>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -116,4 +121,235 @@ TEST(Stats, RegistrationOrderPreserved)
     ASSERT_EQ(g.stats().size(), 2u);
     EXPECT_EQ(g.stats()[0]->name(), "first");
     EXPECT_EQ(g.stats()[1]->name(), "second");
+}
+
+TEST(Stats, FindIsExactAfterManyStats)
+{
+    StatGroup g;
+    std::vector<std::unique_ptr<Scalar>> owned;
+    for (int i = 0; i < 100; ++i) {
+        owned.push_back(std::make_unique<Scalar>(
+            g, "s" + std::to_string(i), ""));
+    }
+    EXPECT_EQ(g.find("s0"), owned[0].get());
+    EXPECT_EQ(g.find("s99"), owned[99].get());
+    EXPECT_EQ(g.find("s100"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Minimal recursive-descent JSON parser: enough to round-trip what
+ *  dumpJson emits (objects, arrays, strings, numbers, null). */
+struct JsonValue
+{
+    enum class Kind { Null, Number, String, Array, Object } kind =
+        Kind::Null;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+};
+
+struct JsonParser
+{
+    std::string s;
+    size_t p = 0;
+
+    explicit JsonParser(std::string text) : s(std::move(text)) {}
+
+    void ws() { while (p < s.size() && std::isspace(
+                           static_cast<unsigned char>(s[p]))) ++p; }
+    char peek() { ws(); return p < s.size() ? s[p] : '\0'; }
+    void expect(char c)
+    {
+        ws();
+        ASSERT_LT(p, s.size());
+        ASSERT_EQ(s[p], c) << "at offset " << p;
+        ++p;
+    }
+
+    JsonValue parse()
+    {
+        JsonValue v;
+        char c = peek();
+        if (c == '{') {
+            v.kind = JsonValue::Kind::Object;
+            expect('{');
+            if (peek() != '}') {
+                while (true) {
+                    JsonValue key = parse();
+                    expect(':');
+                    v.obj[key.str] = parse();
+                    if (peek() != ',')
+                        break;
+                    expect(',');
+                }
+            }
+            expect('}');
+        } else if (c == '[') {
+            v.kind = JsonValue::Kind::Array;
+            expect('[');
+            if (peek() != ']') {
+                while (true) {
+                    v.arr.push_back(parse());
+                    if (peek() != ',')
+                        break;
+                    expect(',');
+                }
+            }
+            expect(']');
+        } else if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            expect('"');
+            while (p < s.size() && s[p] != '"') {
+                if (s[p] == '\\') {
+                    ++p;
+                    switch (s[p]) {
+                      case 'n': v.str += '\n'; break;
+                      case 't': v.str += '\t'; break;
+                      case 'r': v.str += '\r'; break;
+                      case 'u':
+                        v.str += static_cast<char>(
+                            std::stoi(s.substr(p + 1, 4), nullptr, 16));
+                        p += 4;
+                        break;
+                      default: v.str += s[p]; break;
+                    }
+                    ++p;
+                } else {
+                    v.str += s[p++];
+                }
+            }
+            expect('"');
+        } else if (c == 'n') {
+            v.kind = JsonValue::Kind::Null;
+            p += 4;
+        } else {
+            v.kind = JsonValue::Kind::Number;
+            size_t start = p;
+            while (p < s.size() &&
+                   (std::isdigit(static_cast<unsigned char>(s[p])) ||
+                    s[p] == '-' || s[p] == '+' || s[p] == '.' ||
+                    s[p] == 'e' || s[p] == 'E')) {
+                ++p;
+            }
+            v.num = std::stod(s.substr(start, p - start));
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+TEST(StatsJson, DumpJsonRoundTripsScalars)
+{
+    StatGroup g("cpu");
+    Scalar s(g, "commits", "committed \"useful\" instructions");
+    Average a(g, "avgLat", "load latency");
+    s += 42;
+    a.sample(3.0);
+    a.sample(4.0);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    std::string text = os.str();
+    JsonParser parser(text);
+    JsonValue root = parser.parse();
+
+    ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(root.obj.at("group").str, "cpu");
+    const JsonValue &stats = root.obj.at("stats");
+    EXPECT_DOUBLE_EQ(stats.obj.at("commits").obj.at("value").num, 42.0);
+    EXPECT_EQ(stats.obj.at("commits").obj.at("desc").str,
+              "committed \"useful\" instructions");
+    EXPECT_DOUBLE_EQ(stats.obj.at("avgLat").obj.at("value").num, 3.5);
+}
+
+TEST(StatsJson, JsonValuesMatchDumpForEveryStat)
+{
+    StatGroup g("grp");
+    Scalar s1(g, "a", "");
+    Scalar s2(g, "b", "");
+    Formula f(g, "ratio", "", [&] { return s1.value() / 3.0; });
+    s1 += 7;
+    s2 += 9;
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    JsonParser parser(os.str());
+    JsonValue root = parser.parse();
+    const JsonValue &stats = root.obj.at("stats");
+    ASSERT_EQ(stats.obj.size(), g.stats().size());
+    for (const StatBase *st : g.stats()) {
+        EXPECT_DOUBLE_EQ(stats.obj.at(st->name()).obj.at("value").num,
+                         st->value())
+            << st->name();
+    }
+}
+
+TEST(StatsJson, DistributionBucketsExported)
+{
+    StatGroup g;
+    Distribution d(g, "dist", "d", 0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(0.5);
+    d.sample(9.9);
+    d.sample(15.0);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    JsonParser parser(os.str());
+    JsonValue root = parser.parse();
+    const JsonValue &j = root.obj.at("stats").obj.at("dist");
+    EXPECT_DOUBLE_EQ(j.obj.at("samples").num, 4.0);
+    EXPECT_DOUBLE_EQ(j.obj.at("min").num, -1.0);
+    EXPECT_DOUBLE_EQ(j.obj.at("max").num, 15.0);
+    EXPECT_DOUBLE_EQ(j.obj.at("lo").num, 0.0);
+    EXPECT_DOUBLE_EQ(j.obj.at("hi").num, 10.0);
+    EXPECT_DOUBLE_EQ(j.obj.at("bucketSize").num, 2.0);
+    const auto &buckets = j.obj.at("buckets").arr;
+    ASSERT_EQ(buckets.size(), 7u); // under + 5 + over
+    EXPECT_DOUBLE_EQ(buckets.front().num, 1.0);
+    EXPECT_DOUBLE_EQ(buckets.back().num, 1.0);
+    EXPECT_DOUBLE_EQ(buckets[1].num, 1.0);
+    EXPECT_DOUBLE_EQ(buckets[5].num, 1.0);
+}
+
+TEST(StatsJson, DistributionMinMaxAfterReset)
+{
+    StatGroup g;
+    Distribution d(g, "dist", "d", 0.0, 10.0, 5);
+    d.sample(-5.0);
+    d.sample(100.0);
+    d.reset();
+    d.sample(3.0);
+    d.sample(4.0);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    JsonParser parser(os.str());
+    JsonValue root = parser.parse();
+    const JsonValue &j = root.obj.at("stats").obj.at("dist");
+    EXPECT_DOUBLE_EQ(j.obj.at("min").num, 3.0);
+    EXPECT_DOUBLE_EQ(j.obj.at("max").num, 4.0);
+    EXPECT_DOUBLE_EQ(j.obj.at("samples").num, 2.0);
+}
+
+TEST(StatsJson, NonIntegralAndEscapedOutput)
+{
+    std::ostringstream os;
+    jsonNumber(os, 2.5);
+    os << ' ';
+    jsonNumber(os, 1e18); // integral but beyond exact double range
+    os << ' ';
+    jsonQuote(os, "a\"b\\c\nd");
+    std::string out = os.str();
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_NE(out.find("1e+18"), std::string::npos);
+    EXPECT_NE(out.find("\"a\\\"b\\\\c\\nd\""), std::string::npos);
 }

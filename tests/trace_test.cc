@@ -1,0 +1,336 @@
+/** Tracing & telemetry tests: debug flags, pipeline traces, sampling. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+using namespace vpsim;
+
+namespace
+{
+
+/** Every test starts and ends with tracing fully off. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { trace::reset(); }
+    void TearDown() override { trace::reset(); }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Flag registry and glob matching
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, FlagNames)
+{
+    EXPECT_STREQ(trace::flagName(trace::Flag::Fetch), "Fetch");
+    EXPECT_STREQ(trace::flagName(trace::Flag::MTVP), "MTVP");
+    EXPECT_STREQ(trace::flagName(trace::Flag::StoreBuffer),
+                 "StoreBuffer");
+}
+
+TEST_F(TraceTest, GlobMatchBasics)
+{
+    EXPECT_TRUE(trace::globMatch("MTVP", "MTVP"));
+    EXPECT_TRUE(trace::globMatch("mtvp", "MTVP")); // case-insensitive
+    EXPECT_TRUE(trace::globMatch("*", "anything"));
+    EXPECT_TRUE(trace::globMatch("St*", "StoreBuffer"));
+    EXPECT_TRUE(trace::globMatch("*Buffer", "StoreBuffer"));
+    EXPECT_TRUE(trace::globMatch("?etch", "Fetch"));
+    EXPECT_TRUE(trace::globMatch("*s*ue*", "Issue"));
+    EXPECT_FALSE(trace::globMatch("Fetch", "Dispatch"));
+    EXPECT_FALSE(trace::globMatch("St*x", "StoreBuffer"));
+    EXPECT_FALSE(trace::globMatch("?", "ab"));
+    EXPECT_TRUE(trace::globMatch("", ""));
+    EXPECT_FALSE(trace::globMatch("", "a"));
+}
+
+TEST_F(TraceTest, SetFlagsByName)
+{
+    trace::setFlags("MTVP,Commit");
+    trace::setCycle(0);
+    EXPECT_TRUE(trace::enabled(trace::Flag::MTVP));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Commit));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Fetch));
+    EXPECT_TRUE(trace::anyEnabled());
+}
+
+TEST_F(TraceTest, SetFlagsGlobAndSpaces)
+{
+    trace::setFlags(" St* , vp* ");
+    EXPECT_TRUE(trace::enabled(trace::Flag::StoreBuffer));
+    EXPECT_TRUE(trace::enabled(trace::Flag::VPred));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Commit));
+}
+
+TEST_F(TraceTest, SetFlagsStarEnablesAll)
+{
+    trace::setFlags("*");
+    for (unsigned f = 0; f < trace::numFlags; ++f)
+        EXPECT_TRUE(trace::enabled(static_cast<trace::Flag>(f)));
+}
+
+TEST_F(TraceTest, EmptySpecDisablesAll)
+{
+    trace::setFlags("MTVP");
+    trace::setFlags("");
+    EXPECT_FALSE(trace::anyEnabled());
+    EXPECT_EQ(trace::requestedMask(), 0u);
+}
+
+TEST_F(TraceTest, UnknownFlagFatals)
+{
+    EXPECT_EXIT(trace::setFlags("Bogus"), ::testing::ExitedWithCode(1),
+                "unknown trace flag");
+}
+
+// ---------------------------------------------------------------------
+// Cycle windowing
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, CycleWindowGatesFlags)
+{
+    trace::setFlags("MTVP");
+    trace::setWindow(10, 20);
+    trace::setCycle(5);
+    EXPECT_FALSE(trace::enabled(trace::Flag::MTVP));
+    trace::setCycle(10);
+    EXPECT_TRUE(trace::enabled(trace::Flag::MTVP));
+    trace::setCycle(19);
+    EXPECT_TRUE(trace::enabled(trace::Flag::MTVP));
+    trace::setCycle(20); // end is exclusive
+    EXPECT_FALSE(trace::enabled(trace::Flag::MTVP));
+}
+
+TEST_F(TraceTest, ZeroEndMeansOpenWindow)
+{
+    trace::setFlags("Fetch");
+    trace::setWindow(100, 0);
+    trace::setCycle(99);
+    EXPECT_FALSE(trace::enabled(trace::Flag::Fetch));
+    trace::setCycle(1000000);
+    EXPECT_TRUE(trace::enabled(trace::Flag::Fetch));
+}
+
+// ---------------------------------------------------------------------
+// Message formatting
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, PrintPrefixesCycleAndContext)
+{
+    std::string path = ::testing::TempDir() + "vpsim_trace_out.txt";
+    trace::setFlags("MTVP");
+    trace::setOutputFile(path);
+    trace::setCycle(42);
+    trace::setContext(3);
+    trace::print(trace::Flag::MTVP, "spawn child value=%d", 7);
+    trace::setContext(invalidCtx);
+    trace::print(trace::Flag::MTVP, "no context line");
+    trace::setOutputFile(""); // flush/close before reading
+    std::string out = readFile(path);
+    EXPECT_NE(out.find("42: t3: MTVP: spawn child value=7\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("42: MTVP: no context line\n"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// InstTracer (gem5 O3PipeView format)
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, O3PipeViewGoldenFormat)
+{
+    trace::InstTraceRecord r;
+    r.seq = 12;
+    r.pc = 0x1000;
+    r.fetch = 100;
+    r.decode = 103;
+    r.dispatch = 103;
+    r.issue = 105;
+    r.complete = 109;
+    r.retire = 111;
+    r.disasm = "LD r3, 8(r1)";
+    EXPECT_EQ(trace::InstTracer::format(r),
+              "O3PipeView:fetch:100:0x00001000:0:12:LD r3, 8(r1)\n"
+              "O3PipeView:decode:103\n"
+              "O3PipeView:rename:103\n"
+              "O3PipeView:dispatch:103\n"
+              "O3PipeView:issue:105\n"
+              "O3PipeView:complete:109\n"
+              "O3PipeView:retire:111:store:0\n");
+}
+
+TEST_F(TraceTest, SquashedInstRetiresAtZero)
+{
+    trace::InstTraceRecord r;
+    r.seq = 5;
+    r.pc = 0x20;
+    r.fetch = 1;
+    r.decode = 2;
+    r.dispatch = 2;
+    r.retire = 0; // squashed
+    std::string s = trace::InstTracer::format(r);
+    EXPECT_NE(s.find("O3PipeView:retire:0:store:0\n"), std::string::npos);
+}
+
+TEST_F(TraceTest, InstTracerWritesRecords)
+{
+    std::string path = ::testing::TempDir() + "vpsim_pipeview.out";
+    {
+        trace::InstTracer t(path);
+        trace::InstTraceRecord r;
+        r.seq = 1;
+        r.pc = 0x40;
+        r.fetch = 10;
+        r.decode = 12;
+        r.dispatch = 12;
+        r.issue = 13;
+        r.complete = 14;
+        r.retire = 15;
+        r.disasm = "ADDI r1, r0, 1";
+        t.record(r);
+        r.seq = 2;
+        t.record(r);
+        EXPECT_EQ(t.recorded(), 2u);
+    }
+    std::string out = readFile(path);
+    EXPECT_NE(out.find("O3PipeView:fetch:10:0x00000040:0:1:ADDI"),
+              std::string::npos);
+    EXPECT_NE(out.find(":0:2:ADDI"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// StatSampler
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, SamplerTracksMatchingStats)
+{
+    StatGroup g("cpu");
+    Scalar a(g, "commits", "");
+    Scalar b(g, "mem.loads", "");
+    Scalar c(g, "spawns", "");
+    trace::StatSampler s(g, "commits,mem.*", 100);
+    ASSERT_EQ(s.names().size(), 2u);
+    EXPECT_EQ(s.names()[0], "commits");
+    EXPECT_EQ(s.names()[1], "mem.loads");
+
+    a += 5;
+    b += 2;
+    s.maybeSample(50); // before first edge: no sample
+    EXPECT_EQ(s.sampleCount(), 0u);
+    s.maybeSample(100);
+    ASSERT_EQ(s.sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(s.valueAt(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(s.valueAt(0, 1), 2.0);
+
+    a += 10;
+    s.maybeSample(150); // between edges
+    EXPECT_EQ(s.sampleCount(), 1u);
+    s.maybeSample(200);
+    ASSERT_EQ(s.sampleCount(), 2u);
+    EXPECT_DOUBLE_EQ(s.valueAt(1, 0), 15.0);
+}
+
+TEST_F(TraceTest, SamplerEmptySpecTracksEverything)
+{
+    StatGroup g;
+    Scalar a(g, "x", "");
+    Scalar b(g, "y", "");
+    trace::StatSampler s(g, "", 10);
+    EXPECT_EQ(s.names().size(), 2u);
+}
+
+TEST_F(TraceTest, SamplerUnmatchedPatternFatals)
+{
+    StatGroup g;
+    Scalar a(g, "x", "");
+    EXPECT_EXIT(trace::StatSampler(g, "nope*", 10),
+                ::testing::ExitedWithCode(1), "matches no stat");
+}
+
+TEST_F(TraceTest, SamplerCsvDump)
+{
+    StatGroup g;
+    Scalar a(g, "events", "");
+    trace::StatSampler s(g, "events", 10);
+    a += 3;
+    s.maybeSample(10);
+    a += 4;
+    s.maybeSample(20);
+    std::ostringstream os;
+    s.dumpCsv(os);
+    EXPECT_EQ(os.str(), "cycle,events\n10,3\n20,7\n");
+}
+
+TEST_F(TraceTest, SamplerJsonDump)
+{
+    StatGroup g;
+    Scalar a(g, "events", "");
+    trace::StatSampler s(g, "events", 5);
+    a += 2;
+    s.maybeSample(5);
+    std::ostringstream os;
+    s.dumpJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"period\": 5"), std::string::npos);
+    EXPECT_NE(out.find("\"events\""), std::string::npos);
+    EXPECT_NE(out.find("{\"cycle\": 5, \"values\": [2]}"),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, SamplerFileSuffixSelectsFormat)
+{
+    StatGroup g;
+    Scalar a(g, "n", "");
+    trace::StatSampler s(g, "n", 1);
+    a += 1;
+    s.maybeSample(1);
+
+    std::string csvPath = ::testing::TempDir() + "vpsim_samples.csv";
+    std::string jsonPath = ::testing::TempDir() + "vpsim_samples.json";
+    s.dumpToFile(csvPath);
+    s.dumpToFile(jsonPath);
+    EXPECT_EQ(readFile(csvPath).substr(0, 7), "cycle,n");
+    EXPECT_EQ(readFile(jsonPath).substr(0, 1), "{");
+    std::remove(csvPath.c_str());
+    std::remove(jsonPath.c_str());
+}
+
+// ---------------------------------------------------------------------
+// DPRINTF gating
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, DprintfDoesNotEvaluateArgsWhenOff)
+{
+    int evals = 0;
+    auto expensive = [&evals] { ++evals; return 1; };
+    DPRINTF(Fetch, "value=%d", expensive());
+    EXPECT_EQ(evals, 0);
+
+    std::string path = ::testing::TempDir() + "vpsim_dprintf.txt";
+    trace::setFlags("Fetch");
+    trace::setOutputFile(path);
+    DPRINTF(Fetch, "value=%d", expensive());
+    EXPECT_EQ(evals, 1);
+    trace::setOutputFile("");
+    EXPECT_NE(readFile(path).find("Fetch: value=1"), std::string::npos);
+    std::remove(path.c_str());
+}
