@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_oracle_potential"
+  "../bench/fig1_oracle_potential.pdb"
+  "CMakeFiles/fig1_oracle_potential.dir/fig1_oracle_potential.cc.o"
+  "CMakeFiles/fig1_oracle_potential.dir/fig1_oracle_potential.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_oracle_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

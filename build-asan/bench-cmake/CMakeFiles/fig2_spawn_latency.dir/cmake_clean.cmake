@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_spawn_latency"
+  "../bench/fig2_spawn_latency.pdb"
+  "CMakeFiles/fig2_spawn_latency.dir/fig2_spawn_latency.cc.o"
+  "CMakeFiles/fig2_spawn_latency.dir/fig2_spawn_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_spawn_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

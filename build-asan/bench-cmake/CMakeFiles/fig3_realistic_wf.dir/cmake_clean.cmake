@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_realistic_wf"
+  "../bench/fig3_realistic_wf.pdb"
+  "CMakeFiles/fig3_realistic_wf.dir/fig3_realistic_wf.cc.o"
+  "CMakeFiles/fig3_realistic_wf.dir/fig3_realistic_wf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_realistic_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

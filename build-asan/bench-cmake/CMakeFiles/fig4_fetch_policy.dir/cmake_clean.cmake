@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_fetch_policy"
+  "../bench/fig4_fetch_policy.pdb"
+  "CMakeFiles/fig4_fetch_policy.dir/fig4_fetch_policy.cc.o"
+  "CMakeFiles/fig4_fetch_policy.dir/fig4_fetch_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fetch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_multivalue_potential"
+  "../bench/fig5_multivalue_potential.pdb"
+  "CMakeFiles/fig5_multivalue_potential.dir/fig5_multivalue_potential.cc.o"
+  "CMakeFiles/fig5_multivalue_potential.dir/fig5_multivalue_potential.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_multivalue_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

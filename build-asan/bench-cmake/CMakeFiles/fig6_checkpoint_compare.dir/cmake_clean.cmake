@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_checkpoint_compare"
+  "../bench/fig6_checkpoint_compare.pdb"
+  "CMakeFiles/fig6_checkpoint_compare.dir/fig6_checkpoint_compare.cc.o"
+  "CMakeFiles/fig6_checkpoint_compare.dir/fig6_checkpoint_compare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_checkpoint_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec4_prefetch_ablation"
+  "../bench/sec4_prefetch_ablation.pdb"
+  "CMakeFiles/sec4_prefetch_ablation.dir/sec4_prefetch_ablation.cc.o"
+  "CMakeFiles/sec4_prefetch_ablation.dir/sec4_prefetch_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_prefetch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec53_store_buffer"
+  "../bench/sec53_store_buffer.pdb"
+  "CMakeFiles/sec53_store_buffer.dir/sec53_store_buffer.cc.o"
+  "CMakeFiles/sec53_store_buffer.dir/sec53_store_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_store_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec54_dfcm_ablation"
+  "../bench/sec54_dfcm_ablation.pdb"
+  "CMakeFiles/sec54_dfcm_ablation.dir/sec54_dfcm_ablation.cc.o"
+  "CMakeFiles/sec54_dfcm_ablation.dir/sec54_dfcm_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_dfcm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec54_dfcm_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec56_multi_value"
+  "../bench/sec56_multi_value.pdb"
+  "CMakeFiles/sec56_multi_value.dir/sec56_multi_value.cc.o"
+  "CMakeFiles/sec56_multi_value.dir/sec56_multi_value.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_multi_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

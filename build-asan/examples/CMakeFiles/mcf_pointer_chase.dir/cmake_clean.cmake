@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcf_pointer_chase.dir/mcf_pointer_chase.cpp.o"
+  "CMakeFiles/mcf_pointer_chase.dir/mcf_pointer_chase.cpp.o.d"
+  "mcf_pointer_chase"
+  "mcf_pointer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcf_pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

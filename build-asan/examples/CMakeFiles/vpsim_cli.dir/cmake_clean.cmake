@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_cli.dir/vpsim_cli.cpp.o"
+  "CMakeFiles/vpsim_cli.dir/vpsim_cli.cpp.o.d"
+  "vpsim_cli"
+  "vpsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

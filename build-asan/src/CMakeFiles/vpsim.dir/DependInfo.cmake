@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/branch_predictor.cc" "src/CMakeFiles/vpsim.dir/bpred/branch_predictor.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/bpred/branch_predictor.cc.o.d"
+  "/root/repo/src/bpred/btb.cc" "src/CMakeFiles/vpsim.dir/bpred/btb.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/bpred/btb.cc.o.d"
+  "/root/repo/src/core/commit.cc" "src/CMakeFiles/vpsim.dir/core/commit.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/core/commit.cc.o.d"
+  "/root/repo/src/core/cpu.cc" "src/CMakeFiles/vpsim.dir/core/cpu.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/core/cpu.cc.o.d"
+  "/root/repo/src/core/dispatch.cc" "src/CMakeFiles/vpsim.dir/core/dispatch.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/core/dispatch.cc.o.d"
+  "/root/repo/src/core/execute.cc" "src/CMakeFiles/vpsim.dir/core/execute.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/core/execute.cc.o.d"
+  "/root/repo/src/core/fetch.cc" "src/CMakeFiles/vpsim.dir/core/fetch.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/core/fetch.cc.o.d"
+  "/root/repo/src/core/issue_queue.cc" "src/CMakeFiles/vpsim.dir/core/issue_queue.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/core/issue_queue.cc.o.d"
+  "/root/repo/src/core/phys_regfile.cc" "src/CMakeFiles/vpsim.dir/core/phys_regfile.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/core/phys_regfile.cc.o.d"
+  "/root/repo/src/emu/context_state.cc" "src/CMakeFiles/vpsim.dir/emu/context_state.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/emu/context_state.cc.o.d"
+  "/root/repo/src/emu/emulator.cc" "src/CMakeFiles/vpsim.dir/emu/emulator.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/emu/emulator.cc.o.d"
+  "/root/repo/src/emu/memory.cc" "src/CMakeFiles/vpsim.dir/emu/memory.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/emu/memory.cc.o.d"
+  "/root/repo/src/emu/store_buffer.cc" "src/CMakeFiles/vpsim.dir/emu/store_buffer.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/emu/store_buffer.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/vpsim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/vpsim.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/vpsim.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/isa/isa.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/vpsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/vpsim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/CMakeFiles/vpsim.dir/mem/prefetcher.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/mem/prefetcher.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/vpsim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/vpsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/vpsim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/vpsim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/vpsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/vpsim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/vpred/dfcm.cc" "src/CMakeFiles/vpsim.dir/vpred/dfcm.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/dfcm.cc.o.d"
+  "/root/repo/src/vpred/last_value.cc" "src/CMakeFiles/vpsim.dir/vpred/last_value.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/last_value.cc.o.d"
+  "/root/repo/src/vpred/load_selector.cc" "src/CMakeFiles/vpsim.dir/vpred/load_selector.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/load_selector.cc.o.d"
+  "/root/repo/src/vpred/stride.cc" "src/CMakeFiles/vpsim.dir/vpred/stride.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/stride.cc.o.d"
+  "/root/repo/src/vpred/value_predictor.cc" "src/CMakeFiles/vpsim.dir/vpred/value_predictor.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/value_predictor.cc.o.d"
+  "/root/repo/src/vpred/wang_franklin.cc" "src/CMakeFiles/vpsim.dir/vpred/wang_franklin.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/vpred/wang_franklin.cc.o.d"
+  "/root/repo/src/workloads/fp_workloads.cc" "src/CMakeFiles/vpsim.dir/workloads/fp_workloads.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/workloads/fp_workloads.cc.o.d"
+  "/root/repo/src/workloads/int_workloads.cc" "src/CMakeFiles/vpsim.dir/workloads/int_workloads.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/workloads/int_workloads.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/vpsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/vpsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

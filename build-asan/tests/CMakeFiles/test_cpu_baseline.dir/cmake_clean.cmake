@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_baseline.dir/cpu_baseline_test.cc.o"
+  "CMakeFiles/test_cpu_baseline.dir/cpu_baseline_test.cc.o.d"
+  "test_cpu_baseline"
+  "test_cpu_baseline.pdb"
+  "test_cpu_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

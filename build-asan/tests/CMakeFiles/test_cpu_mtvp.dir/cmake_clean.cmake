@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_mtvp.dir/cpu_mtvp_test.cc.o"
+  "CMakeFiles/test_cpu_mtvp.dir/cpu_mtvp_test.cc.o.d"
+  "test_cpu_mtvp"
+  "test_cpu_mtvp.pdb"
+  "test_cpu_mtvp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_mtvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_stvp.dir/cpu_stvp_test.cc.o"
+  "CMakeFiles/test_cpu_stvp.dir/cpu_stvp_test.cc.o.d"
+  "test_cpu_stvp"
+  "test_cpu_stvp.pdb"
+  "test_cpu_stvp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_stvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

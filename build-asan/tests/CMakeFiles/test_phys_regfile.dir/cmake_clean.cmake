@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_regfile.dir/phys_regfile_test.cc.o"
+  "CMakeFiles/test_phys_regfile.dir/phys_regfile_test.cc.o.d"
+  "test_phys_regfile"
+  "test_phys_regfile.pdb"
+  "test_phys_regfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

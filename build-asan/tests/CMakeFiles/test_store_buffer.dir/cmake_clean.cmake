@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_buffer.dir/store_buffer_test.cc.o"
+  "CMakeFiles/test_store_buffer.dir/store_buffer_test.cc.o.d"
+  "test_store_buffer"
+  "test_store_buffer.pdb"
+  "test_store_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

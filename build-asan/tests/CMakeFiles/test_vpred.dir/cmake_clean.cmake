@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpred.dir/vpred_test.cc.o"
+  "CMakeFiles/test_vpred.dir/vpred_test.cc.o.d"
+  "test_vpred"
+  "test_vpred.pdb"
+  "test_vpred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

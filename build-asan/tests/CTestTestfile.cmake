@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_isa[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_emulator[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_memory[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_store_buffer[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cache[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_prefetcher[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_bpred[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_vpred[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_selector[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_config[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_phys_regfile[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cpu_baseline[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cpu_stvp[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cpu_mtvp[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")

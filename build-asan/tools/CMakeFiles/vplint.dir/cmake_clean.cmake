@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vplint.dir/vplint.cc.o"
+  "CMakeFiles/vplint.dir/vplint.cc.o.d"
+  "vplint"
+  "vplint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vplint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
