@@ -12,6 +12,18 @@
  *                    representative subset; single-sweep benches always
  *                    run the full set)
  *   MTVP_SEED=<n>    workload data-set seed        (default 1)
+ *   MTVP_JOBS=<n>    parallel sim jobs (default: hardware threads;
+ *                    1 = serial). Also --jobs N on any bench binary.
+ *   MTVP_NO_CACHE=1  skip the persistent result cache (--no-cache)
+ *   MTVP_CACHE_DIR=  result cache directory (default bench-cache/)
+ *   MTVP_JSON=<path> also write this binary's rows as JSON
+ *
+ * Simulations fan out over a SimPool/SimJobGraph (src/sim/sim_pool.hh):
+ * each (config, workload) point is an independent deterministic job, so
+ * row/series order — and every printed number — is identical at any job
+ * count. Finished points persist in the on-disk result cache keyed by
+ * the hashed canonical config (src/sim/result_cache.hh), making a rerun
+ * of an already-computed figure near-instant.
  */
 
 #ifndef VPSIM_BENCH_BENCH_UTIL_HH
@@ -20,12 +32,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/result_cache.hh"
+#include "sim/sim_pool.hh"
 #include "sim/simulation.hh"
+#include "sim/stats.hh"
 #include "workloads/workload.hh"
 
 namespace vpbench
@@ -104,27 +122,184 @@ baseConfig()
     return cfg;
 }
 
-/** Memoizing runner: baselines are shared across series. */
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    int jobs = 0;     ///< 0 = MTVP_JOBS env / hardware concurrency.
+    bool noCache = false;
+};
+
+inline BenchOptions &
+benchOptions()
+{
+    static BenchOptions opts;
+    return opts;
+}
+
+/**
+ * Parse the common bench flags (--jobs N, --no-cache); fatal() on
+ * anything unrecognized. Call first thing in every bench main().
+ */
+inline void
+benchInit(int argc, char **argv)
+{
+    BenchOptions &o = benchOptions();
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--jobs" && i + 1 < argc) {
+            o.jobs = std::atoi(argv[++i]);
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            o.jobs = std::atoi(a.c_str() + 7);
+        } else if (a == "--no-cache") {
+            o.noCache = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("usage: %s [--jobs N] [--no-cache]\n"
+                        "  --jobs N     parallel sim jobs (default: "
+                        "MTVP_JOBS or hardware threads; 1 = serial)\n"
+                        "  --no-cache   ignore the persistent result "
+                        "cache (bench-cache/)\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown bench option '%s' (try --help)", a.c_str());
+        }
+        if (o.jobs < 0)
+            fatal("--jobs must be >= 1");
+    }
+}
+
+/**
+ * Parallel memoizing runner: every (config, workload) point becomes one
+ * job on a shared SimPool; identical points (the baselines every series
+ * shares) dedup onto a single future, and completed points persist in
+ * the on-disk result cache.
+ */
 class Runner
 {
   public:
+    Runner()
+        : _cache(benchOptions().noCache ? ResultCache("")
+                                        : ResultCache::standard()),
+          _pool(benchOptions().jobs > 0 ? benchOptions().jobs
+                                        : SimPool::defaultJobs()),
+          _graph(_pool, _cache.enabled() ? &_cache : nullptr)
+    {
+    }
+
+    /** Enqueue one point (dedup/cached); get() in any order. */
+    std::shared_future<SimResult>
+    submit(const SimConfig &cfg, const std::string &workload)
+    {
+        return _graph.submit(cfg, workload);
+    }
+
+    /** Synchronous convenience wrapper over submit(). */
     SimResult
     run(const SimConfig &cfg, const std::string &workload)
     {
-        std::string key = workload + "|" + cfg.toString() + "|" +
-                          std::to_string(cfg.maxInsts) + "|" +
-                          std::to_string(cfg.seed) + "|" +
-                          std::to_string(cfg.prefetchEnabled);
-        auto it = _cache.find(key);
-        if (it != _cache.end())
-            return it->second;
-        SimResult r = runWorkload(cfg, workload);
-        _cache.emplace(std::move(key), r);
+        return submit(cfg, workload).get();
+    }
+
+    SimPool &pool() { return _pool; }
+    SimJobGraph &graph() { return _graph; }
+    const ResultCache &cache() const { return _cache; }
+
+  private:
+    ResultCache _cache;
+    SimPool _pool;
+    SimJobGraph _graph;
+};
+
+/**
+ * Optional machine-readable row sink: when MTVP_JSON is set, every row
+ * a bench prints is also recorded and dumped as JSON at process exit
+ * (bench/run_all.cc aggregates these into BENCH_results.json).
+ */
+class JsonRecorder
+{
+  public:
+    static JsonRecorder &
+    instance()
+    {
+        static JsonRecorder r;
         return r;
     }
 
+    void
+    setTitle(const std::string &title)
+    {
+        if (_title.empty())
+            _title = title;
+    }
+
+    void
+    record(const std::string &category, const std::string &workload,
+           const std::string &config, const SimResult &base,
+           const SimResult &r, double speedupPct)
+    {
+        if (!enabled())
+            return;
+        Row row;
+        row.category = category;
+        row.workload = workload;
+        row.config = config;
+        row.speedupPct = speedupPct;
+        row.ipc = r.usefulIpc;
+        row.baseIpc = base.usefulIpc;
+        row.cycles = static_cast<double>(r.cycles);
+        _rows.push_back(std::move(row));
+    }
+
+    bool enabled() const { return std::getenv("MTVP_JSON") != nullptr; }
+
+    ~JsonRecorder()
+    {
+        if (!enabled() || _rows.empty())
+            return;
+        const char *path = std::getenv("MTVP_JSON");
+        std::FILE *f = std::fopen(path, "w");
+        if (f == nullptr) {
+            warn("cannot write MTVP_JSON file '%s'", path);
+            return;
+        }
+        auto q = [](const std::string &s) {
+            std::ostringstream os;
+            jsonQuote(os, s);
+            return os.str();
+        };
+        std::fprintf(f, "{\n  \"title\": %s,\n  \"insts\": %llu,\n"
+                        "  \"rows\": [",
+                     q(_title).c_str(),
+                     static_cast<unsigned long long>(instCount()));
+        for (size_t i = 0; i < _rows.size(); ++i) {
+            const Row &r = _rows[i];
+            std::fprintf(
+                f,
+                "%s\n    {\"category\": %s, \"workload\": %s, "
+                "\"config\": %s, \"speedupPct\": %.17g, "
+                "\"ipc\": %.17g, \"baseIpc\": %.17g, \"cycles\": %.17g}",
+                i == 0 ? "" : ",", q(r.category).c_str(),
+                q(r.workload).c_str(), q(r.config).c_str(), r.speedupPct,
+                r.ipc, r.baseIpc, r.cycles);
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+    }
+
   private:
-    std::map<std::string, SimResult> _cache;
+    struct Row
+    {
+        std::string category;
+        std::string workload;
+        std::string config;
+        double speedupPct = 0.0;
+        double ipc = 0.0;
+        double baseIpc = 0.0;
+        double cycles = 0.0;
+    };
+
+    std::string _title;
+    std::vector<Row> _rows;
 };
 
 inline void
@@ -134,6 +309,7 @@ printTitle(const std::string &title)
     std::printf("(useful-IPC %% speedup over the no-VP baseline; "
                 "%llu useful insts/run)\n",
                 static_cast<unsigned long long>(instCount()));
+    JsonRecorder::instance().setTitle(title);
 }
 
 inline void
@@ -158,6 +334,10 @@ printRow(const std::string &name, const std::vector<double> &values)
  * Run one speedup table: for every workload, the baseline plus each
  * configuration in @p configs; prints per-workload speedups and the
  * per-category geometric mean row.
+ *
+ * Every point is submitted to the runner's job pool up front, then
+ * collected in submission order — so the whole table simulates in
+ * parallel while rows and numbers stay bit-identical to a serial run.
  */
 inline void
 speedupTable(Runner &runner, const std::string &category,
@@ -172,17 +352,31 @@ speedupTable(Runner &runner, const std::string &category,
         return cols;
     }());
 
-    std::vector<std::vector<double>> perConfig(configs.size());
+    // Fan the whole matrix out first (baselines dedup onto one job per
+    // workload across every series of the bench)...
+    std::vector<std::shared_future<SimResult>> baseFuts;
+    std::vector<std::vector<std::shared_future<SimResult>>> cfgFuts;
     for (const auto &wl : workloads) {
-        SimResult b = runner.run(base, wl);
+        baseFuts.push_back(runner.submit(base, wl));
+        cfgFuts.emplace_back();
+        for (const auto &[name, cfg] : configs)
+            cfgFuts.back().push_back(runner.submit(cfg, wl));
+    }
+
+    // ...then collect and print in deterministic row order.
+    std::vector<std::vector<double>> perConfig(configs.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const SimResult &b = baseFuts[w].get();
         std::vector<double> row;
         for (size_t i = 0; i < configs.size(); ++i) {
-            SimResult r = runner.run(configs[i].second, wl);
+            const SimResult &r = cfgFuts[w][i].get();
             double s = percentSpeedup(b, r);
             row.push_back(s);
             perConfig[i].push_back(s);
+            JsonRecorder::instance().record(category, workloads[w],
+                                            configs[i].first, b, r, s);
         }
-        printRow(wl, row);
+        printRow(workloads[w], row);
     }
     std::vector<double> geo;
     for (auto &v : perConfig)

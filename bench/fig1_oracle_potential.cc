@@ -13,8 +13,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Figure 1: oracle value prediction potential "
                "(STVP vs MTVP x {2,4,8}, ILP-pred)");

@@ -12,8 +12,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Figure 2: spawn-latency sensitivity (oracle, ILP-pred)");
 

@@ -11,8 +11,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Figure 3: realistic Wang-Franklin predictor "
                "(8-cycle spawn, 128-entry store buffer)");

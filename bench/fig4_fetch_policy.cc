@@ -12,8 +12,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Figure 4: fetch policy after an MTVP spawn "
                "(Wang-Franklin, mtvp8)");

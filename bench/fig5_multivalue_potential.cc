@@ -21,10 +21,14 @@ fractionTable(Runner &runner, const std::string &category,
 {
     std::printf("%-10s %12s %12s %12s\n", "workload", "followed",
                 "recoverable", "fraction");
+    std::vector<std::shared_future<SimResult>> futs;
+    for (const auto &wl : workloads)
+        futs.push_back(runner.submit(cfg, wl));
     double sumFrac = 0.0;
     int n = 0;
-    for (const auto &wl : workloads) {
-        SimResult r = runner.run(cfg, wl);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &wl = workloads[w];
+        const SimResult &r = futs[w].get();
         double followed = r.stat("vp.followed");
         double had = r.stat("vp.primaryWrongHadCorrect");
         double frac = followed > 0 ? had / followed : 0.0;
@@ -41,8 +45,9 @@ fractionTable(Runner &runner, const std::string &category,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Figure 5: fraction of followed predictions where the "
                "primary value was wrong but the correct value was "

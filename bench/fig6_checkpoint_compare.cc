@@ -14,8 +14,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Figure 6: idealized wide window vs best MTVP vs "
                "spawn-only");

@@ -12,8 +12,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Section 4 ablation: MTVP with and without the stride "
                "prefetcher (oracle, mtvp8)");

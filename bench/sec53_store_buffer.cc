@@ -11,8 +11,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Section 5.3: store-buffer size sweep "
                "(oracle, mtvp4, 8-cycle spawn)");

@@ -12,8 +12,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Section 5.4: DFCM vs Wang-Franklin (mtvp8)");
 

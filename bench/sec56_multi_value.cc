@@ -12,8 +12,9 @@
 using namespace vpbench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv);
     setVerbose(false);
     printTitle("Section 5.6: multiple-value MTVP "
                "(liberal threshold, cache-oracle load selector)");

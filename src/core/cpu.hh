@@ -31,6 +31,7 @@
 
 #include "bpred/branch_predictor.hh"
 #include "bpred/btb.hh"
+#include "core/inst_pool.hh"
 #include "core/issue_queue.hh"
 #include "core/phys_regfile.hh"
 #include "core/thread_context.hh"
@@ -179,6 +180,13 @@ class Cpu
     void detachChildFromParent(ThreadContext &child);
 
     // ----- Shared helpers (cpu.cc) -----
+    /** Pool-allocated DynInst (recycled chunks; see core/inst_pool.hh). */
+    DynInstPtr
+    allocInst()
+    {
+        return std::allocate_shared<DynInst>(
+            InstPoolAllocator<DynInst>(_instPool));
+    }
     PhysRegFile &poolFor(int logicalReg);
     const PhysRegFile &poolFor(int logicalReg) const;
     uint64_t &taintOf(int logicalReg, PhysReg reg);
@@ -235,6 +243,13 @@ class Cpu
     bool _finished = false;
     Cycle _lastCommitCycle = 0;
     int _commitRotor = 0;
+
+    /** Chunk pool behind allocInst(); shared into every control block. */
+    std::shared_ptr<InstPoolStorage> _instPool =
+        std::make_shared<InstPoolStorage>();
+    /** Per-cycle issue-candidate scratch (issueStage); reused so the
+     *  per-cycle hot path stays allocation-free after warmup. */
+    std::vector<DynInstPtr> _issueCandidates;
 
     std::vector<PendingLoad> _pending;
     std::vector<IlpWindow> _windows;

@@ -136,7 +136,7 @@ Cpu::dispatchOne(ThreadContext &tc)
     tc.fetchQueue.pop_front();
     trace::setContext(tc.id);
 
-    auto di = std::make_shared<DynInst>();
+    auto di = allocInst();
     di->seq = _nextSeq++;
     di->ctx = tc.id;
     di->dispatchCycle = _now;

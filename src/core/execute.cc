@@ -131,7 +131,8 @@ Cpu::tryIssue(const DynInstPtr &di)
 void
 Cpu::issueStage()
 {
-    std::vector<DynInstPtr> candidates;
+    std::vector<DynInstPtr> &candidates = _issueCandidates;
+    candidates.clear();
     // Selection scans the oldest waiting entries; the cap only matters
     // for the idealized 8K-queue machine (documented approximation).
     const int scanCap = 256;

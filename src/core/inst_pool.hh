@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fixed-chunk object pool backing DynInst allocation.
+ *
+ * Dispatch allocates one shared_ptr<DynInst> per dispatched instruction
+ * — tens of millions per figure sweep — and the default make_shared
+ * round-trips every one through the global heap. The pool hands
+ * allocate_shared same-sized chunks off a recycled free list backed by
+ * slab storage, so after warmup the per-instruction hot path performs
+ * no heap allocation at all (and no heap *deallocation* on release,
+ * which is the more expensive half under a multithreaded allocator).
+ *
+ * Each Cpu owns one pool and every DynInstPtr it creates carries a
+ * shared_ptr to the pool state in its control block (via the allocator
+ * copy stored there), so instructions that outlive the Cpu — e.g. test
+ * peeks — keep the slabs alive. The pool is single-threaded by design:
+ * a simulation runs wholly on one sim_pool worker, and DynInsts never
+ * cross simulations.
+ */
+
+#ifndef VPSIM_CORE_INST_POOL_HH
+#define VPSIM_CORE_INST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace vpsim
+{
+
+/** Slab-backed free list of same-sized chunks; see the file comment. */
+class InstPoolStorage
+{
+  public:
+    InstPoolStorage() = default;
+
+    InstPoolStorage(const InstPoolStorage &) = delete;
+    InstPoolStorage &operator=(const InstPoolStorage &) = delete;
+
+    void *
+    alloc(size_t bytes)
+    {
+        bytes = roundUp(bytes);
+        if (_chunkBytes == 0)
+            _chunkBytes = bytes; // First caller fixes the chunk size.
+        if (bytes != _chunkBytes)
+            return ::operator new(bytes); // Foreign size: plain heap.
+        if (_free.empty())
+            grow();
+        void *p = _free.back();
+        _free.pop_back();
+        return p;
+    }
+
+    void
+    dealloc(void *p, size_t bytes)
+    {
+        if (roundUp(bytes) != _chunkBytes) {
+            ::operator delete(p);
+            return;
+        }
+        _free.push_back(p);
+    }
+
+    size_t chunkBytes() const { return _chunkBytes; }
+    size_t freeChunks() const { return _free.size(); }
+    size_t slabCount() const { return _slabs.size(); }
+
+  private:
+    static constexpr size_t chunksPerSlab = 256;
+
+    static size_t
+    roundUp(size_t bytes)
+    {
+        constexpr size_t a = alignof(std::max_align_t);
+        return (bytes + a - 1) / a * a;
+    }
+
+    void
+    grow()
+    {
+        // operator new returns max_align_t-aligned storage and every
+        // chunk size is a multiple of that alignment, so chunk starts
+        // stay suitably aligned.
+        char *slab = static_cast<char *>(
+            ::operator new(_chunkBytes * chunksPerSlab));
+        _slabs.emplace_back(slab);
+        _free.reserve(_free.size() + chunksPerSlab);
+        for (size_t i = chunksPerSlab; i-- > 0;)
+            _free.push_back(slab + i * _chunkBytes);
+    }
+
+    struct OpDelete
+    {
+        void operator()(char *p) const { ::operator delete(p); }
+    };
+
+    size_t _chunkBytes = 0;
+    std::vector<std::unique_ptr<char[], OpDelete>> _slabs;
+    std::vector<void *> _free;
+};
+
+/**
+ * Minimal std::allocator_traits-compatible allocator over a shared
+ * InstPoolStorage; pass to std::allocate_shared. Copies (including the
+ * one the shared_ptr control block keeps for destruction) share the
+ * storage via shared_ptr, so deallocation always reaches the pool that
+ * produced the chunk.
+ */
+template <typename T>
+struct InstPoolAllocator
+{
+    using value_type = T;
+
+    std::shared_ptr<InstPoolStorage> state;
+
+    explicit InstPoolAllocator(std::shared_ptr<InstPoolStorage> s)
+        : state(std::move(s))
+    {
+    }
+
+    template <typename U>
+    InstPoolAllocator(const InstPoolAllocator<U> &o) : state(o.state)
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(state->alloc(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, size_t n)
+    {
+        state->dealloc(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool
+    operator==(const InstPoolAllocator<U> &o) const
+    {
+        return state == o.state;
+    }
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_INST_POOL_HH

@@ -12,6 +12,10 @@ IssueQueue::IssueQueue(StatGroup &stats, const std::string &name,
                                            "the queue")
 {
     vpsim_assert(capacity > 0);
+    // The 8K-entry idealized machines would make a full reserve huge;
+    // everyone else gets an allocation-free steady state immediately.
+    _entries.reserve(static_cast<size_t>(capacity <= 1024 ? capacity
+                                                          : 1024));
 }
 
 void
@@ -27,14 +31,16 @@ IssueQueue::insert(const DynInstPtr &inst)
 void
 IssueQueue::purgeSquashed()
 {
-    for (auto it = _entries.begin(); it != _entries.end();) {
-        if ((*it)->squashed ||
-            ((*it)->issued && (*it)->vpDependMask == 0)) {
-            it = _entries.erase(it);
-        } else {
-            ++it;
-        }
+    size_t w = 0;
+    for (size_t r = 0; r < _entries.size(); ++r) {
+        const DynInst &inst = *_entries[r];
+        if (inst.squashed || (inst.issued && inst.vpDependMask == 0))
+            continue;
+        if (w != r)
+            _entries[w] = std::move(_entries[r]);
+        ++w;
     }
+    _entries.resize(w);
 }
 
 } // namespace vpsim

@@ -11,8 +11,8 @@
 #ifndef VPSIM_CORE_ISSUE_QUEUE_HH
 #define VPSIM_CORE_ISSUE_QUEUE_HH
 
-#include <list>
 #include <string>
+#include <vector>
 
 #include "core/dyn_inst.hh"
 #include "sim/stats.hh"
@@ -46,25 +46,35 @@ class IssueQueue
     void
     forEachWaiting(Fn &&fn, int maxVisit = 1 << 30)
     {
+        // Single compacting sweep over a dense, age-ordered vector (no
+        // per-node heap allocation, sequential cache traffic): entries
+        // that can leave are dropped by not copying them forward; the
+        // unvisited tail past maxVisit is kept verbatim, exactly like
+        // the pre-vector std::list implementation stopped mid-walk.
+        const size_t n = _entries.size();
+        size_t r = 0, w = 0;
         int visited = 0;
-        for (auto it = _entries.begin();
-             it != _entries.end() && visited < maxVisit;) {
-            DynInst &inst = **it;
-            if (inst.squashed) {
-                it = _entries.erase(it);
+        for (; r < n && visited < maxVisit; ++r) {
+            DynInst &inst = *_entries[r];
+            if (inst.squashed)
                 continue;
-            }
             if (inst.issued && inst.vpDependMask == 0) {
                 // Confirmed and issued: the entry can finally leave.
-                it = _entries.erase(it);
                 continue;
             }
             if (!inst.issued) {
-                fn(*it);
+                fn(_entries[r]);
                 ++visited;
             }
-            ++it;
+            if (w != r)
+                _entries[w] = std::move(_entries[r]);
+            ++w;
         }
+        for (; r < n; ++r, ++w) {
+            if (w != r)
+                _entries[w] = std::move(_entries[r]);
+        }
+        _entries.resize(w);
     }
 
     /** Drop entries whose instructions were squashed (lazy cleanup). */
@@ -74,7 +84,10 @@ class IssueQueue
     int peakSize() const { return _peak; }
 
   private:
-    std::list<DynInstPtr> _entries; // Dispatch (age) order.
+    /** Dispatch (age) order, dense. Slots are recycled by compaction
+     *  during forEachWaiting()/purgeSquashed() sweeps, so steady-state
+     *  operation allocates nothing. */
+    std::vector<DynInstPtr> _entries;
     int _capacity;
     int _peak = 0;
     Scalar _inserted;

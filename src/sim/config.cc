@@ -150,6 +150,69 @@ SimConfig::toString() const
     return os.str();
 }
 
+std::string
+SimConfig::canonicalKey() const
+{
+    std::ostringstream os;
+    os << "pipelineDepth=" << pipelineDepth
+       << ";frontEndDepth=" << frontEndDepth
+       << ";fetchWidth=" << fetchWidth
+       << ";fetchLines=" << fetchLines
+       << ";fetchThreads=" << fetchThreads
+       << ";dispatchWidth=" << dispatchWidth
+       << ";issueWidth=" << issueWidth
+       << ";intIssue=" << intIssue
+       << ";fpIssue=" << fpIssue
+       << ";memIssue=" << memIssue
+       << ";commitWidth=" << commitWidth
+       << ";robSize=" << robSize
+       << ";renameRegs=" << renameRegs
+       << ";iqSize=" << iqSize
+       << ";fqSize=" << fqSize
+       << ";mqSize=" << mqSize
+       << ";bpredMetaEntries=" << bpredMetaEntries
+       << ";bpredGshareEntries=" << bpredGshareEntries
+       << ";bpredBimodalEntries=" << bpredBimodalEntries
+       << ";btbEntries=" << btbEntries
+       << ";rasEntries=" << rasEntries
+       << ";lineSize=" << lineSize
+       << ";icacheSize=" << icacheSize
+       << ";icacheAssoc=" << icacheAssoc
+       << ";icacheLatency=" << icacheLatency
+       << ";dcacheSize=" << dcacheSize
+       << ";dcacheAssoc=" << dcacheAssoc
+       << ";dcacheLatency=" << dcacheLatency
+       << ";l2Size=" << l2Size
+       << ";l2Assoc=" << l2Assoc
+       << ";l2Latency=" << l2Latency
+       << ";l3Size=" << l3Size
+       << ";l3Assoc=" << l3Assoc
+       << ";l3Latency=" << l3Latency
+       << ";memLatency=" << memLatency
+       << ";prefetchEnabled=" << prefetchEnabled
+       << ";prefetchEntries=" << prefetchEntries
+       << ";streamBuffers=" << streamBuffers
+       << ";streamBufferDepth=" << streamBufferDepth
+       << ";vpMode=" << vpsim::toString(vpMode)
+       << ";predictor=" << vpsim::toString(predictor)
+       << ";selector=" << vpsim::toString(selector)
+       << ";fetchPolicy=" << vpsim::toString(fetchPolicy)
+       << ";numContexts=" << numContexts
+       << ";spawnLatency=" << spawnLatency
+       << ";storeBufferSize=" << storeBufferSize
+       << ";maxValuesPerSpawn=" << maxValuesPerSpawn
+       << ";confidenceThreshold=" << confidenceThreshold
+       << ";confidenceMax=" << confidenceMax
+       << ";confidenceUp=" << confidenceUp
+       << ";confidenceDown=" << confidenceDown
+       << ";multiValueThreshold=" << multiValueThreshold
+       << ";wideWindow=" << wideWindow
+       << ";maxInsts=" << maxInsts
+       << ";maxCycles=" << maxCycles
+       << ";seed=" << seed;
+    return os.str();
+}
+
 void
 SimConfig::validate() const
 {

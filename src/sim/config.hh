@@ -143,6 +143,16 @@ struct SimConfig
     /** Human-readable multi-line summary. */
     std::string toString() const;
 
+    /**
+     * Canonical one-line serialization of *every* result-affecting field
+     * (telemetry outputs such as traceFlags/statsJson are excluded: they
+     * never change SimResult). This is the string the persistent result
+     * cache and the bench runners hash; adding a result-affecting field
+     * to SimConfig without extending canonicalKey() silently aliases
+     * distinct configs, so config_test cross-checks it against set().
+     */
+    std::string canonicalKey() const;
+
     /** Effective ROB/queue/register sizes after wideWindow expansion. */
     int effRobSize() const { return wideWindow ? 8192 : robSize; }
     int effIqSize() const { return wideWindow ? 8192 : iqSize; }

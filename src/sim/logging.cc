@@ -12,12 +12,17 @@ namespace
 
 bool verboseEnabled = true;
 
-/** The one message sink; nullptr means stderr. */
+/** The one message sink; nullptr means stderr. Configured before any
+ *  parallel simulation starts (bench mains / test fixtures), so workers
+ *  only ever read it; the FILE itself is internally locked. */
 std::FILE *logSink = nullptr;
 std::string logSinkPath;
 
-/** Live simulation cycle; messages are cycle-prefixed while non-null. */
-const uint64_t *cycleSource = nullptr;
+/** Live simulation cycle; messages are cycle-prefixed while non-null.
+ *  Thread-local: each pool worker's messages carry the cycle of the
+ *  simulation *it* is running, and registering/clearing the source in
+ *  Cpu's ctor/dtor stays race-free under parallel sweeps. */
+thread_local const uint64_t *cycleSource = nullptr;
 
 std::FILE *
 sink()

@@ -49,7 +49,8 @@ void setLogFile(const std::string &path);
  * Register the live simulation's cycle counter; while set, every logged
  * message is prefixed with the current cycle so interleaved bench output
  * is attributable. Pass nullptr when the simulation ends. The Cpu does
- * both automatically.
+ * both automatically. The registration is per-thread: a pool worker's
+ * messages carry the cycle of the simulation running on that worker.
  */
 void setLogCycleSource(const uint64_t *cycle);
 

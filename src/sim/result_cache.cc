@@ -1,0 +1,368 @@
+#include "sim/result_cache.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vpsim
+{
+
+/**
+ * Bump on any change to the set or meaning of exported stats (StatGroup
+ * registrations, SimResult fields, formula semantics). Stale entries
+ * keyed under an older tag then miss instead of returning numbers the
+ * current code would not reproduce.
+ */
+const char *const statSchemaVersion = "vpsim-stats-v1";
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+resultKeyString(const SimConfig &cfg, const std::string &workload)
+{
+    std::string key;
+    key.reserve(1024);
+    key += "schema=";
+    key += statSchemaVersion;
+    key += ";workload=";
+    key += workload;
+    key += ';';
+    key += cfg.canonicalKey();
+    return key;
+}
+
+uint64_t
+resultKey(const SimConfig &cfg, const std::string &workload)
+{
+    return fnv1a64(resultKeyString(cfg, workload));
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for the flat cache-entry shape this file writes.
+// Any deviation makes the entry a cache miss, so unknown constructs
+// simply fail the parse.
+// ---------------------------------------------------------------------
+
+struct JsonCursor
+{
+    const char *p;
+    const char *end;
+
+    bool atEnd() const { return p >= end; }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r')) {
+            ++p;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (atEnd() || *p != c)
+            return false;
+        ++p;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (atEnd() || *p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c == '\\') {
+                if (atEnd())
+                    return false;
+                char e = *p++;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  default: return false; // \uXXXX never written here.
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (atEnd())
+            return false;
+        ++p; // Closing quote.
+        return true;
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        skipWs();
+        char *after = nullptr;
+        out = std::strtod(p, &after);
+        if (after == p)
+            return false;
+        p = after;
+        return true;
+    }
+
+    bool
+    parseBool(bool &out)
+    {
+        skipWs();
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+            out = true;
+            p += 4;
+            return true;
+        }
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+            out = false;
+            p += 5;
+            return true;
+        }
+        return false;
+    }
+};
+
+bool
+parseEntry(const std::string &text, const std::string &expectKey,
+           SimResult &out)
+{
+    JsonCursor c{text.data(), text.data() + text.size()};
+    if (!c.consume('{'))
+        return false;
+
+    bool keyOk = false;
+    bool first = true;
+    while (true) {
+        if (c.consume('}'))
+            break;
+        if (!first && !c.consume(','))
+            return false;
+        first = false;
+        std::string field;
+        if (!c.parseString(field) || !c.consume(':'))
+            return false;
+        if (field == "schema" || field == "key" || field == "workload") {
+            std::string v;
+            if (!c.parseString(v))
+                return false;
+            if (field == "schema" && v != statSchemaVersion)
+                return false;
+            if (field == "key") {
+                if (v != expectKey)
+                    return false; // Hash collision or stale keying.
+                keyOk = true;
+            }
+            if (field == "workload")
+                out.workload = v;
+        } else if (field == "halted") {
+            if (!c.parseBool(out.halted))
+                return false;
+        } else if (field == "cycles") {
+            double v;
+            if (!c.parseNumber(v))
+                return false;
+            out.cycles = static_cast<Cycle>(v);
+        } else if (field == "usefulInsts") {
+            double v;
+            if (!c.parseNumber(v))
+                return false;
+            out.usefulInsts = static_cast<uint64_t>(v);
+        } else if (field == "usefulIpc") {
+            if (!c.parseNumber(out.usefulIpc))
+                return false;
+        } else if (field == "stats") {
+            if (!c.consume('{'))
+                return false;
+            bool firstStat = true;
+            while (true) {
+                if (c.consume('}'))
+                    break;
+                if (!firstStat && !c.consume(','))
+                    return false;
+                firstStat = false;
+                std::string name;
+                double v;
+                if (!c.parseString(name) || !c.consume(':') ||
+                    !c.parseNumber(v)) {
+                    return false;
+                }
+                out.stats[name] = v;
+            }
+        } else {
+            return false; // Unknown field: treat as a miss.
+        }
+    }
+    return keyOk;
+}
+
+/**
+ * %.17g round-trips every finite IEEE-754 double exactly, which the
+ * serial-vs-parallel bit-identity guarantee extends to cache hits.
+ */
+void
+printDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+bool
+makeDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    return false;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : _dir(std::move(dir))
+{
+}
+
+std::string
+ResultCache::entryPath(const SimConfig &cfg,
+                       const std::string &workload) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016" PRIx64,
+                  resultKey(cfg, workload));
+    return _dir + "/" + name + ".json";
+}
+
+bool
+ResultCache::lookup(const SimConfig &cfg, const std::string &workload,
+                    SimResult &out) const
+{
+    if (!enabled())
+        return false;
+    std::ifstream is(entryPath(cfg, workload));
+    if (!is)
+        return false;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    SimResult parsed;
+    if (!parseEntry(buf.str(), resultKeyString(cfg, workload), parsed))
+        return false;
+    out = std::move(parsed);
+    return true;
+}
+
+void
+ResultCache::store(const SimConfig &cfg, const std::string &workload,
+                   const SimResult &r) const
+{
+    if (!enabled())
+        return;
+    if (!makeDir(_dir)) {
+        warn("result cache: cannot create '%s': %s", _dir.c_str(),
+             std::strerror(errno));
+        return;
+    }
+
+    std::string body;
+    body.reserve(4096);
+    body += "{\n  \"schema\": ";
+    {
+        std::ostringstream q;
+        jsonQuote(q, statSchemaVersion);
+        body += q.str();
+        body += ",\n  \"key\": ";
+        std::ostringstream qk;
+        jsonQuote(qk, resultKeyString(cfg, workload));
+        body += qk.str();
+        body += ",\n  \"workload\": ";
+        std::ostringstream qw;
+        jsonQuote(qw, r.workload);
+        body += qw.str();
+    }
+    body += ",\n  \"cycles\": ";
+    printDouble(body, static_cast<double>(r.cycles));
+    body += ",\n  \"usefulInsts\": ";
+    printDouble(body, static_cast<double>(r.usefulInsts));
+    body += ",\n  \"usefulIpc\": ";
+    printDouble(body, r.usefulIpc);
+    body += ",\n  \"halted\": ";
+    body += r.halted ? "true" : "false";
+    body += ",\n  \"stats\": {";
+    bool first = true;
+    for (const auto &[name, value] : r.stats) {
+        body += first ? "\n" : ",\n";
+        first = false;
+        body += "    ";
+        std::ostringstream q;
+        jsonQuote(q, name);
+        body += q.str();
+        body += ": ";
+        printDouble(body, value);
+    }
+    body += "\n  }\n}\n";
+
+    // Write-to-temp + rename so a concurrent reader (other pool worker,
+    // other figure process) never sees a partial entry. The temp name
+    // carries the pid so concurrent writers of the same key cannot
+    // clobber each other's staging file.
+    const std::string path = entryPath(cfg, workload);
+    char pidbuf[32];
+    std::snprintf(pidbuf, sizeof(pidbuf), ".tmp.%ld",
+                  static_cast<long>(::getpid()));
+    const std::string tmp = path + pidbuf;
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        warn("result cache: cannot write '%s': %s", tmp.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    bool ok = std::fclose(f) == 0;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("result cache: cannot finalize '%s'", path.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+ResultCache
+ResultCache::standard()
+{
+    const char *noCache = std::getenv("MTVP_NO_CACHE");
+    if (noCache != nullptr && std::strtoull(noCache, nullptr, 0) != 0)
+        return ResultCache("");
+    const char *dir = std::getenv("MTVP_CACHE_DIR");
+    return ResultCache(dir != nullptr ? dir : "bench-cache");
+}
+
+} // namespace vpsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Persistent on-disk cache of simulation results.
+ *
+ * Every (SimConfig, workload) pair maps to a 64-bit FNV-1a hash of a
+ * canonical key string: the stat-schema version tag, the workload name,
+ * and SimConfig::canonicalKey() (which serializes every result-affecting
+ * field, including maxInsts and seed). Results are stored one JSON file
+ * per key under a cache directory (default `bench-cache/`), so re-running
+ * a figure binary after an unrelated change is near-instant: each sweep
+ * point is answered from disk instead of re-simulated.
+ *
+ * The full canonical key string is stored inside each entry and verified
+ * on load, so an FNV collision degrades to a cache miss, never a wrong
+ * result. Bump `statSchemaVersion` whenever the meaning or the set of
+ * exported stats changes; old entries then miss by construction.
+ *
+ * Thread safety: lookup() and store() may be called concurrently from
+ * pool workers — distinct keys touch distinct files, and store() writes
+ * via a per-key temp file + atomic rename so concurrent processes (e.g.
+ * two figure binaries sharing bench-cache/) never observe a torn entry.
+ */
+
+#ifndef VPSIM_SIM_RESULT_CACHE_HH
+#define VPSIM_SIM_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/simulation.hh"
+
+namespace vpsim
+{
+
+/** Version tag of the exported stat schema; part of every cache key. */
+extern const char *const statSchemaVersion;
+
+/** 64-bit FNV-1a of @p s (the canonical result-cache hash). */
+uint64_t fnv1a64(const std::string &s);
+
+/** The canonical key string hashed for one (config, workload) job. */
+std::string resultKeyString(const SimConfig &cfg,
+                            const std::string &workload);
+
+/** FNV-1a hash of resultKeyString() — the job identity everywhere. */
+uint64_t resultKey(const SimConfig &cfg, const std::string &workload);
+
+/** On-disk result store; see the file comment for the design. */
+class ResultCache
+{
+  public:
+    /**
+     * Cache rooted at @p dir (created on first store; empty string
+     * disables the cache entirely — lookups miss, stores are dropped).
+     */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return _dir; }
+    bool enabled() const { return !_dir.empty(); }
+
+    /**
+     * Load the entry for @p cfg x @p workload into @p out. Returns false
+     * on a miss: absent file, unreadable JSON, schema or canonical
+     * key mismatch.
+     */
+    bool lookup(const SimConfig &cfg, const std::string &workload,
+                SimResult &out) const;
+
+    /** Persist @p r for @p cfg x @p workload (atomic rename). */
+    void store(const SimConfig &cfg, const std::string &workload,
+               const SimResult &r) const;
+
+    /** Path of the entry file for one job (for tests/tooling). */
+    std::string entryPath(const SimConfig &cfg,
+                          const std::string &workload) const;
+
+    /**
+     * The conventional cache for bench binaries: directory from
+     * MTVP_CACHE_DIR (default "bench-cache"), disabled entirely when
+     * MTVP_NO_CACHE is set to a non-zero value.
+     */
+    static ResultCache standard();
+
+  private:
+    std::string _dir;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_RESULT_CACHE_HH

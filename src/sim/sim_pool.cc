@@ -1,0 +1,147 @@
+#include "sim/sim_pool.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace vpsim
+{
+
+SimPool::SimPool(int threads) : _threads(threads < 1 ? 1 : threads)
+{
+    if (_threads <= 1)
+        return;
+    _workers.reserve(static_cast<size_t>(_threads));
+    for (int i = 0; i < _threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+SimPool::~SimPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        _stop = true;
+    }
+    _cv.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+SimPool::enqueue(std::function<void()> job)
+{
+    if (_workers.empty()) {
+        // Inline (serial) mode: run on the caller's thread right away.
+        job();
+        std::lock_guard<std::mutex> lk(_m);
+        ++_executed;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        _queue.push_back(std::move(job));
+    }
+    _cv.notify_one();
+}
+
+void
+SimPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(_m);
+            _cv.wait(lk, [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return; // _stop and drained.
+            job = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        job(); // packaged_task: exceptions land in the future.
+        {
+            std::lock_guard<std::mutex> lk(_m);
+            ++_executed;
+        }
+    }
+}
+
+uint64_t
+SimPool::executed() const
+{
+    std::lock_guard<std::mutex> lk(_m);
+    return _executed;
+}
+
+int
+SimPool::defaultJobs()
+{
+    const char *v = std::getenv("MTVP_JOBS");
+    if (v != nullptr && *v != '\0') {
+        long n = std::strtol(v, nullptr, 0);
+        if (n >= 1)
+            return static_cast<int>(n);
+        warn("ignoring invalid MTVP_JOBS='%s'", v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SimJobGraph::SimJobGraph(SimPool &pool, const ResultCache *cache)
+    : _pool(pool), _cache(cache)
+{
+    // Force the (lazily initialized, intentionally immortal) workload
+    // registry into existence before any worker races to it.
+    allWorkloads();
+}
+
+std::shared_future<SimResult>
+SimJobGraph::submit(const SimConfig &cfg, const std::string &workload)
+{
+    const uint64_t key = resultKey(cfg, workload);
+
+    std::lock_guard<std::mutex> lk(_m);
+    auto it = _jobs.find(key);
+    if (it != _jobs.end())
+        return it->second; // Baseline sharing: join the existing job.
+
+    SimResult cached;
+    if (_cache != nullptr && _cache->lookup(cfg, workload, cached)) {
+        ++_cacheHits;
+        std::promise<SimResult> ready;
+        ready.set_value(std::move(cached));
+        auto fut = ready.get_future().share();
+        _jobs.emplace(key, fut);
+        return fut;
+    }
+
+    ++_simulated;
+    const ResultCache *cache = _cache;
+    auto fut = _pool
+                   .submit([cfg, workload, cache] {
+                       SimResult r = runWorkload(cfg, workload);
+                       if (cache != nullptr)
+                           cache->store(cfg, workload, r);
+                       return r;
+                   })
+                   .share();
+    _jobs.emplace(key, fut);
+    return fut;
+}
+
+uint64_t
+SimJobGraph::cacheHits() const
+{
+    std::lock_guard<std::mutex> lk(_m);
+    return _cacheHits;
+}
+
+uint64_t
+SimJobGraph::simulated() const
+{
+    std::lock_guard<std::mutex> lk(_m);
+    return _simulated;
+}
+
+} // namespace vpsim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Parallel simulation job engine.
+ *
+ * Two layers:
+ *
+ *  - **SimPool**: a fixed-size std::thread pool with a FIFO job queue
+ *    and std::future results. No work stealing: workers pop from one
+ *    shared queue in submission order, which keeps scheduling simple
+ *    and (because every simulation is an independent, deterministic
+ *    job) is all the figure sweeps need. A pool constructed with
+ *    `threads <= 1` executes jobs inline at submit() — the serial mode
+ *    the determinism tests compare against.
+ *
+ *  - **SimJobGraph**: dedup + caching layer for (SimConfig, workload)
+ *    simulation jobs. Submitting the same job twice returns the same
+ *    shared_future, so every bench series shares one baseline run
+ *    instead of depending on it by re-execution. An optional persistent
+ *    ResultCache is consulted before any simulation is enqueued and
+ *    populated when a job completes.
+ *
+ * Determinism guarantee: a simulation's result depends only on its
+ * (SimConfig, workload) pair — never on pool size, scheduling order, or
+ * sibling jobs. Serial (jobs=1) and parallel (jobs=N) runs of the same
+ * job set produce bit-identical SimResults; tests/sim_pool_test.cc
+ * asserts this. The per-process state that used to make one simulation
+ * unsafe with respect to another (the trace/log cycle sources) is
+ * thread-local, and each Cpu owns every piece of its mutable state.
+ */
+
+#ifndef VPSIM_SIM_SIM_POOL_HH
+#define VPSIM_SIM_SIM_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/result_cache.hh"
+#include "sim/simulation.hh"
+
+namespace vpsim
+{
+
+/** Fixed-size thread pool; see the file comment. */
+class SimPool
+{
+  public:
+    /**
+     * @p threads worker threads; <= 1 means no workers (inline
+     * execution at submit).
+     */
+    explicit SimPool(int threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~SimPool();
+
+    SimPool(const SimPool &) = delete;
+    SimPool &operator=(const SimPool &) = delete;
+
+    int threads() const { return _threads; }
+
+    /**
+     * Enqueue @p fn; the future carries its return value or exception.
+     * Inline mode runs @p fn before returning (the future is ready).
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<decltype(fn())>
+    {
+        using R = decltype(fn());
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    /** Jobs executed so far (drained from the queue or run inline). */
+    uint64_t executed() const;
+
+    /**
+     * The pool size bench binaries use: the --jobs override if parsed,
+     * else MTVP_JOBS, else std::thread::hardware_concurrency().
+     */
+    static int defaultJobs();
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    const int _threads;
+    std::vector<std::thread> _workers;
+
+    mutable std::mutex _m;
+    std::condition_variable _cv;
+    std::deque<std::function<void()>> _queue;
+    bool _stop = false;
+    uint64_t _executed = 0;
+};
+
+/** Dedup/cache layer over SimPool for simulation jobs. */
+class SimJobGraph
+{
+  public:
+    /** @p cache may be nullptr (no persistence). */
+    SimJobGraph(SimPool &pool, const ResultCache *cache);
+
+    /**
+     * Enqueue one (config, workload) simulation, or join the identical
+     * in-flight/finished job, or answer from the persistent cache.
+     * Futures from one graph may be get() in any order.
+     */
+    std::shared_future<SimResult> submit(const SimConfig &cfg,
+                                         const std::string &workload);
+
+    /** Jobs answered from the persistent cache. */
+    uint64_t cacheHits() const;
+    /** Jobs that actually simulated (graph-level dedup excluded). */
+    uint64_t simulated() const;
+
+  private:
+    SimPool &_pool;
+    const ResultCache *_cache;
+
+    mutable std::mutex _m;
+    /** resultKey() -> the one future for that job. */
+    std::unordered_map<uint64_t, std::shared_future<SimResult>> _jobs;
+    uint64_t _cacheHits = 0;
+    uint64_t _simulated = 0;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_SIM_POOL_HH

@@ -15,8 +15,8 @@ namespace trace
 
 namespace detail
 {
-uint32_t activeMask = 0;
-CtxId curCtx = invalidCtx;
+thread_local uint32_t activeMask = 0;
+thread_local CtxId curCtx = invalidCtx;
 } // namespace detail
 
 namespace
@@ -27,12 +27,15 @@ const char *const flagNames[numFlags] = {
     "VPred", "MTVP",     "Cache",  "StoreBuffer",
 };
 
-uint32_t requestedMask_ = 0;
-Cycle winStart_ = 0;
-Cycle winEnd_ = 0; // 0 = no end
-Cycle cycle_ = 0;
-std::FILE *out_ = nullptr; // nullptr = stderr
-std::string outPath_;
+// All tracer state is thread-local (one simulation per thread); a pool
+// worker inherits whatever its previous job set, and every Cpu ctor
+// re-applies its own config, so jobs never observe each other.
+thread_local uint32_t requestedMask_ = 0;
+thread_local Cycle winStart_ = 0;
+thread_local Cycle winEnd_ = 0; // 0 = no end
+thread_local Cycle cycle_ = 0;
+thread_local std::FILE *out_ = nullptr; // nullptr = stderr
+thread_local std::string outPath_;
 
 std::FILE *
 sink()

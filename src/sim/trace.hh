@@ -19,9 +19,10 @@
  *    into an in-memory time series dumpable as JSON or CSV, so IPC and
  *    miss-rate trajectories around MTVP spawns become plottable.
  *
- * Flag, window, and output state is process-global (one simulated core
- * is traced at a time); the Cpu applies its SimConfig's trace settings
- * at construction.
+ * Flag, window, and output state is thread-local: each simulation job
+ * runs wholly on one thread (see sim/sim_pool.hh), so parallel sims
+ * trace independently without synchronizing on every DPRINTF gate. The
+ * Cpu applies its SimConfig's trace settings at construction.
  */
 
 #ifndef VPSIM_SIM_TRACE_HH
@@ -62,10 +63,11 @@ inline constexpr unsigned numFlags =
 namespace detail
 {
 /** Flags effectively on right now (requested mask gated by the cycle
- *  window). Read inline on every DPRINTF site; written on setCycle. */
-extern uint32_t activeMask;
+ *  window). Read inline on every DPRINTF site; written on setCycle.
+ *  Thread-local so concurrently running simulations never share it. */
+extern thread_local uint32_t activeMask;
 /** Thread context printed in message prefixes (invalidCtx = none). */
-extern CtxId curCtx;
+extern thread_local CtxId curCtx;
 } // namespace detail
 
 /** Near-zero-cost gate: one load + mask test when tracing is off. */

@@ -36,12 +36,15 @@ registerWorkload(const Workload *w)
 const std::vector<const Workload *> &
 allWorkloads()
 {
-    static bool initialized = false;
-    if (!initialized) {
-        initialized = true;
+    // Magic-static initialization: thread-safe even when the first two
+    // lookups race on different pool workers (a plain `bool` flag here
+    // would let both run the registrations).
+    static const bool initialized = [] {
         registerIntWorkloadsImpl();
         registerFpWorkloadsImpl();
-    }
+        return true;
+    }();
+    (void)initialized;
     return registry();
 }
 

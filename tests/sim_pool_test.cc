@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the parallel simulation job engine (sim/sim_pool.hh) and
+ * the persistent result cache (sim/result_cache.hh): pool draining,
+ * exception propagation, job dedup, cache round-trips and keying, and
+ * the headline determinism guarantee — serial and parallel runs of the
+ * same job matrix produce bit-identical SimResults.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "sim/result_cache.hh"
+#include "sim/sim_pool.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace vpsim;
+
+// ---------------------------------------------------------------------
+// SimPool
+// ---------------------------------------------------------------------
+
+TEST(SimPoolTest, DrainsManyJobsWithCorrectResults)
+{
+    SimPool pool(4);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 100; ++i)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i * i);
+    EXPECT_EQ(pool.executed(), 100u);
+}
+
+TEST(SimPoolTest, InlineModeRunsAtSubmit)
+{
+    SimPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    std::atomic<int> ran{0};
+    auto fut = pool.submit([&] {
+        ++ran;
+        return 7;
+    });
+    // Inline mode executes before submit() returns.
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(fut.get(), 7);
+}
+
+TEST(SimPoolTest, ExceptionsPropagateThroughFutures)
+{
+    SimPool pool(2);
+    auto ok = pool.submit([] { return 1; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 1);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    SimPool inlinePool(1);
+    auto badInline = inlinePool.submit(
+        []() -> int { throw std::runtime_error("inline boom"); });
+    EXPECT_THROW(badInline.get(), std::runtime_error);
+}
+
+TEST(SimPoolTest, DestructorDrainsQueuedJobs)
+{
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futs;
+    {
+        SimPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            futs.push_back(pool.submit([&ran, i] {
+                ++ran;
+                return i;
+            }));
+        }
+    } // Dtor joins after the queue drains.
+    EXPECT_EQ(ran.load(), 32);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i);
+}
+
+// ---------------------------------------------------------------------
+// Job graph + determinism
+// ---------------------------------------------------------------------
+
+SimConfig
+tinyConfig(uint64_t insts = 2000)
+{
+    SimConfig cfg;
+    cfg.vpMode = VpMode::None;
+    cfg.maxInsts = insts;
+    cfg.seed = 1;
+    return cfg;
+}
+
+/** Exact (bitwise, via ==) equality of every field and every stat. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.usefulInsts, b.usefulInsts);
+    EXPECT_EQ(a.usefulIpc, b.usefulIpc); // Bit-identical double.
+    EXPECT_EQ(a.halted, b.halted);
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (const auto &[name, value] : a.stats) {
+        auto it = b.stats.find(name);
+        ASSERT_NE(it, b.stats.end()) << "missing stat " << name;
+        EXPECT_EQ(value, it->second) << "stat " << name;
+    }
+}
+
+TEST(SimJobGraphTest, DedupsIdenticalJobs)
+{
+    SimPool pool(2);
+    SimJobGraph graph(pool, nullptr);
+    SimConfig cfg = tinyConfig();
+
+    auto f1 = graph.submit(cfg, "gzip.g");
+    auto f2 = graph.submit(cfg, "gzip.g"); // Same job: same future.
+    auto f3 = graph.submit(cfg, "mcf");
+    f1.wait();
+    f2.wait();
+    f3.wait();
+
+    EXPECT_EQ(graph.simulated(), 2u); // gzip.g once, mcf once.
+    expectIdentical(f1.get(), f2.get());
+    EXPECT_EQ(f1.get().workload, "gzip.g");
+    EXPECT_EQ(f3.get().workload, "mcf");
+}
+
+TEST(SimJobGraphTest, SerialAndParallelRunsAreBitIdentical)
+{
+    const std::vector<std::string> workloads = {"gzip.g", "mcf"};
+    std::vector<SimConfig> configs;
+    configs.push_back(tinyConfig()); // Baseline.
+    {
+        SimConfig stvp = tinyConfig();
+        stvp.vpMode = VpMode::Stvp;
+        stvp.predictor = PredictorKind::Oracle;
+        configs.push_back(stvp);
+    }
+    {
+        SimConfig mtvp = tinyConfig();
+        mtvp.vpMode = VpMode::Mtvp;
+        mtvp.numContexts = 2;
+        mtvp.predictor = PredictorKind::Oracle;
+        mtvp.storeBufferSize = 0;
+        configs.push_back(mtvp);
+    }
+
+    auto runMatrix = [&](int jobs) {
+        SimPool pool(jobs);
+        SimJobGraph graph(pool, nullptr);
+        std::vector<std::shared_future<SimResult>> futs;
+        for (const auto &wl : workloads)
+            for (const auto &cfg : configs)
+                futs.push_back(graph.submit(cfg, wl));
+        std::vector<SimResult> out;
+        for (auto &f : futs)
+            out.push_back(f.get());
+        return out;
+    };
+
+    std::vector<SimResult> serial = runMatrix(1);
+    std::vector<SimResult> parallel = runMatrix(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+// ---------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------
+
+std::string
+freshCacheDir(const char *tag)
+{
+    std::string dir = ::testing::TempDir() + "vpsim-cache-" + tag + "-" +
+                      std::to_string(::getpid());
+    // Entries are keyed by content hash, so a leftover dir from a
+    // previous identical run only makes lookups succeed sooner; tests
+    // that need a cold cache use distinct tags.
+    return dir;
+}
+
+TEST(ResultCacheTest, RoundTripsResultsExactly)
+{
+    ResultCache cache(freshCacheDir("roundtrip"));
+    SimConfig cfg = tinyConfig();
+    SimResult r = runWorkload(cfg, "gzip.g");
+
+    SimResult miss;
+    EXPECT_FALSE(cache.lookup(cfg, "gzip.g", miss));
+
+    cache.store(cfg, "gzip.g", r);
+    SimResult hit;
+    ASSERT_TRUE(cache.lookup(cfg, "gzip.g", hit));
+    expectIdentical(r, hit);
+}
+
+TEST(ResultCacheTest, EveryResultAffectingFieldChangesTheKey)
+{
+    SimConfig a = tinyConfig();
+    SimConfig b = tinyConfig();
+    EXPECT_EQ(resultKey(a, "mcf"), resultKey(b, "mcf"));
+    EXPECT_NE(resultKey(a, "mcf"), resultKey(a, "crafty"));
+
+    // The fields the old string-concatenation bench key silently
+    // dropped must all change the hash now.
+    b.confidenceThreshold += 1;
+    EXPECT_NE(resultKey(a, "mcf"), resultKey(b, "mcf"));
+    b = tinyConfig();
+    b.seed += 1;
+    EXPECT_NE(resultKey(a, "mcf"), resultKey(b, "mcf"));
+    b = tinyConfig();
+    b.maxInsts += 1;
+    EXPECT_NE(resultKey(a, "mcf"), resultKey(b, "mcf"));
+    b = tinyConfig();
+    b.prefetchEnabled = !b.prefetchEnabled;
+    EXPECT_NE(resultKey(a, "mcf"), resultKey(b, "mcf"));
+    b = tinyConfig();
+    b.confidenceDown += 1;
+    EXPECT_NE(resultKey(a, "mcf"), resultKey(b, "mcf"));
+    b = tinyConfig();
+    b.streamBufferDepth += 1;
+    EXPECT_NE(resultKey(a, "mcf"), resultKey(b, "mcf"));
+}
+
+TEST(ResultCacheTest, CollisionOrSchemaMismatchIsAMiss)
+{
+    ResultCache cache(freshCacheDir("collision"));
+    SimConfig cfg = tinyConfig();
+    SimResult r = runWorkload(cfg, "gzip.g");
+    cache.store(cfg, "gzip.g", r);
+
+    // Overwrite the entry with one whose canonical key string differs:
+    // simulates an FNV collision / stale keying. Must read as a miss.
+    SimConfig other = tinyConfig();
+    other.seed = 999;
+    std::ofstream(cache.entryPath(cfg, "gzip.g"))
+        << "{\"schema\": \"" << statSchemaVersion << "\", \"key\": \""
+        << resultKeyString(other, "gzip.g") << "\", \"usefulIpc\": 1}";
+    SimResult out;
+    EXPECT_FALSE(cache.lookup(cfg, "gzip.g", out));
+
+    // Garbage file: also a miss, never a crash.
+    std::ofstream(cache.entryPath(cfg, "gzip.g")) << "not json at all";
+    EXPECT_FALSE(cache.lookup(cfg, "gzip.g", out));
+}
+
+TEST(ResultCacheTest, DisabledCacheNeverStoresOrHits)
+{
+    ResultCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    SimConfig cfg = tinyConfig();
+    SimResult r;
+    r.workload = "fake";
+    cache.store(cfg, "gzip.g", r); // Dropped silently.
+    EXPECT_FALSE(cache.lookup(cfg, "gzip.g", r));
+}
+
+TEST(SimJobGraphTest, SecondGraphAnswersFromPersistentCache)
+{
+    ResultCache cache(freshCacheDir("graph"));
+    SimConfig cfg = tinyConfig();
+
+    SimPool pool(2);
+    SimResult cold;
+    {
+        SimJobGraph graph(pool, &cache);
+        cold = graph.submit(cfg, "gzip.g").get();
+        EXPECT_EQ(graph.simulated(), 1u);
+        EXPECT_EQ(graph.cacheHits(), 0u);
+    }
+    {
+        SimJobGraph graph(pool, &cache);
+        SimResult warm = graph.submit(cfg, "gzip.g").get();
+        EXPECT_EQ(graph.simulated(), 0u); // Answered from disk.
+        EXPECT_EQ(graph.cacheHits(), 1u);
+        expectIdentical(cold, warm);
+    }
+}
+
+} // namespace
