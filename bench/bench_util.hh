@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/profiler.hh"
 #include "sim/result_cache.hh"
 #include "sim/sim_pool.hh"
 #include "sim/simulation.hh"
@@ -127,6 +128,8 @@ struct BenchOptions
 {
     int jobs = 0;     ///< 0 = MTVP_JOBS env / hardware concurrency.
     bool noCache = false;
+    /** Enable the host self-profiler on every submitted run. */
+    bool profile = std::getenv("MTVP_PROFILE") != nullptr;
 };
 
 inline BenchOptions &
@@ -152,12 +155,18 @@ benchInit(int argc, char **argv)
             o.jobs = std::atoi(a.c_str() + 7);
         } else if (a == "--no-cache") {
             o.noCache = true;
+        } else if (a == "--profile") {
+            o.profile = true;
         } else if (a == "--help" || a == "-h") {
-            std::printf("usage: %s [--jobs N] [--no-cache]\n"
+            std::printf("usage: %s [--jobs N] [--no-cache] [--profile]\n"
                         "  --jobs N     parallel sim jobs (default: "
                         "MTVP_JOBS or hardware threads; 1 = serial)\n"
                         "  --no-cache   ignore the persistent result "
-                        "cache (bench-cache/)\n",
+                        "cache (bench-cache/)\n"
+                        "  --profile    host self-profiler breakdown "
+                        "(also MTVP_PROFILE=1; cached\n"
+                        "               results contribute no host "
+                        "time — combine with --no-cache)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -190,6 +199,14 @@ class Runner
     std::shared_future<SimResult>
     submit(const SimConfig &cfg, const std::string &workload)
     {
+        if (benchOptions().profile && !cfg.profile) {
+            // Telemetry-only knob: not part of the canonical cache key,
+            // so enabling it never invalidates cached results (which
+            // simply contribute no host time).
+            SimConfig profiled = cfg;
+            profiled.profile = true;
+            return _graph.submit(profiled, workload);
+        }
         return _graph.submit(cfg, workload);
     }
 
@@ -267,6 +284,13 @@ class JsonRecorder
             jsonQuote(os, s);
             return os.str();
         };
+        // jsonNumber serializes non-finite doubles as null — a divide-
+        // by-zero speedup must not produce invalid JSON.
+        auto n = [](double v) {
+            std::ostringstream os;
+            jsonNumber(os, v);
+            return os.str();
+        };
         std::fprintf(f, "{\n  \"title\": %s,\n  \"insts\": %llu,\n"
                         "  \"rows\": [",
                      q(_title).c_str(),
@@ -276,13 +300,19 @@ class JsonRecorder
             std::fprintf(
                 f,
                 "%s\n    {\"category\": %s, \"workload\": %s, "
-                "\"config\": %s, \"speedupPct\": %.17g, "
-                "\"ipc\": %.17g, \"baseIpc\": %.17g, \"cycles\": %.17g}",
+                "\"config\": %s, \"speedupPct\": %s, "
+                "\"ipc\": %s, \"baseIpc\": %s, \"cycles\": %s}",
                 i == 0 ? "" : ",", q(r.category).c_str(),
-                q(r.workload).c_str(), q(r.config).c_str(), r.speedupPct,
-                r.ipc, r.baseIpc, r.cycles);
+                q(r.workload).c_str(), q(r.config).c_str(),
+                n(r.speedupPct).c_str(), n(r.ipc).c_str(),
+                n(r.baseIpc).c_str(), n(r.cycles).c_str());
         }
-        std::fprintf(f, "\n  ]\n}\n");
+        std::fprintf(f, "\n  ]");
+        if (GlobalProfile::any()) {
+            std::fprintf(f, ",\n  \"hostProfile\": %s",
+                         GlobalProfile::snapshotJson().c_str());
+        }
+        std::fprintf(f, "\n}\n");
         std::fclose(f);
     }
 

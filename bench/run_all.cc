@@ -1,7 +1,7 @@
 /**
  * @file
- * Runs every figure/table bench binary and aggregates their results
- * into one machine-readable `BENCH_results.json`:
+ * Runs figure/table bench binaries and aggregates their results into
+ * one machine-readable `BENCH_results.json`:
  *
  *   { "figures": { "<binary>": { "wallSeconds": ..., "exitStatus": ...,
  *                                "report": { title, insts, rows } } } }
@@ -13,8 +13,22 @@
  * invocation is answered from the persistent result cache and should
  * finish in a small fraction of the cold-run time.
  *
- * Usage: run_all [--jobs N] [--no-cache]  (flags are forwarded to the
- * figure binaries; all MTVP_* environment knobs apply too).
+ * It also maintains two paper-fidelity artifacts:
+ *
+ *  - `BENCH_summary.json` (always written): schema-versioned headline
+ *    per figure — the best per-config geomean speedup plus wall-clock —
+ *    small enough to commit and diff across PRs.
+ *  - `--scoreboard`: compare every figure's fresh rows against the
+ *    committed expectations in bench/expected/<figure>.json
+ *    (bench/scoreboard.hh) and exit nonzero when any point drifts
+ *    outside its fail tolerance. `--write-expected` re-baselines the
+ *    expectation files after a deliberate model change.
+ *
+ * Usage: run_all [--jobs N] [--no-cache] [--only fig,fig,...]
+ *                [--scoreboard] [--write-expected] [--markdown]
+ * (--jobs/--no-cache are forwarded to the figure binaries; all MTVP_*
+ * environment knobs apply too. MTVP_EXPECTED overrides the expected-
+ * values directory, MTVP_SUMMARY the summary path.)
  */
 
 #include <chrono>
@@ -22,24 +36,137 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "scoreboard.hh"
+#include "sim/json.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+uint64_t
+envU64(const char *name, uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 0) : def;
+}
+
+std::string
+envStr(const char *name, const std::string &def)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? v : def;
+}
+
+/** Split a comma-separated list. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Headline of one figure: the best per-config geomean speedup. */
+struct Headline
+{
+    bool valid = false;
+    std::string config;
+    double speedupPct = 0.0;
+};
+
+Headline
+headlineOf(const vpsim::json::Value &report)
+{
+    Headline h;
+    const vpsim::json::Value *rows = report.get("rows");
+    if (rows == nullptr || !rows->isArray())
+        return h;
+    std::vector<std::string> configs;
+    for (const vpsim::json::Value &row : rows->arr) {
+        std::string cfg = row.stringOr("config", "");
+        bool seen = false;
+        for (const std::string &c : configs)
+            seen = seen || c == cfg;
+        if (!seen)
+            configs.push_back(cfg);
+    }
+    for (const std::string &cfg : configs) {
+        std::vector<double> speedups;
+        for (const vpsim::json::Value &row : rows->arr) {
+            if (row.stringOr("config", "") != cfg)
+                continue;
+            const vpsim::json::Value *s = row.get("speedupPct");
+            if (s != nullptr && s->isNumber())
+                speedups.push_back(s->number);
+        }
+        if (speedups.empty())
+            continue;
+        double g = vpsim::geomeanSpeedup(speedups);
+        if (!h.valid || g > h.speedupPct) {
+            h.valid = true;
+            h.config = cfg;
+            h.speedupPct = g;
+        }
+    }
+    return h;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string forward;
+    std::vector<std::string> only;
+    bool scoreboard = false;
+    bool writeExpected = false;
+    bool markdown = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--help" || a == "-h") {
-            std::printf("usage: %s [--jobs N] [--no-cache]\n"
-                        "Runs every figure binary and writes "
-                        "BENCH_results.json.\n",
-                        argv[0]);
+            std::printf(
+                "usage: %s [--jobs N] [--no-cache] [--only fig,...]\n"
+                "          [--scoreboard] [--write-expected] "
+                "[--markdown]\n"
+                "Runs every figure binary (or the --only subset), "
+                "writes BENCH_results.json\nand BENCH_summary.json, "
+                "and optionally checks the measured rows against\nthe "
+                "committed expectations in bench/expected/ "
+                "(--scoreboard) or rewrites\nthem (--write-expected).\n",
+                argv[0]);
             return 0;
+        } else if (a == "--only" && i + 1 < argc) {
+            auto more = splitList(argv[++i]);
+            only.insert(only.end(), more.begin(), more.end());
+        } else if (a.rfind("--only=", 0) == 0) {
+            auto more = splitList(a.substr(7));
+            only.insert(only.end(), more.begin(), more.end());
+        } else if (a == "--scoreboard") {
+            scoreboard = true;
+        } else if (a == "--write-expected") {
+            writeExpected = true;
+        } else if (a == "--markdown") {
+            markdown = true;
+        } else {
+            forward += " '" + a + "'";
         }
-        forward += " '" + a + "'";
     }
 
     // Figure binaries live next to this one (build/bench/).
@@ -49,7 +176,7 @@ main(int argc, char **argv)
                           ? std::string(".")
                           : self.substr(0, slash);
 
-    const std::vector<std::string> figures = {
+    const std::vector<std::string> allFigures = {
         "table1_config",
         "fig1_oracle_potential",
         "fig2_spawn_latency",
@@ -62,12 +189,44 @@ main(int argc, char **argv)
         "sec56_multi_value",
         "fig6_checkpoint_compare",
     };
+    std::vector<std::string> figures;
+    if (only.empty()) {
+        figures = allFigures;
+    } else {
+        for (const std::string &name : only) {
+            bool known = false;
+            for (const std::string &f : allFigures)
+                known = known || f == name;
+            if (!known) {
+                std::fprintf(stderr, "unknown figure '%s'\n",
+                             name.c_str());
+                return 1;
+            }
+            figures.push_back(name);
+        }
+    }
     // table1_config prints a static parameter table: it takes no bench
     // flags and produces no rows, so it runs bare.
     const std::vector<std::string> noHarness = {"table1_config"};
 
+    const uint64_t insts = envU64("MTVP_INSTS", 12000);
+    const uint64_t seed = envU64("MTVP_SEED", 1);
+    const bool fullSet = envStr("MTVP_SET", "") == "full";
+    const std::string expectedDir = envStr("MTVP_EXPECTED",
+                                           "bench/expected");
+
     std::ostringstream out;
     out << "{\n  \"figures\": {";
+
+    struct FigRun
+    {
+        std::string name;
+        double wallSeconds = 0.0;
+        int exitStatus = 0;
+        bool hasReport = false;
+        vpsim::json::Value report;
+    };
+    std::vector<FigRun> runs;
 
     bool firstFig = true;
     double totalSeconds = 0.0;
@@ -96,36 +255,54 @@ main(int argc, char **argv)
         if (status != 0)
             ++failures;
 
+        FigRun run;
+        run.name = fig;
+        run.wallSeconds = secs;
+        run.exitStatus = status;
+
         out << (firstFig ? "\n" : ",\n");
         firstFig = false;
-        out << "    \"" << fig << "\": {\"wallSeconds\": " << secs
-            << ", \"exitStatus\": " << status << ", \"report\": ";
+        out << "    \"" << fig << "\": {\"wallSeconds\": ";
+        vpsim::jsonNumber(out, secs);
+        out << ", \"exitStatus\": " << status << ", \"report\": ";
 
         std::ifstream frag(fragment);
+        std::string text;
         if (frag) {
-            // The fragment is itself a JSON object; splice it in
-            // verbatim (strip the trailing newline for tidy nesting).
             std::ostringstream buf;
             buf << frag.rdbuf();
-            std::string text = buf.str();
+            text = buf.str();
             while (!text.empty() &&
                    (text.back() == '\n' || text.back() == '\r')) {
                 text.pop_back();
             }
-            out << (text.empty() ? "null" : text);
             std::remove(fragment.c_str());
-        } else {
+        }
+        if (text.empty()) {
             out << "null";
+        } else {
+            // The fragment is itself a JSON object; splice it in
+            // verbatim and keep a parsed copy for the summary and the
+            // scoreboard.
+            out << text;
+            std::string err;
+            if (vpsim::json::parse(text, run.report, &err)) {
+                run.hasReport = true;
+            } else {
+                std::fprintf(stderr, "bad row fragment from %s: %s\n",
+                             fig.c_str(), err.c_str());
+                ++failures;
+            }
         }
         out << "}";
+        runs.push_back(std::move(run));
     }
 
-    out << "\n  },\n  \"totalWallSeconds\": " << totalSeconds
-        << ",\n  \"failures\": " << failures << "\n}\n";
+    out << "\n  },\n  \"totalWallSeconds\": ";
+    vpsim::jsonNumber(out, totalSeconds);
+    out << ",\n  \"failures\": " << failures << "\n}\n";
 
-    const char *outPath = std::getenv("MTVP_RESULTS");
-    std::string path = outPath != nullptr ? outPath
-                                          : "BENCH_results.json";
+    std::string path = envStr("MTVP_RESULTS", "BENCH_results.json");
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
@@ -135,5 +312,103 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "wrote %s (%zu figures, %.1fs total, %d failures)\n",
                  path.c_str(), figures.size(), totalSeconds, failures);
-    return failures == 0 ? 0 : 1;
+
+    // ----- BENCH_summary.json: committed headline-per-figure digest --
+    {
+        std::ostringstream sum;
+        sum << "{\n  \"schemaVersion\": \"mtvp-bench-summary-v1\",\n"
+            << "  \"insts\": " << insts << ",\n  \"seed\": " << seed
+            << ",\n  \"fullSet\": " << (fullSet ? "true" : "false")
+            << ",\n  \"figures\": {";
+        bool first = true;
+        for (const FigRun &run : runs) {
+            sum << (first ? "\n" : ",\n");
+            first = false;
+            sum << "    ";
+            vpsim::jsonQuote(sum, run.name);
+            sum << ": {\"wallSeconds\": ";
+            vpsim::jsonNumber(sum, run.wallSeconds);
+            sum << ", \"exitStatus\": " << run.exitStatus;
+            Headline h = run.hasReport ? headlineOf(run.report)
+                                       : Headline{};
+            if (h.valid) {
+                sum << ", \"headlineConfig\": ";
+                vpsim::jsonQuote(sum, h.config);
+                sum << ", \"headlineSpeedupPct\": ";
+                vpsim::jsonNumber(sum, h.speedupPct);
+            }
+            sum << "}";
+        }
+        sum << "\n  }\n}\n";
+        std::string sumPath = envStr("MTVP_SUMMARY",
+                                     "BENCH_summary.json");
+        std::ofstream ss(sumPath);
+        if (!ss) {
+            std::fprintf(stderr, "cannot write '%s'\n", sumPath.c_str());
+            return 1;
+        }
+        ss << sum.str();
+        std::fprintf(stderr, "wrote %s\n", sumPath.c_str());
+    }
+
+    // ----- Expected-value baselines (--write-expected) ---------------
+    if (writeExpected) {
+        for (const FigRun &run : runs) {
+            if (!run.hasReport)
+                continue;
+            vpbench::ExpectedFigure fig = vpbench::baselineFromReport(
+                run.name, run.report, insts, seed, fullSet);
+            if (fig.points.empty())
+                continue;
+            std::string p = expectedDir + "/" + run.name + ".json";
+            std::ofstream es(p);
+            if (!es) {
+                std::fprintf(stderr, "cannot write '%s'\n", p.c_str());
+                return 1;
+            }
+            es << vpbench::expectedFigureJson(fig);
+            std::fprintf(stderr, "wrote %s (%zu points)\n", p.c_str(),
+                         fig.points.size());
+        }
+    }
+
+    // ----- Scoreboard (--scoreboard) ---------------------------------
+    bool drift = false;
+    if (scoreboard) {
+        std::vector<vpbench::FigureScore> scores;
+        for (const FigRun &run : runs) {
+            if (!run.hasReport)
+                continue;
+            std::string p = expectedDir + "/" + run.name + ".json";
+            vpbench::ExpectedFigure fig;
+            std::string err;
+            if (!vpbench::loadExpectedFigure(p, fig, &err)) {
+                std::fprintf(stderr,
+                             "scoreboard: skipping %s (%s)\n",
+                             run.name.c_str(), err.c_str());
+                continue;
+            }
+            scores.push_back(vpbench::scoreFigure(fig, run.report,
+                                                  insts, seed,
+                                                  fullSet));
+        }
+        if (scores.empty()) {
+            std::fprintf(stderr,
+                         "scoreboard: no expected-value files found "
+                         "under '%s'\n",
+                         expectedDir.c_str());
+            return 1;
+        }
+        vpbench::printScoreReport(std::cout, scores, markdown);
+        for (const vpbench::FigureScore &s : scores)
+            drift = drift || s.worst() == vpbench::PointStatus::Fail;
+        if (drift) {
+            std::fprintf(stderr,
+                         "scoreboard: drift outside fail tolerance — "
+                         "investigate, or re-baseline deliberately "
+                         "with --write-expected\n");
+        }
+    }
+
+    return failures == 0 && !drift ? 0 : 1;
 }

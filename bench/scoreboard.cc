@@ -1,0 +1,335 @@
+#include "scoreboard.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace vpbench
+{
+
+using vpsim::json::Value;
+
+const char *
+pointStatusName(PointStatus s)
+{
+    switch (s) {
+      case PointStatus::Pass: return "pass";
+      case PointStatus::Warn: return "warn";
+      case PointStatus::Fail: return "FAIL";
+      case PointStatus::Missing: return "MISSING";
+    }
+    return "?";
+}
+
+int
+FigureScore::count(PointStatus s) const
+{
+    int n = 0;
+    for (const PointResult &r : results)
+        n += r.status == s ? 1 : 0;
+    return n;
+}
+
+PointStatus
+FigureScore::worst() const
+{
+    PointStatus w = PointStatus::Pass;
+    for (const PointResult &r : results) {
+        if (r.status == PointStatus::Fail ||
+            r.status == PointStatus::Missing) {
+            return PointStatus::Fail;
+        }
+        if (r.status == PointStatus::Warn)
+            w = PointStatus::Warn;
+    }
+    return w;
+}
+
+PointStatus
+evaluatePoint(const ExpectedPoint &p, double measured)
+{
+    if (!std::isfinite(measured))
+        return PointStatus::Fail;
+    double delta = std::fabs(measured - p.expected);
+    if (delta <= p.warnTol)
+        return PointStatus::Pass;
+    if (delta <= p.failTol)
+        return PointStatus::Warn;
+    return PointStatus::Fail;
+}
+
+double
+defaultWarnTol(double expected)
+{
+    return std::max(0.5, 0.02 * std::fabs(expected));
+}
+
+double
+defaultFailTol(double expected)
+{
+    return std::max(2.0, 0.10 * std::fabs(expected));
+}
+
+bool
+loadExpectedFigure(const std::string &path, ExpectedFigure &out,
+                   std::string *error)
+{
+    Value root;
+    std::string err;
+    if (!vpsim::json::parseFile(path, root, &err)) {
+        if (error != nullptr)
+            *error = path + ": " + err;
+        return false;
+    }
+    std::string version = root.stringOr("schemaVersion", "");
+    if (version != scoreboardSchemaVersion) {
+        if (error != nullptr) {
+            *error = path + ": schemaVersion '" + version +
+                     "' (this binary expects '" +
+                     scoreboardSchemaVersion + "')";
+        }
+        return false;
+    }
+    out = ExpectedFigure{};
+    out.figure = root.stringOr("figure", "");
+    out.insts = static_cast<uint64_t>(root.numberOr("insts", 0));
+    out.seed = static_cast<uint64_t>(root.numberOr("seed", 0));
+    const Value *fs = root.get("fullSet");
+    out.fullSet = fs != nullptr && fs->kind == Value::Kind::Bool &&
+                  fs->boolean;
+    const Value *points = root.get("points");
+    if (points == nullptr || !points->isArray()) {
+        if (error != nullptr)
+            *error = path + ": missing 'points' array";
+        return false;
+    }
+    for (const Value &v : points->arr) {
+        ExpectedPoint p;
+        p.category = v.stringOr("category", "");
+        p.workload = v.stringOr("workload", "");
+        p.config = v.stringOr("config", "");
+        p.metric = v.stringOr("metric", "speedupPct");
+        const Value *exp = v.get("expected");
+        if (exp == nullptr || !exp->isNumber()) {
+            if (error != nullptr) {
+                *error = path + ": point " + p.workload + "/" +
+                         p.config + " has no numeric 'expected'";
+            }
+            return false;
+        }
+        p.expected = exp->number;
+        p.warnTol = v.numberOr("warnTol", defaultWarnTol(p.expected));
+        p.failTol = v.numberOr("failTol", defaultFailTol(p.expected));
+        out.points.push_back(std::move(p));
+    }
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Find the @p occurrence'th row matching a point; nullptr when absent.
+ * Figures that sweep a parameter across several tables reuse the same
+ * (category, workload, config) key once per table, so points and rows
+ * are paired positionally among duplicates — both sides preserve the
+ * figure's row order.
+ */
+const Value *
+findRow(const Value &report, const ExpectedPoint &p, int occurrence)
+{
+    const Value *rows = report.get("rows");
+    if (rows == nullptr || !rows->isArray())
+        return nullptr;
+    int seen = 0;
+    for (const Value &row : rows->arr) {
+        if (row.stringOr("workload", "") == p.workload &&
+            row.stringOr("config", "") == p.config &&
+            row.stringOr("category", "") == p.category) {
+            if (seen == occurrence)
+                return &row;
+            ++seen;
+        }
+    }
+    return nullptr;
+}
+
+std::string
+pointKey(const ExpectedPoint &p)
+{
+    return p.category + '\0' + p.workload + '\0' + p.config + '\0' +
+           p.metric;
+}
+
+} // namespace
+
+FigureScore
+scoreFigure(const ExpectedFigure &expected, const Value &report,
+            uint64_t insts, uint64_t seed, bool fullSet)
+{
+    FigureScore score;
+    score.figure = expected.figure;
+    if (expected.insts != insts || expected.seed != seed ||
+        expected.fullSet != fullSet) {
+        std::ostringstream os;
+        os << "baseline recorded at insts=" << expected.insts << " seed="
+           << expected.seed << (expected.fullSet ? " (full set)" : "")
+           << " but this run used insts=" << insts << " seed=" << seed
+           << (fullSet ? " (full set)" : "")
+           << "; comparisons are not meaningful across settings";
+        score.settingsNote = os.str();
+    }
+    std::map<std::string, int> occurrence;
+    for (const ExpectedPoint &p : expected.points) {
+        PointResult r;
+        r.point = p;
+        const Value *row = findRow(report, p, occurrence[pointKey(p)]++);
+        const Value *metric = row != nullptr ? row->get(p.metric)
+                                             : nullptr;
+        if (metric == nullptr || !metric->isNumber()) {
+            r.status = PointStatus::Missing;
+        } else {
+            r.measured = metric->number;
+            r.status = evaluatePoint(p, r.measured);
+        }
+        score.results.push_back(std::move(r));
+    }
+    return score;
+}
+
+ExpectedFigure
+baselineFromReport(const std::string &figure, const Value &report,
+                   uint64_t insts, uint64_t seed, bool fullSet)
+{
+    ExpectedFigure fig;
+    fig.figure = figure;
+    fig.insts = insts;
+    fig.seed = seed;
+    fig.fullSet = fullSet;
+    const Value *rows = report.get("rows");
+    if (rows == nullptr || !rows->isArray())
+        return fig;
+    for (const Value &row : rows->arr) {
+        const Value *metric = row.get("speedupPct");
+        if (metric == nullptr || !metric->isNumber())
+            continue;
+        ExpectedPoint p;
+        p.category = row.stringOr("category", "");
+        p.workload = row.stringOr("workload", "");
+        p.config = row.stringOr("config", "");
+        p.metric = "speedupPct";
+        p.expected = metric->number;
+        p.warnTol = defaultWarnTol(p.expected);
+        p.failTol = defaultFailTol(p.expected);
+        fig.points.push_back(std::move(p));
+    }
+    return fig;
+}
+
+std::string
+expectedFigureJson(const ExpectedFigure &fig)
+{
+    std::ostringstream os;
+    auto q = [&os](const std::string &s) { vpsim::jsonQuote(os, s); };
+    os << "{\n  \"schemaVersion\": ";
+    q(scoreboardSchemaVersion);
+    os << ",\n  \"figure\": ";
+    q(fig.figure);
+    os << ",\n  \"insts\": " << fig.insts << ",\n  \"seed\": "
+       << fig.seed << ",\n  \"fullSet\": "
+       << (fig.fullSet ? "true" : "false") << ",\n  \"points\": [";
+    for (size_t i = 0; i < fig.points.size(); ++i) {
+        const ExpectedPoint &p = fig.points[i];
+        os << (i == 0 ? "" : ",") << "\n    {\"category\": ";
+        q(p.category);
+        os << ", \"workload\": ";
+        q(p.workload);
+        os << ", \"config\": ";
+        q(p.config);
+        os << ", \"metric\": ";
+        q(p.metric);
+        os << ", \"expected\": ";
+        vpsim::jsonNumber(os, p.expected);
+        os << ", \"warnTol\": ";
+        vpsim::jsonNumber(os, p.warnTol);
+        os << ", \"failTol\": ";
+        vpsim::jsonNumber(os, p.failTol);
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+void
+printScoreReport(std::ostream &os,
+                 const std::vector<FigureScore> &scores, bool markdown)
+{
+    char line[256];
+    if (markdown) {
+        os << "| figure | points | pass | warn | fail | missing | "
+              "status |\n";
+        os << "|---|---:|---:|---:|---:|---:|---|\n";
+    } else {
+        os << "paper-fidelity scoreboard\n";
+        std::snprintf(line, sizeof(line),
+                      "%-26s %7s %6s %6s %6s %8s  %s\n", "figure",
+                      "points", "pass", "warn", "fail", "missing",
+                      "status");
+        os << line;
+    }
+    for (const FigureScore &s : scores) {
+        int pass = s.count(PointStatus::Pass);
+        int warnN = s.count(PointStatus::Warn);
+        int fail = s.count(PointStatus::Fail);
+        int missing = s.count(PointStatus::Missing);
+        if (markdown) {
+            std::snprintf(line, sizeof(line),
+                          "| %s | %zu | %d | %d | %d | %d | %s |\n",
+                          s.figure.c_str(), s.results.size(), pass,
+                          warnN, fail, missing,
+                          pointStatusName(s.worst()));
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%-26s %7zu %6d %6d %6d %8d  %s\n",
+                          s.figure.c_str(), s.results.size(), pass,
+                          warnN, fail, missing,
+                          pointStatusName(s.worst()));
+        }
+        os << line;
+    }
+    // Itemize everything that is not a clean pass.
+    for (const FigureScore &s : scores) {
+        if (!s.settingsNote.empty())
+            os << (markdown ? "\n> " : "note: ") << s.figure << ": "
+               << s.settingsNote << "\n";
+        for (const PointResult &r : s.results) {
+            if (r.status == PointStatus::Pass)
+                continue;
+            const ExpectedPoint &p = r.point;
+            if (r.status == PointStatus::Missing) {
+                std::snprintf(line, sizeof(line),
+                              "%s%s: %s/%s/%s %s: no measured row\n",
+                              markdown ? "- " : "  ", s.figure.c_str(),
+                              p.category.c_str(), p.workload.c_str(),
+                              p.config.c_str(), p.metric.c_str());
+            } else {
+                std::snprintf(
+                    line, sizeof(line),
+                    "%s%s: %s/%s/%s %s: measured %.3f, expected "
+                    "%.3f +/- %.3f (fail at %.3f) [%s]\n",
+                    markdown ? "- " : "  ", s.figure.c_str(),
+                    p.category.c_str(), p.workload.c_str(),
+                    p.config.c_str(), p.metric.c_str(), r.measured,
+                    p.expected, p.warnTol, p.failTol,
+                    pointStatusName(r.status));
+            }
+            os << line;
+        }
+    }
+}
+
+} // namespace vpbench

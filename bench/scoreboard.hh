@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Paper-fidelity scoreboard: committed per-figure expected values with
+ * tolerances, compared against freshly measured bench rows. The
+ * simulator is deterministic (seeded workloads, seeded predictors), so
+ * at fixed MTVP_INSTS/MTVP_SEED/MTVP_SET the measured numbers reproduce
+ * exactly; the warn band exists for intentional model changes that are
+ * being re-baselined, and the fail band catches unintended drift — a
+ * refactor that silently reshapes a figure fails `run_all --scoreboard`
+ * instead of merging unnoticed.
+ *
+ * Expected files (bench/expected/<figure>.json):
+ *   { "schemaVersion": "mtvp-scoreboard-v1", "figure": "...",
+ *     "insts": 12000, "seed": 1, "fullSet": false,
+ *     "points": [ {"category": ..., "workload": ..., "config": ...,
+ *                  "metric": "speedupPct", "expected": ...,
+ *                  "warnTol": ..., "failTol": ...}, ... ] }
+ *
+ * Tolerances are absolute (percentage points for speedupPct): a
+ * measured value within warnTol of expected passes, within failTol
+ * warns, beyond failTol fails. Re-baseline with `run_all
+ * --write-expected` after a deliberate model change.
+ */
+
+#ifndef VPSIM_BENCH_SCOREBOARD_HH
+#define VPSIM_BENCH_SCOREBOARD_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace vpbench
+{
+
+inline constexpr const char *scoreboardSchemaVersion =
+    "mtvp-scoreboard-v1";
+
+/** Outcome of one expected-vs-measured comparison. */
+enum class PointStatus
+{
+    Pass,    ///< |measured - expected| <= warnTol.
+    Warn,    ///< Within failTol but outside warnTol.
+    Fail,    ///< Outside failTol.
+    Missing, ///< No measured row matched the point.
+};
+
+const char *pointStatusName(PointStatus s);
+
+/** One committed expectation. */
+struct ExpectedPoint
+{
+    std::string category;
+    std::string workload;
+    std::string config;
+    std::string metric = "speedupPct";
+    double expected = 0.0;
+    double warnTol = 0.0;
+    double failTol = 0.0;
+};
+
+/** One figure's committed expectations plus their run settings. */
+struct ExpectedFigure
+{
+    std::string figure;
+    uint64_t insts = 0;
+    uint64_t seed = 0;
+    bool fullSet = false;
+    std::vector<ExpectedPoint> points;
+};
+
+/** One compared point. */
+struct PointResult
+{
+    ExpectedPoint point;
+    double measured = 0.0;
+    PointStatus status = PointStatus::Missing;
+};
+
+/** One figure's comparison outcome. */
+struct FigureScore
+{
+    std::string figure;
+    /** Note about mismatched run settings ("" when they match). */
+    std::string settingsNote;
+    std::vector<PointResult> results;
+
+    int count(PointStatus s) const;
+    /** Worst status across all points (Pass < Warn < Fail/Missing). */
+    PointStatus worst() const;
+};
+
+/** Classify @p measured against one expectation. */
+PointStatus evaluatePoint(const ExpectedPoint &p, double measured);
+
+/**
+ * Default tolerances for a freshly written baseline: a small absolute
+ * floor plus a relative band, so large speedups tolerate proportional
+ * drift without letting small ones drown in it.
+ */
+double defaultWarnTol(double expected);
+double defaultFailTol(double expected);
+
+/**
+ * Parse one expected-values file. Returns false (with @p error set
+ * when non-null) on unreadable file, bad JSON, or a schema-version
+ * mismatch.
+ */
+bool loadExpectedFigure(const std::string &path, ExpectedFigure &out,
+                        std::string *error = nullptr);
+
+/**
+ * Compare a figure's expectations against a parsed bench-row fragment
+ * (the MTVP_JSON object: {"title", "insts", "rows": [...]}) as spliced
+ * into BENCH_results.json. @p insts / @p seed / @p fullSet describe
+ * the measuring run's settings; a mismatch with the baseline's is
+ * reported via FigureScore::settingsNote.
+ */
+FigureScore scoreFigure(const ExpectedFigure &expected,
+                        const vpsim::json::Value &report, uint64_t insts,
+                        uint64_t seed, bool fullSet);
+
+/**
+ * Build a fresh baseline from a measured fragment: one point per row,
+ * default tolerances.
+ */
+ExpectedFigure baselineFromReport(const std::string &figure,
+                                  const vpsim::json::Value &report,
+                                  uint64_t insts, uint64_t seed,
+                                  bool fullSet);
+
+/** Serialize an ExpectedFigure as a committed expected-values file. */
+std::string expectedFigureJson(const ExpectedFigure &fig);
+
+/**
+ * Render the pass/warn/fail report for every scored figure. Markdown
+ * mode emits a table (for CI job summaries); console mode a compact
+ * fixed-width listing. Failing/missing points are always itemized.
+ */
+void printScoreReport(std::ostream &os,
+                      const std::vector<FigureScore> &scores,
+                      bool markdown);
+
+} // namespace vpbench
+
+#endif // VPSIM_BENCH_SCOREBOARD_HH

@@ -7,6 +7,9 @@
  *   vpsim_cli mcf                      Table-1 baseline
  *   vpsim_cli mcf vpMode=mtvp numContexts=8 predictor=wf \
  *             selector=ilp maxInsts=50000
+ *   vpsim_cli --list-stats [key=value ...]
+ *                                      dump every stat name+description
+ *                                      the given config would export
  *
  * Tracing & telemetry keys (see src/sim/trace.hh):
  *   traceFlags=MTVP,Commit    enable DPRINTF debug flags (glob ok: VP*)
@@ -16,6 +19,12 @@
  *   statsJson=<file>          dump the full stats report as JSON
  *   samplePeriod=N sampleStats=<glob> sampleFile=<f.json|f.csv>
  *                             periodic stat time series
+ *
+ * Observability keys (src/sim/cpi_stack.hh, src/sim/profiler.hh):
+ *   cpiStack=-                print the per-thread CPI-stack report
+ *   cpiStack=<file>           ... or write it to a file
+ *   profile=1                 host self-profiler report (where the
+ *                             simulator itself spends wall-clock time)
  *
  * Any SimConfig key accepted by SimConfig::set() works as key=value.
  */
@@ -47,6 +56,28 @@ listWorkloads()
     }
 }
 
+/** Dump every stat the given config registers (name + description). */
+int
+listStats(int argc, char **argv)
+{
+    SimConfig cfg;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        size_t eq = arg.find('=');
+        if (eq == std::string::npos)
+            fatal("expected key=value, got '%s'", arg.c_str());
+        cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+    cfg.validate();
+
+    // A Cpu registers every stat at construction; no run needed.
+    MainMemory mem;
+    Cpu cpu(cfg, mem, 0);
+    for (const StatBase *s : cpu.stats().stats())
+        std::printf("%-28s %s\n", s->name().c_str(), s->desc().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -54,11 +85,15 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         listWorkloads();
-        std::printf("\nusage: %s <workload> [key=value ...]\n", argv[0]);
+        std::printf("\nusage: %s <workload> [key=value ...]\n"
+                    "       %s --list-stats [key=value ...]\n",
+                    argv[0], argv[0]);
         return 0;
     }
 
     std::string name = argv[1];
+    if (name == "--list-stats")
+        return listStats(argc, argv);
     const Workload *w = findWorkload(name);
     if (w == nullptr) {
         std::fprintf(stderr, "unknown workload '%s'\n\n", name.c_str());
@@ -101,6 +136,24 @@ main(int argc, char **argv)
         cpu.sampler()->dumpToFile(cfg.sampleFile);
         std::printf("stat samples written to %s\n",
                     cfg.sampleFile.c_str());
+    }
+    if (!cfg.cpiStack.empty()) {
+        if (cfg.cpiStack == "-") {
+            std::printf("\n");
+            cpu.cpiStack().printReport(std::cout);
+        } else {
+            std::ofstream os(cfg.cpiStack);
+            if (!os)
+                fatal("cannot open CPI-stack report file '%s'",
+                      cfg.cpiStack.c_str());
+            cpu.cpiStack().printReport(os);
+            std::printf("\nCPI-stack report written to %s\n",
+                        cfg.cpiStack.c_str());
+        }
+    }
+    if (cfg.profile) {
+        std::printf("\n");
+        cpu.profiler().printReport(std::cout);
     }
 
     std::printf("\n%-20s %llu\n", "cycles:",

@@ -71,6 +71,7 @@ Cpu::commitOne(ThreadContext &tc)
         int cap = _cfg.storeBufferSize;
         if (cap > 0 && tc.storeBufferOccupancy() >= cap) {
             ++_statSbStalls;
+            _cpiSbBlocked[static_cast<size_t>(tc.id)] = 1;
             DPRINTF(StoreBuffer,
                     "commit stalled: store buffer full (%d/%d) at "
                     "seq=%llu",
@@ -92,8 +93,10 @@ Cpu::commitOne(ThreadContext &tc)
         infl.pop_front();
     }
 
-    if (head->isLoad())
+    if (head->isLoad()) {
+        HostProfiler::Scope s(_prof, ProfSection::VpredTrain);
         _vpred->train(head->emu.pc, head->emu.memValue);
+    }
 
     if (head->prevDest != invalidPhysReg)
         poolFor(head->emu.inst.rd).release(head->prevDest);
@@ -106,6 +109,7 @@ Cpu::commitOne(ThreadContext &tc)
     tc.rob.pop_front();
     --_robOccupancy;
     ++tc.committedInsts;
+    _commitsThisCycle[static_cast<size_t>(tc.id)] = 1;
     if (tc.activeSpawnSeq != 0 && head->seq > tc.activeSpawnSeq)
         ++tc.committedPostSpawn;
     ++_statCommitsTotal;

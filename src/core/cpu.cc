@@ -1,5 +1,7 @@
 #include "core/cpu.hh"
 
+#include <algorithm>
+
 #include "isa/disasm.hh"
 #include "sim/logging.hh"
 
@@ -38,6 +40,10 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
       _ctxs(static_cast<size_t>(_cfg.numContexts)),
       _spawnSeq(static_cast<size_t>(_cfg.numContexts), 0),
       _inflightStores(static_cast<size_t>(_cfg.numContexts)),
+      _cpi(_stats, _cfg.numContexts),
+      _prof(_cfg.profile),
+      _commitsThisCycle(static_cast<size_t>(_cfg.numContexts), 0),
+      _cpiSbBlocked(static_cast<size_t>(_cfg.numContexts), 0),
       _statCommitsTotal(_stats, "commits.total",
                         "instructions committed in any context"),
       _statDispatched(_stats, "dispatch.total", "instructions dispatched"),
@@ -440,17 +446,148 @@ Cpu::checkWatchdog()
     }
 }
 
+/**
+ * Attribute the cycle that just executed. Called once per tick after
+ * every stage has run, so the per-cycle commit/stall flags the stages
+ * set are final; each context is charged to exactly one slot, making
+ * per-context slot sums equal total cycles by construction.
+ */
+void
+Cpu::accountCpiCycle()
+{
+    for (const ThreadContext &tc : _ctxs)
+        _cpi.attribute(tc.id, cpiSlotFor(tc));
+}
+
+CpiSlot
+Cpu::cpiSlotFor(const ThreadContext &tc) const
+{
+    if (!tc.active)
+        return CpiSlot::Idle;
+    if (_commitsThisCycle[static_cast<size_t>(tc.id)])
+        return CpiSlot::Base;
+
+    if (!tc.rob.empty()) {
+        const DynInst &h = *tc.rob.front();
+        if (h.completedBy(_now)) {
+            // Head done yet nothing committed: store-buffer back
+            // pressure, a spawn awaiting resolution, or lost commit
+            // bandwidth.
+            if (_cpiSbBlocked[static_cast<size_t>(tc.id)])
+                return CpiSlot::LsqFull;
+            if (h.spawnedThread)
+                return CpiSlot::SpawnOverhead;
+            return CpiSlot::Base;
+        }
+        if (h.issued) {
+            if (h.isLoad()) {
+                switch (h.memLevel) {
+                  case MemLevel::L2: return CpiSlot::DcacheL2;
+                  case MemLevel::L3: return CpiSlot::DcacheL3;
+                  // A stream-buffer hit is an in-flight fill from below;
+                  // the remaining stall is (partially hidden) memory
+                  // latency, not an L1 hit.
+                  case MemLevel::Memory:
+                  case MemLevel::Stream: return CpiSlot::DcacheMem;
+                  default: return CpiSlot::DcacheL1;
+                }
+            }
+            return CpiSlot::Base; // Intrinsic execute latency.
+        }
+        // Head dispatched but unissued.
+        if (h.everIssued)
+            return CpiSlot::VpSquash; // Selective-reissue recovery.
+        if (_now < tc.spawnReadyAt)
+            return CpiSlot::SpawnOverhead;
+        if (sourcesReady(h)) {
+            // Ready yet unissued: lost issue-bandwidth arbitration.
+            switch (h.emu.inst.opClass()) {
+              case OpClass::Load:
+              case OpClass::Store:
+                return CpiSlot::LsqFull;
+              default:
+                return CpiSlot::IqFull;
+            }
+        }
+        return CpiSlot::Base; // Waiting on producers (data dependency).
+    }
+
+    // Empty ROB: the front end owns the stall.
+    if (tc.waitingBranch != nullptr)
+        return CpiSlot::BranchSquash;
+    if (tc.fetchStopped)
+        return CpiSlot::SpawnOverhead; // SFP parent stalled on a spawn.
+    if (_now < tc.spawnReadyAt)
+        return CpiSlot::SpawnOverhead; // Spawned child warming up.
+    if (!tc.fetchQueue.empty()) {
+        const FetchedInst &fi = tc.fetchQueue.front();
+        if (fi.availAt > _now)
+            return CpiSlot::FetchStarved; // Front-end depth refill.
+        // Mature but undispatched: a back-end structure is full (the
+        // per-context ROB cannot be, as it is empty here), or dispatch
+        // bandwidth went to other contexts.
+        if (fi.inst.writesReg() && !poolFor(fi.inst.rd).canAlloc(1))
+            return CpiSlot::WindowFull;
+        switch (fi.inst.opClass()) {
+          case OpClass::Load:
+          case OpClass::Store:
+            if (!_mq.hasSpace())
+                return CpiSlot::LsqFull;
+            break;
+          case OpClass::FpAdd:
+          case OpClass::FpMul:
+            if (!_fq.hasSpace())
+                return CpiSlot::IqFull;
+            break;
+          default:
+            if (fi.inst.op != Opcode::NOP && fi.inst.op != Opcode::HALT &&
+                !_iq.hasSpace()) {
+                return CpiSlot::IqFull;
+            }
+            break;
+        }
+        return CpiSlot::Base; // Lost dispatch-bandwidth arbitration.
+    }
+    if (tc.fetchHalted && tc.parent != invalidCtx)
+        return CpiSlot::SpawnOverhead; // Halted child awaiting resolve.
+    if (_now < tc.fetchStallUntil)
+        return CpiSlot::IcacheMiss;
+    return CpiSlot::FetchStarved;
+}
+
 void
 Cpu::tick()
 {
     trace::setCycle(_now);
     recordMatureWindows();
-    resolvePendingLoads();
-    commitStage();
-    drainStoreBuffers();
-    issueStage();
-    dispatchStage();
-    fetchStage();
+    std::fill(_commitsThisCycle.begin(), _commitsThisCycle.end(),
+              uint8_t{0});
+    std::fill(_cpiSbBlocked.begin(), _cpiSbBlocked.end(), uint8_t{0});
+    {
+        HostProfiler::Scope s(_prof, ProfSection::Resolve);
+        resolvePendingLoads();
+    }
+    {
+        HostProfiler::Scope s(_prof, ProfSection::Commit);
+        commitStage();
+    }
+    {
+        HostProfiler::Scope s(_prof, ProfSection::Drain);
+        drainStoreBuffers();
+    }
+    {
+        HostProfiler::Scope s(_prof, ProfSection::Issue);
+        issueStage();
+    }
+    {
+        HostProfiler::Scope s(_prof, ProfSection::Dispatch);
+        dispatchStage();
+    }
+    {
+        HostProfiler::Scope s(_prof, ProfSection::Fetch);
+        fetchStage();
+    }
+    accountCpiCycle();
     if (_sampler)
         _sampler->maybeSample(_now);
     ++_now;

@@ -39,6 +39,8 @@
 #include "emu/memory.hh"
 #include "mem/hierarchy.hh"
 #include "sim/config.hh"
+#include "sim/cpi_stack.hh"
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "vpred/load_selector.hh"
@@ -78,6 +80,10 @@ class Cpu
     trace::StatSampler *sampler() { return _sampler.get(); }
     /** Pipeline tracer (nullptr unless cfg.pipeView is set). */
     trace::InstTracer *pipeTracer() { return _tracer.get(); }
+    /** Per-thread CPI-stack accounting (always on). */
+    const CpiStack &cpiStack() const { return _cpi; }
+    /** Host self-profiler (recording only when cfg.profile is set). */
+    const HostProfiler &profiler() const { return _prof; }
 
     // ----- Introspection for invariant tests -----
     int freeIntRegs() const { return _intRegs.freeCount(); }
@@ -203,6 +209,9 @@ class Cpu
     const ThreadContext &ctx(CtxId id) const;
     CtxId rootCtx() const { return _root; }
     void checkWatchdog();
+    /** Charge the cycle that just executed to one CpiSlot per context. */
+    void accountCpiCycle();
+    CpiSlot cpiSlotFor(const ThreadContext &tc) const;
     /** Emit an O3PipeView record (retire == 0 marks a squash). */
     void traceInst(const DynInst &di, Cycle retire);
 
@@ -258,6 +267,14 @@ class Cpu
     std::deque<std::shared_ptr<StoreSegment>> _drainQueue;
     /** Per ctx: uncommitted stores in dispatch order (LSQ view). */
     std::vector<std::deque<DynInstPtr>> _inflightStores;
+
+    // ----- Observability -----
+    CpiStack _cpi;
+    HostProfiler _prof;
+    /** Per ctx: committed at least one instruction this cycle. */
+    std::vector<uint8_t> _commitsThisCycle;
+    /** Per ctx: commit stalled on a full store buffer this cycle. */
+    std::vector<uint8_t> _cpiSbBlocked;
 
     // ----- Statistics -----
     Scalar _statCommitsTotal;

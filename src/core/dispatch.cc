@@ -283,7 +283,11 @@ Cpu::handleLoadVp(const DynInstPtr &di, ThreadContext &tc)
         return;
     }
 
-    ValuePrediction pred = _vpred->predict(pc, actual);
+    ValuePrediction pred;
+    {
+        HostProfiler::Scope s(_prof, ProfSection::VpredPredict);
+        pred = _vpred->predict(pc, actual);
+    }
     if (!pred.valid || !pred.confident)
         return;
 

@@ -67,6 +67,9 @@ struct DynInst
      *  Survives resolution (unlike vpPredicted/spawnedThread). */
     uint8_t vpTraceKind = 0;
 
+    /** Level that serviced this load's most recent issue (CPI stack). */
+    MemLevel memLevel = MemLevel::L1;
+
     /** Result produced by @p now. */
     bool completedBy(Cycle now) const { return issued && readyCycle <= now; }
 

@@ -70,15 +70,22 @@ Cpu::loadTiming(const DynInstPtr &di, bool &fromStoreBuffer)
         if (!older->issued)
             return neverCycle; // Store data not staged yet; retry later.
         fromStoreBuffer = true;
+        di->memLevel = MemLevel::StoreBuffer;
         return std::max(_now + 1, older->readyCycle + 1);
     }
     if (di->emu.fullyForwarded) {
         // Satisfied by committed stores in the store-segment chain: a
         // store-buffer search, costed like an L1 hit (Section 5.3).
         fromStoreBuffer = true;
+        di->memLevel = MemLevel::StoreBuffer;
         return _now + static_cast<Cycle>(_cfg.dcacheLatency);
     }
-    DataAccessResult r = _hier.load(di->emu.effAddr, di->emu.pc, _now);
+    DataAccessResult r;
+    {
+        HostProfiler::Scope s(_prof, ProfSection::CacheData);
+        r = _hier.load(di->emu.effAddr, di->emu.pc, _now);
+    }
+    di->memLevel = r.level;
     return r.ready;
 }
 

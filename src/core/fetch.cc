@@ -49,7 +49,11 @@ Cpu::fetchLineRun(ThreadContext &tc, int maxInsts)
     Addr lineMask = ~static_cast<Addr>(_cfg.lineSize - 1);
     Addr line = tc.fetchPc & lineMask;
 
-    Cycle ready = _hier.instFetch(tc.fetchPc, _now);
+    Cycle ready;
+    {
+        HostProfiler::Scope s(_prof, ProfSection::CacheInst);
+        ready = _hier.instFetch(tc.fetchPc, _now);
+    }
     if (ready > _now + static_cast<Cycle>(_cfg.icacheLatency)) {
         // I-cache miss: this context stalls until the fill completes.
         DPRINTF(Fetch, "icache miss pc=%llx, stalled until %llu",

@@ -23,18 +23,7 @@
 namespace vpsim
 {
 
-/** Cache level that serviced a data access. */
-enum class MemLevel : int
-{
-    StoreBuffer = 0, ///< Fully forwarded (assigned by the core, not here).
-    L1 = 1,
-    L2 = 2,
-    L3 = 3,
-    Memory = 4,
-    Stream = 5,      ///< Stream-buffer hit.
-};
-
-/** Timing outcome of a data-side access. */
+/** Timing outcome of a data-side access (MemLevel: sim/types.hh). */
 struct DataAccessResult
 {
     Cycle ready = 0;   ///< Cycle the data is available to consumers.

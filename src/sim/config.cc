@@ -115,6 +115,8 @@ SimConfig::set(const std::string &key, const std::string &value)
     else if (key == "samplePeriod") samplePeriod = num();
     else if (key == "sampleStats") sampleStats = value;
     else if (key == "sampleFile") sampleFile = value;
+    else if (key == "cpiStack") cpiStack = value;
+    else if (key == "profile") profile = num() != 0;
     else
         fatal("unknown config key '%s'", key.c_str());
 }

@@ -137,6 +137,16 @@ struct SimConfig
     std::string sampleStats;    ///< Stat names/globs to sample ("" = all).
     std::string sampleFile;     ///< Time series file (.json = JSON, else CSV).
 
+    // ----- Observability (src/sim/cpi_stack.hh, src/sim/profiler.hh) ---
+    /** End-of-run per-thread CPI-stack report sink: empty = none,
+     *  "-" = stdout, otherwise a file path. (Accounting itself is
+     *  always on; this only controls the human-readable report.) */
+    std::string cpiStack;
+    /** Enable the host self-profiler (scoped timers over pipeline
+     *  stages, cache lookups, and predictor work). Costs two clock
+     *  reads per instrumented scope when on; free when off. */
+    bool profile = false;
+
     /** Apply one "key=value" override; fatal() on unknown key/value. */
     void set(const std::string &key, const std::string &value);
 

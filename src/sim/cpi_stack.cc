@@ -1,0 +1,166 @@
+#include "sim/cpi_stack.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+const char *
+cpiSlotName(CpiSlot s)
+{
+    switch (s) {
+      case CpiSlot::Base: return "base";
+      case CpiSlot::IcacheMiss: return "icacheMiss";
+      case CpiSlot::DcacheL1: return "dcacheL1";
+      case CpiSlot::DcacheL2: return "dcacheL2";
+      case CpiSlot::DcacheL3: return "dcacheL3";
+      case CpiSlot::DcacheMem: return "dcacheMem";
+      case CpiSlot::BranchSquash: return "branchSquash";
+      case CpiSlot::VpSquash: return "vpSquash";
+      case CpiSlot::WindowFull: return "windowFull";
+      case CpiSlot::IqFull: return "iqFull";
+      case CpiSlot::LsqFull: return "lsqFull";
+      case CpiSlot::FetchStarved: return "fetchStarved";
+      case CpiSlot::SpawnOverhead: return "spawnOverhead";
+      case CpiSlot::Idle: return "idle";
+      case CpiSlot::NumSlots: break;
+    }
+    return "?";
+}
+
+const char *
+cpiSlotDesc(CpiSlot s)
+{
+    switch (s) {
+      case CpiSlot::Base:
+        return "cycles committing or on intrinsic execute latency";
+      case CpiSlot::IcacheMiss:
+        return "cycles stalled on instruction-cache fills";
+      case CpiSlot::DcacheL1:
+        return "cycles blocked on a load serviced by L1/store buffer";
+      case CpiSlot::DcacheL2:
+        return "cycles blocked on a load serviced by the L2";
+      case CpiSlot::DcacheL3:
+        return "cycles blocked on a load serviced by the L3";
+      case CpiSlot::DcacheMem:
+        return "cycles blocked on a load serviced by memory or an "
+               "in-flight prefetch";
+      case CpiSlot::BranchSquash:
+        return "cycles awaiting a control-misprediction redirect";
+      case CpiSlot::VpSquash:
+        return "cycles re-executing after a value misprediction";
+      case CpiSlot::WindowFull:
+        return "cycles dispatch-blocked on ROB/rename registers";
+      case CpiSlot::IqFull:
+        return "cycles dispatch-blocked on a full int/FP issue queue";
+      case CpiSlot::LsqFull:
+        return "cycles blocked on the memory queue or store buffer";
+      case CpiSlot::FetchStarved:
+        return "cycles with nothing dispatchable from the front end";
+      case CpiSlot::SpawnOverhead:
+        return "cycles of MTVP spawn latency / SFP stall / warm-up";
+      case CpiSlot::Idle:
+        return "cycles with the context inactive";
+      case CpiSlot::NumSlots:
+        break;
+    }
+    return "?";
+}
+
+CpiStack::CpiStack(StatGroup &stats, int numContexts)
+    : _numContexts(numContexts),
+      _counts(static_cast<size_t>(numContexts) * numCpiSlots, 0)
+{
+    vpsim_assert(numContexts >= 1);
+    for (int c = 0; c < numContexts; ++c) {
+        for (unsigned s = 0; s < numCpiSlots; ++s) {
+            CpiSlot slot = static_cast<CpiSlot>(s);
+            const uint64_t *cell =
+                &_counts[static_cast<size_t>(c) * numCpiSlots + s];
+            _formulas.push_back(std::make_unique<Formula>(
+                stats, csprintf("cpi.t%d.%s", c, cpiSlotName(slot)),
+                cpiSlotDesc(slot),
+                [cell] { return static_cast<double>(*cell); }));
+        }
+    }
+    for (unsigned s = 0; s < numCpiSlots; ++s) {
+        CpiSlot slot = static_cast<CpiSlot>(s);
+        _formulas.push_back(std::make_unique<Formula>(
+            stats, csprintf("cpi.all.%s", cpiSlotName(slot)),
+            csprintf("all contexts: %s", cpiSlotDesc(slot)),
+            [this, slot] {
+                return static_cast<double>(slotTotal(slot));
+            }));
+    }
+}
+
+uint64_t
+CpiStack::count(CtxId ctx, CpiSlot slot) const
+{
+    vpsim_assert(ctx >= 0 && ctx < _numContexts);
+    return _counts[static_cast<size_t>(ctx) * numCpiSlots +
+                   static_cast<unsigned>(slot)];
+}
+
+uint64_t
+CpiStack::total(CtxId ctx) const
+{
+    uint64_t sum = 0;
+    for (unsigned s = 0; s < numCpiSlots; ++s)
+        sum += count(ctx, static_cast<CpiSlot>(s));
+    return sum;
+}
+
+uint64_t
+CpiStack::slotTotal(CpiSlot slot) const
+{
+    uint64_t sum = 0;
+    for (int c = 0; c < _numContexts; ++c)
+        sum += count(c, slot);
+    return sum;
+}
+
+void
+CpiStack::printReport(std::ostream &os) const
+{
+    os << "CPI stack (per hardware thread; slots sum to total "
+          "cycles)\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-14s", "slot");
+    os << line;
+    for (int c = 0; c < _numContexts; ++c) {
+        char lbl[16];
+        std::snprintf(lbl, sizeof(lbl), "t%d", c);
+        std::snprintf(line, sizeof(line), " %11s", lbl);
+        os << line;
+    }
+    os << "\n";
+    for (unsigned s = 0; s < numCpiSlots; ++s) {
+        CpiSlot slot = static_cast<CpiSlot>(s);
+        std::snprintf(line, sizeof(line), "%-14s", cpiSlotName(slot));
+        os << line;
+        for (int c = 0; c < _numContexts; ++c) {
+            uint64_t tot = total(c);
+            double pct = tot != 0 ? 100.0 *
+                                        static_cast<double>(
+                                            count(c, slot)) /
+                                        static_cast<double>(tot)
+                                  : 0.0;
+            std::snprintf(line, sizeof(line), " %10.1f%%", pct);
+            os << line;
+        }
+        os << "\n";
+    }
+    std::snprintf(line, sizeof(line), "%-14s", "cycles");
+    os << line;
+    for (int c = 0; c < _numContexts; ++c) {
+        std::snprintf(line, sizeof(line), " %11llu",
+                      static_cast<unsigned long long>(total(c)));
+        os << line;
+    }
+    os << "\n";
+}
+
+} // namespace vpsim

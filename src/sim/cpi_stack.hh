@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-hardware-thread CPI-stack cycle accounting in the gem5/top-down
+ * style. Every simulated cycle, every context is attributed to exactly
+ * one slot — committing (base), blocked on a memory level, squash
+ * recovery, a full shared structure, fetch starvation, MTVP spawn
+ * overhead, or inactive — so per-thread slot counts sum *exactly* to
+ * total cycles. That invariant is what makes the stack trustworthy:
+ * there are no unaccounted cycles, and a refactor that shifts time
+ * between categories shows up as a reshaped stack, not a silent drift.
+ *
+ * The Cpu performs the attribution once per tick (Cpu::accountCpiCycle,
+ * core/cpu.cc) from commit's point of view: a cycle with a commit is
+ * base; otherwise the blocking reason of the ROB head (or the empty
+ * front end) is charged. Counts are exported as `cpi.t<ctx>.<slot>`
+ * stats plus `cpi.all.<slot>` aggregates on the Cpu's StatGroup, so
+ * they flow through SimResult, statsJson=, and the stat sampler like
+ * any other statistic.
+ */
+
+#ifndef VPSIM_SIM_CPI_STACK_HH
+#define VPSIM_SIM_CPI_STACK_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+/** Where one context's cycle went (exactly one slot per cycle). */
+enum class CpiSlot : unsigned
+{
+    Base,          ///< Committed, or intrinsic execute/commit latency.
+    IcacheMiss,    ///< Front end stalled on an instruction-cache fill.
+    DcacheL1,      ///< Head load in flight, serviced by L1/store buffer.
+    DcacheL2,      ///< Head load in flight, serviced by the L2.
+    DcacheL3,      ///< Head load in flight, serviced by the L3.
+    DcacheMem,     ///< Head load in flight, serviced by memory/prefetch.
+    BranchSquash,  ///< Redirect pending on a mispredicted control inst.
+    VpSquash,      ///< Head reissued by a value-misprediction recovery.
+    WindowFull,    ///< Dispatch blocked: ROB or rename registers full.
+    IqFull,        ///< Dispatch blocked: int/FP issue queue full.
+    LsqFull,       ///< Dispatch blocked on MQ, or commit on store buffer.
+    FetchStarved,  ///< Front end delivered nothing dispatchable.
+    SpawnOverhead, ///< Spawn latency, SFP parent stall, child warm-up.
+    Idle,          ///< Context inactive this cycle.
+    NumSlots,
+};
+
+inline constexpr unsigned numCpiSlots =
+    static_cast<unsigned>(CpiSlot::NumSlots);
+
+/** Canonical slot name used in stat names ("base", "dcacheMem", ...). */
+const char *cpiSlotName(CpiSlot s);
+
+/** One-line description of a slot (stat descriptions, reports). */
+const char *cpiSlotDesc(CpiSlot s);
+
+/**
+ * The per-context slot counters plus their stat bindings. Attribution
+ * itself lives in the Cpu (it needs pipeline state); this class owns
+ * storage, stat registration, the sum-to-cycles accessors, and the
+ * human-readable report.
+ */
+class CpiStack
+{
+  public:
+    /** Register `cpi.t<i>.*` and `cpi.all.*` stats on @p stats. */
+    CpiStack(StatGroup &stats, int numContexts);
+
+    CpiStack(const CpiStack &) = delete;
+    CpiStack &operator=(const CpiStack &) = delete;
+
+    /** Charge one cycle of @p ctx to @p slot (hot path: one add). */
+    void
+    attribute(CtxId ctx, CpiSlot slot)
+    {
+        ++_counts[static_cast<size_t>(ctx) * numCpiSlots +
+                  static_cast<unsigned>(slot)];
+    }
+
+    int numContexts() const { return _numContexts; }
+    uint64_t count(CtxId ctx, CpiSlot slot) const;
+    /** Sum over every slot for @p ctx — equals cycles by construction. */
+    uint64_t total(CtxId ctx) const;
+    /** Sum of @p slot over every context. */
+    uint64_t slotTotal(CpiSlot slot) const;
+
+    /** Per-context stacked breakdown with percentages. */
+    void printReport(std::ostream &os) const;
+
+  private:
+    int _numContexts;
+    std::vector<uint64_t> _counts; ///< [ctx * numCpiSlots + slot]
+    std::vector<std::unique_ptr<Formula>> _formulas;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_CPI_STACK_HH

@@ -1,0 +1,266 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vpsim
+{
+
+namespace json
+{
+
+const Value *
+Value::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+double
+Value::numberOr(const std::string &key, double def) const
+{
+    const Value *v = get(key);
+    return v != nullptr && v->isNumber() ? v->number : def;
+}
+
+std::string
+Value::stringOr(const std::string &key, const std::string &def) const
+{
+    const Value *v = get(key);
+    return v != nullptr && v->isString() ? v->str : def;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _s(text) {}
+
+    bool
+    run(Value &out, std::string *error)
+    {
+        bool ok = value(out) && (skipWs(), _p == _s.size());
+        if (!ok && error != nullptr) {
+            std::ostringstream os;
+            os << (_err.empty() ? "trailing garbage" : _err)
+               << " at offset " << _p;
+            *error = os.str();
+        }
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_p < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_p]))) {
+            ++_p;
+        }
+    }
+
+    bool
+    fail(const std::string &why)
+    {
+        if (_err.empty())
+            _err = why;
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::char_traits<char>::length(word);
+        if (_s.compare(_p, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        _p += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (_p >= _s.size() || _s[_p] != '"')
+            return fail("expected string");
+        ++_p;
+        out.clear();
+        while (_p < _s.size() && _s[_p] != '"') {
+            char c = _s[_p++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_p >= _s.size())
+                return fail("truncated escape");
+            char e = _s[_p++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (_p + 4 > _s.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = _s[_p + static_cast<size_t>(i)];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+                    else return fail("bad \\u escape");
+                }
+                _p += 4;
+                // The repo only escapes control characters; emit the
+                // low byte (sufficient for ASCII) to round-trip them.
+                out += static_cast<char>(code & 0xff);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (_p >= _s.size())
+            return fail("unterminated string");
+        ++_p; // Closing quote.
+        return true;
+    }
+
+    bool
+    value(Value &out)
+    {
+        skipWs();
+        if (_p >= _s.size())
+            return fail("unexpected end of input");
+        char c = _s[_p];
+        if (c == '{') {
+            ++_p;
+            out.kind = Value::Kind::Object;
+            skipWs();
+            if (_p < _s.size() && _s[_p] == '}') {
+                ++_p;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (_p >= _s.size() || _s[_p] != ':')
+                    return fail("expected ':'");
+                ++_p;
+                Value member;
+                if (!value(member))
+                    return false;
+                out.obj.emplace(std::move(key), std::move(member));
+                skipWs();
+                if (_p < _s.size() && _s[_p] == ',') {
+                    ++_p;
+                    continue;
+                }
+                if (_p < _s.size() && _s[_p] == '}') {
+                    ++_p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++_p;
+            out.kind = Value::Kind::Array;
+            skipWs();
+            if (_p < _s.size() && _s[_p] == ']') {
+                ++_p;
+                return true;
+            }
+            while (true) {
+                Value elem;
+                if (!value(elem))
+                    return false;
+                out.arr.push_back(std::move(elem));
+                skipWs();
+                if (_p < _s.size() && _s[_p] == ',') {
+                    ++_p;
+                    continue;
+                }
+                if (_p < _s.size() && _s[_p] == ']') {
+                    ++_p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = Value::Kind::String;
+            return string(out.str);
+        }
+        if (c == 't') {
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = Value::Kind::Null;
+            return literal("null");
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            const char *start = _s.c_str() + _p;
+            char *end = nullptr;
+            out.kind = Value::Kind::Number;
+            out.number = std::strtod(start, &end);
+            if (end == start)
+                return fail("bad number");
+            _p += static_cast<size_t>(end - start);
+            return true;
+        }
+        return fail("unexpected character");
+    }
+
+    const std::string &_s;
+    size_t _p = 0;
+    std::string _err;
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string *error)
+{
+    out = Value{};
+    Parser p(text);
+    return p.run(out, error);
+}
+
+bool
+parseFile(const std::string &path, Value &out, std::string *error)
+{
+    std::ifstream f(path);
+    if (!f) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parse(buf.str(), out, error);
+}
+
+} // namespace json
+
+} // namespace vpsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A minimal JSON reader for the simulator's own machine-readable
+ * outputs (stats dumps, bench row fragments, scoreboard expectations).
+ * It parses the subset the repo emits — objects, arrays, strings,
+ * finite numbers, booleans, and null — into an immutable value tree.
+ * This is a tooling-side reader, not a general-purpose JSON library:
+ * inputs are trusted files the simulator or a developer wrote.
+ */
+
+#ifndef VPSIM_SIM_JSON_HH
+#define VPSIM_SIM_JSON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vpsim
+{
+
+namespace json
+{
+
+/** One parsed JSON value. Exactly one member is meaningful per kind. */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::map<std::string, Value> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member or nullptr (also nullptr on non-objects). */
+    const Value *get(const std::string &key) const;
+
+    /** Member's number, or @p def when absent/not a number. */
+    double numberOr(const std::string &key, double def) const;
+
+    /** Member's string, or @p def when absent/not a string. */
+    std::string stringOr(const std::string &key,
+                         const std::string &def) const;
+};
+
+/**
+ * Parse @p text into @p out. Returns true on success; on failure
+ * returns false and, when @p error is non-null, describes the first
+ * problem (with character offset).
+ */
+bool parse(const std::string &text, Value &out,
+           std::string *error = nullptr);
+
+/** Parse the file at @p path; false on unreadable file or bad JSON. */
+bool parseFile(const std::string &path, Value &out,
+               std::string *error = nullptr);
+
+} // namespace json
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_JSON_HH

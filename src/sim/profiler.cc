@@ -1,0 +1,172 @@
+#include "sim/profiler.hh"
+
+#include <atomic>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+struct AtomicEntry
+{
+    std::atomic<uint64_t> nanos{0};
+    std::atomic<uint64_t> calls{0};
+};
+
+std::array<AtomicEntry, numProfSections> globalEntries;
+std::atomic<bool> globalAny{false};
+
+} // namespace
+
+const char *
+profSectionName(ProfSection s)
+{
+    switch (s) {
+      case ProfSection::Fetch: return "fetch";
+      case ProfSection::Dispatch: return "dispatch";
+      case ProfSection::Issue: return "issue";
+      case ProfSection::Commit: return "commit";
+      case ProfSection::Resolve: return "resolve";
+      case ProfSection::Drain: return "drain";
+      case ProfSection::CacheData: return "cacheData";
+      case ProfSection::CacheInst: return "cacheInst";
+      case ProfSection::VpredPredict: return "vpredPredict";
+      case ProfSection::VpredTrain: return "vpredTrain";
+      case ProfSection::NumSections: break;
+    }
+    return "?";
+}
+
+HostProfiler::~HostProfiler()
+{
+    if (!_enabled)
+        return;
+    bool contributed = false;
+    for (unsigned i = 0; i < numProfSections; ++i) {
+        const ProfEntry &e = _entries[i];
+        if (e.calls == 0)
+            continue;
+        globalEntries[i].nanos.fetch_add(e.nanos,
+                                         std::memory_order_relaxed);
+        globalEntries[i].calls.fetch_add(e.calls,
+                                         std::memory_order_relaxed);
+        contributed = true;
+    }
+    if (contributed)
+        globalAny.store(true, std::memory_order_relaxed);
+}
+
+uint64_t
+HostProfiler::totalStageNanos() const
+{
+    // The six pipeline-stage sections partition tick(); the cache and
+    // predictor sections are nested inside them.
+    uint64_t total = 0;
+    for (ProfSection s : {ProfSection::Fetch, ProfSection::Dispatch,
+                          ProfSection::Issue, ProfSection::Commit,
+                          ProfSection::Resolve, ProfSection::Drain}) {
+        total += entry(s).nanos;
+    }
+    return total;
+}
+
+namespace
+{
+
+void
+printTable(std::ostream &os,
+           const std::array<ProfEntry, numProfSections> &entries)
+{
+    os << "host-time profile (stage sections partition tick; cache/"
+          "predictor sections nest inside them)\n";
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-14s %12s %12s %10s\n",
+                  "section", "ms", "calls", "ns/call");
+    os << line;
+    for (unsigned i = 0; i < numProfSections; ++i) {
+        const ProfEntry &e = entries[i];
+        double perCall =
+            e.calls != 0
+                ? static_cast<double>(e.nanos) /
+                      static_cast<double>(e.calls)
+                : 0.0;
+        std::snprintf(line, sizeof(line), "%-14s %12.3f %12llu %10.1f\n",
+                      profSectionName(static_cast<ProfSection>(i)),
+                      static_cast<double>(e.nanos) / 1e6,
+                      static_cast<unsigned long long>(e.calls), perCall);
+        os << line;
+    }
+}
+
+void
+dumpEntriesJson(std::ostream &os,
+                const std::array<ProfEntry, numProfSections> &entries)
+{
+    os << '{';
+    for (unsigned i = 0; i < numProfSections; ++i) {
+        if (i > 0)
+            os << ", ";
+        jsonQuote(os, profSectionName(static_cast<ProfSection>(i)));
+        os << ": {\"ms\": ";
+        jsonNumber(os, static_cast<double>(entries[i].nanos) / 1e6);
+        os << ", \"calls\": " << entries[i].calls << '}';
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+HostProfiler::printReport(std::ostream &os) const
+{
+    printTable(os, _entries);
+}
+
+void
+HostProfiler::dumpJson(std::ostream &os) const
+{
+    dumpEntriesJson(os, _entries);
+}
+
+std::array<ProfEntry, numProfSections>
+GlobalProfile::snapshot()
+{
+    std::array<ProfEntry, numProfSections> out{};
+    for (unsigned i = 0; i < numProfSections; ++i) {
+        out[i].nanos = globalEntries[i].nanos.load(
+            std::memory_order_relaxed);
+        out[i].calls = globalEntries[i].calls.load(
+            std::memory_order_relaxed);
+    }
+    return out;
+}
+
+bool
+GlobalProfile::any()
+{
+    return globalAny.load(std::memory_order_relaxed);
+}
+
+std::string
+GlobalProfile::snapshotJson()
+{
+    std::ostringstream os;
+    dumpEntriesJson(os, snapshot());
+    return os.str();
+}
+
+void
+GlobalProfile::reset()
+{
+    for (AtomicEntry &e : globalEntries) {
+        e.nanos.store(0, std::memory_order_relaxed);
+        e.calls.store(0, std::memory_order_relaxed);
+    }
+    globalAny.store(false, std::memory_order_relaxed);
+}
+
+} // namespace vpsim

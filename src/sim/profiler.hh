@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Host-side self-profiler: RAII scoped timers over the simulator's own
+ * hot paths (pipeline stages, cache lookups, predictor work), so a perf
+ * PR ships with before/after host-time evidence instead of anecdotes.
+ *
+ * Design constraints:
+ *  - Disabled must be effectively free: Scope construction on a
+ *    disabled profiler is a null-pointer store and the destructor a
+ *    single branch — no clock reads, no atomics.
+ *  - One HostProfiler per Cpu (per simulation run); runs execute wholly
+ *    on one thread (sim/sim_pool.hh), so section accumulation is plain
+ *    arithmetic. At destruction an enabled profiler folds its totals
+ *    into a process-wide atomic aggregate, which bench harnesses read
+ *    after fanning dozens of runs over a pool (sim/profiler.cc
+ *    globalProfile()).
+ */
+
+#ifndef VPSIM_SIM_PROFILER_HH
+#define VPSIM_SIM_PROFILER_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace vpsim
+{
+
+/** Instrumented host-time sections (one counter pair per entry). */
+enum class ProfSection : unsigned
+{
+    Fetch,        ///< Cpu::fetchStage
+    Dispatch,     ///< Cpu::dispatchStage
+    Issue,        ///< Cpu::issueStage
+    Commit,       ///< Cpu::commitStage
+    Resolve,      ///< Cpu::resolvePendingLoads
+    Drain,        ///< Cpu::drainStoreBuffers
+    CacheData,    ///< Hierarchy::load timing lookups
+    CacheInst,    ///< Hierarchy::instFetch timing lookups
+    VpredPredict, ///< ValuePredictor::predict at dispatch
+    VpredTrain,   ///< ValuePredictor::train at commit
+    NumSections,
+};
+
+inline constexpr unsigned numProfSections =
+    static_cast<unsigned>(ProfSection::NumSections);
+
+/** Canonical section name ("fetch", "cacheData", ...). */
+const char *profSectionName(ProfSection s);
+
+/** Accumulated host time of one section. */
+struct ProfEntry
+{
+    uint64_t nanos = 0;
+    uint64_t calls = 0;
+};
+
+class HostProfiler
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit HostProfiler(bool enabled) : _enabled(enabled) {}
+    ~HostProfiler();
+
+    HostProfiler(const HostProfiler &) = delete;
+    HostProfiler &operator=(const HostProfiler &) = delete;
+
+    bool enabled() const { return _enabled; }
+
+    /** RAII timer: charges [construction, destruction) to a section. */
+    class Scope
+    {
+      public:
+        Scope(HostProfiler &p, ProfSection s)
+            : _p(p._enabled ? &p : nullptr), _s(s)
+        {
+            if (_p != nullptr)
+                _t0 = Clock::now();
+        }
+
+        ~Scope()
+        {
+            if (_p != nullptr) {
+                auto ns = std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(Clock::now() - _t0);
+                ProfEntry &e =
+                    _p->_entries[static_cast<unsigned>(_s)];
+                e.nanos += static_cast<uint64_t>(ns.count());
+                ++e.calls;
+            }
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        HostProfiler *_p;
+        ProfSection _s;
+        Clock::time_point _t0;
+      };
+
+    const ProfEntry &entry(ProfSection s) const
+    {
+        return _entries[static_cast<unsigned>(s)];
+    }
+
+    /** Total instrumented nanoseconds (stage sections overlap the
+     *  cache/predictor sections; see printReport). */
+    uint64_t totalStageNanos() const;
+
+    /** Human-readable per-section table (ms, calls, ns/call). */
+    void printReport(std::ostream &os) const;
+
+    /** One JSON object: {"<section>": {"ms": ..., "calls": ...}, ...} */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    bool _enabled;
+    std::array<ProfEntry, numProfSections> _entries{};
+};
+
+/**
+ * Process-wide aggregate filled by every enabled HostProfiler at
+ * destruction; lets a bench binary report host-time breakdowns across
+ * all the runs its pool executed. Thread-safe.
+ */
+struct GlobalProfile
+{
+    /** Snapshot of the aggregate (consistent enough for reporting). */
+    static std::array<ProfEntry, numProfSections> snapshot();
+
+    /** True once any enabled profiler contributed. */
+    static bool any();
+
+    /** JSON object of the aggregate (same shape as dumpJson). */
+    static std::string snapshotJson();
+
+    /** Zero the aggregate (tests). */
+    static void reset();
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_PROFILER_HH

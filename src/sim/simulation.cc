@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <iostream>
 #include <vector>
 
 #include "core/cpu.hh"
@@ -59,6 +60,17 @@ runWorkload(const SimConfig &cfg, const Workload &workload)
     }
     if (!cfg.sampleFile.empty() && cpu.sampler() != nullptr)
         cpu.sampler()->dumpToFile(cfg.sampleFile);
+    if (!cfg.cpiStack.empty()) {
+        if (cfg.cpiStack == "-") {
+            cpu.cpiStack().printReport(std::cout);
+        } else {
+            std::ofstream os(cfg.cpiStack);
+            if (!os)
+                fatal("cannot open CPI-stack report file '%s'",
+                      cfg.cpiStack.c_str());
+            cpu.cpiStack().printReport(os);
+        }
+    }
 
     return r;
 }

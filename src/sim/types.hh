@@ -40,6 +40,22 @@ inline constexpr PhysReg invalidPhysReg = -1;
 /** Sentinel cycle meaning "never" / "not scheduled". */
 inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
 
+/**
+ * Cache level that serviced (or would service) a data access. Lives
+ * here rather than in mem/ because the core records it on in-flight
+ * loads (core/dyn_inst.hh) and the CPI-stack accounting consumes it
+ * without needing the full hierarchy model.
+ */
+enum class MemLevel : int
+{
+    StoreBuffer = 0, ///< Fully forwarded (assigned by the core, not mem).
+    L1 = 1,
+    L2 = 2,
+    L3 = 3,
+    Memory = 4,
+    Stream = 5,      ///< Stream-buffer hit.
+};
+
 /** Bit-cast helpers for moving doubles through RegVal without UB. */
 inline RegVal fpToBits(double d) { return std::bit_cast<RegVal>(d); }
 inline double bitsToFp(RegVal v) { return std::bit_cast<double>(v); }

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * CPI-stack accounting tests. The load-bearing property is the
+ * sum-to-cycles invariant: every simulated cycle of every hardware
+ * context lands in exactly one slot, so per-context slot counts sum
+ * *exactly* to total cycles — across baseline, STVP, MTVP (the Figure-3
+ * realistic configuration), spawn-only, and multi-value runs. The rest
+ * checks stat registration and attribution plausibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu_test_util.hh"
+#include "sim/cpi_stack.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+using namespace vpsim;
+using namespace vptest;
+
+namespace
+{
+
+/** Per-context slot sums from a SimResult's exported stats. */
+double
+slotSum(const SimResult &r, int ctx)
+{
+    double sum = 0.0;
+    for (unsigned s = 0; s < numCpiSlots; ++s) {
+        sum += r.stat(csprintf("cpi.t%d.%s", ctx,
+                               cpiSlotName(static_cast<CpiSlot>(s))));
+    }
+    return sum;
+}
+
+/** Assert the invariant on every context of a finished run. */
+void
+expectSumsToCycles(const SimResult &r, int numContexts)
+{
+    ASSERT_GT(r.cycles, 0u);
+    for (int ctx = 0; ctx < numContexts; ++ctx) {
+        EXPECT_EQ(slotSum(r, ctx), static_cast<double>(r.cycles))
+            << "context " << ctx << " of " << r.workload;
+    }
+    // The aggregate slots cover every context's every cycle.
+    double all = 0.0;
+    for (unsigned s = 0; s < numCpiSlots; ++s) {
+        all += r.stat(csprintf("cpi.all.%s",
+                               cpiSlotName(static_cast<CpiSlot>(s))));
+    }
+    EXPECT_EQ(all, static_cast<double>(r.cycles) * numContexts);
+}
+
+SimConfig
+quick(uint64_t insts = 3000)
+{
+    SimConfig cfg;
+    cfg.maxInsts = insts;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CpiStack, SlotNamesAndDescsAreTotal)
+{
+    for (unsigned s = 0; s < numCpiSlots; ++s) {
+        auto slot = static_cast<CpiSlot>(s);
+        EXPECT_STRNE(cpiSlotName(slot), "?");
+        EXPECT_GT(std::string(cpiSlotDesc(slot)).size(), 10u);
+    }
+}
+
+TEST(CpiStack, AttributeAndAccessors)
+{
+    StatGroup stats;
+    CpiStack cpi(stats, 2);
+    cpi.attribute(0, CpiSlot::Base);
+    cpi.attribute(0, CpiSlot::Base);
+    cpi.attribute(0, CpiSlot::DcacheMem);
+    cpi.attribute(1, CpiSlot::Idle);
+
+    EXPECT_EQ(cpi.count(0, CpiSlot::Base), 2u);
+    EXPECT_EQ(cpi.count(0, CpiSlot::DcacheMem), 1u);
+    EXPECT_EQ(cpi.count(1, CpiSlot::Idle), 1u);
+    EXPECT_EQ(cpi.total(0), 3u);
+    EXPECT_EQ(cpi.total(1), 1u);
+    EXPECT_EQ(cpi.slotTotal(CpiSlot::Base), 2u);
+
+    // Registered as stats, per context and aggregated.
+    EXPECT_EQ(stats.get("cpi.t0.base"), 2.0);
+    EXPECT_EQ(stats.get("cpi.t1.idle"), 1.0);
+    EXPECT_EQ(stats.get("cpi.all.base"), 2.0);
+
+    std::ostringstream os;
+    cpi.printReport(os);
+    EXPECT_NE(os.str().find("dcacheMem"), std::string::npos);
+    EXPECT_NE(os.str().find("cycles"), std::string::npos);
+}
+
+TEST(CpiStack, BaselineSumsToCycles)
+{
+    SimConfig cfg = quick();
+    SimResult r = runWorkload(cfg, "mcf");
+    expectSumsToCycles(r, 1);
+    // A 16MB pointer chase is memory-bound: the stack must say so.
+    EXPECT_GT(r.stat("cpi.t0.dcacheMem"), 0.5 * r.cycles);
+}
+
+TEST(CpiStack, MemoryBoundStacksHigherThanComputeBound)
+{
+    // Attribution plausibility: the pointer chase (mcf) must show a
+    // larger memory-blocked share than the compute-bound crafty.
+    SimConfig cfg = quick();
+    SimResult mcf = runWorkload(cfg, "mcf");
+    SimResult crafty = runWorkload(cfg, "crafty");
+    expectSumsToCycles(crafty, 1);
+    double mcfShare = mcf.stat("cpi.t0.dcacheMem") / mcf.cycles;
+    double craftyShare =
+        crafty.stat("cpi.t0.dcacheMem") / crafty.cycles;
+    EXPECT_GT(mcfShare, craftyShare);
+    EXPECT_GT(crafty.stat("cpi.t0.base"), 0.0);
+}
+
+TEST(CpiStack, StvpSumsToCycles)
+{
+    SimConfig cfg = quick();
+    cfg.vpMode = VpMode::Stvp;
+    cfg.predictor = PredictorKind::WangFranklin;
+    SimResult r = runWorkload(cfg, "mcf");
+    expectSumsToCycles(r, 1);
+}
+
+TEST(CpiStack, Fig3RealisticMtvpSumsToCycles)
+{
+    // The Figure-3 configuration: realistic Wang-Franklin predictor,
+    // ILP-pred selector, MTVP over 4 and 8 contexts.
+    for (int ctxs : {4, 8}) {
+        SimConfig cfg = quick();
+        cfg.vpMode = VpMode::Mtvp;
+        cfg.numContexts = ctxs;
+        cfg.predictor = PredictorKind::WangFranklin;
+        cfg.selector = SelectorKind::IlpPred;
+        for (const char *wl : {"mcf", "gzip.g", "equake"}) {
+            SimResult r = runWorkload(cfg, wl);
+            expectSumsToCycles(r, ctxs);
+        }
+    }
+}
+
+TEST(CpiStack, SpawnOnlyAndMultiValueSumToCycles)
+{
+    SimConfig cfg = quick();
+    cfg.vpMode = VpMode::SpawnOnly;
+    cfg.numContexts = 4;
+    expectSumsToCycles(runWorkload(cfg, "mcf"), 4);
+
+    cfg = quick();
+    cfg.vpMode = VpMode::Mtvp;
+    cfg.numContexts = 8;
+    cfg.predictor = PredictorKind::Dfcm;
+    cfg.maxValuesPerSpawn = 4;
+    expectSumsToCycles(runWorkload(cfg, "mcf"), 8);
+}
+
+TEST(CpiStack, MtvpChargesSpawnAndIdleOnSpareContexts)
+{
+    SimConfig cfg = mtvpConfig(4);
+    cfg.maxCycles = 2'000'000;
+    CpuRun run = runAsm(chaseKernel(400), cfg, chaseData());
+    const CpiStack &cpi = run.cpu->cpiStack();
+    for (int ctx = 0; ctx < 4; ++ctx)
+        EXPECT_EQ(cpi.total(ctx), run.cycles()) << "context " << ctx;
+    // Spare contexts sat idle at least part of the run, and spawning
+    // charged some overhead somewhere.
+    EXPECT_GT(cpi.slotTotal(CpiSlot::Idle), 0u);
+    EXPECT_GT(cpi.slotTotal(CpiSlot::SpawnOverhead), 0u);
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the minimal JSON reader (src/sim/json.hh) and for the
+ * writer-side guarantee it depends on: every double the repo emits goes
+ * through jsonNumber, which serializes non-finite values as null — so
+ * everything we write, we can read back.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+using namespace vpsim;
+using json::Value;
+
+namespace
+{
+
+Value
+mustParse(const std::string &text)
+{
+    Value v;
+    std::string err;
+    EXPECT_TRUE(json::parse(text, v, &err)) << err;
+    return v;
+}
+
+} // namespace
+
+TEST(Json, ParsesScalarsAndContainers)
+{
+    Value v = mustParse(R"({
+      "s": "a\"b\\c\nd", "i": -42, "f": 3.25, "e": 1.5e3,
+      "t": true, "x": false, "n": null,
+      "a": [1, "two", {"k": 3}], "o": {"nested": {"deep": 1}}
+    })");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.stringOr("s", ""), "a\"b\\c\nd");
+    EXPECT_DOUBLE_EQ(v.numberOr("i", 0), -42.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("f", 0), 3.25);
+    EXPECT_DOUBLE_EQ(v.numberOr("e", 0), 1500.0);
+    EXPECT_TRUE(v.get("t")->boolean);
+    EXPECT_FALSE(v.get("x")->boolean);
+    EXPECT_TRUE(v.get("n")->isNull());
+    ASSERT_TRUE(v.get("a")->isArray());
+    ASSERT_EQ(v.get("a")->arr.size(), 3u);
+    EXPECT_EQ(v.get("a")->arr[1].str, "two");
+    EXPECT_DOUBLE_EQ(v.get("a")->arr[2].numberOr("k", 0), 3.0);
+    EXPECT_DOUBLE_EQ(
+        v.get("o")->get("nested")->numberOr("deep", 0), 1.0);
+    // Defaulting accessors on absent/mistyped members.
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", -1.0), -1.0);
+    EXPECT_EQ(v.stringOr("i", "def"), "def");
+    EXPECT_EQ(v.get("missing"), nullptr);
+    EXPECT_EQ(v.get("a")->get("k"), nullptr);  // non-object
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    Value v;
+    std::string err;
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\": }", "{\"a\": 1,}", "tru",
+          "\"unterminated", "{\"a\": 1} trailing", "nan"}) {
+        EXPECT_FALSE(json::parse(bad, v, &err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+    EXPECT_FALSE(json::parseFile("/nonexistent/file.json", v, &err));
+}
+
+TEST(Json, NonFiniteDoublesRoundTripAsNull)
+{
+    // The writer-side contract (satisfied by jsonNumber everywhere the
+    // repo emits a raw double): NaN/Inf become null, not invalid JSON.
+    auto emit = [](double d) {
+        std::ostringstream os;
+        jsonNumber(os, d);
+        return os.str();
+    };
+    EXPECT_EQ(emit(std::nan("")), "null");
+    EXPECT_EQ(emit(INFINITY), "null");
+    EXPECT_EQ(emit(-INFINITY), "null");
+
+    std::string doc = "{\"nan\": " + emit(std::nan("")) +
+                      ", \"inf\": " + emit(INFINITY) +
+                      ", \"ok\": " + emit(3.25) + "}";
+    Value v = mustParse(doc);
+    EXPECT_TRUE(v.get("nan")->isNull());
+    EXPECT_TRUE(v.get("inf")->isNull());
+    EXPECT_DOUBLE_EQ(v.numberOr("ok", 0), 3.25);
+}
+
+TEST(Json, FiniteDoublesRoundTripExactly)
+{
+    for (double d : {1.0 / 3.0, -0.0, 1e-300, 123456789.123456789,
+                     2.2250738585072014e-308}) {
+        std::ostringstream os;
+        jsonNumber(os, d);
+        Value v = mustParse("[" + os.str() + "]");
+        ASSERT_EQ(v.arr.size(), 1u);
+        EXPECT_EQ(v.arr[0].number, d) << os.str();
+    }
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host self-profiler tests: a disabled profiler records nothing (and
+ * contributes nothing to the process-wide aggregate), an enabled one
+ * counts every scope, and the global aggregate folds per-run profiles
+ * into parseable JSON — the path the bench harness reports through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu_test_util.hh"
+#include "sim/json.hh"
+#include "sim/profiler.hh"
+
+using namespace vpsim;
+using namespace vptest;
+
+TEST(Profiler, DisabledRecordsNothing)
+{
+    GlobalProfile::reset();
+    {
+        HostProfiler p(false);
+        EXPECT_FALSE(p.enabled());
+        for (int i = 0; i < 100; ++i)
+            HostProfiler::Scope s(p, ProfSection::Fetch);
+        EXPECT_EQ(p.entry(ProfSection::Fetch).calls, 0u);
+        EXPECT_EQ(p.entry(ProfSection::Fetch).nanos, 0u);
+    }
+    // A disabled profiler must not mark the aggregate either.
+    EXPECT_FALSE(GlobalProfile::any());
+}
+
+TEST(Profiler, EnabledCountsEveryScope)
+{
+    HostProfiler p(true);
+    for (int i = 0; i < 50; ++i) {
+        HostProfiler::Scope s(p, ProfSection::Issue);
+    }
+    {
+        HostProfiler::Scope s(p, ProfSection::CacheData);
+    }
+    EXPECT_EQ(p.entry(ProfSection::Issue).calls, 50u);
+    EXPECT_EQ(p.entry(ProfSection::CacheData).calls, 1u);
+    EXPECT_EQ(p.entry(ProfSection::Fetch).calls, 0u);
+
+    std::ostringstream os;
+    p.printReport(os);
+    EXPECT_NE(os.str().find("issue"), std::string::npos);
+}
+
+TEST(Profiler, GlobalAggregateFoldsAndEmitsValidJson)
+{
+    GlobalProfile::reset();
+    {
+        HostProfiler p(true);
+        for (int i = 0; i < 7; ++i)
+            HostProfiler::Scope s(p, ProfSection::Commit);
+    } // destruction folds into the aggregate
+    ASSERT_TRUE(GlobalProfile::any());
+    auto snap = GlobalProfile::snapshot();
+    EXPECT_EQ(snap[static_cast<unsigned>(ProfSection::Commit)].calls,
+              7u);
+
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(GlobalProfile::snapshotJson(), v, &err))
+        << err;
+    const json::Value *commit = v.get("commit");
+    ASSERT_NE(commit, nullptr);
+    EXPECT_DOUBLE_EQ(commit->numberOr("calls", 0), 7.0);
+
+    GlobalProfile::reset();
+    EXPECT_FALSE(GlobalProfile::any());
+}
+
+TEST(Profiler, CpuRunPopulatesStageSections)
+{
+    GlobalProfile::reset();
+    SimConfig cfg = haltConfig();
+    cfg.profile = true;
+    {
+        CpuRun run = runAsm(chaseKernel(100), cfg, chaseData());
+        const HostProfiler &p = run.cpu->profiler();
+        EXPECT_TRUE(p.enabled());
+        // One scope per stage per tick.
+        EXPECT_EQ(p.entry(ProfSection::Fetch).calls, run.cycles());
+        EXPECT_EQ(p.entry(ProfSection::Commit).calls, run.cycles());
+        EXPECT_GT(p.entry(ProfSection::CacheData).calls, 0u);
+        EXPECT_GT(p.totalStageNanos(), 0u);
+    } // Cpu destruction folds into the global aggregate
+    EXPECT_TRUE(GlobalProfile::any());
+
+    // And with the default (profiling off) nothing is measured.
+    GlobalProfile::reset();
+    SimConfig off = haltConfig();
+    CpuRun quiet = runAsm(chaseKernel(100), off, chaseData());
+    EXPECT_EQ(quiet.cpu->profiler().entry(ProfSection::Fetch).calls,
+              0u);
+    EXPECT_FALSE(GlobalProfile::any());
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Paper-fidelity scoreboard tests: tolerance-band classification edges,
+ * default tolerances, expected-file round-trip and schema checks,
+ * report scoring (including positional matching of duplicate keys), and
+ * the end-to-end drift demonstration the scoreboard exists for — the
+ * committed baseline passes against an identical re-run, while a
+ * perturbed machine (memory latency halved) fails.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "scoreboard.hh"
+#include "sim/json.hh"
+#include "sim/simulation.hh"
+
+using namespace vpbench;
+using namespace vpsim;
+
+namespace
+{
+
+ExpectedPoint
+point(double expected, double warnTol, double failTol)
+{
+    ExpectedPoint p;
+    p.category = "int";
+    p.workload = "mcf";
+    p.config = "mtvp4";
+    p.expected = expected;
+    p.warnTol = warnTol;
+    p.failTol = failTol;
+    return p;
+}
+
+json::Value
+parseReport(const std::string &text)
+{
+    json::Value v;
+    std::string err;
+    EXPECT_TRUE(json::parse(text, v, &err)) << err;
+    return v;
+}
+
+} // namespace
+
+TEST(Scoreboard, ToleranceBandEdges)
+{
+    ExpectedPoint p = point(10.0, 1.0, 3.0);
+    EXPECT_EQ(evaluatePoint(p, 10.0), PointStatus::Pass);
+    EXPECT_EQ(evaluatePoint(p, 11.0), PointStatus::Pass);  // == warnTol
+    EXPECT_EQ(evaluatePoint(p, 9.0), PointStatus::Pass);
+    EXPECT_EQ(evaluatePoint(p, 11.5), PointStatus::Warn);
+    EXPECT_EQ(evaluatePoint(p, 13.0), PointStatus::Warn);  // == failTol
+    EXPECT_EQ(evaluatePoint(p, 7.0), PointStatus::Warn);
+    EXPECT_EQ(evaluatePoint(p, 13.001), PointStatus::Fail);
+    EXPECT_EQ(evaluatePoint(p, -5.0), PointStatus::Fail);
+    EXPECT_EQ(evaluatePoint(p, std::nan("")), PointStatus::Fail);
+    EXPECT_EQ(evaluatePoint(p, INFINITY), PointStatus::Fail);
+}
+
+TEST(Scoreboard, DefaultTolerances)
+{
+    // Absolute floor for small expectations...
+    EXPECT_DOUBLE_EQ(defaultWarnTol(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(defaultFailTol(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(defaultWarnTol(5.0), 0.5);
+    // ...relative band for large (and sign-independent).
+    EXPECT_DOUBLE_EQ(defaultWarnTol(100.0), 2.0);
+    EXPECT_DOUBLE_EQ(defaultFailTol(100.0), 10.0);
+    EXPECT_DOUBLE_EQ(defaultWarnTol(-100.0), 2.0);
+}
+
+TEST(Scoreboard, ExpectedFileRoundTrip)
+{
+    ExpectedFigure fig;
+    fig.figure = "fig_test";
+    fig.insts = 12000;
+    fig.seed = 7;
+    fig.fullSet = true;
+    fig.points.push_back(point(12.5, 0.5, 2.0));
+    fig.points.push_back(point(-3.25, 1.0, 4.0));
+    fig.points.back().workload = "swim";
+    fig.points.back().category = "fp";
+
+    std::string path = testing::TempDir() + "sb_roundtrip.json";
+    {
+        std::ofstream os(path);
+        os << expectedFigureJson(fig);
+    }
+    ExpectedFigure back;
+    std::string err;
+    ASSERT_TRUE(loadExpectedFigure(path, back, &err)) << err;
+    EXPECT_EQ(back.figure, "fig_test");
+    EXPECT_EQ(back.insts, 12000u);
+    EXPECT_EQ(back.seed, 7u);
+    EXPECT_TRUE(back.fullSet);
+    ASSERT_EQ(back.points.size(), 2u);
+    EXPECT_DOUBLE_EQ(back.points[0].expected, 12.5);
+    EXPECT_DOUBLE_EQ(back.points[1].expected, -3.25);
+    EXPECT_EQ(back.points[1].workload, "swim");
+    EXPECT_DOUBLE_EQ(back.points[1].failTol, 4.0);
+}
+
+TEST(Scoreboard, SchemaVersionMismatchRejected)
+{
+    std::string path = testing::TempDir() + "sb_badschema.json";
+    {
+        std::ofstream os(path);
+        os << "{\"schemaVersion\": \"mtvp-scoreboard-v999\", "
+              "\"figure\": \"x\", \"points\": []}";
+    }
+    ExpectedFigure fig;
+    std::string err;
+    EXPECT_FALSE(loadExpectedFigure(path, fig, &err));
+    EXPECT_NE(err.find("mtvp-scoreboard-v999"), std::string::npos);
+
+    ExpectedFigure fig2;
+    EXPECT_FALSE(loadExpectedFigure(testing::TempDir() + "nope.json",
+                                    fig2, &err));
+}
+
+TEST(Scoreboard, ScoreFigureClassifiesAndMatchesPositionally)
+{
+    // Two tables of the same sweep reuse the (category, workload,
+    // config) key — rows and points pair up by occurrence order.
+    json::Value report = parseReport(R"({
+      "title": "t", "insts": 12000, "rows": [
+        {"category": "int", "workload": "mcf", "config": "mtvp4",
+         "speedupPct": 10.0},
+        {"category": "int", "workload": "mcf", "config": "mtvp4",
+         "speedupPct": 50.0},
+        {"category": "int", "workload": "gzip.g", "config": "mtvp4",
+         "speedupPct": null}
+      ]})");
+
+    ExpectedFigure fig;
+    fig.figure = "fig_test";
+    fig.insts = 12000;
+    fig.seed = 1;
+    fig.points.push_back(point(10.0, 1.0, 3.0));  // row 0: pass
+    fig.points.push_back(point(52.0, 1.0, 3.0));  // row 1: warn
+    fig.points.push_back(point(99.0, 1.0, 3.0));  // no 3rd row: missing
+    ExpectedPoint gz = point(1.0, 1.0, 3.0);
+    gz.workload = "gzip.g";
+    fig.points.push_back(gz);                     // null metric: missing
+
+    FigureScore s = scoreFigure(fig, report, 12000, 1, false);
+    EXPECT_EQ(s.count(PointStatus::Pass), 1);
+    EXPECT_EQ(s.count(PointStatus::Warn), 1);
+    EXPECT_EQ(s.count(PointStatus::Missing), 2);
+    EXPECT_EQ(s.worst(), PointStatus::Fail);
+    EXPECT_TRUE(s.settingsNote.empty());
+    // Had the duplicate matched first-wins, point 1 would compare 52
+    // against 10 and fail instead of warn.
+    EXPECT_DOUBLE_EQ(s.results[1].measured, 50.0);
+
+    // Mismatched run settings are flagged.
+    FigureScore s2 = scoreFigure(fig, report, 24000, 1, false);
+    EXPECT_FALSE(s2.settingsNote.empty());
+
+    std::ostringstream os;
+    printScoreReport(os, {s}, false);
+    EXPECT_NE(os.str().find("fig_test"), std::string::npos);
+    EXPECT_NE(os.str().find("no measured row"), std::string::npos);
+    std::ostringstream md;
+    printScoreReport(md, {s}, true);
+    EXPECT_NE(md.str().find("| fig_test |"), std::string::npos);
+}
+
+TEST(Scoreboard, BaselineFromReportUsesDefaults)
+{
+    json::Value report = parseReport(R"({
+      "rows": [
+        {"category": "int", "workload": "mcf", "config": "mtvp4",
+         "speedupPct": 100.0},
+        {"category": "int", "workload": "mcf", "config": "bad",
+         "speedupPct": null}
+      ]})");
+    ExpectedFigure fig =
+        baselineFromReport("f", report, 12000, 1, false);
+    ASSERT_EQ(fig.points.size(), 1u);  // null metric rows are skipped
+    EXPECT_DOUBLE_EQ(fig.points[0].expected, 100.0);
+    EXPECT_DOUBLE_EQ(fig.points[0].warnTol, 2.0);
+    EXPECT_DOUBLE_EQ(fig.points[0].failTol, 10.0);
+}
+
+TEST(Scoreboard, PerturbedMemLatencyFailsWhereRerunPasses)
+{
+    // The acceptance demo: the simulator is deterministic, so the same
+    // settings reproduce the committed expectation exactly — while a
+    // machine perturbation (memory latency halved) lands far outside
+    // the fail tolerance on a memory-bound workload.
+    SimConfig base;
+    base.maxInsts = 3000;
+    SimConfig mtvp = base;
+    mtvp.vpMode = VpMode::Mtvp;
+    mtvp.numContexts = 4;
+    mtvp.predictor = PredictorKind::Oracle;
+    mtvp.selector = SelectorKind::IlpPred;
+
+    SimResult b = runWorkload(base, "mcf");
+    SimResult m = runWorkload(mtvp, "mcf");
+    double expected = percentSpeedup(b, m);
+    ExpectedPoint p = point(expected, defaultWarnTol(expected),
+                            defaultFailTol(expected));
+
+    SimResult m2 = runWorkload(mtvp, "mcf");
+    EXPECT_DOUBLE_EQ(percentSpeedup(b, m2), expected);
+    EXPECT_EQ(evaluatePoint(p, percentSpeedup(b, m2)),
+              PointStatus::Pass);
+
+    SimConfig perturbed = mtvp;
+    perturbed.memLatency = mtvp.memLatency / 2;
+    SimResult mp = runWorkload(perturbed, "mcf");
+    EXPECT_EQ(evaluatePoint(p, percentSpeedup(b, mp)),
+              PointStatus::Fail);
+}
