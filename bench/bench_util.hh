@@ -17,6 +17,9 @@
  *   MTVP_NO_CACHE=1  skip the persistent result cache (--no-cache)
  *   MTVP_CACHE_DIR=  result cache directory (default bench-cache/)
  *   MTVP_JSON=<path> also write this binary's rows as JSON
+ *   MTVP_TIME_SKIP=0 disable the next-event time-skip engine (results
+ *                    are bit-identical either way; 0 only slows the
+ *                    simulator — used by the CI equivalence check)
  *
  * Simulations fan out over a SimPool/SimJobGraph (src/sim/sim_pool.hh):
  * each (config, workload) point is an independent deterministic job, so
@@ -120,6 +123,7 @@ baseConfig()
     cfg.vpMode = VpMode::None;
     cfg.maxInsts = instCount();
     cfg.seed = envU64("MTVP_SEED", 1);
+    cfg.timeSkip = envU64("MTVP_TIME_SKIP", 1);
     return cfg;
 }
 

@@ -263,7 +263,7 @@ main(int argc, char **argv)
         out << (firstFig ? "\n" : ",\n");
         firstFig = false;
         out << "    \"" << fig << "\": {\"wallSeconds\": ";
-        vpsim::jsonNumber(out, secs);
+        vpsim::jsonNumber(out, vpsim::roundSig(secs, 6));
         out << ", \"exitStatus\": " << status << ", \"report\": ";
 
         std::ifstream frag(fragment);
@@ -299,7 +299,7 @@ main(int argc, char **argv)
     }
 
     out << "\n  },\n  \"totalWallSeconds\": ";
-    vpsim::jsonNumber(out, totalSeconds);
+    vpsim::jsonNumber(out, vpsim::roundSig(totalSeconds, 6));
     out << ",\n  \"failures\": " << failures << "\n}\n";
 
     std::string path = envStr("MTVP_RESULTS", "BENCH_results.json");
@@ -327,7 +327,7 @@ main(int argc, char **argv)
             sum << "    ";
             vpsim::jsonQuote(sum, run.name);
             sum << ": {\"wallSeconds\": ";
-            vpsim::jsonNumber(sum, run.wallSeconds);
+            vpsim::jsonNumber(sum, vpsim::roundSig(run.wallSeconds, 6));
             sum << ", \"exitStatus\": " << run.exitStatus;
             Headline h = run.hasReport ? headlineOf(run.report)
                                        : Headline{};

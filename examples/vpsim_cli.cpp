@@ -158,6 +158,9 @@ main(int argc, char **argv)
 
     std::printf("\n%-20s %llu\n", "cycles:",
                 static_cast<unsigned long long>(cpu.cycles()));
+    std::printf("%-20s %.0f (%.0f skip events)\n", "skipped cycles:",
+                cpu.stats().get("sim.skippedCycles"),
+                cpu.stats().get("sim.skipEvents"));
     std::printf("%-20s %llu\n", "useful insts:",
                 static_cast<unsigned long long>(cpu.usefulInsts()));
     std::printf("%-20s %.4f\n", "useful IPC:", cpu.usefulIpc());

@@ -70,6 +70,9 @@ Cpu::commitOne(ThreadContext &tc)
     if (head->isStore()) {
         int cap = _cfg.storeBufferSize;
         if (cap > 0 && tc.storeBufferOccupancy() >= cap) {
+            // No forward progress, but the stall mutates per-cycle
+            // stats, so the cycle must not be treated as skippable.
+            ++_activity;
             ++_statSbStalls;
             _cpiSbBlocked[static_cast<size_t>(tc.id)] = 1;
             DPRINTF(StoreBuffer,
@@ -113,6 +116,7 @@ Cpu::commitOne(ThreadContext &tc)
     if (tc.activeSpawnSeq != 0 && head->seq > tc.activeSpawnSeq)
         ++tc.committedPostSpawn;
     ++_statCommitsTotal;
+    ++_activity;
     _lastCommitCycle = _now;
     DPRINTF(Commit, "commit seq=%llu pc=%llx",
             static_cast<unsigned long long>(head->seq),
@@ -166,6 +170,7 @@ Cpu::resolvePendingLoads()
                 _pending.push_back(std::move(moved));
             }
             changed = true;
+            ++_activity;
             break;
         }
     }
@@ -554,6 +559,7 @@ Cpu::drainStoreBuffers()
             if (front->flushable()) {
                 front->flushTo(_mem);
                 _drainQueue.pop_front();
+                ++_activity;
                 continue; // Retirement is free; keep going.
             }
             if (front->residentStores() == 0)
@@ -571,6 +577,7 @@ Cpu::drainStoreBuffers()
                 static_cast<unsigned long long>(addr));
         _hier.storeDrain(addr, _now);
         --budget;
+        ++_activity;
     }
 }
 

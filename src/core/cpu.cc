@@ -17,6 +17,14 @@ poolCapacity(const SimConfig &cfg, int archRegsPerCtx)
     return archRegsPerCtx * cfg.numContexts + cfg.effRenameRegs();
 }
 
+/** Abort when no context commits for this long. */
+constexpr Cycle watchdogCycles = 1000000;
+
+/** Abort when nothing in the machine moves — and, in skip mode, no
+ *  event is armed — for this long. Far smaller than the watchdog: a
+ *  deadlocked machine has nothing to wait for. */
+constexpr Cycle deadlockGuardCycles = 10000;
+
 } // namespace
 
 Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
@@ -79,7 +87,14 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
       _statSelStvp(_stats, "sel.stvp", "selector chose STVP"),
       _statSelMtvp(_stats, "sel.mtvp", "selector chose MTVP"),
       _statSelMtvpBlocked(_stats, "sel.mtvpBlocked",
-                          "MTVP unavailable at selection time")
+                          "MTVP unavailable at selection time"),
+      _statSkippedCycles(_stats, "sim.skippedCycles",
+                         "cycles bulk-advanced by the time-skip engine "
+                         "(engine meta-stat: differs across timeSkip "
+                         "modes by construction)"),
+      _statSkipEvents(_stats, "sim.skipEvents",
+                      "quiescent stretches collapsed by the time-skip "
+                      "engine (engine meta-stat)")
 {
     _cfg.validate();
 
@@ -322,6 +337,7 @@ Cpu::recordMatureWindows()
         uint64_t issued = _issuedTotal - w.startIssued;
         _selector->recordOutcome(w.pc, w.choice, issued, cycles);
         w.state = IlpWindow::State::Free;
+        ++_activity;
     }
 }
 
@@ -391,9 +407,9 @@ Cpu::done() const
 }
 
 void
-Cpu::checkWatchdog()
+Cpu::dumpPipelineState() const
 {
-    if (_now - _lastCommitCycle > 1000000) {
+    {
         for (const ThreadContext &tc : _ctxs) {
             if (!tc.active)
                 continue;
@@ -433,17 +449,193 @@ Cpu::checkWatchdog()
                          taintOf(h.srcLogical[i], h.physSrc[i])));
             }
         }
-        warn("pending=%zu drainQueue=%zu intFree=%d/%d fpFree=%d/%d "
-             "iq=%d fq=%d mq=%d vpTags=%zu",
-             _pending.size(), _drainQueue.size(), _intRegs.freeCount(),
-             _intRegs.capacity(), _fpRegs.freeCount(),
-             _fpRegs.capacity(), _iq.size(), _fq.size(), _mq.size(),
-             _vpTagFree.size());
+        warn("pending=%zu drainQueue=%zu inFlightFills=%zu intFree=%d/%d "
+             "fpFree=%d/%d iq=%d fq=%d mq=%d vpTags=%zu",
+             _pending.size(), _drainQueue.size(), _hier.inFlightFills(),
+             _intRegs.freeCount(), _intRegs.capacity(),
+             _fpRegs.freeCount(), _fpRegs.capacity(), _iq.size(),
+             _fq.size(), _mq.size(), _vpTagFree.size());
+    }
+}
+
+void
+Cpu::checkWatchdog()
+{
+    if (_now - _lastCommitCycle > watchdogCycles) {
+        dumpPipelineState();
         panic("no commit in 1M cycles at cycle %llu (root=%d, rob=%d, "
               "useful=%llu)",
               static_cast<unsigned long long>(_now), _root, _robOccupancy,
               static_cast<unsigned long long>(usefulInsts()));
     }
+}
+
+void
+Cpu::deadlockPanic() const
+{
+    dumpPipelineState();
+    panic("deadlock: no pipeline activity since cycle %llu and no "
+          "pending event at cycle %llu",
+          static_cast<unsigned long long>(_lastActivityCycle),
+          static_cast<unsigned long long>(_now));
+}
+
+/**
+ * Earliest future cycle at which any machine event can fire: an
+ * in-flight cache fill completes, an issued instruction's result
+ * becomes ready, a waiting queue entry's sources mature, a spawned
+ * context finishes its warm-up, a stalled or throttled front end
+ * resumes, a fetched instruction clears the front-end delay, or an
+ * ILP-measurement window closes. Thresholds at or before _now are
+ * excluded: anything runnable *now* would have acted during the tick
+ * that just proved itself idle, so only strictly-future times count.
+ * neverCycle means nothing is armed — with no activity either, the
+ * machine is provably deadlocked.
+ */
+Cycle
+Cpu::nextEventCycle() const
+{
+    Cycle best = neverCycle;
+    // run() calls this after tick() advanced _now, so the cycle about
+    // to execute is _now itself: a threshold at exactly _now is still
+    // in the future (the caller then just ticks, skipping nothing).
+    // Only thresholds the idle tick already ignored (< _now) are stale.
+    auto consider = [&](Cycle c) {
+        if (c >= _now && c < best)
+            best = c;
+    };
+
+    consider(_hier.nextEventCycle(_now));
+
+    // Cycle at which every renamed source of @p di is ready (the issue
+    // stage's sourcesReady() threshold); neverCycle when a source can
+    // only be woken by another event (e.g. a vp-tagged load redo).
+    auto sourcesReadyAt = [&](const DynInst &di) {
+        Cycle ready = 0;
+        for (int i = 0; i < di.numSrcs && ready != neverCycle; ++i) {
+            PhysReg p = di.physSrc[i];
+            if (p == invalidPhysReg)
+                continue;
+            ready = std::max(ready, poolFor(di.srcLogical[i]).readyAt(p));
+        }
+        return ready;
+    };
+
+    for (const ThreadContext &tc : _ctxs) {
+        if (!tc.active)
+            continue;
+        if (!tc.rob.empty()) {
+            const DynInst &h = *tc.rob.front();
+            if (h.issued) {
+                consider(h.readyCycle);
+            } else if (!h.everIssued) {
+                // Unissued head beyond the issue scan cap: its maturing
+                // sources are still a CPI classification boundary.
+                Cycle r = sourcesReadyAt(h);
+                if (r != neverCycle)
+                    consider(r);
+            }
+        }
+        if (tc.waitingBranch != nullptr && tc.waitingBranch->issued)
+            consider(tc.waitingBranch->readyCycle);
+        consider(tc.spawnReadyAt);
+        consider(tc.fetchStallUntil);
+        if (!tc.fetchQueue.empty())
+            consider(tc.fetchQueue.front().availAt);
+    }
+
+    for (const PendingLoad &pl : _pending) {
+        if (pl.load->issued)
+            consider(pl.load->readyCycle);
+    }
+    for (const IlpWindow &w : _windows) {
+        if (w.state == IlpWindow::State::Closing)
+            consider(w.closeAt);
+    }
+
+    // Waiting queue entries the issue stage would look at this cycle
+    // (same scan cap, so an entry the per-cycle loop cannot reach does
+    // not arm an event it would not act on). Entries whose sources are
+    // already ready contribute nothing: either they issue during a
+    // tick (activity) or they are blocked on something — an older
+    // unissued store, a vp redo — that has its own event or activity.
+    auto scanQueue = [&](const IssueQueue &q) {
+        q.forEachWaiting(
+            [&](const DynInstPtr &di) {
+                Cycle r = sourcesReadyAt(*di);
+                if (r != neverCycle)
+                    consider(r);
+            },
+            issueScanCap);
+    };
+    scanQueue(_mq);
+    scanQueue(_iq);
+    scanQueue(_fq);
+
+    return best;
+}
+
+bool
+Cpu::timeSkipAllowed() const
+{
+    if (_cfg.traceFlags.empty())
+        return true;
+    // Never skip inside the DPRINTF window: traced cycles must tick one
+    // by one. Before the window, tryTimeSkip caps the jump at
+    // traceStart; traceEnd == 0 leaves the window open-ended.
+    if (_now < _cfg.traceStart)
+        return true;
+    return _cfg.traceEnd != 0 && _now >= _cfg.traceEnd;
+}
+
+/**
+ * The tick that just ran proved itself idle (no activity). Jump
+ * straight to the earliest cycle anything can change. Between _now and
+ * that target no predicate the stages or the CPI attribution evaluate
+ * can flip — the target is the *minimum* future threshold — so each
+ * context's CPI slot is constant across the gap and the skipped cycles
+ * are charged in one add per context, exactly as the per-cycle loop
+ * would have. Engine timers (sample edges, the commit watchdog,
+ * maxCycles, traceStart) cap the jump so they fire on schedule.
+ */
+void
+Cpu::tryTimeSkip()
+{
+    HostProfiler::Scope ps(_prof, ProfSection::TimeSkip);
+    Cycle target = nextEventCycle();
+    if (target == neverCycle) {
+        // Nothing is armed and nothing moved: the machine can never
+        // make progress again. A cycle-bounded run that ends before
+        // the deadlock guard would trip is left to finish normally
+        // (matching the per-cycle loop); anything else aborts now
+        // instead of spinning to maxCycles.
+        const Cycle guardAt = _lastActivityCycle + deadlockGuardCycles;
+        if (_cfg.maxCycles == 0 || _cfg.maxCycles > guardAt)
+            deadlockPanic();
+        target = _cfg.maxCycles;
+    }
+    if (_sampler != nullptr)
+        target = std::min(target, _sampler->nextSampleAt());
+    target = std::min(target, _lastCommitCycle + watchdogCycles + 1);
+    if (_cfg.maxCycles != 0)
+        target = std::min<Cycle>(target, _cfg.maxCycles);
+    if (!_cfg.traceFlags.empty() && _now < _cfg.traceStart)
+        target = std::min<Cycle>(target, _cfg.traceStart);
+    if (target <= _now)
+        return;
+
+    const Cycle skipped = target - _now;
+    for (const ThreadContext &tc : _ctxs)
+        _cpi.attribute(tc.id, cpiSlotFor(tc), skipped);
+    // The commit rotor advances once per cycle whether or not anything
+    // commits; keep it in phase with the per-cycle loop.
+    _commitRotor = static_cast<int>(
+        (static_cast<uint64_t>(_commitRotor) + skipped) %
+        static_cast<uint64_t>(_cfg.numContexts));
+    _now = target;
+    _statSkippedCycles += skipped;
+    ++_statSkipEvents;
+    checkWatchdog();
 }
 
 /**
@@ -597,8 +789,26 @@ Cpu::tick()
 void
 Cpu::run()
 {
-    while (!done())
+    // The time-skip engine never runs under pipeView: the pipeline
+    // trace wants a record of every cycle. DPRINTF windows disable it
+    // only while inside the window (timeSkipAllowed).
+    const bool skipConfigured = _cfg.timeSkip != 0 && _cfg.pipeView.empty();
+    uint64_t lastActivity = _activity;
+    while (!done()) {
         tick();
+        if (_activity != lastActivity) {
+            lastActivity = _activity;
+            _lastActivityCycle = _now;
+            continue;
+        }
+        if (skipConfigured && timeSkipAllowed()) {
+            tryTimeSkip();
+        } else if (!done() &&
+                   _now - _lastActivityCycle == deadlockGuardCycles &&
+                   nextEventCycle() == neverCycle) {
+            deadlockPanic();
+        }
+    }
 
     // Flush the architectural (root-chain) store state so main memory
     // reflects every usefully committed store.

@@ -102,6 +102,9 @@ class Cpu
     friend class CpuTestPeer;
 
     static constexpr int numVpTags = 64;
+    /** Issue-stage waiting-entry scan cap, shared with the time-skip
+     *  event scan so both consider exactly the same entries. */
+    static constexpr int issueScanCap = 256;
 
     /** One spawned speculative thread hanging off a load. */
     struct ChildRec
@@ -209,6 +212,21 @@ class Cpu
     const ThreadContext &ctx(CtxId id) const;
     CtxId rootCtx() const { return _root; }
     void checkWatchdog();
+
+    // ----- Time-skip engine (cpu.cc) -----
+    /** Earliest future cycle any machine event can fire (fill
+     *  completion, result ready, queue-entry sources maturing, spawn
+     *  warm-up, fetch resume, ILP window close); neverCycle = none. */
+    Cycle nextEventCycle() const;
+    /** Skipping permitted right now (outside active trace windows)? */
+    bool timeSkipAllowed() const;
+    /** After a provably idle tick: jump _now to the next event and
+     *  bulk-charge the skipped cycles to the CPI stack. */
+    void tryTimeSkip();
+    /** Per-context pipeline dump shared by the watchdog and deadlock
+     *  diagnostics. */
+    void dumpPipelineState() const;
+    [[noreturn]] void deadlockPanic() const;
     /** Charge the cycle that just executed to one CpiSlot per context. */
     void accountCpiCycle();
     CpiSlot cpiSlotFor(const ThreadContext &tc) const;
@@ -252,6 +270,10 @@ class Cpu
     bool _finished = false;
     Cycle _lastCommitCycle = 0;
     int _commitRotor = 0;
+    /** Bumped by every state-mutating stage action; a tick that leaves
+     *  it unchanged provably did nothing, so run() may time-skip. */
+    uint64_t _activity = 0;
+    Cycle _lastActivityCycle = 0;
 
     /** Chunk pool behind allocInst(); shared into every control block. */
     std::shared_ptr<InstPoolStorage> _instPool =
@@ -300,6 +322,8 @@ class Cpu
     Scalar _statSelStvp;
     Scalar _statSelMtvp;
     Scalar _statSelMtvpBlocked;
+    Scalar _statSkippedCycles;
+    Scalar _statSkipEvents;
 };
 
 } // namespace vpsim

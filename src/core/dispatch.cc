@@ -26,6 +26,7 @@ Cpu::dispatchStage()
         if (tc.waitingBranch->completedBy(_now)) {
             tc.fetchPc = tc.waitingBranch->emu.nextPc;
             tc.waitingBranch.reset();
+            ++_activity;
         }
     }
 
@@ -134,6 +135,7 @@ Cpu::dispatchOne(ThreadContext &tc)
         return false;
 
     tc.fetchQueue.pop_front();
+    ++_activity;
     trace::setContext(tc.id);
 
     auto di = allocInst();

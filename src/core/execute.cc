@@ -125,6 +125,7 @@ Cpu::tryIssue(const DynInstPtr &di)
     }
     ++_issuedTotal;
     ++_statIssued;
+    ++_activity;
 
     // Publish the destination's readiness — except for a value-predicted
     // load, whose destination stays ready at the *predicted* time; a
@@ -142,11 +143,12 @@ Cpu::issueStage()
     candidates.clear();
     // Selection scans the oldest waiting entries; the cap only matters
     // for the idealized 8K-queue machine (documented approximation).
-    const int scanCap = 256;
+    // The time-skip event scan uses the same cap (Cpu::issueScanCap) so
+    // it arms events for exactly the entries this stage can see.
     auto collect = [&](IssueQueue &q) {
         q.forEachWaiting(
             [&](const DynInstPtr &p) { candidates.push_back(p); },
-            scanCap);
+            issueScanCap);
     };
     collect(_mq);
     collect(_iq);

@@ -160,8 +160,12 @@ Cpu::fetchStage()
         CtxId id = eligible[turn % eligible.size()];
         ThreadContext &tc = ctx(id);
         --lineBudget;
-        if (fetchEligible(tc))
+        if (fetchEligible(tc)) {
+            // A line run always does work: it fetches at least one
+            // instruction or arms fetchStallUntil for an icache miss.
+            ++_activity;
             instBudget -= fetchLineRun(tc, instBudget);
+        }
         ++turn;
         if (turn >= eligible.size() * 2u)
             break; // Each chosen context had its chance at a line.

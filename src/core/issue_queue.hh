@@ -77,6 +77,28 @@ class IssueQueue
         _entries.resize(w);
     }
 
+    /** Read-only variant of the sweep above: visits exactly the same
+     *  waiting entries in the same order with the same @p maxVisit
+     *  semantics, but never compacts (the time-skip event scan must
+     *  not disturb queue state). */
+    template <typename Fn>
+    void
+    forEachWaiting(Fn &&fn, int maxVisit = 1 << 30) const
+    {
+        int visited = 0;
+        for (const DynInstPtr &p : _entries) {
+            if (visited >= maxVisit)
+                break;
+            const DynInst &inst = *p;
+            if (inst.squashed)
+                continue;
+            if (!inst.issued) {
+                fn(p);
+                ++visited;
+            }
+        }
+    }
+
     /** Drop entries whose instructions were squashed (lazy cleanup). */
     void purgeSquashed();
 

@@ -200,4 +200,19 @@ Hierarchy::probeLevel(Addr addr) const
     return MemLevel::Memory;
 }
 
+Cycle
+Hierarchy::nextEventCycle(Cycle now) const
+{
+    Cycle best = neverCycle;
+    for (const auto &kv : _dataInFlight) {
+        if (kv.second >= now && kv.second < best)
+            best = kv.second;
+    }
+    for (const auto &kv : _instInFlight) {
+        if (kv.second >= now && kv.second < best)
+            best = kv.second;
+    }
+    return best;
+}
+
 } // namespace vpsim

@@ -54,6 +54,23 @@ class Hierarchy
 
     uint64_t streamHits() const { return _prefetcher->streamHits(); }
 
+    /**
+     * Earliest in-flight fill (data or instruction) that completes at
+     * or after @p now; neverCycle when none is outstanding. This
+     * is the memory system's contribution to the time-skip engine's
+     * next-event horizon. Completed-but-not-yet-collected entries
+     * (ready <= now) are ignored: their consumers are already
+     * runnable, so they are not future events.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Outstanding fill-table population (diagnostics only; may count
+     *  entries whose lazy erasure has not happened yet). */
+    size_t inFlightFills() const
+    {
+        return _dataInFlight.size() + _instInFlight.size();
+    }
+
   private:
     /** Charge a fill that starts below L1 (L2 -> L3 -> memory). */
     Cycle fillFromL2(Addr addr, Cycle now, bool countDemand);

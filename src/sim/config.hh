@@ -123,6 +123,14 @@ struct SimConfig
     uint64_t maxInsts = 100000; ///< Useful instructions to simulate.
     uint64_t maxCycles = 0;     ///< 0 = no cycle cap.
     uint64_t seed = 1;          ///< Workload data-set seed.
+    /** Next-event time skip: when a whole tick provably did nothing,
+     *  advance straight to the earliest pending event instead of
+     *  ticking idle cycles one by one. The engine is exact — every
+     *  statistic is bit-identical with timeSkip=0 — so like the
+     *  telemetry knobs it is excluded from canonicalKey(). It
+     *  auto-disables under pipeView= (the trace wants every cycle)
+     *  and inside an active DPRINTF trace window. */
+    uint64_t timeSkip = 1;
 
     // ----- Tracing & telemetry (src/sim/trace.hh) -----
     /** Comma-separated debug-flag names/globs ("MTVP,Commit", "St*");
@@ -155,8 +163,8 @@ struct SimConfig
 
     /**
      * Canonical one-line serialization of *every* result-affecting field
-     * (telemetry outputs such as traceFlags/statsJson are excluded: they
-     * never change SimResult). This is the string the persistent result
+     * (telemetry outputs such as traceFlags/statsJson are excluded, as
+     * is timeSkip: none of them change SimResult). This is the string the persistent result
      * cache and the bench runners hash; adding a result-affecting field
      * to SimConfig without extending canonicalKey() silently aliases
      * distinct configs, so config_test cross-checks it against set().

@@ -83,6 +83,16 @@ class CpiStack
                   static_cast<unsigned>(slot)];
     }
 
+    /** Charge @p n cycles of @p ctx to @p slot in one add. The time-
+     *  skip engine's bulk path: equivalent to n single-cycle calls,
+     *  which keeps the sum-to-cycles invariant exact across skips. */
+    void
+    attribute(CtxId ctx, CpiSlot slot, uint64_t n)
+    {
+        _counts[static_cast<size_t>(ctx) * numCpiSlots +
+                static_cast<unsigned>(slot)] += n;
+    }
+
     int numContexts() const { return _numContexts; }
     uint64_t count(CtxId ctx, CpiSlot slot) const;
     /** Sum over every slot for @p ctx — equals cycles by construction. */

@@ -36,6 +36,7 @@ profSectionName(ProfSection s)
       case ProfSection::CacheInst: return "cacheInst";
       case ProfSection::VpredPredict: return "vpredPredict";
       case ProfSection::VpredTrain: return "vpredTrain";
+      case ProfSection::TimeSkip: return "timeSkip";
       case ProfSection::NumSections: break;
     }
     return "?";
@@ -112,7 +113,9 @@ dumpEntriesJson(std::ostream &os,
             os << ", ";
         jsonQuote(os, profSectionName(static_cast<ProfSection>(i)));
         os << ": {\"ms\": ";
-        jsonNumber(os, static_cast<double>(entries[i].nanos) / 1e6);
+        jsonNumber(os, roundSig(static_cast<double>(entries[i].nanos) /
+                                    1e6,
+                                6));
         os << ", \"calls\": " << entries[i].calls << '}';
     }
     os << '}';

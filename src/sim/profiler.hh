@@ -41,6 +41,7 @@ enum class ProfSection : unsigned
     CacheInst,    ///< Hierarchy::instFetch timing lookups
     VpredPredict, ///< ValuePredictor::predict at dispatch
     VpredTrain,   ///< ValuePredictor::train at commit
+    TimeSkip,     ///< Cpu::tryTimeSkip (event scan + bulk attribution)
     NumSections,
 };
 

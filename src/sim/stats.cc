@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 
 #include "sim/logging.hh"
@@ -216,9 +217,28 @@ jsonNumber(std::ostream &os, double v)
     if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
         std::snprintf(buf, sizeof(buf), "%.0f", v);
     } else {
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        // Shortest decimal form that parses back to exactly v, so
+        // roundSig()-treated values print as written (6.9646, not
+        // 6.9645999999999999) while full-precision values lose nothing.
+        for (int prec = 15; prec <= 17; ++prec) {
+            std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+            if (std::strtod(buf, nullptr) == v)
+                break;
+        }
     }
     os << buf;
+}
+
+double
+roundSig(double v, int digits)
+{
+    if (!std::isfinite(v) || v == 0.0)
+        return v;
+    // Round through the shortest decimal form: exactly what a reader
+    // of the JSON sees, so repeated load/round/store cycles are stable.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    return std::strtod(buf, nullptr);
 }
 
 } // namespace vpsim

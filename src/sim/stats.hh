@@ -180,6 +180,12 @@ void jsonQuote(std::ostream &os, const std::string &s);
  *  precision otherwise, non-finite values as null). */
 void jsonNumber(std::ostream &os, double v);
 
+/** Round @p v to @p digits significant decimal digits. Host-time
+ *  measurements (wall seconds, profiler milliseconds) go through this
+ *  before JSON output so reports diff cleanly instead of churning
+ *  17-digit noise. */
+double roundSig(double v, int digits);
+
 } // namespace vpsim
 
 #endif // VPSIM_SIM_STATS_HH

@@ -192,6 +192,11 @@ class StatSampler
     }
 
     Cycle period() const { return _period; }
+
+    /** Next cycle at which a sample is due. The time-skip engine caps
+     *  jumps here so the tick that crosses the boundary samples at the
+     *  same cycle (with the same values) as the per-cycle loop. */
+    Cycle nextSampleAt() const { return _next; }
     const std::vector<std::string> &names() const { return _names; }
     size_t sampleCount() const { return _cycles.size(); }
     /** Value of tracked stat @p stat at sample @p sample. */

@@ -68,6 +68,23 @@ TEST(Config, SetOverrides)
     EXPECT_NO_FATAL_FAILURE(c.validate());
 }
 
+TEST(Config, TimeSkipKey)
+{
+    SimConfig c;
+    EXPECT_EQ(c.timeSkip, 1u); // Default on.
+    c.set("timeSkip", "0");
+    EXPECT_EQ(c.timeSkip, 0u);
+    EXPECT_NO_FATAL_FAILURE(c.validate());
+
+    // The engine is exact, so like the telemetry knobs the mode must
+    // not split the result cache: both settings share a canonical key.
+    SimConfig on;
+    on.timeSkip = 1;
+    SimConfig off;
+    off.timeSkip = 0;
+    EXPECT_EQ(on.canonicalKey(), off.canonicalKey());
+}
+
 TEST(Config, SetRejectsUnknownKey)
 {
     SimConfig c;

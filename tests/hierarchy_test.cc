@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+
 #include "mem/hierarchy.hh"
 
 using namespace vpsim;
@@ -47,6 +50,46 @@ TEST_F(HierarchyTest, InFlightMerge)
     DataAccessResult second = hier.load(0x200010, 0x1004, 5);
     EXPECT_EQ(second.ready, first.ready);
     EXPECT_EQ(stats.get("mem.mshrMerges"), 1.0);
+}
+
+TEST_F(HierarchyTest, MshrMergeCompletesAtSameAbsoluteCycle)
+{
+    // Two loads to the same line issued K cycles apart share one fill:
+    // both complete at the first miss's absolute ready cycle, for any
+    // K inside the fill latency. Pins down the absolute-cycle
+    // bookkeeping nextEventCycle() is built on.
+    const Cycle kGaps[] = {1, 17, 250,
+                           static_cast<Cycle>(cfg.memLatency) - 1};
+    Addr line = 0x200000;
+    for (Cycle k : kGaps) {
+        DataAccessResult first = hier.load(line, 0x1000, 0);
+        EXPECT_EQ(first.ready, static_cast<Cycle>(cfg.memLatency));
+        DataAccessResult second = hier.load(line + 16, 0x1004, k);
+        EXPECT_EQ(second.ready, first.ready) << "gap " << k;
+        line += 0x10000; // Fresh line per gap (cold again).
+    }
+    EXPECT_EQ(stats.get("mem.mshrMerges"),
+              static_cast<double>(std::size(kGaps)));
+}
+
+TEST_F(HierarchyTest, NextEventCycleTracksInFlightFills)
+{
+    // Nothing outstanding: no event.
+    EXPECT_EQ(hier.nextEventCycle(0), neverCycle);
+
+    DataAccessResult r = hier.load(0x200000, 0x1000, 0);
+    EXPECT_EQ(hier.nextEventCycle(0), r.ready);
+    EXPECT_EQ(hier.nextEventCycle(r.ready), r.ready); // At-or-after.
+    // A merged access must not move the event.
+    hier.load(0x200008, 0x1004, 5);
+    EXPECT_EQ(hier.nextEventCycle(5), r.ready);
+    // Once the fill time has passed, it is no longer a future event.
+    EXPECT_EQ(hier.nextEventCycle(r.ready + 1), neverCycle);
+
+    // The earliest of several outstanding fills wins.
+    DataAccessResult a = hier.load(0x300000, 0x1000, 0);
+    Cycle iready = hier.instFetch(0x9000, 10);
+    EXPECT_EQ(hier.nextEventCycle(0), std::min(a.ready, iready));
 }
 
 TEST_F(HierarchyTest, StreamBufferServicesStridedLoads)

@@ -84,12 +84,36 @@ TEST(Profiler, CpuRunPopulatesStageSections)
         CpuRun run = runAsm(chaseKernel(100), cfg, chaseData());
         const HostProfiler &p = run.cpu->profiler();
         EXPECT_TRUE(p.enabled());
-        // One scope per stage per tick.
-        EXPECT_EQ(p.entry(ProfSection::Fetch).calls, run.cycles());
-        EXPECT_EQ(p.entry(ProfSection::Commit).calls, run.cycles());
+        // One scope per stage per tick; cycles the time-skip engine
+        // bulk-advanced never ticked the stages.
+        auto skipped = static_cast<uint64_t>(
+            run.cpu->stats().get("sim.skippedCycles"));
+        auto skips = static_cast<uint64_t>(
+            run.cpu->stats().get("sim.skipEvents"));
+        EXPECT_EQ(p.entry(ProfSection::Fetch).calls + skipped,
+                  run.cycles());
+        EXPECT_EQ(p.entry(ProfSection::Commit).calls + skipped,
+                  run.cycles());
+        // Every skip runs inside a TimeSkip scope; the scope also
+        // covers idle ticks whose next event was immediate (no jump).
+        EXPECT_GE(p.entry(ProfSection::TimeSkip).calls, skips);
+        EXPECT_GT(skips, 0u);
         EXPECT_GT(p.entry(ProfSection::CacheData).calls, 0u);
         EXPECT_GT(p.totalStageNanos(), 0u);
     } // Cpu destruction folds into the global aggregate
+
+    // With skipping disabled the stages tick every simulated cycle.
+    GlobalProfile::reset();
+    SimConfig noSkip = haltConfig();
+    noSkip.profile = true;
+    noSkip.timeSkip = 0;
+    {
+        CpuRun run = runAsm(chaseKernel(100), noSkip, chaseData());
+        const HostProfiler &p = run.cpu->profiler();
+        EXPECT_EQ(p.entry(ProfSection::Fetch).calls, run.cycles());
+        EXPECT_EQ(p.entry(ProfSection::Commit).calls, run.cycles());
+        EXPECT_EQ(p.entry(ProfSection::TimeSkip).calls, 0u);
+    }
     EXPECT_TRUE(GlobalProfile::any());
 
     // And with the default (profiling off) nothing is measured.

@@ -1,0 +1,282 @@
+/**
+ * Time-skip engine tests: the next-event fast-forward must be invisible
+ * in every exported statistic — bit-identical stats JSON, CPI stacks,
+ * sample series, and architectural memory for timeSkip=0 vs timeSkip=1
+ * across baseline, STVP, MTVP, spawn-only, and multi-value machines —
+ * while actually skipping cycles on memory-bound code. Also covers the
+ * deadlock guard that replaces spinning to maxCycles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "cpu_test_util.hh"
+#include "sim/cpi_stack.hh"
+
+namespace vpsim
+{
+
+/** Test-only access to Cpu internals (friend of Cpu). */
+class CpuTestPeer
+{
+  public:
+    static void
+    stopFetch(Cpu &c, CtxId id)
+    {
+        c.ctx(id).fetchStopped = true;
+    }
+    static Cycle nextEvent(const Cpu &c) { return c.nextEventCycle(); }
+};
+
+} // namespace vpsim
+
+namespace
+{
+
+using namespace vptest;
+
+/** Every exported stat except the engine's own sim.* meta-stats
+ *  (skippedCycles/skipEvents differ across modes by construction). */
+std::map<std::string, double>
+comparableStats(const CpuRun &run)
+{
+    std::map<std::string, double> m;
+    for (const StatBase *s : run.cpu->stats().stats()) {
+        if (s->name().rfind("sim.", 0) == 0)
+            continue;
+        m[s->name()] = s->value();
+    }
+    return m;
+}
+
+CpuRun
+runChase(SimConfig cfg, uint64_t skip, double strideProb = 0.5)
+{
+    cfg.timeSkip = skip;
+    return runAsm(chaseKernel(600), cfg, chaseData(strideProb));
+}
+
+/** Run both modes and require identical stats, CPI sums, and memory. */
+void
+expectBitIdentical(const SimConfig &cfg, const char *label,
+                   double strideProb = 0.5)
+{
+    SCOPED_TRACE(label);
+    CpuRun off = runChase(cfg, 0, strideProb);
+    CpuRun on = runChase(cfg, 1, strideProb);
+
+    EXPECT_EQ(off.cycles(), on.cycles());
+    EXPECT_EQ(comparableStats(off), comparableStats(on));
+    EXPECT_EQ(off.mem->read64(0x700000), on.mem->read64(0x700000));
+
+    // The skipping run never ticked the skipped cycles, yet its CPI
+    // stack must still sum to total cycles per context.
+    const CpiStack &stack = on.cpu->cpiStack();
+    for (int c = 0; c < stack.numContexts(); ++c)
+        EXPECT_EQ(stack.total(c), on.cycles()) << "ctx " << c;
+
+    // And the engine-side accounting must balance: every simulated
+    // cycle was either ticked or skipped.
+    EXPECT_EQ(off.stat("sim.skippedCycles"), 0.0);
+    EXPECT_LE(on.stat("sim.skippedCycles"),
+              static_cast<double>(on.cycles()));
+}
+
+TEST(TimeSkip, BitIdenticalBaseline)
+{
+    // Low stride predictability = long dependent-miss chains: the
+    // config the engine exists for.
+    expectBitIdentical(haltConfig(), "baseline", 0.3);
+}
+
+TEST(TimeSkip, BitIdenticalStvp)
+{
+    SimConfig cfg = haltConfig();
+    cfg.vpMode = VpMode::Stvp;
+    cfg.predictor = PredictorKind::WangFranklin;
+    cfg.selector = SelectorKind::Always;
+    expectBitIdentical(cfg, "stvp");
+}
+
+TEST(TimeSkip, BitIdenticalMtvpFig3)
+{
+    expectBitIdentical(mtvpConfig(4, PredictorKind::WangFranklin,
+                                  SelectorKind::IlpPred),
+                       "mtvp-fig3");
+}
+
+TEST(TimeSkip, BitIdenticalSpawnOnly)
+{
+    SimConfig cfg = mtvpConfig(4);
+    cfg.vpMode = VpMode::SpawnOnly;
+    cfg.selector = SelectorKind::CacheOracle;
+    expectBitIdentical(cfg, "spawn-only");
+}
+
+TEST(TimeSkip, BitIdenticalMultiValue)
+{
+    SimConfig cfg = mtvpConfig(8, PredictorKind::WangFranklin,
+                               SelectorKind::IlpPred);
+    cfg.maxValuesPerSpawn = 4;
+    expectBitIdentical(cfg, "multi-value");
+}
+
+TEST(TimeSkip, EngagesOnMemoryBoundCode)
+{
+    CpuRun on = runChase(haltConfig(), 1, 0.3);
+    // A 0.3-stride pointer chase spends most of its time waiting on
+    // DRAM; the engine must be collapsing those stretches.
+    EXPECT_GT(on.stat("sim.skippedCycles"), 0.0);
+    EXPECT_GT(on.stat("sim.skipEvents"), 0.0);
+    EXPECT_GT(on.stat("sim.skippedCycles"),
+              static_cast<double>(on.cycles()) / 2);
+}
+
+TEST(TimeSkip, SamplerSeriesIdentical)
+{
+    // Sample-period boundaries are skip clamps: the series a skipping
+    // run records must match the per-cycle run sample for sample.
+    auto series = [](uint64_t skip) {
+        SimConfig cfg = haltConfig();
+        cfg.samplePeriod = 256;
+        cfg.sampleStats = "cpi.*,commits.*,cycles";
+        CpuRun run = runChase(cfg, skip, 0.3);
+        std::string path =
+            ::testing::TempDir() + "ts_series_" +
+            std::to_string(skip) + ".json";
+        run.cpu->sampler()->dumpToFile(path);
+        std::ifstream in(path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::remove(path.c_str());
+        return buf.str();
+    };
+    std::string off = series(0);
+    std::string on = series(1);
+    EXPECT_FALSE(off.empty());
+    EXPECT_EQ(off, on);
+}
+
+TEST(TimeSkip, MshrMergedLoadsAgreeAcrossModes)
+{
+    // Two loads to the same cold line, the second delayed behind a
+    // dependency chain: the merged fill must resolve at the same
+    // absolute cycle whether or not the stall was skipped.
+    const std::string src = R"(
+        li   r1, 0x200000
+        ld   r2, 0(r1)         # cold miss: full memory latency
+        addi r3, r2, 1         # dependent chain delays the 2nd load
+        addi r3, r3, 1
+        ld   r4, 8(r1)         # same line: MSHR merge
+        add  r5, r2, r4
+        li   r9, 0x700000
+        sd   r5, 0(r9)
+        halt
+    )";
+    auto init = [](MainMemory &mem) {
+        mem.write64(0x200000, 7);
+        mem.write64(0x200008, 35);
+    };
+    SimConfig off = haltConfig();
+    off.timeSkip = 0;
+    SimConfig on = haltConfig();
+    on.timeSkip = 1;
+    CpuRun a = runAsm(src, off, init);
+    CpuRun b = runAsm(src, on, init);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.stat("mem.mshrMerges"), b.stat("mem.mshrMerges"));
+    EXPECT_EQ(a.mem->read64(0x700000), 42u);
+    EXPECT_EQ(b.mem->read64(0x700000), 42u);
+    EXPECT_GT(b.stat("sim.skippedCycles"), 0.0);
+}
+
+TEST(TimeSkip, DisabledUnderPipeView)
+{
+    SimConfig cfg = haltConfig();
+    cfg.timeSkip = 1;
+    cfg.pipeView = ::testing::TempDir() + "ts_pipeview.out";
+    CpuRun run = runChase(cfg, 1, 0.3);
+    EXPECT_EQ(run.stat("sim.skippedCycles"), 0.0);
+    std::remove(cfg.pipeView.c_str());
+}
+
+TEST(TimeSkip, TraceWindowSuppressesSkipping)
+{
+    // An open-ended trace window starting at 0 disables skipping for
+    // the whole run; the results still match the per-cycle loop.
+    SimConfig cfg = haltConfig();
+    cfg.traceFlags = "Commit";
+    cfg.traceFile = ::testing::TempDir() + "ts_trace.out";
+    cfg.traceStart = 0;
+    cfg.traceEnd = 0;
+    CpuRun run = runChase(cfg, 1, 0.3);
+    EXPECT_EQ(run.stat("sim.skippedCycles"), 0.0);
+    std::remove(cfg.traceFile.c_str());
+}
+
+TEST(TimeSkipDeathTest, DeadlockAbortsInsteadOfSpinning)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // Strand the machine: let a loop get going, then stop fetch so the
+    // pipeline drains to empty with no HALT and no pending event.
+    const std::string src = R"(
+        li   r1, 100000
+    loop:
+        subi r1, r1, 1
+        bne  r1, r0, loop
+        halt
+    )";
+    auto strand = [&](uint64_t skip) {
+        SimConfig cfg = haltConfig();
+        cfg.timeSkip = skip;
+        auto mem = std::make_unique<MainMemory>();
+        Program p = assemble(src);
+        mem->loadProgram(p);
+        auto cpu = std::make_unique<Cpu>(cfg, *mem, p.base);
+        for (int i = 0; i < 200; ++i)
+            cpu->tick();
+        vpsim::CpuTestPeer::stopFetch(*cpu, 0);
+        cpu->run();
+    };
+    // Skip mode detects the dead machine at the first idle tick...
+    EXPECT_DEATH(strand(1), "deadlock: no pipeline activity");
+    // ...and the per-cycle loop via the N-idle-cycle guard.
+    EXPECT_DEATH(strand(0), "deadlock: no pipeline activity");
+}
+
+TEST(TimeSkip, NextEventSeesOutstandingFill)
+{
+    // Single cold load: once issued, the only machine event is its
+    // fill completion; the event scan must find it.
+    const std::string src = R"(
+        li   r1, 0x200000
+        ld   r2, 0(r1)
+        li   r9, 0x700000
+        sd   r2, 0(r9)
+        halt
+    )";
+    SimConfig cfg = haltConfig();
+    cfg.timeSkip = 0; // Manual ticking; engine not in play.
+    auto mem = std::make_unique<MainMemory>();
+    Program p = assemble(src);
+    mem->loadProgram(p);
+    mem->write64(0x200000, 99);
+    Cpu cpu(cfg, *mem, p.base);
+    // Tick until the load has issued and everything else is quiet.
+    Cycle event = neverCycle;
+    for (int i = 0; i < 50 && event == neverCycle; ++i) {
+        cpu.tick();
+        event = vpsim::CpuTestPeer::nextEvent(cpu);
+    }
+    ASSERT_NE(event, neverCycle);
+    EXPECT_GT(event, cpu.cycles());
+    // The reported event must be within the memory-latency horizon.
+    EXPECT_LE(event, cpu.cycles() + static_cast<Cycle>(cfg.memLatency));
+}
+
+} // namespace
