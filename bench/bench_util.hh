@@ -139,6 +139,8 @@ struct BenchOptions
 inline BenchOptions &
 benchOptions()
 {
+    // Written only by benchInit() in main, before the SimPool exists;
+    // vplint:allow(global-state) workers never touch it
     static BenchOptions opts;
     return opts;
 }
@@ -242,6 +244,8 @@ class JsonRecorder
     static JsonRecorder &
     instance()
     {
+        // record() runs only on the main thread (rows are collected
+        // vplint:allow(global-state) after the futures resolve)
         static JsonRecorder r;
         return r;
     }

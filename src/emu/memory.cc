@@ -92,6 +92,8 @@ MainMemory::contentEquals(const MainMemory &other) const
     }();
 
     auto coveredBy = [](const MainMemory &a, const MainMemory &b) {
+        // Boolean AND over all pages — order-independent:
+        // vplint:allow(unordered-iter)
         for (const auto &[addr, page] : a._pages) {
             const Page *otherPage = b.findPage(addr);
             const Page &rhs = otherPage ? *otherPage : zeroPage;

@@ -1,5 +1,9 @@
 #include "emu/store_buffer.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "emu/memory.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -48,7 +52,15 @@ StoreSegment::flushTo(MainMemory &mem)
 {
     DPRINTF(StoreBuffer, "flush segment (%zu bytes) to memory",
             _bytes.size());
-    for (const auto &[addr, byte] : _bytes)
+    // Drain in ascending address order: distinct keys make the final
+    // memory image order-independent, but a deterministic walk keeps
+    // page-allocation order (and thus any future page-level telemetry)
+    // bit-identical across runs, and write8 gets sequential locality.
+    // vplint:allow(unordered-iter) snapshot is sorted before use
+    std::vector<std::pair<Addr, uint8_t>> bytes(_bytes.begin(),
+                                                _bytes.end());
+    std::sort(bytes.begin(), bytes.end());
+    for (const auto &[addr, byte] : bytes)
         mem.write8(addr, byte);
     _bytes.clear();
 }

@@ -120,7 +120,7 @@ parseMemOperand(const std::string &tok, int64_t &offset, int &base)
     }
     std::string offStr = trim(tok.substr(0, open));
     if (offStr.empty())
-        offStr = "0";
+        offStr.push_back('0');
     if (!parseImmediate(offStr, offset))
         return false;
     base = parseReg(trim(tok.substr(open + 1, close - open - 1)));

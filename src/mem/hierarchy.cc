@@ -204,10 +204,12 @@ Cycle
 Hierarchy::nextEventCycle(Cycle now) const
 {
     Cycle best = neverCycle;
+    // vplint:allow(unordered-iter) pure min-reduction, order-independent
     for (const auto &kv : _dataInFlight) {
         if (kv.second >= now && kv.second < best)
             best = kv.second;
     }
+    // vplint:allow(unordered-iter) pure min-reduction, order-independent
     for (const auto &kv : _instInFlight) {
         if (kv.second >= now && kv.second < best)
             best = kv.second;

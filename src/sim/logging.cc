@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -10,12 +11,18 @@ namespace vpsim
 namespace
 {
 
-bool verboseEnabled = true;
+/** Atomic: pool workers read it on every inform() while a bench main
+ *  may toggle verbosity around a sweep. */
+std::atomic<bool> verboseEnabled{true};
 
 /** The one message sink; nullptr means stderr. Configured before any
  *  parallel simulation starts (bench mains / test fixtures), so workers
- *  only ever read it; the FILE itself is internally locked. */
-std::FILE *logSink = nullptr;
+ *  only ever read it; the FILE itself is internally locked. Atomic so
+ *  a concurrent reader can never observe a torn pointer. */
+std::atomic<std::FILE *> logSink{nullptr};
+/** Only touched by setLogFile() on the configuration path, before any
+ *  SimPool worker exists (see logSink above).
+ *  vplint:allow(global-state) single-threaded configuration path */
 std::string logSinkPath;
 
 /** Live simulation cycle; messages are cycle-prefixed while non-null.
@@ -27,7 +34,8 @@ thread_local const uint64_t *cycleSource = nullptr;
 std::FILE *
 sink()
 {
-    return logSink != nullptr ? logSink : stderr;
+    std::FILE *f = logSink.load(std::memory_order_acquire);
+    return f != nullptr ? f : stderr;
 }
 
 std::string
@@ -64,7 +72,7 @@ emit(const char *prefix, const char *fmt, va_list ap, bool mirrorStderr)
 {
     std::string msg = vformat(fmt, ap);
     writeLine(sink(), prefix, msg);
-    if (mirrorStderr && logSink != nullptr)
+    if (mirrorStderr && logSink.load(std::memory_order_acquire) != nullptr)
         writeLine(stderr, prefix, msg);
 }
 
@@ -102,7 +110,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!verboseEnabled)
+    if (!verboseEnabled.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -113,7 +121,7 @@ inform(const char *fmt, ...)
 void
 setVerbose(bool verbose)
 {
-    verboseEnabled = verbose;
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
 }
 
 void
@@ -121,18 +129,18 @@ setLogFile(const std::string &path)
 {
     if (path == logSinkPath)
         return;
-    if (logSink != nullptr) {
-        std::fclose(logSink);
-        logSink = nullptr;
-    }
+    std::FILE *old = logSink.exchange(nullptr, std::memory_order_release);
+    if (old != nullptr)
+        std::fclose(old);
     logSinkPath = path;
     if (path.empty())
         return;
-    logSink = std::fopen(path.c_str(), "w");
-    if (logSink == nullptr) {
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
         logSinkPath.clear();
         fatal("cannot open log file '%s'", path.c_str());
     }
+    logSink.store(f, std::memory_order_release);
 }
 
 void
@@ -169,7 +177,7 @@ panicAssert(const char *cond, const char *file, int line,
                                 file, line, msg.empty() ? "" : ": ",
                                 msg.c_str());
     writeLine(sink(), "panic", full);
-    if (logSink != nullptr)
+    if (logSink.load(std::memory_order_acquire) != nullptr)
         writeLine(stderr, "panic", full);
     std::abort();
 }

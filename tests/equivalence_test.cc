@@ -150,8 +150,8 @@ INSTANTIATE_TEST_SUITE_P(
         EquivCase{"mtvp8_cacheoracle", VpMode::Mtvp, 8,
                   PredictorKind::WangFranklin, SelectorKind::CacheOracle,
                   FetchPolicy::SingleFetchPath, 1, false, 128}),
-    [](const ::testing::TestParamInfo<EquivCase> &info) {
-        return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<EquivCase> &tp) {
+        return std::string(tp.param.name);
     });
 
 TEST(EquivalenceWorkload, CraftyAllModesMatchReference)

@@ -73,8 +73,9 @@ TEST_P(IntegrationTest, RunsAndReportsSaneStats)
         EXPECT_EQ(r.stat("vp.followed"), 0.0);
         EXPECT_EQ(r.stat("mtvp.spawns"), 0.0);
     }
-    if (c.mode != VpMode::Mtvp && c.mode != VpMode::SpawnOnly)
+    if (c.mode != VpMode::Mtvp && c.mode != VpMode::SpawnOnly) {
         EXPECT_EQ(r.stat("mtvp.spawns"), 0.0);
+    }
 }
 
 TEST_P(IntegrationTest, DeterministicAcrossRuns)

@@ -100,7 +100,10 @@ TEST(Json, FiniteDoublesRoundTripExactly)
                      2.2250738585072014e-308}) {
         std::ostringstream os;
         jsonNumber(os, d);
-        Value v = mustParse("[" + os.str() + "]");
+        std::string payload = "[";
+        payload += os.str();
+        payload += "]";
+        Value v = mustParse(payload);
         ASSERT_EQ(v.arr.size(), 1u);
         EXPECT_EQ(v.arr[0].number, d) << os.str();
     }

@@ -128,8 +128,9 @@ TEST(Stats, FindIsExactAfterManyStats)
     StatGroup g;
     std::vector<std::unique_ptr<Scalar>> owned;
     for (int i = 0; i < 100; ++i) {
-        owned.push_back(std::make_unique<Scalar>(
-            g, "s" + std::to_string(i), ""));
+        std::string name = "s";
+        name += std::to_string(i);
+        owned.push_back(std::make_unique<Scalar>(g, name, ""));
     }
     EXPECT_EQ(g.find("s0"), owned[0].get());
     EXPECT_EQ(g.find("s99"), owned[99].get());

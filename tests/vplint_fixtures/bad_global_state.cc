@@ -1,0 +1,4 @@
+// vplint fixture: mutable namespace-scope state, violation on line 4.
+#include <cstdint>
+
+uint64_t fixtureCounter = 0;

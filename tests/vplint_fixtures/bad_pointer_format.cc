@@ -1,0 +1,8 @@
+// vplint fixture: pointer formatted into a log, violation on line 7.
+#include <cstdio>
+
+void
+fixtureDump(const void *p)
+{
+    std::printf("node at %p\n", p);
+}

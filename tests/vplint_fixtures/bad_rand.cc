@@ -1,0 +1,8 @@
+// vplint fixture: host randomness, seeded violation on line 7.
+#include <cstdlib>
+
+int
+fixtureNoise()
+{
+    return rand();
+}

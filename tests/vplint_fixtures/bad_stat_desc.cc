@@ -1,0 +1,8 @@
+// vplint fixture: stat registered without a description, line 7.
+#include "sim/stats.hh"
+
+void
+fixtureRegister(vpsim::StatGroup &g)
+{
+    vpsim::Scalar s(g, "fixture.count", "");
+}

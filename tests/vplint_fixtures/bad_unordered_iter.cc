@@ -1,0 +1,16 @@
+// vplint fixture: unordered iteration, seeded violation on line 12.
+#include <unordered_map>
+
+struct FixtureTable
+{
+    std::unordered_map<int, int> cells;
+
+    int
+    sum() const
+    {
+        int total = 0;
+        for (const auto &kv : cells)
+            total += kv.second;
+        return total;
+    }
+};

@@ -1,0 +1,8 @@
+// vplint fixture: wall-clock read, seeded violation on line 7.
+#include <ctime>
+
+long
+fixtureNow()
+{
+    return time(nullptr);
+}

@@ -1,0 +1,13 @@
+// vplint fixture: no violations; every rule must stay quiet here.
+#include <cstdint>
+
+namespace
+{
+constexpr uint64_t fixtureMask = 0xff;
+}
+
+uint64_t
+fixtureApply(uint64_t v)
+{
+    return v & fixtureMask;
+}

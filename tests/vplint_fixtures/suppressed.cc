@@ -1,0 +1,9 @@
+// vplint fixture: same violation as bad_rand.cc, but suppressed.
+#include <cstdlib>
+
+int
+fixtureSuppressedNoise()
+{
+    // vplint:allow(rand) fixture exercising the suppression syntax
+    return rand();
+}

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests for tools/vplint driven as a library: every rule is exercised
+ * against a fixture file seeded with exactly one violation (asserting
+ * the exact rule ID and line number), plus a clean file, the
+ * suppression syntax, and the config-key / stats-manifest contract
+ * logic on synthetic inputs.
+ */
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vplint.hh"
+
+namespace
+{
+
+using vplint::Diag;
+using vplint::FileKind;
+using vplint::SourceFile;
+using vplint::TreeIndex;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Prepare + index + lint one source text under the given kind. */
+std::vector<Diag>
+lintText(const std::string &path, const std::string &content, FileKind kind)
+{
+    SourceFile f = vplint::prepareSource(path, content, kind);
+    TreeIndex index;
+    vplint::indexSource(f, index);
+    std::vector<Diag> out;
+    vplint::lintSource(f, index, out);
+    return out;
+}
+
+/** Lint one committed fixture file as if it lived under src/. */
+std::vector<Diag>
+lintFixture(const std::string &name, FileKind kind = FileKind::Src)
+{
+    std::string path = std::string(VPLINT_FIXTURE_DIR) + "/" + name;
+    return lintText("src/fixture/" + name, readFile(path), kind);
+}
+
+// ---------------------------------------------------------------------
+// One seeded violation per rule, exact rule ID and line number.
+// ---------------------------------------------------------------------
+
+TEST(VplintFixtures, BadRandFlagsLine7)
+{
+    std::vector<Diag> d = lintFixture("bad_rand.cc");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "rand");
+    EXPECT_EQ(d[0].line, 7);
+}
+
+TEST(VplintFixtures, BadWallclockFlagsLine7)
+{
+    std::vector<Diag> d = lintFixture("bad_wallclock.cc");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "wallclock");
+    EXPECT_EQ(d[0].line, 7);
+}
+
+TEST(VplintFixtures, BadUnorderedIterFlagsLine12)
+{
+    std::vector<Diag> d = lintFixture("bad_unordered_iter.cc");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "unordered-iter");
+    EXPECT_EQ(d[0].line, 12);
+    EXPECT_NE(d[0].message.find("cells"), std::string::npos);
+}
+
+TEST(VplintFixtures, BadPointerFormatFlagsLine7)
+{
+    std::vector<Diag> d = lintFixture("bad_pointer_format.cc");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "pointer-format");
+    EXPECT_EQ(d[0].line, 7);
+}
+
+TEST(VplintFixtures, BadGlobalStateFlagsLine4)
+{
+    std::vector<Diag> d = lintFixture("bad_global_state.cc");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "global-state");
+    EXPECT_EQ(d[0].line, 4);
+    EXPECT_NE(d[0].message.find("fixtureCounter"), std::string::npos);
+}
+
+TEST(VplintFixtures, BadStatDescFlagsLine7)
+{
+    std::vector<Diag> d = lintFixture("bad_stat_desc.cc");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "stat-desc");
+    EXPECT_EQ(d[0].line, 7);
+}
+
+TEST(VplintFixtures, SuppressedFixtureIsClean)
+{
+    EXPECT_TRUE(lintFixture("suppressed.cc").empty());
+}
+
+TEST(VplintFixtures, CleanFixtureIsClean)
+{
+    EXPECT_TRUE(lintFixture("clean.cc").empty());
+}
+
+// ---------------------------------------------------------------------
+// Suppression semantics.
+// ---------------------------------------------------------------------
+
+TEST(VplintSuppress, SameLineCommentSuppresses)
+{
+    std::vector<Diag> d = lintText(
+        "src/x.cc", "int x = rand(); // vplint:allow(rand) seeded once\n",
+        FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(VplintSuppress, AllowOnlyCoversTheNamedRule)
+{
+    std::vector<Diag> d = lintText(
+        "src/x.cc", "int x = rand(); // vplint:allow(wallclock)\n",
+        FileKind::Src);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "rand");
+}
+
+TEST(VplintSuppress, AllowCoversOnlyTheNextLine)
+{
+    // The allow sits two lines above the violation: still flagged.
+    std::vector<Diag> d = lintText("tests/x.cc",
+                                   "// vplint:allow(rand)\n"
+                                   "int y = 0;\n"
+                                   "int x = rand();\n",
+                                   FileKind::Tests);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "rand");
+    EXPECT_EQ(d[0].line, 3);
+}
+
+TEST(VplintSuppress, CommaListCoversMultipleRules)
+{
+    std::vector<Diag> d = lintText(
+        "src/x.cc",
+        "// vplint:allow(rand, wallclock) both seeded below\n"
+        "long x = rand() + time(nullptr);\n",
+        FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+// ---------------------------------------------------------------------
+// Rule behavior details.
+// ---------------------------------------------------------------------
+
+TEST(VplintRules, ProfilerFilesMayReadWallclock)
+{
+    std::vector<Diag> d =
+        lintText("src/sim/profiler.cc",
+                 "long t = std::chrono::steady_clock::now()\n"
+                 "             .time_since_epoch().count();\n",
+                 FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(VplintRules, MemberCallNamedTimeIsNotWallclock)
+{
+    std::vector<Diag> d = lintText("src/x.cc", "long t = sim.time();\n",
+                                   FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(VplintRules, ExplicitBeginOnUnorderedContainerIsFlagged)
+{
+    std::vector<Diag> d = lintText(
+        "src/x.cc",
+        "void f()\n"
+        "{\n"
+        "    std::unordered_map<int, int> table;\n"
+        "    auto it = table.begin();\n"
+        "}\n",
+        FileKind::Src);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "unordered-iter");
+    EXPECT_EQ(d[0].line, 4);
+}
+
+TEST(VplintRules, StaticLocalIsGlobalState)
+{
+    std::vector<Diag> d = lintText("src/x.cc",
+                                   "void f()\n"
+                                   "{\n"
+                                   "    static int hits;\n"
+                                   "}\n",
+                                   FileKind::Src);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "global-state");
+    EXPECT_EQ(d[0].line, 3);
+}
+
+TEST(VplintRules, ConstAtomicAndThreadLocalGlobalsAreFine)
+{
+    std::vector<Diag> d = lintText(
+        "src/x.cc",
+        "const int kLimit = 4;\n"
+        "constexpr int kWays = 2;\n"
+        "std::atomic<bool> ready{false};\n"
+        "thread_local int depth = 0;\n",
+        FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(VplintRules, BraceInitializedGlobalIsStillFlagged)
+{
+    std::vector<Diag> d =
+        lintText("src/x.cc", "int counter{0};\n", FileKind::Src);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "global-state");
+    EXPECT_EQ(d[0].line, 1);
+}
+
+TEST(VplintRules, ViolationsInStringLiteralsAreIgnored)
+{
+    std::vector<Diag> d = lintText(
+        "src/x.cc", "const char *kHelp = \"rand() and time() spin\";\n",
+        FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(VplintRules, ConcurrencyAndStatRulesSkipTests)
+{
+    // The same mutable global that fails under src/ is fine in tests/.
+    std::string src = "uint64_t counter = 0;\n";
+    EXPECT_EQ(lintText("src/x.cc", src, FileKind::Src).size(), 1u);
+    EXPECT_TRUE(lintText("tests/x.cc", src, FileKind::Tests).empty());
+}
+
+TEST(VplintRules, ClassifyPathSelectsKind)
+{
+    EXPECT_EQ(vplint::classifyPath("src/sim/config.cc"), FileKind::Src);
+    EXPECT_EQ(vplint::classifyPath("bench/run_all.cc"), FileKind::Bench);
+    EXPECT_EQ(vplint::classifyPath("tests/smoke_test.cc"),
+              FileKind::Tests);
+    EXPECT_EQ(vplint::classifyPath("tools/vplint/vplint.cc"),
+              FileKind::Other);
+}
+
+TEST(VplintRules, DiagFormatsAsFileLineRuleMessage)
+{
+    Diag d{"src/x.cc", 7, "rand", "boom"};
+    EXPECT_EQ(d.str(), "src/x.cc:7: rand: boom");
+}
+
+// ---------------------------------------------------------------------
+// Config-key contract on a synthetic SimConfig source.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *kConfigSrc =
+    "void\n"                                                       // 1
+    "SimConfig::set(const std::string &key, const std::string &v)\n"
+    "{\n"                                                          // 3
+    "    if (key == \"alpha\") {\n"                                // 4
+    "        alpha = parseInt(v);\n"                               // 5
+    "    } else if (key == \"beta\") {\n"                          // 6
+    "        beta = parseInt(v);\n"                                // 7
+    "    }\n"                                                      // 8
+    "}\n"                                                          // 9
+    "\n"                                                           // 10
+    "std::string\n"                                                // 11
+    "SimConfig::canonicalKey() const\n"                            // 12
+    "{\n"                                                          // 13
+    "    std::string s;\n"                                         // 14
+    "    s += \"alpha=\" + std::to_string(alpha);\n"               // 15
+    "    return s;\n"                                              // 16
+    "}\n";                                                         // 17
+
+std::vector<Diag>
+lintConfig(const std::string &content, const std::set<std::string> &excl)
+{
+    SourceFile f = vplint::prepareSource("src/sim/config.cc", content,
+                                         FileKind::Src);
+    std::vector<Diag> out;
+    vplint::lintConfigContract(f, excl, out);
+    return out;
+}
+
+} // namespace
+
+TEST(VplintConfig, UnserializedKeyIsFlaggedAtItsParseSite)
+{
+    std::vector<Diag> d = lintConfig(kConfigSrc, {});
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "config-key");
+    EXPECT_EQ(d[0].line, 6);
+    EXPECT_NE(d[0].message.find("'beta'"), std::string::npos);
+}
+
+TEST(VplintConfig, ExclusionListSilencesTheKey)
+{
+    EXPECT_TRUE(lintConfig(kConfigSrc, {"beta"}).empty());
+}
+
+TEST(VplintConfig, MissingCanonicalKeyFunctionIsItselfAnError)
+{
+    std::string noCanonical(kConfigSrc);
+    noCanonical.resize(noCanonical.find("std::string\n"));
+    std::vector<Diag> d = lintConfig(noCanonical, {});
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "config-key");
+    EXPECT_NE(d[0].message.find("canonicalKey"), std::string::npos);
+}
+
+TEST(VplintConfig, ExclusionListParserSkipsCommentsAndBlanks)
+{
+    std::set<std::string> keys = vplint::parseExclusionList(
+        "# header comment\n\nalpha\n  beta  # trailing comment\n");
+    EXPECT_EQ(keys, (std::set<std::string>{"alpha", "beta"}));
+}
+
+// ---------------------------------------------------------------------
+// Stats-manifest contract on synthetic inputs.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const vplint::SchemaVersion kV3{"vpsim-stats-v3", 25};
+
+std::vector<Diag>
+checkManifest(const std::string &manifest,
+              const std::set<std::string> &live,
+              const vplint::SchemaVersion &src = kV3)
+{
+    std::vector<Diag> out;
+    vplint::checkStatsManifest(manifest, "tools/vplint/stats_manifest.txt",
+                               live, src, "src/sim/result_cache.cc", out);
+    return out;
+}
+
+} // namespace
+
+TEST(VplintManifest, FormatRoundTrips)
+{
+    std::set<std::string> names = {"a.hits", "b.misses"};
+    std::string m = vplint::formatManifest("vpsim-stats-v3", names);
+    EXPECT_EQ(vplint::manifestVersion(m), "vpsim-stats-v3");
+    EXPECT_EQ(vplint::manifestNames(m), names);
+}
+
+TEST(VplintManifest, MatchingManifestIsClean)
+{
+    std::set<std::string> names = {"a.hits", "b.misses"};
+    std::string m = vplint::formatManifest("vpsim-stats-v3", names);
+    EXPECT_TRUE(checkManifest(m, names).empty());
+}
+
+TEST(VplintManifest, NewLiveStatIsDriftAgainstTheManifest)
+{
+    std::string m =
+        vplint::formatManifest("vpsim-stats-v3", {"a.hits"});
+    std::vector<Diag> d = checkManifest(m, {"a.hits", "c.new"});
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "stats-manifest");
+    EXPECT_EQ(d[0].file, "tools/vplint/stats_manifest.txt");
+    EXPECT_NE(d[0].message.find("c.new"), std::string::npos);
+}
+
+TEST(VplintManifest, RemovedLiveStatIsDriftToo)
+{
+    std::string m = vplint::formatManifest("vpsim-stats-v3",
+                                           {"a.hits", "gone.stat"});
+    std::vector<Diag> d = checkManifest(m, {"a.hits"});
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_NE(d[0].message.find("gone.stat"), std::string::npos);
+}
+
+TEST(VplintManifest, VersionMismatchPointsAtTheSourceDefinition)
+{
+    std::string m =
+        vplint::formatManifest("vpsim-stats-v2", {"a.hits"});
+    std::vector<Diag> d = checkManifest(m, {"a.hits"});
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "stats-manifest");
+    EXPECT_EQ(d[0].file, "src/sim/result_cache.cc");
+    EXPECT_EQ(d[0].line, 25);
+}
+
+TEST(VplintManifest, SchemaVersionParserFindsTheDefinition)
+{
+    vplint::SchemaVersion v = vplint::parseSchemaVersion(
+        "// cache\n"
+        "constexpr const char *statSchemaVersion = \"vpsim-stats-v9\";\n");
+    EXPECT_EQ(v.version, "vpsim-stats-v9");
+    EXPECT_EQ(v.line, 2);
+}
+
+} // namespace

@@ -399,8 +399,8 @@ INSTANTIATE_TEST_SUITE_P(
         AccuracyCase{"wf-stride", PredictorKind::WangFranklin, 1, 99},
         AccuracyCase{"wf-pattern", PredictorKind::WangFranklin, 2, 85},
         AccuracyCase{"oracle-any", PredictorKind::Oracle, 2, 100}),
-    [](const ::testing::TestParamInfo<AccuracyCase> &info) {
-        std::string n = info.param.name;
+    [](const ::testing::TestParamInfo<AccuracyCase> &tp) {
+        std::string n = tp.param.name;
         for (char &ch : n) {
             if (ch == '-')
                 ch = '_';

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * vplint CLI. Lints the repo's C++ sources (default roots: src, bench,
+ * tests, examples) plus the SimConfig canonical-key contract, printing
+ * `file:line: rule: message` diagnostics and exiting nonzero when any
+ * were found. Run from the repo root (or pass --repo-root).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vplint.hh"
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--repo-root DIR] [--exclusions FILE] [paths...]\n"
+        "  Token/line-level determinism & contract linter (see\n"
+        "  tools/vplint/vplint.hh for the rule list).\n"
+        "  paths        repo-relative files/dirs to lint\n"
+        "               (default: src bench tests examples)\n"
+        "  --repo-root  repository root (default: .)\n"
+        "  --exclusions config-key exclusion list (default:\n"
+        "               tools/vplint/config_key_exclusions.txt)\n"
+        "  Suppress one line with: // vplint:allow(<rule>) why...\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string repoRoot = ".";
+    std::string exclusionsPath;
+    std::vector<std::string> roots;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--repo-root" && i + 1 < argc) {
+            repoRoot = argv[++i];
+        } else if (a == "--exclusions" && i + 1 < argc) {
+            exclusionsPath = argv[++i];
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "vplint: unknown option '%s'\n",
+                         a.c_str());
+            return 2;
+        } else {
+            roots.push_back(a);
+        }
+    }
+    if (roots.empty())
+        roots = {"src", "bench", "tests", "examples"};
+    if (exclusionsPath.empty())
+        exclusionsPath = repoRoot + "/tools/vplint/config_key_exclusions.txt";
+
+    auto exclusions = vplint::parseExclusionList(readFile(exclusionsPath));
+    std::vector<vplint::Diag> diags =
+        vplint::lintTree(repoRoot, roots, exclusions);
+
+    for (const vplint::Diag &d : diags)
+        std::fprintf(stderr, "%s\n", d.str().c_str());
+    if (!diags.empty()) {
+        std::fprintf(stderr,
+                     "vplint: %zu diagnostic%s (suppress a line with "
+                     "'// vplint:allow(<rule>) why')\n",
+                     diags.size(), diags.size() == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("vplint: clean\n");
+    return 0;
+}

@@ -1,0 +1,17 @@
+# Runs clang-tidy over every simulator translation unit using the
+# build tree's compile_commands.json. Invoked by the `lint` target;
+# WarningsAsErrors in .clang-tidy makes any diagnostic fatal.
+
+file(GLOB_RECURSE TIDY_SOURCES ${SOURCE_DIR}/src/*.cc)
+file(GLOB TIDY_EXTRA ${SOURCE_DIR}/bench/*.cc ${SOURCE_DIR}/tools/vplint/*.cc)
+list(APPEND TIDY_SOURCES ${TIDY_EXTRA})
+list(SORT TIDY_SOURCES)
+
+list(LENGTH TIDY_SOURCES N)
+message(STATUS "clang-tidy over ${N} translation units")
+execute_process(
+    COMMAND ${CLANG_TIDY} -p ${BUILD_DIR} --quiet ${TIDY_SOURCES}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "clang-tidy reported diagnostics (exit ${rc})")
+endif()

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * vplint-stats-manifest — the live half of the `stats-manifest` rule.
+ *
+ * Enumerates the stat registry by actually constructing simulations
+ * (the name set depends on numContexts, so two canonical configs are
+ * run and their names unioned) and compares it against the committed
+ * tools/vplint/stats_manifest.txt:
+ *
+ *   vplint-stats-manifest              check (CI mode; nonzero on drift)
+ *   vplint-stats-manifest --update     regenerate the manifest — refuses
+ *                                      unless statSchemaVersion was
+ *                                      bumped since the committed one
+ *   vplint-stats-manifest --print      list the live stat names
+ *
+ * The refusal is the contract: renaming/adding/removing an exported
+ * stat invalidates every persisted result-cache entry and every
+ * consumer of the JSON schema, so the schema version must move with it.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+#include "vplint.hh"
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Union of stat names over the canonical config set. Tiny runs: the
+ *  registry is fully populated at Cpu construction; instruction count
+ *  only affects values, never names. */
+std::set<std::string>
+liveStatNames()
+{
+    vpsim::setVerbose(false);
+    std::set<std::string> names;
+    auto collect = [&](const vpsim::SimConfig &cfg) {
+        vpsim::SimResult r = vpsim::runWorkload(cfg, "mcf");
+        for (const auto &[name, value] : r.stats) {
+            (void)value;
+            names.insert(name);
+        }
+    };
+    vpsim::SimConfig base;
+    base.maxInsts = 300;
+    collect(base);
+
+    vpsim::SimConfig mtvp;
+    mtvp.vpMode = vpsim::VpMode::Mtvp;
+    mtvp.numContexts = 8;
+    mtvp.maxInsts = 300;
+    collect(mtvp);
+    return names;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string repoRoot = ".";
+    bool update = false;
+    bool print = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--repo-root" && i + 1 < argc)
+            repoRoot = argv[++i];
+        else if (a == "--update")
+            update = true;
+        else if (a == "--print")
+            print = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--repo-root DIR] [--update] "
+                         "[--print]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const std::string manifestPath =
+        repoRoot + "/tools/vplint/stats_manifest.txt";
+    const std::string sourcePath = repoRoot + "/src/sim/result_cache.cc";
+    const std::string manifestRel = "tools/vplint/stats_manifest.txt";
+    const std::string sourceRel = "src/sim/result_cache.cc";
+
+    std::set<std::string> live = liveStatNames();
+    if (print) {
+        for (const std::string &n : live)
+            std::printf("%s\n", n.c_str());
+        return 0;
+    }
+
+    vplint::SchemaVersion source =
+        vplint::parseSchemaVersion(readFile(sourcePath));
+    if (source.version.empty()) {
+        std::fprintf(stderr,
+                     "%s:1: stats-manifest: cannot parse "
+                     "statSchemaVersion definition\n", sourceRel.c_str());
+        return 1;
+    }
+
+    std::string manifest = readFile(manifestPath);
+    if (update) {
+        std::string recordedVersion = vplint::manifestVersion(manifest);
+        std::set<std::string> recorded = vplint::manifestNames(manifest);
+        if (!manifest.empty() && recorded != live &&
+            recordedVersion == source.version) {
+            std::fprintf(
+                stderr,
+                "%s:%d: stats-manifest: the stat set changed but "
+                "statSchemaVersion is still '%s' — old result-cache "
+                "entries and JSON consumers would silently disagree "
+                "with the new schema. Bump statSchemaVersion in %s, "
+                "then rerun --update\n",
+                sourceRel.c_str(), source.line, source.version.c_str(),
+                sourceRel.c_str());
+            return 1;
+        }
+        std::ofstream os(manifestPath, std::ios::binary);
+        os << vplint::formatManifest(source.version, live);
+        std::printf("vplint-stats-manifest: wrote %zu stat names "
+                    "(schema %s) to %s\n",
+                    live.size(), source.version.c_str(),
+                    manifestRel.c_str());
+        return 0;
+    }
+
+    std::vector<vplint::Diag> diags;
+    vplint::checkStatsManifest(manifest, manifestRel, live, source,
+                               sourceRel, diags);
+    for (const vplint::Diag &d : diags)
+        std::fprintf(stderr, "%s\n", d.str().c_str());
+    if (!diags.empty())
+        return 1;
+    std::printf("vplint-stats-manifest: %zu stats match the committed "
+                "manifest (schema %s)\n",
+                live.size(), source.version.c_str());
+    return 0;
+}

@@ -1,0 +1,1136 @@
+#include "vplint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace vplint
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** One lexical token of a code line: an identifier/number or a single
+ *  punctuation character. */
+struct Token
+{
+    std::string text;
+    int line = 0;   ///< 1-based source line.
+    size_t col = 0; ///< 0-based column in that line.
+
+    bool ident() const { return isIdentStart(text[0]); }
+};
+
+void
+tokenizeLine(const std::string &code, int lineNo, std::vector<Token> &out)
+{
+    size_t i = 0;
+    while (i < code.size()) {
+        char c = code[i];
+        if (isIdentStart(c)) {
+            size_t b = i;
+            while (i < code.size() && isIdentChar(code[i]))
+                ++i;
+            out.push_back({code.substr(b, i - b), lineNo, b});
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t b = i;
+            while (i < code.size() &&
+                   (isIdentChar(code[i]) || code[i] == '.'))
+                ++i;
+            out.push_back({code.substr(b, i - b), lineNo, b});
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            out.push_back({std::string(1, c), lineNo, i});
+            ++i;
+        } else {
+            ++i;
+        }
+    }
+}
+
+std::vector<Token>
+tokenizeFile(const SourceFile &f)
+{
+    std::vector<Token> toks;
+    bool continued = false; // Inside a backslash-continued directive.
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        const std::string &line = f.code[i];
+        bool directive = continued;
+        if (!continued) {
+            size_t first = line.find_first_not_of(" \t");
+            directive = first != std::string::npos && line[first] == '#';
+        }
+        continued = directive && !line.empty() && line.back() == '\\';
+        // Preprocessor directives are skipped entirely: macro bodies
+        // would otherwise desynchronize the brace tracker.
+        if (directive)
+            continue;
+        tokenizeLine(line, static_cast<int>(i) + 1, toks);
+    }
+    return toks;
+}
+
+/** Parse "rule1,rule2" out of every vplint:allow(...) in @p comment. */
+void
+parseAllows(const std::string &comment, std::set<std::string> &rules)
+{
+    size_t pos = 0;
+    while ((pos = comment.find("vplint:allow(", pos)) != std::string::npos) {
+        pos += 13;
+        size_t close = comment.find(')', pos);
+        if (close == std::string::npos)
+            return;
+        std::string list = comment.substr(pos, close - pos);
+        size_t b = 0;
+        while (b <= list.size()) {
+            size_t e = list.find(',', b);
+            std::string rule =
+                trim(list.substr(b, e == std::string::npos ? e : e - b));
+            if (!rule.empty())
+                rules.insert(rule);
+            if (e == std::string::npos)
+                break;
+            b = e + 1;
+        }
+        pos = close;
+    }
+}
+
+void
+diag(std::vector<Diag> &out, const SourceFile &f, int line,
+     const std::string &rule, const std::string &message)
+{
+    if (f.isAllowed(line, rule))
+        return;
+    out.push_back({f.path, line, rule, message});
+}
+
+} // namespace
+
+std::string
+Diag::str() const
+{
+    return file + ":" + std::to_string(line) + ": " + rule + ": " + message;
+}
+
+FileKind
+classifyPath(const std::string &relPath)
+{
+    if (relPath.rfind("src/", 0) == 0)
+        return FileKind::Src;
+    if (relPath.rfind("bench/", 0) == 0)
+        return FileKind::Bench;
+    if (relPath.rfind("tests/", 0) == 0)
+        return FileKind::Tests;
+    return FileKind::Other;
+}
+
+bool
+SourceFile::isAllowed(int line, const std::string &rule) const
+{
+    auto covers = [&](int l) {
+        return l >= 1 && l <= static_cast<int>(allowed.size()) &&
+               allowed[static_cast<size_t>(l) - 1].count(rule) != 0;
+    };
+    // A vplint:allow comment covers its own line and the line below it
+    // (so a comment-only line suppresses the statement that follows).
+    return covers(line) || covers(line - 1);
+}
+
+SourceFile
+prepareSource(std::string path, const std::string &content, FileKind kind)
+{
+    SourceFile f;
+    f.path = std::move(path);
+    f.kind = kind;
+
+    enum class St { Code, LineComment, BlockComment, Str, Chr };
+    St st = St::Code;
+    std::string code, codeStrings, comment;
+    auto flushLine = [&] {
+        f.code.push_back(code);
+        f.codeStrings.push_back(codeStrings);
+        std::set<std::string> allows;
+        parseAllows(comment, allows);
+        f.allowed.push_back(std::move(allows));
+        code.clear();
+        codeStrings.clear();
+        comment.clear();
+    };
+
+    for (size_t i = 0; i < content.size(); ++i) {
+        char c = content[i];
+        char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == St::LineComment)
+                st = St::Code;
+            // Unterminated literals never span lines in valid C++.
+            if (st == St::Str || st == St::Chr)
+                st = St::Code;
+            flushLine();
+            continue;
+        }
+        switch (st) {
+          case St::Code:
+            if (c == '/' && next == '/') {
+                st = St::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                st = St::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                st = St::Str;
+                code += '"';
+                codeStrings += '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                code += '\'';
+                codeStrings += '\'';
+            } else {
+                code += c;
+                codeStrings += c;
+            }
+            break;
+          case St::LineComment:
+            comment += c;
+            break;
+          case St::BlockComment:
+            if (c == '*' && next == '/') {
+                st = St::Code;
+                ++i;
+            } else {
+                comment += c;
+            }
+            break;
+          case St::Str:
+            // Blank literal contents with spaces (not removal) so both
+            // views keep identical column positions.
+            codeStrings += c;
+            if (c == '\\') {
+                code += ' ';
+                if (next != '\0') {
+                    codeStrings += next;
+                    code += ' ';
+                    ++i;
+                }
+            } else if (c == '"') {
+                code += '"';
+                st = St::Code;
+            } else {
+                code += ' ';
+            }
+            break;
+          case St::Chr:
+            codeStrings += c;
+            if (c == '\\') {
+                code += ' ';
+                if (next != '\0') {
+                    codeStrings += next;
+                    code += ' ';
+                    ++i;
+                }
+            } else if (c == '\'') {
+                code += '\'';
+                st = St::Code;
+            } else {
+                code += ' ';
+            }
+            break;
+        }
+    }
+    flushLine();
+    return f;
+}
+
+// ---------------------------------------------------------------------
+// Tree index: declarations of unordered containers and stat objects
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const std::set<std::string> statTypes = {"Scalar", "Average",
+                                         "Distribution", "Formula"};
+
+/** After `unordered_map` / `unordered_set`, skip the <...> template
+ *  argument list and return the declared identifier ("" if none). */
+std::string
+declaredNameAfterTemplate(const std::vector<Token> &toks, size_t i)
+{
+    size_t n = toks.size();
+    if (i >= n || toks[i].text != "<")
+        return "";
+    int depth = 0;
+    for (; i < n; ++i) {
+        if (toks[i].text == "<")
+            ++depth;
+        else if (toks[i].text == ">" && --depth == 0)
+            break;
+    }
+    for (++i; i < n; ++i) {
+        const std::string &t = toks[i].text;
+        if (t == "&" || t == "*" || t == "const")
+            continue;
+        if (isIdentStart(t[0]))
+            return t;
+        return "";
+    }
+    return "";
+}
+
+} // namespace
+
+void
+indexSource(const SourceFile &f, TreeIndex &index)
+{
+    std::vector<Token> toks = tokenizeFile(f);
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        if (t == "unordered_map" || t == "unordered_set") {
+            std::string name = declaredNameAfterTemplate(toks, i + 1);
+            if (!name.empty())
+                index.unorderedNames.insert(name);
+        } else if (statTypes.count(t) != 0 && toks[i + 1].ident() &&
+                   i + 2 < toks.size() && toks[i + 2].text == ";") {
+            // Member/variable declaration `Scalar _hits;`.
+            index.statNames.insert(toks[i + 1].text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Files exempt from the wallclock rule: the self-profiler is the one
+ *  sanctioned consumer of host time inside src/, and the bench drivers
+ *  legitimately wall-time whole runs (never simulated work). */
+const std::set<std::string> wallclockAllowedFiles = {
+    "src/sim/profiler.hh",
+    "src/sim/profiler.cc",
+    "bench/run_all.cc",
+    "bench/micro_components.cc",
+};
+
+void
+ruleRand(const SourceFile &f, const std::vector<Token> &toks,
+         std::vector<Diag> &out)
+{
+    static const std::set<std::string> banned = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48",
+        "random_device",
+    };
+    for (const Token &t : toks) {
+        if (banned.count(t.text) != 0) {
+            diag(out, f, t.line, "rand",
+                 "host randomness '" + t.text +
+                     "' breaks run-to-run determinism; use the seeded "
+                     "sim/rng.hh generator instead");
+        }
+    }
+}
+
+void
+ruleWallclock(const SourceFile &f, const std::vector<Token> &toks,
+              std::vector<Diag> &out)
+{
+    if (wallclockAllowedFiles.count(f.path) != 0)
+        return;
+    static const std::set<std::string> banned = {
+        "chrono", "steady_clock", "system_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "localtime", "gmtime",
+    };
+    static const std::set<std::string> bannedCalls = {"time", "clock"};
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        bool hit = banned.count(t) != 0;
+        if (!hit && bannedCalls.count(t) != 0 &&
+            i + 1 < toks.size() && toks[i + 1].text == "(") {
+            // Only the free functions; skip member calls `x.time()`.
+            bool member = i > 0 && (toks[i - 1].text == "." ||
+                                    toks[i - 1].text == ">");
+            hit = !member;
+        }
+        if (hit) {
+            diag(out, f, toks[i].line, "wallclock",
+                 "wall-clock read '" + t +
+                     "' in simulation code breaks bit-identity "
+                     "(allowed only in sim/profiler.* and bench "
+                     "wall-timing)");
+        }
+    }
+}
+
+/** Trailing identifier of an expression ("a._pages" -> "_pages"). */
+std::string
+lastIdent(const std::string &expr)
+{
+    size_t e = expr.find_last_not_of(" \t");
+    if (e == std::string::npos)
+        return "";
+    size_t b = e + 1;
+    while (b > 0 && isIdentChar(expr[b - 1]))
+        --b;
+    if (b > e)
+        return "";
+    return expr.substr(b, e - b + 1);
+}
+
+/** Join line @p i (0-based) and following lines until parens starting
+ *  at @p pos balance; returns the joined text from @p pos. */
+std::string
+balancedFrom(const SourceFile &f, size_t i, size_t pos, bool withStrings,
+             size_t maxLines = 24)
+{
+    const std::vector<std::string> &lines =
+        withStrings ? f.codeStrings : f.code;
+    std::string text;
+    int depth = 0;
+    for (size_t l = i; l < lines.size() && l < i + maxLines; ++l) {
+        const std::string &line = lines[l];
+        for (size_t p = l == i ? pos : 0; p < line.size(); ++p) {
+            char c = line[p];
+            text += c;
+            if (c == '(')
+                ++depth;
+            else if (c == ')' && --depth == 0)
+                return text;
+        }
+        text += '\n';
+    }
+    return text; // Unbalanced within the window; caller copes.
+}
+
+void
+ruleUnorderedIter(const SourceFile &f, const TreeIndex &index,
+                  const std::vector<Token> &toks, std::vector<Diag> &out)
+{
+    // Range-for over an unordered container.
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        size_t forPos = 0;
+        const std::string &line = f.code[i];
+        while ((forPos = line.find("for", forPos)) != std::string::npos) {
+            bool word = (forPos == 0 || !isIdentChar(line[forPos - 1])) &&
+                        (forPos + 3 >= line.size() ||
+                         !isIdentChar(line[forPos + 3]));
+            size_t paren = line.find('(', forPos);
+            if (!word || paren == std::string::npos) {
+                forPos += 3;
+                continue;
+            }
+            std::string head = balancedFrom(f, i, paren, false);
+            if (head.find(';') == std::string::npos) {
+                size_t colon = head.find(':');
+                // Skip '::' qualifiers when locating the range colon.
+                while (colon != std::string::npos &&
+                       colon + 1 < head.size() && head[colon + 1] == ':')
+                    colon = head.find(':', colon + 2);
+                if (colon != std::string::npos) {
+                    std::string range = head.substr(colon + 1);
+                    if (!range.empty() && range.back() == ')')
+                        range.pop_back();
+                    std::string name = lastIdent(range);
+                    if (index.unorderedNames.count(name) != 0) {
+                        diag(out, f, static_cast<int>(i) + 1,
+                             "unordered-iter",
+                             "iteration over unordered container '" +
+                                 name + "': element order varies "
+                                 "between runs/platforms and breaks "
+                                 "bit-identical stats");
+                    }
+                }
+            }
+            forPos += 3;
+        }
+    }
+    // Explicit iterator walks: container.begin()/cbegin()/rbegin().
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        const std::string &m = toks[i + 2].text;
+        if (toks[i + 1].text == "." &&
+            (m == "begin" || m == "cbegin" || m == "rbegin") &&
+            index.unorderedNames.count(toks[i].text) != 0) {
+            diag(out, f, toks[i].line, "unordered-iter",
+                 "iterator over unordered container '" + toks[i].text +
+                     "': element order varies between runs/platforms "
+                     "and breaks bit-identical stats");
+        }
+    }
+}
+
+void
+rulePointerFormat(const SourceFile &f, std::vector<Diag> &out)
+{
+    for (size_t i = 0; i < f.codeStrings.size(); ++i) {
+        const std::string &line = f.codeStrings[i];
+        bool inStr = false;
+        for (size_t p = 0; p + 1 < line.size(); ++p) {
+            char c = line[p];
+            if (c == '"')
+                inStr = !inStr;
+            else if (c == '\\' && inStr)
+                ++p;
+            else if (inStr && c == '%' && line[p + 1] == 'p') {
+                diag(out, f, static_cast<int>(i) + 1, "pointer-format",
+                     "pointer value formatted into output (%p): "
+                     "addresses change run to run under ASLR, so they "
+                     "must never reach stats, traces, or logs");
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency rule: mutable global / static state
+// ---------------------------------------------------------------------
+
+const std::set<std::string> stmtSkippers = {
+    "using", "typedef", "friend", "static_assert", "template", "extern",
+    "const", "constexpr", "constinit", "thread_local", "operator",
+};
+
+/**
+ * Internally-synchronised standard types. A namespace-scope object of
+ * one of these is safe to share across SimPool workers, and std::atomic
+ * is the fix this rule recommends — flagging it would be circular.
+ */
+const std::set<std::string> syncTypes = {
+    "atomic",      "atomic_flag",     "atomic_bool",
+    "mutex",       "recursive_mutex", "shared_mutex",
+    "once_flag",   "condition_variable",
+};
+
+struct Stmt
+{
+    std::vector<const Token *> toks;
+
+    bool
+    contains(const std::string &t) const
+    {
+        for (const Token *tok : toks)
+            if (tok->text == t)
+                return true;
+        return false;
+    }
+
+    bool
+    skipped() const
+    {
+        for (const Token *tok : toks) {
+            if (stmtSkippers.count(tok->text) != 0 ||
+                syncTypes.count(tok->text) != 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Declared name: last identifier before '=', '[' or ';'. */
+    std::string
+    declName() const
+    {
+        std::string name;
+        for (const Token *tok : toks) {
+            if (tok->text == "=" || tok->text == "[")
+                break;
+            if (tok->ident())
+                name = tok->text;
+        }
+        return name;
+    }
+};
+
+void
+ruleGlobalState(const SourceFile &f, const std::vector<Token> &toks,
+                std::vector<Diag> &out)
+{
+    enum class Ctx { Namespace, Type, Func, Init };
+    std::vector<Ctx> stack;
+    Stmt stmt;
+
+    auto atNamespaceScope = [&] {
+        for (Ctx c : stack)
+            if (c != Ctx::Namespace)
+                return false;
+        return true;
+    };
+
+    auto evalStmt = [&] {
+        if (stmt.toks.empty())
+            return;
+        const Token &first = *stmt.toks.front();
+        if (stmt.skipped()) {
+            stmt.toks.clear();
+            return;
+        }
+        if (atNamespaceScope()) {
+            static const std::set<std::string> typeIntro = {
+                "class", "struct", "union", "enum", "namespace",
+            };
+            size_t idents = 0;
+            for (const Token *t : stmt.toks)
+                if (t->ident())
+                    ++idents;
+            if (typeIntro.count(first.text) == 0 && !stmt.contains("(") &&
+                idents >= 2) {
+                diag(out, f, first.line, "global-state",
+                     "mutable namespace-scope state '" + stmt.declName() +
+                         "' races under parallel SimPool workers; make "
+                         "it const, thread_local, or std::atomic");
+            }
+        } else if (first.text == "static" && !stmt.contains("(")) {
+            bool inType = !stack.empty() && stack.back() == Ctx::Type;
+            diag(out, f, first.line, "global-state",
+                 std::string("mutable ") +
+                     (inType ? "static data member '"
+                             : "function-local static '") +
+                     stmt.declName() +
+                     "' races under parallel SimPool workers; make it "
+                     "const, thread_local, or std::atomic");
+        }
+        stmt.toks.clear();
+    };
+
+    for (const Token &t : toks) {
+        if (t.text == "{") {
+            Ctx kind = Ctx::Func;
+            if (stmt.contains("namespace")) {
+                kind = Ctx::Namespace;
+            } else if ((stmt.contains("class") || stmt.contains("struct") ||
+                        stmt.contains("union") || stmt.contains("enum")) &&
+                       !stmt.contains("(")) {
+                kind = Ctx::Type;
+            } else if (stmt.contains("=")) {
+                kind = Ctx::Init;
+                // `X x = {...};` at namespace scope is still a mutable
+                // global definition — evaluate the prefix now, because
+                // the ';' after the closing brace sees an empty stmt.
+                evalStmt();
+            } else if (!stmt.toks.empty() && !stmt.contains("(")) {
+                // `std::atomic<bool> x{false};` — direct brace-init
+                // with no '='; evaluate the declaration prefix now.
+                kind = Ctx::Init;
+                evalStmt();
+            }
+            stack.push_back(kind);
+            stmt.toks.clear();
+        } else if (t.text == "}") {
+            if (!stack.empty())
+                stack.pop_back();
+            stmt.toks.clear();
+        } else if (t.text == ";") {
+            evalStmt();
+        } else {
+            stmt.toks.push_back(&t);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats contract: every registered stat carries a description
+// ---------------------------------------------------------------------
+
+/** Split a balanced "(...)" argument text into top-level arguments. */
+std::vector<std::string>
+splitArgs(const std::string &parenText)
+{
+    std::vector<std::string> args;
+    if (parenText.size() < 2 || parenText.front() != '(')
+        return args;
+    int depth = 0;
+    bool inStr = false;
+    std::string cur;
+    for (size_t i = 0; i < parenText.size(); ++i) {
+        char c = parenText[i];
+        if (inStr) {
+            cur += c;
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inStr = false;
+            continue;
+        }
+        if (c == '"') {
+            inStr = true;
+            cur += c;
+        } else if (c == '(' || c == '{' || c == '[') {
+            if (depth++ > 0)
+                cur += c;
+        } else if (c == ')' || c == '}' || c == ']') {
+            if (--depth > 0)
+                cur += c;
+            else if (c != ')')
+                cur += c;
+        } else if (c == ',' && depth == 1) {
+            args.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!trim(cur).empty())
+        args.push_back(trim(cur));
+    return args;
+}
+
+void
+checkStatCtorArgs(const SourceFile &f, int line,
+                  const std::vector<std::string> &args,
+                  std::vector<Diag> &out)
+{
+    if (args.size() < 3)
+        return; // Not a (parent, name, desc) construction.
+    const std::string &desc = args[2];
+    if (desc == "\"\"") {
+        std::string name = args[1];
+        diag(out, f, line, "stat-desc",
+             "stat " + name + " registered with an empty description; "
+             "every stat feeds the documented JSON export schema");
+    }
+}
+
+void
+ruleStatDesc(const SourceFile &f, const TreeIndex &index,
+             const std::vector<Token> &toks, std::vector<Diag> &out)
+{
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        size_t parenIdx = std::string::npos;
+        if (toks[i + 1].text == "(" &&
+            (index.statNames.count(t.text) != 0 ||
+             (statTypes.count(t.text) != 0 &&
+              (i == 0 || toks[i - 1].text != "new")))) {
+            // `_hits(...)` ctor-init or `Scalar(...)` temporary. Skip
+            // declarations `Scalar x(...)`: handled by next branch via
+            // the identifier x? No — direct-check here is fine either
+            // way because args still follow the (parent, name, desc)
+            // shape.
+            parenIdx = i + 1;
+        } else if (statTypes.count(t.text) != 0 && toks[i + 1].ident() &&
+                   i + 2 < toks.size() && toks[i + 2].text == "(") {
+            // `Scalar x(parent, "name", "desc");`
+            parenIdx = i + 2;
+        } else if (t.text == "make_unique" && i + 4 < toks.size() &&
+                   toks[i + 1].text == "<" &&
+                   statTypes.count(toks[i + 2].text) != 0 &&
+                   toks[i + 3].text == ">" && toks[i + 4].text == "(") {
+            parenIdx = i + 4;
+        }
+        if (parenIdx == std::string::npos)
+            continue;
+        const Token &paren = toks[parenIdx];
+        std::string text =
+            balancedFrom(f, static_cast<size_t>(paren.line) - 1,
+                         paren.col, true);
+        std::vector<std::string> args = splitArgs(text);
+        checkStatCtorArgs(f, t.line, args, out);
+    }
+}
+
+} // namespace
+
+void
+lintSource(const SourceFile &f, const TreeIndex &index,
+           std::vector<Diag> &out)
+{
+    std::vector<Token> toks = tokenizeFile(f);
+
+    // Determinism rules apply everywhere (tests must stay deterministic
+    // too — they gate the bit-identity contracts).
+    ruleRand(f, toks, out);
+    ruleWallclock(f, toks, out);
+    rulePointerFormat(f, out);
+
+    bool simCode = f.kind == FileKind::Src || f.kind == FileKind::Bench;
+    if (simCode) {
+        ruleUnorderedIter(f, index, toks, out);
+        ruleGlobalState(f, toks, out);
+        ruleStatDesc(f, index, toks, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config-key contract
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** [begin, end) line range (0-based) of the brace-delimited body that
+ *  follows the first occurrence of @p marker. Returns false if absent. */
+bool
+functionBody(const SourceFile &f, const std::string &marker, size_t &bLine,
+             size_t &eLine)
+{
+    for (size_t i = 0; i < f.code.size(); ++i) {
+        if (f.code[i].find(marker) == std::string::npos)
+            continue;
+        int depth = 0;
+        bool opened = false;
+        for (size_t l = i; l < f.code.size(); ++l) {
+            for (char c : f.code[l]) {
+                if (c == '{') {
+                    if (!opened) {
+                        opened = true;
+                        bLine = l;
+                    }
+                    ++depth;
+                } else if (c == '}') {
+                    if (opened && --depth == 0) {
+                        eLine = l + 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+    return false;
+}
+
+/** Every double-quoted literal in [bLine, eLine), with line numbers. */
+std::vector<std::pair<std::string, int>>
+literalsIn(const SourceFile &f, size_t bLine, size_t eLine)
+{
+    std::vector<std::pair<std::string, int>> lits;
+    for (size_t l = bLine; l < eLine && l < f.codeStrings.size(); ++l) {
+        const std::string &line = f.codeStrings[l];
+        bool inStr = false;
+        std::string cur;
+        for (size_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
+            if (!inStr) {
+                if (c == '"') {
+                    inStr = true;
+                    cur.clear();
+                }
+            } else if (c == '\\') {
+                if (i + 1 < line.size())
+                    cur += line[++i];
+            } else if (c == '"') {
+                inStr = false;
+                lits.emplace_back(cur, static_cast<int>(l) + 1);
+            } else {
+                cur += c;
+            }
+        }
+    }
+    return lits;
+}
+
+} // namespace
+
+void
+lintConfigContract(const SourceFile &f,
+                   const std::set<std::string> &exclusions,
+                   std::vector<Diag> &out)
+{
+    size_t setB = 0, setE = 0, keyB = 0, keyE = 0;
+    if (!functionBody(f, "SimConfig::set(", setB, setE)) {
+        out.push_back({f.path, 1, "config-key",
+                       "cannot locate SimConfig::set() — the config-key "
+                       "contract check would be silently disabled"});
+        return;
+    }
+    if (!functionBody(f, "SimConfig::canonicalKey(", keyB, keyE)) {
+        out.push_back({f.path, 1, "config-key",
+                       "cannot locate SimConfig::canonicalKey() — the "
+                       "config-key contract check would be silently "
+                       "disabled"});
+        return;
+    }
+
+    // Keys the cache hash covers: "name=" / ";name=" literals.
+    std::set<std::string> canonical;
+    for (const auto &[lit, line] : literalsIn(f, keyB, keyE)) {
+        std::string s = lit;
+        if (!s.empty() && s.front() == ';')
+            s.erase(0, 1);
+        if (s.size() >= 2 && s.back() == '=')
+            canonical.insert(s.substr(0, s.size() - 1));
+    }
+
+    // Keys set() parses: every `key == "name"` comparison.
+    for (size_t l = setB; l < setE; ++l) {
+        const std::string &line = f.codeStrings[l];
+        size_t pos = 0;
+        while ((pos = line.find("key == \"", pos)) != std::string::npos) {
+            size_t b = pos + 8;
+            size_t e = line.find('"', b);
+            if (e == std::string::npos)
+                break;
+            std::string key = line.substr(b, e - b);
+            if (canonical.count(key) == 0 && exclusions.count(key) == 0) {
+                diag(out, f, static_cast<int>(l) + 1, "config-key",
+                     "config key '" + key +
+                         "' is parsed by SimConfig::set() but missing "
+                         "from canonicalKey(): the result cache would "
+                         "silently alias configs that differ in it. Add "
+                         "it to canonicalKey(), or if it provably never "
+                         "affects SimResult, list it in "
+                         "tools/vplint/config_key_exclusions.txt");
+            }
+            pos = e;
+        }
+    }
+}
+
+std::set<std::string>
+parseExclusionList(const std::string &content)
+{
+    std::set<std::string> keys;
+    std::istringstream is(content);
+    std::string line;
+    while (std::getline(is, line)) {
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (!line.empty())
+            keys.insert(line);
+    }
+    return keys;
+}
+
+// ---------------------------------------------------------------------
+// Stats manifest
+// ---------------------------------------------------------------------
+
+SchemaVersion
+parseSchemaVersion(const std::string &resultCacheCc)
+{
+    SchemaVersion v;
+    std::istringstream is(resultCacheCc);
+    std::string line;
+    int n = 0;
+    while (std::getline(is, line)) {
+        ++n;
+        size_t pos = line.find("statSchemaVersion");
+        if (pos == std::string::npos)
+            continue;
+        size_t eq = line.find('=', pos);
+        if (eq == std::string::npos)
+            continue;
+        size_t q1 = line.find('"', eq);
+        size_t q2 = q1 == std::string::npos ? std::string::npos
+                                            : line.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        v.version = line.substr(q1 + 1, q2 - q1 - 1);
+        v.line = n;
+        return v;
+    }
+    return v;
+}
+
+std::set<std::string>
+manifestNames(const std::string &manifestContent)
+{
+    std::set<std::string> names;
+    std::istringstream is(manifestContent);
+    std::string line;
+    while (std::getline(is, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#' ||
+            line.rfind("schema ", 0) == 0)
+            continue;
+        names.insert(line);
+    }
+    return names;
+}
+
+std::string
+manifestVersion(const std::string &manifestContent)
+{
+    std::istringstream is(manifestContent);
+    std::string line;
+    while (std::getline(is, line)) {
+        line = trim(line);
+        if (line.rfind("schema ", 0) == 0)
+            return trim(line.substr(7));
+    }
+    return "";
+}
+
+std::string
+formatManifest(const std::string &version,
+               const std::set<std::string> &liveNames)
+{
+    std::ostringstream os;
+    os << "# vplint stats manifest — the stat names one simulation "
+          "registers.\n"
+          "# Regenerate (after bumping statSchemaVersion in "
+          "src/sim/result_cache.cc):\n"
+          "#   build/tools/vplint/vplint-stats-manifest --update\n"
+          "schema " << version << "\n";
+    for (const std::string &n : liveNames)
+        os << n << "\n";
+    return os.str();
+}
+
+void
+checkStatsManifest(const std::string &manifestContent,
+                   const std::string &manifestPath,
+                   const std::set<std::string> &liveNames,
+                   const SchemaVersion &source,
+                   const std::string &sourcePath,
+                   std::vector<Diag> &out)
+{
+    if (source.version.empty()) {
+        out.push_back({sourcePath, 1, "stats-manifest",
+                       "cannot parse statSchemaVersion definition"});
+        return;
+    }
+    std::string recorded = manifestVersion(manifestContent);
+    if (recorded.empty()) {
+        out.push_back({manifestPath, 1, "stats-manifest",
+                       "manifest has no 'schema <version>' header; "
+                       "regenerate with vplint-stats-manifest --update"});
+        return;
+    }
+    if (recorded != source.version) {
+        out.push_back(
+            {sourcePath, source.line, "stats-manifest",
+             "statSchemaVersion is '" + source.version +
+                 "' but the committed manifest records '" + recorded +
+                 "'; regenerate tools/vplint/stats_manifest.txt with "
+                 "vplint-stats-manifest --update"});
+    }
+    std::set<std::string> committed = manifestNames(manifestContent);
+    std::vector<std::string> added, removed;
+    std::set_difference(liveNames.begin(), liveNames.end(),
+                        committed.begin(), committed.end(),
+                        std::back_inserter(added));
+    std::set_difference(committed.begin(), committed.end(),
+                        liveNames.begin(), liveNames.end(),
+                        std::back_inserter(removed));
+    auto list = [](const std::vector<std::string> &v) {
+        std::string s;
+        for (size_t i = 0; i < v.size() && i < 8; ++i)
+            s += (i != 0 ? ", " : "") + v[i];
+        if (v.size() > 8)
+            s += ", ... (" + std::to_string(v.size()) + " total)";
+        return s;
+    };
+    if (!added.empty()) {
+        out.push_back({manifestPath, 1, "stats-manifest",
+                       "live stat set drifted from the manifest — new "
+                       "stats not committed: " + list(added) +
+                       ". Bump statSchemaVersion in " + sourcePath +
+                       " and regenerate with vplint-stats-manifest "
+                       "--update"});
+    }
+    if (!removed.empty()) {
+        out.push_back({manifestPath, 1, "stats-manifest",
+                       "live stat set drifted from the manifest — "
+                       "committed stats no longer registered: " +
+                       list(removed) + ". Bump statSchemaVersion in " +
+                       sourcePath + " and regenerate with "
+                       "vplint-stats-manifest --update"});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-tree driver
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+bool
+isCppSource(const std::filesystem::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+std::string
+readFileOrEmpty(const std::filesystem::path &p)
+{
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+std::vector<Diag>
+lintTree(const std::string &repoRoot, const std::vector<std::string> &roots,
+         const std::set<std::string> &configExclusions)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        fs::path abs = fs::path(repoRoot) / root;
+        if (fs::is_regular_file(abs)) {
+            files.push_back(root);
+            continue;
+        }
+        if (!fs::is_directory(abs))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(abs);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory() &&
+                it->path().filename() == "vplint_fixtures") {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && isCppSource(it->path())) {
+                files.push_back(
+                    fs::relative(it->path(), repoRoot).generic_string());
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<SourceFile> sources;
+    TreeIndex index;
+    for (const std::string &rel : files) {
+        std::string content = readFileOrEmpty(fs::path(repoRoot) / rel);
+        sources.push_back(prepareSource(rel, content, classifyPath(rel)));
+        indexSource(sources.back(), index);
+    }
+
+    std::vector<Diag> out;
+    for (const SourceFile &f : sources) {
+        lintSource(f, index, out);
+        if (f.path == "src/sim/config.cc")
+            lintConfigContract(f, configExclusions, out);
+    }
+    std::sort(out.begin(), out.end(), [](const Diag &a, const Diag &b) {
+        return std::tie(a.file, a.line, a.rule) <
+               std::tie(b.file, b.line, b.rule);
+    });
+    return out;
+}
+
+} // namespace vplint

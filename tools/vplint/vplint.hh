@@ -1,0 +1,183 @@
+/**
+ * @file
+ * vplint — the project's determinism & stats-contract static analyzer.
+ *
+ * A self-contained token/line-level linter (no libclang) that enforces
+ * the simulator's headline contracts at lint time instead of waiting
+ * for the slow differential tests to catch a violation dynamically:
+ *
+ *  Determinism (serial-vs-parallel and timeSkip=0/1 bit-identity):
+ *   - `rand`           host randomness (rand(), std::random_device, ...)
+ *                      in simulation code. Use sim/rng.hh instead.
+ *   - `wallclock`      wall-clock reads (std::chrono, time(), ...)
+ *                      outside the self-profiler / bench wall-timing
+ *                      allowlist.
+ *   - `unordered-iter` iteration over std::unordered_map/set: element
+ *                      order is implementation- and run-dependent, so
+ *                      any ordering leak (a dump, a trace line, even a
+ *                      sequence of memory writes) breaks bit-identity.
+ *   - `pointer-format` pointer values formatted into stats/logs ("%p"):
+ *                      addresses differ run to run under ASLR.
+ *
+ *  Concurrency (races under SimPool's parallel workers):
+ *   - `global-state`   mutable, non-const, non-thread_local state at
+ *                      namespace scope, as a static local, or as a
+ *                      static data member.
+ *
+ *  Stats/config contracts:
+ *   - `config-key`     every key parsed by SimConfig::set() must appear
+ *                      in canonicalKey() or in the committed exclusion
+ *                      list (the `timeSkip` pattern) — otherwise the
+ *                      result cache silently aliases distinct configs.
+ *   - `stat-desc`      every registered stat must carry a non-empty
+ *                      description (they feed the JSON export schema).
+ *   - `stats-manifest` the live stat-name set must match the committed
+ *                      tools/vplint/stats_manifest.txt, and the manifest
+ *                      may only be regenerated after statSchemaVersion
+ *                      was bumped.
+ *
+ * Any rule can be suppressed for one line with a trailing or
+ * immediately-preceding comment: `// vplint:allow(<rule>[,<rule>...])`,
+ * ideally with a justification after the closing parenthesis.
+ *
+ * Diagnostics print as `file:line: rule: message` (clickable in editors
+ * and CI logs); the CLI exits nonzero when any diagnostic was emitted.
+ */
+
+#ifndef VPSIM_TOOLS_VPLINT_HH
+#define VPSIM_TOOLS_VPLINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vplint
+{
+
+/** One `file:line: rule: message` finding. */
+struct Diag
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    std::string str() const;
+};
+
+/** Which tree a file belongs to; selects the applicable rule set. */
+enum class FileKind
+{
+    Src,   ///< src/ — full rule set.
+    Bench, ///< bench/ — full set minus the wall-timing allowlist files.
+    Tests, ///< tests/ — determinism rules only (fixtures use statics).
+    Other, ///< Everything else — determinism rules only.
+};
+
+/** Classify @p relPath (repo-relative, '/'-separated). */
+FileKind classifyPath(const std::string &relPath);
+
+/**
+ * A source file prepared for analysis: comments stripped, string
+ * literal contents tracked separately, suppression comments parsed.
+ */
+struct SourceFile
+{
+    std::string path;               ///< Repo-relative path for diags.
+    FileKind kind = FileKind::Other;
+    /** Per line: code with comments removed and string/char literal
+     *  contents blanked (quotes kept), so token scans never match
+     *  inside a literal. */
+    std::vector<std::string> code;
+    /** Per line: code with comments removed but literals intact (the
+     *  contract rules must read the literal key/desc strings). */
+    std::vector<std::string> codeStrings;
+    /** Per line: the rule names allowed by vplint:allow comments that
+     *  cover this line (same line or the line above). */
+    std::vector<std::set<std::string>> allowed;
+
+    bool isAllowed(int line, const std::string &rule) const;
+};
+
+/** Parse @p content into a SourceFile (line numbers are 1-based). */
+SourceFile prepareSource(std::string path, const std::string &content,
+                         FileKind kind);
+
+/**
+ * Cross-file state the per-file rules need: names declared anywhere as
+ * unordered containers, and names declared as stat objects.
+ */
+struct TreeIndex
+{
+    std::set<std::string> unorderedNames;
+    std::set<std::string> statNames;
+};
+
+/** Scan @p f for declarations feeding @p index. */
+void indexSource(const SourceFile &f, TreeIndex &index);
+
+/** Run every per-file rule on @p f; appends to @p out. */
+void lintSource(const SourceFile &f, const TreeIndex &index,
+                std::vector<Diag> &out);
+
+/**
+ * The `config-key` contract: every `key == "X"` comparison inside
+ * SimConfig::set() must have a matching "X=" serialization inside
+ * canonicalKey() or be listed in @p exclusions.
+ * @p f must be the prepared src/sim/config.cc.
+ */
+void lintConfigContract(const SourceFile &f,
+                        const std::set<std::string> &exclusions,
+                        std::vector<Diag> &out);
+
+/** Parse an exclusion-list file (one key per line, '#' comments). */
+std::set<std::string> parseExclusionList(const std::string &content);
+
+/** statSchemaVersion literal parsed out of src/sim/result_cache.cc. */
+struct SchemaVersion
+{
+    std::string version; ///< Empty when the definition was not found.
+    int line = 0;        ///< Line of the definition.
+};
+
+SchemaVersion parseSchemaVersion(const std::string &resultCacheCc);
+
+/**
+ * The `stats-manifest` contract. @p manifestContent is the committed
+ * tools/vplint/stats_manifest.txt ("schema <version>" header plus one
+ * stat name per line); @p liveNames is the registry enumerated from a
+ * running simulator. Drift in either the name set or the schema header
+ * produces diagnostics against @p manifestPath / @p sourcePath.
+ */
+void checkStatsManifest(const std::string &manifestContent,
+                        const std::string &manifestPath,
+                        const std::set<std::string> &liveNames,
+                        const SchemaVersion &source,
+                        const std::string &sourcePath,
+                        std::vector<Diag> &out);
+
+/** Serialize a manifest ("schema <version>" + sorted names). */
+std::string formatManifest(const std::string &version,
+                           const std::set<std::string> &liveNames);
+
+/** Names recorded in an existing manifest (header lines skipped). */
+std::set<std::string> manifestNames(const std::string &manifestContent);
+
+/** Version recorded in an existing manifest ("" if absent). */
+std::string manifestVersion(const std::string &manifestContent);
+
+/**
+ * Whole-tree driver used by the CLI and the `lint` target: prepares and
+ * lints every C++ source under @p roots (repo-relative directories or
+ * files, resolved against @p repoRoot), runs the config-key contract
+ * when src/sim/config.cc is in scope, and returns every diagnostic
+ * sorted by file and line. Directories named "vplint_fixtures" are
+ * skipped — they hold deliberately-bad test inputs.
+ */
+std::vector<Diag> lintTree(const std::string &repoRoot,
+                           const std::vector<std::string> &roots,
+                           const std::set<std::string> &configExclusions);
+
+} // namespace vplint
+
+#endif // VPSIM_TOOLS_VPLINT_HH
