@@ -1,0 +1,272 @@
+#include "history.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace vpbench
+{
+
+using vpsim::json::Value;
+
+std::string
+historyEntryJson(const HistoryEntry &e)
+{
+    std::ostringstream os;
+    os << "{\"schemaVersion\": ";
+    vpsim::jsonQuote(os, e.schemaVersion);
+    os << ", \"unixTime\": " << e.unixTime << ", \"label\": ";
+    vpsim::jsonQuote(os, e.label);
+    os << ", \"insts\": " << e.insts << ", \"seed\": " << e.seed
+       << ", \"fullSet\": " << (e.fullSet ? "true" : "false")
+       << ", \"totalWallSeconds\": ";
+    vpsim::jsonNumber(os, vpsim::roundSig(e.totalWallSeconds, 6));
+    os << ", \"figures\": {";
+    bool first = true;
+    for (const auto &[name, fig] : e.figures) {
+        if (!first)
+            os << ", ";
+        first = false;
+        vpsim::jsonQuote(os, name);
+        os << ": {\"wallSeconds\": ";
+        vpsim::jsonNumber(os, vpsim::roundSig(fig.wallSeconds, 6));
+        os << ", \"exitStatus\": " << fig.exitStatus;
+        if (fig.hasHeadline) {
+            os << ", \"headlineConfig\": ";
+            vpsim::jsonQuote(os, fig.headlineConfig);
+            os << ", \"headlineSpeedupPct\": ";
+            vpsim::jsonNumber(os, fig.headlineSpeedupPct);
+        }
+        os << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+namespace
+{
+
+bool
+parseFigures(const Value &figs, HistoryEntry &out, std::string *error)
+{
+    if (!figs.isObject()) {
+        if (error != nullptr)
+            *error = "\"figures\" is not an object";
+        return false;
+    }
+    for (const auto &[name, v] : figs.obj) {
+        FigureDigest d;
+        d.wallSeconds = v.numberOr("wallSeconds", 0.0);
+        d.exitStatus = static_cast<int>(v.numberOr("exitStatus", 0.0));
+        const Value *h = v.get("headlineSpeedupPct");
+        if (h != nullptr && h->isNumber()) {
+            d.hasHeadline = true;
+            d.headlineSpeedupPct = h->number;
+            d.headlineConfig = v.stringOr("headlineConfig", "");
+        }
+        out.figures.emplace(name, std::move(d));
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseHistoryEntry(const Value &v, HistoryEntry &out, std::string *error)
+{
+    if (!v.isObject()) {
+        if (error != nullptr)
+            *error = "entry is not an object";
+        return false;
+    }
+    out = HistoryEntry{};
+    out.schemaVersion = v.stringOr("schemaVersion", "");
+    if (out.schemaVersion != historySchemaVersion) {
+        if (error != nullptr)
+            *error = "unknown schemaVersion '" + out.schemaVersion + "'";
+        return false;
+    }
+    out.unixTime = static_cast<uint64_t>(v.numberOr("unixTime", 0.0));
+    out.label = v.stringOr("label", "");
+    out.insts = static_cast<uint64_t>(v.numberOr("insts", 0.0));
+    out.seed = static_cast<uint64_t>(v.numberOr("seed", 0.0));
+    const Value *fs = v.get("fullSet");
+    out.fullSet = fs != nullptr && fs->kind == Value::Kind::Bool &&
+                  fs->boolean;
+    out.totalWallSeconds = v.numberOr("totalWallSeconds", 0.0);
+    const Value *figs = v.get("figures");
+    if (figs == nullptr) {
+        if (error != nullptr)
+            *error = "entry has no \"figures\"";
+        return false;
+    }
+    return parseFigures(*figs, out, error);
+}
+
+std::vector<HistoryEntry>
+loadHistory(const std::string &path, std::vector<std::string> *warnings)
+{
+    std::vector<HistoryEntry> out;
+    std::ifstream is(path);
+    if (!is)
+        return out; // Missing history: empty trajectory.
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        bool blank = true;
+        for (char c : line)
+            blank = blank && (c == ' ' || c == '\t' || c == '\r');
+        if (blank)
+            continue;
+        Value v;
+        std::string err;
+        HistoryEntry e;
+        if (!vpsim::json::parse(line, v, &err) ||
+            !parseHistoryEntry(v, e, &err)) {
+            if (warnings != nullptr) {
+                char buf[256];
+                std::snprintf(buf, sizeof(buf), "%s:%zu: skipped (%s)",
+                              path.c_str(), lineNo, err.c_str());
+                warnings->push_back(buf);
+            }
+            continue;
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+bool
+appendHistory(const std::string &path, const HistoryEntry &e)
+{
+    std::ofstream os(path, std::ios::app);
+    if (!os)
+        return false;
+    os << historyEntryJson(e) << "\n";
+    return static_cast<bool>(os);
+}
+
+bool
+entryFromSummary(const Value &summary, HistoryEntry &out,
+                 std::string *error)
+{
+    if (!summary.isObject()) {
+        if (error != nullptr)
+            *error = "summary is not an object";
+        return false;
+    }
+    out = HistoryEntry{};
+    out.label = "seeded-from-summary";
+    out.insts = static_cast<uint64_t>(summary.numberOr("insts", 0.0));
+    out.seed = static_cast<uint64_t>(summary.numberOr("seed", 0.0));
+    const Value *fs = summary.get("fullSet");
+    out.fullSet = fs != nullptr && fs->kind == Value::Kind::Bool &&
+                  fs->boolean;
+    const Value *figs = summary.get("figures");
+    if (figs == nullptr) {
+        if (error != nullptr)
+            *error = "summary has no \"figures\"";
+        return false;
+    }
+    if (!parseFigures(*figs, out, error))
+        return false;
+    for (const auto &[name, fig] : out.figures) {
+        (void)name;
+        out.totalWallSeconds += fig.wallSeconds;
+    }
+    return true;
+}
+
+std::vector<Drift>
+computeDrift(const std::vector<HistoryEntry> &prior,
+             const HistoryEntry &cur, double warnThresholdPct)
+{
+    std::vector<Drift> out;
+    for (const auto &[name, fig] : cur.figures) {
+        if (!fig.hasHeadline)
+            continue;
+        const FigureDigest *base = nullptr;
+        for (auto it = prior.rbegin(); it != prior.rend(); ++it) {
+            if (it->insts != cur.insts || it->seed != cur.seed ||
+                it->fullSet != cur.fullSet) {
+                continue;
+            }
+            auto fit = it->figures.find(name);
+            if (fit != it->figures.end() && fit->second.hasHeadline) {
+                base = &fit->second;
+                break;
+            }
+        }
+        if (base == nullptr)
+            continue; // New figure (or new settings): nothing to drift.
+        Drift d;
+        d.figure = name;
+        d.prevPct = base->headlineSpeedupPct;
+        d.newPct = fig.headlineSpeedupPct;
+        // Relative drift with a 1-percentage-point floor: a headline
+        // moving 0.02pp around zero is noise, not a regression.
+        d.driftPct = 100.0 * std::fabs(d.newPct - d.prevPct) /
+                     std::max(1.0, std::fabs(d.prevPct));
+        d.exceeds = d.driftPct > warnThresholdPct;
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+std::string
+historyMarkdown(const std::vector<HistoryEntry> &prior,
+                const HistoryEntry &cur, const std::vector<Drift> &drifts,
+                size_t tailRows)
+{
+    std::ostringstream os;
+    os << "### Bench history (headline speedup %, oldest -> newest)\n\n";
+    os << "| figure | trajectory | latest | drift | verdict |\n";
+    os << "|---|---|---|---|---|\n";
+    char buf[64];
+    for (const auto &[name, fig] : cur.figures) {
+        if (!fig.hasHeadline)
+            continue;
+        std::vector<double> tail;
+        for (const HistoryEntry &e : prior) {
+            if (e.insts != cur.insts || e.seed != cur.seed ||
+                e.fullSet != cur.fullSet) {
+                continue;
+            }
+            auto it = e.figures.find(name);
+            if (it != e.figures.end() && it->second.hasHeadline)
+                tail.push_back(it->second.headlineSpeedupPct);
+        }
+        if (tail.size() > tailRows)
+            tail.erase(tail.begin(),
+                       tail.end() - static_cast<long>(tailRows));
+        os << "| " << name << " | ";
+        for (size_t i = 0; i < tail.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%s%.2f",
+                          i == 0 ? "" : " -> ", tail[i]);
+            os << buf;
+        }
+        if (tail.empty())
+            os << "(new)";
+        std::snprintf(buf, sizeof(buf), " | %.2f | ",
+                      fig.headlineSpeedupPct);
+        os << buf;
+        const Drift *d = nullptr;
+        for (const Drift &x : drifts)
+            if (x.figure == name)
+                d = &x;
+        if (d == nullptr) {
+            os << "- | new |\n";
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.2f%% | %s |\n",
+                          d->driftPct, d->exceeds ? "DRIFT" : "ok");
+            os << buf;
+        }
+    }
+    return os.str();
+}
+
+} // namespace vpbench

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bench-history regression tracker. `BENCH_summary.json` is a single
+ * committed snapshot; this module gives it a trajectory: every
+ * `run_all --append-history` invocation appends one JSON line per run
+ * to `BENCH_history.jsonl` (headline speedup, wall-clock, and exit
+ * status per figure, plus the measurement settings), and each append
+ * is checked against the most recent *comparable* entry — same insts,
+ * seed, and workload set — for headline-speedup drift. Drift beyond
+ * the warn threshold (default 5%, measured in relative percent with a
+ * 1-percentage-point floor so tiny headlines don't divide to noise)
+ * makes the append report failure, which is what the CI release job
+ * gates on.
+ *
+ * The JSONL format is append-only and line-oriented on purpose: git
+ * diffs show exactly one added line per run, and a corrupt line
+ * degrades to a warning instead of poisoning the whole file.
+ *
+ * This file stays host-clock-free (vplint wallclock rule): callers
+ * pass timestamps in (run_all is on the allowlist).
+ */
+
+#ifndef VPSIM_BENCH_HISTORY_HH
+#define VPSIM_BENCH_HISTORY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace vpbench
+{
+
+inline constexpr const char *historySchemaVersion =
+    "mtvp-bench-history-v1";
+
+/** Default relative drift threshold, percent. */
+inline constexpr double historyDriftWarnPct = 5.0;
+
+/** One figure's digest inside a history entry. */
+struct FigureDigest
+{
+    double wallSeconds = 0.0;
+    int exitStatus = 0;
+    bool hasHeadline = false;
+    std::string headlineConfig;
+    double headlineSpeedupPct = 0.0;
+};
+
+/** One appended run (one line of BENCH_history.jsonl). */
+struct HistoryEntry
+{
+    std::string schemaVersion = historySchemaVersion;
+    uint64_t unixTime = 0;   ///< seconds since epoch; 0 = unknown/seeded
+    std::string label;       ///< free-form origin tag ("ci", "seeded"...)
+    uint64_t insts = 0;      ///< MTVP_INSTS the run used
+    uint64_t seed = 0;       ///< MTVP_SEED
+    bool fullSet = false;    ///< MTVP_SET=full
+    double totalWallSeconds = 0.0;
+    std::map<std::string, FigureDigest> figures;
+};
+
+/** Serialize @p e as a single JSON line (no trailing newline). */
+std::string historyEntryJson(const HistoryEntry &e);
+
+/** Parse one history line; false (with @p error) on malformed input. */
+bool parseHistoryEntry(const vpsim::json::Value &v, HistoryEntry &out,
+                       std::string *error = nullptr);
+
+/** Load every parseable entry of the JSONL file at @p path, oldest
+ *  first. A missing file is an empty history (not an error); corrupt
+ *  lines are skipped with a note in @p warnings when non-null. */
+std::vector<HistoryEntry> loadHistory(const std::string &path,
+                                      std::vector<std::string> *warnings
+                                      = nullptr);
+
+/** Append @p e as one line to @p path; false on I/O failure. */
+bool appendHistory(const std::string &path, const HistoryEntry &e);
+
+/** Convert a committed BENCH_summary.json document into a seed entry
+ *  (label "seeded-from-summary", unixTime 0). */
+bool entryFromSummary(const vpsim::json::Value &summary,
+                      HistoryEntry &out, std::string *error = nullptr);
+
+/** One figure's headline movement vs the comparison baseline. */
+struct Drift
+{
+    std::string figure;
+    double prevPct = 0.0;  ///< baseline headline speedup (percent)
+    double newPct = 0.0;   ///< this run's headline speedup (percent)
+    double driftPct = 0.0; ///< |new-prev| / max(1, |prev|) * 100
+    bool exceeds = false;  ///< driftPct > threshold
+};
+
+/**
+ * Compare @p cur against the most recent entry in @p prior with the
+ * same (insts, seed, fullSet) that carries a headline for the same
+ * figure. Figures with no comparable baseline are skipped — a new
+ * figure is not drift.
+ */
+std::vector<Drift> computeDrift(const std::vector<HistoryEntry> &prior,
+                                const HistoryEntry &cur,
+                                double warnThresholdPct);
+
+/** Markdown trajectory table: per figure, the headline across the
+ *  last @p tailRows comparable entries plus @p cur, with the drift
+ *  verdict column. */
+std::string historyMarkdown(const std::vector<HistoryEntry> &prior,
+                            const HistoryEntry &cur,
+                            const std::vector<Drift> &drifts,
+                            size_t tailRows);
+
+} // namespace vpbench
+
+#endif // VPSIM_BENCH_HISTORY_HH

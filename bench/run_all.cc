@@ -24,11 +24,23 @@
  *    outside its fail tolerance. `--write-expected` re-baselines the
  *    expectation files after a deliberate model change.
  *
+ * And one trajectory artifact (bench/history.hh):
+ *
+ *  - `--append-history`: append this run's headline digest as one
+ *    JSON line to `BENCH_history.jsonl` and compare each figure's
+ *    headline speedup against the most recent comparable entry,
+ *    exiting nonzero when any drifts beyond the warn threshold
+ *    (MTVP_DRIFT_PCT, default 5%). `--seed-history` converts the
+ *    committed BENCH_summary.json into a seed entry without running
+ *    anything.
+ *
  * Usage: run_all [--jobs N] [--no-cache] [--only fig,fig,...]
  *                [--scoreboard] [--write-expected] [--markdown]
+ *                [--append-history] [--seed-history]
  * (--jobs/--no-cache are forwarded to the figure binaries; all MTVP_*
  * environment knobs apply too. MTVP_EXPECTED overrides the expected-
- * values directory, MTVP_SUMMARY the summary path.)
+ * values directory, MTVP_SUMMARY the summary path, MTVP_HISTORY the
+ * history path.)
  */
 
 #include <chrono>
@@ -41,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "history.hh"
 #include "scoreboard.hh"
 #include "sim/json.hh"
 #include "sim/simulation.hh"
@@ -138,6 +151,8 @@ main(int argc, char **argv)
     bool scoreboard = false;
     bool writeExpected = false;
     bool markdown = false;
+    bool appendHist = false;
+    bool seedHist = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--help" || a == "-h") {
@@ -145,13 +160,23 @@ main(int argc, char **argv)
                 "usage: %s [--jobs N] [--no-cache] [--only fig,...]\n"
                 "          [--scoreboard] [--write-expected] "
                 "[--markdown]\n"
+                "          [--append-history] [--seed-history]\n"
                 "Runs every figure binary (or the --only subset), "
                 "writes BENCH_results.json\nand BENCH_summary.json, "
                 "and optionally checks the measured rows against\nthe "
                 "committed expectations in bench/expected/ "
-                "(--scoreboard) or rewrites\nthem (--write-expected).\n",
+                "(--scoreboard) or rewrites\nthem (--write-expected).\n"
+                "--append-history appends the headline digest to "
+                "BENCH_history.jsonl and\nfails on >MTVP_DRIFT_PCT "
+                "headline drift; --seed-history converts the\n"
+                "committed BENCH_summary.json into a history entry "
+                "without running anything.\n",
                 argv[0]);
             return 0;
+        } else if (a == "--append-history") {
+            appendHist = true;
+        } else if (a == "--seed-history") {
+            seedHist = true;
         } else if (a == "--only" && i + 1 < argc) {
             auto more = splitList(argv[++i]);
             only.insert(only.end(), more.begin(), more.end());
@@ -214,6 +239,37 @@ main(int argc, char **argv)
     const bool fullSet = envStr("MTVP_SET", "") == "full";
     const std::string expectedDir = envStr("MTVP_EXPECTED",
                                            "bench/expected");
+    const std::string historyPath = envStr("MTVP_HISTORY",
+                                           "BENCH_history.jsonl");
+    double driftThreshold = vpbench::historyDriftWarnPct;
+    if (const char *v = std::getenv("MTVP_DRIFT_PCT");
+        v != nullptr && *v != '\0') {
+        driftThreshold = std::strtod(v, nullptr);
+    }
+
+    // ----- Seed the history from the committed summary (no runs) -----
+    if (seedHist) {
+        std::string sumPath = envStr("MTVP_SUMMARY",
+                                     "BENCH_summary.json");
+        vpsim::json::Value v;
+        std::string err;
+        vpbench::HistoryEntry e;
+        if (!vpsim::json::parseFile(sumPath, v, &err) ||
+            !vpbench::entryFromSummary(v, e, &err)) {
+            std::fprintf(stderr, "cannot seed history from '%s': %s\n",
+                         sumPath.c_str(), err.c_str());
+            return 1;
+        }
+        if (!vpbench::appendHistory(historyPath, e)) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         historyPath.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "seeded %s from %s (%zu figures)\n",
+                     historyPath.c_str(), sumPath.c_str(),
+                     e.figures.size());
+        return 0;
+    }
 
     std::ostringstream out;
     out << "{\n  \"figures\": {";
@@ -410,5 +466,61 @@ main(int argc, char **argv)
         }
     }
 
-    return failures == 0 && !drift ? 0 : 1;
+    // ----- Bench history (--append-history) --------------------------
+    bool histDrift = false;
+    if (appendHist) {
+        vpbench::HistoryEntry e;
+        e.unixTime = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        e.label = envStr("MTVP_HISTORY_LABEL", "run_all");
+        e.insts = insts;
+        e.seed = seed;
+        e.fullSet = fullSet;
+        e.totalWallSeconds = totalSeconds;
+        for (const FigRun &run : runs) {
+            vpbench::FigureDigest d;
+            d.wallSeconds = run.wallSeconds;
+            d.exitStatus = run.exitStatus;
+            Headline h = run.hasReport ? headlineOf(run.report)
+                                       : Headline{};
+            if (h.valid) {
+                d.hasHeadline = true;
+                d.headlineConfig = h.config;
+                d.headlineSpeedupPct = h.speedupPct;
+            }
+            e.figures.emplace(run.name, std::move(d));
+        }
+
+        std::vector<std::string> warnings;
+        std::vector<vpbench::HistoryEntry> prior =
+            vpbench::loadHistory(historyPath, &warnings);
+        for (const std::string &w : warnings)
+            std::fprintf(stderr, "history: %s\n", w.c_str());
+        std::vector<vpbench::Drift> drifts =
+            vpbench::computeDrift(prior, e, driftThreshold);
+        if (!vpbench::appendHistory(historyPath, e)) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         historyPath.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "appended history entry to %s (%zu prior)\n",
+                     historyPath.c_str(), prior.size());
+        if (markdown)
+            std::cout << vpbench::historyMarkdown(prior, e, drifts, 8);
+        for (const vpbench::Drift &d : drifts) {
+            if (!d.exceeds)
+                continue;
+            histDrift = true;
+            std::fprintf(stderr,
+                         "history: %s headline %.2f%% -> %.2f%% "
+                         "(drift %.2f%% > %.2f%%)\n",
+                         d.figure.c_str(), d.prevPct, d.newPct,
+                         d.driftPct, driftThreshold);
+        }
+    }
+
+    return failures == 0 && !drift && !histDrift ? 0 : 1;
 }

@@ -20,11 +20,19 @@
  *   samplePeriod=N sampleStats=<glob> sampleFile=<f.json|f.csv>
  *                             periodic stat time series
  *
- * Observability keys (src/sim/cpi_stack.hh, src/sim/profiler.hh):
+ * Observability keys (src/sim/cpi_stack.hh, src/sim/profiler.hh,
+ * src/sim/analytics.hh, src/sim/perfetto_trace.hh):
  *   cpiStack=-                print the per-thread CPI-stack report
  *   cpiStack=<file>           ... or write it to a file
  *   profile=1                 host self-profiler report (where the
  *                             simulator itself spends wall-clock time)
+ *   analytics=- | <file>      provenance analytics report: spawn
+ *                             lifecycle outcomes, per-spawn-PC table,
+ *                             per-load-PC value-prediction attribution
+ *                             (--analytics is shorthand for analytics=-)
+ *   perfettoTrace=<file>      trace-event JSON of the run, openable in
+ *                             chrome://tracing / ui.perfetto.dev; also
+ *                             enables the analytics timeline
  *
  * Any SimConfig key accepted by SimConfig::set() works as key=value.
  */
@@ -36,8 +44,10 @@
 
 #include "core/cpu.hh"
 #include "emu/memory.hh"
+#include "sim/analytics.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
+#include "sim/perfetto_trace.hh"
 #include "workloads/workload.hh"
 
 using namespace vpsim;
@@ -105,6 +115,10 @@ main(int argc, char **argv)
     cfg.maxInsts = 20000;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg == "--analytics") {
+            cfg.analytics = "-";
+            continue;
+        }
         size_t eq = arg.find('=');
         if (eq == std::string::npos)
             fatal("expected key=value, got '%s'", arg.c_str());
@@ -154,6 +168,32 @@ main(int argc, char **argv)
     if (cfg.profile) {
         std::printf("\n");
         cpu.profiler().printReport(std::cout);
+    }
+    if (!cfg.analytics.empty()) {
+        if (cfg.analytics == "-") {
+            std::printf("\n");
+            writeAnalyticsReport(std::cout, cpu.analytics(),
+                                 cpu.vpAttribution(), 20);
+        } else {
+            std::ofstream os(cfg.analytics);
+            if (!os)
+                fatal("cannot open analytics report file '%s'",
+                      cfg.analytics.c_str());
+            writeAnalyticsReport(os, cpu.analytics(),
+                                 cpu.vpAttribution(), 20);
+            std::printf("\nanalytics report written to %s\n",
+                        cfg.analytics.c_str());
+        }
+    }
+    if (!cfg.perfettoTrace.empty()) {
+        std::ofstream os(cfg.perfettoTrace);
+        if (!os)
+            fatal("cannot open Perfetto trace file '%s'",
+                  cfg.perfettoTrace.c_str());
+        writeSimTrace(os, cpu.analytics(), cfg.numContexts);
+        std::printf("\nPerfetto trace written to %s (open in "
+                    "chrome://tracing)\n",
+                    cfg.perfettoTrace.c_str());
     }
 
     std::printf("\n%-20s %llu\n", "cycles:",

@@ -202,9 +202,13 @@ Cpu::resolveOne(PendingLoad &pl)
                 correct ? "correct" : "incorrect");
         if (correct) {
             ++_statVpCorrect;
+            _vpattr.recordHit(load->emu.pc);
         } else {
             ++_statVpIncorrect;
-            reissueDependents(load->vpTag, load->readyCycle);
+            int reissued = reissueDependents(load->vpTag,
+                                             load->readyCycle);
+            _vpattr.recordMiss(load->emu.pc,
+                               static_cast<uint64_t>(reissued));
             // Any thread spawned downstream of this load received a
             // flash-copied map containing the bad value: kill it (the
             // parent resumes past its spawn load with the true values).
@@ -237,8 +241,11 @@ Cpu::resolveOne(PendingLoad &pl)
     }
 
     for (size_t c = 0; c < pl.children.size(); ++c) {
-        if (static_cast<int>(c) != winnerIdx)
-            killSubtree(pl.children[c].ctx);
+        if (static_cast<int>(c) != winnerIdx) {
+            uint64_t life = killSubtree(pl.children[c].ctx,
+                                        SpawnOutcome::ValueMispredict);
+            _vpattr.recordSquashCycles(load->emu.pc, life);
+        }
     }
 
     trace::setContext(load->ctx);
@@ -256,8 +263,10 @@ Cpu::resolveOne(PendingLoad &pl)
             poolFor(w.destLogical).setReadyAt(w.destPreg,
                                               load->readyCycle);
         }
-        if (!pl.spawnOnly)
+        if (!pl.spawnOnly) {
             ++_statVpCorrect;
+            _vpattr.recordHit(load->emu.pc);
+        }
         pl.winner = w.ctx;
         pl.resolved = true;
         closeIlpWindow(load->ilpWindow, VpChoice::Mtvp);
@@ -275,6 +284,7 @@ Cpu::resolveOne(PendingLoad &pl)
             static_cast<unsigned long long>(actual),
             pl.children.size());
     ++_statVpIncorrect;
+    _vpattr.recordMiss(load->emu.pc, 0);
     pl.children.clear();
     tc.activeSpawnSeq = 0;
     tc.committedPostSpawn = 0;
@@ -317,6 +327,13 @@ Cpu::promoteChild(PendingLoad &pl, CtxId winner)
             winner, parent.id,
             static_cast<unsigned long long>(pl.load->seq),
             static_cast<unsigned long long>(child.committedInsts));
+
+    // Provenance: the winner's own spawn closes as promoted (with its
+    // own commits, before it inherits the parent's), and — because the
+    // winner takes over the parent's identity below — a speculative
+    // parent's still-open spawn record follows the rename.
+    _analytics.recordPromote(winner, _now, child.committedInsts);
+    _analytics.transferSpawn(parent.id, winner);
 
     // Discard the parent's losing post-spawn future (no-stall mode) —
     // instructions and stores younger than the spawn point.
@@ -399,7 +416,7 @@ Cpu::killChildrenSpawnedAfter(ThreadContext &tc, InstSeqNum seq)
         _pending.erase(_pending.begin() + static_cast<long>(i));
         for (const ChildRec &cr : moved.children) {
             if (ctx(cr.ctx).active)
-                killSubtree(cr.ctx);
+                killSubtree(cr.ctx, SpawnOutcome::UpstreamSquash);
         }
         if (moved.load->ilpWindow >= 0) {
             cancelIlpWindow(moved.load->ilpWindow);
@@ -433,8 +450,10 @@ Cpu::squashYoungerThan(ThreadContext &tc, InstSeqNum seq,
                        SquashReason why)
 {
     auto &infl = _inflightStores[static_cast<size_t>(tc.id)];
+    uint64_t squashed = 0;
     while (!tc.rob.empty() && tc.rob.back()->seq > seq) {
         DynInstPtr di = tc.rob.back();
+        ++squashed;
 
         // Cancel anything hanging off this instruction.
         if (di->spawnedThread || di->vpPredicted || di->ilpWindow >= 0) {
@@ -448,7 +467,7 @@ Cpu::squashYoungerThan(ThreadContext &tc, InstSeqNum seq,
                     // from killSubtree (they are killed before the ROB
                     // walk reaches the spawning load).
                     if (ctx(cr.ctx).active)
-                        killSubtree(cr.ctx);
+                        killSubtree(cr.ctx, SpawnOutcome::UpstreamSquash);
                 }
                 break;
             }
@@ -492,6 +511,12 @@ Cpu::squashYoungerThan(ThreadContext &tc, InstSeqNum seq,
         tc.rob.pop_back();
         --_robOccupancy;
     }
+    if (squashed != 0) {
+        _analytics.recordSquash(tc.id, _now, squashed,
+                                why == SquashReason::Promote
+                                    ? "promote"
+                                    : "threadKill");
+    }
     _iq.purgeSquashed();
     _fq.purgeSquashed();
     _mq.purgeSquashed();
@@ -518,18 +543,19 @@ Cpu::deactivateContext(ThreadContext &tc)
     tc.id = id;
 }
 
-void
-Cpu::killSubtree(CtxId id)
+uint64_t
+Cpu::killSubtree(CtxId id, SpawnOutcome why)
 {
     ThreadContext &tc = ctx(id);
     vpsim_assert(tc.active, "killing an inactive context %d", id);
     vpsim_assert(id != _root, "attempt to kill the architectural thread");
 
     // Children first (their pending entries hang off this ROB, but their
-    // state is independent).
+    // state is independent). Their own values were never judged — they
+    // die because their lineage did.
     std::vector<CtxId> kids = tc.children;
     for (CtxId c : kids)
-        killSubtree(c);
+        killSubtree(c, SpawnOutcome::UpstreamSquash);
 
     if (tc.waitingBranch)
         tc.waitingBranch.reset();
@@ -539,9 +565,14 @@ Cpu::killSubtree(CtxId id)
             tc.rob.size());
     squashYoungerThan(tc, 0, SquashReason::ThreadKill);
     vpsim_assert(tc.rob.empty());
+    // Close the provenance record while the context still knows how
+    // much it committed (deactivateContext resets it).
+    uint64_t life = _analytics.recordKill(id, why, _now,
+                                          tc.committedInsts);
     detachChildFromParent(tc);
     deactivateContext(tc);
     ++_statKills;
+    return life;
 }
 
 // ---------------------------------------------------------------------

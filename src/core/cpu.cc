@@ -50,6 +50,8 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
       _inflightStores(static_cast<size_t>(_cfg.numContexts)),
       _cpi(_stats, _cfg.numContexts),
       _prof(_cfg.profile),
+      _analytics(_stats, _cfg.numContexts, !_cfg.perfettoTrace.empty()),
+      _vpattr(_stats),
       _commitsThisCycle(static_cast<size_t>(_cfg.numContexts), 0),
       _cpiSbBlocked(static_cast<size_t>(_cfg.numContexts), 0),
       _statCommitsTotal(_stats, "commits.total",
@@ -235,9 +237,10 @@ Cpu::clearVpBitEverywhere(int tag)
         t &= clear;
 }
 
-void
+int
 Cpu::reissueDependents(int tag, Cycle correctedReady)
 {
+    int reissued = 0;
     DynInstPtr load = _vpTagLoad[static_cast<size_t>(tag)];
     vpsim_assert(load != nullptr);
     ThreadContext &tc = ctx(load->ctx);
@@ -268,8 +271,10 @@ Cpu::reissueDependents(int tag, Cycle correctedReady)
                                                       neverCycle);
             }
             ++_statVpReissued;
+            ++reissued;
         }
     }
+    return reissued;
 }
 
 namespace
@@ -635,6 +640,7 @@ Cpu::tryTimeSkip()
     _now = target;
     _statSkippedCycles += skipped;
     ++_statSkipEvents;
+    _analytics.recordTimeSkip(_now - skipped, _now);
     checkWatchdog();
 }
 
@@ -808,6 +814,15 @@ Cpu::run()
                    nextEventCycle() == neverCycle) {
             deadlockPanic();
         }
+    }
+
+    // Spawns still speculative at this point never reached a verdict:
+    // close their provenance records as aborted-at-drain so outcome
+    // counts partition mtvp.spawns exactly.
+    for (ThreadContext &tc : _ctxs) {
+        if (_analytics.hasOpenSpawn(tc.id))
+            _analytics.recordAbortAtDrain(tc.id, _now,
+                                          tc.committedInsts);
     }
 
     // Flush the architectural (root-chain) store state so main memory

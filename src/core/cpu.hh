@@ -38,6 +38,7 @@
 #include "emu/emulator.hh"
 #include "emu/memory.hh"
 #include "mem/hierarchy.hh"
+#include "sim/analytics.hh"
 #include "sim/config.hh"
 #include "sim/cpi_stack.hh"
 #include "sim/profiler.hh"
@@ -45,6 +46,7 @@
 #include "sim/trace.hh"
 #include "vpred/load_selector.hh"
 #include "vpred/value_predictor.hh"
+#include "vpred/vp_attribution.hh"
 
 namespace vpsim
 {
@@ -84,6 +86,10 @@ class Cpu
     const CpiStack &cpiStack() const { return _cpi; }
     /** Host self-profiler (recording only when cfg.profile is set). */
     const HostProfiler &profiler() const { return _prof; }
+    /** Spawn-lifecycle provenance aggregates (always on). */
+    const Analytics &analytics() const { return _analytics; }
+    /** Per-load-PC value-prediction attribution (always on). */
+    const VpAttribution &vpAttribution() const { return _vpattr; }
 
     // ----- Introspection for invariant tests -----
     int freeIntRegs() const { return _intRegs.freeCount(); }
@@ -179,7 +185,10 @@ class Cpu
     bool commitOne(ThreadContext &tc);
     void resolveOne(PendingLoad &pl);
     void promoteChild(PendingLoad &pl, CtxId winner);
-    void killSubtree(CtxId id);
+    /** Kill @p id and its descendants; @p why is the provenance
+     *  outcome for @p id itself (descendants die as upstream
+     *  squashes). Returns @p id's spawn-lifetime cycles. */
+    uint64_t killSubtree(CtxId id, SpawnOutcome why);
     void killChildrenSpawnedAfter(ThreadContext &tc, InstSeqNum seq);
     void squashYoungerThan(ThreadContext &tc, InstSeqNum seq,
                            SquashReason why);
@@ -203,7 +212,8 @@ class Cpu
     int allocVpTag(const DynInstPtr &load);
     void freeVpTag(int tag);
     void clearVpBitEverywhere(int tag);
-    void reissueDependents(int tag, Cycle correctedReady);
+    /** Returns how many dependents were selectively reissued. */
+    int reissueDependents(int tag, Cycle correctedReady);
     int openIlpWindow(Addr pc, VpChoice choice);
     void closeIlpWindow(int idx, VpChoice used);
     void cancelIlpWindow(int idx);
@@ -293,6 +303,8 @@ class Cpu
     // ----- Observability -----
     CpiStack _cpi;
     HostProfiler _prof;
+    Analytics _analytics;
+    VpAttribution _vpattr;
     /** Per ctx: committed at least one instruction this cycle. */
     std::vector<uint8_t> _commitsThisCycle;
     /** Per ctx: commit stalled on a full store buffer this cycle. */

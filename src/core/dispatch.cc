@@ -332,6 +332,7 @@ Cpu::handleLoadVp(const DynInstPtr &di, ThreadContext &tc)
     }
 
     ++_statVpFollowed;
+    _vpattr.recordFollowed(pc, choice, pred.confidence);
     RegVal primary = pred.value;
 
     // Figure 5 bookkeeping: primary wrong, but the correct value was in
@@ -475,6 +476,7 @@ Cpu::spawnThreads(const DynInstPtr &load, ThreadContext &parent,
 
         pl.children.push_back({cid, value, destPreg, rd});
         ++_statSpawns;
+        _analytics.recordSpawn(cid, parent.id, load->emu.pc, _now);
         first = false;
     }
 

@@ -1,0 +1,281 @@
+#include "sim/analytics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "vpred/vp_attribution.hh"
+
+namespace vpsim
+{
+
+const char *
+spawnOutcomeName(SpawnOutcome o)
+{
+    switch (o) {
+      case SpawnOutcome::Promoted: return "promoted";
+      case SpawnOutcome::ValueMispredict: return "valueMispredict";
+      case SpawnOutcome::UpstreamSquash: return "upstreamSquash";
+      case SpawnOutcome::Starved: return "starved";
+      case SpawnOutcome::AbortedAtDrain: return "abortedAtDrain";
+      case SpawnOutcome::NumOutcomes: break;
+    }
+    return "?";
+}
+
+const char *
+spawnOutcomeDesc(SpawnOutcome o)
+{
+    switch (o) {
+      case SpawnOutcome::Promoted:
+        return "spawns that won their load's resolution and were "
+               "promoted";
+      case SpawnOutcome::ValueMispredict:
+        return "spawns killed because their speculated value was wrong";
+      case SpawnOutcome::UpstreamSquash:
+        return "spawns killed by an upstream squash cascade before "
+               "their own value was judged";
+      case SpawnOutcome::Starved:
+        return "spawns killed before committing any instruction";
+      case SpawnOutcome::AbortedAtDrain:
+        return "spawns still speculative when the run drained";
+      case SpawnOutcome::NumOutcomes:
+        break;
+    }
+    return "?";
+}
+
+Analytics::Analytics(StatGroup &stats, int numContexts, bool timeline)
+    : _timeline(timeline),
+      _active(static_cast<size_t>(numContexts))
+{
+    vpsim_assert(numContexts >= 1);
+    for (unsigned o = 0; o < numSpawnOutcomes; ++o) {
+        SpawnOutcome oc = static_cast<SpawnOutcome>(o);
+        const uint64_t *count = &_counts[o];
+        const uint64_t *cycles = &_cycles[o];
+        const uint64_t *insts = &_insts[o];
+        _formulas.push_back(std::make_unique<Formula>(
+            stats, csprintf("analytics.spawns.%s", spawnOutcomeName(oc)),
+            spawnOutcomeDesc(oc),
+            [count] { return static_cast<double>(*count); }));
+        _formulas.push_back(std::make_unique<Formula>(
+            stats,
+            csprintf("analytics.spawnCycles.%s", spawnOutcomeName(oc)),
+            csprintf("lifetime cycles of %s", spawnOutcomeDesc(oc)),
+            [cycles] { return static_cast<double>(*cycles); }));
+        _formulas.push_back(std::make_unique<Formula>(
+            stats,
+            csprintf("analytics.spawnInsts.%s", spawnOutcomeName(oc)),
+            csprintf("committed instructions of %s",
+                     spawnOutcomeDesc(oc)),
+            [insts] { return static_cast<double>(*insts); }));
+    }
+    _formulas.push_back(std::make_unique<Formula>(
+        stats, "analytics.spawnPcs",
+        "distinct static load PCs that spawned at least once",
+        [this] { return static_cast<double>(_pcTable.size()); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        stats, "analytics.squashWindows",
+        "squash windows observed (promotions and thread kills)",
+        [this] { return static_cast<double>(_squashWindows); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        stats, "analytics.squashedInsts",
+        "in-flight instructions discarded across all squash windows",
+        [this] { return static_cast<double>(_squashedInsts); }));
+}
+
+uint64_t
+Analytics::recordSpawn(CtxId child, CtxId parent, Addr pc, Cycle now)
+{
+    vpsim_assert(child >= 0 &&
+                 static_cast<size_t>(child) < _active.size());
+    vpsim_assert(parent != child);
+    Active &a = _active[static_cast<size_t>(child)];
+    vpsim_assert(!a.open, "ctx %d spawned while already tracked", child);
+    a.open = true;
+    a.id = _nextId++;
+    a.pc = pc;
+    a.start = now;
+    ++_pcTable[pc].spawns;
+    return a.id;
+}
+
+void
+Analytics::close(CtxId ctx, SpawnOutcome outcome, Cycle now,
+                 uint64_t committedInsts)
+{
+    Active &a = _active[static_cast<size_t>(ctx)];
+    vpsim_assert(a.open, "ctx %d closed with no open spawn", ctx);
+    vpsim_assert(now >= a.start);
+    uint64_t life = now - a.start;
+    unsigned o = static_cast<unsigned>(outcome);
+    ++_counts[o];
+    _cycles[o] += life;
+    _insts[o] += committedInsts;
+    SpawnPcEntry &pc = _pcTable[a.pc];
+    pc.cycles += life;
+    pc.insts += committedInsts;
+    switch (outcome) {
+      case SpawnOutcome::Promoted:
+        ++pc.promoted;
+        break;
+      case SpawnOutcome::AbortedAtDrain:
+        ++pc.aborted;
+        break;
+      default:
+        ++pc.killed;
+        pc.squashCycles += life;
+        break;
+    }
+    if (_timeline)
+        _spans.push_back({a.id, ctx, a.pc, a.start, now, outcome,
+                          committedInsts});
+    a.open = false;
+}
+
+uint64_t
+Analytics::recordKill(CtxId child, SpawnOutcome why, Cycle now,
+                      uint64_t committedInsts)
+{
+    vpsim_assert(why == SpawnOutcome::ValueMispredict ||
+                 why == SpawnOutcome::UpstreamSquash);
+    Cycle start = _active[static_cast<size_t>(child)].start;
+    if (committedInsts == 0)
+        why = SpawnOutcome::Starved;
+    close(child, why, now, committedInsts);
+    return now - start;
+}
+
+void
+Analytics::recordPromote(CtxId winner, Cycle now, uint64_t committedInsts)
+{
+    close(winner, SpawnOutcome::Promoted, now, committedInsts);
+}
+
+void
+Analytics::transferSpawn(CtxId from, CtxId to)
+{
+    Active &src = _active[static_cast<size_t>(from)];
+    if (!src.open)
+        return;
+    Active &dst = _active[static_cast<size_t>(to)];
+    vpsim_assert(!dst.open,
+                 "spawn transfer onto ctx %d with an open record", to);
+    dst = src;
+    src.open = false;
+}
+
+bool
+Analytics::hasOpenSpawn(CtxId ctx) const
+{
+    return _active[static_cast<size_t>(ctx)].open;
+}
+
+void
+Analytics::recordAbortAtDrain(CtxId ctx, Cycle now,
+                              uint64_t committedInsts)
+{
+    close(ctx, SpawnOutcome::AbortedAtDrain, now, committedInsts);
+}
+
+void
+Analytics::recordSquash(CtxId ctx, Cycle now, uint64_t insts,
+                        const char *why)
+{
+    ++_squashWindows;
+    _squashedInsts += insts;
+    if (_timeline)
+        _squashLog.push_back({ctx, now, insts, why});
+}
+
+void
+Analytics::recordTimeSkip(Cycle from, Cycle to)
+{
+    if (_timeline)
+        _skips.push_back({from, to});
+}
+
+uint64_t
+Analytics::outcomeCount(SpawnOutcome o) const
+{
+    return _counts[static_cast<unsigned>(o)];
+}
+
+uint64_t
+Analytics::outcomeCycles(SpawnOutcome o) const
+{
+    return _cycles[static_cast<unsigned>(o)];
+}
+
+uint64_t
+Analytics::outcomeInsts(SpawnOutcome o) const
+{
+    return _insts[static_cast<unsigned>(o)];
+}
+
+void
+Analytics::printReport(std::ostream &os, size_t topN) const
+{
+    char line[192];
+    os << "Spawn lifecycle ("
+       << static_cast<unsigned long long>(totalSpawns())
+       << " spawns; every spawn lands in exactly one outcome)\n";
+    std::snprintf(line, sizeof(line), "  %-16s %10s %12s %12s\n",
+                  "outcome", "spawns", "cycles", "insts");
+    os << line;
+    for (unsigned o = 0; o < numSpawnOutcomes; ++o) {
+        SpawnOutcome oc = static_cast<SpawnOutcome>(o);
+        std::snprintf(line, sizeof(line),
+                      "  %-16s %10llu %12llu %12llu\n",
+                      spawnOutcomeName(oc),
+                      static_cast<unsigned long long>(outcomeCount(oc)),
+                      static_cast<unsigned long long>(outcomeCycles(oc)),
+                      static_cast<unsigned long long>(outcomeInsts(oc)));
+        os << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  squash windows: %llu (%llu insts discarded)\n",
+                  static_cast<unsigned long long>(_squashWindows),
+                  static_cast<unsigned long long>(_squashedInsts));
+    os << line;
+
+    std::vector<std::pair<Addr, SpawnPcEntry>> rows(_pcTable.begin(),
+                                                    _pcTable.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.spawns > b.second.spawns;
+                     });
+    if (rows.size() > topN)
+        rows.resize(topN);
+    os << "Top spawn PCs by spawn count\n";
+    std::snprintf(line, sizeof(line),
+                  "  %-12s %8s %8s %8s %8s %12s %12s\n", "pc", "spawns",
+                  "promote", "killed", "aborted", "cycles",
+                  "squashCyc");
+    os << line;
+    for (const auto &[pc, e] : rows) {
+        std::snprintf(line, sizeof(line),
+                      "  %#-12llx %8llu %8llu %8llu %8llu %12llu "
+                      "%12llu\n",
+                      static_cast<unsigned long long>(pc),
+                      static_cast<unsigned long long>(e.spawns),
+                      static_cast<unsigned long long>(e.promoted),
+                      static_cast<unsigned long long>(e.killed),
+                      static_cast<unsigned long long>(e.aborted),
+                      static_cast<unsigned long long>(e.cycles),
+                      static_cast<unsigned long long>(e.squashCycles));
+        os << line;
+    }
+}
+
+void
+writeAnalyticsReport(std::ostream &os, const Analytics &an,
+                     const VpAttribution &vp, size_t topN)
+{
+    os << "==== Provenance analytics ====\n";
+    an.printReport(os, topN);
+    vp.printReport(os, topN);
+}
+
+} // namespace vpsim

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Spawn-lifecycle provenance analytics. Every MTVP spawn gets a
+ * monotonic id when it is created (core/dispatch.cc) and exactly one
+ * terminal outcome when it dies or wins (core/commit.cc, end-of-run
+ * drain in core/cpu.cc), so the per-outcome counters partition
+ * `mtvp.spawns` exactly: promoted spawns equal `mtvp.promotes`, killed
+ * spawns equal `mtvp.kills`, and whatever is still live when the run
+ * drains is aborted-at-drain. Alongside the outcome, each closing
+ * spawn charges its lifetime cycles and committed instructions, which
+ * yields the per-outcome cost table the paper-forensics report and
+ * the `analytics.*` stats expose.
+ *
+ * Promotion renames contexts (the winner inherits its parent's
+ * identity), so a spawn record follows the rename: when a speculative
+ * parent is promoted over, its still-open record transfers to the
+ * winning child. With that transfer the records tile context activity
+ * exactly, giving the tested identity
+ *
+ *     sum over outcomes of analytics.spawnCycles.<outcome>
+ *         == sum over ctx of (cycles - cpi.t<ctx>.idle) - cycles
+ *
+ * i.e. total spawn-lifetime cycles equal total non-idle context
+ * cycles minus the architectural thread's share (see
+ * tests/analytics_test.cc).
+ *
+ * A per-spawn-PC table aggregates the same data by the PC of the load
+ * that spawned, and an optional timeline (enabled only when a
+ * Perfetto trace is requested, so the always-on cost stays at a few
+ * counter adds) keeps the individual spans, squash windows, and
+ * time-skip jumps for sim/perfetto_trace.{hh,cc} to export.
+ */
+
+#ifndef VPSIM_SIM_ANALYTICS_HH
+#define VPSIM_SIM_ANALYTICS_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vpsim
+{
+
+class VpAttribution;
+
+/** Terminal outcome of one spawn (exactly one per spawn). */
+enum class SpawnOutcome : unsigned
+{
+    Promoted,       ///< Won its load's resolution; committed useful work.
+    ValueMispredict,///< Killed because its speculated value was wrong.
+    UpstreamSquash, ///< Killed by an upstream squash cascade (parent
+                    ///< mispredict, ancestor kill, or pending-spawn
+                    ///< cancellation) — its own value was never judged.
+    Starved,        ///< Killed before committing a single instruction
+                    ///< (refines the two kill outcomes above).
+    AbortedAtDrain, ///< Still speculative when the run drained.
+    NumOutcomes,
+};
+
+inline constexpr unsigned numSpawnOutcomes =
+    static_cast<unsigned>(SpawnOutcome::NumOutcomes);
+
+/** Canonical outcome name used in stat names ("promoted", ...). */
+const char *spawnOutcomeName(SpawnOutcome o);
+
+/** One-line description of an outcome (stat descriptions, reports). */
+const char *spawnOutcomeDesc(SpawnOutcome o);
+
+/**
+ * Aggregation point for spawn provenance. The Cpu owns one instance
+ * and calls the record* hooks from dispatch (spawn), commit
+ * (promote/kill/squash), and the end-of-run drain; everything here is
+ * bookkeeping — no pipeline state, no policy.
+ */
+class Analytics
+{
+  public:
+    /** Register `analytics.*` stats on @p stats. @p timeline enables
+     *  the per-event span/instant log consumed by the Perfetto
+     *  exporter; aggregates are always on. */
+    Analytics(StatGroup &stats, int numContexts, bool timeline);
+
+    Analytics(const Analytics &) = delete;
+    Analytics &operator=(const Analytics &) = delete;
+
+    /** A spawn was created on context @p child by @p parent for the
+     *  load at @p pc. Returns the spawn's monotonic id. */
+    uint64_t recordSpawn(CtxId child, CtxId parent, Addr pc, Cycle now);
+
+    /** The spawn currently held by @p child was killed. @p why is the
+     *  cause at the kill site; kills that committed nothing are
+     *  refined to Starved here. Returns the spawn's lifetime cycles
+     *  (for per-PC squash-cost attribution). */
+    uint64_t recordKill(CtxId child, SpawnOutcome why, Cycle now,
+                        uint64_t committedInsts);
+
+    /** The spawn held by @p winner won its load's resolution. */
+    void recordPromote(CtxId winner, Cycle now, uint64_t committedInsts);
+
+    /** Promotion renamed @p from into @p to: move @p from's still-open
+     *  spawn record (if any) onto @p to. No-op when @p from holds no
+     *  open record (the architectural root never does). */
+    void transferSpawn(CtxId from, CtxId to);
+
+    /** Does @p ctx currently hold an open (unresolved) spawn record? */
+    bool hasOpenSpawn(CtxId ctx) const;
+
+    /** Close @p ctx's open spawn as AbortedAtDrain at end of run. */
+    void recordAbortAtDrain(CtxId ctx, Cycle now, uint64_t committedInsts);
+
+    /** @p insts instructions of @p ctx were squashed at @p now for
+     *  reason @p why ("promote", "threadKill"). Always counted; the
+     *  individual window is kept only when the timeline is on. */
+    void recordSquash(CtxId ctx, Cycle now, uint64_t insts,
+                      const char *why);
+
+    /** The time-skip engine bulk-advanced from @p from to @p to.
+     *  Timeline-only; skips never change the aggregates. */
+    void recordTimeSkip(Cycle from, Cycle to);
+
+    bool timelineEnabled() const { return _timeline; }
+
+    // ----- aggregate accessors (always valid) -----
+    uint64_t totalSpawns() const { return _nextId; }
+    uint64_t outcomeCount(SpawnOutcome o) const;
+    uint64_t outcomeCycles(SpawnOutcome o) const;
+    uint64_t outcomeInsts(SpawnOutcome o) const;
+    uint64_t squashWindows() const { return _squashWindows; }
+    uint64_t squashedInsts() const { return _squashedInsts; }
+
+    /** Per-spawn-PC aggregate (keyed by the spawning load's PC). */
+    struct SpawnPcEntry
+    {
+        uint64_t spawns = 0;       ///< spawns created at this PC
+        uint64_t promoted = 0;     ///< ... that won their resolution
+        uint64_t killed = 0;       ///< ... killed (any kill outcome)
+        uint64_t aborted = 0;      ///< ... still live at drain
+        uint64_t cycles = 0;       ///< summed lifetime cycles
+        uint64_t insts = 0;        ///< summed committed instructions
+        uint64_t squashCycles = 0; ///< lifetime cycles of killed spawns
+    };
+    const std::map<Addr, SpawnPcEntry> &spawnPcTable() const
+    {
+        return _pcTable;
+    }
+
+    // ----- timeline accessors (non-empty only when enabled) -----
+    struct SpawnSpan
+    {
+        uint64_t id;
+        CtxId ctx;          ///< context holding the record at close
+        Addr pc;
+        Cycle start;
+        Cycle end;
+        SpawnOutcome outcome;
+        uint64_t insts;
+    };
+    struct SquashWindow
+    {
+        CtxId ctx;
+        Cycle at;
+        uint64_t insts;
+        const char *why;
+    };
+    struct SkipJump
+    {
+        Cycle from;
+        Cycle to;
+    };
+    const std::vector<SpawnSpan> &spawnSpans() const { return _spans; }
+    const std::vector<SquashWindow> &squashWindowLog() const
+    {
+        return _squashLog;
+    }
+    const std::vector<SkipJump> &skipJumps() const { return _skips; }
+
+    /** Spawn-side half of the forensics report (outcome table plus
+     *  top-@p topN spawn PCs by spawn count). */
+    void printReport(std::ostream &os, size_t topN) const;
+
+  private:
+    struct Active
+    {
+        bool open = false;
+        uint64_t id = 0;
+        Addr pc = 0;
+        Cycle start = 0;
+    };
+
+    void close(CtxId ctx, SpawnOutcome outcome, Cycle now,
+               uint64_t committedInsts);
+
+    bool _timeline;
+    uint64_t _nextId = 0;
+    std::vector<Active> _active;             ///< [ctx] open record
+    uint64_t _counts[numSpawnOutcomes] = {}; ///< spawns per outcome
+    uint64_t _cycles[numSpawnOutcomes] = {}; ///< lifetime cycles "
+    uint64_t _insts[numSpawnOutcomes] = {};  ///< committed insts "
+    uint64_t _squashWindows = 0;
+    uint64_t _squashedInsts = 0;
+    std::map<Addr, SpawnPcEntry> _pcTable;
+    std::vector<SpawnSpan> _spans;
+    std::vector<SquashWindow> _squashLog;
+    std::vector<SkipJump> _skips;
+    std::vector<std::unique_ptr<Formula>> _formulas;
+};
+
+/** Full forensics report: spawn-lifecycle table (Analytics) followed
+ *  by the per-PC value-prediction attribution table (VpAttribution).
+ *  This is what the `analytics=` config key and `vpsim_cli
+ *  --analytics` print. */
+void writeAnalyticsReport(std::ostream &os, const Analytics &an,
+                          const VpAttribution &vp, size_t topN);
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_ANALYTICS_HH

@@ -117,6 +117,8 @@ SimConfig::set(const std::string &key, const std::string &value)
     else if (key == "sampleFile") sampleFile = value;
     else if (key == "cpiStack") cpiStack = value;
     else if (key == "profile") profile = num() != 0;
+    else if (key == "perfettoTrace") perfettoTrace = value;
+    else if (key == "analytics") analytics = value;
     else if (key == "timeSkip") timeSkip = num();
     else
         fatal("unknown config key '%s'", key.c_str());

@@ -154,6 +154,15 @@ struct SimConfig
      *  stages, cache lookups, and predictor work). Costs two clock
      *  reads per instrumented scope when on; free when off. */
     bool profile = false;
+    /** End-of-run Chrome trace-event JSON (Perfetto) file: simulated-
+     *  time spawn/squash/time-skip tracks per hardware context (plus
+     *  host worker tracks when MTVP_PERFETTO is also recording).
+     *  Empty = off; also enables the analytics timeline. */
+    std::string perfettoTrace;
+    /** End-of-run provenance-analytics report (spawn-outcome table,
+     *  per-spawn-PC and per-load-PC attribution): empty = none,
+     *  "-" = stdout, otherwise a file path. */
+    std::string analytics;
 
     /** Apply one "key=value" override; fatal() on unknown key/value. */
     void set(const std::string &key, const std::string &value);

@@ -79,8 +79,13 @@ CpiStack::CpiStack(StatGroup &stats, int numContexts)
             CpiSlot slot = static_cast<CpiSlot>(s);
             const uint64_t *cell =
                 &_counts[static_cast<size_t>(c) * numCpiSlots + s];
+            // Zero-padded thread index: cpi.t00..cpi.t63 sorts
+            // correctly for JSON/CSV consumers beyond 9 contexts
+            // (numContexts is capped at 64 by SimConfig::validate).
+            // The old single-digit spelling stays readable through
+            // legacyStatAlias (sim/stats.hh).
             _formulas.push_back(std::make_unique<Formula>(
-                stats, csprintf("cpi.t%d.%s", c, cpiSlotName(slot)),
+                stats, csprintf("cpi.t%02d.%s", c, cpiSlotName(slot)),
                 cpiSlotDesc(slot),
                 [cell] { return static_cast<double>(*cell); }));
         }

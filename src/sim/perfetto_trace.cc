@@ -1,0 +1,249 @@
+#include "sim/perfetto_trace.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/analytics.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vpsim
+{
+
+void
+PerfettoTrace::setProcessName(int pid, const std::string &name)
+{
+    _events.push_back({'M', pid, 0, 0.0, 0.0, "process_name",
+                       {{"name", name}}});
+}
+
+void
+PerfettoTrace::setThreadName(int pid, int tid, const std::string &name)
+{
+    _events.push_back({'M', pid, tid, 0.0, 0.0, "thread_name",
+                       {{"name", name}}});
+}
+
+void
+PerfettoTrace::addSpan(int pid, int tid, const std::string &name,
+                       double tsUs, double durUs, Args args)
+{
+    _events.push_back({'X', pid, tid, tsUs, durUs, name,
+                       std::move(args)});
+}
+
+void
+PerfettoTrace::addInstant(int pid, int tid, const std::string &name,
+                          double tsUs, Args args)
+{
+    _events.push_back({'i', pid, tid, tsUs, 0.0, name,
+                       std::move(args)});
+}
+
+void
+PerfettoTrace::write(std::ostream &os) const
+{
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    for (const Event &e : _events) {
+        os << (first ? "\n" : ",\n") << "  {\"ph\": \"" << e.phase
+           << "\", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+        if (e.phase != 'M') {
+            os << ", \"ts\": ";
+            jsonNumber(os, e.ts);
+        }
+        if (e.phase == 'X') {
+            os << ", \"dur\": ";
+            jsonNumber(os, e.dur);
+        }
+        if (e.phase == 'i')
+            os << ", \"s\": \"t\"";
+        os << ", \"name\": ";
+        jsonQuote(os, e.name);
+        if (!e.args.empty()) {
+            os << ", \"args\": {";
+            bool firstArg = true;
+            for (const auto &[k, v] : e.args) {
+                if (!firstArg)
+                    os << ", ";
+                firstArg = false;
+                jsonQuote(os, k);
+                os << ": ";
+                jsonQuote(os, v);
+            }
+            os << "}";
+        }
+        os << "}";
+        first = false;
+    }
+    os << "\n]}\n";
+}
+
+void
+writeSimTrace(std::ostream &os, const Analytics &an, int numContexts)
+{
+    PerfettoTrace t;
+    t.setProcessName(0, "vpsim (simulated cycles)");
+    for (int c = 0; c < numContexts; ++c)
+        t.setThreadName(0, c, csprintf("ctx %d", c));
+    t.setThreadName(0, numContexts, "time-skip");
+    for (const Analytics::SpawnSpan &s : an.spawnSpans()) {
+        t.addSpan(0, s.ctx, csprintf("spawn %#llx",
+                                     static_cast<unsigned long long>(
+                                         s.pc)),
+                  static_cast<double>(s.start),
+                  static_cast<double>(s.end - s.start),
+                  {{"outcome", spawnOutcomeName(s.outcome)},
+                   {"id", csprintf("%llu",
+                                   static_cast<unsigned long long>(
+                                       s.id))},
+                   {"insts", csprintf("%llu",
+                                      static_cast<unsigned long long>(
+                                          s.insts))}});
+    }
+    for (const Analytics::SquashWindow &w : an.squashWindowLog()) {
+        t.addInstant(0, w.ctx, csprintf("squash(%s)", w.why),
+                     static_cast<double>(w.at),
+                     {{"insts",
+                       csprintf("%llu", static_cast<unsigned long long>(
+                                            w.insts))}});
+    }
+    for (const Analytics::SkipJump &j : an.skipJumps()) {
+        t.addSpan(0, numContexts, "time-skip",
+                  static_cast<double>(j.from),
+                  static_cast<double>(j.to - j.from));
+    }
+    const HostTraceRecorder &host = HostTraceRecorder::instance();
+    if (host.anyEvents())
+        host.appendTo(t);
+    t.write(os);
+}
+
+// ---------------------------------------------------------------------
+// Host-time recorder
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Monotonic host nanoseconds (this file is the sanctioned wallclock
+ *  consumer for host-side tracks; see the vplint allowlist). */
+uint64_t
+hostNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Per-thread worker track id, assigned lazily on first span.
+ *  vplint:allow(global-state) thread_local by construction */
+thread_local int tlsWorkerTid = 0;
+
+constexpr int cacheTrackTid = 999;
+
+} // namespace
+
+HostTraceRecorder &
+HostTraceRecorder::instance()
+{
+    // Singleton shared by every SimPool worker; all mutable state
+    // vplint:allow(global-state) behind _mu, construction thread-safe
+    static HostTraceRecorder rec;
+    return rec;
+}
+
+HostTraceRecorder::HostTraceRecorder()
+{
+    const char *path = std::getenv("MTVP_PERFETTO");
+    if (path != nullptr && path[0] != '\0') {
+        _enabled = true;
+        _path = path;
+        _originNs = hostNowNs();
+    }
+}
+
+bool
+HostTraceRecorder::anyEvents() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return !_events.empty();
+}
+
+int
+HostTraceRecorder::workerTid()
+{
+    if (tlsWorkerTid == 0) {
+        std::lock_guard<std::mutex> lk(_mu);
+        tlsWorkerTid = _nextWorker++;
+    }
+    return tlsWorkerTid;
+}
+
+HostTraceRecorder::JobScope::JobScope(const std::string &label)
+    : _active(HostTraceRecorder::instance().enabled())
+{
+    if (!_active)
+        return;
+    HostTraceRecorder &rec = HostTraceRecorder::instance();
+    _tid = rec.workerTid();
+    _t0 = hostNowNs();
+    _label = label;
+}
+
+HostTraceRecorder::JobScope::~JobScope()
+{
+    if (!_active)
+        return;
+    HostTraceRecorder &rec = HostTraceRecorder::instance();
+    uint64_t t1 = hostNowNs();
+    std::lock_guard<std::mutex> lk(rec._mu);
+    rec._events.push_back(
+        {true, _tid,
+         static_cast<double>(_t0 - rec._originNs) / 1e3,
+         static_cast<double>(t1 - _t0) / 1e3, _label});
+}
+
+void
+HostTraceRecorder::recordCacheHit(const std::string &label)
+{
+    if (!_enabled)
+        return;
+    uint64_t now = hostNowNs();
+    std::lock_guard<std::mutex> lk(_mu);
+    _events.push_back({false, cacheTrackTid,
+                       static_cast<double>(now - _originNs) / 1e3, 0.0,
+                       csprintf("cache-hit %s", label.c_str())});
+}
+
+void
+HostTraceRecorder::appendTo(PerfettoTrace &out) const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    out.setProcessName(1, "host (SimPool workers)");
+    int maxWorker = _nextWorker;
+    for (int w = 1; w < maxWorker; ++w)
+        out.setThreadName(1, w, csprintf("worker %d", w));
+    out.setThreadName(1, cacheTrackTid, "result cache");
+    for (const HostEvent &e : _events) {
+        if (e.span)
+            out.addSpan(1, e.tid, e.name, e.tsUs, e.durUs);
+        else
+            out.addInstant(1, e.tid, e.name, e.tsUs);
+    }
+}
+
+HostTraceRecorder::~HostTraceRecorder()
+{
+    if (!_enabled || _events.empty())
+        return;
+    PerfettoTrace t;
+    appendTo(t);
+    std::ofstream os(_path);
+    if (os)
+        t.write(os);
+}
+
+} // namespace vpsim

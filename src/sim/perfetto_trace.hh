@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Chrome trace-event ("Perfetto") export. Two kinds of tracks share
+ * one JSON file, kept apart by their process id:
+ *
+ *   pid 0 — simulated time. One track per hardware context, built
+ *     from the Analytics timeline: spawn lifetimes as complete ("X")
+ *     spans named by the spawning load PC, squash windows as instants,
+ *     and time-skip bulk advances as spans on their own track. The
+ *     timestamp unit is the simulated cycle (rendered as µs, which
+ *     chrome://tracing and ui.perfetto.dev treat as a plain number).
+ *
+ *   pid 1 — host time. One track per SimPool worker, recorded by the
+ *     process-wide HostTraceRecorder when the MTVP_PERFETTO
+ *     environment variable names an output file: a span per simulation
+ *     job (labelled with the workload) and an instant per result-cache
+ *     hit. This is the scheduling companion to the self-profiler's
+ *     aggregates — it shows *when* workers ran, not just for how long.
+ *
+ * The per-run sim trace is written by runWorkload when the
+ * `perfettoTrace=` config key names a file; any host events recorded
+ * by then are appended so a combined file renders both track groups.
+ * The emitted object is `{"traceEvents": [...]}` — directly loadable
+ * in chrome://tracing and parseable by sim/json.hh (tested).
+ *
+ * This file is on the vplint wallclock allowlist: HostTraceRecorder
+ * is the only component outside the self-profiler that may read host
+ * clocks, and only ever for host-side (never simulated) tracks.
+ */
+
+#ifndef VPSIM_SIM_PERFETTO_TRACE_HH
+#define VPSIM_SIM_PERFETTO_TRACE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vpsim
+{
+
+class Analytics;
+
+/** An in-memory trace-event JSON document under construction. */
+class PerfettoTrace
+{
+  public:
+    using Args = std::vector<std::pair<std::string, std::string>>;
+
+    /** Emit a process_name metadata event for @p pid. */
+    void setProcessName(int pid, const std::string &name);
+    /** Emit a thread_name metadata event for (@p pid, @p tid). */
+    void setThreadName(int pid, int tid, const std::string &name);
+    /** Complete ("X") event: [@p tsUs, @p tsUs + @p durUs). String
+     *  arg values are JSON-quoted at write time. */
+    void addSpan(int pid, int tid, const std::string &name, double tsUs,
+                 double durUs, Args args = {});
+    /** Thread-scoped instant ("i") event at @p tsUs. */
+    void addInstant(int pid, int tid, const std::string &name,
+                    double tsUs, Args args = {});
+
+    size_t numEvents() const { return _events.size(); }
+
+    /** Write the whole `{"traceEvents": [...]}` document. */
+    void write(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        char phase;
+        int pid;
+        int tid;
+        double ts;
+        double dur;
+        std::string name;
+        Args args;
+    };
+    std::vector<Event> _events;
+};
+
+/** Build the pid-0 simulated-time tracks from @p an's timeline (plus
+ *  any host events already recorded) and write the document. */
+void writeSimTrace(std::ostream &os, const Analytics &an,
+                   int numContexts);
+
+/**
+ * Process-wide host-time event recorder, the GlobalProfile analogue
+ * for scheduling: enabled when MTVP_PERFETTO names an output file, a
+ * no-op otherwise (one predicted branch per hook). Thread-safe; the
+ * singleton writes its own host-only trace file at process exit.
+ */
+class HostTraceRecorder
+{
+  public:
+    static HostTraceRecorder &instance();
+
+    bool enabled() const { return _enabled; }
+    bool anyEvents() const;
+
+    /** RAII span on the calling worker's track; label it with the
+     *  workload being simulated. Inactive when recording is off. */
+    class JobScope
+    {
+      public:
+        explicit JobScope(const std::string &label);
+        ~JobScope();
+        JobScope(const JobScope &) = delete;
+        JobScope &operator=(const JobScope &) = delete;
+
+      private:
+        bool _active;
+        int _tid = 0;
+        uint64_t _t0 = 0;
+        std::string _label;
+    };
+
+    /** A result-cache hit for @p label (instant on the cache track). */
+    void recordCacheHit(const std::string &label);
+
+    /** Append every recorded host event as pid-1 tracks on @p out. */
+    void appendTo(PerfettoTrace &out) const;
+
+    ~HostTraceRecorder();
+
+  private:
+    HostTraceRecorder();
+
+    struct HostEvent
+    {
+        bool span; ///< span when true, instant otherwise
+        int tid;
+        double tsUs;
+        double durUs;
+        std::string name;
+    };
+
+    int workerTid();
+
+    bool _enabled = false;
+    std::string _path;
+    uint64_t _originNs = 0;
+    int _nextWorker = 1;
+    mutable std::mutex _mu; ///< guards _events and _nextWorker
+    std::vector<HostEvent> _events;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_PERFETTO_TRACE_HH

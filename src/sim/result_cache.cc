@@ -22,7 +22,7 @@ namespace vpsim
  * keyed under an older tag then miss instead of returning numbers the
  * current code would not reproduce.
  */
-const char *const statSchemaVersion = "vpsim-stats-v3";
+const char *const statSchemaVersion = "vpsim-stats-v4";
 
 uint64_t
 fnv1a64(const std::string &s)

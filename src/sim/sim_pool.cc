@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/perfetto_trace.hh"
 #include "workloads/workload.hh"
 
 namespace vpsim
@@ -109,6 +110,7 @@ SimJobGraph::submit(const SimConfig &cfg, const std::string &workload)
     SimResult cached;
     if (_cache != nullptr && _cache->lookup(cfg, workload, cached)) {
         ++_cacheHits;
+        HostTraceRecorder::instance().recordCacheHit(workload);
         std::promise<SimResult> ready;
         ready.set_value(std::move(cached));
         auto fut = ready.get_future().share();
@@ -120,6 +122,9 @@ SimJobGraph::submit(const SimConfig &cfg, const std::string &workload)
     const ResultCache *cache = _cache;
     auto fut = _pool
                    .submit([cfg, workload, cache] {
+                       // Host-time track: one span per simulation job
+                       // on the executing worker (MTVP_PERFETTO).
+                       HostTraceRecorder::JobScope span(workload);
                        SimResult r = runWorkload(cfg, workload);
                        if (cache != nullptr)
                            cache->store(cfg, workload, r);

@@ -7,16 +7,29 @@
 
 #include "core/cpu.hh"
 #include "emu/memory.hh"
+#include "sim/analytics.hh"
 #include "sim/logging.hh"
+#include "sim/perfetto_trace.hh"
 #include "workloads/workload.hh"
 
 namespace vpsim
 {
 
+namespace
+{
+/** Rows per table in the analytics= forensics report. */
+constexpr size_t analyticsTopN = 20;
+} // namespace
+
 double
 SimResult::stat(const std::string &name) const
 {
     auto it = stats.find(name);
+    if (it == stats.end()) {
+        std::string alias = legacyStatAlias(name);
+        if (!alias.empty())
+            it = stats.find(alias);
+    }
     if (it == stats.end())
         fatal("run of '%s' has no stat '%s'", workload.c_str(),
               name.c_str());
@@ -70,6 +83,26 @@ runWorkload(const SimConfig &cfg, const Workload &workload)
                       cfg.cpiStack.c_str());
             cpu.cpiStack().printReport(os);
         }
+    }
+    if (!cfg.analytics.empty()) {
+        if (cfg.analytics == "-") {
+            writeAnalyticsReport(std::cout, cpu.analytics(),
+                                 cpu.vpAttribution(), analyticsTopN);
+        } else {
+            std::ofstream os(cfg.analytics);
+            if (!os)
+                fatal("cannot open analytics report file '%s'",
+                      cfg.analytics.c_str());
+            writeAnalyticsReport(os, cpu.analytics(),
+                                 cpu.vpAttribution(), analyticsTopN);
+        }
+    }
+    if (!cfg.perfettoTrace.empty()) {
+        std::ofstream os(cfg.perfettoTrace);
+        if (!os)
+            fatal("cannot open Perfetto trace file '%s'",
+                  cfg.perfettoTrace.c_str());
+        writeSimTrace(os, cpu.analytics(), cfg.numContexts);
     }
 
     return r;

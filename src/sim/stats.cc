@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -133,10 +134,31 @@ StatGroup::registerStat(StatBase *stat)
     _stats.push_back(stat);
 }
 
+std::string
+legacyStatAlias(const std::string &name)
+{
+    // "cpi.t<d>.<slot>" (single digit) → "cpi.t0<d>.<slot>".
+    static const std::string prefix = "cpi.t";
+    if (name.compare(0, prefix.size(), prefix) == 0 &&
+        name.size() > prefix.size() + 1 &&
+        std::isdigit(static_cast<unsigned char>(name[prefix.size()])) &&
+        name[prefix.size() + 1] == '.') {
+        std::string fixed = name;
+        fixed.insert(prefix.size(), 1, '0');
+        return fixed;
+    }
+    return "";
+}
+
 const StatBase *
 StatGroup::find(const std::string &name) const
 {
     auto it = _index.find(name);
+    if (it == _index.end()) {
+        std::string alias = legacyStatAlias(name);
+        if (!alias.empty())
+            it = _index.find(alias);
+    }
     return it == _index.end() ? nullptr : _stats[it->second];
 }
 

@@ -173,6 +173,15 @@ class StatGroup
     std::unordered_map<std::string, size_t> _index;
 };
 
+/** Map a retired stat spelling to its current name, or "" when the
+ *  name has no legacy form. Currently one family: the pre-v4
+ *  single-digit per-thread CPI names ("cpi.t3.base" → "cpi.t03.base",
+ *  zero-padded since contexts can reach 64). StatGroup lookups and
+ *  SimResult::stat() accept the old spelling through this, so
+ *  existing tests and scripts keep working; dumps and the manifest
+ *  always use the new names. */
+std::string legacyStatAlias(const std::string &name);
+
 /** Write @p s as a quoted, escaped JSON string. */
 void jsonQuote(std::ostream &os, const std::string &s);
 

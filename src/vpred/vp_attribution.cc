@@ -1,0 +1,126 @@
+#include "vpred/vp_attribution.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+VpAttribution::VpAttribution(StatGroup &stats)
+{
+    _formulas.push_back(std::make_unique<Formula>(
+        stats, "vp.pc.tracked",
+        "distinct static load PCs with a followed value prediction",
+        [this] { return static_cast<double>(_table.size()); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        stats, "vp.pc.hits",
+        "per-PC attribution cross-check: sums to vp.correct",
+        [this] { return static_cast<double>(_hits); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        stats, "vp.pc.misses",
+        "per-PC attribution cross-check: sums to vp.incorrect",
+        [this] { return static_cast<double>(_misses); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        stats, "vp.pc.reissuedInsts",
+        "instructions selectively reissued by STVP mispredict "
+        "recovery, attributed to the mispredicting load PC",
+        [this] { return static_cast<double>(_reissuedInsts); }));
+}
+
+void
+VpAttribution::recordFollowed(Addr pc, VpChoice choice, int confidence)
+{
+    vpsim_assert(choice != VpChoice::None);
+    auto [it, fresh] = _table.try_emplace(pc);
+    PcEntry &e = it->second;
+    if (fresh) {
+        e.confFirst = confidence;
+        e.confMin = confidence;
+        e.confMax = confidence;
+    }
+    ++e.followed;
+    if (choice == VpChoice::Stvp)
+        ++e.stvp;
+    else
+        ++e.mtvp;
+    e.confLast = confidence;
+    e.confMin = std::min(e.confMin, confidence);
+    e.confMax = std::max(e.confMax, confidence);
+    e.confSum += confidence;
+    ++_followed;
+}
+
+void
+VpAttribution::recordHit(Addr pc)
+{
+    ++_table[pc].hits;
+    ++_hits;
+}
+
+void
+VpAttribution::recordMiss(Addr pc, uint64_t reissuedInsts)
+{
+    PcEntry &e = _table[pc];
+    ++e.misses;
+    e.reissuedInsts += reissuedInsts;
+    ++_misses;
+    _reissuedInsts += reissuedInsts;
+}
+
+void
+VpAttribution::recordSquashCycles(Addr pc, uint64_t cycles)
+{
+    _table[pc].squashCycles += cycles;
+}
+
+void
+VpAttribution::printReport(std::ostream &os, size_t topN) const
+{
+    std::vector<std::pair<Addr, PcEntry>> rows(_table.begin(),
+                                               _table.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.followed > b.second.followed;
+                     });
+    if (rows.size() > topN)
+        rows.resize(topN);
+    char line[224];
+    os << "Top load PCs by followed value predictions ("
+       << static_cast<unsigned long long>(_table.size())
+       << " tracked)\n";
+    std::snprintf(line, sizeof(line),
+                  "  %-12s %8s %8s %8s %6s %-17s %8s %10s\n", "pc",
+                  "follow", "hits", "misses", "acc%",
+                  "conf f/l/mn/mx/avg", "reissue", "squashCyc");
+    os << line;
+    for (const auto &[pc, e] : rows) {
+        uint64_t resolved = e.hits + e.misses;
+        double acc = resolved != 0
+                         ? 100.0 * static_cast<double>(e.hits) /
+                               static_cast<double>(resolved)
+                         : 0.0;
+        double avg = e.followed != 0
+                         ? static_cast<double>(e.confSum) /
+                               static_cast<double>(e.followed)
+                         : 0.0;
+        char conf[40];
+        std::snprintf(conf, sizeof(conf), "%d/%d/%d/%d/%.1f",
+                      e.confFirst, e.confLast, e.confMin, e.confMax,
+                      avg);
+        std::snprintf(line, sizeof(line),
+                      "  %#-12llx %8llu %8llu %8llu %5.1f%% %-17s "
+                      "%8llu %10llu\n",
+                      static_cast<unsigned long long>(pc),
+                      static_cast<unsigned long long>(e.followed),
+                      static_cast<unsigned long long>(e.hits),
+                      static_cast<unsigned long long>(e.misses), acc,
+                      conf,
+                      static_cast<unsigned long long>(e.reissuedInsts),
+                      static_cast<unsigned long long>(e.squashCycles));
+        os << line;
+    }
+}
+
+} // namespace vpsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-PC value-prediction attribution. The aggregate `vp.*` stats say
+ * how often prediction worked; this table says *where*: for every
+ * static load PC whose prediction was actually followed (STVP value
+ * injection or an MTVP spawn), it tracks follows, hits, misses, the
+ * confidence trajectory (first/last/min/max/mean of the counter at
+ * prediction time), and the recovery cost charged back to the PC
+ * (selectively reissued instructions on STVP mispredicts, killed-
+ * spawn lifetime cycles on MTVP all-wrong resolutions).
+ *
+ * The recording sites mirror the aggregate counters exactly, so the
+ * table is self-checking: summing hits over PCs equals `vp.correct`,
+ * misses equal `vp.incorrect`, and follows equal `vp.followed`
+ * (predictions squashed before resolution stay follows-only, on both
+ * sides). tests/analytics_test.cc asserts all three.
+ */
+
+#ifndef VPSIM_VPRED_VP_ATTRIBUTION_HH
+#define VPSIM_VPRED_VP_ATTRIBUTION_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "vpred/load_selector.hh"
+
+namespace vpsim
+{
+
+/** Per-load-PC prediction provenance, owned by the Cpu and fed from
+ *  dispatch (follow + confidence) and commit (hit/miss + cost). */
+class VpAttribution
+{
+  public:
+    /** Register the `vp.pc.*` cross-check stats on @p stats. */
+    explicit VpAttribution(StatGroup &stats);
+
+    VpAttribution(const VpAttribution &) = delete;
+    VpAttribution &operator=(const VpAttribution &) = delete;
+
+    /** A prediction for @p pc was followed (choice is Stvp or Mtvp)
+     *  with the predictor's confidence counter at @p confidence. */
+    void recordFollowed(Addr pc, VpChoice choice, int confidence);
+
+    /** @p pc's followed prediction resolved correct. */
+    void recordHit(Addr pc);
+
+    /** @p pc's followed prediction resolved wrong; @p reissuedInsts
+     *  dependents were selectively reissued (STVP recovery; 0 for an
+     *  MTVP all-wrong resolution). */
+    void recordMiss(Addr pc, uint64_t reissuedInsts);
+
+    /** Charge @p cycles of killed-spawn lifetime to @p pc (MTVP kill
+     *  recovery cost, reported by Analytics::recordKill). */
+    void recordSquashCycles(Addr pc, uint64_t cycles);
+
+    struct PcEntry
+    {
+        uint64_t followed = 0;      ///< predictions actually used
+        uint64_t stvp = 0;          ///< ... used as STVP injections
+        uint64_t mtvp = 0;          ///< ... used as MTVP spawns
+        uint64_t hits = 0;          ///< resolved correct
+        uint64_t misses = 0;        ///< resolved wrong
+        uint64_t reissuedInsts = 0; ///< STVP recovery reissues
+        uint64_t squashCycles = 0;  ///< killed-spawn lifetime cycles
+        int confFirst = 0;          ///< confidence at first follow
+        int confLast = 0;           ///< ... at most recent follow
+        int confMin = 0;
+        int confMax = 0;
+        int64_t confSum = 0;        ///< for the mean over follows
+    };
+    const std::map<Addr, PcEntry> &table() const { return _table; }
+
+    uint64_t totalFollowed() const { return _followed; }
+    uint64_t totalHits() const { return _hits; }
+    uint64_t totalMisses() const { return _misses; }
+    uint64_t totalReissuedInsts() const { return _reissuedInsts; }
+
+    /** Predictor half of the forensics report: top-@p topN load PCs
+     *  by followed predictions. */
+    void printReport(std::ostream &os, size_t topN) const;
+
+  private:
+    std::map<Addr, PcEntry> _table;
+    uint64_t _followed = 0;
+    uint64_t _hits = 0;
+    uint64_t _misses = 0;
+    uint64_t _reissuedInsts = 0;
+    std::vector<std::unique_ptr<Formula>> _formulas;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_VPRED_VP_ATTRIBUTION_HH

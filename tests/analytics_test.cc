@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Provenance-analytics tests. The load-bearing properties:
+ *
+ *  - Outcome partition: every spawn lands in exactly one terminal
+ *    outcome, so the per-outcome counts sum to mtvp.spawns, promoted
+ *    equals mtvp.promotes, and the three kill outcomes sum to
+ *    mtvp.kills — across MTVP, realistic-predictor MTVP, spawn-only,
+ *    and multi-value machines.
+ *  - CPI linkage: spawn records tile non-root context activity, so
+ *    summed spawn-lifetime cycles equal total non-idle context cycles
+ *    minus the architectural thread's share (see sim/analytics.hh).
+ *  - Self-checking per-PC attribution: summing the vp.pc table equals
+ *    the aggregate vp.followed / vp.correct / vp.incorrect counters.
+ *  - Time-skip invisibility: every analytics.* aggregate is
+ *    bit-identical for timeSkip=0 vs timeSkip=1.
+ *
+ * Plus direct unit tests of the Analytics bookkeeping (starved
+ * reclassification, promote-rename record transfer, drain aborts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu_test_util.hh"
+#include "sim/analytics.hh"
+#include "sim/cpi_stack.hh"
+#include "vpred/vp_attribution.hh"
+
+using namespace vpsim;
+using namespace vptest;
+
+namespace
+{
+
+uint64_t
+outcomeSum(const Analytics &an)
+{
+    uint64_t sum = 0;
+    for (unsigned o = 0; o < numSpawnOutcomes; ++o)
+        sum += an.outcomeCount(static_cast<SpawnOutcome>(o));
+    return sum;
+}
+
+/** The partition invariants against the mtvp.* aggregates. */
+void
+expectOutcomePartition(const CpuRun &run)
+{
+    const Analytics &an = run.cpu->analytics();
+    EXPECT_EQ(static_cast<double>(an.totalSpawns()),
+              run.stat("mtvp.spawns"));
+    EXPECT_EQ(static_cast<double>(outcomeSum(an)),
+              run.stat("mtvp.spawns"));
+    EXPECT_EQ(static_cast<double>(
+                  an.outcomeCount(SpawnOutcome::Promoted)),
+              run.stat("mtvp.promotes"));
+    uint64_t kills = an.outcomeCount(SpawnOutcome::ValueMispredict) +
+                     an.outcomeCount(SpawnOutcome::UpstreamSquash) +
+                     an.outcomeCount(SpawnOutcome::Starved);
+    EXPECT_EQ(static_cast<double>(kills), run.stat("mtvp.kills"));
+
+    // The per-spawn-PC table is a second partition of the same spawns.
+    uint64_t pcSpawns = 0, pcClosed = 0;
+    for (const auto &[pc, e] : an.spawnPcTable()) {
+        EXPECT_NE(pc, 0u);
+        pcSpawns += e.spawns;
+        pcClosed += e.promoted + e.killed + e.aborted;
+    }
+    EXPECT_EQ(pcSpawns, an.totalSpawns());
+    EXPECT_EQ(pcClosed, an.totalSpawns());
+}
+
+/** Spawn-lifetime cycles == non-idle context cycles - root's share. */
+void
+expectCpiLinkage(const CpuRun &run)
+{
+    const Analytics &an = run.cpu->analytics();
+    uint64_t spawnCycles = 0;
+    for (unsigned o = 0; o < numSpawnOutcomes; ++o)
+        spawnCycles += an.outcomeCycles(static_cast<SpawnOutcome>(o));
+
+    double nonIdle = 0.0;
+    int ctxs = run.cpu->cpiStack().numContexts();
+    for (int c = 0; c < ctxs; ++c) {
+        nonIdle += static_cast<double>(run.cycles()) -
+                   run.stat(csprintf("cpi.t%02d.idle", c));
+    }
+    EXPECT_EQ(static_cast<double>(spawnCycles),
+              nonIdle - static_cast<double>(run.cycles()));
+}
+
+/** vp.pc.* table sums equal the aggregate vp.* counters. */
+void
+expectAttributionCrossCheck(const CpuRun &run)
+{
+    const VpAttribution &vp = run.cpu->vpAttribution();
+    EXPECT_EQ(static_cast<double>(vp.totalFollowed()),
+              run.stat("vp.followed"));
+    EXPECT_EQ(static_cast<double>(vp.totalHits()),
+              run.stat("vp.correct"));
+    EXPECT_EQ(static_cast<double>(vp.totalMisses()),
+              run.stat("vp.incorrect"));
+
+    uint64_t followed = 0, hits = 0, misses = 0, stvp = 0, mtvp = 0;
+    for (const auto &[pc, e] : vp.table()) {
+        EXPECT_NE(pc, 0u);
+        followed += e.followed;
+        hits += e.hits;
+        misses += e.misses;
+        stvp += e.stvp;
+        mtvp += e.mtvp;
+        EXPECT_EQ(e.followed, e.stvp + e.mtvp);
+        // A prediction can stay unresolved (squashed first), never the
+        // other way around.
+        EXPECT_LE(e.hits + e.misses, e.followed);
+        EXPECT_GE(e.confMax, e.confMin);
+    }
+    EXPECT_EQ(followed, vp.totalFollowed());
+    EXPECT_EQ(hits, vp.totalHits());
+    EXPECT_EQ(misses, vp.totalMisses());
+    EXPECT_EQ(static_cast<double>(stvp), run.stat("vp.stvp"));
+    EXPECT_EQ(static_cast<double>(mtvp), run.stat("vp.mtvp"));
+}
+
+CpuRun
+runChase(SimConfig cfg, double strideProb = 0.5)
+{
+    return runAsm(chaseKernel(500), cfg, chaseData(strideProb));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Whole-machine invariants
+// ---------------------------------------------------------------------
+
+TEST(Analytics, BaselineAndStvpSpawnNothing)
+{
+    for (VpMode mode : {VpMode::None, VpMode::Stvp}) {
+        SimConfig cfg = haltConfig();
+        cfg.vpMode = mode;
+        cfg.predictor = PredictorKind::Stride;
+        cfg.selector = SelectorKind::Always;
+        CpuRun run = runChase(cfg);
+        EXPECT_EQ(run.cpu->analytics().totalSpawns(), 0u);
+        EXPECT_EQ(outcomeSum(run.cpu->analytics()), 0u);
+        EXPECT_TRUE(run.cpu->analytics().spawnPcTable().empty());
+        expectAttributionCrossCheck(run);
+        if (mode == VpMode::Stvp)
+            EXPECT_GT(run.cpu->vpAttribution().totalFollowed(), 0u);
+    }
+}
+
+TEST(Analytics, MtvpOracleInvariants)
+{
+    CpuRun run = runChase(mtvpConfig(4));
+    ASSERT_GT(run.cpu->analytics().totalSpawns(), 0u);
+    expectOutcomePartition(run);
+    expectCpiLinkage(run);
+    expectAttributionCrossCheck(run);
+}
+
+TEST(Analytics, MtvpRealisticInvariants)
+{
+    SimConfig cfg = mtvpConfig(8, PredictorKind::Stride,
+                               SelectorKind::IlpPred);
+    CpuRun run = runChase(cfg);
+    ASSERT_GT(run.cpu->analytics().totalSpawns(), 0u);
+    expectOutcomePartition(run);
+    expectCpiLinkage(run);
+    expectAttributionCrossCheck(run);
+    // A realistic predictor on 50%-stride data must miss sometimes.
+    EXPECT_GT(run.cpu->vpAttribution().totalMisses(), 0u);
+}
+
+TEST(Analytics, SpawnOnlyInvariants)
+{
+    SimConfig cfg = mtvpConfig(4, PredictorKind::Stride,
+                               SelectorKind::Always);
+    cfg.vpMode = VpMode::SpawnOnly;
+    CpuRun run = runChase(cfg);
+    ASSERT_GT(run.cpu->analytics().totalSpawns(), 0u);
+    expectOutcomePartition(run);
+    expectCpiLinkage(run);
+    // Spawn-only never follows a predicted value, so the attribution
+    // table must agree with the zero aggregates.
+    expectAttributionCrossCheck(run);
+    EXPECT_EQ(run.stat("vp.followed"), 0.0);
+    EXPECT_TRUE(run.cpu->vpAttribution().table().empty());
+}
+
+TEST(Analytics, MultiValueInvariants)
+{
+    SimConfig cfg = mtvpConfig(8, PredictorKind::Stride,
+                               SelectorKind::Always);
+    cfg.maxValuesPerSpawn = 2;
+    CpuRun run = runChase(cfg);
+    ASSERT_GT(run.cpu->analytics().totalSpawns(), 0u);
+    expectOutcomePartition(run);
+    expectCpiLinkage(run);
+    expectAttributionCrossCheck(run);
+}
+
+TEST(Analytics, TimeSkipDoesNotChangeAggregates)
+{
+    SimConfig cfg = mtvpConfig(4, PredictorKind::Stride,
+                               SelectorKind::IlpPred);
+    cfg.timeSkip = 0;
+    CpuRun off = runChase(cfg);
+    cfg.timeSkip = 1;
+    CpuRun on = runChase(cfg);
+    ASSERT_GT(on.stat("sim.skipEvents"), 0.0);
+    for (const StatBase *s : on.cpu->stats().stats()) {
+        if (s->name().rfind("analytics.", 0) != 0 &&
+            s->name().rfind("vp.pc.", 0) != 0) {
+            continue;
+        }
+        EXPECT_EQ(off.stat(s->name()), s->value()) << s->name();
+    }
+}
+
+TEST(Analytics, ReportMentionsEveryOutcomeAndTopPcs)
+{
+    CpuRun run = runChase(mtvpConfig(4));
+    std::ostringstream os;
+    writeAnalyticsReport(os, run.cpu->analytics(),
+                         run.cpu->vpAttribution(), 5);
+    std::string text = os.str();
+    for (unsigned o = 0; o < numSpawnOutcomes; ++o) {
+        EXPECT_NE(text.find(spawnOutcomeName(
+                      static_cast<SpawnOutcome>(o))),
+                  std::string::npos);
+    }
+    EXPECT_NE(text.find("Provenance analytics"), std::string::npos);
+    EXPECT_NE(text.find("0x"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Analytics bookkeeping unit tests
+// ---------------------------------------------------------------------
+
+TEST(AnalyticsUnit, StarvedReclassifiesZeroInstKills)
+{
+    StatGroup stats;
+    Analytics an(stats, 4, false);
+    an.recordSpawn(1, 0, 0x1000, 10);
+    an.recordSpawn(2, 0, 0x1000, 12);
+    // Killed with work committed: keeps its cause.
+    EXPECT_EQ(an.recordKill(1, SpawnOutcome::ValueMispredict, 30, 5),
+              20u);
+    // Killed with nothing committed: starved, whatever the cause.
+    EXPECT_EQ(an.recordKill(2, SpawnOutcome::UpstreamSquash, 40, 0),
+              28u);
+    EXPECT_EQ(an.outcomeCount(SpawnOutcome::ValueMispredict), 1u);
+    EXPECT_EQ(an.outcomeCount(SpawnOutcome::Starved), 1u);
+    EXPECT_EQ(an.outcomeCount(SpawnOutcome::UpstreamSquash), 0u);
+    EXPECT_EQ(an.outcomeCycles(SpawnOutcome::ValueMispredict), 20u);
+    EXPECT_EQ(an.outcomeInsts(SpawnOutcome::ValueMispredict), 5u);
+    EXPECT_EQ(stats.get("analytics.spawns.starved"), 1.0);
+}
+
+TEST(AnalyticsUnit, TransferFollowsPromoteRename)
+{
+    StatGroup stats;
+    Analytics an(stats, 4, false);
+    an.recordSpawn(1, 0, 0x2000, 100); // ctx 1: speculative parent
+    an.recordSpawn(2, 1, 0x3000, 110); // ctx 2: its child
+    // Ctx 2 wins: its own record closes, then ctx 1's open record
+    // follows the identity rename onto ctx 2.
+    an.recordPromote(2, 150, 7);
+    EXPECT_FALSE(an.hasOpenSpawn(2));
+    an.transferSpawn(1, 2);
+    EXPECT_FALSE(an.hasOpenSpawn(1));
+    EXPECT_TRUE(an.hasOpenSpawn(2));
+    // The transferred record still closes exactly once.
+    an.recordKill(2, SpawnOutcome::ValueMispredict, 200, 9);
+    EXPECT_EQ(an.totalSpawns(), 2u);
+    EXPECT_EQ(an.outcomeCount(SpawnOutcome::Promoted), 1u);
+    EXPECT_EQ(an.outcomeCount(SpawnOutcome::ValueMispredict), 1u);
+    EXPECT_EQ(an.outcomeCycles(SpawnOutcome::ValueMispredict), 100u);
+    // The 0x2000 record kept its spawn PC across the rename.
+    EXPECT_EQ(an.spawnPcTable().at(0x2000).killed, 1u);
+    EXPECT_EQ(an.spawnPcTable().at(0x3000).promoted, 1u);
+    // Transfer from a context with no open record is a no-op.
+    an.transferSpawn(0, 3);
+    EXPECT_FALSE(an.hasOpenSpawn(3));
+}
+
+TEST(AnalyticsUnit, AbortAtDrainClosesOpenRecords)
+{
+    StatGroup stats;
+    Analytics an(stats, 2, true);
+    an.recordSpawn(1, 0, 0x4000, 50);
+    EXPECT_TRUE(an.hasOpenSpawn(1));
+    an.recordAbortAtDrain(1, 90, 3);
+    EXPECT_FALSE(an.hasOpenSpawn(1));
+    EXPECT_EQ(an.outcomeCount(SpawnOutcome::AbortedAtDrain), 1u);
+    EXPECT_EQ(an.outcomeCycles(SpawnOutcome::AbortedAtDrain), 40u);
+    EXPECT_EQ(an.spawnPcTable().at(0x4000).aborted, 1u);
+    ASSERT_EQ(an.spawnSpans().size(), 1u);
+    EXPECT_EQ(an.spawnSpans()[0].outcome, SpawnOutcome::AbortedAtDrain);
+}
+
+TEST(AnalyticsUnit, TimelineGatesEventLogsOnly)
+{
+    StatGroup stats;
+    Analytics an(stats, 2, false);
+    an.recordSpawn(1, 0, 0x5000, 10);
+    an.recordKill(1, SpawnOutcome::ValueMispredict, 20, 4);
+    an.recordSquash(0, 25, 12, "promote");
+    an.recordTimeSkip(30, 90);
+    EXPECT_TRUE(an.spawnSpans().empty());
+    EXPECT_TRUE(an.squashWindowLog().empty());
+    EXPECT_TRUE(an.skipJumps().empty());
+    // ... but the aggregates still counted.
+    EXPECT_EQ(an.squashWindows(), 1u);
+    EXPECT_EQ(an.squashedInsts(), 12u);
+    EXPECT_EQ(an.outcomeCount(SpawnOutcome::ValueMispredict), 1u);
+}

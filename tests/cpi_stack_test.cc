@@ -177,3 +177,51 @@ TEST(CpiStack, MtvpChargesSpawnAndIdleOnSpareContexts)
     EXPECT_GT(cpi.slotTotal(CpiSlot::Idle), 0u);
     EXPECT_GT(cpi.slotTotal(CpiSlot::SpawnOverhead), 0u);
 }
+
+TEST(CpiStack, ZeroPaddedNamesAvoidDoubleDigitCollisions)
+{
+    // With more than 9 contexts the unpadded scheme made "cpi.t1"
+    // a prefix of "cpi.t1x"; per-thread stats are now zero-padded.
+    StatGroup stats;
+    CpiStack cpi(stats, 12);
+    cpi.attribute(3, CpiSlot::Base);
+    cpi.attribute(11, CpiSlot::Idle);
+
+    // Canonical names are padded; double digits are untouched.
+    EXPECT_NE(stats.find("cpi.t03.base"), nullptr);
+    EXPECT_NE(stats.find("cpi.t11.idle"), nullptr);
+    EXPECT_EQ(stats.get("cpi.t03.base"), 1.0);
+    EXPECT_EQ(stats.get("cpi.t11.idle"), 1.0);
+
+    // Old single-digit spellings keep working via the legacy alias...
+    EXPECT_EQ(stats.find("cpi.t3.base"), stats.find("cpi.t03.base"));
+    EXPECT_EQ(stats.get("cpi.t3.base"), 1.0);
+
+    // ...but dumps export only the canonical padded names.
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("cpi.t03.base"), std::string::npos);
+    EXPECT_EQ(os.str().find("cpi.t3.base"), std::string::npos);
+}
+
+TEST(CpiStack, LegacyAliasRewritesSingleDigitOnly)
+{
+    EXPECT_EQ(legacyStatAlias("cpi.t3.base"), "cpi.t03.base");
+    EXPECT_EQ(legacyStatAlias("cpi.t0.idle"), "cpi.t00.idle");
+    EXPECT_EQ(legacyStatAlias("cpi.t12.base"), "");  // Already padded.
+    EXPECT_EQ(legacyStatAlias("cpi.all.base"), "");
+    EXPECT_EQ(legacyStatAlias("vp.followed"), "");
+    EXPECT_EQ(legacyStatAlias("cpi.t3"), "");        // No slot suffix.
+}
+
+TEST(CpiStack, SimResultAcceptsLegacyNames)
+{
+    SimConfig cfg = quick();
+    cfg.vpMode = VpMode::Mtvp;
+    cfg.numContexts = 4;
+    SimResult r = runWorkload(cfg, "mcf");
+    for (int ctx = 0; ctx < 4; ++ctx) {
+        EXPECT_EQ(r.stat(csprintf("cpi.t%d.idle", ctx)),
+                  r.stat(csprintf("cpi.t%02d.idle", ctx)));
+    }
+}

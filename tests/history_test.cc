@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Bench-history tracker tests (bench/history.hh): entry JSON
+ * round-trips, JSONL append/load with corrupt-line tolerance, the
+ * drift gate (relative, 1-percentage-point floor, comparable-settings
+ * matching), the markdown trajectory table, and seeding an entry from
+ * a BENCH_summary.json document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "history.hh"
+#include "sim/json.hh"
+
+using namespace vpbench;
+
+namespace
+{
+
+HistoryEntry
+sampleEntry(double speedup, uint64_t when = 1000)
+{
+    HistoryEntry e;
+    e.unixTime = when;
+    e.label = "test";
+    e.insts = 12000;
+    e.seed = 1;
+    e.fullSet = false;
+    e.totalWallSeconds = 4.5;
+    FigureDigest d;
+    d.wallSeconds = 4.5;
+    d.exitStatus = 0;
+    d.hasHeadline = true;
+    d.headlineConfig = "mtvp8";
+    d.headlineSpeedupPct = speedup;
+    e.figures.emplace("sec56_multi_value", d);
+    return e;
+}
+
+/** RAII temp JSONL path. */
+struct TempFile
+{
+    std::string path = "history_test_tmp.jsonl";
+    TempFile() { std::remove(path.c_str()); }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+} // namespace
+
+TEST(History, EntryJsonRoundTrips)
+{
+    HistoryEntry e = sampleEntry(16.25);
+    std::string line = historyEntryJson(e);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    vpsim::json::Value v;
+    std::string err;
+    ASSERT_TRUE(vpsim::json::parse(line, v, &err)) << err;
+    HistoryEntry back;
+    ASSERT_TRUE(parseHistoryEntry(v, back, &err)) << err;
+    EXPECT_EQ(back.schemaVersion, historySchemaVersion);
+    EXPECT_EQ(back.unixTime, e.unixTime);
+    EXPECT_EQ(back.label, e.label);
+    EXPECT_EQ(back.insts, e.insts);
+    EXPECT_EQ(back.seed, e.seed);
+    EXPECT_EQ(back.fullSet, e.fullSet);
+    ASSERT_EQ(back.figures.size(), 1u);
+    const FigureDigest &d = back.figures.at("sec56_multi_value");
+    EXPECT_TRUE(d.hasHeadline);
+    EXPECT_EQ(d.headlineConfig, "mtvp8");
+    EXPECT_DOUBLE_EQ(d.headlineSpeedupPct, 16.25);
+}
+
+TEST(History, UnknownSchemaVersionIsRejected)
+{
+    vpsim::json::Value v;
+    std::string err;
+    ASSERT_TRUE(vpsim::json::parse(
+        R"({"schemaVersion": "mtvp-bench-history-v999", "figures": {}})",
+        v, &err));
+    HistoryEntry e;
+    EXPECT_FALSE(parseHistoryEntry(v, e, &err));
+    EXPECT_NE(err.find("schemaVersion"), std::string::npos);
+}
+
+TEST(History, AppendLoadSkipsCorruptLines)
+{
+    TempFile tmp;
+    EXPECT_TRUE(loadHistory(tmp.path).empty()); // Missing file: empty.
+
+    ASSERT_TRUE(appendHistory(tmp.path, sampleEntry(10.0, 1)));
+    {
+        std::FILE *f = std::fopen(tmp.path.c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("this is not json\n\n", f);
+        std::fclose(f);
+    }
+    ASSERT_TRUE(appendHistory(tmp.path, sampleEntry(11.0, 2)));
+
+    std::vector<std::string> warnings;
+    std::vector<HistoryEntry> h = loadHistory(tmp.path, &warnings);
+    ASSERT_EQ(h.size(), 2u); // Oldest first, corrupt line skipped.
+    EXPECT_EQ(h[0].unixTime, 1u);
+    EXPECT_EQ(h[1].unixTime, 2u);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find(":2:"), std::string::npos);
+}
+
+TEST(History, DriftGateFiresAboveThresholdOnly)
+{
+    std::vector<HistoryEntry> prior = {sampleEntry(20.0)};
+
+    // 4% relative movement: under the 5% default gate.
+    std::vector<Drift> ok =
+        computeDrift(prior, sampleEntry(20.8), historyDriftWarnPct);
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_FALSE(ok[0].exceeds);
+    EXPECT_NEAR(ok[0].driftPct, 4.0, 1e-9);
+
+    // 10% relative movement: gate fires.
+    std::vector<Drift> bad =
+        computeDrift(prior, sampleEntry(22.0), historyDriftWarnPct);
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_TRUE(bad[0].exceeds);
+    EXPECT_NEAR(bad[0].driftPct, 10.0, 1e-9);
+    EXPECT_EQ(bad[0].figure, "sec56_multi_value");
+    EXPECT_DOUBLE_EQ(bad[0].prevPct, 20.0);
+    EXPECT_DOUBLE_EQ(bad[0].newPct, 22.0);
+}
+
+TEST(History, DriftUsesOnePointFloorNearZero)
+{
+    // 0.3pp around a 0.1% headline would be 300% relative without the
+    // floor; with max(1, |prev|) it is 30% — still drift, but sane.
+    std::vector<HistoryEntry> prior = {sampleEntry(0.1)};
+    std::vector<Drift> d = computeDrift(prior, sampleEntry(0.4), 5.0);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_NEAR(d[0].driftPct, 30.0, 1e-9);
+
+    // 0.03pp wobble stays under the gate.
+    d = computeDrift(prior, sampleEntry(0.13), 5.0);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_FALSE(d[0].exceeds);
+}
+
+TEST(History, DriftComparesOnlyComparableSettings)
+{
+    // Same figure, but measured with different insts: no baseline.
+    HistoryEntry other = sampleEntry(5.0);
+    other.insts = 999;
+    EXPECT_TRUE(computeDrift({other}, sampleEntry(20.0), 5.0).empty());
+
+    // The newest comparable entry wins, not the newest entry.
+    std::vector<HistoryEntry> prior = {sampleEntry(10.0, 1),
+                                       sampleEntry(12.0, 2), other};
+    std::vector<Drift> d = computeDrift(prior, sampleEntry(12.0), 5.0);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_DOUBLE_EQ(d[0].prevPct, 12.0);
+    EXPECT_FALSE(d[0].exceeds);
+}
+
+TEST(History, MarkdownShowsTrajectoryAndVerdict)
+{
+    std::vector<HistoryEntry> prior = {sampleEntry(10.0, 1),
+                                       sampleEntry(11.0, 2)};
+    HistoryEntry cur = sampleEntry(22.0, 3);
+    std::vector<Drift> drifts = computeDrift(prior, cur, 5.0);
+    std::string md = historyMarkdown(prior, cur, drifts, 8);
+    EXPECT_NE(md.find("| figure |"), std::string::npos);
+    EXPECT_NE(md.find("sec56_multi_value"), std::string::npos);
+    EXPECT_NE(md.find("10.00 -> 11.00"), std::string::npos);
+    EXPECT_NE(md.find("DRIFT"), std::string::npos);
+
+    // A figure with no baseline renders as new, not as drift.
+    std::string fresh = historyMarkdown({}, cur, {}, 8);
+    EXPECT_NE(fresh.find("(new)"), std::string::npos);
+    EXPECT_EQ(fresh.find("DRIFT"), std::string::npos);
+}
+
+TEST(History, EntryFromSummaryDocument)
+{
+    const char *summary = R"({
+        "schemaVersion": "mtvp-bench-summary-v1",
+        "insts": 12000, "seed": 1, "fullSet": false,
+        "figures": {
+            "table1_config": {"wallSeconds": 0.01, "exitStatus": 0},
+            "sec56_multi_value": {"wallSeconds": 2.5, "exitStatus": 0,
+                                  "headlineConfig": "mtvp8",
+                                  "headlineSpeedupPct": 16.25}
+        }
+    })";
+    vpsim::json::Value v;
+    std::string err;
+    ASSERT_TRUE(vpsim::json::parse(summary, v, &err)) << err;
+    HistoryEntry e;
+    ASSERT_TRUE(entryFromSummary(v, e, &err)) << err;
+    EXPECT_EQ(e.unixTime, 0u);
+    EXPECT_EQ(e.label, "seeded-from-summary");
+    EXPECT_EQ(e.insts, 12000u);
+    ASSERT_EQ(e.figures.size(), 2u);
+    EXPECT_FALSE(e.figures.at("table1_config").hasHeadline);
+    EXPECT_TRUE(e.figures.at("sec56_multi_value").hasHeadline);
+    EXPECT_DOUBLE_EQ(e.totalWallSeconds, 2.51);
+
+    // A seeded entry is a valid drift baseline for a matching run.
+    std::vector<Drift> d =
+        computeDrift({e}, sampleEntry(16.25), historyDriftWarnPct);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_FALSE(d[0].exceeds);
+    EXPECT_NEAR(d[0].driftPct, 0.0, 1e-12);
+}

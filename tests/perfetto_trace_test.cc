@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Perfetto/Chrome-trace export tests: the emitted trace-event JSON must
+ * round-trip through the repo's own parser as a valid document — a
+ * `traceEvents` array whose events carry the phase-appropriate fields —
+ * with the simulated-time tracks on pid 0 (one named track per
+ * hardware context plus the time-skip track) and host-time tracks on a
+ * distinct pid, exactly what chrome://tracing / ui.perfetto.dev
+ * expects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "cpu_test_util.hh"
+#include "sim/analytics.hh"
+#include "sim/json.hh"
+#include "sim/perfetto_trace.hh"
+#include "sim/simulation.hh"
+
+using namespace vpsim;
+using namespace vptest;
+
+namespace
+{
+
+/** Parse a trace document and return the traceEvents array. */
+const json::Value &
+eventsOf(const json::Value &doc)
+{
+    EXPECT_TRUE(doc.isObject());
+    const json::Value *ev = doc.get("traceEvents");
+    EXPECT_NE(ev, nullptr);
+    EXPECT_TRUE(ev->isArray());
+    return *ev;
+}
+
+/** Every event must be well-formed for its phase. */
+void
+expectValidEvents(const json::Value &events)
+{
+    for (const json::Value &e : events.arr) {
+        ASSERT_TRUE(e.isObject());
+        std::string ph = e.stringOr("ph", "");
+        EXPECT_TRUE(ph == "X" || ph == "i" || ph == "M") << ph;
+        EXPECT_NE(e.get("pid"), nullptr);
+        EXPECT_NE(e.get("tid"), nullptr);
+        EXPECT_FALSE(e.stringOr("name", "").empty());
+        if (ph == "X") {
+            EXPECT_NE(e.get("ts"), nullptr);
+            EXPECT_NE(e.get("dur"), nullptr);
+            EXPECT_GE(e.numberOr("dur", -1.0), 0.0);
+        } else if (ph == "i") {
+            EXPECT_NE(e.get("ts"), nullptr);
+            EXPECT_EQ(e.stringOr("s", ""), "t");
+        }
+    }
+}
+
+} // namespace
+
+TEST(PerfettoTrace, SimTraceRoundTripsWithPerContextTracks)
+{
+    SimConfig cfg = mtvpConfig(4, PredictorKind::Stride,
+                               SelectorKind::IlpPred);
+    cfg.perfettoTrace = "unused"; // Enables the analytics timeline.
+    CpuRun run = runAsm(chaseKernel(400), cfg, chaseData(0.5));
+    ASSERT_GT(run.cpu->analytics().totalSpawns(), 0u);
+    ASSERT_FALSE(run.cpu->analytics().spawnSpans().empty());
+
+    std::ostringstream os;
+    writeSimTrace(os, run.cpu->analytics(), cfg.numContexts);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    const json::Value &events = eventsOf(doc);
+    EXPECT_FALSE(events.arr.empty());
+    expectValidEvents(events);
+
+    // One named sim track per context plus the time-skip track, all on
+    // pid 0.
+    std::set<int> namedTids;
+    size_t spans = 0;
+    for (const json::Value &e : events.arr) {
+        EXPECT_EQ(e.numberOr("pid", -1.0), 0.0);
+        if (e.stringOr("ph", "") == "M" &&
+            e.stringOr("name", "") == "thread_name") {
+            namedTids.insert(static_cast<int>(e.numberOr("tid", -1.0)));
+        }
+        if (e.stringOr("ph", "") == "X" &&
+            e.stringOr("name", "").rfind("spawn ", 0) == 0) {
+            ++spans;
+            const json::Value *args = e.get("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_FALSE(args->stringOr("outcome", "").empty());
+        }
+    }
+    for (int c = 0; c <= cfg.numContexts; ++c)
+        EXPECT_EQ(namedTids.count(c), 1u) << "tid " << c;
+    EXPECT_EQ(spans, run.cpu->analytics().spawnSpans().size());
+}
+
+TEST(PerfettoTrace, CombinedSimAndHostPidsStayDistinct)
+{
+    PerfettoTrace t;
+    t.setProcessName(0, "vpsim (simulated cycles)");
+    t.setThreadName(0, 0, "ctx 0");
+    t.addSpan(0, 0, "spawn 0x1000", 10.0, 25.0,
+              {{"outcome", "promoted"}});
+    t.addInstant(0, 0, "squash(promote)", 40.0, {{"insts", "12"}});
+    t.setProcessName(1, "host (SimPool workers)");
+    t.setThreadName(1, 1, "worker 1");
+    t.addSpan(1, 1, "mcf.g", 100.5, 2000.25);
+
+    std::ostringstream os;
+    t.write(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    const json::Value &events = eventsOf(doc);
+    EXPECT_EQ(events.arr.size(), t.numEvents());
+    expectValidEvents(events);
+
+    std::set<int> pids;
+    for (const json::Value &e : events.arr)
+        pids.insert(static_cast<int>(e.numberOr("pid", -1.0)));
+    EXPECT_EQ(pids, (std::set<int>{0, 1}));
+}
+
+TEST(PerfettoTrace, ConfigSinkWritesParseableFile)
+{
+    const char *path = "perfetto_sink_test.json";
+    SimConfig cfg = mtvpConfig(4);
+    cfg.maxInsts = 4000;
+    cfg.maxCycles = 0;
+    cfg.perfettoTrace = path;
+    SimResult r = runWorkload(cfg, "mcf");
+    ASSERT_GT(r.cycles, 0u);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parseFile(path, doc, &err)) << err;
+    expectValidEvents(eventsOf(doc));
+    EXPECT_FALSE(eventsOf(doc).arr.empty());
+    std::remove(path);
+}
+
+TEST(PerfettoTrace, NamesAreEscaped)
+{
+    PerfettoTrace t;
+    t.addSpan(0, 0, "weird \"name\"\n\\tab", 0.0, 1.0,
+              {{"k\"ey", "v\"al\\ue"}});
+    std::ostringstream os;
+    t.write(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    EXPECT_EQ(eventsOf(doc).arr[0].stringOr("name", ""),
+              "weird \"name\"\n\\tab");
+}

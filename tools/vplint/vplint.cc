@@ -335,6 +335,7 @@ namespace
 const std::set<std::string> wallclockAllowedFiles = {
     "src/sim/profiler.hh",
     "src/sim/profiler.cc",
+    "src/sim/perfetto_trace.cc",
     "bench/run_all.cc",
     "bench/micro_components.cc",
 };
