@@ -16,6 +16,11 @@
  *                    1 = serial). Also --jobs N on any bench binary.
  *   MTVP_NO_CACHE=1  skip the persistent result cache (--no-cache)
  *   MTVP_CACHE_DIR=  result cache directory (default bench-cache/)
+ *   MTVP_CACHE_MAX_MB=<n>  cap the cache directory size; oldest
+ *                    entries (results and checkpoints) are evicted
+ *                    after each store until the directory fits
+ *   MTVP_CACHE_STATS=1  print cache hit/miss/eviction counters at
+ *                    exit (--cache-stats)
  *   MTVP_JSON=<path> also write this binary's rows as JSON
  *   MTVP_TIME_SKIP=0 disable the next-event time-skip engine (results
  *                    are bit-identical either way; 0 only slows the
@@ -75,13 +80,19 @@ fullSet()
     return v != nullptr && std::strcmp(v, "full") == 0;
 }
 
-/** All registered workload names of one category. */
+/** All registered workload names of one category. ".long" variants
+ *  (fast-forward/sampling long runs) are excluded: the paper figures
+ *  and their expected scoreboards predate them. */
 inline std::vector<std::string>
 categoryNames(BenchCategory cat)
 {
     std::vector<std::string> names;
-    for (const Workload *w : workloadsByCategory(cat))
-        names.push_back(w->name());
+    for (const Workload *w : workloadsByCategory(cat)) {
+        const std::string &n = w->name();
+        if (n.size() >= 5 && n.compare(n.size() - 5, 5, ".long") == 0)
+            continue;
+        names.push_back(n);
+    }
     return names;
 }
 
@@ -134,6 +145,8 @@ struct BenchOptions
     bool noCache = false;
     /** Enable the host self-profiler on every submitted run. */
     bool profile = std::getenv("MTVP_PROFILE") != nullptr;
+    /** Print result-cache hit/miss/eviction counters at exit. */
+    bool cacheStats = std::getenv("MTVP_CACHE_STATS") != nullptr;
 };
 
 inline BenchOptions &
@@ -163,8 +176,11 @@ benchInit(int argc, char **argv)
             o.noCache = true;
         } else if (a == "--profile") {
             o.profile = true;
+        } else if (a == "--cache-stats") {
+            o.cacheStats = true;
         } else if (a == "--help" || a == "-h") {
-            std::printf("usage: %s [--jobs N] [--no-cache] [--profile]\n"
+            std::printf("usage: %s [--jobs N] [--no-cache] [--profile] "
+                        "[--cache-stats]\n"
                         "  --jobs N     parallel sim jobs (default: "
                         "MTVP_JOBS or hardware threads; 1 = serial)\n"
                         "  --no-cache   ignore the persistent result "
@@ -172,7 +188,10 @@ benchInit(int argc, char **argv)
                         "  --profile    host self-profiler breakdown "
                         "(also MTVP_PROFILE=1; cached\n"
                         "               results contribute no host "
-                        "time — combine with --no-cache)\n",
+                        "time — combine with --no-cache)\n"
+                        "  --cache-stats  print result-cache "
+                        "hit/miss/eviction counters at exit\n"
+                        "               (also MTVP_CACHE_STATS=1)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -199,6 +218,20 @@ class Runner
                                         : SimPool::defaultJobs()),
           _graph(_pool, _cache.enabled() ? &_cache : nullptr)
     {
+    }
+
+    ~Runner()
+    {
+        if (!benchOptions().cacheStats)
+            return;
+        ResultCacheStats s = _cache.stats();
+        std::printf("[cache] dir=%s hits=%llu misses=%llu "
+                    "evictions=%llu%s\n",
+                    _cache.enabled() ? _cache.dir().c_str() : "(disabled)",
+                    static_cast<unsigned long long>(s.hits),
+                    static_cast<unsigned long long>(s.misses),
+                    static_cast<unsigned long long>(s.evictions),
+                    _cache.maxBytes() != 0 ? " (size-capped)" : "");
     }
 
     /** Enqueue one point (dedup/cached); get() in any order. */

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 7 — Long-run speedups via checkpointed sampling: 10M-inst
+ * mcf.long under fast-forward + SimPoint-style interval sampling
+ * (20 intervals x 5000 measured insts, 2000-inst detail warmup,
+ * 2M-inst fast-forward). All configurations share one fast-forward
+ * checkpoint (the warmup key ignores vpMode/contexts), so the sweep
+ * pays the functional warmup once. Alongside the usual speedup rows we
+ * print each configuration's sampled CPI with its 95% confidence
+ * interval — the error bars this engine exists to report.
+ *
+ * Extra knobs: MTVP_LONG_INSTS (total insts, default 10000000),
+ * MTVP_LONG_FF (fast-forward insts, default 2000000),
+ * MTVP_LONG_INTERVALS (measured intervals, default 20).
+ */
+
+#include "bench_util.hh"
+
+using namespace vpbench;
+
+int
+main(int argc, char **argv)
+{
+    benchInit(argc, argv);
+    setVerbose(false);
+
+    // Re-export the long-run instruction count as MTVP_INSTS so the
+    // title line, the JSON fragment, and — critically — the bench
+    // history's comparability key all report the real run length
+    // instead of the short-sweep default.
+    const uint64_t longInsts = envU64("MTVP_LONG_INSTS", 10'000'000);
+    std::string instStr = std::to_string(longInsts);
+    setenv("MTVP_INSTS", instStr.c_str(), 1);
+
+    printTitle("Figure 7: sampled long-run speedups (mcf.long)");
+
+    SimConfig base = baseConfig();
+    base.maxInsts = longInsts;
+    base.ffInsts = envU64("MTVP_LONG_FF", 2'000'000);
+    base.sampleIntervals =
+        static_cast<int>(envU64("MTVP_LONG_INTERVALS", 20));
+    base.sampleIntervalInsts = 5000;
+    base.sampleWarmupInsts = 2000;
+
+    Runner runner;
+    // Park fast-forward checkpoints next to the cached results so every
+    // configuration in the sweep restores the same functional warmup.
+    if (runner.cache().enabled())
+        base.checkpointDir = runner.cache().dir();
+
+    auto cfgFor = [&](VpMode mode, int ctxs) {
+        SimConfig c = base;
+        c.vpMode = mode;
+        c.numContexts = ctxs;
+        return c;
+    };
+    std::vector<std::pair<std::string, SimConfig>> configs = {
+        {"stvp", cfgFor(VpMode::Stvp, 1)},
+        {"mtvp2", cfgFor(VpMode::Mtvp, 2)},
+        {"mtvp4", cfgFor(VpMode::Mtvp, 4)},
+        {"mtvp8", cfgFor(VpMode::Mtvp, 8)},
+    };
+
+    std::vector<std::string> workloads = {"mcf.long"};
+    speedupTable(runner, "longrun", workloads, base, configs);
+
+    // Sampled-CPI detail rows: mean +/- CI95 per configuration. These
+    // re-submit the same points, so they resolve from the in-process
+    // dedup map (or the on-disk cache) without extra simulation.
+    std::printf("%-10s %12s %12s %12s\n", "config", "sampleCpi",
+                "ci95", "intervals");
+    for (const auto &wl : workloads) {
+        auto detail = [&](const std::string &name, const SimConfig &cfg) {
+            SimResult r = runner.run(cfg, wl);
+            std::printf("%-10s %12.4f %12.4f %12.0f\n", name.c_str(),
+                        r.stat("sample.mean.cpi"),
+                        r.stat("sample.ci95.cpi"),
+                        r.stat("sim.sampledIntervals"));
+        };
+        detail("base", base);
+        for (const auto &[name, cfg] : configs)
+            detail(name, cfg);
+    }
+    return 0;
+}

@@ -36,7 +36,15 @@
  *
  * Usage: run_all [--jobs N] [--no-cache] [--only fig,fig,...]
  *                [--scoreboard] [--write-expected] [--markdown]
- *                [--append-history] [--seed-history]
+ *                [--append-history] [--seed-history] [--long]
+ *
+ * `--long` adds the sampled long-run figures (fig7_sampled_longrun:
+ * 10M-inst mcf.long via fast-forward checkpointing + interval
+ * sampling) to the run. They are off by default so the standard
+ * 12000-inst scoreboard sweep stays fast. History drift for a figure
+ * only gates against prior entries that carry a headline for that
+ * same figure, so short-run trajectories are unaffected by --long
+ * runs and vice versa.
  * (--jobs/--no-cache are forwarded to the figure binaries; all MTVP_*
  * environment knobs apply too. MTVP_EXPECTED overrides the expected-
  * values directory, MTVP_SUMMARY the summary path, MTVP_HISTORY the
@@ -153,6 +161,7 @@ main(int argc, char **argv)
     bool markdown = false;
     bool appendHist = false;
     bool seedHist = false;
+    bool longRuns = false;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--help" || a == "-h") {
@@ -160,7 +169,8 @@ main(int argc, char **argv)
                 "usage: %s [--jobs N] [--no-cache] [--only fig,...]\n"
                 "          [--scoreboard] [--write-expected] "
                 "[--markdown]\n"
-                "          [--append-history] [--seed-history]\n"
+                "          [--append-history] [--seed-history] "
+                "[--long]\n"
                 "Runs every figure binary (or the --only subset), "
                 "writes BENCH_results.json\nand BENCH_summary.json, "
                 "and optionally checks the measured rows against\nthe "
@@ -170,9 +180,13 @@ main(int argc, char **argv)
                 "BENCH_history.jsonl and\nfails on >MTVP_DRIFT_PCT "
                 "headline drift; --seed-history converts the\n"
                 "committed BENCH_summary.json into a history entry "
-                "without running anything.\n",
+                "without running anything.\n"
+                "--long also runs the sampled long-run figures "
+                "(fig7_sampled_longrun).\n",
                 argv[0]);
             return 0;
+        } else if (a == "--long") {
+            longRuns = true;
         } else if (a == "--append-history") {
             appendHist = true;
         } else if (a == "--seed-history") {
@@ -214,15 +228,25 @@ main(int argc, char **argv)
         "sec56_multi_value",
         "fig6_checkpoint_compare",
     };
+    // Sampled long-run figures: opt-in via --long (or --only) so the
+    // default sweep stays short.
+    const std::vector<std::string> longFigures = {
+        "fig7_sampled_longrun",
+    };
+    std::vector<std::string> known = allFigures;
+    known.insert(known.end(), longFigures.begin(), longFigures.end());
     std::vector<std::string> figures;
     if (only.empty()) {
         figures = allFigures;
+        if (longRuns)
+            figures.insert(figures.end(), longFigures.begin(),
+                           longFigures.end());
     } else {
         for (const std::string &name : only) {
-            bool known = false;
-            for (const std::string &f : allFigures)
-                known = known || f == name;
-            if (!known) {
+            bool found = false;
+            for (const std::string &f : known)
+                found = found || f == name;
+            if (!found) {
                 std::fprintf(stderr, "unknown figure '%s'\n",
                              name.c_str());
                 return 1;

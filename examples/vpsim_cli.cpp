@@ -34,6 +34,20 @@
  *                             chrome://tracing / ui.perfetto.dev; also
  *                             enables the analytics timeline
  *
+ * Long-run keys (src/sim/checkpoint.hh, docs/EXPERIMENTS.md):
+ *   ffInsts=N                 fast-forward N instructions emulator-only
+ *                             (warming caches/predictors) before the
+ *                             detailed region starts
+ *   checkpointDir=<dir>       persist/reuse the post-fast-forward state
+ *                             so sweep siblings skip the fast-forward
+ *                             (keyed by warmup-relevant config only)
+ *   sampleIntervals=K sampleIntervalInsts=M sampleWarmupInsts=W
+ *                             SimPoint-style sampling: K intervals of M
+ *                             measured insts, each preceded by W insts
+ *                             of unmeasured detailed warmup, fast-
+ *                             forwarding between intervals; reported as
+ *                             sample.mean.* with sample.ci95.* bounds
+ *
  * Any SimConfig key accepted by SimConfig::set() works as key=value.
  */
 
@@ -45,6 +59,7 @@
 #include "core/cpu.hh"
 #include "emu/memory.hh"
 #include "sim/analytics.hh"
+#include "sim/checkpoint.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/perfetto_trace.hh"
@@ -133,6 +148,16 @@ main(int argc, char **argv)
     MainMemory mem;
     Addr entry = w->build(mem, cfg.seed);
     Cpu cpu(cfg, mem, entry);
+    if (cfg.ffInsts > 0) {
+        CheckpointStore store(cfg.checkpointDir);
+        if (store.load(cfg, w->name(), cpu)) {
+            std::printf("restored checkpoint: %s\n\n",
+                        store.entryPath(cfg, w->name()).c_str());
+        } else {
+            cpu.fastForward(cfg.ffInsts);
+            store.save(cfg, w->name(), cpu);
+        }
+    }
     cpu.run();
 
     cpu.stats().dump(std::cout);
@@ -201,9 +226,20 @@ main(int argc, char **argv)
     std::printf("%-20s %.0f (%.0f skip events)\n", "skipped cycles:",
                 cpu.stats().get("sim.skippedCycles"),
                 cpu.stats().get("sim.skipEvents"));
+    if (cpu.ffInsts() > 0) {
+        std::printf("%-20s %llu\n", "fast-forwarded:",
+                    static_cast<unsigned long long>(cpu.ffInsts()));
+    }
     std::printf("%-20s %llu\n", "useful insts:",
                 static_cast<unsigned long long>(cpu.usefulInsts()));
     std::printf("%-20s %.4f\n", "useful IPC:", cpu.usefulIpc());
+    if (cpu.sampledIntervals() > 0) {
+        std::printf("%-20s %zu\n", "sampled intervals:",
+                    cpu.sampledIntervals());
+        std::printf("%-20s %.4f +/- %.4f (CI95)\n", "sample CPI:",
+                    cpu.stats().get("sample.mean.cpi"),
+                    cpu.stats().get("sample.ci95.cpi"));
+    }
     std::printf("%-20s %s\n", "ran to HALT:",
                 cpu.haltedUsefully() ? "yes" : "no");
     return 0;

@@ -1,6 +1,7 @@
 #include "bpred/branch_predictor.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -94,7 +95,8 @@ BranchPredictor::bump(uint8_t &c, bool up)
 }
 
 void
-BranchPredictor::update(Addr pc, CtxId ctx, bool taken)
+BranchPredictor::updateImpl(Addr pc, CtxId ctx, bool taken,
+                            bool countStats)
 {
     uint64_t &hist = _history[static_cast<size_t>(ctx)];
     uint8_t &bim = _bim[bimIndex(pc)];
@@ -109,7 +111,7 @@ BranchPredictor::update(Addr pc, CtxId ctx, bool taken)
     bool useMajority = counterTaken(meta);
     bool predicted = useMajority ? majority : bimP;
 
-    if (predicted != taken)
+    if (predicted != taken && countStats)
         ++_mispredicts;
 
     // Meta trains toward whichever component was right when they differ.
@@ -135,9 +137,52 @@ BranchPredictor::update(Addr pc, CtxId ctx, bool taken)
 }
 
 void
+BranchPredictor::update(Addr pc, CtxId ctx, bool taken)
+{
+    updateImpl(pc, ctx, taken, true);
+}
+
+void
+BranchPredictor::warmUpdate(Addr pc, CtxId ctx, bool taken)
+{
+    updateImpl(pc, ctx, taken, false);
+}
+
+void
 BranchPredictor::copyHistory(CtxId from, CtxId to)
 {
     _history[static_cast<size_t>(to)] = _history[static_cast<size_t>(from)];
+}
+
+void
+BranchPredictor::saveState(CheckpointWriter &cw) const
+{
+    auto table = [&](const std::vector<uint8_t> &t) {
+        cw.u64(t.size());
+        cw.bytes(t.data(), t.size());
+    };
+    table(_bim);
+    table(_g0);
+    table(_g1);
+    table(_meta);
+    cw.u64(_history[0]);
+}
+
+void
+BranchPredictor::restoreState(CheckpointReader &cr)
+{
+    auto table = [&](std::vector<uint8_t> &t) {
+        uint64_t n = cr.u64();
+        vpsim_assert(n == t.size(),
+                     "checkpoint bpred geometry mismatch");
+        cr.bytes(t.data(), t.size());
+    };
+    table(_bim);
+    table(_g0);
+    table(_g1);
+    table(_meta);
+    _history.assign(_history.size(), 0);
+    _history[0] = cr.u64();
 }
 
 } // namespace vpsim

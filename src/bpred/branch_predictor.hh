@@ -18,6 +18,9 @@
 namespace vpsim
 {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** 2bcgskew conditional-branch direction predictor. */
 class BranchPredictor
 {
@@ -35,10 +38,21 @@ class BranchPredictor
     /** Copy context @p from's history register to @p to (thread spawn). */
     void copyHistory(CtxId from, CtxId to);
 
+    /** update() without stat counting (fast-forward warming). */
+    void warmUpdate(Addr pc, CtxId ctx, bool taken);
+
+    /** Serialize/restore tables plus context 0's history register (the
+     *  only context alive at a checkpoint boundary), keeping the image
+     *  independent of numContexts. */
+    void saveState(CheckpointWriter &cw) const;
+    void restoreState(CheckpointReader &cr);
+
     uint64_t lookups() const { return _lookups.count(); }
     uint64_t mispredicts() const { return _mispredicts.count(); }
 
   private:
+    void updateImpl(Addr pc, CtxId ctx, bool taken, bool countStats);
+
     uint32_t bimIndex(Addr pc) const;
     uint32_t g0Index(Addr pc, uint64_t hist) const;
     uint32_t g1Index(Addr pc, uint64_t hist) const;

@@ -1,6 +1,7 @@
 #include "bpred/btb.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -34,6 +35,29 @@ Btb::update(Addr pc, Addr target)
     e.valid = true;
 }
 
+void
+Btb::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_entries.size());
+    for (const Entry &e : _entries) {
+        cw.u64(e.pc);
+        cw.u64(e.target);
+        cw.b(e.valid);
+    }
+}
+
+void
+Btb::restoreState(CheckpointReader &cr)
+{
+    uint64_t n = cr.u64();
+    vpsim_assert(n == _entries.size(), "checkpoint BTB size mismatch");
+    for (Entry &e : _entries) {
+        e.pc = cr.u64();
+        e.target = cr.u64();
+        e.valid = cr.b();
+    }
+}
+
 ReturnAddressStack::ReturnAddressStack(int depth)
     : _stack(static_cast<size_t>(depth), 0)
 {
@@ -58,6 +82,27 @@ ReturnAddressStack::pop()
            static_cast<int>(_stack.size());
     --_size;
     return _stack[static_cast<size_t>(_top)];
+}
+
+void
+ReturnAddressStack::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_stack.size());
+    for (Addr a : _stack)
+        cw.u64(a);
+    cw.u32(static_cast<uint32_t>(_top));
+    cw.u32(static_cast<uint32_t>(_size));
+}
+
+void
+ReturnAddressStack::restoreState(CheckpointReader &cr)
+{
+    uint64_t n = cr.u64();
+    vpsim_assert(n == _stack.size(), "checkpoint RAS depth mismatch");
+    for (Addr &a : _stack)
+        a = cr.u64();
+    _top = static_cast<int>(cr.u32());
+    _size = static_cast<int>(cr.u32());
 }
 
 } // namespace vpsim

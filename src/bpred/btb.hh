@@ -17,6 +17,9 @@
 namespace vpsim
 {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Direct-mapped tagged BTB. */
 class Btb
 {
@@ -28,6 +31,10 @@ class Btb
 
     /** Record the resolved target. */
     void update(Addr pc, Addr target);
+
+    /** Serialize/restore the target array (checkpointing). */
+    void saveState(CheckpointWriter &cw) const;
+    void restoreState(CheckpointReader &cr);
 
   private:
     struct Entry
@@ -52,6 +59,10 @@ class ReturnAddressStack
     /** Pop the predicted return target (0 if empty). */
     Addr pop();
     bool empty() const { return _size == 0; }
+
+    /** Serialize/restore stack contents (checkpointing). */
+    void saveState(CheckpointWriter &cw) const;
+    void restoreState(CheckpointReader &cr);
 
     ReturnAddressStack(const ReturnAddressStack &) = default;
     ReturnAddressStack &operator=(const ReturnAddressStack &) = default;

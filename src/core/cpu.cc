@@ -1,9 +1,11 @@
 #include "core/cpu.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "isa/disasm.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -24,6 +26,23 @@ constexpr Cycle watchdogCycles = 1000000;
  *  event is armed — for this long. Far smaller than the watchdog: a
  *  deadlocked machine has nothing to wait for. */
 constexpr Cycle deadlockGuardCycles = 10000;
+
+/** Two-sided 97.5% Student-t quantiles for 1..30 degrees of freedom;
+ *  beyond 30 the normal quantile is within 2%. */
+constexpr double tTable975[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048,  2.045, 2.042,
+};
+
+double
+t975(size_t df)
+{
+    if (df == 0)
+        return 0.0;
+    return df <= 30 ? tTable975[df - 1] : 1.96;
+}
 
 } // namespace
 
@@ -121,6 +140,31 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
     _formulas.push_back(std::make_unique<Formula>(
         _stats, "ipc.useful", "useful instructions per cycle",
         [this] { return usefulIpc(); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "sim.ffInsts",
+        "instructions executed emulator-only by fast-forward (engine "
+        "meta-stat: they cost no cycles and commit nothing)",
+        [this] { return static_cast<double>(_ffInsts); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "sim.sampledIntervals",
+        "measured detailed intervals recorded by the interval sampler",
+        [this] { return static_cast<double>(_samples.size()); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "sample.mean.cpi",
+        "mean per-interval CPI over the measured sampling intervals",
+        [this] { return sampleStat(true, false); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "sample.ci95.cpi",
+        "95% confidence half-width of the per-interval CPI mean",
+        [this] { return sampleStat(true, true); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "sample.mean.ipc",
+        "mean per-interval IPC over the measured sampling intervals",
+        [this] { return sampleStat(false, false); }));
+    _formulas.push_back(std::make_unique<Formula>(
+        _stats, "sample.ci95.ipc",
+        "95% confidence half-width of the per-interval IPC mean",
+        [this] { return sampleStat(false, true); }));
 
     for (int i = 0; i < _cfg.numContexts; ++i) {
         _ctxs[static_cast<size_t>(i)].reset();
@@ -404,7 +448,9 @@ Cpu::done() const
 {
     if (_finished)
         return true;
-    if (_cfg.maxInsts != 0 && usefulInsts() >= _cfg.maxInsts)
+    // Fast-forwarded instructions are part of the program stream, so
+    // they count toward the maxInsts budget.
+    if (_cfg.maxInsts != 0 && _ffInsts + usefulInsts() >= _cfg.maxInsts)
         return true;
     if (_cfg.maxCycles != 0 && _now >= _cfg.maxCycles)
         return true;
@@ -793,14 +839,21 @@ Cpu::tick()
 }
 
 void
-Cpu::run()
+Cpu::runLoopUntil(uint64_t streamTarget)
 {
     // The time-skip engine never runs under pipeView: the pipeline
     // trace wants a record of every cycle. DPRINTF windows disable it
-    // only while inside the window (timeSkipAllowed).
+    // only while inside the window (timeSkipAllowed). Skips never cross
+    // a commit, so a stream-position target is exact under skipping.
     const bool skipConfigured = _cfg.timeSkip != 0 && _cfg.pipeView.empty();
     uint64_t lastActivity = _activity;
-    while (!done()) {
+    auto reached = [&] {
+        if (done())
+            return true;
+        return streamTarget != 0 &&
+               _ffInsts + usefulInsts() >= streamTarget;
+    };
+    while (!reached()) {
         tick();
         if (_activity != lastActivity) {
             lastActivity = _activity;
@@ -809,12 +862,21 @@ Cpu::run()
         }
         if (skipConfigured && timeSkipAllowed()) {
             tryTimeSkip();
-        } else if (!done() &&
+        } else if (!reached() &&
                    _now - _lastActivityCycle == deadlockGuardCycles &&
                    nextEventCycle() == neverCycle) {
             deadlockPanic();
         }
     }
+}
+
+void
+Cpu::run()
+{
+    if (_cfg.sampleIntervals > 0)
+        runSampled();
+    else
+        runLoopUntil(0);
 
     // Spawns still speculative at this point never reached a verdict:
     // close their provenance records as aborted-at-drain so outcome
@@ -825,6 +887,12 @@ Cpu::run()
                                           tc.committedInsts);
     }
 
+    drainArchStores();
+}
+
+void
+Cpu::drainArchStores()
+{
     // Flush the architectural (root-chain) store state so main memory
     // reflects every usefully committed store.
     while (!_drainQueue.empty()) {
@@ -839,6 +907,255 @@ Cpu::run()
             _hier.storeDrain(seg->drainResidentStore(), _now);
         seg->flushTo(_mem);
     }
+}
+
+void
+Cpu::runSampled()
+{
+    const uint64_t base = _ffInsts;
+    const uint64_t insts = static_cast<uint64_t>(
+        _cfg.sampleIntervalInsts);
+    const uint64_t warm = _cfg.sampleWarmupInsts;
+    const uint64_t k = static_cast<uint64_t>(_cfg.sampleIntervals);
+    vpsim_assert(_cfg.maxInsts > base); // validate() guarantees this.
+    const uint64_t stride = (_cfg.maxInsts - base) / k;
+    vpsim_assert(stride >= warm + insts);
+
+    for (uint64_t i = 0; i < k; ++i) {
+        const uint64_t measureEnd = base + (i + 1) * stride;
+        const uint64_t measureStart = measureEnd - insts;
+        const uint64_t warmStart = measureStart - warm;
+
+        const uint64_t pos = _ffInsts + usefulInsts();
+        if (warmStart > pos)
+            fastForward(warmStart - pos);
+        if (done())
+            break;
+        // Unmeasured detailed warmup re-times the queue/in-flight state
+        // the warm structures cannot carry.
+        runLoopUntil(measureStart);
+        const Cycle cyclesBefore = _now;
+        const uint64_t instsBefore = usefulInsts();
+        runLoopUntil(measureEnd);
+
+        IntervalSample s;
+        s.cycles = _now - cyclesBefore;
+        s.insts = usefulInsts() - instsBefore;
+        if (s.insts > 0 && s.cycles > 0)
+            _samples.push_back(s);
+        if (done())
+            break;
+        if (i + 1 < k)
+            quiesce();
+    }
+}
+
+void
+Cpu::quiesce()
+{
+    HostProfiler::Scope ps(_prof, ProfSection::Sampling);
+
+    // Gate fetch and dispatch off and run the machine dry: everything
+    // already dispatched commits (arch state is written at dispatch, so
+    // after the drain the root's ArchState is exactly the committed
+    // state), every pending prediction resolves, and every speculative
+    // context is promoted or killed.
+    _quiesceDrain = true;
+    const bool skipConfigured = _cfg.timeSkip != 0 && _cfg.pipeView.empty();
+    uint64_t lastActivity = _activity;
+    while (_robOccupancy != 0 || !_pending.empty()) {
+        tick();
+        if (_activity != lastActivity) {
+            lastActivity = _activity;
+            _lastActivityCycle = _now;
+            continue;
+        }
+        if (skipConfigured && timeSkipAllowed()) {
+            tryTimeSkip();
+        } else if (_now - _lastActivityCycle == deadlockGuardCycles &&
+                   nextEventCycle() == neverCycle) {
+            deadlockPanic();
+        }
+    }
+    _quiesceDrain = false;
+
+    ThreadContext &tc = ctx(_root);
+    vpsim_assert(activeContexts() == 1 && tc.active,
+                 "speculative context survived the quiesce drain");
+    vpsim_assert(tc.rob.empty() &&
+                 _inflightStores[static_cast<size_t>(tc.id)].empty());
+    vpsim_assert(static_cast<int>(_vpTagFree.size()) == numVpTags);
+
+    // ILP-pred windows still closing measured quiesce-distorted cycles;
+    // drop them instead of training the selector on them.
+    for (IlpWindow &w : _windows)
+        w.state = IlpWindow::State::Free;
+
+    // Reset the front end: fetched-but-undispatched work is discarded
+    // and refetched from the architectural PC after the skip.
+    tc.fetchQueue.clear();
+    tc.waitingBranch.reset();
+    tc.fetchAwaitIndirect = false;
+    tc.fetchStopped = false;
+    tc.fetchHalted = false; // A fetched-but-undispatched HALT refetches.
+    tc.fetchStallUntil = 0;
+    tc.preIssueCount = 0;
+    tc.fetchPc = tc.arch.pc;
+
+    // Flush architectural stores so the next fast-forward's direct
+    // memory writes are ordered after every committed store, then give
+    // the root a fresh segment for the next detailed region.
+    drainArchStores();
+    tc.ownedSegments.clear();
+    tc.segment = std::make_shared<StoreSegment>(tc.id, nullptr);
+    tc.ownedSegments.push_back(tc.segment);
+}
+
+uint64_t
+Cpu::fastForward(uint64_t n)
+{
+    HostProfiler::Scope ps(_prof, ProfSection::Warmup);
+    if (_finished || n == 0)
+        return 0;
+    ThreadContext &tc = ctx(_root);
+    vpsim_assert(_robOccupancy == 0 && _pending.empty() &&
+                     tc.fetchQueue.empty(),
+                 "fast-forward requires an empty pipeline");
+    vpsim_assert(tc.segment != nullptr && tc.segment->byteCount() == 0 &&
+                     tc.segment->residentStores() == 0,
+                 "fast-forward requires flushed store state");
+
+    // Each burst warms its first line unconditionally so a run restored
+    // from a checkpoint (which never saw the pre-checkpoint burst)
+    // behaves bit-identically to one that fast-forwarded live.
+    _ffLastLine = static_cast<Addr>(-1);
+    FastForwardResult r = vpsim::fastForward(_emu, tc.arch, n, this);
+    _ffInsts += r.executed;
+    tc.fetchPc = tc.arch.pc;
+    if (r.halted) {
+        tc.fetchHalted = true;
+        tc.haltedCommitted = true;
+        _finished = true;
+    }
+    return r.executed;
+}
+
+void
+Cpu::warmInst(const EmuStep &s)
+{
+    // Instruction side: one warm access per line transition (detailed
+    // fetch touches the hierarchy per line run, not per instruction).
+    const Addr line = s.pc & ~static_cast<Addr>(_cfg.lineSize - 1);
+    if (line != _ffLastLine) {
+        _ffLastLine = line;
+        _hier.warmInstFetch(s.pc);
+    }
+
+    // Mirror dispatch-time training (handleControl): direction tables
+    // on conditional branches, BTB on any taken control flow. Context 0
+    // is the only live context during a fast-forward.
+    const DecodedInst &in = s.inst;
+    if (in.isBranch())
+        _bpred.warmUpdate(s.pc, 0, s.taken);
+    if (in.isControl() && s.taken)
+        _btb.update(s.pc, s.nextPc);
+
+    // Mirror the fetch-time return-address stack (fetch.cc): calls push
+    // the return PC, returns (jalr through r31) pop it.
+    ReturnAddressStack &ras = _ras[0];
+    if (in.op == Opcode::JAL) {
+        if (in.rd == 31)
+            ras.push(s.pc + instBytes);
+    } else if (in.op == Opcode::JALR) {
+        if (in.rs1 == 31 && in.rd < 0) {
+            if (!ras.empty())
+                ras.pop();
+        } else if (in.rd == 31) {
+            ras.push(s.pc + instBytes);
+        }
+    }
+
+    // Data side, mirroring commit: caches + prefetcher warm on the
+    // access stream, and the value predictor trains on every load.
+    if (in.isLoad()) {
+        _hier.warmLoad(s.effAddr, s.pc);
+        _vpred->train(s.pc, s.memValue);
+    } else if (in.isStore()) {
+        _hier.warmStore(s.effAddr);
+    }
+}
+
+void
+Cpu::saveCheckpoint(CheckpointWriter &cw)
+{
+    HostProfiler::Scope ps(_prof, ProfSection::Checkpoint);
+    vpsim_assert(_now == 0 && usefulInsts() == 0 && _robOccupancy == 0 &&
+                     _pending.empty(),
+                 "checkpoints are cut only on the pristine "
+                 "post-fast-forward machine");
+    cw.u64(_ffInsts);
+    cw.b(_finished);
+    ctx(_root).arch.saveState(cw);
+    _mem.saveState(cw);
+    _hier.saveState(cw);
+    _bpred.saveState(cw);
+    _btb.saveState(cw);
+    _ras[0].saveState(cw);
+    _vpred->saveState(cw);
+}
+
+void
+Cpu::restoreCheckpoint(CheckpointReader &cr)
+{
+    HostProfiler::Scope ps(_prof, ProfSection::Checkpoint);
+    vpsim_assert(_now == 0 && usefulInsts() == 0 && _ffInsts == 0,
+                 "restore is only legal on a fresh machine");
+    _ffInsts = cr.u64();
+    const bool halted = cr.b();
+    ThreadContext &tc = ctx(_root);
+    tc.arch.restoreState(cr);
+    _mem.restoreState(cr);
+    _hier.restoreState(cr);
+    _bpred.restoreState(cr);
+    _btb.restoreState(cr);
+    _ras[0].restoreState(cr);
+    _vpred->restoreState(cr);
+    tc.fetchPc = tc.arch.pc;
+    if (halted) {
+        tc.fetchHalted = true;
+        tc.haltedCommitted = true;
+        _finished = true;
+    }
+}
+
+double
+Cpu::sampleStat(bool cpi, bool ci) const
+{
+    const size_t n = _samples.size();
+    if (n == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const IntervalSample &s : _samples) {
+        sum += cpi ? static_cast<double>(s.cycles) /
+                         static_cast<double>(s.insts)
+                   : static_cast<double>(s.insts) /
+                         static_cast<double>(s.cycles);
+    }
+    const double mean = sum / static_cast<double>(n);
+    if (!ci)
+        return mean;
+    if (n < 2)
+        return 0.0;
+    double ss = 0.0;
+    for (const IntervalSample &s : _samples) {
+        const double x = cpi ? static_cast<double>(s.cycles) /
+                                   static_cast<double>(s.insts)
+                             : static_cast<double>(s.insts) /
+                                   static_cast<double>(s.cycles);
+        ss += (x - mean) * (x - mean);
+    }
+    const double sd = std::sqrt(ss / static_cast<double>(n - 1));
+    return t975(n - 1) * sd / std::sqrt(static_cast<double>(n));
 }
 
 } // namespace vpsim

@@ -36,6 +36,7 @@
 #include "core/phys_regfile.hh"
 #include "core/thread_context.hh"
 #include "emu/emulator.hh"
+#include "emu/fastfwd.hh"
 #include "emu/memory.hh"
 #include "mem/hierarchy.hh"
 #include "sim/analytics.hh"
@@ -51,8 +52,13 @@
 namespace vpsim
 {
 
-/** The simulated CPU. One instance per simulation run. */
-class Cpu
+class CheckpointWriter;
+class CheckpointReader;
+
+/** The simulated CPU. One instance per simulation run. (Privately a
+ *  WarmupSink: fast-forwarded instructions warm its caches and
+ *  predictors through warmInst.) */
+class Cpu : private WarmupSink
 {
   public:
     /** Construct with context 0 active at @p entryPc. */
@@ -62,11 +68,37 @@ class Cpu
     Cpu(const Cpu &) = delete;
     Cpu &operator=(const Cpu &) = delete;
 
-    /** Simulate until HALT commits usefully, maxInsts, or maxCycles. */
+    /** Simulate until HALT commits usefully, maxInsts, or maxCycles.
+     *  With cfg.sampleIntervals > 0 this runs the interval-sampling
+     *  schedule (fast-forward / warmup / measure per interval) instead
+     *  of measuring the whole detailed region. */
     void run();
 
     /** Single-step one cycle (exposed for tests). */
     void tick();
+
+    /**
+     * Execute up to @p n instructions emulator-only (no fetch/dispatch/
+     * issue/ROB; stores write straight to memory) while warming caches,
+     * branch predictors, and the value predictor. Requires an empty
+     * pipeline; costs zero simulated cycles. Fast-forwarded instructions
+     * count toward the maxInsts stream position. Returns instructions
+     * actually executed (short on HALT).
+     */
+    uint64_t fastForward(uint64_t n);
+
+    /** Instructions executed by fastForward() so far. */
+    uint64_t ffInsts() const { return _ffInsts; }
+
+    /** Serialize the post-fast-forward machine state (architectural
+     *  state, memory, warm cache/predictor tables). Only legal on a
+     *  pristine machine: zero cycles, zero commits, nothing in flight. */
+    void saveCheckpoint(CheckpointWriter &cw);
+
+    /** Inverse of saveCheckpoint; only legal before any simulation or
+     *  fast-forward has happened. Restoring is bit-identical to having
+     *  fast-forwarded the same region live. */
+    void restoreCheckpoint(CheckpointReader &cr);
 
     bool done() const;
 
@@ -74,6 +106,8 @@ class Cpu
     /** Architecturally-useful committed instructions. */
     uint64_t usefulInsts() const;
     double usefulIpc() const;
+    /** Measured (cycles, insts) pairs recorded by the interval sampler. */
+    size_t sampledIntervals() const { return _samples.size(); }
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
@@ -223,6 +257,34 @@ class Cpu
     CtxId rootCtx() const { return _root; }
     void checkWatchdog();
 
+    // ----- Fast-forward / interval sampling (cpu.cc) -----
+    /** One measured sampling interval. */
+    struct IntervalSample
+    {
+        uint64_t cycles = 0;
+        uint64_t insts = 0;
+    };
+
+    /** WarmupSink: one fast-forwarded instruction's warm updates. */
+    void warmInst(const EmuStep &step) override;
+    /** The run() while-loop; additionally stops once the instruction
+     *  stream position (ffInsts + usefulInsts) reaches @p streamTarget
+     *  (0 = no stream target, run to done()). */
+    void runLoopUntil(uint64_t streamTarget);
+    /** The sampling schedule: per interval fast-forward, detailed
+     *  warmup, measured detail, quiesce. */
+    void runSampled();
+    /** Run the pipeline dry between intervals (fetch/dispatch gated
+     *  off), then reset the front end and flush architectural stores so
+     *  the next fast-forward starts from a clean machine. */
+    void quiesce();
+    /** Drain + flush the root chain's store segments to main memory
+     *  (run() epilogue and quiesce share this). */
+    void drainArchStores();
+    /** Mean (or, with @p ci, CI95 half-width) over the recorded
+     *  interval samples of per-interval CPI (@p cpi) or IPC. */
+    double sampleStat(bool cpi, bool ci) const;
+
     // ----- Time-skip engine (cpu.cc) -----
     /** Earliest future cycle any machine event can fire (fill
      *  completion, result ready, queue-entry sources maturing, spawn
@@ -284,6 +346,16 @@ class Cpu
      *  it unchanged provably did nothing, so run() may time-skip. */
     uint64_t _activity = 0;
     Cycle _lastActivityCycle = 0;
+    /** Instructions executed emulator-only by fastForward(). */
+    uint64_t _ffInsts = 0;
+    /** quiesce() in progress: fetch and dispatch are gated off so the
+     *  pipeline runs dry between sampling intervals. */
+    bool _quiesceDrain = false;
+    /** Last I-cache line warmed during fast-forward (fetch touches the
+     *  hierarchy per line run, not per instruction). */
+    Addr _ffLastLine = static_cast<Addr>(-1);
+    /** Per-interval measurements feeding the sample.* formulas. */
+    std::vector<IntervalSample> _samples;
 
     /** Chunk pool behind allocInst(); shared into every control block. */
     std::shared_ptr<InstPoolStorage> _instPool =

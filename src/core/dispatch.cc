@@ -19,6 +19,9 @@ namespace vpsim
 void
 Cpu::dispatchStage()
 {
+    if (_quiesceDrain)
+        return; // Sampling drain: run the pipeline dry, feed nothing.
+
     // Resume contexts whose redirecting control instruction resolved.
     for (ThreadContext &tc : _ctxs) {
         if (!tc.active || tc.waitingBranch == nullptr)

@@ -137,6 +137,9 @@ Cpu::fetchLineRun(ThreadContext &tc, int maxInsts)
 void
 Cpu::fetchStage()
 {
+    if (_quiesceDrain)
+        return; // Sampling drain: run the pipeline dry, feed nothing.
+
     // Pick up to fetchThreads contexts by ICOUNT (fewest in-flight
     // pre-issue instructions first).
     std::vector<CtxId> eligible;

@@ -1,6 +1,7 @@
 #include "emu/context_state.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -21,6 +22,22 @@ ArchState::writeReg(int reg, RegVal value)
     if (reg == 0)
         return;
     _regs[static_cast<size_t>(reg)] = value;
+}
+
+void
+ArchState::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(pc);
+    for (RegVal r : _regs)
+        cw.u64(r);
+}
+
+void
+ArchState::restoreState(CheckpointReader &cr)
+{
+    pc = cr.u64();
+    for (RegVal &r : _regs)
+        r = cr.u64();
 }
 
 } // namespace vpsim

@@ -17,6 +17,9 @@
 namespace vpsim
 {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** ISA-visible register + PC state. Copyable by design (thread spawn). */
 class ArchState
 {
@@ -33,6 +36,10 @@ class ArchState
     void writeFpReg(int reg, double v) { writeReg(reg, fpToBits(v)); }
 
     bool operator==(const ArchState &other) const = default;
+
+    /** Serialize/restore PC + all 64 logical registers. */
+    void saveState(CheckpointWriter &cw) const;
+    void restoreState(CheckpointReader &cr);
 
   private:
     std::array<RegVal, numLogicalRegs> _regs{};

@@ -59,10 +59,18 @@ fpToInt(double d)
 EmuStep
 Emulator::step(ArchState &state, StoreSegment *segment)
 {
+    uint32_t raw = _mem.read32(state.pc);
+    return stepDecoded(state, segment, raw, decode(raw));
+}
+
+EmuStep
+Emulator::stepDecoded(ArchState &state, StoreSegment *segment,
+                      uint32_t rawWord, const DecodedInst &dinst)
+{
     EmuStep s;
     s.pc = state.pc;
-    s.rawWord = _mem.read32(state.pc);
-    s.inst = decode(s.rawWord);
+    s.rawWord = rawWord;
+    s.inst = dinst;
     s.nextPc = state.pc + instBytes;
 
     const DecodedInst &inst = s.inst;

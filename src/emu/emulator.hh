@@ -61,11 +61,23 @@ class Emulator
     EmuStep step(ArchState &state, StoreSegment *segment);
 
     /**
+     * step() with the fetch/decode already done: execute @p inst
+     * (decoded from @p rawWord at @p state.pc). The fast-forward
+     * engine uses this with a decoded-instruction cache so a hot loop
+     * skips the per-instruction memory read and decode.
+     */
+    EmuStep stepDecoded(ArchState &state, StoreSegment *segment,
+                        uint32_t rawWord, const DecodedInst &inst);
+
+    /**
      * Run until HALT or @p maxInsts, writing stores straight to memory.
      * Used by workload self-tests and the reference executor in the
      * architectural-equivalence tests. Returns instructions executed.
      */
     uint64_t run(ArchState &state, uint64_t maxInsts);
+
+    /** The memory this emulator executes against. */
+    MainMemory &memory() { return _mem; }
 
   private:
     MainMemory &_mem;

@@ -1,0 +1,102 @@
+#include "emu/fastfwd.hh"
+
+#include <vector>
+
+#include "emu/memory.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/**
+ * Decoded-instruction cache for one fast-forward burst. Covers a single
+ * aligned window of code around the entry PC; instructions outside the
+ * window (or misaligned PCs on a wrong path) fall back to the plain
+ * fetch+decode step. Stores that land inside the window invalidate the
+ * overlapped entries, so self-modifying code stays correct — during
+ * fast-forward the emulator is the only writer of memory (no store
+ * segments drain behind our back).
+ */
+class DecodeCache
+{
+  public:
+    static constexpr size_t spanInsts = size_t{1} << 13; // 32 KB of code
+    static constexpr Addr spanBytes = spanInsts * instBytes;
+
+    struct Entry
+    {
+        uint32_t raw = 0;
+        DecodedInst inst;
+        bool valid = false;
+    };
+
+    explicit DecodeCache(Addr entryPc)
+        : _lo(entryPc & ~(spanBytes - 1)), _entries(spanInsts)
+    {
+    }
+
+    bool covers(Addr pc) const
+    {
+        return pc - _lo < spanBytes && (pc & (instBytes - 1)) == 0;
+    }
+
+    /** Fetch+decode through the cache; @p pc must satisfy covers(). */
+    const Entry &fetch(Addr pc, const MainMemory &mem)
+    {
+        Entry &e = _entries[(pc - _lo) / instBytes];
+        if (!e.valid) {
+            e.raw = mem.read32(pc);
+            e.inst = decode(e.raw);
+            e.valid = true;
+        }
+        return e;
+    }
+
+    /** Drop entries overlapped by a store of @p bytes at @p addr. */
+    void invalidate(Addr addr, int bytes)
+    {
+        for (int i = 0; i < bytes; ++i) {
+            Addr a = addr + static_cast<Addr>(i);
+            if (a - _lo < spanBytes)
+                _entries[(a - _lo) / instBytes].valid = false;
+        }
+    }
+
+  private:
+    Addr _lo;
+    std::vector<Entry> _entries;
+};
+
+} // namespace
+
+FastForwardResult
+fastForward(Emulator &emu, ArchState &state, uint64_t maxInsts,
+            WarmupSink *sink)
+{
+    FastForwardResult r;
+    const MainMemory &mem = emu.memory();
+    DecodeCache dc(state.pc);
+    while (r.executed < maxInsts) {
+        EmuStep s;
+        if (dc.covers(state.pc)) {
+            const DecodeCache::Entry &e = dc.fetch(state.pc, mem);
+            s = emu.stepDecoded(state, nullptr, e.raw, e.inst);
+        } else {
+            s = emu.step(state, nullptr);
+        }
+        ++r.executed;
+        if (s.memBytes > 0 && s.inst.isStore())
+            dc.invalidate(s.effAddr, s.memBytes);
+        if (sink != nullptr)
+            sink->warmInst(s);
+        if (s.halted) {
+            r.halted = true;
+            break;
+        }
+    }
+    return r;
+}
+
+} // namespace vpsim

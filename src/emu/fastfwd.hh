@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Functional fast-forward: execute instructions emulator-only (no
+ * fetch/dispatch/issue/ROB) while reporting every executed instruction
+ * to a WarmupSink so the caller can keep caches, branch predictors, and
+ * value predictors warm. Stores write straight to main memory (the
+ * store-segment chain only exists inside the detailed pipeline), so a
+ * fast-forwarded program region leaves exactly the architectural state
+ * a detailed run of the same region would have committed.
+ */
+
+#ifndef VPSIM_EMU_FASTFWD_HH
+#define VPSIM_EMU_FASTFWD_HH
+
+#include <cstdint>
+
+#include "emu/emulator.hh"
+
+namespace vpsim
+{
+
+/**
+ * Receives every instruction executed during fast-forward. The sink
+ * decides what to warm from it; the fast-forward loop itself is
+ * structure-agnostic so emu/ stays free of core/mem/bpred dependencies.
+ */
+class WarmupSink
+{
+  public:
+    virtual ~WarmupSink() = default;
+
+    /** Called once per executed instruction, after its effects apply. */
+    virtual void warmInst(const EmuStep &step) = 0;
+};
+
+/** Outcome of one fast-forward burst. */
+struct FastForwardResult
+{
+    uint64_t executed = 0; ///< Instructions actually executed.
+    bool halted = false;   ///< The program's HALT was executed.
+};
+
+/**
+ * Execute up to @p maxInsts instructions of @p state emulator-only,
+ * stopping early at HALT. @p sink may be null for a warmup-free skip.
+ */
+FastForwardResult fastForward(Emulator &emu, ArchState &state,
+                              uint64_t maxInsts, WarmupSink *sink);
+
+} // namespace vpsim
+
+#endif // VPSIM_EMU_FASTFWD_HH

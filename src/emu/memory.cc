@@ -1,9 +1,12 @@
 #include "emu/memory.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "isa/assembler.hh"
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -11,18 +14,29 @@ namespace vpsim
 const MainMemory::Page *
 MainMemory::findPage(Addr pageAddr) const
 {
+    if (pageAddr == _readMemoAddr)
+        return _readMemoPage;
     auto it = _pages.find(pageAddr);
-    return it == _pages.end() ? nullptr : it->second.get();
+    if (it == _pages.end())
+        return nullptr; // Missing pages are not memoized: a later
+                        // write may materialize them.
+    _readMemoAddr = pageAddr;
+    _readMemoPage = it->second.get();
+    return _readMemoPage;
 }
 
 MainMemory::Page &
 MainMemory::touchPage(Addr pageAddr)
 {
+    if (pageAddr == _writeMemoAddr)
+        return *_writeMemoPage;
     auto &slot = _pages[pageAddr];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    _writeMemoAddr = pageAddr;
+    _writeMemoPage = slot.get();
     return *slot;
 }
 
@@ -103,6 +117,39 @@ MainMemory::contentEquals(const MainMemory &other) const
         return true;
     };
     return coveredBy(*this, other) && coveredBy(other, *this);
+}
+
+void
+MainMemory::saveState(CheckpointWriter &cw) const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(_pages.size());
+    // Sorted below — iteration order cannot leak into the image:
+    // vplint:allow(unordered-iter)
+    for (const auto &[addr, page] : _pages)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+
+    cw.u64(addrs.size());
+    for (Addr a : addrs) {
+        cw.u64(a);
+        cw.bytes(findPage(a)->data(), pageBytes);
+    }
+}
+
+void
+MainMemory::restoreState(CheckpointReader &cr)
+{
+    _pages.clear();
+    _readMemoAddr = ~Addr{0};
+    _readMemoPage = nullptr;
+    _writeMemoAddr = ~Addr{0};
+    _writeMemoPage = nullptr;
+    uint64_t n = cr.u64();
+    for (uint64_t i = 0; i < n && cr.good(); ++i) {
+        Addr a = cr.u64();
+        cr.bytes(touchPage(a).data(), pageBytes);
+    }
 }
 
 } // namespace vpsim

@@ -20,6 +20,8 @@ namespace vpsim
 {
 
 struct Program;
+class CheckpointWriter;
+class CheckpointReader;
 
 /** Byte-addressable sparse 64-bit memory. */
 class MainMemory
@@ -57,6 +59,11 @@ class MainMemory
      *  unmapped ones); used by architectural-equivalence tests. */
     bool contentEquals(const MainMemory &other) const;
 
+    /** Serialize mapped pages in address order (checkpointing). */
+    void saveState(CheckpointWriter &cw) const;
+    /** Replace all content with the checkpointed pages. */
+    void restoreState(CheckpointReader &cr);
+
   private:
     using Page = std::array<uint8_t, pageBytes>;
 
@@ -64,6 +71,18 @@ class MainMemory
     Page &touchPage(Addr pageAddr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> _pages;
+
+    // One-entry translation memos. Sequential access (instruction
+    // fetch, the emulator's data stream) hits the same page for up to
+    // 4096 consecutive bytes; memoizing the last translation skips the
+    // hash lookup on those. Page storage is heap-allocated and never
+    // freed before restoreState(), so the cached pointers stay valid
+    // across rehashes. Mutable: a read() translation is not logical
+    // state. One MainMemory is only ever accessed by one sim thread.
+    mutable Addr _readMemoAddr = ~Addr{0};
+    mutable const Page *_readMemoPage = nullptr;
+    Addr _writeMemoAddr = ~Addr{0};
+    Page *_writeMemoPage = nullptr;
 };
 
 } // namespace vpsim

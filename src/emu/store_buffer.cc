@@ -71,6 +71,12 @@ readThroughChain(const StoreSegment *leaf, const MainMemory &mem,
 {
     vpsim_assert(bytes >= 1 && bytes <= 8);
     ChainReadResult result;
+    // No chain to forward from (architectural runs, fast-forward):
+    // one page-granular read instead of a map lookup per byte.
+    if (leaf == nullptr) {
+        result.value = mem.read(addr, bytes);
+        return result;
+    }
     int forwarded = 0;
     for (int i = 0; i < bytes; ++i) {
         Addr a = addr + static_cast<Addr>(i);

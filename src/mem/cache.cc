@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -36,7 +37,7 @@ Cache::tagOf(Addr addr) const
 }
 
 CacheAccess
-Cache::access(Addr addr, bool isWrite)
+Cache::accessImpl(Addr addr, bool isWrite, bool countStats)
 {
     CacheAccess result;
     Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _assoc];
@@ -48,12 +49,14 @@ Cache::access(Addr addr, bool isWrite)
             set[w].lastUse = _useClock;
             set[w].dirty = set[w].dirty || isWrite;
             result.hit = true;
-            ++_hits;
+            if (countStats)
+                ++_hits;
             return result;
         }
     }
 
-    ++_misses;
+    if (countStats)
+        ++_misses;
     // Victim selection: invalid first, else true LRU.
     Line *victim = &set[0];
     for (uint32_t w = 0; w < _assoc; ++w) {
@@ -67,13 +70,26 @@ Cache::access(Addr addr, bool isWrite)
     if (victim->valid && victim->dirty) {
         result.writeback = true;
         result.victimLine = victim->tag << _lineShift;
-        ++_writebacks;
+        if (countStats)
+            ++_writebacks;
     }
     victim->tag = tag;
     victim->valid = true;
     victim->dirty = isWrite;
     victim->lastUse = _useClock;
     return result;
+}
+
+CacheAccess
+Cache::access(Addr addr, bool isWrite)
+{
+    return accessImpl(addr, isWrite, true);
+}
+
+CacheAccess
+Cache::warmAccess(Addr addr, bool isWrite)
+{
+    return accessImpl(addr, isWrite, false);
 }
 
 bool
@@ -89,7 +105,7 @@ Cache::probe(Addr addr) const
 }
 
 CacheAccess
-Cache::insert(Addr addr)
+Cache::insertImpl(Addr addr, bool countStats)
 {
     CacheAccess result;
     Line *set = &_lines[static_cast<size_t>(setIndex(addr)) * _assoc];
@@ -114,13 +130,55 @@ Cache::insert(Addr addr)
     if (victim->valid && victim->dirty) {
         result.writeback = true;
         result.victimLine = victim->tag << _lineShift;
-        ++_writebacks;
+        if (countStats)
+            ++_writebacks;
     }
     victim->tag = tag;
     victim->valid = true;
     victim->dirty = false;
     victim->lastUse = _useClock;
     return result;
+}
+
+CacheAccess
+Cache::insert(Addr addr)
+{
+    return insertImpl(addr, true);
+}
+
+CacheAccess
+Cache::warmInsert(Addr addr)
+{
+    return insertImpl(addr, false);
+}
+
+void
+Cache::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_useClock);
+    cw.u64(_lines.size());
+    for (const Line &l : _lines) {
+        cw.u64(l.tag);
+        cw.u64(l.lastUse);
+        cw.b(l.valid);
+        cw.b(l.dirty);
+    }
+}
+
+void
+Cache::restoreState(CheckpointReader &cr)
+{
+    _useClock = cr.u64();
+    uint64_t n = cr.u64();
+    vpsim_assert(n == _lines.size(),
+                 "checkpoint cache geometry mismatch: %llu vs %zu lines",
+                 static_cast<unsigned long long>(n), _lines.size());
+    for (Line &l : _lines) {
+        l.tag = cr.u64();
+        l.lastUse = cr.u64();
+        l.valid = cr.b();
+        l.dirty = cr.b();
+    }
 }
 
 bool

@@ -18,6 +18,9 @@
 namespace vpsim
 {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** Result of a cache access. */
 struct CacheAccess
 {
@@ -55,6 +58,18 @@ class Cache
     /** Invalidate a line if present; returns true if it was dirty. */
     bool invalidate(Addr addr);
 
+    /**
+     * access()/insert() with identical tag movements but no stat
+     * counting: fast-forward warming must leave the demand counters at
+     * zero so a restored checkpoint is bit-identical to a live one.
+     */
+    CacheAccess warmAccess(Addr addr, bool isWrite);
+    CacheAccess warmInsert(Addr addr);
+
+    /** Serialize/restore the full tag-array state (checkpointing). */
+    void saveState(CheckpointWriter &cw) const;
+    void restoreState(CheckpointReader &cr);
+
     Addr lineAddr(Addr addr) const { return addr & ~_lineMask; }
     uint32_t lineSize() const { return _lineMask + 1; }
     uint32_t numSets() const { return _numSets; }
@@ -74,6 +89,8 @@ class Cache
 
     uint32_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    CacheAccess accessImpl(Addr addr, bool isWrite, bool countStats);
+    CacheAccess insertImpl(Addr addr, bool countStats);
 
     Addr _lineMask;
     uint32_t _numSets;

@@ -1,6 +1,7 @@
 #include "mem/hierarchy.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 #include "sim/trace.hh"
 
 namespace vpsim
@@ -180,6 +181,95 @@ Hierarchy::instFetch(Addr addr, Cycle now)
             static_cast<unsigned long long>(addr),
             static_cast<unsigned long long>(r));
     return r;
+}
+
+void
+Hierarchy::warmFillFromL2(Addr addr)
+{
+    CacheAccess a2 = _l2.warmAccess(addr, false);
+    if (a2.hit)
+        return;
+    // Copy before the next warmAccess call: GCC 13's -Wdangling-pointer
+    // otherwise misfires on the NRVO return slot of the first call.
+    const Addr victim = a2.victimLine;
+    if (a2.writeback)
+        _l3.warmAccess(victim, true);
+    _l3.warmAccess(addr, false);
+}
+
+void
+Hierarchy::warmLoad(Addr addr, Addr pc)
+{
+    CacheAccess a = _l1d.warmAccess(addr, false);
+    if (a.hit)
+        return;
+    if (a.writeback)
+        _l2.warmAccess(a.victimLine, true);
+    if (_cfg.prefetchEnabled)
+        _prefetcher->warmTrain(pc, addr);
+    warmFillFromL2(addr);
+}
+
+void
+Hierarchy::warmStore(Addr addr)
+{
+    CacheAccess a = _l1d.warmAccess(addr, true);
+    if (a.hit)
+        return;
+    if (a.writeback)
+        _l2.warmAccess(a.victimLine, true);
+    CacheAccess a2 = _l2.warmAccess(addr, false);
+    if (a2.writeback)
+        _l3.warmAccess(a2.victimLine, true);
+    if (!a2.hit)
+        _l3.warmAccess(addr, false);
+}
+
+void
+Hierarchy::warmInstFetch(Addr addr)
+{
+    Addr line = _l1i.lineAddr(addr);
+
+    // Mirror the sequential next-line instruction prefetch so the L1I
+    // holds the same lines a detailed fetch stream would have pulled.
+    if (_cfg.prefetchEnabled) {
+        for (int d = 1; d <= 2; ++d) {
+            Addr nl = line + static_cast<Addr>(d) * _cfg.lineSize;
+            if (!_l1i.probe(nl)) {
+                warmFillFromL2(nl);
+                _l1i.warmInsert(nl);
+            }
+        }
+    }
+
+    CacheAccess a = _l1i.warmAccess(addr, false);
+    if (a.hit)
+        return;
+    warmFillFromL2(addr);
+}
+
+void
+Hierarchy::saveState(CheckpointWriter &cw) const
+{
+    vpsim_assert(_dataInFlight.empty() && _instInFlight.empty(),
+                 "checkpoint with in-flight fills outstanding");
+    _l1i.saveState(cw);
+    _l1d.saveState(cw);
+    _l2.saveState(cw);
+    _l3.saveState(cw);
+    _prefetcher->saveState(cw);
+}
+
+void
+Hierarchy::restoreState(CheckpointReader &cr)
+{
+    _dataInFlight.clear();
+    _instInFlight.clear();
+    _l1i.restoreState(cr);
+    _l1d.restoreState(cr);
+    _l2.restoreState(cr);
+    _l3.restoreState(cr);
+    _prefetcher->restoreState(cr);
 }
 
 MemLevel

@@ -47,6 +47,23 @@ class Hierarchy
     Cycle instFetch(Addr addr, Cycle now);
 
     /**
+     * Fast-forward warming: the same tag/LRU movements as
+     * load()/storeDrain()/instFetch() but with no stat counting, no
+     * in-flight fill registration, and no stream-buffer allocation
+     * (timed state is meaningless outside the detailed pipeline and is
+     * rebuilt by the detailed warmup interval). Leaves the hierarchy in
+     * a state a checkpoint can capture exactly.
+     */
+    void warmLoad(Addr addr, Addr pc);
+    void warmStore(Addr addr);
+    void warmInstFetch(Addr addr);
+
+    /** Serialize/restore tags + prefetcher. In-flight fill maps must be
+     *  empty (checkpoints are cut on a quiesced machine). */
+    void saveState(CheckpointWriter &cw) const;
+    void restoreState(CheckpointReader &cr);
+
+    /**
      * Oracle probe (no state change): the level a load of @p addr would
      * be serviced from right now. Used by the CacheOracle load selector.
      */
@@ -74,6 +91,9 @@ class Hierarchy
   private:
     /** Charge a fill that starts below L1 (L2 -> L3 -> memory). */
     Cycle fillFromL2(Addr addr, Cycle now, bool countDemand);
+
+    /** Stat-free tag movements of a fill below L1 (fast-forward). */
+    void warmFillFromL2(Addr addr);
 
     /** Look up / register an in-flight fill; returns merged ready time. */
     Cycle mergeInFlight(std::unordered_map<Addr, Cycle> &inflight,

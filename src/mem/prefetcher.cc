@@ -1,6 +1,7 @@
 #include "mem/prefetcher.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -109,6 +110,88 @@ StridePrefetcher::onL1Miss(Addr pc, Addr addr, Cycle now)
     victim->lines.clear();
     ++_streamAllocs;
     issueInto(*victim, now);
+}
+
+void
+StridePrefetcher::warmTrain(Addr pc, Addr addr)
+{
+    size_t idx = (pc >> 2) % _table.size();
+    TableEntry &e = _table[idx];
+
+    if (!e.valid || e.pcTag != pc) {
+        e = TableEntry{pc, addr, 0, 0, true};
+        return;
+    }
+
+    int64_t delta = static_cast<int64_t>(addr) -
+                    static_cast<int64_t>(e.lastAddr);
+    if (delta == e.stride && delta != 0) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        e.stride = delta;
+        e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+    }
+    e.lastAddr = addr;
+}
+
+void
+StridePrefetcher::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_useClock);
+    cw.u64(_table.size());
+    for (const TableEntry &e : _table) {
+        cw.u64(e.pcTag);
+        cw.u64(e.lastAddr);
+        cw.i64(e.stride);
+        cw.u32(static_cast<uint32_t>(e.confidence));
+        cw.b(e.valid);
+    }
+    cw.u64(_streams.size());
+    for (const StreamBuffer &sb : _streams) {
+        cw.b(sb.valid);
+        cw.u64(sb.nextAddr);
+        cw.i64(sb.stride);
+        cw.u64(sb.lastUse);
+        cw.u64(sb.lines.size());
+        for (const PrefetchedLine &pl : sb.lines) {
+            cw.u64(pl.line);
+            cw.u64(pl.ready);
+        }
+    }
+}
+
+void
+StridePrefetcher::restoreState(CheckpointReader &cr)
+{
+    _useClock = cr.u64();
+    uint64_t nt = cr.u64();
+    vpsim_assert(nt == _table.size(),
+                 "checkpoint prefetcher geometry mismatch");
+    for (TableEntry &e : _table) {
+        e.pcTag = cr.u64();
+        e.lastAddr = cr.u64();
+        e.stride = cr.i64();
+        e.confidence = static_cast<int>(cr.u32());
+        e.valid = cr.b();
+    }
+    uint64_t ns = cr.u64();
+    vpsim_assert(ns == _streams.size(),
+                 "checkpoint prefetcher stream-count mismatch");
+    for (StreamBuffer &sb : _streams) {
+        sb.valid = cr.b();
+        sb.nextAddr = cr.u64();
+        sb.stride = cr.i64();
+        sb.lastUse = cr.u64();
+        sb.lines.clear();
+        uint64_t nl = cr.u64();
+        for (uint64_t i = 0; i < nl; ++i) {
+            PrefetchedLine pl;
+            pl.line = cr.u64();
+            pl.ready = cr.u64();
+            sb.lines.push_back(pl);
+        }
+    }
 }
 
 std::optional<Cycle>

@@ -21,6 +21,9 @@
 namespace vpsim
 {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** PC-indexed stride detector plus stream buffers. */
 class StridePrefetcher
 {
@@ -48,6 +51,19 @@ class StridePrefetcher
 
     uint64_t streamHits() const { return _streamHits.count(); }
     uint64_t prefetchesIssued() const { return _issued.count(); }
+
+    /**
+     * Stride-table-only training used during fast-forward: keeps the
+     * PC/stride/confidence state warm without counting stats or
+     * allocating stream buffers (streams hold timed in-flight lines,
+     * which have no meaning outside the detailed pipeline; the detailed
+     * warmup interval re-establishes them).
+     */
+    void warmTrain(Addr pc, Addr addr);
+
+    /** Serialize/restore table + stream state (checkpointing). */
+    void saveState(CheckpointWriter &cw) const;
+    void restoreState(CheckpointReader &cr);
 
   private:
     struct TableEntry

@@ -1,0 +1,148 @@
+#include "sim/checkpoint.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/cpu.hh"
+#include "sim/logging.hh"
+#include "sim/result_cache.hh"
+#include "sim/serialize.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** Bump on any change to the checkpoint payload layout (what
+ *  Cpu::saveCheckpoint serializes, or any subsystem's saveState). Old
+ *  entries then miss by construction instead of restoring garbage. */
+constexpr const char *ckptSchemaVersion = "vpsim-ckpt-v1";
+
+/** File magic: rejects non-checkpoint files immediately. */
+constexpr const char *ckptMagic = "VPCK";
+
+bool
+makeDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    return false;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : _dir(std::move(dir))
+{
+}
+
+std::string
+CheckpointStore::keyString(const SimConfig &cfg,
+                           const std::string &workload)
+{
+    std::string key;
+    key.reserve(512);
+    key += "ckpt-schema=";
+    key += ckptSchemaVersion;
+    key += ";warmup=";
+    key += cfg.warmupKey();
+    key += ";workload=";
+    key += workload;
+    key += ";ffInsts=";
+    key += std::to_string(cfg.ffInsts);
+    return key;
+}
+
+std::string
+CheckpointStore::entryPath(const SimConfig &cfg,
+                           const std::string &workload) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016" PRIx64,
+                  fnv1a64(keyString(cfg, workload)));
+    return _dir + "/" + name + ".ckpt";
+}
+
+bool
+CheckpointStore::load(const SimConfig &cfg, const std::string &workload,
+                      Cpu &cpu) const
+{
+    if (!enabled() || cfg.ffInsts == 0)
+        return false;
+    // Slurp the whole file first: a concurrently evicted or truncated
+    // entry is then detected by the reader's bounds checks before any
+    // simulator state is mutated.
+    std::ifstream is(entryPath(cfg, workload), std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string data = buf.str();
+
+    CheckpointReader cr(data);
+    char magic[4] = {};
+    cr.bytes(magic, sizeof(magic));
+    if (!cr.good() || std::memcmp(magic, ckptMagic, sizeof(magic)) != 0)
+        return false;
+    if (cr.str() != keyString(cfg, workload))
+        return false; // Hash collision or stale schema: miss.
+
+    cpu.restoreCheckpoint(cr);
+    if (!cr.good() || !cr.atEnd()) {
+        // The payload was the wrong shape for this geometry; the
+        // subsystem asserts catch size mismatches before this, so the
+        // only way here is a truncated file race.
+        fatal("checkpoint '%s' is truncated",
+              entryPath(cfg, workload).c_str());
+    }
+    return true;
+}
+
+void
+CheckpointStore::save(const SimConfig &cfg, const std::string &workload,
+                      Cpu &cpu) const
+{
+    if (!enabled() || cfg.ffInsts == 0)
+        return;
+    if (!makeDir(_dir)) {
+        warn("checkpoint store: cannot create '%s': %s", _dir.c_str(),
+             std::strerror(errno));
+        return;
+    }
+
+    const std::string path = entryPath(cfg, workload);
+    char pidbuf[32];
+    std::snprintf(pidbuf, sizeof(pidbuf), ".tmp.%ld",
+                  static_cast<long>(::getpid()));
+    const std::string tmp = path + pidbuf;
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        if (!os) {
+            warn("checkpoint store: cannot write '%s': %s", tmp.c_str(),
+                 std::strerror(errno));
+            return;
+        }
+        CheckpointWriter cw(os);
+        cw.bytes(ckptMagic, 4);
+        cw.str(keyString(cfg, workload));
+        cpu.saveCheckpoint(cw);
+        if (!cw.good()) {
+            warn("checkpoint store: write to '%s' failed", tmp.c_str());
+            os.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("checkpoint store: cannot finalize '%s'", path.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+} // namespace vpsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Persistent on-disk store of fast-forward checkpoints.
+ *
+ * A checkpoint captures the pristine post-fast-forward machine: the
+ * architectural state and memory image after ffInsts emulated
+ * instructions, plus the warm microarchitectural tables (cache tags,
+ * branch predictor, BTB, RAS, value predictor) the fast-forward built.
+ * Entries are keyed by SimConfig::warmupKey() + workload + ffInsts —
+ * deliberately *not* the full canonicalKey() — so an entire sweep
+ * (baseline vs STVP vs MTVP, different pipeline widths, ...) shares one
+ * fast-forward instead of each point re-emulating the same prefix.
+ *
+ * Files live beside the result cache (same bench-cache/ directory by
+ * default), named by the FNV-1a hash of the key string; the key string
+ * is stored in the header and verified on load so a hash collision
+ * degrades to a miss, never a wrong restore. Writes go through a
+ * pid-tagged temp file + atomic rename, and loads read the whole file
+ * into memory before touching any simulator state, so concurrent
+ * writers/evictors can never yield a torn restore.
+ */
+
+#ifndef VPSIM_SIM_CHECKPOINT_HH
+#define VPSIM_SIM_CHECKPOINT_HH
+
+#include <string>
+
+#include "sim/config.hh"
+
+namespace vpsim
+{
+
+class Cpu;
+
+/** On-disk fast-forward checkpoint store; see the file comment. */
+class CheckpointStore
+{
+  public:
+    /** Store rooted at @p dir (created on first save; empty string
+     *  disables the store — loads miss, saves are dropped). */
+    explicit CheckpointStore(std::string dir);
+
+    const std::string &dir() const { return _dir; }
+    bool enabled() const { return !_dir.empty(); }
+
+    /** The canonical key string of one checkpoint identity. */
+    static std::string keyString(const SimConfig &cfg,
+                                 const std::string &workload);
+
+    /** Path of the entry file for one identity (tests/tooling). */
+    std::string entryPath(const SimConfig &cfg,
+                          const std::string &workload) const;
+
+    /**
+     * Restore the checkpoint for @p cfg x @p workload into @p cpu.
+     * Returns false on a miss (absent/truncated/mismatched file), in
+     * which case @p cpu is untouched; the caller then fast-forwards
+     * live. The cpu must be freshly constructed.
+     */
+    bool load(const SimConfig &cfg, const std::string &workload,
+              Cpu &cpu) const;
+
+    /** Persist @p cpu's post-fast-forward state (atomic rename). */
+    void save(const SimConfig &cfg, const std::string &workload,
+              Cpu &cpu) const;
+
+  private:
+    std::string _dir;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_CHECKPOINT_HH

@@ -95,6 +95,12 @@ SimConfig::set(const std::string &key, const std::string &value)
     else if (key == "maxInsts") maxInsts = num();
     else if (key == "maxCycles") maxCycles = num();
     else if (key == "seed") seed = num();
+    else if (key == "ffInsts") ffInsts = num();
+    else if (key == "sampleIntervals")
+        sampleIntervals = static_cast<int>(num());
+    else if (key == "sampleIntervalInsts") sampleIntervalInsts = num();
+    else if (key == "sampleWarmupInsts") sampleWarmupInsts = num();
+    else if (key == "checkpointDir") checkpointDir = value;
     else if (key == "memLatency") memLatency = static_cast<int>(num());
     else if (key == "robSize") robSize = static_cast<int>(num());
     else if (key == "renameRegs") renameRegs = static_cast<int>(num());
@@ -214,6 +220,44 @@ SimConfig::canonicalKey() const
        << ";wideWindow=" << wideWindow
        << ";maxInsts=" << maxInsts
        << ";maxCycles=" << maxCycles
+       << ";seed=" << seed
+       << ";ffInsts=" << ffInsts
+       << ";sampleIntervals=" << sampleIntervals
+       << ";sampleIntervalInsts=" << sampleIntervalInsts
+       << ";sampleWarmupInsts=" << sampleWarmupInsts;
+    return os.str();
+}
+
+std::string
+SimConfig::warmupKey() const
+{
+    // Only fields that shape fast-forward warm state. Pipeline widths,
+    // latencies, vpMode/selector/fetchPolicy, numContexts, and the
+    // confidence *use* threshold deliberately do not appear: a baseline,
+    // STVP, and MTVP sweep over one workload share a single checkpoint.
+    std::ostringstream os;
+    os << "bpredMetaEntries=" << bpredMetaEntries
+       << ";bpredGshareEntries=" << bpredGshareEntries
+       << ";bpredBimodalEntries=" << bpredBimodalEntries
+       << ";btbEntries=" << btbEntries
+       << ";rasEntries=" << rasEntries
+       << ";lineSize=" << lineSize
+       << ";icacheSize=" << icacheSize
+       << ";icacheAssoc=" << icacheAssoc
+       << ";dcacheSize=" << dcacheSize
+       << ";dcacheAssoc=" << dcacheAssoc
+       << ";l2Size=" << l2Size
+       << ";l2Assoc=" << l2Assoc
+       << ";l3Size=" << l3Size
+       << ";l3Assoc=" << l3Assoc
+       << ";prefetchEnabled=" << prefetchEnabled
+       << ";prefetchEntries=" << prefetchEntries
+       << ";streamBuffers=" << streamBuffers
+       << ";streamBufferDepth=" << streamBufferDepth
+       << ";predictor=" << vpsim::toString(predictor)
+       << ";confidenceMax=" << confidenceMax
+       << ";confidenceUp=" << confidenceUp
+       << ";confidenceDown=" << confidenceDown
        << ";seed=" << seed;
     return os.str();
 }
@@ -256,6 +300,29 @@ SimConfig::validate() const
               static_cast<unsigned long long>(traceStart));
     if (!sampleFile.empty() && samplePeriod == 0)
         fatal("sampleFile requires samplePeriod > 0");
+    if (ffInsts > 0 && maxInsts == 0)
+        fatal("ffInsts requires maxInsts > 0");
+    if (ffInsts > 0 && ffInsts >= maxInsts)
+        fatal("ffInsts (%llu) must leave detailed instructions below "
+              "maxInsts (%llu)",
+              static_cast<unsigned long long>(ffInsts),
+              static_cast<unsigned long long>(maxInsts));
+    if (sampleIntervals < 0)
+        fatal("sampleIntervals must be >= 0");
+    if (sampleIntervals > 0) {
+        if (maxInsts == 0)
+            fatal("interval sampling requires maxInsts > 0");
+        if (sampleIntervalInsts == 0)
+            fatal("sampleIntervalInsts must be >= 1");
+        uint64_t region = maxInsts - ffInsts;
+        uint64_t stride = region / static_cast<uint64_t>(sampleIntervals);
+        if (stride < sampleWarmupInsts + sampleIntervalInsts)
+            fatal("sampling schedule does not fit: (maxInsts-ffInsts)/"
+                  "sampleIntervals = %llu < warmup %llu + interval %llu",
+                  static_cast<unsigned long long>(stride),
+                  static_cast<unsigned long long>(sampleWarmupInsts),
+                  static_cast<unsigned long long>(sampleIntervalInsts));
+    }
 }
 
 const char *

@@ -123,6 +123,21 @@ struct SimConfig
     uint64_t maxInsts = 100000; ///< Useful instructions to simulate.
     uint64_t maxCycles = 0;     ///< 0 = no cycle cap.
     uint64_t seed = 1;          ///< Workload data-set seed.
+    /** Instructions to fast-forward functionally (emulator-only, with
+     *  structure warming) before detailed simulation begins. Counts
+     *  toward maxInsts: a run with ffInsts=N and maxInsts=M simulates
+     *  M-N instructions in detail. 0 = fully detailed run. */
+    uint64_t ffInsts = 0;
+    /** SimPoint-style interval sampling: number of measured intervals
+     *  spread evenly over the post-fast-forward instruction stream.
+     *  0 = no sampling (the whole detailed region is measured). */
+    int sampleIntervals = 0;
+    /** Measured detailed instructions per interval. */
+    uint64_t sampleIntervalInsts = 50000;
+    /** Unmeasured detailed warmup instructions preceding each measured
+     *  interval (re-times in-flight/queue state the fast-forward warm
+     *  structures cannot carry). */
+    uint64_t sampleWarmupInsts = 10000;
     /** Next-event time skip: when a whole tick provably did nothing,
      *  advance straight to the earliest pending event instead of
      *  ticking idle cycles one by one. The engine is exact — every
@@ -163,6 +178,12 @@ struct SimConfig
      *  per-spawn-PC and per-load-PC attribution): empty = none,
      *  "-" = stdout, otherwise a file path. */
     std::string analytics;
+    /** Directory of the persistent checkpoint store ("" = off). When
+     *  set and ffInsts > 0, the post-fast-forward machine state is
+     *  saved under warmupKey()+workload+ffInsts and reused by any later
+     *  run sharing that warm state — restore is bit-identical to
+     *  fast-forwarding live, so this is a pure wall-clock knob. */
+    std::string checkpointDir;
 
     /** Apply one "key=value" override; fatal() on unknown key/value. */
     void set(const std::string &key, const std::string &value);
@@ -179,6 +200,15 @@ struct SimConfig
      * distinct configs, so config_test cross-checks it against set().
      */
     std::string canonicalKey() const;
+
+    /**
+     * Canonical serialization of only the fields that shape the warm
+     * state a fast-forward produces (cache/bpred/btb/ras/prefetcher
+     * geometry, predictor kind and confidence dynamics, seed). Two
+     * configs with equal warmupKey() — e.g. baseline vs STVP vs MTVP
+     * sweep points — can share one fast-forward checkpoint.
+     */
+    std::string warmupKey() const;
 
     /** Effective ROB/queue/register sizes after wideWindow expansion. */
     int effRobSize() const { return wideWindow ? 8192 : robSize; }

@@ -38,6 +38,9 @@ profSectionName(ProfSection s)
       case ProfSection::VpredPredict: return "vpredPredict";
       case ProfSection::VpredTrain: return "vpredTrain";
       case ProfSection::TimeSkip: return "timeSkip";
+      case ProfSection::Warmup: return "warmup";
+      case ProfSection::Checkpoint: return "checkpoint";
+      case ProfSection::Sampling: return "sampling";
       case ProfSection::NumSections: break;
     }
     return "?";

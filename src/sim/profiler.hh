@@ -42,6 +42,9 @@ enum class ProfSection : unsigned
     VpredPredict, ///< ValuePredictor::predict at dispatch
     VpredTrain,   ///< ValuePredictor::train at commit
     TimeSkip,     ///< Cpu::tryTimeSkip (event scan + bulk attribution)
+    Warmup,       ///< Cpu::fastForward (emulator-only warming)
+    Checkpoint,   ///< Checkpoint serialize/restore + store I/O
+    Sampling,     ///< Cpu::quiesce (inter-interval pipeline drain)
     NumSections,
 };
 

@@ -1,14 +1,17 @@
 #include "sim/result_cache.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <fstream>
 #include <sstream>
 #include <sys/stat.h>
 #include <unistd.h>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -22,7 +25,7 @@ namespace vpsim
  * keyed under an older tag then miss instead of returning numbers the
  * current code would not reproduce.
  */
-const char *const statSchemaVersion = "vpsim-stats-v4";
+const char *const statSchemaVersion = "vpsim-stats-v5";
 
 uint64_t
 fnv1a64(const std::string &s)
@@ -250,8 +253,19 @@ makeDir(const std::string &dir)
 
 } // namespace
 
-ResultCache::ResultCache(std::string dir) : _dir(std::move(dir))
+ResultCache::ResultCache(std::string dir, uint64_t maxBytes)
+    : _dir(std::move(dir)), _maxBytes(maxBytes)
 {
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    ResultCacheStats s;
+    s.hits = _hits.load(std::memory_order_relaxed);
+    s.misses = _misses.load(std::memory_order_relaxed);
+    s.evictions = _evictions.load(std::memory_order_relaxed);
+    return s;
 }
 
 std::string
@@ -271,14 +285,19 @@ ResultCache::lookup(const SimConfig &cfg, const std::string &workload,
     if (!enabled())
         return false;
     std::ifstream is(entryPath(cfg, workload));
-    if (!is)
+    if (!is) {
+        _misses.fetch_add(1, std::memory_order_relaxed);
         return false;
+    }
     std::ostringstream buf;
     buf << is.rdbuf();
     SimResult parsed;
-    if (!parseEntry(buf.str(), resultKeyString(cfg, workload), parsed))
+    if (!parseEntry(buf.str(), resultKeyString(cfg, workload), parsed)) {
+        _misses.fetch_add(1, std::memory_order_relaxed);
         return false;
+    }
     out = std::move(parsed);
+    _hits.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
@@ -352,6 +371,69 @@ ResultCache::store(const SimConfig &cfg, const std::string &workload,
     if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("result cache: cannot finalize '%s'", path.c_str());
         std::remove(tmp.c_str());
+        return;
+    }
+    enforceCap();
+}
+
+void
+ResultCache::enforceCap() const
+{
+    if (!enabled() || _maxBytes == 0)
+        return;
+
+    struct Entry
+    {
+        std::string path;
+        int64_t mtime;
+        uint64_t size;
+    };
+
+    // Cap the whole directory: result entries (.json) and fast-forward
+    // checkpoints (.ckpt) share it. In-progress .tmp.<pid> staging
+    // files are never touched.
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    DIR *d = ::opendir(_dir.c_str());
+    if (d == nullptr)
+        return;
+    while (struct dirent *de = ::readdir(d)) {
+        const std::string name = de->d_name;
+        auto endsWith = [&name](const char *suf) {
+            size_t n = std::strlen(suf);
+            return name.size() >= n &&
+                   name.compare(name.size() - n, n, suf) == 0;
+        };
+        if (!endsWith(".json") && !endsWith(".ckpt"))
+            continue;
+        Entry e;
+        e.path = _dir + "/" + name;
+        struct stat st;
+        if (::stat(e.path.c_str(), &st) != 0)
+            continue; // Concurrently evicted: nothing to count.
+        e.mtime = static_cast<int64_t>(st.st_mtime);
+        e.size = static_cast<uint64_t>(st.st_size);
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+    ::closedir(d);
+    if (total <= _maxBytes)
+        return;
+
+    // Least-recently-written first; path tie-break keeps the order
+    // deterministic within one mtime second.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Entry &e : entries) {
+        if (total <= _maxBytes)
+            break;
+        if (::unlink(e.path.c_str()) != 0 && errno != ENOENT)
+            continue; // Keep going: maybe a later entry is removable.
+        total -= e.size;
+        _evictions.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -362,7 +444,10 @@ ResultCache::standard()
     if (noCache != nullptr && std::strtoull(noCache, nullptr, 0) != 0)
         return ResultCache("");
     const char *dir = std::getenv("MTVP_CACHE_DIR");
-    return ResultCache(dir != nullptr ? dir : "bench-cache");
+    const char *cap = std::getenv("MTVP_CACHE_MAX_MB");
+    uint64_t maxBytes =
+        cap != nullptr ? std::strtoull(cap, nullptr, 0) * 1024 * 1024 : 0;
+    return ResultCache(dir != nullptr ? dir : "bench-cache", maxBytes);
 }
 
 } // namespace vpsim

@@ -24,6 +24,7 @@
 #ifndef VPSIM_SIM_RESULT_CACHE_HH
 #define VPSIM_SIM_RESULT_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -32,6 +33,16 @@
 
 namespace vpsim
 {
+
+/** Point-in-time counters of one ResultCache (see ResultCache::stats).
+ *  Evictions also count checkpoint files: the size cap governs the
+ *  whole cache directory, which the CheckpointStore shares. */
+struct ResultCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+};
 
 /** Version tag of the exported stat schema; part of every cache key. */
 extern const char *const statSchemaVersion;
@@ -53,11 +64,18 @@ class ResultCache
     /**
      * Cache rooted at @p dir (created on first store; empty string
      * disables the cache entirely — lookups miss, stores are dropped).
+     * A non-zero @p maxBytes caps the total on-disk size of the cache
+     * directory: after every store the oldest entries (by mtime, i.e.
+     * least-recently written) are evicted until the directory fits.
      */
-    explicit ResultCache(std::string dir);
+    explicit ResultCache(std::string dir, uint64_t maxBytes = 0);
 
     const std::string &dir() const { return _dir; }
     bool enabled() const { return !_dir.empty(); }
+    uint64_t maxBytes() const { return _maxBytes; }
+
+    /** Hit/miss/eviction counters accumulated by this instance. */
+    ResultCacheStats stats() const;
 
     /**
      * Load the entry for @p cfg x @p workload into @p out. Returns false
@@ -78,12 +96,23 @@ class ResultCache
     /**
      * The conventional cache for bench binaries: directory from
      * MTVP_CACHE_DIR (default "bench-cache"), disabled entirely when
-     * MTVP_NO_CACHE is set to a non-zero value.
+     * MTVP_NO_CACHE is set to a non-zero value, size-capped by
+     * MTVP_CACHE_MAX_MB (0 / unset = unlimited).
      */
     static ResultCache standard();
 
   private:
+    /** Evict least-recently-written entries until the directory fits
+     *  under the cap. Tolerates concurrent evictors (ENOENT races). */
+    void enforceCap() const;
+
     std::string _dir;
+    uint64_t _maxBytes = 0;
+    // Counters, not state: mutated under const because lookup()/store()
+    // are logically read-only and run concurrently from pool workers.
+    mutable std::atomic<uint64_t> _hits{0};
+    mutable std::atomic<uint64_t> _misses{0};
+    mutable std::atomic<uint64_t> _evictions{0};
 };
 
 } // namespace vpsim

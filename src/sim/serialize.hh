@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Binary checkpoint serialization primitives. Checkpoints are written
+ * little-endian regardless of host byte order so a bench-cache/ can be
+ * shared between machines. The writer streams to any std::ostream; the
+ * reader works over an in-memory buffer so a truncated or concurrently
+ * evicted file is detected before any simulator state is mutated.
+ */
+
+#ifndef VPSIM_SIM_SERIALIZE_HH
+#define VPSIM_SIM_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace vpsim
+{
+
+/** Streams checkpoint fields little-endian onto an ostream. */
+class CheckpointWriter
+{
+  public:
+    explicit CheckpointWriter(std::ostream &os) : _os(os) {}
+
+    void
+    u8(uint8_t v)
+    {
+        _os.put(static_cast<char>(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i64(int64_t v)
+    {
+        u64(static_cast<uint64_t>(v));
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        _os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    /** Raw byte block (caller knows the length on both sides). */
+    void
+    bytes(const void *data, size_t n)
+    {
+        _os.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(n));
+    }
+
+    bool good() const { return _os.good(); }
+
+  private:
+    std::ostream &_os;
+};
+
+/**
+ * Reads checkpoint fields back from an in-memory buffer. Running past
+ * the end sets a sticky failure flag and returns zeros instead of
+ * touching out-of-bounds memory; callers check good() when done.
+ */
+class CheckpointReader
+{
+  public:
+    explicit CheckpointReader(std::string_view buf) : _buf(buf) {}
+
+    uint8_t
+    u8()
+    {
+        if (_pos + 1 > _buf.size()) {
+            _ok = false;
+            return 0;
+        }
+        return static_cast<uint8_t>(_buf[_pos++]);
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        if (!_ok || _pos + n > _buf.size()) {
+            _ok = false;
+            return {};
+        }
+        std::string s(_buf.substr(_pos, n));
+        _pos += n;
+        return s;
+    }
+
+    void
+    bytes(void *data, size_t n)
+    {
+        if (_pos + n > _buf.size()) {
+            _ok = false;
+            std::memset(data, 0, n);
+            return;
+        }
+        std::memcpy(data, _buf.data() + _pos, n);
+        _pos += n;
+    }
+
+    bool good() const { return _ok; }
+    bool atEnd() const { return _ok && _pos == _buf.size(); }
+    size_t pos() const { return _pos; }
+
+  private:
+    std::string_view _buf;
+    size_t _pos = 0;
+    bool _ok = true;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_SERIALIZE_HH

@@ -8,6 +8,7 @@
 #include "core/cpu.hh"
 #include "emu/memory.hh"
 #include "sim/analytics.hh"
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/perfetto_trace.hh"
 #include "workloads/workload.hh"
@@ -52,6 +53,15 @@ runWorkload(const SimConfig &cfg, const Workload &workload)
     MainMemory mem;
     Addr entry = workload.build(mem, cfg.seed);
     Cpu cpu(cfg, mem, entry);
+    if (cfg.ffInsts > 0) {
+        // Restore the shared post-fast-forward state if a sweep sibling
+        // already produced it; otherwise fast-forward live and publish.
+        CheckpointStore store(cfg.checkpointDir);
+        if (!store.load(cfg, workload.name(), cpu)) {
+            cpu.fastForward(cfg.ffInsts);
+            store.save(cfg, workload.name(), cpu);
+        }
+    }
     cpu.run();
 
     SimResult r;

@@ -1,5 +1,8 @@
 #include "vpred/dfcm.hh"
 
+#include "sim/logging.hh"
+#include "sim/serialize.hh"
+
 namespace vpsim
 {
 
@@ -93,6 +96,46 @@ DfcmPredictor::train(Addr pc, RegVal actual)
     e.deltas[0] = trueDelta;
     e.lastValue = actual;
     e.specLastValue = actual;
+}
+
+void
+DfcmPredictor::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_l1.size());
+    for (const L1Entry &e : _l1) {
+        cw.u64(e.tag);
+        cw.u64(e.lastValue);
+        cw.u64(e.specLastValue);
+        for (int64_t d : e.deltas)
+            cw.i64(d);
+        cw.b(e.valid);
+    }
+    cw.u64(_l2.size());
+    for (const L2Entry &e : _l2) {
+        cw.i64(e.delta);
+        cw.u8(e.confidence);
+    }
+}
+
+void
+DfcmPredictor::restoreState(CheckpointReader &cr)
+{
+    uint64_t n1 = cr.u64();
+    vpsim_assert(n1 == _l1.size(), "checkpoint DFCM L1 size mismatch");
+    for (L1Entry &e : _l1) {
+        e.tag = cr.u64();
+        e.lastValue = cr.u64();
+        e.specLastValue = cr.u64();
+        for (int64_t &d : e.deltas)
+            d = cr.i64();
+        e.valid = cr.b();
+    }
+    uint64_t n2 = cr.u64();
+    vpsim_assert(n2 == _l2.size(), "checkpoint DFCM L2 size mismatch");
+    for (L2Entry &e : _l2) {
+        e.delta = cr.i64();
+        e.confidence = cr.u8();
+    }
 }
 
 } // namespace vpsim

@@ -32,6 +32,8 @@ class DfcmPredictor : public ValuePredictor
     ValuePrediction predict(Addr pc, RegVal actual) override;
     void notePredictionUsed(Addr pc, RegVal predicted) override;
     void train(Addr pc, RegVal actual) override;
+    void saveState(CheckpointWriter &cw) const override;
+    void restoreState(CheckpointReader &cr) override;
 
   private:
     struct L1Entry

@@ -1,5 +1,8 @@
 #include "vpred/last_value.hh"
 
+#include "sim/logging.hh"
+#include "sim/serialize.hh"
+
 namespace vpsim
 {
 
@@ -39,6 +42,32 @@ LastValuePredictor::train(Addr pc, RegVal actual)
     else
         _conf.incorrect(e.confidence);
     e.lastValue = actual;
+}
+
+void
+LastValuePredictor::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_table.size());
+    for (const Entry &e : _table) {
+        cw.u64(e.tag);
+        cw.u64(e.lastValue);
+        cw.u8(e.confidence);
+        cw.b(e.valid);
+    }
+}
+
+void
+LastValuePredictor::restoreState(CheckpointReader &cr)
+{
+    uint64_t n = cr.u64();
+    vpsim_assert(n == _table.size(),
+                 "checkpoint last-value-VP size mismatch");
+    for (Entry &e : _table) {
+        e.tag = cr.u64();
+        e.lastValue = cr.u64();
+        e.confidence = cr.u8();
+        e.valid = cr.b();
+    }
 }
 
 } // namespace vpsim

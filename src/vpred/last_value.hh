@@ -22,6 +22,8 @@ class LastValuePredictor : public ValuePredictor
 
     ValuePrediction predict(Addr pc, RegVal actual) override;
     void train(Addr pc, RegVal actual) override;
+    void saveState(CheckpointWriter &cw) const override;
+    void restoreState(CheckpointReader &cr) override;
 
   private:
     struct Entry

@@ -1,5 +1,8 @@
 #include "vpred/stride.hh"
 
+#include "sim/logging.hh"
+#include "sim/serialize.hh"
+
 namespace vpsim
 {
 
@@ -50,6 +53,36 @@ StridePredictor::train(Addr pc, RegVal actual)
     e.stride = static_cast<int64_t>(actual - e.lastValue);
     e.lastValue = actual;
     e.specLastValue = actual;
+}
+
+void
+StridePredictor::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_table.size());
+    for (const Entry &e : _table) {
+        cw.u64(e.tag);
+        cw.u64(e.lastValue);
+        cw.u64(e.specLastValue);
+        cw.i64(e.stride);
+        cw.u8(e.confidence);
+        cw.b(e.valid);
+    }
+}
+
+void
+StridePredictor::restoreState(CheckpointReader &cr)
+{
+    uint64_t n = cr.u64();
+    vpsim_assert(n == _table.size(),
+                 "checkpoint stride-VP size mismatch");
+    for (Entry &e : _table) {
+        e.tag = cr.u64();
+        e.lastValue = cr.u64();
+        e.specLastValue = cr.u64();
+        e.stride = cr.i64();
+        e.confidence = cr.u8();
+        e.valid = cr.b();
+    }
 }
 
 } // namespace vpsim

@@ -23,6 +23,8 @@ class StridePredictor : public ValuePredictor
     ValuePrediction predict(Addr pc, RegVal actual) override;
     void notePredictionUsed(Addr pc, RegVal predicted) override;
     void train(Addr pc, RegVal actual) override;
+    void saveState(CheckpointWriter &cw) const override;
+    void restoreState(CheckpointReader &cr) override;
 
   private:
     struct Entry

@@ -23,6 +23,9 @@
 namespace vpsim
 {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /** One value prediction with its confidence. */
 struct ValuePrediction
 {
@@ -60,6 +63,13 @@ class ValuePredictor
 
     /** Commit-time training with the true value. */
     virtual void train(Addr pc, RegVal actual) = 0;
+
+    /**
+     * Serialize/restore learned tables (checkpointing). The default is
+     * a no-op for stateless predictors (the oracle).
+     */
+    virtual void saveState(CheckpointWriter &) const {}
+    virtual void restoreState(CheckpointReader &) {}
 };
 
 /** Saturating confidence-counter helper shared by the predictors. */

@@ -1,6 +1,7 @@
 #include "vpred/wang_franklin.hh"
 
 #include "sim/logging.hh"
+#include "sim/serialize.hh"
 
 namespace vpsim
 {
@@ -193,6 +194,52 @@ WangFranklinPredictor::train(Addr pc, RegVal actual)
     e.specLastValue = actual;
     e.pattern = ((e.pattern << 3) |
                  static_cast<uint32_t>(patternCode & 7)) & patternMask;
+}
+
+void
+WangFranklinPredictor::saveState(CheckpointWriter &cw) const
+{
+    cw.u64(_vht.size());
+    for (const VhtEntry &e : _vht) {
+        cw.u64(e.tag);
+        for (RegVal v : e.values)
+            cw.u64(v);
+        cw.bytes(e.age.data(), e.age.size());
+        for (bool p : e.present)
+            cw.b(p);
+        cw.u64(e.lastValue);
+        cw.u64(e.specLastValue);
+        cw.i64(e.stride);
+        cw.u32(e.pattern);
+        cw.b(e.valid);
+    }
+    cw.u64(_valPht.size());
+    for (const ValPhtEntry &e : _valPht)
+        cw.bytes(e.conf.data(), e.conf.size());
+}
+
+void
+WangFranklinPredictor::restoreState(CheckpointReader &cr)
+{
+    uint64_t nv = cr.u64();
+    vpsim_assert(nv == _vht.size(), "checkpoint VHT size mismatch");
+    for (VhtEntry &e : _vht) {
+        e.tag = cr.u64();
+        for (RegVal &v : e.values)
+            v = cr.u64();
+        cr.bytes(e.age.data(), e.age.size());
+        for (size_t i = 0; i < e.present.size(); ++i)
+            e.present[i] = cr.b();
+        e.lastValue = cr.u64();
+        e.specLastValue = cr.u64();
+        e.stride = cr.i64();
+        e.pattern = cr.u32();
+        e.valid = cr.b();
+    }
+    uint64_t np = cr.u64();
+    vpsim_assert(np == _valPht.size(), "checkpoint ValPHT size mismatch");
+    for (ValPhtEntry &e : _valPht)
+        cr.bytes(e.conf.data(), e.conf.size());
 }
 
 } // namespace vpsim

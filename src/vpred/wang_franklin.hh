@@ -45,6 +45,8 @@ class WangFranklinPredictor : public ValuePredictor
                                      RegVal actual) override;
     void notePredictionUsed(Addr pc, RegVal predicted) override;
     void train(Addr pc, RegVal actual) override;
+    void saveState(CheckpointWriter &cw) const override;
+    void restoreState(CheckpointReader &cr) override;
 
   private:
     struct VhtEntry

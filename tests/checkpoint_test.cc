@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for fast-forward checkpointing and SimPoint-style sampling:
+ * serialization primitive round-trips, the on-disk CheckpointStore
+ * (keying, sweep sharing, corruption tolerance), and the headline
+ * guarantee — a run restored from a checkpoint produces stats
+ * bit-identical to one that fast-forwarded live, across baseline /
+ * STVP / MTVP and with the time-skip engine on or off.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "sim/checkpoint.hh"
+#include "sim/serialize.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace vpsim;
+
+// ---------------------------------------------------------------------
+// Serialization primitives
+// ---------------------------------------------------------------------
+
+TEST(SerializeTest, PrimitivesRoundTrip)
+{
+    std::ostringstream os;
+    CheckpointWriter cw(os);
+    cw.u8(0xab);
+    cw.u32(0xdeadbeef);
+    cw.u64(0x0123456789abcdefull);
+    cw.i64(-42);
+    cw.b(true);
+    cw.b(false);
+    cw.str("hello checkpoint");
+    const char raw[4] = {'V', 'P', 'C', 'K'};
+    cw.bytes(raw, sizeof(raw));
+    ASSERT_TRUE(cw.good());
+
+    const std::string buf = os.str();
+    CheckpointReader cr(buf);
+    EXPECT_EQ(cr.u8(), 0xab);
+    EXPECT_EQ(cr.u32(), 0xdeadbeefu);
+    EXPECT_EQ(cr.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(cr.i64(), -42);
+    EXPECT_TRUE(cr.b());
+    EXPECT_FALSE(cr.b());
+    EXPECT_EQ(cr.str(), "hello checkpoint");
+    char back[4] = {};
+    cr.bytes(back, sizeof(back));
+    EXPECT_EQ(std::string(back, 4), "VPCK");
+    EXPECT_TRUE(cr.good());
+    EXPECT_TRUE(cr.atEnd());
+}
+
+TEST(SerializeTest, LittleEndianOnDisk)
+{
+    std::ostringstream os;
+    CheckpointWriter cw(os);
+    cw.u32(0x11223344);
+    const std::string buf = os.str();
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x44);
+    EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x11);
+}
+
+TEST(SerializeTest, OverrunIsStickyAndReturnsZeros)
+{
+    std::ostringstream os;
+    CheckpointWriter cw(os);
+    cw.u32(7);
+    const std::string buf = os.str();
+
+    CheckpointReader cr(buf);
+    EXPECT_EQ(cr.u32(), 7u);
+    EXPECT_TRUE(cr.atEnd());
+    EXPECT_EQ(cr.u64(), 0u); // Past the end.
+    EXPECT_FALSE(cr.good());
+    EXPECT_EQ(cr.u32(), 0u); // Still failed: sticky.
+    EXPECT_FALSE(cr.good());
+    EXPECT_FALSE(cr.atEnd());
+    char sink[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+    cr.bytes(sink, sizeof(sink));
+    for (char c : sink)
+        EXPECT_EQ(c, 0); // Zero-filled, never out-of-bounds.
+}
+
+// ---------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------
+
+std::string
+freshDir(const char *tag)
+{
+    return ::testing::TempDir() + "vpsim-ckpt-" + tag + "-" +
+           std::to_string(::getpid());
+}
+
+SimConfig
+ffConfig(VpMode mode, uint64_t timeSkip)
+{
+    SimConfig cfg;
+    cfg.vpMode = mode;
+    if (mode != VpMode::None)
+        cfg.numContexts = 4;
+    cfg.maxInsts = 60000;
+    cfg.ffInsts = 40000;
+    cfg.seed = 1;
+    cfg.timeSkip = timeSkip != 0;
+    return cfg;
+}
+
+/** Exact (bitwise, via ==) equality of every field and every stat. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.usefulInsts, b.usefulInsts);
+    EXPECT_EQ(a.usefulIpc, b.usefulIpc); // Bit-identical double.
+    EXPECT_EQ(a.halted, b.halted);
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (const auto &[name, value] : a.stats) {
+        auto it = b.stats.find(name);
+        ASSERT_NE(it, b.stats.end()) << "missing stat " << name;
+        EXPECT_EQ(value, it->second) << "stat " << name;
+    }
+}
+
+TEST(CheckpointStoreTest, DisabledStoreMissesAndDropsSaves)
+{
+    CheckpointStore store("");
+    EXPECT_FALSE(store.enabled());
+    // load() must return false without touching the cpu; exercised via
+    // runWorkload: a run with no checkpointDir is the live-FF baseline
+    // every other test compares against.
+}
+
+TEST(CheckpointStoreTest, KeyIgnoresDetailOnlyConfigFields)
+{
+    SimConfig base = ffConfig(VpMode::None, 1);
+    SimConfig mtvp = ffConfig(VpMode::Mtvp, 1);
+    mtvp.numContexts = 8;
+    SimConfig skip = ffConfig(VpMode::None, 0);
+
+    // vpMode / contexts / time-skip do not affect the emulated prefix
+    // or the warmed tables, so all three share one checkpoint...
+    EXPECT_EQ(CheckpointStore::keyString(base, "mcf"),
+              CheckpointStore::keyString(mtvp, "mcf"));
+    EXPECT_EQ(CheckpointStore::keyString(base, "mcf"),
+              CheckpointStore::keyString(skip, "mcf"));
+
+    // ...while anything warmup-relevant must split the key.
+    SimConfig otherSeed = base;
+    otherSeed.seed = 2;
+    SimConfig otherFf = base;
+    otherFf.ffInsts = 30000;
+    EXPECT_NE(CheckpointStore::keyString(base, "mcf"),
+              CheckpointStore::keyString(otherSeed, "mcf"));
+    EXPECT_NE(CheckpointStore::keyString(base, "mcf"),
+              CheckpointStore::keyString(otherFf, "mcf"));
+    EXPECT_NE(CheckpointStore::keyString(base, "mcf"),
+              CheckpointStore::keyString(base, "crafty"));
+}
+
+struct RoundTripCase
+{
+    const char *name;
+    VpMode mode;
+    uint64_t timeSkip;
+};
+
+class CheckpointRoundTrip
+    : public ::testing::TestWithParam<RoundTripCase>
+{
+};
+
+TEST_P(CheckpointRoundTrip, RestoreIsBitIdenticalToLiveFastForward)
+{
+    const RoundTripCase &c = GetParam();
+    SimConfig cfg = ffConfig(c.mode, c.timeSkip);
+
+    // A: live fast-forward, no store.
+    SimResult live = runWorkload(cfg, "mcf");
+    EXPECT_EQ(static_cast<uint64_t>(live.stat("sim.ffInsts")),
+              cfg.ffInsts);
+
+    // B: cold store — fast-forwards live, then publishes.
+    cfg.checkpointDir = freshDir(c.name);
+    SimResult cold = runWorkload(cfg, "mcf");
+
+    // C: warm store — restores B's checkpoint.
+    CheckpointStore store(cfg.checkpointDir);
+    std::ifstream saved(store.entryPath(cfg, "mcf"));
+    EXPECT_TRUE(saved.good()) << "checkpoint was not published";
+    SimResult warm = runWorkload(cfg, "mcf");
+
+    expectIdentical(live, cold);
+    expectIdentical(live, warm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, CheckpointRoundTrip,
+    ::testing::Values(RoundTripCase{"baseline_skip", VpMode::None, 1},
+                      RoundTripCase{"baseline_noskip", VpMode::None, 0},
+                      RoundTripCase{"stvp_skip", VpMode::Stvp, 1},
+                      RoundTripCase{"stvp_noskip", VpMode::Stvp, 0},
+                      RoundTripCase{"mtvp_skip", VpMode::Mtvp, 1},
+                      RoundTripCase{"mtvp_noskip", VpMode::Mtvp, 0}),
+    [](const ::testing::TestParamInfo<RoundTripCase> &param) {
+        return std::string(param.param.name);
+    });
+
+TEST(CheckpointStoreTest, SweepSiblingsShareOneCheckpointFile)
+{
+    SimConfig base = ffConfig(VpMode::None, 1);
+    base.checkpointDir = freshDir("share");
+    SimConfig mtvp = ffConfig(VpMode::Mtvp, 1);
+    mtvp.checkpointDir = base.checkpointDir;
+
+    CheckpointStore store(base.checkpointDir);
+    EXPECT_EQ(store.entryPath(base, "mcf"), store.entryPath(mtvp, "mcf"));
+
+    runWorkload(base, "mcf");
+    runWorkload(mtvp, "mcf"); // Restores the baseline's checkpoint.
+
+    // Exactly the shared entry exists (same path for both configs).
+    std::ifstream saved(store.entryPath(mtvp, "mcf"));
+    EXPECT_TRUE(saved.good());
+}
+
+TEST(CheckpointStoreTest, CorruptEntryDegradesToLiveFastForward)
+{
+    SimConfig cfg = ffConfig(VpMode::None, 1);
+    SimResult live = runWorkload(cfg, "mcf");
+
+    cfg.checkpointDir = freshDir("corrupt");
+    CheckpointStore store(cfg.checkpointDir);
+    runWorkload(cfg, "mcf"); // Publish a good entry...
+
+    // ...then clobber it with a non-checkpoint payload. The magic check
+    // must turn this into a miss, and the re-run must still match.
+    {
+        std::ofstream os(store.entryPath(cfg, "mcf"), std::ios::binary);
+        os << "this is not a checkpoint";
+    }
+    SimResult rerun = runWorkload(cfg, "mcf");
+    expectIdentical(live, rerun);
+}
+
+// ---------------------------------------------------------------------
+// Sampled runs
+// ---------------------------------------------------------------------
+
+SimConfig
+sampledConfig(VpMode mode)
+{
+    SimConfig cfg;
+    cfg.vpMode = mode;
+    if (mode != VpMode::None)
+        cfg.numContexts = 4;
+    cfg.maxInsts = 240000;
+    cfg.ffInsts = 40000;
+    cfg.sampleIntervals = 4;
+    cfg.sampleIntervalInsts = 8000;
+    cfg.sampleWarmupInsts = 4000;
+    cfg.seed = 1;
+    return cfg;
+}
+
+TEST(SampledRunTest, ReportsIntervalsAndConfidenceBounds)
+{
+    SimResult r = runWorkload(sampledConfig(VpMode::None), "mcf");
+    EXPECT_EQ(static_cast<int>(r.stat("sim.sampledIntervals")), 4);
+    EXPECT_GT(r.stat("sample.mean.cpi"), 0.0);
+    EXPECT_GT(r.stat("sample.mean.ipc"), 0.0);
+    EXPECT_GE(r.stat("sample.ci95.cpi"), 0.0);
+    // Only the measured intervals accumulate detailed stats: 4 x 8000
+    // measured plus 4 x 4000 unmeasured warmup commit instructions.
+    EXPECT_GE(static_cast<uint64_t>(r.stat("sim.ffInsts")), 40000u);
+    EXPECT_LT(r.usefulInsts, 60000u);
+}
+
+TEST(SampledRunTest, SampledRestoreIsBitIdentical)
+{
+    SimConfig cfg = sampledConfig(VpMode::Mtvp);
+    SimResult live = runWorkload(cfg, "mcf");
+
+    cfg.checkpointDir = freshDir("sampled");
+    SimResult cold = runWorkload(cfg, "mcf");
+    SimResult warm = runWorkload(cfg, "mcf");
+    expectIdentical(live, cold);
+    expectIdentical(live, warm);
+}
+
+TEST(SampledRunTest, SamplingKeysTheResultCache)
+{
+    // Sampling fields are result-affecting: two configs differing only
+    // in sampling must never collide in the result cache.
+    SimConfig a = sampledConfig(VpMode::None);
+    SimConfig b = a;
+    b.sampleIntervals = 8;
+    SimConfig c = a;
+    c.sampleIntervalInsts = 4000;
+    SimConfig d = a;
+    d.ffInsts = 80000;
+    EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+    EXPECT_NE(a.canonicalKey(), c.canonicalKey());
+    EXPECT_NE(a.canonicalKey(), d.canonicalKey());
+
+    // The checkpoint directory is telemetry-like (where to publish),
+    // not result-affecting: same key either way.
+    SimConfig e = a;
+    e.checkpointDir = "/tmp/somewhere";
+    EXPECT_EQ(a.canonicalKey(), e.canonicalKey());
+}
+
+} // namespace
