@@ -25,6 +25,15 @@
  *   MTVP_TIME_SKIP=0 disable the next-event time-skip engine (results
  *                    are bit-identical either way; 0 only slows the
  *                    simulator — used by the CI equivalence check)
+ *   MTVP_LEDGER=<path>  append job-lifecycle events to this JSONL run
+ *                    ledger (--ledger PATH; run_all sets it for every
+ *                    figure it spawns — see src/sim/run_ledger.hh)
+ *   MTVP_LEDGER_FIGURE=<label>  figure label stamped on ledger events
+ *   MTVP_METRICS_DUMP=<path>  write the engine metrics registry as
+ *                    Prometheus text at exit (src/sim/metrics.hh)
+ *   MTVP_WATCHDOG=0  disable the stuck-job watchdog;
+ *                    MTVP_WATCHDOG_MIN_SECS / MTVP_WATCHDOG_MULT tune
+ *                    its flagging threshold (src/sim/watchdog.hh)
  *
  * Simulations fan out over a SimPool/SimJobGraph (src/sim/sim_pool.hh):
  * each (config, workload) point is an independent deterministic job, so
@@ -48,8 +57,10 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/profiler.hh"
 #include "sim/result_cache.hh"
+#include "sim/run_ledger.hh"
 #include "sim/sim_pool.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -147,6 +158,8 @@ struct BenchOptions
     bool profile = std::getenv("MTVP_PROFILE") != nullptr;
     /** Print result-cache hit/miss/eviction counters at exit. */
     bool cacheStats = std::getenv("MTVP_CACHE_STATS") != nullptr;
+    /** JSONL run-ledger path (overrides MTVP_LEDGER when non-empty). */
+    std::string ledger;
 };
 
 inline BenchOptions &
@@ -178,9 +191,13 @@ benchInit(int argc, char **argv)
             o.profile = true;
         } else if (a == "--cache-stats") {
             o.cacheStats = true;
+        } else if (a == "--ledger" && i + 1 < argc) {
+            o.ledger = argv[++i];
+        } else if (a.rfind("--ledger=", 0) == 0) {
+            o.ledger = a.substr(9);
         } else if (a == "--help" || a == "-h") {
             std::printf("usage: %s [--jobs N] [--no-cache] [--profile] "
-                        "[--cache-stats]\n"
+                        "[--cache-stats] [--ledger PATH]\n"
                         "  --jobs N     parallel sim jobs (default: "
                         "MTVP_JOBS or hardware threads; 1 = serial)\n"
                         "  --no-cache   ignore the persistent result "
@@ -191,7 +208,10 @@ benchInit(int argc, char **argv)
                         "time — combine with --no-cache)\n"
                         "  --cache-stats  print result-cache "
                         "hit/miss/eviction counters at exit\n"
-                        "               (also MTVP_CACHE_STATS=1)\n",
+                        "               (also MTVP_CACHE_STATS=1)\n"
+                        "  --ledger PATH  append job-lifecycle events "
+                        "to a JSONL run ledger\n"
+                        "               (also MTVP_LEDGER=PATH)\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -200,6 +220,8 @@ benchInit(int argc, char **argv)
         if (o.jobs < 0)
             fatal("--jobs must be >= 1");
     }
+    if (!o.ledger.empty())
+        RunLedger::global().open(o.ledger);
 }
 
 /**
@@ -222,6 +244,18 @@ class Runner
 
     ~Runner()
     {
+        if (const char *dump = std::getenv("MTVP_METRICS_DUMP");
+            dump != nullptr && *dump != '\0') {
+            std::FILE *f = std::fopen(dump, "w");
+            if (f == nullptr) {
+                warn("cannot write MTVP_METRICS_DUMP file '%s'", dump);
+            } else {
+                std::string text =
+                    MetricsRegistry::instance().prometheusText();
+                std::fwrite(text.data(), 1, text.size(), f);
+                std::fclose(f);
+            }
+        }
         if (!benchOptions().cacheStats)
             return;
         ResultCacheStats s = _cache.stats();

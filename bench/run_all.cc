@@ -37,6 +37,8 @@
  * Usage: run_all [--jobs N] [--no-cache] [--only fig,fig,...]
  *                [--scoreboard] [--write-expected] [--markdown]
  *                [--append-history] [--seed-history] [--long]
+ *                [--ledger[=PATH]] [--ledger-report[=PATH]]
+ *                [--progress] [--metrics-port N] [--metrics-dump[=PATH]]
  *
  * `--long` adds the sampled long-run figures (fig7_sampled_longrun:
  * 10M-inst mcf.long via fast-forward checkpointing + interval
@@ -45,25 +47,56 @@
  * only gates against prior entries that carry a headline for that
  * same figure, so short-run trajectories are unaffected by --long
  * runs and vice versa.
+ *
+ * Engine telemetry (src/sim/run_ledger.hh, src/sim/metrics.hh):
+ *
+ *  - `--ledger[=PATH]` (default BENCH_ledger.jsonl) starts a fresh
+ *    JSONL job journal and spawns every figure with MTVP_LEDGER /
+ *    MTVP_LEDGER_FIGURE so their SimJobGraphs append submit/cache-hit/
+ *    start/finish (and watchdog `stuck`) events to the shared file.
+ *  - `--ledger-report[=PATH]` replays an existing ledger into the
+ *    final job-state table and prints a post-mortem summary — no
+ *    figures are run.
+ *  - `--progress` tails the ledger while figures run and renders a
+ *    live one-line status (jobs done/running/cached, aggregate
+ *    insts/s, EWMA ETA) plus a per-figure breakdown at the end.
+ *    Implies --ledger.
+ *  - `--metrics-port N` (or MTVP_METRICS_PORT) serves the process
+ *    metrics registry at 127.0.0.1:N/metrics (Prometheus text) and the
+ *    replayed job table at /jobs (JSON) for the lifetime of the sweep.
+ *    Port 0 picks an ephemeral port (printed to stderr). Implies
+ *    --ledger.
+ *  - `--metrics-dump[=PATH]` (default BENCH_metrics.prom) writes the
+ *    final Prometheus exposition when the sweep finishes.
+ *
+ * All of it is host-side observability: the figures' numbers are
+ * bit-identical with every telemetry flag on or off (CI-gated).
+ *
  * (--jobs/--no-cache are forwarded to the figure binaries; all MTVP_*
  * environment knobs apply too. MTVP_EXPECTED overrides the expected-
  * values directory, MTVP_SUMMARY the summary path, MTVP_HISTORY the
  * history path.)
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "history.hh"
 #include "scoreboard.hh"
 #include "sim/json.hh"
+#include "sim/metrics.hh"
+#include "sim/metrics_http.hh"
+#include "sim/run_ledger.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 
@@ -149,6 +182,95 @@ headlineOf(const vpsim::json::Value &report)
     return h;
 }
 
+double
+nowUnixMs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Live view over the shared run ledger while figure subprocesses append
+ * to it. Each tick re-reads the whole file and folds it into a fresh
+ * ProgressModel — ledgers are a few hundred lines, so a full replay per
+ * tick is far simpler than incremental tailing and inherits the
+ * reader's torn-final-line tolerance for free.
+ */
+class LedgerTail
+{
+  public:
+    void
+    start(const std::string &path, bool renderProgress)
+    {
+        _path = path;
+        _render = renderProgress;
+        _stop.store(false, std::memory_order_relaxed);
+        _thread = std::thread([this] { loop(); });
+    }
+
+    void
+    stop()
+    {
+        if (!_thread.joinable())
+            return;
+        _stop.store(true, std::memory_order_relaxed);
+        _thread.join();
+        tick(); // Final fold so end-of-run metrics include every event.
+        if (_render) {
+            std::fprintf(stderr, "\n%s", renderFigures().c_str());
+        }
+    }
+
+    std::string
+    renderFigures()
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        return _model.renderFigures();
+    }
+
+  private:
+    void
+    loop()
+    {
+        while (!_stop.load(std::memory_order_relaxed)) {
+            tick();
+            std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        }
+    }
+
+    void
+    tick()
+    {
+        std::vector<vpsim::LedgerEvent> events;
+        if (!vpsim::loadLedger(_path, events))
+            return; // Not created yet: nothing to show.
+        vpsim::ProgressModel model;
+        for (const vpsim::LedgerEvent &e : events)
+            model.apply(e);
+        model.exportMetrics();
+        std::string line = model.renderLine(nowUnixMs());
+        {
+            std::lock_guard<std::mutex> lk(_m);
+            _model = std::move(model);
+        }
+        if (_render) {
+            // \r + erase-to-EOL keeps the live line in place between
+            // the figures' own stderr output.
+            std::fprintf(stderr, "\r\033[K%s", line.c_str());
+            std::fflush(stderr);
+        }
+    }
+
+    std::string _path;
+    bool _render = false;
+    std::atomic<bool> _stop{false};
+    std::thread _thread;
+    std::mutex _m;
+    vpsim::ProgressModel _model;
+};
+
 } // namespace
 
 int
@@ -162,6 +284,18 @@ main(int argc, char **argv)
     bool appendHist = false;
     bool seedHist = false;
     bool longRuns = false;
+    bool ledger = false;
+    std::string ledgerPath = "BENCH_ledger.jsonl";
+    bool ledgerReport = false;
+    std::string ledgerReportPath;
+    bool progress = false;
+    int metricsPort = -1; // -1 = no endpoint.
+    bool metricsDump = false;
+    std::string metricsDumpPath = "BENCH_metrics.prom";
+    if (const char *v = std::getenv("MTVP_METRICS_PORT");
+        v != nullptr && *v != '\0') {
+        metricsPort = std::atoi(v);
+    }
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--help" || a == "-h") {
@@ -171,6 +305,9 @@ main(int argc, char **argv)
                 "[--markdown]\n"
                 "          [--append-history] [--seed-history] "
                 "[--long]\n"
+                "          [--ledger[=PATH]] [--ledger-report[=PATH]]\n"
+                "          [--progress] [--metrics-port N] "
+                "[--metrics-dump[=PATH]]\n"
                 "Runs every figure binary (or the --only subset), "
                 "writes BENCH_results.json\nand BENCH_summary.json, "
                 "and optionally checks the measured rows against\nthe "
@@ -182,7 +319,15 @@ main(int argc, char **argv)
                 "committed BENCH_summary.json into a history entry "
                 "without running anything.\n"
                 "--long also runs the sampled long-run figures "
-                "(fig7_sampled_longrun).\n",
+                "(fig7_sampled_longrun).\n"
+                "--ledger journals every job to a JSONL run ledger "
+                "(default\nBENCH_ledger.jsonl); --ledger-report "
+                "replays one into a post-mortem\nsummary without "
+                "running anything; --progress renders a live status "
+                "line;\n--metrics-port serves /metrics and /jobs on "
+                "127.0.0.1 during the sweep;\n--metrics-dump writes "
+                "the final Prometheus exposition (default\n"
+                "BENCH_metrics.prom).\n",
                 argv[0]);
             return 0;
         } else if (a == "--long") {
@@ -203,9 +348,51 @@ main(int argc, char **argv)
             writeExpected = true;
         } else if (a == "--markdown") {
             markdown = true;
+        } else if (a == "--ledger") {
+            ledger = true;
+        } else if (a.rfind("--ledger=", 0) == 0) {
+            ledger = true;
+            ledgerPath = a.substr(9);
+        } else if (a == "--ledger-report") {
+            ledgerReport = true;
+        } else if (a.rfind("--ledger-report=", 0) == 0) {
+            ledgerReport = true;
+            ledgerReportPath = a.substr(16);
+        } else if (a == "--progress") {
+            progress = true;
+        } else if (a == "--metrics-port" && i + 1 < argc) {
+            metricsPort = std::atoi(argv[++i]);
+        } else if (a.rfind("--metrics-port=", 0) == 0) {
+            metricsPort = std::atoi(a.c_str() + 15);
+        } else if (a == "--metrics-dump") {
+            metricsDump = true;
+        } else if (a.rfind("--metrics-dump=", 0) == 0) {
+            metricsDump = true;
+            metricsDumpPath = a.substr(15);
         } else {
             forward += " '" + a + "'";
         }
+    }
+    // The live views are ledger-derived, so they imply journaling.
+    if (progress || metricsPort >= 0)
+        ledger = true;
+
+    // ----- Post-mortem ledger replay (no figure runs) ----------------
+    if (ledgerReport) {
+        const std::string path =
+            ledgerReportPath.empty() ? ledgerPath : ledgerReportPath;
+        std::vector<vpsim::LedgerEvent> events;
+        std::vector<std::string> warnings;
+        if (!vpsim::loadLedger(path, events, &warnings)) {
+            std::fprintf(stderr, "cannot read ledger '%s'\n",
+                         path.c_str());
+            return 1;
+        }
+        for (const std::string &w : warnings)
+            std::fprintf(stderr, "ledger: %s\n", w.c_str());
+        vpsim::writeLedgerReport(std::cout,
+                                 vpsim::replayLedger(events));
+        return 0;
     }
 
     // Figure binaries live next to this one (build/bench/).
@@ -295,6 +482,49 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // ----- Engine telemetry: ledger, live progress, /metrics ---------
+    LedgerTail tail;
+    vpsim::MetricsHttpServer server;
+    if (ledger) {
+        std::remove(ledgerPath.c_str()); // One ledger per sweep.
+        vpsim::RunLedger::global().open(ledgerPath);
+        vpsim::LedgerEvent e;
+        e.kind = vpsim::LedgerEventKind::RunStart;
+        vpsim::RunLedger::global().record(std::move(e));
+        tail.start(ledgerPath, progress);
+    }
+    if (metricsPort >= 0) {
+        const std::string jobsPath = ledgerPath;
+        bool up = server.start(
+            metricsPort,
+            [jobsPath] {
+                // Fold the ledger into the registry first: the tail
+                // only refreshes every 500ms, and a scrape can land
+                // before its first tick.
+                std::vector<vpsim::LedgerEvent> events;
+                if (vpsim::loadLedger(jobsPath, events)) {
+                    vpsim::ProgressModel model;
+                    for (const vpsim::LedgerEvent &e : events)
+                        model.apply(e);
+                    model.exportMetrics();
+                }
+                return vpsim::MetricsRegistry::instance()
+                    .prometheusText();
+            },
+            [jobsPath] {
+                std::vector<vpsim::LedgerEvent> events;
+                vpsim::loadLedger(jobsPath, events);
+                return vpsim::ledgerJobsJson(
+                    vpsim::replayLedger(events));
+            });
+        if (up) {
+            std::fprintf(stderr,
+                         "metrics endpoint: http://127.0.0.1:%d"
+                         "/metrics and /jobs\n",
+                         server.port());
+        }
+    }
+
     std::ostringstream out;
     out << "{\n  \"figures\": {";
 
@@ -322,6 +552,12 @@ main(int argc, char **argv)
         std::string cmd;
         if (!bare)
             cmd += "MTVP_JSON='" + fragment + "' ";
+        if (ledger && !bare) {
+            // Figures journal into the shared ledger; per-event figure
+            // labels make the live progress view per-figure.
+            cmd += "MTVP_LEDGER='" + ledgerPath + "' ";
+            cmd += "MTVP_LEDGER_FIGURE='" + fig + "' ";
+        }
         cmd += "'" + dir + "/" + fig + "'";
         if (!bare)
             cmd += forward;
@@ -376,6 +612,20 @@ main(int argc, char **argv)
         }
         out << "}";
         runs.push_back(std::move(run));
+    }
+
+    if (ledger)
+        tail.stop(); // Final fold + per-figure breakdown (--progress).
+    server.stop();
+    if (metricsDump) {
+        std::ofstream ms(metricsDumpPath);
+        if (!ms) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         metricsDumpPath.c_str());
+            return 1;
+        }
+        vpsim::MetricsRegistry::instance().writePrometheus(ms);
+        std::fprintf(stderr, "wrote %s\n", metricsDumpPath.c_str());
     }
 
     out << "\n  },\n  \"totalWallSeconds\": ";

@@ -33,6 +33,11 @@
  *   perfettoTrace=<file>      trace-event JSON of the run, openable in
  *                             chrome://tracing / ui.perfetto.dev; also
  *                             enables the analytics timeline
+ *   metricsJson=<file>        engine-telemetry snapshot (the process-
+ *                             wide metrics registry, src/sim/metrics.hh
+ *                             — host-side counters, never sim stats;
+ *                             excluded from the result-cache key: it
+ *                             cannot affect a single stat bit)
  *
  * Long-run keys (src/sim/checkpoint.hh, docs/EXPERIMENTS.md):
  *   ffInsts=N                 fast-forward N instructions emulator-only
@@ -62,6 +67,7 @@
 #include "sim/checkpoint.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/perfetto_trace.hh"
 #include "workloads/workload.hh"
 
@@ -131,7 +137,9 @@ main(int argc, char **argv)
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--analytics") {
-            cfg.analytics = "-";
+            // Out-of-line set(): GCC 12 -O3 flags the inlined literal
+            // assignment with a spurious -Wrestrict (GCC bug 105329).
+            cfg.set("analytics", "-");
             continue;
         }
         size_t eq = arg.find('=');
@@ -219,6 +227,15 @@ main(int argc, char **argv)
         std::printf("\nPerfetto trace written to %s (open in "
                     "chrome://tracing)\n",
                     cfg.perfettoTrace.c_str());
+    }
+    if (!cfg.metricsJson.empty()) {
+        std::ofstream os(cfg.metricsJson);
+        if (!os)
+            fatal("cannot open metrics JSON file '%s'",
+                  cfg.metricsJson.c_str());
+        MetricsRegistry::instance().writeJson(os);
+        std::printf("\nengine metrics written to %s\n",
+                    cfg.metricsJson.c_str());
     }
 
     std::printf("\n%-20s %llu\n", "cycles:",

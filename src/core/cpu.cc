@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 
 #include "isa/disasm.hh"
 #include "sim/logging.hh"
 #include "sim/serialize.hh"
+#include "sim/watchdog.hh"
 
 namespace vpsim
 {
@@ -836,6 +838,10 @@ Cpu::tick()
         _sampler->maybeSample(_now);
     ++_now;
     checkWatchdog();
+    // Stuck-job watchdog poll, on a host-side tick counter (simulated
+    // cycles jump under time-skip) so it cannot perturb any stat.
+    if ((++_pollTick & 0x3fff) == 0)
+        watchdogPoll();
 }
 
 void
@@ -873,6 +879,14 @@ Cpu::runLoopUntil(uint64_t streamTarget)
 void
 Cpu::run()
 {
+    // If the engine watchdog flags this job, its diagnostic dump is the
+    // pipeline snapshot plus the host profiler's section report.
+    WatchdogProbe probe([this] {
+        dumpPipelineState();
+        if (_prof.enabled())
+            _prof.printReport(std::cerr);
+    });
+
     if (_cfg.sampleIntervals > 0)
         runSampled();
     else
@@ -1017,6 +1031,15 @@ Cpu::fastForward(uint64_t n)
     HostProfiler::Scope ps(_prof, ProfSection::Warmup);
     if (_finished || n == 0)
         return 0;
+    // During fast-forward the pipeline is empty by invariant, so a
+    // watchdog dump reports the phase instead of a pipeline snapshot.
+    WatchdogProbe probe([this, n] {
+        warn("watchdog: job is inside a fast-forward burst of %llu "
+             "insts (emulator-only; no pipeline state to dump)",
+             static_cast<unsigned long long>(n));
+        if (_prof.enabled())
+            _prof.printReport(std::cerr);
+    });
     ThreadContext &tc = ctx(_root);
     vpsim_assert(_robOccupancy == 0 && _pending.empty() &&
                      tc.fetchQueue.empty(),

@@ -354,6 +354,9 @@ class Cpu : private WarmupSink
     /** Last I-cache line warmed during fast-forward (fetch touches the
      *  hierarchy per line run, not per instruction). */
     Addr _ffLastLine = static_cast<Addr>(-1);
+    /** Host-side tick counter pacing watchdogPoll(); never serialized,
+     *  never a stat (simulated cycles jump under time-skip). */
+    uint64_t _pollTick = 0;
     /** Per-interval measurements feeding the sample.* formulas. */
     std::vector<IntervalSample> _samples;
 

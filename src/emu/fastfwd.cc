@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "emu/memory.hh"
+#include "sim/watchdog.hh"
 
 namespace vpsim
 {
@@ -95,6 +96,10 @@ fastForward(Emulator &emu, ArchState &state, uint64_t maxInsts,
             r.halted = true;
             break;
         }
+        // Stuck-job watchdog poll point: host-side counter, touches no
+        // emulated state.
+        if ((r.executed & 0xffff) == 0)
+            watchdogPoll();
     }
     return r;
 }

@@ -11,6 +11,7 @@
 
 #include "core/cpu.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/result_cache.hh"
 #include "sim/serialize.hh"
 
@@ -78,9 +79,14 @@ CheckpointStore::load(const SimConfig &cfg, const std::string &workload,
     // Slurp the whole file first: a concurrently evicted or truncated
     // entry is then detected by the reader's bounds checks before any
     // simulator state is mutated.
+    Counter &missed = MetricsRegistry::instance().counter(
+        "vpsim_checkpoint_misses_total",
+        "Checkpoint-store loads that missed (absent or stale entry)");
     std::ifstream is(entryPath(cfg, workload), std::ios::binary);
-    if (!is)
+    if (!is) {
+        missed.inc();
         return false;
+    }
     std::ostringstream buf;
     buf << is.rdbuf();
     const std::string data = buf.str();
@@ -88,11 +94,19 @@ CheckpointStore::load(const SimConfig &cfg, const std::string &workload,
     CheckpointReader cr(data);
     char magic[4] = {};
     cr.bytes(magic, sizeof(magic));
-    if (!cr.good() || std::memcmp(magic, ckptMagic, sizeof(magic)) != 0)
+    if (!cr.good() || std::memcmp(magic, ckptMagic, sizeof(magic)) != 0) {
+        missed.inc();
         return false;
-    if (cr.str() != keyString(cfg, workload))
+    }
+    if (cr.str() != keyString(cfg, workload)) {
+        missed.inc();
         return false; // Hash collision or stale schema: miss.
+    }
 
+    MetricsRegistry::instance()
+        .counter("vpsim_checkpoint_hits_total",
+                 "Fast-forward phases answered by a stored checkpoint")
+        .inc();
     cpu.restoreCheckpoint(cr);
     if (!cr.good() || !cr.atEnd()) {
         // The payload was the wrong shape for this geometry; the
@@ -142,7 +156,12 @@ CheckpointStore::save(const SimConfig &cfg, const std::string &workload,
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("checkpoint store: cannot finalize '%s'", path.c_str());
         std::remove(tmp.c_str());
+        return;
     }
+    MetricsRegistry::instance()
+        .counter("vpsim_checkpoint_saves_total",
+                 "Checkpoints written by fast-forward phases")
+        .inc();
 }
 
 } // namespace vpsim

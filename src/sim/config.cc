@@ -125,6 +125,7 @@ SimConfig::set(const std::string &key, const std::string &value)
     else if (key == "profile") profile = num() != 0;
     else if (key == "perfettoTrace") perfettoTrace = value;
     else if (key == "analytics") analytics = value;
+    else if (key == "metricsJson") metricsJson = value;
     else if (key == "timeSkip") timeSkip = num();
     else
         fatal("unknown config key '%s'", key.c_str());

@@ -178,6 +178,10 @@ struct SimConfig
      *  per-spawn-PC and per-load-PC attribution): empty = none,
      *  "-" = stdout, otherwise a file path. */
     std::string analytics;
+    /** End-of-run JSON dump of the process-wide engine MetricsRegistry
+     *  (host-side telemetry: pool/cache/checkpoint/watchdog counters —
+     *  *not* simulated stats; those are statsJson=). Empty = off. */
+    std::string metricsJson;
     /** Directory of the persistent checkpoint store ("" = off). When
      *  set and ffInsts > 0, the post-fast-forward machine state is
      *  saved under warmupKey()+workload+ffInsts and reused by any later

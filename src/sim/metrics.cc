@@ -1,0 +1,342 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** %.17g round-trips every finite double (the stats/json convention). */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Short %g for bucket bounds: "0.001", "0.016", ... */
+std::string
+fmtBound(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+const char *
+kindName(bool isCounter, bool isGauge)
+{
+    return isCounter ? "counter" : isGauge ? "gauge" : "histogram";
+}
+
+/** HELP text escaping: backslash and newline only (the spec's rule). */
+std::string
+escapeHelp(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+escapeMetricLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+metricLabelString(const MetricLabels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k;
+        out += "=\"";
+        out += escapeMetricLabelValue(v);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram(double firstBound, double growth, int bucketCount)
+{
+    vpsim_assert(firstBound > 0.0 && growth > 1.0 && bucketCount >= 1);
+    _bounds.reserve(static_cast<size_t>(bucketCount));
+    double b = firstBound;
+    for (int i = 0; i < bucketCount; ++i) {
+        _bounds.push_back(b);
+        b *= growth;
+    }
+    _buckets = std::make_unique<std::atomic<uint64_t>[]>(
+        _bounds.size() + 1);
+    for (size_t i = 0; i <= _bounds.size(); ++i)
+        _buckets[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    // Linear scan: bucket counts are small (<= a few dozen) and the
+    // sites are per-job, not per-cycle.
+    size_t i = 0;
+    while (i < _bounds.size() && v > _bounds[i])
+        ++i;
+    _buckets[i].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    double cur = _sum.load(std::memory_order_relaxed);
+    while (!_sum.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+double
+Histogram::sum() const
+{
+    return _sum.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    double target = q * static_cast<double>(n);
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= _bounds.size(); ++i) {
+        cum += bucketCount(i);
+        if (static_cast<double>(cum) >= target) {
+            return i < _bounds.size() ? _bounds[i] : _bounds.back();
+        }
+    }
+    return _bounds.back();
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Intentionally immortal: engine layers hold references for the
+    // process lifetime; all access is mutex/atomic-protected.
+    // vplint:allow(global-state) immortal singleton, internally locked
+    static MetricsRegistry *r = new MetricsRegistry;
+    return *r;
+}
+
+MetricsRegistry::Family::Series &
+MetricsRegistry::findOrMake(const std::string &name,
+                            const std::string &help, Kind kind,
+                            const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lk(_m);
+    Family &fam = _families[name];
+    if (fam.series.empty()) {
+        fam.kind = kind;
+        fam.help = help;
+    } else if (fam.kind != kind) {
+        panic("metric family '%s' registered as %s and %s", name.c_str(),
+              kindName(fam.kind == Kind::Counter, fam.kind == Kind::Gauge),
+              kindName(kind == Kind::Counter, kind == Kind::Gauge));
+    }
+    Family::Series &s = fam.series[metricLabelString(labels)];
+    if (s.labels.empty())
+        s.labels = labels;
+    return s;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help,
+                         const MetricLabels &labels)
+{
+    Family::Series &s = findOrMake(name, help, Kind::Counter, labels);
+    if (s.counter == nullptr)
+        s.counter = std::make_unique<Counter>();
+    return *s.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help,
+                       const MetricLabels &labels)
+{
+    Family::Series &s = findOrMake(name, help, Kind::Gauge, labels);
+    if (s.gauge == nullptr)
+        s.gauge = std::make_unique<Gauge>();
+    return *s.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, const std::string &help,
+                           double firstBound, double growth,
+                           int bucketCount, const MetricLabels &labels)
+{
+    Family::Series &s = findOrMake(name, help, Kind::Histogram, labels);
+    if (s.histogram == nullptr) {
+        s.histogram = std::make_unique<Histogram>(firstBound, growth,
+                                                  bucketCount);
+    }
+    return *s.histogram;
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lk(_m);
+    for (const auto &[name, fam] : _families) {
+        os << "# HELP " << name << " " << escapeHelp(fam.help) << "\n";
+        os << "# TYPE " << name << " "
+           << (fam.kind == Kind::Counter
+                   ? "counter"
+                   : fam.kind == Kind::Gauge ? "gauge" : "histogram")
+           << "\n";
+        for (const auto &[labelStr, s] : fam.series) {
+            if (fam.kind == Kind::Counter) {
+                os << name << labelStr << " " << s.counter->value()
+                   << "\n";
+            } else if (fam.kind == Kind::Gauge) {
+                os << name << labelStr << " " << s.gauge->value() << "\n";
+            } else {
+                const Histogram &h = *s.histogram;
+                // Cumulative buckets; the le label joins the series
+                // labels inside one brace pair.
+                std::string prefix = "{";
+                if (!labelStr.empty())
+                    prefix = labelStr.substr(0, labelStr.size() - 1) + ",";
+                uint64_t cum = 0;
+                for (size_t i = 0; i < h.bounds().size(); ++i) {
+                    cum += h.bucketCount(i);
+                    os << name << "_bucket" << prefix << "le=\""
+                       << fmtBound(h.bounds()[i]) << "\"} " << cum
+                       << "\n";
+                }
+                cum += h.bucketCount(h.bounds().size());
+                os << name << "_bucket" << prefix << "le=\"+Inf\"} "
+                   << cum << "\n";
+                os << name << "_sum" << labelStr << " "
+                   << fmtDouble(h.sum()) << "\n";
+                os << name << "_count" << labelStr << " " << h.count()
+                   << "\n";
+            }
+        }
+    }
+}
+
+std::string
+MetricsRegistry::prometheusText() const
+{
+    std::ostringstream os;
+    writePrometheus(os);
+    return os.str();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lk(_m);
+    auto labelsJson = [&os](const MetricLabels &labels) {
+        os << "{";
+        bool first = true;
+        for (const auto &[k, v] : labels) {
+            if (!first)
+                os << ", ";
+            first = false;
+            jsonQuote(os, k);
+            os << ": ";
+            jsonQuote(os, v);
+        }
+        os << "}";
+    };
+
+    os << "{\n  \"metrics\": [";
+    bool first = true;
+    for (const auto &[name, fam] : _families) {
+        for (const auto &[labelStr, s] : fam.series) {
+            os << (first ? "\n" : ",\n");
+            first = false;
+            os << "    {\"name\": ";
+            jsonQuote(os, name);
+            os << ", \"type\": \""
+               << (fam.kind == Kind::Counter
+                       ? "counter"
+                       : fam.kind == Kind::Gauge ? "gauge" : "histogram")
+               << "\", \"labels\": ";
+            labelsJson(s.labels);
+            if (fam.kind == Kind::Counter) {
+                os << ", \"value\": " << s.counter->value();
+            } else if (fam.kind == Kind::Gauge) {
+                os << ", \"value\": " << s.gauge->value();
+            } else {
+                const Histogram &h = *s.histogram;
+                os << ", \"count\": " << h.count() << ", \"sum\": ";
+                jsonNumber(os, h.sum());
+                os << ", \"buckets\": [";
+                uint64_t cum = 0;
+                for (size_t i = 0; i < h.bounds().size(); ++i) {
+                    cum += h.bucketCount(i);
+                    os << (i == 0 ? "" : ", ") << "{\"le\": ";
+                    jsonNumber(os, h.bounds()[i]);
+                    os << ", \"count\": " << cum << "}";
+                }
+                cum += h.bucketCount(h.bounds().size());
+                os << (h.bounds().empty() ? "" : ", ")
+                   << "{\"le\": null, \"count\": " << cum << "}]";
+            }
+            os << "}";
+        }
+    }
+    os << "\n  ]\n}\n";
+}
+
+std::string
+MetricsRegistry::jsonText() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace vpsim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Process-wide experiment-engine metrics registry.
+ *
+ * The simulator's StatGroup stats describe *simulated* behaviour and
+ * are part of every result (and of the cache key schema). This registry
+ * is the opposite: host-side telemetry of the experiment engine itself
+ * — SimPool queue depth and job latency, result-cache hit rates,
+ * checkpoint-store traffic, watchdog flags — that must never influence
+ * a SimResult. Nothing in here touches simulated state, so telemetry
+ * can be turned on or off without perturbing a single stat bit.
+ *
+ * Three metric kinds, Prometheus-flavoured:
+ *
+ *  - Counter:   monotonically increasing uint64 (events, totals).
+ *  - Gauge:     instantaneous int64 (queue depth, in-flight jobs).
+ *  - Histogram: fixed exponential buckets (per-job latency). Buckets
+ *    are chosen at registration (first upper bound, growth factor,
+ *    bucket count) and never resize, so observe() is lock-free.
+ *
+ * Metrics are identified by (name, label set) and registered on first
+ * use; re-registration returns the same object, so instrumentation
+ * sites simply ask the registry every time. All mutation is relaxed
+ * atomics — instrumented code paths are per-job or per-phase, never
+ * per-cycle, and the exposition side only ever snapshots.
+ *
+ * Exposition: writePrometheus() emits the text format (version 0.0.4,
+ * HELP/TYPE headers, escaped label values, cumulative `_bucket{le=}`
+ * series with `_sum`/`_count`), writeJson() an equivalent JSON
+ * document for tooling. Both are deterministic: families sort by name,
+ * series by label string.
+ */
+
+#ifndef VPSIM_SIM_METRICS_HH
+#define VPSIM_SIM_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vpsim
+{
+
+/** Label set of one metric series ({{"worker", "simpool/3"}, ...}). */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1) { _v.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return _v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> _v{0};
+};
+
+/** Instantaneous level (queue depth, in-flight jobs). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { _v.store(v, std::memory_order_relaxed); }
+    void add(int64_t n) { _v.fetch_add(n, std::memory_order_relaxed); }
+    void sub(int64_t n) { _v.fetch_sub(n, std::memory_order_relaxed); }
+    int64_t value() const { return _v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> _v{0};
+};
+
+/**
+ * Fixed-exponential-bucket histogram: upper bounds
+ * firstBound * growth^i for i in [0, bucketCount), plus +Inf.
+ */
+class Histogram
+{
+  public:
+    Histogram(double firstBound, double growth, int bucketCount);
+
+    void observe(double v);
+
+    uint64_t count() const { return _count.load(std::memory_order_relaxed); }
+    double sum() const;
+
+    /** Upper bounds (excluding +Inf). */
+    const std::vector<double> &bounds() const { return _bounds; }
+
+    /** Per-bucket non-cumulative counts; index bounds().size() = +Inf. */
+    uint64_t bucketCount(size_t i) const
+    {
+        return _buckets[i].load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Upper bound of the bucket containing the q-quantile observation
+     * (a conservative overestimate, as precise as the bucket grid).
+     * Returns 0 when empty; observations above every bound report the
+     * largest finite bound.
+     */
+    double quantile(double q) const;
+
+  private:
+    std::vector<double> _bounds;
+    std::unique_ptr<std::atomic<uint64_t>[]> _buckets;
+    std::atomic<uint64_t> _count{0};
+    std::atomic<double> _sum{0.0};
+};
+
+/**
+ * Registry of named metric families; see the file comment. One
+ * process-wide instance() plus constructible instances for tests.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry every engine layer instruments. */
+    static MetricsRegistry &instance();
+
+    /** Register-or-find; panic()s if @p name exists with another kind
+     *  (one family, one type — the Prometheus contract). */
+    Counter &counter(const std::string &name, const std::string &help,
+                     const MetricLabels &labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const MetricLabels &labels = {});
+    Histogram &histogram(const std::string &name, const std::string &help,
+                         double firstBound, double growth, int bucketCount,
+                         const MetricLabels &labels = {});
+
+    /** Prometheus text exposition format 0.0.4. */
+    void writePrometheus(std::ostream &os) const;
+    std::string prometheusText() const;
+
+    /** Equivalent JSON document (parseable by sim/json.hh). */
+    void writeJson(std::ostream &os) const;
+    std::string jsonText() const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Family
+    {
+        Kind kind = Kind::Counter;
+        std::string help;
+        /** Canonical label string -> series. Exactly one of the
+         *  pointers is non-null per the family's kind. */
+        struct Series
+        {
+            MetricLabels labels;
+            std::unique_ptr<Counter> counter;
+            std::unique_ptr<Gauge> gauge;
+            std::unique_ptr<Histogram> histogram;
+        };
+        std::map<std::string, Series> series;
+    };
+
+    Family::Series &findOrMake(const std::string &name,
+                               const std::string &help, Kind kind,
+                               const MetricLabels &labels);
+
+    mutable std::mutex _m;
+    std::map<std::string, Family> _families;
+};
+
+/** `{key="escaped value",...}` rendering of @p labels ("" if empty). */
+std::string metricLabelString(const MetricLabels &labels);
+
+/** Prometheus label-value escaping (backslash, quote, newline). */
+std::string escapeMetricLabelValue(const std::string &v);
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_METRICS_HH

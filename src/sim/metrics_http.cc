@@ -1,0 +1,204 @@
+#include "sim/metrics_http.hh"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VPSIM_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define VPSIM_HAVE_SOCKETS 0
+#endif
+
+#include "sim/logging.hh"
+
+namespace vpsim
+{
+
+#if VPSIM_HAVE_SOCKETS
+
+namespace
+{
+
+void
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+        if (n <= 0)
+            return;
+        off += static_cast<size_t>(n);
+    }
+}
+
+std::string
+httpResponse(int code, const char *status, const std::string &contentType,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(code) + " " + status +
+                      "\r\nContent-Type: " + contentType +
+                      "\r\nContent-Length: " +
+                      std::to_string(body.size()) +
+                      "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace
+
+MetricsHttpServer::~MetricsHttpServer()
+{
+    stop();
+}
+
+bool
+MetricsHttpServer::start(int port, Handler metricsBody, Handler jobsBody)
+{
+    if (_fd >= 0)
+        stop();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("metrics endpoint: socket() failed: %s",
+             std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        warn("metrics endpoint: cannot bind 127.0.0.1:%d: %s", port,
+             std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 4) != 0) {
+        warn("metrics endpoint: listen() failed: %s",
+             std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+    _port = ntohs(addr.sin_port);
+    _fd = fd;
+    _metricsBody = std::move(metricsBody);
+    _jobsBody = std::move(jobsBody);
+    _thread = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (_fd < 0)
+        return;
+    int fd = _fd;
+    _fd = -1; // serveLoop observes this and exits after its poll tick.
+    ::shutdown(fd, SHUT_RDWR);
+    if (_thread.joinable())
+        _thread.join();
+    ::close(fd);
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    int fd = _fd;
+    while (_fd == fd) {
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int r = ::poll(&pfd, 1, 200 /* ms */);
+        if (_fd != fd)
+            break;
+        if (r <= 0 || (pfd.revents & POLLIN) == 0)
+            continue;
+        int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+
+        char buf[2048];
+        ssize_t n = ::recv(conn, buf, sizeof(buf) - 1, 0);
+        if (n <= 0) {
+            ::close(conn);
+            continue;
+        }
+        buf[n] = '\0';
+        std::string req(buf);
+        std::string line = req.substr(0, req.find('\r'));
+
+        std::string method, target;
+        {
+            size_t sp1 = line.find(' ');
+            size_t sp2 =
+                sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+            if (sp1 != std::string::npos && sp2 != std::string::npos) {
+                method = line.substr(0, sp1);
+                target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            }
+        }
+        size_t q = target.find('?');
+        if (q != std::string::npos)
+            target = target.substr(0, q);
+
+        std::string resp;
+        if (method != "GET") {
+            resp = httpResponse(405, "Method Not Allowed", "text/plain",
+                                "GET only\n");
+        } else if (target == "/metrics") {
+            resp = httpResponse(
+                200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                _metricsBody ? _metricsBody() : "");
+        } else if (target == "/jobs") {
+            resp = httpResponse(200, "OK", "application/json",
+                                _jobsBody ? _jobsBody() : "{}\n");
+        } else if (target == "/") {
+            resp = httpResponse(
+                200, "OK", "text/plain",
+                "vpsim experiment engine: /metrics (Prometheus text), "
+                "/jobs (JSON job table)\n");
+        } else {
+            resp = httpResponse(404, "Not Found", "text/plain",
+                                "routes: /metrics /jobs\n");
+        }
+        sendAll(conn, resp);
+        ::close(conn);
+    }
+}
+
+#else // !VPSIM_HAVE_SOCKETS
+
+MetricsHttpServer::~MetricsHttpServer() {}
+
+bool
+MetricsHttpServer::start(int, Handler, Handler)
+{
+    warn("metrics endpoint: no socket support on this platform");
+    return false;
+}
+
+void
+MetricsHttpServer::stop()
+{
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+}
+
+#endif // VPSIM_HAVE_SOCKETS
+
+} // namespace vpsim

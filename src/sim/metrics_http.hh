@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal embedded HTTP endpoint for live engine telemetry.
+ *
+ * `run_all --metrics-port N` (or MTVP_METRICS_PORT) starts one of these
+ * for the lifetime of the sweep. It is deliberately tiny: a single
+ * listener thread, one connection served at a time, GET-only, two
+ * routes:
+ *
+ *   /metrics  Prometheus text exposition (version 0.0.4) of the
+ *             process-wide MetricsRegistry.
+ *   /jobs     JSON job table replayed from the run ledger.
+ *
+ * Bodies are produced by caller-supplied closures at request time, so
+ * the server knows nothing about registries or ledgers. Port 0 binds an
+ * ephemeral port (tests); port() reports the bound one. Loopback only —
+ * this is a progress peephole, not a service.
+ *
+ * Entirely host-side and outside the simulated machine: whether the
+ * endpoint is up has no effect on any simulation result.
+ */
+
+#ifndef VPSIM_SIM_METRICS_HTTP_HH
+#define VPSIM_SIM_METRICS_HTTP_HH
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace vpsim
+{
+
+class MetricsHttpServer
+{
+  public:
+    /** Returns the body + content type for one route. */
+    using Handler = std::function<std::string()>;
+
+    MetricsHttpServer() = default;
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start serving
+     * GET /metrics via @p metricsBody and GET /jobs via @p jobsBody.
+     * Returns false (with a warning) if the socket cannot be bound.
+     */
+    bool start(int port, Handler metricsBody, Handler jobsBody);
+
+    /** Stop the listener and join the thread; idempotent. */
+    void stop();
+
+    bool running() const { return _fd >= 0; }
+
+    /** The actually bound port (after start with port 0). */
+    int port() const { return _port; }
+
+  private:
+    void serveLoop();
+
+    Handler _metricsBody;
+    Handler _jobsBody;
+    std::thread _thread;
+    std::atomic<int> _fd{-1}; ///< Listener; -1 signals the thread out.
+    int _port = 0;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_METRICS_HTTP_HH

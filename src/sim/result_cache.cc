@@ -254,7 +254,19 @@ makeDir(const std::string &dir)
 } // namespace
 
 ResultCache::ResultCache(std::string dir, uint64_t maxBytes)
-    : _dir(std::move(dir)), _maxBytes(maxBytes)
+    : _dir(std::move(dir)), _maxBytes(maxBytes),
+      _hits(&MetricsRegistry::instance().counter(
+          "vpsim_result_cache_hits_total",
+          "Persistent result-cache lookups answered from disk")),
+      _misses(&MetricsRegistry::instance().counter(
+          "vpsim_result_cache_misses_total",
+          "Persistent result-cache lookups that missed (absent, "
+          "unparseable, or stale entry)")),
+      _evictions(&MetricsRegistry::instance().counter(
+          "vpsim_result_cache_evictions_total",
+          "Cache-directory entries evicted by the size cap")),
+      _hitsBase(_hits->value()), _missesBase(_misses->value()),
+      _evictionsBase(_evictions->value())
 {
 }
 
@@ -262,9 +274,9 @@ ResultCacheStats
 ResultCache::stats() const
 {
     ResultCacheStats s;
-    s.hits = _hits.load(std::memory_order_relaxed);
-    s.misses = _misses.load(std::memory_order_relaxed);
-    s.evictions = _evictions.load(std::memory_order_relaxed);
+    s.hits = _hits->value() - _hitsBase;
+    s.misses = _misses->value() - _missesBase;
+    s.evictions = _evictions->value() - _evictionsBase;
     return s;
 }
 
@@ -286,18 +298,18 @@ ResultCache::lookup(const SimConfig &cfg, const std::string &workload,
         return false;
     std::ifstream is(entryPath(cfg, workload));
     if (!is) {
-        _misses.fetch_add(1, std::memory_order_relaxed);
+        _misses->inc();
         return false;
     }
     std::ostringstream buf;
     buf << is.rdbuf();
     SimResult parsed;
     if (!parseEntry(buf.str(), resultKeyString(cfg, workload), parsed)) {
-        _misses.fetch_add(1, std::memory_order_relaxed);
+        _misses->inc();
         return false;
     }
     out = std::move(parsed);
-    _hits.fetch_add(1, std::memory_order_relaxed);
+    _hits->inc();
     return true;
 }
 
@@ -433,7 +445,7 @@ ResultCache::enforceCap() const
         if (::unlink(e.path.c_str()) != 0 && errno != ENOENT)
             continue; // Keep going: maybe a later entry is removable.
         total -= e.size;
-        _evictions.fetch_add(1, std::memory_order_relaxed);
+        _evictions->inc();
     }
 }
 

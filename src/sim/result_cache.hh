@@ -24,11 +24,11 @@
 #ifndef VPSIM_SIM_RESULT_CACHE_HH
 #define VPSIM_SIM_RESULT_CACHE_HH
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "sim/config.hh"
+#include "sim/metrics.hh"
 #include "sim/simulation.hh"
 
 namespace vpsim
@@ -36,7 +36,10 @@ namespace vpsim
 
 /** Point-in-time counters of one ResultCache (see ResultCache::stats).
  *  Evictions also count checkpoint files: the size cap governs the
- *  whole cache directory, which the CheckpointStore shares. */
+ *  whole cache directory, which the CheckpointStore shares. Backed by
+ *  the process-wide MetricsRegistry (vpsim_result_cache_*_total), so
+ *  `--cache-stats` output and the /metrics exposition can never
+ *  disagree; stats() still reports per-instance deltas. */
 struct ResultCacheStats
 {
     uint64_t hits = 0;
@@ -108,11 +111,16 @@ class ResultCache
 
     std::string _dir;
     uint64_t _maxBytes = 0;
-    // Counters, not state: mutated under const because lookup()/store()
+    // Counters, not state: bumped under const because lookup()/store()
     // are logically read-only and run concurrently from pool workers.
-    mutable std::atomic<uint64_t> _hits{0};
-    mutable std::atomic<uint64_t> _misses{0};
-    mutable std::atomic<uint64_t> _evictions{0};
+    // The Counters live in the registry (process totals); the base
+    // snapshots taken at construction make stats() per-instance.
+    Counter *_hits;
+    Counter *_misses;
+    Counter *_evictions;
+    uint64_t _hitsBase;
+    uint64_t _missesBase;
+    uint64_t _evictionsBase;
 };
 
 } // namespace vpsim

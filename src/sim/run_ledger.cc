@@ -1,0 +1,594 @@
+#include "sim/run_ledger.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/stats.hh"
+
+namespace vpsim
+{
+
+const char *
+toString(LedgerEventKind k)
+{
+    switch (k) {
+      case LedgerEventKind::RunStart: return "run-start";
+      case LedgerEventKind::Submit: return "submit";
+      case LedgerEventKind::CacheHit: return "cache-hit";
+      case LedgerEventKind::Start: return "start";
+      case LedgerEventKind::Finish: return "finish";
+      case LedgerEventKind::Stuck: return "stuck";
+    }
+    return "?";
+}
+
+bool
+ledgerEventKind(const std::string &s, LedgerEventKind &out)
+{
+    for (LedgerEventKind k :
+         {LedgerEventKind::RunStart, LedgerEventKind::Submit,
+          LedgerEventKind::CacheHit, LedgerEventKind::Start,
+          LedgerEventKind::Finish, LedgerEventKind::Stuck}) {
+        if (s == toString(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+ledgerEventJson(const LedgerEvent &e)
+{
+    std::ostringstream os;
+    os << "{\"ev\": ";
+    jsonQuote(os, toString(e.kind));
+    os << ", \"ms\": ";
+    jsonNumber(os, e.unixMs);
+    auto field = [&os](const char *name, const std::string &v) {
+        if (v.empty())
+            return;
+        os << ", \"" << name << "\": ";
+        jsonQuote(os, v);
+    };
+    field("job", e.job);
+    field("workload", e.workload);
+    field("figure", e.figure);
+    field("worker", e.worker);
+    field("outcome", e.outcome);
+    if (e.kind == LedgerEventKind::Finish ||
+        e.kind == LedgerEventKind::Stuck) {
+        os << ", \"wallSeconds\": ";
+        jsonNumber(os, roundSig(e.wallSeconds, 6));
+    }
+    if (e.insts != 0)
+        os << ", \"insts\": " << e.insts;
+    if (e.cycles != 0)
+        os << ", \"cycles\": " << e.cycles;
+    os << "}";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// RunLedger (writer)
+// ---------------------------------------------------------------------
+
+RunLedger::~RunLedger()
+{
+    if (_f != nullptr)
+        std::fclose(_f);
+}
+
+RunLedger &
+RunLedger::global()
+{
+    // Intentionally immortal (workers may record during static
+    // vplint:allow(global-state) teardown); all access is mutexed.
+    static RunLedger *l = new RunLedger;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *path = std::getenv("MTVP_LEDGER");
+        if (path != nullptr && *path != '\0')
+            l->open(path);
+        const char *figure = std::getenv("MTVP_LEDGER_FIGURE");
+        if (figure != nullptr)
+            l->setFigure(figure);
+    });
+    return *l;
+}
+
+void
+RunLedger::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(_m);
+    if (_f != nullptr) {
+        std::fclose(_f);
+        _f = nullptr;
+    }
+    _path = path;
+    if (_path.empty())
+        return;
+    // Append mode: every figure process sharing this ledger lands whole
+    // lines via O_APPEND; the kernel serializes the writes.
+    _f = std::fopen(_path.c_str(), "a");
+    if (_f == nullptr) {
+        warn("run ledger: cannot open '%s' for append", _path.c_str());
+        _path.clear();
+    }
+}
+
+bool
+RunLedger::enabled() const
+{
+    std::lock_guard<std::mutex> lk(_m);
+    return _f != nullptr;
+}
+
+void
+RunLedger::setFigure(const std::string &figure)
+{
+    std::lock_guard<std::mutex> lk(_m);
+    _figure = figure;
+}
+
+std::string
+RunLedger::figure() const
+{
+    std::lock_guard<std::mutex> lk(_m);
+    return _figure;
+}
+
+void
+RunLedger::record(LedgerEvent e)
+{
+    std::lock_guard<std::mutex> lk(_m);
+    if (_f == nullptr)
+        return;
+    if (e.figure.empty())
+        e.figure = _figure;
+    if (e.unixMs == 0.0) {
+        e.unixMs = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+    }
+    std::string line = ledgerEventJson(e);
+    line += '\n';
+    // One fwrite per line (not per field): appends from concurrent
+    // processes interleave at line granularity.
+    std::fwrite(line.data(), 1, line.size(), _f);
+    std::fflush(_f);
+}
+
+// ---------------------------------------------------------------------
+// Reader / replay
+// ---------------------------------------------------------------------
+
+bool
+loadLedger(const std::string &path, std::vector<LedgerEvent> &out,
+           std::vector<std::string> *warnings)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    auto note = [&](const std::string &msg) {
+        if (warnings != nullptr)
+            warnings->push_back(msg);
+    };
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        json::Value v;
+        std::string err;
+        if (!json::parse(line, v, &err) || !v.isObject()) {
+            // A torn final line of a crashed writer parses as garbage;
+            // mid-file corruption is equally survivable.
+            note(path + ":" + std::to_string(lineNo) +
+                 ": skipping unparseable ledger line");
+            continue;
+        }
+        LedgerEvent e;
+        if (!ledgerEventKind(v.stringOr("ev", ""), e.kind)) {
+            note(path + ":" + std::to_string(lineNo) +
+                 ": skipping ledger line with unknown event '" +
+                 v.stringOr("ev", "") + "'");
+            continue;
+        }
+        e.unixMs = v.numberOr("ms", 0.0);
+        e.job = v.stringOr("job", "");
+        e.workload = v.stringOr("workload", "");
+        e.figure = v.stringOr("figure", "");
+        e.worker = v.stringOr("worker", "");
+        e.outcome = v.stringOr("outcome", "");
+        e.wallSeconds = v.numberOr("wallSeconds", 0.0);
+        e.insts = static_cast<uint64_t>(v.numberOr("insts", 0.0));
+        e.cycles = static_cast<uint64_t>(v.numberOr("cycles", 0.0));
+        out.push_back(std::move(e));
+    }
+    return true;
+}
+
+const char *
+toString(LedgerJobState::State s)
+{
+    switch (s) {
+      case LedgerJobState::State::Queued: return "queued";
+      case LedgerJobState::State::Running: return "running";
+      case LedgerJobState::State::Finished: return "finished";
+      case LedgerJobState::State::CacheHit: return "cache-hit";
+      case LedgerJobState::State::Failed: return "failed";
+    }
+    return "?";
+}
+
+void
+LedgerState::apply(const LedgerEvent &e)
+{
+    if (e.unixMs != 0.0) {
+        if (firstMs == 0.0 || e.unixMs < firstMs)
+            firstMs = e.unixMs;
+        if (e.unixMs > lastMs)
+            lastMs = e.unixMs;
+    }
+    if (e.kind == LedgerEventKind::RunStart || e.job.empty())
+        return;
+
+    LedgerJobState &j =
+        jobs[e.figure.empty() ? e.job : e.figure + "/" + e.job];
+    j.job = e.job;
+    if (!e.workload.empty())
+        j.workload = e.workload;
+    if (!e.figure.empty())
+        j.figure = e.figure;
+    switch (e.kind) {
+      case LedgerEventKind::Submit:
+        ++submitted;
+        j.submitMs = e.unixMs;
+        break;
+      case LedgerEventKind::CacheHit:
+        // No ++submitted: the engine journals Submit first and then
+        // CacheHit for the same job; counting both would double-count.
+        ++cacheHits;
+        j.state = LedgerJobState::State::CacheHit;
+        j.submitMs = j.endMs = e.unixMs;
+        break;
+      case LedgerEventKind::Start:
+        ++started;
+        j.state = LedgerJobState::State::Running;
+        j.worker = e.worker;
+        j.startMs = e.unixMs;
+        break;
+      case LedgerEventKind::Finish:
+        ++finished;
+        j.state = e.outcome == "ok" ? LedgerJobState::State::Finished
+                                    : LedgerJobState::State::Failed;
+        if (j.state == LedgerJobState::State::Failed)
+            ++failed;
+        if (!e.worker.empty())
+            j.worker = e.worker;
+        j.outcome = e.outcome;
+        j.wallSeconds = e.wallSeconds;
+        j.insts = e.insts;
+        j.cycles = e.cycles;
+        j.endMs = e.unixMs;
+        totalInsts += e.insts;
+        totalBusySeconds += e.wallSeconds;
+        break;
+      case LedgerEventKind::Stuck:
+        ++stuckFlags;
+        j.stuckFlagged = true;
+        break;
+      case LedgerEventKind::RunStart:
+        break;
+    }
+}
+
+uint64_t
+LedgerState::queued() const
+{
+    uint64_t n = 0;
+    for (const auto &[key, j] : jobs)
+        n += j.state == LedgerJobState::State::Queued ? 1 : 0;
+    return n;
+}
+
+uint64_t
+LedgerState::running() const
+{
+    uint64_t n = 0;
+    for (const auto &[key, j] : jobs)
+        n += j.state == LedgerJobState::State::Running ? 1 : 0;
+    return n;
+}
+
+uint64_t
+LedgerState::done() const
+{
+    uint64_t n = 0;
+    for (const auto &[key, j] : jobs) {
+        switch (j.state) {
+          case LedgerJobState::State::Finished:
+          case LedgerJobState::State::CacheHit:
+          case LedgerJobState::State::Failed:
+            ++n;
+            break;
+          case LedgerJobState::State::Queued:
+          case LedgerJobState::State::Running:
+            break;
+        }
+    }
+    return n;
+}
+
+LedgerState
+replayLedger(const std::vector<LedgerEvent> &events)
+{
+    LedgerState st;
+    for (const LedgerEvent &e : events)
+        st.apply(e);
+    return st;
+}
+
+namespace
+{
+
+/** Per-figure rollup used by the report and the progress renderer. */
+struct FigureRoll
+{
+    uint64_t queued = 0, running = 0, finished = 0, cacheHits = 0,
+             failed = 0, stuck = 0;
+    uint64_t insts = 0;
+    double busySeconds = 0.0;
+
+    uint64_t total() const
+    {
+        return queued + running + finished + cacheHits + failed;
+    }
+};
+
+std::map<std::string, FigureRoll>
+rollupByFigure(const LedgerState &st)
+{
+    std::map<std::string, FigureRoll> by;
+    for (const auto &[key, j] : st.jobs) {
+        FigureRoll &r = by[j.figure.empty() ? "(none)" : j.figure];
+        switch (j.state) {
+          case LedgerJobState::State::Queued: ++r.queued; break;
+          case LedgerJobState::State::Running: ++r.running; break;
+          case LedgerJobState::State::Finished: ++r.finished; break;
+          case LedgerJobState::State::CacheHit: ++r.cacheHits; break;
+          case LedgerJobState::State::Failed: ++r.failed; break;
+        }
+        r.stuck += j.stuckFlagged ? 1 : 0;
+        r.insts += j.insts;
+        r.busySeconds += j.wallSeconds;
+    }
+    return by;
+}
+
+/** Latency percentile over finished jobs (exact, report-side). */
+double
+latencyPercentile(const LedgerState &st, double q)
+{
+    std::vector<double> lat;
+    for (const auto &[key, j] : st.jobs) {
+        if (j.state == LedgerJobState::State::Finished)
+            lat.push_back(j.wallSeconds);
+    }
+    if (lat.empty())
+        return 0.0;
+    std::sort(lat.begin(), lat.end());
+    size_t i = static_cast<size_t>(q * static_cast<double>(lat.size()));
+    if (i >= lat.size())
+        i = lat.size() - 1;
+    return lat[i];
+}
+
+} // namespace
+
+void
+writeLedgerReport(std::ostream &os, const LedgerState &st)
+{
+    os << "run ledger: " << st.jobs.size() << " jobs ("
+       << st.submitted << " submitted, " << st.cacheHits
+       << " cache hits, " << st.finished << " finished, " << st.failed
+       << " failed, " << st.queued() << " still queued, "
+       << st.running() << " still running";
+    if (st.stuckFlags != 0)
+        os << ", " << st.stuckFlags << " watchdog flags";
+    os << ")\n";
+    if (st.lastMs > st.firstMs) {
+        double span = (st.lastMs - st.firstMs) / 1000.0;
+        os << "  span " << roundSig(span, 4) << "s, busy "
+           << roundSig(st.totalBusySeconds, 4) << "s, "
+           << st.totalInsts << " insts";
+        if (span > 0.0) {
+            os << " (" << roundSig(static_cast<double>(st.totalInsts) /
+                                       span, 4)
+               << " insts/s aggregate)";
+        }
+        os << "\n";
+    }
+    if (st.finished > 0) {
+        os << "  job latency p50/p95/max "
+           << roundSig(latencyPercentile(st, 0.50), 4) << "s / "
+           << roundSig(latencyPercentile(st, 0.95), 4) << "s / "
+           << roundSig(latencyPercentile(st, 1.0), 4) << "s\n";
+    }
+
+    os << "  figure                      jobs   done    hit    run  "
+          "queue   fail  stuck\n";
+    for (const auto &[figure, r] : rollupByFigure(st)) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  %-26s %5llu  %5llu  %5llu  %5llu  %5llu  "
+                      "%5llu  %5llu\n",
+                      figure.c_str(),
+                      static_cast<unsigned long long>(r.total()),
+                      static_cast<unsigned long long>(r.finished),
+                      static_cast<unsigned long long>(r.cacheHits),
+                      static_cast<unsigned long long>(r.running),
+                      static_cast<unsigned long long>(r.queued),
+                      static_cast<unsigned long long>(r.failed),
+                      static_cast<unsigned long long>(r.stuck));
+        os << line;
+    }
+}
+
+std::string
+ledgerJobsJson(const LedgerState &st)
+{
+    std::ostringstream os;
+    os << "{\n  \"submitted\": " << st.submitted
+       << ",\n  \"finished\": " << st.finished
+       << ",\n  \"cacheHits\": " << st.cacheHits
+       << ",\n  \"failed\": " << st.failed
+       << ",\n  \"queued\": " << st.queued()
+       << ",\n  \"running\": " << st.running()
+       << ",\n  \"stuckFlags\": " << st.stuckFlags
+       << ",\n  \"totalInsts\": " << st.totalInsts
+       << ",\n  \"totalBusySeconds\": ";
+    jsonNumber(os, roundSig(st.totalBusySeconds, 6));
+    os << ",\n  \"jobs\": [";
+    bool first = true;
+    for (const auto &[key, j] : st.jobs) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"job\": ";
+        jsonQuote(os, j.job);
+        os << ", \"state\": ";
+        jsonQuote(os, toString(j.state));
+        os << ", \"workload\": ";
+        jsonQuote(os, j.workload);
+        os << ", \"figure\": ";
+        jsonQuote(os, j.figure);
+        os << ", \"worker\": ";
+        jsonQuote(os, j.worker);
+        os << ", \"stuck\": " << (j.stuckFlagged ? "true" : "false");
+        os << ", \"wallSeconds\": ";
+        jsonNumber(os, roundSig(j.wallSeconds, 6));
+        os << ", \"insts\": " << j.insts;
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// ProgressModel
+// ---------------------------------------------------------------------
+
+void
+ProgressModel::apply(const LedgerEvent &e)
+{
+    _st.apply(e);
+    if (!e.worker.empty())
+        ++_workersSeen[e.worker];
+    if (e.kind == LedgerEventKind::Finish && e.wallSeconds > 0.0) {
+        // EWMA over per-job latency: recent jobs dominate the ETA, so
+        // a sweep whose points grow (or a warm cache) tracks quickly.
+        constexpr double alpha = 0.25;
+        _ewmaJobSeconds = _ewmaValid
+                              ? alpha * e.wallSeconds +
+                                    (1.0 - alpha) * _ewmaJobSeconds
+                              : e.wallSeconds;
+        _ewmaValid = true;
+    }
+}
+
+std::string
+ProgressModel::renderLine(double nowMs) const
+{
+    // Derive done/total from the job table (not the raw event
+    // counters) so the line stays consistent even on a ledger with
+    // replayed or duplicated event lines.
+    const uint64_t done = _st.done();
+    const uint64_t pendingJobs = _st.queued() + _st.running();
+    std::ostringstream os;
+    os << "[sweep] " << done << "/" << _st.jobs.size() << " jobs";
+    if (_st.cacheHits > 0)
+        os << " (" << _st.cacheHits << " cached)";
+    if (_st.running() > 0)
+        os << ", " << _st.running() << " running";
+    if (_st.failed > 0)
+        os << ", " << _st.failed << " FAILED";
+    if (_st.stuckFlags > 0)
+        os << ", " << _st.stuckFlags << " flagged";
+
+    double elapsed = _st.firstMs > 0.0 && nowMs > _st.firstMs
+                         ? (nowMs - _st.firstMs) / 1000.0
+                         : 0.0;
+    if (elapsed > 0.0 && _st.totalInsts > 0) {
+        os << ", " << roundSig(static_cast<double>(_st.totalInsts) /
+                                   elapsed / 1.0e6, 3)
+           << "M insts/s";
+    }
+    if (pendingJobs > 0 && _ewmaValid) {
+        size_t workers = _workersSeen.empty() ? 1 : _workersSeen.size();
+        double eta = _ewmaJobSeconds *
+                     static_cast<double>(pendingJobs) /
+                     static_cast<double>(workers);
+        os << ", ETA " << roundSig(eta, 3) << "s";
+    }
+    return os.str();
+}
+
+std::string
+ProgressModel::renderFigures() const
+{
+    std::ostringstream os;
+    for (const auto &[figure, r] : rollupByFigure(_st)) {
+        os << "  " << figure << ": " << r.finished + r.cacheHits << "/"
+           << r.total() << " done";
+        if (r.cacheHits > 0)
+            os << " (" << r.cacheHits << " cached)";
+        if (r.running > 0)
+            os << ", " << r.running << " running";
+        if (r.queued > 0)
+            os << ", " << r.queued << " queued";
+        if (r.failed > 0)
+            os << ", " << r.failed << " FAILED";
+        if (r.stuck > 0)
+            os << ", " << r.stuck << " flagged";
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+ProgressModel::exportMetrics() const
+{
+    MetricsRegistry &mr = MetricsRegistry::instance();
+    auto stateGauge = [&mr](const char *state) -> Gauge & {
+        return mr.gauge("vpsim_sweep_jobs",
+                        "Ledger-derived job count by final state",
+                        {{"state", state}});
+    };
+    stateGauge("queued").set(static_cast<int64_t>(_st.queued()));
+    stateGauge("running").set(static_cast<int64_t>(_st.running()));
+    stateGauge("finished").set(static_cast<int64_t>(_st.finished));
+    stateGauge("cache_hit").set(static_cast<int64_t>(_st.cacheHits));
+    stateGauge("failed").set(static_cast<int64_t>(_st.failed));
+    mr.gauge("vpsim_sweep_stuck_flags",
+             "Watchdog flags observed in the ledger")
+        .set(static_cast<int64_t>(_st.stuckFlags));
+
+    Counter &insts = mr.counter("vpsim_sweep_insts_total",
+                                "Simulated instructions finished jobs "
+                                "reported via the ledger");
+    uint64_t cur = insts.value();
+    if (_st.totalInsts > cur)
+        insts.inc(_st.totalInsts - cur);
+}
+
+} // namespace vpsim

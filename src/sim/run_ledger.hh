@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Append-only, crash-tolerant job journal for the experiment engine.
+ *
+ * Every job the engine processes leaves a trail of single-line JSON
+ * events in one JSONL file: `submit` when a (config, workload) point
+ * enters the job graph, `cache-hit` when the persistent result cache
+ * answers it, `start`/`finish` around an actual simulation (with the
+ * executing worker, wall time, outcome, and headline insts/cycles),
+ * and `stuck` when the watchdog flags a job as suspiciously slow.
+ * Lines are appended with O_APPEND semantics and flushed per event, so
+ * multiple figure processes can share one ledger (run_all spawns them
+ * with the same MTVP_LEDGER) and a crash loses at most the final,
+ * possibly-truncated line — which the reader tolerates by design.
+ *
+ * The journal is replayable: replayLedger() folds the event stream
+ * into the final job-state table (queued/running/finished/cache-hit/
+ * failed per job, plus aggregate counters), reconstructing engine
+ * state exactly — tests assert this identity. run_all consumes it
+ * three ways: `--ledger-report` (post-mortem summary), `--progress`
+ * (live tail + EWMA ETA via ProgressModel), and `/jobs` on the
+ * embedded metrics endpoint (ledgerJobsJson).
+ *
+ * Timestamps are host-side wall-clock by design (this is telemetry,
+ * not simulation; vplint allowlists this file), and nothing in here is
+ * reachable from simulated state: a run with the ledger enabled is
+ * bit-identical to one without.
+ */
+
+#ifndef VPSIM_SIM_RUN_LEDGER_HH
+#define VPSIM_SIM_RUN_LEDGER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vpsim
+{
+
+/** One journal event kind; serialized as the "ev" field. */
+enum class LedgerEventKind
+{
+    RunStart, ///< run_all (or a test) opened a fresh ledger.
+    Submit,   ///< A job entered the job graph (post graph-level dedup).
+    CacheHit, ///< The persistent result cache answered the job.
+    Start,    ///< A worker began simulating the job.
+    Finish,   ///< The simulation completed (outcome ok|error).
+    Stuck,    ///< The watchdog flagged the job as suspiciously slow.
+};
+
+const char *toString(LedgerEventKind k);
+bool ledgerEventKind(const std::string &s, LedgerEventKind &out);
+
+/** One journal line. Fields not meaningful for a kind stay empty/0. */
+struct LedgerEvent
+{
+    LedgerEventKind kind = LedgerEventKind::Submit;
+    std::string job;      ///< 16-hex canonical job key (resultKey()).
+    std::string workload;
+    std::string figure;   ///< Figure label (MTVP_LEDGER_FIGURE), "" ok.
+    std::string worker;   ///< Executing worker ("simpool/3", "main").
+    std::string outcome;  ///< finish: "ok"|"error"; stuck: reason.
+    double wallSeconds = 0.0; ///< finish: job latency; stuck: elapsed.
+    double unixMs = 0.0;  ///< Host timestamp (ms since the epoch).
+    uint64_t insts = 0;   ///< finish: useful instructions simulated.
+    uint64_t cycles = 0;  ///< finish: simulated cycles.
+};
+
+/** Serialize one event as a single JSON line (no trailing newline). */
+std::string ledgerEventJson(const LedgerEvent &e);
+
+/**
+ * Appending journal writer. The process-wide instance (global()) is
+ * configured once from MTVP_LEDGER / MTVP_LEDGER_FIGURE and shared by
+ * the SimJobGraph, the watchdog, and the bench harness; a disabled
+ * ledger (no path) drops every record() at a single branch.
+ */
+class RunLedger
+{
+  public:
+    RunLedger() = default;
+    ~RunLedger();
+
+    RunLedger(const RunLedger &) = delete;
+    RunLedger &operator=(const RunLedger &) = delete;
+
+    /** The process-wide ledger, lazily configured from MTVP_LEDGER. */
+    static RunLedger &global();
+
+    /** (Re)open @p path for appending; "" closes/disables. */
+    void open(const std::string &path);
+    bool enabled() const;
+    const std::string &path() const { return _path; }
+
+    /** Figure label stamped on every event ("" = none). */
+    void setFigure(const std::string &figure);
+    std::string figure() const;
+
+    /** Append one event (fills unixMs if 0) and flush. Thread-safe. */
+    void record(LedgerEvent e);
+
+  private:
+    mutable std::mutex _m;
+    std::string _path;
+    std::string _figure;
+    std::FILE *_f = nullptr;
+};
+
+/**
+ * Parse a JSONL ledger. Corrupt or truncated lines — including the
+ * torn final line of a crashed run — are skipped with a warning pushed
+ * to @p warnings (when non-null), never an error. Returns false only
+ * when the file cannot be opened at all.
+ */
+bool loadLedger(const std::string &path, std::vector<LedgerEvent> &out,
+                std::vector<std::string> *warnings = nullptr);
+
+/** Final state of one job after replay. */
+struct LedgerJobState
+{
+    enum class State { Queued, Running, Finished, CacheHit, Failed };
+
+    State state = State::Queued;
+    std::string job; ///< Bare 16-hex job key (table keys add figure).
+    std::string workload;
+    std::string figure;
+    std::string worker;
+    std::string outcome;
+    bool stuckFlagged = false;
+    double wallSeconds = 0.0;
+    uint64_t insts = 0;
+    uint64_t cycles = 0;
+    double submitMs = 0.0;
+    double startMs = 0.0;
+    double endMs = 0.0;
+};
+
+const char *toString(LedgerJobState::State s);
+
+/** Replayed engine state: the job table plus aggregate counters. */
+struct LedgerState
+{
+    /**
+     * "figure/jobkey" -> final state (std::map: deterministic
+     * iteration). The key is figure-qualified because sibling figure
+     * processes legitimately run the same canonical job key (shared
+     * baseline points), and those are distinct jobs in the sweep.
+     */
+    std::map<std::string, LedgerJobState> jobs;
+
+    uint64_t submitted = 0;
+    uint64_t started = 0;
+    uint64_t finished = 0;
+    uint64_t cacheHits = 0;
+    uint64_t failed = 0;
+    uint64_t stuckFlags = 0;
+    uint64_t totalInsts = 0;
+    double totalBusySeconds = 0.0;
+    double firstMs = 0.0; ///< Earliest event timestamp (0 = none).
+    double lastMs = 0.0;  ///< Latest event timestamp.
+
+    /** Fold one event into the state (replay in file order). */
+    void apply(const LedgerEvent &e);
+
+    uint64_t queued() const;
+    uint64_t running() const;
+    /** Jobs in a terminal state (finished, cache-hit, or failed). */
+    uint64_t done() const;
+};
+
+/** Fold a whole event stream (loadLedger order) into a LedgerState. */
+LedgerState replayLedger(const std::vector<LedgerEvent> &events);
+
+/** Human-readable `--ledger-report` summary. */
+void writeLedgerReport(std::ostream &os, const LedgerState &st);
+
+/** `/jobs` endpoint payload: the job table + aggregates as JSON. */
+std::string ledgerJobsJson(const LedgerState &st);
+
+/**
+ * Incremental consumer for the live `--progress` view: feed events as
+ * they are tailed from the ledger, render a one-line status with
+ * per-figure job states, aggregate insts/s, and an EWMA-based ETA.
+ */
+class ProgressModel
+{
+  public:
+    void apply(const LedgerEvent &e);
+
+    const LedgerState &state() const { return _st; }
+
+    /** One status line (no newline); @p nowMs from the caller so this
+     *  file's reader side stays wall-clock-free. */
+    std::string renderLine(double nowMs) const;
+
+    /** Multi-line per-figure breakdown for the final summary. */
+    std::string renderFigures() const;
+
+    /** Publish queue/state gauges + latency histogram snapshots into
+     *  the process-wide MetricsRegistry (the /metrics payload). */
+    void exportMetrics() const;
+
+  private:
+    LedgerState _st;
+    double _ewmaJobSeconds = 0.0; ///< EWMA of per-job latency.
+    bool _ewmaValid = false;
+    std::map<std::string, int> _workersSeen;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_RUN_LEDGER_HH

@@ -1,22 +1,120 @@
 #include "sim/sim_pool.hh"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/perfetto_trace.hh"
+#include "sim/run_ledger.hh"
+#include "sim/watchdog.hh"
 #include "workloads/workload.hh"
 
 namespace vpsim
 {
+
+namespace
+{
+
+/** Telemetry identity of the calling thread; see SimPool::workerLabel.
+ *  vplint:allow(global-state) per-thread label, telemetry only. */
+thread_local std::string tlsWorkerLabel = "main";
+
+/** The engine-side metric handles, resolved once (the registry hands
+ *  back the same objects forever, so caching them is pure speed). */
+struct PoolMetrics
+{
+    Gauge &queueDepth;
+    Gauge &inflight;
+    Gauge &workers;
+    Counter &executedTotal;
+    Counter &busyMicrosTotal;
+    Histogram &jobSeconds;
+
+    static PoolMetrics &
+    instance()
+    {
+        // Immortal on purpose: handles into the (immortal) registry.
+        // vplint:allow(global-state) metric handles, mutation is atomic
+        static PoolMetrics *m = new PoolMetrics{
+            MetricsRegistry::instance().gauge(
+                "vpsim_pool_queue_depth",
+                "Jobs waiting in the SimPool FIFO queue"),
+            MetricsRegistry::instance().gauge(
+                "vpsim_pool_inflight_jobs",
+                "Jobs currently executing on SimPool workers"),
+            MetricsRegistry::instance().gauge(
+                "vpsim_pool_workers",
+                "Worker threads in the SimPool (0 = inline mode)"),
+            MetricsRegistry::instance().counter(
+                "vpsim_pool_jobs_executed_total",
+                "Jobs the SimPool has finished executing"),
+            MetricsRegistry::instance().counter(
+                "vpsim_pool_busy_micros_total",
+                "Total microseconds SimPool workers spent executing "
+                "jobs (utilization numerator)"),
+            MetricsRegistry::instance().histogram(
+                "vpsim_pool_job_seconds",
+                "Wall-clock latency of executed simulation jobs",
+                0.001, 2.0, 25),
+        };
+        return *m;
+    }
+};
+
+/** The ledger/telemetry spelling of a job graph key. */
+std::string
+hexJobKey(uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+/** Run one pool job with latency/in-flight accounting. */
+void
+runTimed(const std::function<void()> &job)
+{
+    PoolMetrics &pm = PoolMetrics::instance();
+    pm.inflight.add(1);
+    auto t0 = std::chrono::steady_clock::now();
+    job();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    pm.inflight.sub(1);
+    pm.jobSeconds.observe(secs);
+    pm.busyMicrosTotal.inc(static_cast<uint64_t>(secs * 1e6));
+    pm.executedTotal.inc();
+}
+
+} // namespace
 
 SimPool::SimPool(int threads) : _threads(threads < 1 ? 1 : threads)
 {
     if (_threads <= 1)
         return;
     _workers.reserve(static_cast<size_t>(_threads));
-    for (int i = 0; i < _threads; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+    for (int i = 0; i < _threads; ++i) {
+        _workers.emplace_back([this, i] { workerLoop(i); });
+#if defined(__linux__)
+        // pthread names cap at 15 chars; "simpool/NNNNNN" fits any
+        // plausible worker count (the index is capped to match).
+        char name[16];
+        std::snprintf(name, sizeof(name), "simpool/%d",
+                      i > 999999 ? 999999 : i);
+        pthread_setname_np(_workers.back().native_handle(), name);
+#endif
+    }
+    PoolMetrics::instance().workers.set(
+        static_cast<int64_t>(_workers.size()));
 }
 
 SimPool::~SimPool()
@@ -35,7 +133,7 @@ SimPool::enqueue(std::function<void()> job)
 {
     if (_workers.empty()) {
         // Inline (serial) mode: run on the caller's thread right away.
-        job();
+        runTimed(job);
         std::lock_guard<std::mutex> lk(_m);
         ++_executed;
         return;
@@ -44,12 +142,14 @@ SimPool::enqueue(std::function<void()> job)
         std::lock_guard<std::mutex> lk(_m);
         _queue.push_back(std::move(job));
     }
+    PoolMetrics::instance().queueDepth.add(1);
     _cv.notify_one();
 }
 
 void
-SimPool::workerLoop()
+SimPool::workerLoop(int index)
 {
+    tlsWorkerLabel = "simpool/" + std::to_string(index);
     for (;;) {
         std::function<void()> job;
         {
@@ -60,12 +160,19 @@ SimPool::workerLoop()
             job = std::move(_queue.front());
             _queue.pop_front();
         }
-        job(); // packaged_task: exceptions land in the future.
+        PoolMetrics::instance().queueDepth.sub(1);
+        runTimed(job); // packaged_task: exceptions land in the future.
         {
             std::lock_guard<std::mutex> lk(_m);
             ++_executed;
         }
     }
+}
+
+const std::string &
+SimPool::workerLabel()
+{
+    return tlsWorkerLabel;
 }
 
 uint64_t
@@ -107,10 +214,27 @@ SimJobGraph::submit(const SimConfig &cfg, const std::string &workload)
     if (it != _jobs.end())
         return it->second; // Baseline sharing: join the existing job.
 
+    const std::string jobKey = hexJobKey(key);
+    RunLedger &ledger = RunLedger::global();
+    {
+        LedgerEvent e;
+        e.kind = LedgerEventKind::Submit;
+        e.job = jobKey;
+        e.workload = workload;
+        ledger.record(std::move(e));
+    }
+
     SimResult cached;
     if (_cache != nullptr && _cache->lookup(cfg, workload, cached)) {
         ++_cacheHits;
         HostTraceRecorder::instance().recordCacheHit(workload);
+        {
+            LedgerEvent e;
+            e.kind = LedgerEventKind::CacheHit;
+            e.job = jobKey;
+            e.workload = workload;
+            ledger.record(std::move(e));
+        }
         std::promise<SimResult> ready;
         ready.set_value(std::move(cached));
         auto fut = ready.get_future().share();
@@ -121,14 +245,48 @@ SimJobGraph::submit(const SimConfig &cfg, const std::string &workload)
     ++_simulated;
     const ResultCache *cache = _cache;
     auto fut = _pool
-                   .submit([cfg, workload, cache] {
+                   .submit([cfg, workload, cache, jobKey] {
                        // Host-time track: one span per simulation job
                        // on the executing worker (MTVP_PERFETTO).
                        HostTraceRecorder::JobScope span(workload);
-                       SimResult r = runWorkload(cfg, workload);
-                       if (cache != nullptr)
-                           cache->store(cfg, workload, r);
-                       return r;
+                       RunLedger &led = RunLedger::global();
+                       {
+                           LedgerEvent e;
+                           e.kind = LedgerEventKind::Start;
+                           e.job = jobKey;
+                           e.workload = workload;
+                           e.worker = SimPool::workerLabel();
+                           led.record(std::move(e));
+                       }
+                       WatchdogJobScope watched(jobKey, workload);
+                       auto t0 = std::chrono::steady_clock::now();
+                       LedgerEvent fin;
+                       fin.kind = LedgerEventKind::Finish;
+                       fin.job = jobKey;
+                       fin.workload = workload;
+                       fin.worker = SimPool::workerLabel();
+                       try {
+                           SimResult r = runWorkload(cfg, workload);
+                           if (cache != nullptr)
+                               cache->store(cfg, workload, r);
+                           fin.outcome = "ok";
+                           fin.wallSeconds =
+                               std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+                           fin.insts = r.usefulInsts;
+                           fin.cycles = r.cycles;
+                           led.record(std::move(fin));
+                           return r;
+                       } catch (...) {
+                           fin.outcome = "error";
+                           fin.wallSeconds =
+                               std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+                           led.record(std::move(fin));
+                           throw; // Into the future, as before.
+                       }
                    })
                    .share();
     _jobs.emplace(key, fut);

@@ -92,9 +92,16 @@ class SimPool
      */
     static int defaultJobs();
 
+    /**
+     * Telemetry label of the calling thread: "simpool/N" on a pool
+     * worker (also its pthread name), "main" elsewhere. The ledger and
+     * watchdog stamp this on their events.
+     */
+    static const std::string &workerLabel();
+
   private:
     void enqueue(std::function<void()> job);
-    void workerLoop();
+    void workerLoop(int index);
 
     const int _threads;
     std::vector<std::thread> _workers;

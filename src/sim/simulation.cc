@@ -10,6 +10,7 @@
 #include "sim/analytics.hh"
 #include "sim/checkpoint.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/perfetto_trace.hh"
 #include "workloads/workload.hh"
 
@@ -58,6 +59,16 @@ runWorkload(const SimConfig &cfg, const Workload &workload)
         // already produced it; otherwise fast-forward live and publish.
         CheckpointStore store(cfg.checkpointDir);
         if (!store.load(cfg, workload.name(), cpu)) {
+            MetricsRegistry::instance()
+                .counter("vpsim_fastforward_phases_total",
+                         "Fast-forward phases executed live (no stored "
+                         "checkpoint)")
+                .inc();
+            MetricsRegistry::instance()
+                .counter("vpsim_fastforward_insts_total",
+                         "Instructions emulated by live fast-forward "
+                         "phases")
+                .inc(cfg.ffInsts);
             cpu.fastForward(cfg.ffInsts);
             store.save(cfg, workload.name(), cpu);
         }
@@ -72,6 +83,20 @@ runWorkload(const SimConfig &cfg, const Workload &workload)
     r.halted = cpu.haltedUsefully();
     for (const StatBase *s : cpu.stats().stats())
         r.stats[s->name()] = s->value();
+
+    // Engine-side run accounting (registry metrics, never SimResult).
+    MetricsRegistry::instance()
+        .counter("vpsim_runs_total",
+                 "Simulations completed (measured phase ran to its end)")
+        .inc();
+    MetricsRegistry::instance()
+        .counter("vpsim_simulated_insts_total",
+                 "Useful instructions committed across completed runs")
+        .inc(r.usefulInsts);
+    MetricsRegistry::instance()
+        .counter("vpsim_simulated_cycles_total",
+                 "Simulated cycles across completed runs")
+        .inc(r.cycles);
 
     // Telemetry outputs that need the live Cpu (stats objects, sampler).
     if (!cfg.statsJson.empty()) {
@@ -113,6 +138,15 @@ runWorkload(const SimConfig &cfg, const Workload &workload)
             fatal("cannot open Perfetto trace file '%s'",
                   cfg.perfettoTrace.c_str());
         writeSimTrace(os, cpu.analytics(), cfg.numContexts);
+    }
+    if (!cfg.metricsJson.empty()) {
+        // Engine-telemetry snapshot (the registry, not the sim stats);
+        // written post-run so it reflects this run's contribution.
+        std::ofstream os(cfg.metricsJson);
+        if (!os)
+            fatal("cannot open metrics JSON file '%s'",
+                  cfg.metricsJson.c_str());
+        MetricsRegistry::instance().writeJson(os);
     }
 
     return r;

@@ -1,0 +1,299 @@
+#include "sim/watchdog.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/run_ledger.hh"
+
+namespace vpsim
+{
+
+namespace
+{
+
+int64_t
+nowNanos()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The job-latency histogram the monitor derives its p95 from — the
+ *  same series sim_pool.cc observes into (single source of truth). */
+Histogram &
+jobSecondsHistogram()
+{
+    // 1ms .. ~9.3h in 25 doubling buckets.
+    return MetricsRegistry::instance().histogram(
+        "vpsim_pool_job_seconds",
+        "Wall-clock latency of executed simulation jobs", 0.001, 2.0,
+        25);
+}
+
+/** One watched thread; registered once, reused across jobs. */
+struct Slot
+{
+    std::mutex m;            ///< Guards the strings below.
+    std::string workerLabel = "main";
+    std::string jobKey;
+    std::string workload;
+
+    /** steady_clock nanos at job start; 0 = no job in flight. */
+    std::atomic<int64_t> startNanos{0};
+    std::atomic<bool> flagged{false};
+    std::atomic<bool> dumpRequested{false};
+};
+
+thread_local Slot *tlsSlot = nullptr;
+thread_local std::function<void()> *tlsProbe = nullptr;
+
+/** Heartbeat monitor; an intentionally immortal singleton (the thread
+ *  outlives static destruction, touching only leaked state). */
+class Monitor
+{
+  public:
+    static Monitor &
+    instance()
+    {
+        // vplint:allow(global-state) immortal; all access mutexed
+        static Monitor *m = new Monitor;
+        return *m;
+    }
+
+    void
+    setLimits(const WatchdogLimits &l)
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        _limits = l;
+    }
+
+    WatchdogLimits
+    limits()
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        return _limits;
+    }
+
+    Slot &
+    registerThread()
+    {
+        // Slots are leaked on purpose: pool workers live for the
+        // process, and the monitor may scan during late teardown.
+        Slot *s = new Slot;
+        std::lock_guard<std::mutex> lk(_m);
+        _slots.push_back(s);
+        return *s;
+    }
+
+    /** Start the heartbeat thread on first watched job. */
+    void
+    ensureRunning()
+    {
+        std::lock_guard<std::mutex> lk(_m);
+        if (_running)
+            return;
+        _running = true;
+        std::thread t([this] { loop(); });
+#if defined(__linux__)
+        pthread_setname_np(t.native_handle(), "vp-watchdog");
+#endif
+        t.detach();
+    }
+
+  private:
+    Monitor()
+    {
+        _limits = watchdogLimitsFromEnv();
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lk(_m);
+        for (;;) {
+            WatchdogLimits lim = _limits;
+            _cv.wait_for(lk, std::chrono::duration<double>(
+                                 lim.heartbeatSeconds));
+            if (!lim.enabled)
+                continue;
+            // Snapshot the slot list; slots themselves are immortal.
+            std::vector<Slot *> slots = _slots;
+            lk.unlock();
+            scan(lim, slots);
+            lk.lock();
+        }
+    }
+
+    void
+    scan(const WatchdogLimits &lim, const std::vector<Slot *> &slots)
+    {
+        Histogram &h = jobSecondsHistogram();
+        double threshold = lim.minSeconds;
+        // The percentile term needs history to mean anything; with a
+        // handful of completed jobs the absolute floor governs alone.
+        if (h.count() >= 8) {
+            double p95 = h.quantile(0.95);
+            if (p95 > 0.0) {
+                threshold = std::max(threshold,
+                                     lim.percentileMultiple * p95);
+            }
+        }
+        for (Slot *s : slots) {
+            int64_t start = s->startNanos.load(std::memory_order_acquire);
+            if (start == 0 || s->flagged.load(std::memory_order_relaxed))
+                continue;
+            double elapsed =
+                static_cast<double>(nowNanos() - start) * 1e-9;
+            if (elapsed <= threshold)
+                continue;
+            s->flagged.store(true, std::memory_order_relaxed);
+
+            std::string worker, jobKey, workload;
+            {
+                std::lock_guard<std::mutex> slk(s->m);
+                worker = s->workerLabel;
+                jobKey = s->jobKey;
+                workload = s->workload;
+            }
+            warn("watchdog: job %s (%s) on %s running %.1fs "
+                 "(threshold %.1fs = max(%.1fs floor, %.1fx p95)); "
+                 "requesting pipeline/profiler dump — run continues",
+                 jobKey.c_str(), workload.c_str(), worker.c_str(),
+                 elapsed, threshold, lim.minSeconds,
+                 lim.percentileMultiple);
+            MetricsRegistry::instance()
+                .counter("vpsim_watchdog_flagged_total",
+                         "Jobs flagged as suspiciously slow by the "
+                         "stuck-job watchdog")
+                .inc();
+            LedgerEvent e;
+            e.kind = LedgerEventKind::Stuck;
+            e.job = jobKey;
+            e.workload = workload;
+            e.worker = worker;
+            e.outcome = "slow";
+            e.wallSeconds = elapsed;
+            RunLedger::global().record(std::move(e));
+            s->dumpRequested.store(true, std::memory_order_release);
+        }
+    }
+
+    std::mutex _m;
+    std::condition_variable _cv;
+    WatchdogLimits _limits;
+    std::vector<Slot *> _slots;
+    bool _running = false;
+};
+
+} // namespace
+
+WatchdogLimits
+watchdogLimitsFromEnv()
+{
+    WatchdogLimits l;
+    if (const char *v = std::getenv("MTVP_WATCHDOG");
+        v != nullptr && *v != '\0') {
+        l.enabled = std::strtoull(v, nullptr, 0) != 0;
+    }
+    if (const char *v = std::getenv("MTVP_WATCHDOG_MIN_SECS");
+        v != nullptr && *v != '\0') {
+        double d = std::strtod(v, nullptr);
+        if (d > 0.0)
+            l.minSeconds = d;
+    }
+    if (const char *v = std::getenv("MTVP_WATCHDOG_MULT");
+        v != nullptr && *v != '\0') {
+        double d = std::strtod(v, nullptr);
+        if (d > 0.0)
+            l.percentileMultiple = d;
+    }
+    return l;
+}
+
+void
+watchdogSetLimits(const WatchdogLimits &limits)
+{
+    Monitor::instance().setLimits(limits);
+}
+
+WatchdogJobScope::WatchdogJobScope(const std::string &jobKey,
+                                   const std::string &workload)
+{
+    Monitor &mon = Monitor::instance();
+    if (tlsSlot == nullptr)
+        tlsSlot = &mon.registerThread();
+    {
+        std::lock_guard<std::mutex> lk(tlsSlot->m);
+        tlsSlot->jobKey = jobKey;
+        tlsSlot->workload = workload;
+    }
+    tlsSlot->flagged.store(false, std::memory_order_relaxed);
+    tlsSlot->dumpRequested.store(false, std::memory_order_relaxed);
+    tlsSlot->startNanos.store(nowNanos(), std::memory_order_release);
+    if (mon.limits().enabled)
+        mon.ensureRunning();
+}
+
+WatchdogJobScope::~WatchdogJobScope()
+{
+    tlsSlot->startNanos.store(0, std::memory_order_release);
+    tlsSlot->dumpRequested.store(false, std::memory_order_relaxed);
+}
+
+WatchdogProbe::WatchdogProbe(std::function<void()> dump)
+    : _prev(tlsProbe)
+{
+    // Nested probes (fastForward inside run) stack by replacement:
+    // the innermost phase owns the dump until it unwinds, then the
+    // outer probe takes over again.
+    tlsProbe = new std::function<void()>(std::move(dump));
+}
+
+WatchdogProbe::~WatchdogProbe()
+{
+    delete tlsProbe;
+    tlsProbe = _prev;
+}
+
+void
+watchdogPoll()
+{
+    if (tlsSlot == nullptr ||
+        !tlsSlot->dumpRequested.load(std::memory_order_relaxed)) {
+        return;
+    }
+    if (!tlsSlot->dumpRequested.exchange(false,
+                                         std::memory_order_acq_rel)) {
+        return;
+    }
+    warn("watchdog: diagnostic dump of the flagged job follows");
+    if (tlsProbe != nullptr && *tlsProbe)
+        (*tlsProbe)();
+    else
+        warn("watchdog: no probe registered for this job phase");
+}
+
+uint64_t
+watchdogFlaggedTotal()
+{
+    return MetricsRegistry::instance()
+        .counter("vpsim_watchdog_flagged_total",
+                 "Jobs flagged as suspiciously slow by the stuck-job "
+                 "watchdog")
+        .value();
+}
+
+} // namespace vpsim

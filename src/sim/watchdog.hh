@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Stuck-job watchdog for the experiment engine.
+ *
+ * Long sweeps die silently in two ways: a job deadlocks (the simulator
+ * catches that itself) or a job is merely *pathologically slow* — a
+ * mis-sized configuration, a runaway fast-forward, a cold filesystem —
+ * and the sweep appears healthy while one worker quietly eats hours.
+ * This module watches every in-flight job from a heartbeat thread and
+ * flags any job whose elapsed wall time exceeds
+ *
+ *     max(minSeconds, percentileMultiple * p95-so-far job latency)
+ *
+ * (the p95 comes from the engine's job-latency histogram in the
+ * metrics registry, so early jobs — before any latency history — are
+ * governed by the absolute floor alone). A flagged job is *not*
+ * killed: the watchdog warns, bumps `vpsim_watchdog_flagged_total`,
+ * journals a `stuck` ledger event, and requests a diagnostic dump that
+ * the job's own thread performs cooperatively at its next poll point —
+ * the Cpu dumps its pipeline snapshot and (if enabled) its host
+ * profiler, exactly the evidence needed to diagnose the slowness
+ * post-hoc. The run then continues to completion.
+ *
+ * Plumbing:
+ *  - Workers wrap each job in a WatchdogJobScope (sim_pool.cc does
+ *    this; serial/inline execution gets the same coverage).
+ *  - The running simulation registers a dump callback with
+ *    WatchdogProbe (Cpu::run and Cpu::fastForward) and calls
+ *    watchdogPoll() at a coarse host-side cadence. Poll is a
+ *    thread-local pointer test plus one relaxed atomic load — nothing
+ *    simulated is touched, so stats stay bit-identical with the
+ *    watchdog on or off.
+ *
+ * All timing is host-side wall clock by design (vplint allowlists this
+ * file).
+ */
+
+#ifndef VPSIM_SIM_WATCHDOG_HH
+#define VPSIM_SIM_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vpsim
+{
+
+/** Watchdog tuning; defaults are deliberately conservative. */
+struct WatchdogLimits
+{
+    bool enabled = true;
+    /** Absolute slowness floor: no job is flagged before this. */
+    double minSeconds = 30.0;
+    /** Flag when elapsed exceeds this multiple of the p95-so-far. */
+    double percentileMultiple = 8.0;
+    /** Heartbeat period of the monitor thread. */
+    double heartbeatSeconds = 0.25;
+};
+
+/** Limits from MTVP_WATCHDOG (0 disables), MTVP_WATCHDOG_MIN_SECS,
+ *  and MTVP_WATCHDOG_MULT; unset keeps the defaults. */
+WatchdogLimits watchdogLimitsFromEnv();
+
+/** Override the active limits (tests; also applies env on first use). */
+void watchdogSetLimits(const WatchdogLimits &limits);
+
+/**
+ * RAII: marks the calling thread as executing one engine job for the
+ * monitor to watch. Job label appears in warnings and ledger events.
+ */
+class WatchdogJobScope
+{
+  public:
+    WatchdogJobScope(const std::string &jobKey,
+                     const std::string &workload);
+    ~WatchdogJobScope();
+
+    WatchdogJobScope(const WatchdogJobScope &) = delete;
+    WatchdogJobScope &operator=(const WatchdogJobScope &) = delete;
+};
+
+/**
+ * RAII: registers a thread-local diagnostic dump callback for the
+ * currently running work (pipeline snapshot + profiler). Invoked from
+ * the owning thread only, at a watchdogPoll() boundary.
+ */
+class WatchdogProbe
+{
+  public:
+    explicit WatchdogProbe(std::function<void()> dump);
+    ~WatchdogProbe();
+
+    WatchdogProbe(const WatchdogProbe &) = delete;
+    WatchdogProbe &operator=(const WatchdogProbe &) = delete;
+
+  private:
+    std::function<void()> *_prev; ///< Outer probe, restored on unwind.
+};
+
+/**
+ * Cooperative poll point: if the monitor requested a dump for this
+ * thread's job, run the registered probe (once per request). Called at
+ * a coarse cadence from simulation loops; costs a thread-local load
+ * and a relaxed atomic load when idle.
+ */
+void watchdogPoll();
+
+/** Total jobs flagged so far (the metrics counter; tests). */
+uint64_t watchdogFlaggedTotal();
+
+} // namespace vpsim
+
+#endif // VPSIM_SIM_WATCHDOG_HH

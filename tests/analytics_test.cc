@@ -147,8 +147,9 @@ TEST(Analytics, BaselineAndStvpSpawnNothing)
         EXPECT_EQ(outcomeSum(run.cpu->analytics()), 0u);
         EXPECT_TRUE(run.cpu->analytics().spawnPcTable().empty());
         expectAttributionCrossCheck(run);
-        if (mode == VpMode::Stvp)
+        if (mode == VpMode::Stvp) {
             EXPECT_GT(run.cpu->vpAttribution().totalFollowed(), 0u);
+        }
     }
 }
 

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the experiment-engine metrics registry (sim/metrics.hh):
+ * register-or-find identity, label escaping, Prometheus exposition
+ * shape (cumulative buckets, _sum/_count consistency, deterministic
+ * ordering), histogram quantiles, JSON exposition parseability, and
+ * the one-family-one-kind contract.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+#include "sim/metrics.hh"
+
+namespace
+{
+
+using namespace vpsim;
+
+// ---------------------------------------------------------------------
+// Registration semantics
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegisterOrFindReturnsSameObject)
+{
+    MetricsRegistry mr;
+    Counter &a = mr.counter("jobs_total", "help");
+    a.inc(3);
+    Counter &b = mr.counter("jobs_total", "help");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+
+    Gauge &g1 = mr.gauge("depth", "help", {{"pool", "sim"}});
+    Gauge &g2 = mr.gauge("depth", "help", {{"pool", "sim"}});
+    EXPECT_EQ(&g1, &g2);
+    // A different label set is a different series of the same family.
+    Gauge &g3 = mr.gauge("depth", "help", {{"pool", "other"}});
+    EXPECT_NE(&g1, &g3);
+
+    Histogram &h1 = mr.histogram("lat", "help", 0.001, 2.0, 10);
+    Histogram &h2 = mr.histogram("lat", "help", 0.001, 2.0, 10);
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchPanics)
+{
+    MetricsRegistry mr;
+    mr.counter("a_total", "help");
+    EXPECT_DEATH(mr.gauge("a_total", "help"), "a_total");
+    EXPECT_DEATH(mr.histogram("a_total", "help", 0.1, 2.0, 4), "a_total");
+}
+
+TEST(MetricsTest, GaugeAddSubSet)
+{
+    Gauge g;
+    g.add(5);
+    g.sub(2);
+    EXPECT_EQ(g.value(), 3);
+    g.set(-7);
+    EXPECT_EQ(g.value(), -7);
+}
+
+// ---------------------------------------------------------------------
+// Label escaping
+// ---------------------------------------------------------------------
+
+TEST(MetricsTest, LabelValueEscaping)
+{
+    EXPECT_EQ(escapeMetricLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeMetricLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeMetricLabelValue("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(escapeMetricLabelValue("line\nbreak"), "line\\nbreak");
+
+    MetricLabels labels = {{"workload", "gzip.\"g\"\n"}};
+    EXPECT_EQ(metricLabelString(labels),
+              "{workload=\"gzip.\\\"g\\\"\\n\"}");
+    EXPECT_EQ(metricLabelString({}), "");
+}
+
+TEST(MetricsTest, EscapedLabelsSurviveExposition)
+{
+    MetricsRegistry mr;
+    mr.counter("events_total", "help", {{"tag", "a\\b\"c\nd"}}).inc();
+    std::string text = mr.prometheusText();
+    EXPECT_NE(text.find("events_total{tag=\"a\\\\b\\\"c\\nd\"} 1"),
+              std::string::npos)
+        << text;
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketsAndQuantile)
+{
+    // Bounds: 0.001, 0.002, 0.004, 0.008 (+Inf).
+    Histogram h(0.001, 2.0, 4);
+    ASSERT_EQ(h.bounds().size(), 4u);
+    EXPECT_DOUBLE_EQ(h.bounds()[0], 0.001);
+    EXPECT_DOUBLE_EQ(h.bounds()[3], 0.008);
+
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // Empty.
+
+    h.observe(0.0005); // bucket 0
+    h.observe(0.003);  // bucket 2
+    h.observe(0.003);  // bucket 2
+    h.observe(0.1);    // +Inf
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_NEAR(h.sum(), 0.1065, 1e-12);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(3), 0u);
+    EXPECT_EQ(h.bucketCount(4), 1u); // +Inf overflow.
+
+    // Quantiles report the containing bucket's upper bound; the +Inf
+    // bucket reports the largest finite bound (conservative cap).
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.001);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.004);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.008);
+}
+
+TEST(MetricsTest, PrometheusHistogramCumulativeAndSumCount)
+{
+    MetricsRegistry mr;
+    Histogram &h = mr.histogram("job_seconds", "latency", 0.01, 10.0, 3,
+                                {{"pool", "p"}});
+    h.observe(0.005);
+    h.observe(0.5);
+    h.observe(99.0);
+    std::string text = mr.prometheusText();
+
+    // Header lines.
+    EXPECT_NE(text.find("# HELP job_seconds latency"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE job_seconds histogram"),
+              std::string::npos);
+
+    // Cumulative buckets with the label merged alongside le=.
+    EXPECT_NE(text.find("job_seconds_bucket{pool=\"p\",le=\"0.01\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_bucket{pool=\"p\",le=\"0.1\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_bucket{pool=\"p\",le=\"1\"} 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_bucket{pool=\"p\",le=\"+Inf\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("job_seconds_count{pool=\"p\"} 3"),
+              std::string::npos)
+        << text;
+
+    // Parse every bucket line back out: counts must be monotonically
+    // non-decreasing in le order, ending at _count.
+    std::istringstream is(text);
+    std::string line;
+    std::vector<uint64_t> counts;
+    while (std::getline(is, line)) {
+        if (line.rfind("job_seconds_bucket", 0) == 0)
+            counts.push_back(std::stoull(
+                line.substr(line.find_last_of(' ') + 1)));
+    }
+    ASSERT_EQ(counts.size(), 4u); // 3 finite bounds + +Inf.
+    for (size_t i = 1; i < counts.size(); ++i)
+        EXPECT_GE(counts[i], counts[i - 1]);
+    EXPECT_EQ(counts.back(), h.count());
+    EXPECT_NEAR(h.sum(), 99.505, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Exposition determinism + JSON
+// ---------------------------------------------------------------------
+
+TEST(MetricsTest, ExpositionIsDeterministicAndSorted)
+{
+    MetricsRegistry mr;
+    // Register out of order; exposition must sort families by name and
+    // series by label string.
+    mr.counter("zzz_total", "help").inc();
+    mr.gauge("aaa", "help", {{"k", "b"}}).set(2);
+    mr.gauge("aaa", "help", {{"k", "a"}}).set(1);
+
+    std::string t1 = mr.prometheusText();
+    std::string t2 = mr.prometheusText();
+    EXPECT_EQ(t1, t2);
+    size_t aaaA = t1.find("aaa{k=\"a\"} 1");
+    size_t aaaB = t1.find("aaa{k=\"b\"} 2");
+    size_t zzz = t1.find("zzz_total 1");
+    ASSERT_NE(aaaA, std::string::npos);
+    ASSERT_NE(aaaB, std::string::npos);
+    ASSERT_NE(zzz, std::string::npos);
+    EXPECT_LT(aaaA, aaaB);
+    EXPECT_LT(aaaB, zzz);
+}
+
+TEST(MetricsTest, JsonExpositionParses)
+{
+    MetricsRegistry mr;
+    mr.counter("runs_total", "Total runs").inc(5);
+    mr.gauge("depth", "Queue depth", {{"pool", "sim"}}).set(3);
+    mr.histogram("lat_seconds", "Latency", 0.001, 2.0, 4).observe(0.002);
+
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(mr.jsonText(), v, &err)) << err;
+    ASSERT_TRUE(v.isObject());
+    const json::Value *metrics = v.get("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isArray());
+    ASSERT_EQ(metrics->arr.size(), 3u);
+
+    const json::Value *runs = nullptr, *depth = nullptr, *lat = nullptr;
+    for (const json::Value &m : metrics->arr) {
+        const std::string name = m.stringOr("name", "");
+        if (name == "runs_total")
+            runs = &m;
+        else if (name == "depth")
+            depth = &m;
+        else if (name == "lat_seconds")
+            lat = &m;
+    }
+    ASSERT_NE(runs, nullptr);
+    EXPECT_EQ(runs->stringOr("type", ""), "counter");
+    EXPECT_EQ(runs->numberOr("value", -1.0), 5.0);
+
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->stringOr("type", ""), "gauge");
+    EXPECT_EQ(depth->numberOr("value", -1.0), 3.0);
+    ASSERT_NE(depth->get("labels"), nullptr);
+    EXPECT_EQ(depth->get("labels")->stringOr("pool", ""), "sim");
+
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->stringOr("type", ""), "histogram");
+    EXPECT_EQ(lat->numberOr("count", -1.0), 1.0);
+    EXPECT_NEAR(lat->numberOr("sum", -1.0), 0.002, 1e-12);
+    const json::Value *buckets = lat->get("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->isArray());
+    ASSERT_EQ(buckets->arr.size(), 5u); // 4 finite bounds + +Inf.
+    // The final (+Inf, le null) bucket count equals the total count.
+    EXPECT_EQ(buckets->arr.back().numberOr("count", -1.0), 1.0);
+    EXPECT_TRUE(buckets->arr.back().get("le")->isNull());
+}
+
+} // namespace

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Tests for the run ledger (sim/run_ledger.hh): event JSON round-trip,
+ * crash tolerance (torn trailing line, mid-file corruption, unknown
+ * events), replay identity — a real SimJobGraph run leaves a journal
+ * whose replay reconstructs the final job-state table exactly — and
+ * the ProgressModel renderer (figure-qualified job identity, ETA).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "sim/json.hh"
+#include "sim/result_cache.hh"
+#include "sim/run_ledger.hh"
+#include "sim/sim_pool.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace vpsim;
+
+std::string
+tempLedgerPath(const char *tag)
+{
+    std::string path = ::testing::TempDir() + "vpsim-ledger-" + tag +
+                       "-" + std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+/** 16-hex job key the engine stamps on ledger events. */
+std::string
+hexKey(const SimConfig &cfg, const std::string &workload)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      resultKey(cfg, workload)));
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// Event serialization
+// ---------------------------------------------------------------------
+
+TEST(RunLedgerTest, EventJsonRoundTrips)
+{
+    LedgerEvent e;
+    e.kind = LedgerEventKind::Finish;
+    e.job = "00c0ffee00c0ffee";
+    e.workload = "gzip.g";
+    e.figure = "fig2";
+    e.worker = "simpool/3";
+    e.outcome = "ok";
+    e.wallSeconds = 1.25;
+    e.unixMs = 1700000000123.0;
+    e.insts = 12345;
+    e.cycles = 67890;
+
+    const std::string path = tempLedgerPath("roundtrip");
+    std::ofstream(path) << ledgerEventJson(e) << "\n";
+
+    std::vector<LedgerEvent> events;
+    std::vector<std::string> warnings;
+    ASSERT_TRUE(loadLedger(path, events, &warnings));
+    EXPECT_TRUE(warnings.empty());
+    ASSERT_EQ(events.size(), 1u);
+    const LedgerEvent &r = events[0];
+    EXPECT_EQ(r.kind, LedgerEventKind::Finish);
+    EXPECT_EQ(r.job, e.job);
+    EXPECT_EQ(r.workload, e.workload);
+    EXPECT_EQ(r.figure, e.figure);
+    EXPECT_EQ(r.worker, e.worker);
+    EXPECT_EQ(r.outcome, e.outcome);
+    EXPECT_DOUBLE_EQ(r.wallSeconds, e.wallSeconds);
+    EXPECT_DOUBLE_EQ(r.unixMs, e.unixMs);
+    EXPECT_EQ(r.insts, e.insts);
+    EXPECT_EQ(r.cycles, e.cycles);
+}
+
+TEST(RunLedgerTest, EveryEventKindRoundTripsItsName)
+{
+    for (LedgerEventKind k :
+         {LedgerEventKind::RunStart, LedgerEventKind::Submit,
+          LedgerEventKind::CacheHit, LedgerEventKind::Start,
+          LedgerEventKind::Finish, LedgerEventKind::Stuck}) {
+        LedgerEventKind parsed;
+        ASSERT_TRUE(ledgerEventKind(toString(k), parsed)) << toString(k);
+        EXPECT_EQ(parsed, k);
+    }
+    LedgerEventKind parsed;
+    EXPECT_FALSE(ledgerEventKind("frobnicate", parsed));
+}
+
+// ---------------------------------------------------------------------
+// Crash tolerance
+// ---------------------------------------------------------------------
+
+TEST(RunLedgerTest, TornTrailingLineIsSkippedWithWarning)
+{
+    const std::string path = tempLedgerPath("torn");
+    {
+        std::ofstream os(path);
+        os << R"({"ev": "submit", "ms": 1000, "job": "aa"})" << "\n";
+        os << R"({"ev": "start", "ms": 1001, "job": "aa"})" << "\n";
+        // A crashed writer's final line: cut mid-JSON, no newline.
+        os << R"({"ev": "finish", "ms": 1002, "job": ")";
+    }
+    std::vector<LedgerEvent> events;
+    std::vector<std::string> warnings;
+    ASSERT_TRUE(loadLedger(path, events, &warnings));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1].kind, LedgerEventKind::Start);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find(":3"), std::string::npos) << warnings[0];
+
+    // Replay still works on what survived.
+    LedgerState st = replayLedger(events);
+    EXPECT_EQ(st.jobs.size(), 1u);
+    EXPECT_EQ(st.running(), 1u);
+}
+
+TEST(RunLedgerTest, MidFileCorruptionAndUnknownEventsAreSkipped)
+{
+    const std::string path = tempLedgerPath("corrupt");
+    {
+        std::ofstream os(path);
+        os << R"({"ev": "submit", "ms": 1000, "job": "aa"})" << "\n";
+        os << "!! binary garbage \x01\x02 !!" << "\n";
+        os << R"({"ev": "mystery", "ms": 1001, "job": "aa"})" << "\n";
+        os << "\n"; // Blank lines are fine, not even a warning.
+        os << R"({"ev": "finish", "ms": 1002, "job": "aa",)"
+           << R"( "outcome": "ok", "wallSeconds": 0.5, "insts": 10})"
+           << "\n";
+    }
+    std::vector<LedgerEvent> events;
+    std::vector<std::string> warnings;
+    ASSERT_TRUE(loadLedger(path, events, &warnings));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, LedgerEventKind::Submit);
+    EXPECT_EQ(events[1].kind, LedgerEventKind::Finish);
+    ASSERT_EQ(warnings.size(), 2u);
+
+    LedgerState st = replayLedger(events);
+    ASSERT_EQ(st.jobs.size(), 1u);
+    EXPECT_EQ(st.jobs.begin()->second.state,
+              LedgerJobState::State::Finished);
+    EXPECT_EQ(st.totalInsts, 10u);
+}
+
+TEST(RunLedgerTest, MissingFileIsAnError)
+{
+    std::vector<LedgerEvent> events;
+    EXPECT_FALSE(loadLedger(tempLedgerPath("missing"), events));
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+TEST(RunLedgerTest, WriterAppendsAndStampsFigure)
+{
+    const std::string path = tempLedgerPath("writer");
+    RunLedger ledger;
+    EXPECT_FALSE(ledger.enabled());
+    LedgerEvent dropped;
+    dropped.kind = LedgerEventKind::Submit;
+    dropped.job = "aa";
+    ledger.record(std::move(dropped)); // Disabled: dropped silently.
+
+    ledger.open(path);
+    ASSERT_TRUE(ledger.enabled());
+    ledger.setFigure("fig9");
+    LedgerEvent e;
+    e.kind = LedgerEventKind::Submit;
+    e.job = "bb";
+    e.unixMs = 5000.0;
+    ledger.record(std::move(e));
+
+    // Reopening the same path appends rather than truncates.
+    ledger.open(path);
+    LedgerEvent e2;
+    e2.kind = LedgerEventKind::Start;
+    e2.job = "bb";
+    e2.figure = "explicit"; // Pre-set figure wins over the stamp.
+    e2.unixMs = 5001.0;
+    ledger.record(std::move(e2));
+
+    std::vector<LedgerEvent> events;
+    ASSERT_TRUE(loadLedger(path, events));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].figure, "fig9");
+    EXPECT_EQ(events[1].figure, "explicit");
+    EXPECT_DOUBLE_EQ(events[0].unixMs, 5000.0);
+}
+
+// ---------------------------------------------------------------------
+// Replay identity against a real engine run
+// ---------------------------------------------------------------------
+
+TEST(RunLedgerTest, ReplayReconstructsEngineRunExactly)
+{
+    const std::string path = tempLedgerPath("engine");
+    RunLedger::global().open(path);
+    RunLedger::global().setFigure("ledger_test");
+
+    SimConfig cfg;
+    cfg.vpMode = VpMode::None;
+    cfg.maxInsts = 2000;
+    cfg.seed = 1;
+    const std::vector<std::string> workloads = {"gzip.g", "mcf"};
+
+    std::vector<SimResult> results;
+    {
+        SimPool pool(2);
+        SimJobGraph graph(pool, nullptr);
+        std::vector<std::shared_future<SimResult>> futs;
+        for (const auto &wl : workloads)
+            futs.push_back(graph.submit(cfg, wl));
+        // Duplicate submit: dedup'd by the graph, no extra events.
+        futs.push_back(graph.submit(cfg, workloads[0]));
+        for (auto &f : futs)
+            results.push_back(f.get());
+    }
+    RunLedger::global().open(""); // Disable before reading.
+
+    std::vector<LedgerEvent> events;
+    std::vector<std::string> warnings;
+    ASSERT_TRUE(loadLedger(path, events, &warnings));
+    EXPECT_TRUE(warnings.empty());
+    LedgerState st = replayLedger(events);
+
+    // The replayed table is exactly the engine's final job state:
+    // one entry per unique job, all finished, with the headline
+    // numbers of the SimResult the future delivered.
+    ASSERT_EQ(st.jobs.size(), workloads.size());
+    EXPECT_EQ(st.submitted, workloads.size());
+    EXPECT_EQ(st.started, workloads.size());
+    EXPECT_EQ(st.finished, workloads.size());
+    EXPECT_EQ(st.done(), workloads.size());
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_EQ(st.cacheHits, 0u);
+    EXPECT_EQ(st.queued(), 0u);
+    EXPECT_EQ(st.running(), 0u);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const std::string key =
+            "ledger_test/" + hexKey(cfg, workloads[i]);
+        auto it = st.jobs.find(key);
+        ASSERT_NE(it, st.jobs.end()) << key;
+        const LedgerJobState &j = it->second;
+        EXPECT_EQ(j.state, LedgerJobState::State::Finished);
+        EXPECT_EQ(j.job, hexKey(cfg, workloads[i]));
+        EXPECT_EQ(j.workload, workloads[i]);
+        EXPECT_EQ(j.figure, "ledger_test");
+        EXPECT_EQ(j.outcome, "ok");
+        EXPECT_FALSE(j.worker.empty());
+        EXPECT_EQ(j.insts, results[i].usefulInsts);
+        EXPECT_EQ(j.cycles, results[i].cycles);
+        EXPECT_GE(j.wallSeconds, 0.0);
+    }
+
+    // Replay is a pure fold: replaying the same events again gives the
+    // same table (idempotent reconstruction, the crash-recovery path).
+    LedgerState again = replayLedger(events);
+    EXPECT_EQ(again.jobs.size(), st.jobs.size());
+    EXPECT_EQ(again.totalInsts, st.totalInsts);
+    EXPECT_DOUBLE_EQ(again.totalBusySeconds, st.totalBusySeconds);
+}
+
+TEST(RunLedgerTest, CacheHitsJournalAsCacheHitEvents)
+{
+    const std::string cacheDir = ::testing::TempDir() +
+                                 "vpsim-ledger-cache-" +
+                                 std::to_string(::getpid());
+    SimConfig cfg;
+    cfg.vpMode = VpMode::None;
+    cfg.maxInsts = 2000;
+    cfg.seed = 42;
+
+    ResultCache cache(cacheDir);
+    SimPool pool(1);
+    { // Cold run: populate the cache (ledger disabled).
+        SimJobGraph graph(pool, &cache);
+        graph.submit(cfg, "mcf").get();
+    }
+
+    const std::string path = tempLedgerPath("cachehit");
+    RunLedger::global().open(path);
+    { // Warm run: the journal must show submit + cache-hit only.
+        SimJobGraph graph(pool, &cache);
+        graph.submit(cfg, "mcf").get();
+        EXPECT_EQ(graph.cacheHits(), 1u);
+    }
+    RunLedger::global().open("");
+
+    std::vector<LedgerEvent> events;
+    ASSERT_TRUE(loadLedger(path, events));
+    LedgerState st = replayLedger(events);
+    EXPECT_EQ(st.submitted, 1u);
+    EXPECT_EQ(st.cacheHits, 1u);
+    EXPECT_EQ(st.finished, 0u);
+    ASSERT_EQ(st.jobs.size(), 1u);
+    EXPECT_EQ(st.jobs.begin()->second.state,
+              LedgerJobState::State::CacheHit);
+    EXPECT_EQ(st.done(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Reports and progress rendering
+// ---------------------------------------------------------------------
+
+LedgerEvent
+ev(LedgerEventKind kind, const std::string &job,
+   const std::string &figure, double ms)
+{
+    LedgerEvent e;
+    e.kind = kind;
+    e.job = job;
+    e.figure = figure;
+    e.unixMs = ms;
+    return e;
+}
+
+TEST(ProgressModelTest, FigureQualifiedJobIdentity)
+{
+    // The same canonical job key in two figures is two sweep jobs
+    // (sibling figures share baseline points); done/total must come
+    // from the job table, not raw event counts.
+    ProgressModel pm;
+    pm.apply(ev(LedgerEventKind::Submit, "aa", "fig2", 1000));
+    pm.apply(ev(LedgerEventKind::Submit, "aa", "fig4", 1001));
+    LedgerEvent f1 = ev(LedgerEventKind::Finish, "aa", "fig2", 2000);
+    f1.outcome = "ok";
+    f1.wallSeconds = 1.0;
+    f1.insts = 500;
+    pm.apply(f1);
+
+    EXPECT_EQ(pm.state().jobs.size(), 2u);
+    EXPECT_EQ(pm.state().done(), 1u);
+    std::string line = pm.renderLine(3000.0);
+    EXPECT_NE(line.find("1/2 jobs"), std::string::npos) << line;
+
+    LedgerEvent f2 = ev(LedgerEventKind::Finish, "aa", "fig4", 2500);
+    f2.outcome = "ok";
+    f2.wallSeconds = 1.5;
+    f2.insts = 500;
+    pm.apply(f2);
+    EXPECT_NE(pm.renderLine(3000.0).find("2/2 jobs"),
+              std::string::npos);
+}
+
+TEST(ProgressModelTest, RenderLineShowsRateEtaAndFailures)
+{
+    ProgressModel pm;
+    for (int i = 0; i < 4; ++i) {
+        pm.apply(ev(LedgerEventKind::Submit, "job" + std::to_string(i),
+                    "fig", 1000.0 + i));
+    }
+    LedgerEvent s = ev(LedgerEventKind::Start, "job0", "fig", 1100);
+    s.worker = "simpool/0";
+    pm.apply(s);
+    LedgerEvent f = ev(LedgerEventKind::Finish, "job0", "fig", 3000);
+    f.outcome = "ok";
+    f.wallSeconds = 1.9;
+    f.insts = 2000000;
+    pm.apply(f);
+    LedgerEvent bad = ev(LedgerEventKind::Finish, "job1", "fig", 3500);
+    bad.outcome = "error";
+    pm.apply(bad);
+
+    std::string line = pm.renderLine(3500.0);
+    EXPECT_NE(line.find("2/4 jobs"), std::string::npos) << line;
+    EXPECT_NE(line.find("1 FAILED"), std::string::npos) << line;
+    EXPECT_NE(line.find("M insts/s"), std::string::npos) << line;
+    // Two jobs still pending and latency history exists: an ETA shows.
+    EXPECT_NE(line.find("ETA"), std::string::npos) << line;
+
+    // The per-figure breakdown counts failures separately from "done".
+    std::string figures = pm.renderFigures();
+    EXPECT_NE(figures.find("fig: 1/4 done"), std::string::npos)
+        << figures;
+    EXPECT_NE(figures.find("1 FAILED"), std::string::npos) << figures;
+}
+
+TEST(LedgerReportTest, ReportAndJobsJsonAgreeWithReplay)
+{
+    std::vector<LedgerEvent> events;
+    events.push_back(ev(LedgerEventKind::Submit, "aa", "figA", 1000));
+    events.push_back(ev(LedgerEventKind::Submit, "bb", "figB", 1001));
+    LedgerEvent s = ev(LedgerEventKind::Start, "aa", "figA", 1002);
+    s.worker = "simpool/1";
+    s.workload = "gzip.g";
+    events.push_back(s);
+    LedgerEvent f = ev(LedgerEventKind::Finish, "aa", "figA", 2002);
+    f.outcome = "ok";
+    f.worker = "simpool/1";
+    f.workload = "gzip.g";
+    f.wallSeconds = 1.0;
+    f.insts = 777;
+    events.push_back(f);
+    LedgerEvent stuck = ev(LedgerEventKind::Stuck, "bb", "figB", 2500);
+    stuck.outcome = "slow";
+    events.push_back(stuck);
+
+    LedgerState st = replayLedger(events);
+    std::ostringstream report;
+    writeLedgerReport(report, st);
+    EXPECT_NE(report.str().find("2 jobs"), std::string::npos)
+        << report.str();
+    EXPECT_NE(report.str().find("1 watchdog flags"), std::string::npos);
+    EXPECT_NE(report.str().find("figA"), std::string::npos);
+    EXPECT_NE(report.str().find("figB"), std::string::npos);
+
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(ledgerJobsJson(st), v, &err)) << err;
+    EXPECT_EQ(v.numberOr("submitted", -1.0), 2.0);
+    EXPECT_EQ(v.numberOr("finished", -1.0), 1.0);
+    EXPECT_EQ(v.numberOr("queued", -1.0), 1.0);
+    EXPECT_EQ(v.numberOr("stuckFlags", -1.0), 1.0);
+    EXPECT_EQ(v.numberOr("totalInsts", -1.0), 777.0);
+    const json::Value *jobs = v.get("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_TRUE(jobs->isArray());
+    ASSERT_EQ(jobs->arr.size(), 2u);
+    // Entries carry the bare job key; the figure is its own field.
+    EXPECT_EQ(jobs->arr[0].stringOr("job", ""), "aa");
+    EXPECT_EQ(jobs->arr[0].stringOr("figure", ""), "figA");
+    EXPECT_EQ(jobs->arr[0].stringOr("state", ""), "finished");
+    EXPECT_EQ(jobs->arr[1].stringOr("job", ""), "bb");
+    EXPECT_EQ(jobs->arr[1].stringOr("state", ""), "queued");
+}
+
+} // namespace

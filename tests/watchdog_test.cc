@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the stuck-job watchdog (sim/watchdog.hh): an artificially
+ * slowed job is flagged (warn + counter + ledger `stuck` event) and
+ * its cooperative diagnostic dump runs — without the run being killed;
+ * probe nesting restores the outer probe on unwind; a disabled
+ * watchdog never flags; and the headline telemetry-inertness contract:
+ * simulation results are bit-identical with the ledger and an
+ * aggressive watchdog enabled versus all telemetry off.
+ *
+ * This file legitimately reads the wall clock (sleeps, deadlines): the
+ * component under test is the engine's wall-clock supervisor. vplint
+ * allowlists it.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "sim/run_ledger.hh"
+#include "sim/simulation.hh"
+#include "sim/watchdog.hh"
+
+namespace
+{
+
+using namespace vpsim;
+
+std::string
+tempLedgerPath(const char *tag)
+{
+    std::string path = ::testing::TempDir() + "vpsim-watchdog-" + tag +
+                       "-" + std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+/** Poll watchdogPoll() until @p pred holds or ~3s elapse. */
+template <typename Pred>
+bool
+pollUntil(Pred pred)
+{
+    for (int i = 0; i < 600; ++i) {
+        watchdogPoll();
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+WatchdogLimits
+aggressiveLimits()
+{
+    WatchdogLimits lim;
+    lim.enabled = true;
+    lim.minSeconds = 0.05;
+    lim.percentileMultiple = 1e9; // p95 path can only raise, never cut.
+    lim.heartbeatSeconds = 0.01;
+    return lim;
+}
+
+TEST(WatchdogTest, LimitsFromEnvironment)
+{
+    ::setenv("MTVP_WATCHDOG", "0", 1);
+    ::setenv("MTVP_WATCHDOG_MIN_SECS", "12.5", 1);
+    ::setenv("MTVP_WATCHDOG_MULT", "3", 1);
+    WatchdogLimits l = watchdogLimitsFromEnv();
+    EXPECT_FALSE(l.enabled);
+    EXPECT_DOUBLE_EQ(l.minSeconds, 12.5);
+    EXPECT_DOUBLE_EQ(l.percentileMultiple, 3.0);
+    ::unsetenv("MTVP_WATCHDOG");
+    ::unsetenv("MTVP_WATCHDOG_MIN_SECS");
+    ::unsetenv("MTVP_WATCHDOG_MULT");
+    l = watchdogLimitsFromEnv();
+    EXPECT_TRUE(l.enabled);
+    EXPECT_DOUBLE_EQ(l.minSeconds, 30.0);
+    EXPECT_DOUBLE_EQ(l.percentileMultiple, 8.0);
+}
+
+TEST(WatchdogTest, FlagsSlowJobWithoutKillingIt)
+{
+    const std::string path = tempLedgerPath("flag");
+    RunLedger::global().open(path);
+    watchdogSetLimits(aggressiveLimits());
+
+    const uint64_t before = watchdogFlaggedTotal();
+    bool dumped = false;
+    {
+        WatchdogJobScope job("00000000deadbeef", "slow_workload");
+        WatchdogProbe probe([&dumped] { dumped = true; });
+        // The "job": sleep past the floor, polling as a simulation
+        // loop would. The watchdog must flag it and request the dump,
+        // and control must remain here (nothing killed).
+        EXPECT_TRUE(pollUntil([&] {
+            return watchdogFlaggedTotal() > before && dumped;
+        }));
+    }
+    RunLedger::global().open("");
+
+    EXPECT_EQ(watchdogFlaggedTotal(), before + 1);
+    EXPECT_TRUE(dumped);
+
+    // The flag left a `stuck` journal entry identifying the job.
+    std::vector<LedgerEvent> events;
+    ASSERT_TRUE(loadLedger(path, events));
+    const LedgerEvent *stuck = nullptr;
+    for (const LedgerEvent &e : events) {
+        if (e.kind == LedgerEventKind::Stuck)
+            stuck = &e;
+    }
+    ASSERT_NE(stuck, nullptr);
+    EXPECT_EQ(stuck->job, "00000000deadbeef");
+    EXPECT_EQ(stuck->workload, "slow_workload");
+    EXPECT_EQ(stuck->outcome, "slow");
+    EXPECT_GE(stuck->wallSeconds, 0.05);
+
+    // Replay maps the flag onto the job, not a terminal state change.
+    LedgerState st = replayLedger(events);
+    EXPECT_EQ(st.stuckFlags, 1u);
+}
+
+TEST(WatchdogTest, NestedProbeRestoresOuterOnUnwind)
+{
+    watchdogSetLimits(aggressiveLimits());
+    int outerRuns = 0, innerRuns = 0;
+    WatchdogProbe outer([&outerRuns] { ++outerRuns; });
+    {
+        WatchdogJobScope job("0000000000000001", "outer_phase");
+        {
+            // Nested phase (e.g. fast-forward inside a run): the inner
+            // probe owns the dump while it lives.
+            WatchdogProbe inner([&innerRuns] { ++innerRuns; });
+            EXPECT_TRUE(pollUntil([&] { return innerRuns == 1; }));
+        }
+        EXPECT_EQ(outerRuns, 0);
+    }
+    {
+        // A fresh job on the same thread: the outer probe must be
+        // active again after the inner one unwound.
+        WatchdogJobScope job("0000000000000002", "outer_again");
+        EXPECT_TRUE(pollUntil([&] { return outerRuns == 1; }));
+    }
+    EXPECT_EQ(innerRuns, 1);
+}
+
+TEST(WatchdogTest, DisabledWatchdogNeverFlags)
+{
+    WatchdogLimits lim = aggressiveLimits();
+    lim.enabled = false;
+    watchdogSetLimits(lim);
+
+    const uint64_t before = watchdogFlaggedTotal();
+    {
+        WatchdogJobScope job("000000000000000d", "disabled_wl");
+        // Sleep well past the (disabled) floor.
+        for (int i = 0; i < 30; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            watchdogPoll();
+        }
+    }
+    EXPECT_EQ(watchdogFlaggedTotal(), before);
+}
+
+// ---------------------------------------------------------------------
+// The headline contract: telemetry is inert.
+// ---------------------------------------------------------------------
+
+TEST(WatchdogTest, TelemetryIsBitIdenticallyInert)
+{
+    SimConfig cfg;
+    cfg.vpMode = VpMode::Mtvp;
+    cfg.numContexts = 2;
+    cfg.predictor = PredictorKind::Oracle;
+    cfg.maxInsts = 5000;
+    cfg.seed = 7;
+
+    // Quiet run: no ledger, watchdog off.
+    WatchdogLimits off = aggressiveLimits();
+    off.enabled = false;
+    watchdogSetLimits(off);
+    RunLedger::global().open("");
+    SimResult quiet = runWorkload(cfg, "gzip.g");
+
+    // Noisy run: ledger journaling, watchdog aggressive enough to flag
+    // mid-run (floor far below the job's wall time on any machine is
+    // not guaranteed, and doesn't need to be: inertness must hold
+    // whether or not a dump fires).
+    const std::string path = tempLedgerPath("inert");
+    RunLedger::global().open(path);
+    WatchdogLimits noisy = aggressiveLimits();
+    noisy.minSeconds = 0.01;
+    noisy.heartbeatSeconds = 0.005;
+    watchdogSetLimits(noisy);
+    SimResult noisyResult;
+    {
+        WatchdogJobScope job("00000000000f00d5", "gzip.g");
+        noisyResult = runWorkload(cfg, "gzip.g");
+    }
+    RunLedger::global().open("");
+    watchdogSetLimits(off);
+
+    // Every headline number and every stat: bit-identical.
+    EXPECT_EQ(quiet.workload, noisyResult.workload);
+    EXPECT_EQ(quiet.cycles, noisyResult.cycles);
+    EXPECT_EQ(quiet.usefulInsts, noisyResult.usefulInsts);
+    EXPECT_EQ(quiet.usefulIpc, noisyResult.usefulIpc);
+    EXPECT_EQ(quiet.halted, noisyResult.halted);
+    ASSERT_EQ(quiet.stats.size(), noisyResult.stats.size());
+    for (const auto &[name, value] : quiet.stats) {
+        auto it = noisyResult.stats.find(name);
+        ASSERT_NE(it, noisyResult.stats.end()) << "missing stat " << name;
+        EXPECT_EQ(value, it->second) << "stat " << name;
+    }
+}
+
+} // namespace
