@@ -92,6 +92,7 @@
 #include <vector>
 
 #include "history.hh"
+#include "throughput.hh"
 #include "scoreboard.hh"
 #include "sim/json.hh"
 #include "sim/metrics.hh"
@@ -284,6 +285,7 @@ main(int argc, char **argv)
     bool appendHist = false;
     bool seedHist = false;
     bool longRuns = false;
+    bool throughput = false;
     bool ledger = false;
     std::string ledgerPath = "BENCH_ledger.jsonl";
     bool ledgerReport = false;
@@ -304,7 +306,7 @@ main(int argc, char **argv)
                 "          [--scoreboard] [--write-expected] "
                 "[--markdown]\n"
                 "          [--append-history] [--seed-history] "
-                "[--long]\n"
+                "[--long] [--throughput]\n"
                 "          [--ledger[=PATH]] [--ledger-report[=PATH]]\n"
                 "          [--progress] [--metrics-port N] "
                 "[--metrics-dump[=PATH]]\n"
@@ -327,9 +329,17 @@ main(int argc, char **argv)
                 "line;\n--metrics-port serves /metrics and /jobs on "
                 "127.0.0.1 during the sweep;\n--metrics-dump writes "
                 "the final Prometheus exposition (default\n"
-                "BENCH_metrics.prom).\n",
+                "BENCH_metrics.prom).\n"
+                "--throughput runs the pinned simulator-throughput "
+                "microbench family\n(fetch/issue/commit-bound plus mcf "
+                "detailed, timeSkip 0 and 1) in-process,\nappends "
+                "host-KIPS rows to BENCH_history.jsonl, and prints a "
+                "before/after\ntable vs the last comparable entry "
+                "(report-only; never a gate).\n",
                 argv[0]);
             return 0;
+        } else if (a == "--throughput") {
+            throughput = true;
         } else if (a == "--long") {
             longRuns = true;
         } else if (a == "--append-history") {
@@ -456,6 +466,13 @@ main(int argc, char **argv)
     if (const char *v = std::getenv("MTVP_DRIFT_PCT");
         v != nullptr && *v != '\0') {
         driftThreshold = std::strtod(v, nullptr);
+    }
+
+    // ----- Simulator-throughput benchmark (no figure subprocesses) ---
+    if (throughput) {
+        return vpbench::runThroughput(
+            historyPath, seed, markdown,
+            static_cast<uint64_t>(nowUnixMs() / 1000.0));
     }
 
     // ----- Seed the history from the committed summary (no runs) -----

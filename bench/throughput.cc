@@ -1,0 +1,284 @@
+#include "throughput.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "history.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+#include "workloads/workload.hh"
+
+namespace vpbench
+{
+
+namespace
+{
+
+uint64_t
+tpEnvU64(const char *name, uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && *v != '\0' ? std::strtoull(v, nullptr, 0)
+                                      : def;
+}
+
+// ------------------------------------------------------------------
+// Pinned microbench family. Each kernel saturates one core stage so a
+// regression in that stage's host cost shows up in exactly one row.
+// The loops are nominally unbounded (huge trip counts); maxInsts is
+// the real stop condition, so every run commits exactly the same
+// instruction stream regardless of the iteration budget.
+// ------------------------------------------------------------------
+
+// Fetch-bound: a dense run of taken branches. Every instruction block
+// redirects fetch, so the front end (BTB, redirect, fetch queue) is
+// the bottleneck and the back end mostly idles.
+const char *fetchBoundSrc = R"(
+        li   r1, 1000000000
+    loop:
+        beq  r0, r0, a1
+    a1:
+        beq  r0, r0, a2
+    a2:
+        beq  r0, r0, a3
+    a3:
+        beq  r0, r0, a4
+    a4:
+        subi r1, r1, 1
+        bne  r1, r0, loop
+        halt
+)";
+
+// Issue-bound: one long serial dependency chain. Only one instruction
+// is ever ready per cycle, so the run exercises the issue queue's
+// wakeup/select path far more than fetch or commit.
+const char *issueBoundSrc = R"(
+        li   r1, 1
+        li   r2, 1000000000
+    loop:
+        addi r1, r1, 1
+        slli r3, r1, 1
+        and  r3, r3, r1
+        addi r3, r3, 3
+        add  r1, r1, r3
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+)";
+
+// Commit-bound: independent single-cycle ALU ops with no carried
+// dependencies. Everything is ready the moment it dispatches, so
+// retirement bandwidth (ROB/commit) limits progress.
+const char *commitBoundSrc = R"(
+        li   r2, 1000000000
+    loop:
+        addi r3, r0, 1
+        addi r4, r0, 2
+        addi r5, r0, 3
+        addi r6, r0, 4
+        addi r7, r0, 5
+        addi r3, r0, 6
+        subi r2, r2, 1
+        bne  r2, r0, loop
+        halt
+)";
+
+/** One point of the family: a workload plus the core config knobs
+ *  that aren't swept (timeSkip is). */
+struct TpPoint
+{
+    std::string key;            ///< figure-key stem, e.g. "fetch"
+    const vpsim::Workload *wl;  ///< what to run
+    vpsim::VpMode vpMode;
+    int numContexts;
+};
+
+struct TpRow
+{
+    std::string figure; ///< "tp_<key>_ts<k>"
+    uint64_t insts = 0;
+    double wallSeconds = 0.0;
+    double kips = 0.0;
+};
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+runThroughput(const std::string &historyPath, uint64_t seed,
+              bool markdown, uint64_t unixTime)
+{
+    const uint64_t insts = tpEnvU64("MTVP_TP_INSTS", 30000);
+    const int reps =
+        static_cast<int>(tpEnvU64("MTVP_TP_REPS", 2));
+
+    // Local, unregistered workloads: the family is pinned here rather
+    // than in the registry so registry growth can't silently change
+    // what this benchmark measures.
+    vpsim::AsmWorkload fetchWl(
+        "tp-fetch", vpsim::BenchCategory::Int,
+        "throughput probe: taken-branch dense (fetch-bound)",
+        fetchBoundSrc, [](vpsim::MainMemory &, uint64_t) {});
+    vpsim::AsmWorkload issueWl(
+        "tp-issue", vpsim::BenchCategory::Int,
+        "throughput probe: serial dependency chain (issue-bound)",
+        issueBoundSrc, [](vpsim::MainMemory &, uint64_t) {});
+    vpsim::AsmWorkload commitWl(
+        "tp-commit", vpsim::BenchCategory::Int,
+        "throughput probe: independent ALU stream (commit-bound)",
+        commitBoundSrc, [](vpsim::MainMemory &, uint64_t) {});
+    const vpsim::Workload *mcf = vpsim::findWorkload("mcf");
+    if (mcf == nullptr) {
+        std::fprintf(stderr, "throughput: workload 'mcf' missing\n");
+        return 1;
+    }
+
+    const std::vector<TpPoint> points = {
+        {"fetch", &fetchWl, vpsim::VpMode::None, 1},
+        {"issue", &issueWl, vpsim::VpMode::None, 1},
+        {"commit", &commitWl, vpsim::VpMode::None, 1},
+        // The real-workload anchor: mcf in full MTVP detailed mode,
+        // the configuration the paper's figures lean on hardest.
+        {"mcf", mcf, vpsim::VpMode::Mtvp, 8},
+    };
+
+    std::vector<TpRow> rows;
+    double totalWall = 0.0;
+    for (const TpPoint &p : points) {
+        for (uint64_t ts : {uint64_t{0}, uint64_t{1}}) {
+            vpsim::SimConfig cfg;
+            cfg.vpMode = p.vpMode;
+            cfg.numContexts = p.numContexts;
+            cfg.maxInsts = insts;
+            cfg.seed = seed;
+            cfg.timeSkip = ts;
+            // ffInsts stays 0: a warmup checkpoint would hide the
+            // simulator cost this benchmark exists to measure.
+
+            TpRow row;
+            row.figure = vpsim::csprintf(
+                "%s%s_ts%llu", throughputFigurePrefix, p.key.c_str(),
+                static_cast<unsigned long long>(ts));
+            row.wallSeconds = -1.0;
+            for (int r = 0; r < std::max(reps, 1); ++r) {
+                double t0 = monotonicSeconds();
+                vpsim::SimResult res = vpsim::runWorkload(cfg, *p.wl);
+                double wall = monotonicSeconds() - t0;
+                totalWall += wall;
+                if (row.wallSeconds < 0.0 || wall < row.wallSeconds) {
+                    row.wallSeconds = wall;
+                    row.insts = res.usefulInsts;
+                }
+            }
+            row.kips = row.wallSeconds > 0.0
+                           ? static_cast<double>(row.insts) /
+                                 row.wallSeconds / 1000.0
+                           : 0.0;
+            std::fprintf(stderr, "  %-16s %8.0f KIPS  (%llu insts, "
+                         "%.3f s best of %d)\n",
+                         row.figure.c_str(), row.kips,
+                         static_cast<unsigned long long>(row.insts),
+                         row.wallSeconds, std::max(reps, 1));
+            rows.push_back(std::move(row));
+        }
+    }
+
+    // ----- History: one entry, one figure digest per point ----------
+    HistoryEntry cur;
+    cur.unixTime = unixTime;
+    cur.label = throughputLabel;
+    cur.insts = insts;
+    cur.seed = seed;
+    cur.fullSet = false;
+    cur.totalWallSeconds = totalWall;
+    for (const TpRow &r : rows) {
+        FigureDigest d;
+        d.wallSeconds = r.wallSeconds;
+        d.exitStatus = 0;
+        d.hasHeadline = true;
+        d.headlineConfig = "kips";
+        d.headlineSpeedupPct = r.kips;
+        cur.figures[r.figure] = d;
+    }
+
+    // Baseline = the most recent prior throughput entry with the same
+    // measurement settings (insts + seed); host-speed comparisons
+    // across different settings would be meaningless.
+    std::vector<std::string> warnings;
+    std::vector<HistoryEntry> prior = loadHistory(historyPath,
+                                                  &warnings);
+    for (const std::string &w : warnings)
+        std::fprintf(stderr, "history: %s\n", w.c_str());
+    const HistoryEntry *base = nullptr;
+    for (const HistoryEntry &e : prior) {
+        if (e.label == throughputLabel && e.insts == cur.insts &&
+            e.seed == cur.seed) {
+            base = &e; // Oldest-first load order: last match wins.
+        }
+    }
+
+    // ----- Before/after table ---------------------------------------
+    if (markdown) {
+        std::printf("\n## Simulator throughput (host KIPS)\n\n");
+        std::printf("| bench | before | after | ratio |\n");
+        std::printf("|---|---:|---:|---:|\n");
+    } else {
+        std::printf("\nSimulator throughput (host KIPS, %llu insts, "
+                    "best of %d):\n",
+                    static_cast<unsigned long long>(insts),
+                    std::max(reps, 1));
+        std::printf("  %-16s %10s %10s %8s\n", "bench", "before",
+                    "after", "ratio");
+    }
+    for (const TpRow &r : rows) {
+        double before = 0.0;
+        if (base != nullptr) {
+            auto it = base->figures.find(r.figure);
+            if (it != base->figures.end() && it->second.hasHeadline)
+                before = it->second.headlineSpeedupPct;
+        }
+        std::string beforeStr = before > 0.0
+                                    ? vpsim::csprintf("%.0f", before)
+                                    : std::string("-");
+        std::string ratioStr =
+            before > 0.0 ? vpsim::csprintf("%.2fx", r.kips / before)
+                         : std::string("-");
+        if (markdown) {
+            std::printf("| %s | %s | %.0f | %s |\n", r.figure.c_str(),
+                        beforeStr.c_str(), r.kips, ratioStr.c_str());
+        } else {
+            std::printf("  %-16s %10s %10.0f %8s\n", r.figure.c_str(),
+                        beforeStr.c_str(), r.kips, ratioStr.c_str());
+        }
+    }
+    if (base == nullptr) {
+        std::printf("%sno comparable prior throughput entry in %s; "
+                    "table is after-only\n",
+                    markdown ? "\n" : "  ", historyPath.c_str());
+    }
+
+    if (!appendHistory(historyPath, cur)) {
+        std::fprintf(stderr, "cannot write '%s'\n",
+                     historyPath.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "appended throughput entry (%zu figures) to "
+                 "%s\n", cur.figures.size(), historyPath.c_str());
+    // Report-only by design: KIPS depends on the host, so movement is
+    // informational. Only a failed run itself returns non-zero.
+    return 0;
+}
+
+} // namespace vpbench

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tracked simulator-throughput benchmark (`run_all --throughput`).
+ *
+ * Runs a pinned microbench family — fetch-bound, issue-bound, and
+ * commit-bound single-context kernels plus the mcf pointer chase in
+ * full MTVP detailed mode — each at timeSkip=0 and timeSkip=1, and
+ * measures host throughput in KIPS (thousands of useful committed
+ * instructions per wall-clock second). Every run is serial and
+ * in-process so the number measures the simulator, not the pool.
+ *
+ * The rows are appended to BENCH_history.jsonl as a `throughput`
+ * entry (one figure digest per bench/timeSkip point, KIPS stored as
+ * the headline value) and rendered as a before/after table against
+ * the most recent prior throughput entry with the same seed. The
+ * comparison is report-only by design: host throughput varies with
+ * the machine, so CI gates stay on bit-identity and the scoreboard,
+ * never on KIPS.
+ */
+
+#ifndef VPSIM_BENCH_THROUGHPUT_HH
+#define VPSIM_BENCH_THROUGHPUT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vpbench
+{
+
+/** Prefix of throughput figures inside history entries ("tp_..."). */
+inline constexpr const char *throughputFigurePrefix = "tp_";
+
+/** History label marking a throughput entry. */
+inline constexpr const char *throughputLabel = "throughput";
+
+/**
+ * Run the family, print the KIPS table (markdown when @p markdown),
+ * and append one entry to @p historyPath. @p unixTime stamps the
+ * entry (host clock, passed in to keep this file wallclock-clean
+ * apart from run timing). Returns 0 unless a run itself fails —
+ * KIPS movement never fails the invocation.
+ */
+int runThroughput(const std::string &historyPath, uint64_t seed,
+                  bool markdown, uint64_t unixTime);
+
+} // namespace vpbench
+
+#endif // VPSIM_BENCH_THROUGHPUT_HH

@@ -107,6 +107,8 @@ Cpu::commitOne(ThreadContext &tc)
     // A committed instruction can never be reissued; drop any still-open
     // prediction dependence so its issue-queue entry is reclaimed (a
     // speculative child can commit past its parent's open predictions).
+    if (head->issued && head->vpDependMask != 0)
+        queueFor(head->emu.inst).markRemovable(head->seq);
     head->vpDependMask = 0;
 
     tc.rob.pop_front();

@@ -71,6 +71,8 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
       _inflightStores(static_cast<size_t>(_cfg.numContexts)),
       _cpi(_stats, _cfg.numContexts),
       _prof(_cfg.profile),
+      _intWake(_intRegs, _fpRegs, _intRegs.capacity(), _prof),
+      _fpWake(_intRegs, _fpRegs, _fpRegs.capacity(), _prof),
       _analytics(_stats, _cfg.numContexts, !_cfg.perfettoTrace.empty()),
       _vpattr(_stats),
       _commitsThisCycle(static_cast<size_t>(_cfg.numContexts), 0),
@@ -178,6 +180,11 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
     for (int t = numVpTags - 1; t >= 0; --t)
         _vpTagFree.push_back(t);
 
+    // Route register-readiness changes into the issue queues' cached
+    // source-ready cycles (core/wakeup.hh).
+    _intRegs.setListener(&_intWake);
+    _fpRegs.setListener(&_fpWake);
+
     // Activate context 0 as the architectural thread.
     ThreadContext &tc = _ctxs[0];
     tc.active = true;
@@ -203,6 +210,10 @@ Cpu::Cpu(const SimConfig &cfg, MainMemory &mem, Addr entryPc)
 Cpu::~Cpu()
 {
     setLogCycleSource(nullptr);
+    // Members (ROBs, queues, pending loads) are destroyed after this
+    // body runs, so live handles may still exist; the pool deletes
+    // itself once the last one releases.
+    _instPool->releaseOwner();
 }
 
 ThreadContext &
@@ -274,8 +285,14 @@ Cpu::clearVpBitEverywhere(int tag)
     for (ThreadContext &tc : _ctxs) {
         if (!tc.active)
             continue;
-        for (DynInstPtr &inst : tc.rob)
+        for (DynInstPtr &inst : tc.rob) {
+            bool open = inst->issued && inst->vpDependMask != 0;
             inst->vpDependMask &= clear;
+            // An issued entry only stayed queue-resident for its open
+            // vp dependences; dropping the last one frees the slot.
+            if (open && inst->vpDependMask == 0)
+                queueFor(inst->emu.inst).markRemovable(inst->seq);
+        }
     }
     for (uint64_t &t : _intTaint)
         t &= clear;
@@ -309,6 +326,8 @@ Cpu::reissueDependents(int tag, Cycle correctedReady)
                     static_cast<unsigned long long>(inst->emu.pc), tag);
             inst->issued = false;
             inst->readyCycle = neverCycle;
+            queueFor(inst->emu.inst).markWaiting(inst->seq, _intRegs,
+                                                 _fpRegs);
             // A dependent whose own value prediction is still open keeps
             // its predicted-early destination timing; everyone else's
             // result ceases to exist until re-execution.
@@ -613,9 +632,8 @@ Cpu::nextEventCycle() const
     // tick (activity) or they are blocked on something — an older
     // unissued store, a vp redo — that has its own event or activity.
     auto scanQueue = [&](const IssueQueue &q) {
-        q.forEachWaiting(
-            [&](const DynInstPtr &di) {
-                Cycle r = sourcesReadyAt(*di);
+        q.forEachWaitingReady(
+            [&](Cycle r) {
                 if (r != neverCycle)
                     consider(r);
             },

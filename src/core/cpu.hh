@@ -34,6 +34,7 @@
 #include "core/inst_pool.hh"
 #include "core/issue_queue.hh"
 #include "core/phys_regfile.hh"
+#include "core/wakeup.hh"
 #include "core/thread_context.hh"
 #include "emu/emulator.hh"
 #include "emu/fastfwd.hh"
@@ -133,6 +134,8 @@ class Cpu : private WarmupSink
     bool haltedUsefully() const { return _finished; }
     int pendingLoads() const { return static_cast<int>(_pending.size()); }
     int freeVpTags() const { return static_cast<int>(_vpTagFree.size()); }
+    /** Instruction slot pool (allocation-audit tests read counters). */
+    const InstPool &instPool() const { return *_instPool; }
     int drainQueueDepth() const
     {
         return static_cast<int>(_drainQueue.size());
@@ -200,6 +203,9 @@ class Cpu : private WarmupSink
     bool resourcesAvailable(const ThreadContext &tc,
                             const DecodedInst &inst) const;
     IssueQueue &queueFor(const DecodedInst &inst);
+    /** Register @p di's renamed sources with the wakeup tables so its
+     *  queue entry's cached source-ready cycle stays exact. */
+    void watchSources(const DynInstPtr &di, IssueQueue &q);
     void renameSources(DynInst &di, ThreadContext &tc);
     void renameDest(DynInst &di, ThreadContext &tc);
     void handleControl(const DynInstPtr &di, ThreadContext &tc,
@@ -232,13 +238,8 @@ class Cpu : private WarmupSink
     void detachChildFromParent(ThreadContext &child);
 
     // ----- Shared helpers (cpu.cc) -----
-    /** Pool-allocated DynInst (recycled chunks; see core/inst_pool.hh). */
-    DynInstPtr
-    allocInst()
-    {
-        return std::allocate_shared<DynInst>(
-            InstPoolAllocator<DynInst>(_instPool));
-    }
+    /** Pool-allocated DynInst (recycled slots; see core/inst_pool.hh). */
+    DynInstPtr allocInst() { return _instPool->alloc(); }
     PhysRegFile &poolFor(int logicalReg);
     const PhysRegFile &poolFor(int logicalReg) const;
     uint64_t &taintOf(int logicalReg, PhysReg reg);
@@ -360,12 +361,13 @@ class Cpu : private WarmupSink
     /** Per-interval measurements feeding the sample.* formulas. */
     std::vector<IntervalSample> _samples;
 
-    /** Chunk pool behind allocInst(); shared into every control block. */
-    std::shared_ptr<InstPoolStorage> _instPool =
-        std::make_shared<InstPoolStorage>();
+    /** Slot pool behind allocInst(). Heap-born on purpose: the Cpu
+     *  destructor only releases ownership, and the pool survives until
+     *  the last live DynInst handle (e.g. a test peek) lets go. */
+    InstPool *_instPool = InstPool::create();
     /** Per-cycle issue-candidate scratch (issueStage); reused so the
      *  per-cycle hot path stays allocation-free after warmup. */
-    std::vector<DynInstPtr> _issueCandidates;
+    std::vector<IssueQueue::Candidate> _issueCandidates;
 
     std::vector<PendingLoad> _pending;
     std::vector<IlpWindow> _windows;
@@ -378,6 +380,11 @@ class Cpu : private WarmupSink
     // ----- Observability -----
     CpiStack _cpi;
     HostProfiler _prof;
+    /** Wakeup tables (one per register class), declared after _prof so
+     *  their construction can reference it; the ctor body registers them
+     *  as the register files' listeners. */
+    WakeupTable _intWake;
+    WakeupTable _fpWake;
     Analytics _analytics;
     VpAttribution _vpattr;
     /** Per ctx: committed at least one instruction this cycle. */

@@ -86,6 +86,26 @@ Cpu::queueFor(const DecodedInst &inst)
 }
 
 void
+Cpu::watchSources(const DynInstPtr &di, IssueQueue &q)
+{
+    for (int i = 0; i < di->numSrcs; ++i) {
+        PhysReg p = di->physSrc[i];
+        if (p == invalidPhysReg)
+            continue;
+        // A physical register index is only unique within its class.
+        bool fp = isFpReg(di->srcLogical[i]);
+        bool dup = false;
+        for (int j = 0; j < i && !dup; ++j) {
+            dup = di->physSrc[j] == p &&
+                  isFpReg(di->srcLogical[j]) == fp;
+        }
+        if (dup)
+            continue;
+        (fp ? _fpWake : _intWake).watch(p, &q, di->seq);
+    }
+}
+
+void
 Cpu::renameSources(DynInst &di, ThreadContext &tc)
 {
     const DecodedInst &in = di.emu.inst;
@@ -179,7 +199,9 @@ Cpu::dispatchOne(ThreadContext &tc)
         di->everIssued = true;
         di->readyCycle = _now;
     } else {
-        queueFor(in).insert(di);
+        IssueQueue &q = queueFor(in);
+        q.insert(di, IssueQueue::srcReadyAt(*di, _intRegs, _fpRegs));
+        watchSources(di, q);
         ++tc.preIssueCount;
     }
 

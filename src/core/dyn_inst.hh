@@ -7,9 +7,12 @@
 #ifndef VPSIM_CORE_DYN_INST_HH
 #define VPSIM_CORE_DYN_INST_HH
 
+#include <cstdint>
 #include <memory>
+#include <new>
 
 #include "emu/emulator.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace vpsim
@@ -96,7 +99,210 @@ struct DynInst
     bool isStore() const { return emu.inst.isStore(); }
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+class InstPool;
+
+namespace detail
+{
+
+/**
+ * One recycled pool slot: an intrusive refcount and a reuse generation
+ * in front of raw DynInst storage. The count is deliberately
+ * **non-atomic** — a simulation runs wholly on one SimPool worker
+ * thread and DynInsts never cross simulations, so the atomic RMWs a
+ * shared_ptr control block would pay on every handle copy are pure
+ * waste (see docs/DESIGN.md "Instruction ownership").
+ */
+struct InstSlot
+{
+    uint32_t refs = 0;
+    /** Bumped every recycle; stale handles notice the mismatch. */
+    uint32_t gen = 0;
+    InstPool *pool = nullptr;
+    alignas(DynInst) unsigned char storage[sizeof(DynInst)];
+
+    DynInst *
+    obj()
+    {
+        return std::launder(reinterpret_cast<DynInst *>(storage));
+    }
+};
+
+/** Out-of-line cold path: destroy the DynInst, bump the generation,
+ *  push the slot back on its pool's free list (inst_pool.cc). */
+void recycleInstSlot(InstSlot *slot) noexcept;
+
+} // namespace detail
+
+/**
+ * Intrusive, non-atomic refcounted handle to a pool-slot DynInst —
+ * the drop-in replacement for the former std::shared_ptr<DynInst>.
+ * Same 16-byte footprint, but copies are a plain ++/-- instead of two
+ * lock-prefixed RMWs, and destruction returns the slot to the owning
+ * Cpu's InstPool free list instead of the heap.
+ *
+ * Every handle carries the slot generation it was created against; in
+ * debug builds (!NDEBUG) each dereference checks it, so a handle that
+ * outlives its instruction's recycling dies loudly instead of reading
+ * a recycled slot. checkedGet() performs the same check in all build
+ * types (the stale-handle death test uses it).
+ */
+class DynInstPtr
+{
+  public:
+    DynInstPtr() = default;
+    DynInstPtr(std::nullptr_t) {}
+
+    DynInstPtr(const DynInstPtr &o) : _slot(o._slot), _gen(o._gen)
+    {
+        if (_slot != nullptr)
+            ++_slot->refs;
+    }
+
+    DynInstPtr(DynInstPtr &&o) noexcept : _slot(o._slot), _gen(o._gen)
+    {
+        o._slot = nullptr;
+    }
+
+    DynInstPtr &
+    operator=(const DynInstPtr &o)
+    {
+        if (o._slot != nullptr)
+            ++o._slot->refs;
+        release();
+        _slot = o._slot;
+        _gen = o._gen;
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(DynInstPtr &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            _slot = o._slot;
+            _gen = o._gen;
+            o._slot = nullptr;
+        }
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(std::nullptr_t)
+    {
+        release();
+        _slot = nullptr;
+        return *this;
+    }
+
+    ~DynInstPtr() { release(); }
+
+    DynInst *
+    get() const
+    {
+#ifndef NDEBUG
+        checkGen();
+#endif
+        return _slot != nullptr ? _slot->obj() : nullptr;
+    }
+
+    DynInst &operator*() const { return *get(); }
+    DynInst *operator->() const { return get(); }
+    explicit operator bool() const { return _slot != nullptr; }
+
+    void
+    reset()
+    {
+        release();
+        _slot = nullptr;
+    }
+
+    /** get() with the generation check in *every* build type: a stale
+     *  handle (slot recycled since this handle was made) panics. */
+    DynInst *
+    checkedGet() const
+    {
+        checkGen();
+        return _slot != nullptr ? _slot->obj() : nullptr;
+    }
+
+    /** True when the slot was recycled out from under this handle. */
+    bool
+    stale() const
+    {
+        return _slot != nullptr && _slot->gen != _gen;
+    }
+
+    /**
+     * Test-only hook: drop this handle's reference WITHOUT forgetting
+     * the slot, leaving a deliberately dangling handle behind. Exists
+     * solely so the stale-handle death test can manufacture the bug
+     * the generation check guards against.
+     */
+    void
+    testOnlyLeakRef()
+    {
+        release();
+    }
+
+    friend bool
+    operator==(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return a._slot == b._slot;
+    }
+    friend bool
+    operator!=(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return a._slot != b._slot;
+    }
+    friend bool
+    operator==(const DynInstPtr &a, std::nullptr_t)
+    {
+        return a._slot == nullptr;
+    }
+    friend bool
+    operator!=(const DynInstPtr &a, std::nullptr_t)
+    {
+        return a._slot != nullptr;
+    }
+    friend bool
+    operator==(std::nullptr_t, const DynInstPtr &a)
+    {
+        return a._slot == nullptr;
+    }
+    friend bool
+    operator!=(std::nullptr_t, const DynInstPtr &a)
+    {
+        return a._slot != nullptr;
+    }
+
+  private:
+    friend class InstPool;
+
+    /** Adopting constructor used by InstPool::alloc (refcount already
+     *  counts this handle). */
+    DynInstPtr(detail::InstSlot *slot, uint32_t gen) : _slot(slot), _gen(gen)
+    {
+    }
+
+    void
+    release()
+    {
+        if (_slot != nullptr && --_slot->refs == 0)
+            detail::recycleInstSlot(_slot);
+    }
+
+    void
+    checkGen() const
+    {
+        vpsim_assert(_slot == nullptr || _slot->gen == _gen,
+                     "stale DynInst handle: slot recycled "
+                     "(handle gen %u, slot gen %u)",
+                     _gen, _slot->gen);
+    }
+
+    detail::InstSlot *_slot = nullptr;
+    uint32_t _gen = 0;
+};
 
 } // namespace vpsim
 

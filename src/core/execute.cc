@@ -139,33 +139,35 @@ Cpu::tryIssue(const DynInstPtr &di)
 void
 Cpu::issueStage()
 {
-    std::vector<DynInstPtr> &candidates = _issueCandidates;
+    std::vector<IssueQueue::Candidate> &candidates = _issueCandidates;
     candidates.clear();
     // Selection scans the oldest waiting entries; the cap only matters
     // for the idealized 8K-queue machine (documented approximation).
     // The time-skip event scan uses the same cap (Cpu::issueScanCap) so
     // it arms events for exactly the entries this stage can see.
-    auto collect = [&](IssueQueue &q) {
-        q.forEachWaiting(
-            [&](const DynInstPtr &p) { candidates.push_back(p); },
-            issueScanCap);
-    };
-    collect(_mq);
-    collect(_iq);
-    collect(_fq);
+    //
+    // Only entries whose cached source-ready cycle has arrived become
+    // candidates: tryIssue still rechecks readiness authoritatively, a
+    // failed attempt has no side effects and consumes no budget, and no
+    // entry matures mid-loop (every readiness publish this cycle lands
+    // at _now + 1 or later) — so pre-filtering cannot change selection.
+    _mq.collectReady(_now, issueScanCap, candidates);
+    _iq.collectReady(_now, issueScanCap, candidates);
+    _fq.collectReady(_now, issueScanCap, candidates);
     std::sort(candidates.begin(), candidates.end(),
-              [](const DynInstPtr &a, const DynInstPtr &b) {
-                  return a->seq < b->seq;
-              });
+              [](const IssueQueue::Candidate &a,
+                 const IssueQueue::Candidate &b) { return a.seq < b.seq; });
 
     int total = _cfg.issueWidth;
     int intBudget = _cfg.intIssue;
     int fpBudget = _cfg.fpIssue;
     int memBudget = _cfg.memIssue;
 
-    for (const DynInstPtr &di : candidates) {
+    for (const IssueQueue::Candidate &c : candidates) {
         if (total == 0)
             break;
+        const DynInstPtr &di = c.queue->entry(c.idx);
+        vpsim_assert_dbg(di->seq == c.seq);
         int *classBudget;
         switch (di->emu.inst.opClass()) {
           case OpClass::Load:
@@ -184,6 +186,7 @@ Cpu::issueStage()
             continue;
         if (!tryIssue(di))
             continue;
+        c.queue->onIssued(c.idx, di->vpDependMask == 0);
         --total;
         --*classBudget;
     }

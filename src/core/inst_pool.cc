@@ -1,0 +1,63 @@
+/**
+ * @file
+ * InstPool slab growth and slot recycling (the cold half of the
+ * DynInst lifetime; the hot half — handle copies — is all inline in
+ * core/dyn_inst.hh).
+ */
+
+#include "core/inst_pool.hh"
+
+namespace vpsim
+{
+
+namespace detail
+{
+
+void
+recycleInstSlot(InstSlot *slot) noexcept
+{
+    slot->pool->recycle(slot);
+}
+
+} // namespace detail
+
+InstPool::~InstPool()
+{
+#ifdef VPSIM_POOL_ASAN
+    // Freed slots are poisoned; hand the slabs back clean.
+    for (auto &slab : _slabs) {
+        for (size_t i = 0; i < slotsPerSlab; ++i) {
+            __asan_unpoison_memory_region(slab[i].storage,
+                                          sizeof(slab[i].storage));
+        }
+    }
+#endif
+}
+
+void
+InstPool::grow()
+{
+    auto slab = std::make_unique<detail::InstSlot[]>(slotsPerSlab);
+    for (size_t i = 0; i < slotsPerSlab; ++i)
+        slab[i].pool = this;
+    _free.reserve(_free.size() + slotsPerSlab);
+    for (size_t i = slotsPerSlab; i-- > 0;)
+        _free.push_back(&slab[i]);
+    _slabs.push_back(std::move(slab));
+}
+
+void
+InstPool::recycle(detail::InstSlot *slot)
+{
+    slot->obj()->~DynInst();
+    ++slot->gen; // Invalidate every handle minted against this life.
+#ifdef VPSIM_POOL_ASAN
+    __asan_poison_memory_region(slot->storage, sizeof(slot->storage));
+#endif
+    _free.push_back(slot);
+    --_live;
+    if (!_ownerAlive && _live == 0)
+        delete this;
+}
+
+} // namespace vpsim

@@ -1,148 +1,121 @@
 /**
  * @file
- * Fixed-chunk object pool backing DynInst allocation.
+ * Typed slab pool behind DynInst allocation.
  *
- * Dispatch allocates one shared_ptr<DynInst> per dispatched instruction
- * — tens of millions per figure sweep — and the default make_shared
- * round-trips every one through the global heap. The pool hands
- * allocate_shared same-sized chunks off a recycled free list backed by
- * slab storage, so after warmup the per-instruction hot path performs
- * no heap allocation at all (and no heap *deallocation* on release,
- * which is the more expensive half under a multithreaded allocator).
+ * Dispatch allocates one DynInst per dispatched instruction — tens of
+ * millions per figure sweep. Earlier revisions routed that through
+ * std::allocate_shared over a byte pool, which recycled the storage
+ * but still paid for an atomic control block on every handle copy.
+ * The pool now hands out intrusive slots (core/dyn_inst.hh InstSlot):
+ * a non-atomic refcount and a reuse generation in front of the DynInst
+ * itself, one placement-new per allocation, zero heap traffic after
+ * slab warmup, and plain ++/-- on handle copies.
  *
- * Each Cpu owns one pool and every DynInstPtr it creates carries a
- * shared_ptr to the pool state in its control block (via the allocator
- * copy stored there), so instructions that outlive the Cpu — e.g. test
- * peeks — keep the slabs alive. The pool is single-threaded by design:
- * a simulation runs wholly on one sim_pool worker, and DynInsts never
- * cross simulations.
+ * Lifetime: each Cpu owns one pool (created with InstPool::create();
+ * the Cpu destructor calls releaseOwner()). The pool self-destructs
+ * only when the owner is gone AND no instruction is live, so handles
+ * that outlive the Cpu — e.g. test peeks — keep the slabs valid, the
+ * property the shared_ptr control block used to provide. The pool is
+ * single-threaded by design: a simulation runs wholly on one SimPool
+ * worker, and DynInsts never cross simulations (which is exactly why
+ * the refcounts can be non-atomic; docs/DESIGN.md "Instruction
+ * ownership").
+ *
+ * Under AddressSanitizer the storage bytes of every free slot are
+ * poisoned, so a raw pointer into a recycled instruction trips ASan
+ * even before the handle-generation check would fire.
  */
 
 #ifndef VPSIM_CORE_INST_POOL_HH
 #define VPSIM_CORE_INST_POOL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
 #include <vector>
 
+#include "core/dyn_inst.hh"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define VPSIM_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VPSIM_POOL_ASAN 1
+#endif
+#endif
+
+#ifdef VPSIM_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace vpsim
 {
 
-/** Slab-backed free list of same-sized chunks; see the file comment. */
-class InstPoolStorage
+/** Slab-backed free list of DynInst slots; see the file comment. */
+class InstPool
 {
   public:
-    InstPoolStorage() = default;
+    /** Pools are always heap-born so releaseOwner()/recycle() can
+     *  delete-this when the last dependent disappears. */
+    static InstPool *create() { return new InstPool; }
 
-    InstPoolStorage(const InstPoolStorage &) = delete;
-    InstPoolStorage &operator=(const InstPoolStorage &) = delete;
+    InstPool(const InstPool &) = delete;
+    InstPool &operator=(const InstPool &) = delete;
 
-    void *
-    alloc(size_t bytes)
+    /** Default-constructed DynInst in a recycled slot, refcount 1. */
+    DynInstPtr
+    alloc()
     {
-        bytes = roundUp(bytes);
-        if (_chunkBytes == 0)
-            _chunkBytes = bytes; // First caller fixes the chunk size.
-        if (bytes != _chunkBytes)
-            return ::operator new(bytes); // Foreign size: plain heap.
         if (_free.empty())
             grow();
-        void *p = _free.back();
+        detail::InstSlot *s = _free.back();
         _free.pop_back();
-        return p;
+#ifdef VPSIM_POOL_ASAN
+        __asan_unpoison_memory_region(s->storage, sizeof(s->storage));
+#endif
+        new (s->storage) DynInst();
+        s->refs = 1;
+        ++_allocs;
+        ++_live;
+        if (_live > _peakLive)
+            _peakLive = _live;
+        return DynInstPtr(s, s->gen);
     }
 
+    /** The owning Cpu is going away; self-destruct once idle. */
     void
-    dealloc(void *p, size_t bytes)
+    releaseOwner()
     {
-        if (roundUp(bytes) != _chunkBytes) {
-            ::operator delete(p);
-            return;
-        }
-        _free.push_back(p);
+        _ownerAlive = false;
+        if (_live == 0)
+            delete this;
     }
 
-    size_t chunkBytes() const { return _chunkBytes; }
-    size_t freeChunks() const { return _free.size(); }
+    // Allocation counters (tests assert steady-state slab reuse).
+    uint64_t allocCount() const { return _allocs; }
+    uint64_t liveCount() const { return _live; }
+    uint64_t peakLive() const { return _peakLive; }
     size_t slabCount() const { return _slabs.size(); }
+    size_t freeSlots() const { return _free.size(); }
 
   private:
-    static constexpr size_t chunksPerSlab = 256;
+    friend void detail::recycleInstSlot(detail::InstSlot *) noexcept;
 
-    static size_t
-    roundUp(size_t bytes)
-    {
-        constexpr size_t a = alignof(std::max_align_t);
-        return (bytes + a - 1) / a * a;
-    }
+    InstPool() = default;
+    ~InstPool();
 
-    void
-    grow()
-    {
-        // operator new returns max_align_t-aligned storage and every
-        // chunk size is a multiple of that alignment, so chunk starts
-        // stay suitably aligned.
-        char *slab = static_cast<char *>(
-            ::operator new(_chunkBytes * chunksPerSlab));
-        _slabs.emplace_back(slab);
-        _free.reserve(_free.size() + chunksPerSlab);
-        for (size_t i = chunksPerSlab; i-- > 0;)
-            _free.push_back(slab + i * _chunkBytes);
-    }
+    void grow();
+    void recycle(detail::InstSlot *slot);
 
-    struct OpDelete
-    {
-        void operator()(char *p) const { ::operator delete(p); }
-    };
+    static constexpr size_t slotsPerSlab = 256;
 
-    size_t _chunkBytes = 0;
-    std::vector<std::unique_ptr<char[], OpDelete>> _slabs;
-    std::vector<void *> _free;
-};
-
-/**
- * Minimal std::allocator_traits-compatible allocator over a shared
- * InstPoolStorage; pass to std::allocate_shared. Copies (including the
- * one the shared_ptr control block keeps for destruction) share the
- * storage via shared_ptr, so deallocation always reaches the pool that
- * produced the chunk.
- */
-template <typename T>
-struct InstPoolAllocator
-{
-    using value_type = T;
-
-    std::shared_ptr<InstPoolStorage> state;
-
-    explicit InstPoolAllocator(std::shared_ptr<InstPoolStorage> s)
-        : state(std::move(s))
-    {
-    }
-
-    template <typename U>
-    InstPoolAllocator(const InstPoolAllocator<U> &o) : state(o.state)
-    {
-    }
-
-    T *
-    allocate(size_t n)
-    {
-        return static_cast<T *>(state->alloc(n * sizeof(T)));
-    }
-
-    void
-    deallocate(T *p, size_t n)
-    {
-        state->dealloc(p, n * sizeof(T));
-    }
-
-    template <typename U>
-    bool
-    operator==(const InstPoolAllocator<U> &o) const
-    {
-        return state == o.state;
-    }
+    std::vector<std::unique_ptr<detail::InstSlot[]>> _slabs;
+    std::vector<detail::InstSlot *> _free;
+    uint64_t _allocs = 0;
+    uint64_t _live = 0;
+    uint64_t _peakLive = 0;
+    bool _ownerAlive = true;
 };
 
 } // namespace vpsim

@@ -14,33 +14,193 @@ IssueQueue::IssueQueue(StatGroup &stats, const std::string &name,
     vpsim_assert(capacity > 0);
     // The 8K-entry idealized machines would make a full reserve huge;
     // everyone else gets an allocation-free steady state immediately.
-    _entries.reserve(static_cast<size_t>(capacity <= 1024 ? capacity
-                                                          : 1024));
+    const size_t reserve =
+        static_cast<size_t>(capacity <= 1024 ? capacity : 1024);
+    _entries.reserve(reserve);
+    _seqs.reserve(reserve);
+    _srcReady.reserve(reserve);
+    _waitBits.reserve((reserve >> 6) + 1);
+    _removeBits.reserve((reserve >> 6) + 1);
 }
 
 void
-IssueQueue::insert(const DynInstPtr &inst)
+IssueQueue::insert(const DynInstPtr &inst, Cycle srcReady)
 {
     vpsim_assert(hasSpace(), "issue queue overflow");
+    vpsim_assert(!inst->issued && !inst->squashed);
+    const size_t idx = _entries.size();
     _entries.push_back(inst);
+    _seqs.push_back(inst->seq);
+    _srcReady.push_back(srcReady);
+    if ((idx >> 6) >= _waitBits.size()) {
+        _waitBits.push_back(0);
+        _removeBits.push_back(0);
+    }
+    setBit(_waitBits, idx, true);
+    setBit(_removeBits, idx, false);
     ++_inserted;
     if (size() > _peak)
         _peak = size();
 }
 
+int
+IssueQueue::findSeq(InstSeqNum seq) const
+{
+    size_t lo = 0, hi = _seqs.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (_seqs[mid] < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < _seqs.size() && _seqs[lo] == seq)
+        return static_cast<int>(lo);
+    return -1;
+}
+
+void
+IssueQueue::moveSlot(size_t from, size_t to)
+{
+    _entries[to] = std::move(_entries[from]);
+    _seqs[to] = _seqs[from];
+    _srcReady[to] = _srcReady[from];
+    // to <= from always: the source bits are read before the
+    // destination bits are overwritten.
+    setBit(_waitBits, to, testBit(_waitBits, from));
+    setBit(_removeBits, to, testBit(_removeBits, from));
+}
+
+void
+IssueQueue::compactSweep(int maxVisit)
+{
+    const size_t n = _entries.size();
+    size_t r = 0, w = 0;
+    int visited = 0;
+    for (; r < n && visited < maxVisit; ++r) {
+        if (testBit(_removeBits, r))
+            continue; // Departable: the entry can finally leave.
+        if (testBit(_waitBits, r))
+            ++visited;
+        if (w != r)
+            moveSlot(r, w);
+        ++w;
+    }
+    // The unvisited tail past maxVisit is kept verbatim, exactly like
+    // the capped polling sweep this replaces stopped mid-walk.
+    bool residual = false;
+    for (; r < n; ++r, ++w) {
+        residual = residual || testBit(_removeBits, r);
+        if (w != r)
+            moveSlot(r, w);
+    }
+    for (size_t i = w; i < n; ++i) {
+        _entries[i].reset();
+        setBit(_waitBits, i, false);
+        setBit(_removeBits, i, false);
+    }
+    _entries.resize(w);
+    _seqs.resize(w);
+    _srcReady.resize(w);
+    _removeDirty = residual;
+}
+
+void
+IssueQueue::collectReady(Cycle now, int maxVisit,
+                         std::vector<Candidate> &out)
+{
+    if (_removeDirty)
+        compactSweep(maxVisit);
+    int visited = 0;
+    const size_t n = _entries.size();
+    for (size_t w = 0; w < _waitBits.size(); ++w) {
+        uint64_t bits = _waitBits[w];
+        while (bits != 0) {
+            size_t idx = (w << 6) +
+                         static_cast<size_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            if (idx >= n)
+                return;
+            if (visited >= maxVisit)
+                return;
+            ++visited;
+            vpsim_assert_dbg(!_entries[idx]->issued &&
+                             !_entries[idx]->squashed);
+            if (_srcReady[idx] <= now)
+                out.push_back({this, static_cast<uint32_t>(idx),
+                               _seqs[idx]});
+        }
+    }
+}
+
+void
+IssueQueue::onIssued(uint32_t idx, bool removable)
+{
+    setBit(_waitBits, idx, false);
+    if (removable) {
+        setBit(_removeBits, idx, true);
+        _removeDirty = true;
+    }
+}
+
+void
+IssueQueue::markWaiting(InstSeqNum seq, const PhysRegFile &intRegs,
+                        const PhysRegFile &fpRegs)
+{
+    int idx = findSeq(seq);
+    vpsim_assert(idx >= 0, "reissued instruction left the queue");
+    const size_t i = static_cast<size_t>(idx);
+    setBit(_waitBits, i, true);
+    setBit(_removeBits, i, false);
+    _srcReady[i] = srcReadyAt(*_entries[i], intRegs, fpRegs);
+}
+
+void
+IssueQueue::markRemovable(InstSeqNum seq)
+{
+    int idx = findSeq(seq);
+    if (idx < 0)
+        return; // Already departed.
+    const size_t i = static_cast<size_t>(idx);
+    vpsim_assert_dbg(!testBit(_waitBits, i));
+    setBit(_removeBits, i, true);
+    _removeDirty = true;
+}
+
+bool
+IssueQueue::refreshCached(InstSeqNum seq, const PhysRegFile &intRegs,
+                          const PhysRegFile &fpRegs)
+{
+    int idx = findSeq(seq);
+    if (idx < 0)
+        return false;
+    const size_t i = static_cast<size_t>(idx);
+    _srcReady[i] = srcReadyAt(*_entries[i], intRegs, fpRegs);
+    return true;
+}
+
 void
 IssueQueue::purgeSquashed()
 {
+    const size_t n = _entries.size();
     size_t w = 0;
-    for (size_t r = 0; r < _entries.size(); ++r) {
+    for (size_t r = 0; r < n; ++r) {
         const DynInst &inst = *_entries[r];
         if (inst.squashed || (inst.issued && inst.vpDependMask == 0))
             continue;
         if (w != r)
-            _entries[w] = std::move(_entries[r]);
+            moveSlot(r, w);
         ++w;
     }
+    for (size_t i = w; i < n; ++i) {
+        _entries[i].reset();
+        setBit(_waitBits, i, false);
+        setBit(_removeBits, i, false);
+    }
     _entries.resize(w);
+    _seqs.resize(w);
+    _srcReady.resize(w);
+    _removeDirty = false;
 }
 
 } // namespace vpsim

@@ -6,6 +6,19 @@
  * so it can re-execute if the prediction fails — the paper's explanation
  * of why traditional value prediction pressures the queues (Sections 2
  * and 5.4).
+ *
+ * Wakeup model: the queue keeps structure-of-arrays state next to the
+ * age-ordered entry vector — a waiting bitmap, a departable bitmap, and
+ * a *cached source-ready cycle* per entry. The cache is kept exact
+ * reactively: every PhysRegFile::setReadyAt routes a wakeup through
+ * Cpu's WakeupTable to refreshCached(), so the per-cycle issue scan
+ * never dereferences a DynInst whose sources have not matured — it
+ * walks bitmap words and compares cached cycles. Selection stays
+ * age-ordered and bit-identical with the earlier per-entry polling
+ * sweep: the same entries depart at the same stage boundaries (the
+ * compaction sweep replicates the old forEachWaiting drop rules,
+ * including the scan-cap tail that is kept verbatim), and the same
+ * waiting entries are visited in the same order under the same cap.
  */
 
 #ifndef VPSIM_CORE_ISSUE_QUEUE_HH
@@ -15,6 +28,8 @@
 #include <vector>
 
 #include "core/dyn_inst.hh"
+#include "core/phys_regfile.hh"
+#include "isa/isa.hh"
 #include "sim/stats.hh"
 
 namespace vpsim
@@ -30,86 +45,153 @@ class IssueQueue
     int size() const { return static_cast<int>(_entries.size()); }
     bool hasSpace() const { return size() < _capacity; }
 
-    /** Insert at dispatch (caller checked hasSpace()). */
-    void insert(const DynInstPtr &inst);
+    /** One issue-eligible entry (sources matured by the scan cycle). */
+    struct Candidate
+    {
+        IssueQueue *queue;
+        uint32_t idx;
+        InstSeqNum seq;
+    };
+
+    /** Cycle every renamed source of @p di is ready (the issue stage's
+     *  sourcesReady() threshold); neverCycle when a source can only be
+     *  woken by another event (e.g. a vp-tagged load redo). */
+    static Cycle
+    srcReadyAt(const DynInst &di, const PhysRegFile &intRegs,
+               const PhysRegFile &fpRegs)
+    {
+        Cycle ready = 0;
+        for (int i = 0; i < di.numSrcs && ready != neverCycle; ++i) {
+            PhysReg p = di.physSrc[i];
+            if (p == invalidPhysReg)
+                continue;
+            const PhysRegFile &pool =
+                isFpReg(di.srcLogical[i]) ? fpRegs : intRegs;
+            ready = std::max(ready, pool.readyAt(p));
+        }
+        return ready;
+    }
+
+    /** Insert at dispatch (caller checked hasSpace()); @p srcReady is
+     *  the exact source-ready cycle at insert time (the caller also
+     *  registers the entry's sources with the wakeup tables). */
+    void insert(const DynInstPtr &inst, Cycle srcReady);
+
+    const DynInstPtr &entry(uint32_t idx) const { return _entries[idx]; }
 
     /**
-     * Entries eligible to (re)issue this cycle, oldest first. An entry is
-     * eligible when not yet issued (or reset for reissue) and not
-     * squashed; source-readiness is the caller's check.
+     * One issue-stage scan: first compact departable entries (only when
+     * one exists — the bitmap knows), then append every waiting entry
+     * whose cached source-ready cycle has arrived to @p out, oldest
+     * first.
      *
-     * @param maxVisit bound on waiting entries visited per call (keeps
+     * @param maxVisit bound on *waiting* entries visited (ready or
+     *        not), preserving the legacy scan-cap semantics that keep
      *        the 8K-entry idealized wide-window machine tractable; the
-     *        oldest entries are always visited first).
+     *        oldest entries are always visited first.
      */
+    void collectReady(Cycle now, int maxVisit, std::vector<Candidate> &out);
+
+    /** The candidate at @p idx issued this cycle. @p removable: its
+     *  vp-dependence mask is clear, so the entry departs at the next
+     *  sweep (exactly when the polling sweep would have dropped it). */
+    void onIssued(uint32_t idx, bool removable);
+
+    /** Selective reissue flipped @p seq back to unissued (its open
+     *  vp-dependence kept it resident); it waits again. */
+    void markWaiting(InstSeqNum seq, const PhysRegFile &intRegs,
+                     const PhysRegFile &fpRegs);
+
+    /** @p seq (issued, still resident) lost its last open vp
+     *  dependence (commit or confirmation); it may depart. No-op when
+     *  the entry already left. */
+    void markRemovable(InstSeqNum seq);
+
+    /** A source register's readiness changed: refresh the cached
+     *  source-ready cycle. Returns false when @p seq is no longer
+     *  resident (the caller drops its wakeup registration). */
+    bool refreshCached(InstSeqNum seq, const PhysRegFile &intRegs,
+                       const PhysRegFile &fpRegs);
+
+    /** Waiting entries' cached source-ready cycles, oldest first, same
+     *  cap semantics as collectReady; read-only (the time-skip event
+     *  scan must not disturb queue state). */
     template <typename Fn>
     void
-    forEachWaiting(Fn &&fn, int maxVisit = 1 << 30)
+    forEachWaitingReady(Fn &&fn, int maxVisit) const
     {
-        // Single compacting sweep over a dense, age-ordered vector (no
-        // per-node heap allocation, sequential cache traffic): entries
-        // that can leave are dropped by not copying them forward; the
-        // unvisited tail past maxVisit is kept verbatim, exactly like
-        // the pre-vector std::list implementation stopped mid-walk.
+        int visited = 0;
         const size_t n = _entries.size();
-        size_t r = 0, w = 0;
-        int visited = 0;
-        for (; r < n && visited < maxVisit; ++r) {
-            DynInst &inst = *_entries[r];
-            if (inst.squashed)
-                continue;
-            if (inst.issued && inst.vpDependMask == 0) {
-                // Confirmed and issued: the entry can finally leave.
-                continue;
-            }
-            if (!inst.issued) {
-                fn(_entries[r]);
+        for (size_t w = 0; w < _waitBits.size(); ++w) {
+            uint64_t bits = _waitBits[w];
+            while (bits != 0) {
+                size_t idx = (w << 6) +
+                             static_cast<size_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                if (idx >= n)
+                    return;
+                if (visited >= maxVisit)
+                    return;
                 ++visited;
-            }
-            if (w != r)
-                _entries[w] = std::move(_entries[r]);
-            ++w;
-        }
-        for (; r < n; ++r, ++w) {
-            if (w != r)
-                _entries[w] = std::move(_entries[r]);
-        }
-        _entries.resize(w);
-    }
-
-    /** Read-only variant of the sweep above: visits exactly the same
-     *  waiting entries in the same order with the same @p maxVisit
-     *  semantics, but never compacts (the time-skip event scan must
-     *  not disturb queue state). */
-    template <typename Fn>
-    void
-    forEachWaiting(Fn &&fn, int maxVisit = 1 << 30) const
-    {
-        int visited = 0;
-        for (const DynInstPtr &p : _entries) {
-            if (visited >= maxVisit)
-                break;
-            const DynInst &inst = *p;
-            if (inst.squashed)
-                continue;
-            if (!inst.issued) {
-                fn(p);
-                ++visited;
+                fn(_srcReady[idx]);
             }
         }
     }
 
-    /** Drop entries whose instructions were squashed (lazy cleanup). */
+    /** Drop entries whose instructions were squashed, plus any
+     *  departable ones (full sweep, no cap — matching the legacy
+     *  purge). */
     void purgeSquashed();
 
     /** Max occupancy ever seen (for the stats report). */
     int peakSize() const { return _peak; }
 
   private:
-    /** Dispatch (age) order, dense. Slots are recycled by compaction
-     *  during forEachWaiting()/purgeSquashed() sweeps, so steady-state
-     *  operation allocates nothing. */
+    static bool
+    testBit(const std::vector<uint64_t> &bits, size_t i)
+    {
+        return (bits[i >> 6] >> (i & 63)) & 1;
+    }
+
+    static void
+    setBit(std::vector<uint64_t> &bits, size_t i, bool v)
+    {
+        uint64_t mask = uint64_t{1} << (i & 63);
+        if (v)
+            bits[i >> 6] |= mask;
+        else
+            bits[i >> 6] &= ~mask;
+    }
+
+    /** Slot of @p seq, or -1 when it already departed (entries are
+     *  inserted in dispatch order and compaction keeps that order, so
+     *  _seqs is always sorted). */
+    int findSeq(InstSeqNum seq) const;
+
+    /** Replicate the legacy per-cycle sweep: drop departable entries
+     *  among (up to) the first @p maxVisit waiting ones, keep the tail
+     *  verbatim. Runs only when the departable bitmap is non-empty. */
+    void compactSweep(int maxVisit);
+
+    void moveSlot(size_t from, size_t to);
+
+    /** Dispatch (age) order, dense. Slots are recycled by the
+     *  compaction sweeps, so steady-state operation allocates
+     *  nothing. */
     std::vector<DynInstPtr> _entries;
+    /** Parallel to _entries: sequence numbers (sorted; binary-search
+     *  index for wakeups). */
+    std::vector<InstSeqNum> _seqs;
+    /** Parallel: exact cached source-ready cycle, maintained by wakeup
+     *  notifications. */
+    std::vector<Cycle> _srcReady;
+    /** Bit per slot: waiting to issue (!issued && !squashed). */
+    std::vector<uint64_t> _waitBits;
+    /** Bit per slot: issued with no open vp dependence — departable at
+     *  the next sweep. */
+    std::vector<uint64_t> _removeBits;
+    /** A departable entry exists (skip the sweep entirely when not). */
+    bool _removeDirty = false;
     int _capacity;
     int _peak = 0;
     Scalar _inserted;

@@ -23,6 +23,8 @@ PhysRegFile::alloc()
     _freeList.pop_back();
     _refCount[static_cast<size_t>(reg)] = 1;
     _readyAt[static_cast<size_t>(reg)] = neverCycle;
+    if (_listener != nullptr)
+        _listener->regAllocated(reg);
     return reg;
 }
 
@@ -57,6 +59,8 @@ PhysRegFile::setReadyAt(PhysReg reg, Cycle cycle)
 {
     vpsim_assert(reg >= 0 && reg < capacity());
     _readyAt[static_cast<size_t>(reg)] = cycle;
+    if (_listener != nullptr)
+        _listener->regReadyChanged(reg, cycle);
 }
 
 Cycle

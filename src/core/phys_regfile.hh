@@ -22,7 +22,27 @@ namespace vpsim
 class PhysRegFile
 {
   public:
+    /**
+     * Readiness observer (core/wakeup.hh WakeupTable): issue-queue
+     * entries cache their source-ready cycle, and every setReadyAt /
+     * re-allocation routes through here so those caches stay exact
+     * instead of being re-polled each cycle.
+     */
+    class Listener
+    {
+      public:
+        virtual ~Listener() = default;
+        /** _readyAt[reg] just changed to @p cycle. */
+        virtual void regReadyChanged(PhysReg reg, Cycle cycle) = 0;
+        /** @p reg was just re-allocated (readiness reset, any stale
+         *  watch records are dead). */
+        virtual void regAllocated(PhysReg reg) = 0;
+    };
+
     explicit PhysRegFile(int capacity);
+
+    /** At most one listener; the Cpu wires its wakeup table here. */
+    void setListener(Listener *l) { _listener = l; }
 
     /** Registers currently on the free list. */
     int freeCount() const { return static_cast<int>(_freeList.size()); }
@@ -49,6 +69,7 @@ class PhysRegFile
     std::vector<Cycle> _readyAt;
     std::vector<int> _refCount;
     std::vector<PhysReg> _freeList;
+    Listener *_listener = nullptr;
 };
 
 } // namespace vpsim

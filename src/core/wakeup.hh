@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dependency-satisfaction wakeup: one table per physical register file
+ * mapping each register to the issue-queue entries waiting on it.
+ *
+ * Dispatch registers every renamed source of an inserted entry; from
+ * then on each PhysRegFile::setReadyAt pushes the change to the
+ * registered entries' cached source-ready cycles (IssueQueue::
+ * refreshCached recomputes the exact max over the entry's sources, so
+ * ordering of notifications never matters). Entries stay registered
+ * for as long as they are queue-resident — an issued entry kept by an
+ * open vp dependence keeps receiving updates, which is what makes the
+ * cache exact across selective reissue. Watch records whose entry has
+ * departed are dropped lazily at the next notification, and a register
+ * re-allocation clears its list outright (the use counters guarantee a
+ * register reachable from any live entry's sources is never recycled,
+ * so everything cleared is stale).
+ *
+ * Host cost attribution: notifications run under the profiler's
+ * Wakeup section (null-store when profiling is disabled).
+ */
+
+#ifndef VPSIM_CORE_WAKEUP_HH
+#define VPSIM_CORE_WAKEUP_HH
+
+#include <vector>
+
+#include "core/issue_queue.hh"
+#include "core/phys_regfile.hh"
+#include "sim/profiler.hh"
+
+namespace vpsim
+{
+
+/** Per-register waiter lists for one register class. */
+class WakeupTable final : public PhysRegFile::Listener
+{
+  public:
+    WakeupTable(const PhysRegFile &intRegs, const PhysRegFile &fpRegs,
+                int capacity, HostProfiler &prof)
+        : _intRegs(intRegs), _fpRegs(fpRegs), _prof(prof),
+          _waiters(static_cast<size_t>(capacity))
+    {
+    }
+
+    /** @p seq (resident in @p q) waits on @p reg of this class. */
+    void
+    watch(PhysReg reg, IssueQueue *q, InstSeqNum seq)
+    {
+        _waiters[static_cast<size_t>(reg)].push_back({q, seq});
+    }
+
+    void
+    regReadyChanged(PhysReg reg, Cycle) override
+    {
+        HostProfiler::Scope s(_prof, ProfSection::Wakeup);
+        auto &ws = _waiters[static_cast<size_t>(reg)];
+        size_t w = 0;
+        for (size_t r = 0; r < ws.size(); ++r) {
+            if (ws[r].queue->refreshCached(ws[r].seq, _intRegs, _fpRegs))
+                ws[w++] = ws[r]; // Still resident: keep watching.
+        }
+        ws.resize(w);
+    }
+
+    void
+    regAllocated(PhysReg reg) override
+    {
+        _waiters[static_cast<size_t>(reg)].clear();
+    }
+
+  private:
+    struct Waiter
+    {
+        IssueQueue *queue;
+        InstSeqNum seq;
+    };
+
+    const PhysRegFile &_intRegs;
+    const PhysRegFile &_fpRegs;
+    HostProfiler &_prof;
+    std::vector<std::vector<Waiter>> _waiters;
+};
+
+} // namespace vpsim
+
+#endif // VPSIM_CORE_WAKEUP_HH

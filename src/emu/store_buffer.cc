@@ -77,14 +77,49 @@ readThroughChain(const StoreSegment *leaf, const MainMemory &mem,
         result.value = mem.read(addr, bytes);
         return result;
     }
+    // Chains grow one node per spawn epoch and most nodes are frozen
+    // with no bytes at all (a frozen segment can never gain bytes), so
+    // walk the chain once to collect the non-empty overlays instead of
+    // re-walking every node per byte with a hash probe each.
+    constexpr int maxInlineOverlays = 8;
+    const StoreSegment *inlineLive[maxInlineOverlays];
+    int nLive = 0;
+    // vplint:allow(global-state) per-thread scratch; runs are
+    // single-threaded within a SimPool worker.
+    static thread_local std::vector<const StoreSegment *> spillLive;
+    bool spilled = false;
+    for (const StoreSegment *seg = leaf; seg != nullptr;
+         seg = seg->parent().get()) {
+        if (seg->byteCount() == 0)
+            continue;
+        if (nLive < maxInlineOverlays) {
+            inlineLive[nLive++] = seg;
+        } else {
+            if (!spilled) {
+                spillLive.assign(inlineLive, inlineLive + nLive);
+                spilled = true;
+            }
+            spillLive.push_back(seg);
+            ++nLive;
+        }
+    }
+    const StoreSegment *const *live = spilled ? spillLive.data()
+                                              : inlineLive;
+
+    if (nLive == 0) {
+        // Nothing to forward anywhere in the chain: one page-granular
+        // read, same as the chainless path.
+        result.value = mem.read(addr, bytes);
+        return result;
+    }
+
     int forwarded = 0;
     for (int i = 0; i < bytes; ++i) {
         Addr a = addr + static_cast<Addr>(i);
         uint8_t byte = 0;
         bool hit = false;
-        for (const StoreSegment *seg = leaf; seg != nullptr;
-             seg = seg->parent().get()) {
-            if (seg->readByte(a, byte)) {
+        for (int s = 0; s < nLive; ++s) {
+            if (live[s]->readByte(a, byte)) {
                 hit = true;
                 break;
             }

@@ -79,18 +79,23 @@ Hierarchy::load(Addr addr, Addr pc, Cycle now)
     ++_loads;
     Addr line = _l1d.lineAddr(addr);
 
-    auto it = _dataInFlight.find(line);
-    if (it != _dataInFlight.end()) {
-        if (it->second > now) {
-            ++_mshrMerges;
-            _l1d.access(addr, false); // Refresh LRU; line is resident.
-            return {it->second, MemLevel::L1};
+    // L1-hit fast path: with no fill outstanding anywhere (the common
+    // case in high-locality phases) the in-flight probe is a guaranteed
+    // miss, so skip the hash lookup and go straight at the L1 tags.
+    if (!_dataInFlight.empty()) [[unlikely]] {
+        auto it = _dataInFlight.find(line);
+        if (it != _dataInFlight.end()) {
+            if (it->second > now) {
+                ++_mshrMerges;
+                _l1d.access(addr, false); // Refresh LRU; line is resident.
+                return {it->second, MemLevel::L1};
+            }
+            _dataInFlight.erase(it);
         }
-        _dataInFlight.erase(it);
     }
 
     CacheAccess a = _l1d.access(addr, false);
-    if (a.hit) {
+    if (a.hit) [[likely]] {
         ++_loadsL1;
         return {now + static_cast<Cycle>(_cfg.dcacheLatency), MemLevel::L1};
     }
@@ -154,25 +159,30 @@ Hierarchy::instFetch(Addr addr, Cycle now)
     if (_cfg.prefetchEnabled) {
         for (int d = 1; d <= 2; ++d) {
             Addr nl = line + static_cast<Addr>(d) * _cfg.lineSize;
-            if (!_l1i.probe(nl) && _instInFlight.find(nl) ==
-                                       _instInFlight.end()) {
+            if (!_l1i.probe(nl) &&
+                (_instInFlight.empty() ||
+                 _instInFlight.find(nl) == _instInFlight.end())) {
                 _instInFlight[nl] = fillFromL2(nl, now, false);
                 _l1i.insert(nl);
             }
         }
     }
 
-    auto it = _instInFlight.find(line);
-    if (it != _instInFlight.end()) {
-        if (it->second > now) {
-            _l1i.access(addr, false);
-            return it->second;
+    // Same L1-hit fast path as load(): no outstanding instruction fill
+    // means the in-flight probe cannot hit.
+    if (!_instInFlight.empty()) [[unlikely]] {
+        auto it = _instInFlight.find(line);
+        if (it != _instInFlight.end()) {
+            if (it->second > now) {
+                _l1i.access(addr, false);
+                return it->second;
+            }
+            _instInFlight.erase(it);
         }
-        _instInFlight.erase(it);
     }
 
     CacheAccess a = _l1i.access(addr, false);
-    if (a.hit)
+    if (a.hit) [[likely]]
         return now + static_cast<Cycle>(_cfg.icacheLatency);
 
     Cycle r = fillFromL2(addr, now, false);

@@ -79,6 +79,19 @@ std::string vcsprintf(const char *fmt, va_list ap);
         }                                                                \
     } while (0)
 
+/**
+ * Debug-build-only flavour for checks too hot for release datapaths
+ * (per-candidate issue-scan invariants, handle-generation checks).
+ * Compiled out under NDEBUG.
+ */
+#ifndef NDEBUG
+#define vpsim_assert_dbg(cond, ...) vpsim_assert(cond, ##__VA_ARGS__)
+#else
+#define vpsim_assert_dbg(cond, ...)                                      \
+    do {                                                                 \
+    } while (0)
+#endif
+
 } // namespace vpsim
 
 #endif // VPSIM_SIM_LOGGING_HH

@@ -37,6 +37,7 @@ profSectionName(ProfSection s)
       case ProfSection::CacheInst: return "cacheInst";
       case ProfSection::VpredPredict: return "vpredPredict";
       case ProfSection::VpredTrain: return "vpredTrain";
+      case ProfSection::Wakeup: return "wakeup";
       case ProfSection::TimeSkip: return "timeSkip";
       case ProfSection::Warmup: return "warmup";
       case ProfSection::Checkpoint: return "checkpoint";

@@ -41,6 +41,7 @@ enum class ProfSection : unsigned
     CacheInst,    ///< Hierarchy::instFetch timing lookups
     VpredPredict, ///< ValuePredictor::predict at dispatch
     VpredTrain,   ///< ValuePredictor::train at commit
+    Wakeup,       ///< WakeupTable notifications (bitmap wakeup updates)
     TimeSkip,     ///< Cpu::tryTimeSkip (event scan + bulk attribution)
     Warmup,       ///< Cpu::fastForward (emulator-only warming)
     Checkpoint,   ///< Checkpoint serialize/restore + store I/O

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bit-identity gate for the data-oriented core overhaul: the full
+ * {baseline, STVP, MTVP, spawn-only} x {timeSkip 0,1} x {jobs 1,4}
+ * matrix must produce bit-identical statsJson content regardless of
+ * SimPool parallelism. The old-vs-new core equivalence was established
+ * once against the pre-overhaul binary (see EXPERIMENTS.md "Simulator
+ * throughput"); this test keeps the surviving runtime half of that
+ * contract — determinism across worker counts and the time-skip
+ * engine — continuously enforced on the exact configuration matrix
+ * the overhaul touched (intrusive instruction pool, bitmap wakeup,
+ * L1 fast path).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_pool.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace vpsim;
+
+struct MatrixCase
+{
+    const char *name;
+    VpMode mode;
+    int contexts;
+};
+
+const std::vector<MatrixCase> &
+matrixCases()
+{
+    static const std::vector<MatrixCase> cases = {
+        {"baseline", VpMode::None, 1},
+        {"stvp", VpMode::Stvp, 1},
+        {"mtvp", VpMode::Mtvp, 8},
+        {"spawnonly", VpMode::SpawnOnly, 8},
+    };
+    return cases;
+}
+
+SimConfig
+matrixConfig(const MatrixCase &c, uint64_t timeSkip)
+{
+    SimConfig cfg;
+    cfg.vpMode = c.mode;
+    cfg.numContexts = c.contexts;
+    cfg.maxInsts = 2500;
+    cfg.seed = 1;
+    cfg.timeSkip = timeSkip;
+    return cfg;
+}
+
+/** Exact equality of every field and every exported stat — the same
+ *  content statsJson serializes, so equality here is statsJson
+ *  bit-identity. */
+void
+expectIdentical(const SimResult &a, const SimResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.usefulInsts, b.usefulInsts) << what;
+    EXPECT_EQ(a.usefulIpc, b.usefulIpc) << what; // Bit-identical double.
+    EXPECT_EQ(a.halted, b.halted) << what;
+    ASSERT_EQ(a.stats.size(), b.stats.size()) << what;
+    for (const auto &[name, value] : a.stats) {
+        auto it = b.stats.find(name);
+        ASSERT_NE(it, b.stats.end()) << what << ": missing " << name;
+        EXPECT_EQ(value, it->second) << what << ": stat " << name;
+    }
+}
+
+TEST(IdentityMatrixTest, JobsOneAndFourAreBitIdentical)
+{
+    auto runMatrix = [](int jobs) {
+        SimPool pool(jobs);
+        SimJobGraph graph(pool, nullptr);
+        std::vector<std::shared_future<SimResult>> futs;
+        for (const MatrixCase &c : matrixCases())
+            for (uint64_t ts : {uint64_t{0}, uint64_t{1}})
+                futs.push_back(graph.submit(matrixConfig(c, ts), "mcf"));
+        std::vector<SimResult> out;
+        for (auto &f : futs)
+            out.push_back(f.get());
+        return out;
+    };
+
+    std::vector<SimResult> serial = runMatrix(1);
+    std::vector<SimResult> parallel = runMatrix(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    size_t i = 0;
+    for (const MatrixCase &c : matrixCases()) {
+        for (uint64_t ts : {uint64_t{0}, uint64_t{1}}) {
+            expectIdentical(serial[i], parallel[i],
+                            std::string(c.name) + " ts" +
+                                std::to_string(ts));
+            ++i;
+        }
+    }
+}
+
+TEST(IdentityMatrixTest, RepeatRunsAreBitIdentical)
+{
+    // Same config, fresh Cpu each time: the pool/wakeup structures
+    // hold no cross-run state.
+    SimConfig cfg = matrixConfig(matrixCases()[2], 0); // mtvp ts0
+    SimResult a = runWorkload(cfg, "mcf");
+    SimResult b = runWorkload(cfg, "mcf");
+    expectIdentical(a, b, "mtvp ts0 repeat");
+}
+
+} // namespace

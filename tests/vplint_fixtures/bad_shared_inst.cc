@@ -1,0 +1,10 @@
+// vplint fixture: shared_ptr ownership of DynInst, violation line 7.
+#include <memory>
+
+struct DynInst;
+
+void
+fixtureLeakyOwner(std::shared_ptr<DynInst> inst)
+{
+    (void)inst;
+}

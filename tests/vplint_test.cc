@@ -92,6 +92,14 @@ TEST(VplintFixtures, BadPointerFormatFlagsLine7)
     EXPECT_EQ(d[0].line, 7);
 }
 
+TEST(VplintFixtures, BadSharedInstFlagsLine7)
+{
+    std::vector<Diag> d = lintFixture("bad_shared_inst.cc");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "shared-inst");
+    EXPECT_EQ(d[0].line, 7);
+}
+
 TEST(VplintFixtures, BadGlobalStateFlagsLine4)
 {
     std::vector<Diag> d = lintFixture("bad_global_state.cc");
@@ -181,6 +189,38 @@ TEST(VplintRules, MemberCallNamedTimeIsNotWallclock)
 {
     std::vector<Diag> d = lintText("src/x.cc", "long t = sim.time();\n",
                                    FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(VplintRules, InstPoolHeaderMayNameSharedPtrDynInst)
+{
+    std::vector<Diag> d = lintText(
+        "src/core/inst_pool.hh",
+        "using Legacy = std::shared_ptr<DynInst>;\n", FileKind::Src);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(VplintRules, QualifiedAndAllocSharedDynInstAreFlagged)
+{
+    std::vector<Diag> d = lintText(
+        "tests/x.cc",
+        "auto a = std::allocate_shared<vpsim::DynInst>(alloc);\n"
+        "std::weak_ptr<vpsim::DynInst> w;\n",
+        FileKind::Tests);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0].rule, "shared-inst");
+    EXPECT_EQ(d[1].rule, "shared-inst");
+}
+
+TEST(VplintRules, SharedPtrOfOtherTypesIsFine)
+{
+    std::vector<Diag> d = lintText(
+        "src/x.cc",
+        "void f()\n"
+        "{\n"
+        "    std::shared_ptr<StoreSegment> seg;\n"
+        "}\n",
+        FileKind::Src);
     EXPECT_TRUE(d.empty());
 }
 

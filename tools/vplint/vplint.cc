@@ -344,6 +344,14 @@ const std::set<std::string> wallclockAllowedFiles = {
     "tests/watchdog_test.cc",  // Tests the wall-clock watchdog itself.
     "bench/run_all.cc",
     "bench/micro_components.cc",
+    "bench/throughput.cc",      // KIPS measurement is wall-timing.
+};
+
+/** Files allowed to name std::shared_ptr<DynInst>: the pool header
+ *  documents the migration away from it and is the one place a
+ *  shared-ownership escape hatch could legitimately live. */
+const std::set<std::string> sharedInstAllowedFiles = {
+    "src/core/inst_pool.hh",
 };
 
 void
@@ -391,6 +399,39 @@ ruleWallclock(const SourceFile &f, const std::vector<Token> &toks,
                      "' in simulation code breaks bit-identity "
                      "(allowed only in sim/profiler.* and bench "
                      "wall-timing)");
+        }
+    }
+}
+
+void
+ruleSharedInst(const SourceFile &f, const std::vector<Token> &toks,
+               std::vector<Diag> &out)
+{
+    if (sharedInstAllowedFiles.count(f.path) != 0)
+        return;
+    static const std::set<std::string> owners = {
+        "shared_ptr", "weak_ptr", "make_shared", "allocate_shared",
+    };
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (owners.count(toks[i].text) == 0 ||
+            toks[i + 1].text != "<") {
+            continue;
+        }
+        // Skip namespace qualifiers inside the template argument
+        // ("vpsim::DynInst" and plain "DynInst" both count).
+        size_t j = i + 2;
+        while (j + 1 < toks.size() && toks[j].ident() &&
+               toks[j + 1].text == ":") {
+            j += 2;
+            while (j < toks.size() && toks[j].text == ":")
+                ++j;
+        }
+        if (j < toks.size() && toks[j].text == "DynInst") {
+            diag(out, f, toks[i].line, "shared-inst",
+                 "'" + toks[i].text + "<DynInst>' reintroduces "
+                 "atomic shared ownership of instructions; use the "
+                 "intrusive DynInstPtr from src/core/inst_pool.hh "
+                 "(non-atomic refcount, slab-pooled)");
         }
     }
 }
@@ -774,6 +815,9 @@ lintSource(const SourceFile &f, const TreeIndex &index,
     ruleRand(f, toks, out);
     ruleWallclock(f, toks, out);
     rulePointerFormat(f, out);
+    // Instruction-ownership contract: everything that can reach a
+    // DynInst (tests included) must go through the intrusive pool.
+    ruleSharedInst(f, toks, out);
 
     bool simCode = f.kind == FileKind::Src || f.kind == FileKind::Bench;
     if (simCode) {
